@@ -1,0 +1,76 @@
+// Ablation: adding power as a third optimization objective.
+//
+// The paper's DSE optimizes area/frequency; its related work (Karakaya
+// [14]) targets the power-delay-area product. With the power model wired
+// into the simulated tool, this bench contrasts a frequency/area DSE of the
+// systolic matrix-multiply array with a power-aware one, showing the power
+// spread hidden inside the two-objective front.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "src/core/dse.hpp"
+#include "src/core/writers.hpp"
+
+using namespace dovado;
+
+namespace {
+
+core::DseResult explore(bool power_aware) {
+  core::ProjectConfig project;
+  project.sources.push_back({std::string(DOVADO_RTL_DIR) + "/systolic_mm.sv",
+                             hdl::HdlLanguage::kSystemVerilog, "work", false});
+  project.top_module = "systolic_mm";
+  project.part = "xc7k70tfbv676-1";
+  project.target_period_ns = 1.0;
+
+  core::DseConfig config;
+  config.space.params.push_back({"ROWS", core::ParamDomain::power_of_two(0, 3)});
+  config.space.params.push_back({"COLS", core::ParamDomain::power_of_two(0, 3)});
+  config.space.params.push_back({"DATA_W", core::ParamDomain::values({8, 16, 18, 27, 32})});
+  config.objectives = {{"dsp", false}, {"fmax_mhz", true}};
+  if (power_aware) config.objectives.push_back({"power_w", false});
+  config.ga.population_size = 18;
+  config.ga.max_generations = 12;
+  config.ga.seed = 23;
+
+  core::DseEngine engine(project, config);
+  return engine.run();
+}
+
+std::pair<double, double> power_spread(const std::vector<core::ExploredPoint>& points) {
+  double lo = 1e18;
+  double hi = -1e18;
+  for (const auto& p : points) {
+    lo = std::min(lo, p.metrics.get("power_w"));
+    hi = std::max(hi, p.metrics.get("power_w"));
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+int main() {
+  const auto two_obj = explore(false);
+  const auto three_obj = explore(true);
+
+  std::printf("Ablation: power as a DSE objective (systolic_mm on xc7k70t)\n\n");
+  std::printf("two-objective front (DSP min, Fmax max) — %zu points:\n%s\n",
+              two_obj.pareto.size(), core::format_table(two_obj.pareto).c_str());
+  std::printf("three-objective front (+ power_w min) — %zu points:\n%s\n",
+              three_obj.pareto.size(), core::format_table(three_obj.pareto).c_str());
+
+  const auto [lo2, hi2] = power_spread(two_obj.pareto);
+  const auto [lo3, hi3] = power_spread(three_obj.pareto);
+  std::printf("power across the 2-objective front: %.3f .. %.3f W (%.1fx spread,\n"
+              "invisible to that run's objectives)\n", lo2, hi2, hi2 / lo2);
+  std::printf("power across the 3-objective front: %.3f .. %.3f W\n", lo3, hi3);
+  std::printf("front sizes: %zu (2-obj) vs %zu (3-obj)\n", two_obj.pareto.size(),
+              three_obj.pareto.size());
+  std::printf(
+      "\nReading: power varies by %.1fx across the area/frequency front without\n"
+      "the optimizer knowing; making it an objective keeps the low-power\n"
+      "alternative at each performance level explicit in a larger front.\n",
+      hi2 / lo2);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Micro benchmarks of the approximation model: the cost asymmetry that
+// justifies the paper's control model (an NWM estimate must be orders of
+// magnitude cheaper than a tool run), plus LOO-CV training cost.
+#include <benchmark/benchmark.h>
+
+#include "src/model/control.hpp"
+#include "src/model/nadaraya_watson.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace dovado;
+
+model::Dataset make_dataset(std::size_t n, std::size_t dims) {
+  util::Rng rng(7);
+  model::Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    model::Point p(dims);
+    for (auto& v : p) v = rng.uniform(0.0, 500.0);
+    d.add(p, {p[0] * 2.0, 1000.0 - p[0]});
+  }
+  return d;
+}
+
+void BM_NwmPredict(benchmark::State& state) {
+  const auto dataset = make_dataset(static_cast<std::size_t>(state.range(0)), 3);
+  model::NadarayaWatson nwm;
+  nwm.fit(dataset, {25.0, 25.0});
+  const model::Point q = {100.0, 200.0, 300.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nwm.predict(q));
+  }
+}
+BENCHMARK(BM_NwmPredict)->Range(32, 1024);
+
+void BM_LooCvBandwidthSelection(benchmark::State& state) {
+  const auto dataset = make_dataset(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::select_bandwidths(dataset));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LooCvBandwidthSelection)->Range(32, 256)->Complexity(benchmark::oNSquared);
+
+void BM_AdaptiveThreshold(benchmark::State& state) {
+  const auto dataset = make_dataset(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::adaptive_threshold(dataset));
+  }
+}
+BENCHMARK(BM_AdaptiveThreshold)->Range(32, 512);
+
+void BM_ControlDecision(benchmark::State& state) {
+  model::ControlModel control;
+  util::Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const model::Point p = {rng.uniform(0.0, 500.0), rng.uniform(0.0, 500.0)};
+    control.add_sample(p, {p[0], p[1]});
+  }
+  const model::Point q = {123.0, 321.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(control.decide(q));
+  }
+}
+BENCHMARK(BM_ControlDecision);
+
+void BM_SimilarityPhi(benchmark::State& state) {
+  const auto dataset = make_dataset(static_cast<std::size_t>(state.range(0)), 4);
+  const model::Point q = {1.0, 2.0, 3.0, 4.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::similarity_phi(dataset, q, 1));
+  }
+}
+BENCHMARK(BM_SimilarityPhi)->Range(32, 512);
+
+}  // namespace

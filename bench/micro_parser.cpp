@@ -1,0 +1,88 @@
+// Micro benchmarks of the HDL front end: declaration-parsing throughput on
+// synthetic VHDL and SystemVerilog sources of growing size (the paper asks
+// for "reasonable performance on large RTL files").
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/hdl/expr.hpp"
+#include "src/hdl/frontend.hpp"
+#include "src/util/strings.hpp"
+
+namespace {
+
+using namespace dovado;
+
+std::string big_vhdl(int entities) {
+  std::string src = "library ieee;\nuse ieee.std_logic_1164.all;\n";
+  for (int e = 0; e < entities; ++e) {
+    src += util::format(
+        "entity mod_%d is\n"
+        "  generic (WIDTH : integer := %d; DEPTH : integer := 2**%d);\n"
+        "  port (clk : in std_logic;\n"
+        "        din : in std_logic_vector(WIDTH-1 downto 0);\n"
+        "        dout : out std_logic_vector(WIDTH-1 downto 0));\n"
+        "end mod_%d;\n"
+        "architecture rtl of mod_%d is\n"
+        "  signal tmp : std_logic_vector(WIDTH-1 downto 0);\n"
+        "begin\n"
+        "  process(clk) begin if rising_edge(clk) then tmp <= din; end if; end process;\n"
+        "  dout <= tmp;\n"
+        "end rtl;\n",
+        e, 8 + (e % 56), 3 + (e % 10), e, e);
+  }
+  return src;
+}
+
+std::string big_sv(int modules) {
+  std::string src;
+  for (int m = 0; m < modules; ++m) {
+    src += util::format(
+        "module mod_%d #(parameter int W = %d, parameter int D = 1 << %d)(\n"
+        "  input  logic clk_i,\n"
+        "  input  logic [W-1:0] data_i,\n"
+        "  output logic [W-1:0] data_o\n"
+        ");\n"
+        "  logic [W-1:0] buf_q [D];\n"
+        "  always_ff @(posedge clk_i) data_o <= data_i;\n"
+        "endmodule\n",
+        m, 8 + (m % 120), 2 + (m % 12));
+  }
+  return src;
+}
+
+void BM_ParseVhdl(benchmark::State& state) {
+  const std::string src = big_vhdl(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = hdl::parse_source(src, hdl::HdlLanguage::kVhdl);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_ParseVhdl)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_ParseSystemVerilog(benchmark::State& state) {
+  const std::string src = big_sv(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = hdl::parse_source(src, hdl::HdlLanguage::kSystemVerilog);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_ParseSystemVerilog)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_ExprEval(benchmark::State& state) {
+  hdl::ExprEnv env;
+  env.set("DEPTH", 512);
+  env.set("WIDTH", 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hdl::eval_expr("$clog2(DEPTH) * WIDTH + (DEPTH >> 2) - 1",
+                       hdl::HdlLanguage::kSystemVerilog, env));
+  }
+}
+BENCHMARK(BM_ExprEval);
+
+}  // namespace

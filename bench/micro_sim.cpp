@@ -1,0 +1,69 @@
+// Micro benchmarks of the end-to-end single-point evaluation pipeline:
+// the real-time cost of one simulated tool run (parse + box + TCL + map +
+// time + report round-trip) and the cache-hit fast path.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/core/evaluator.hpp"
+
+namespace {
+
+using namespace dovado;
+
+core::ProjectConfig fifo_project() {
+  core::ProjectConfig config;
+  config.sources.push_back({std::string(DOVADO_RTL_DIR) + "/cv32e40p_fifo.sv",
+                            hdl::HdlLanguage::kSystemVerilog, "work", false});
+  config.top_module = "cv32e40p_fifo";
+  config.part = "xc7k70tfbv676-1";
+  config.target_period_ns = 1.0;
+  return config;
+}
+
+void BM_EvaluateFreshPoint(benchmark::State& state) {
+  core::PointEvaluator evaluator(fifo_project());
+  std::int64_t depth = 8;
+  for (auto _ : state) {
+    // New depth every iteration so the cache never hits.
+    auto r = evaluator.evaluate({{"DEPTH", depth}, {"DATA_WIDTH", 32}});
+    benchmark::DoNotOptimize(r);
+    depth = 8 + (depth - 8 + 1) % 500;
+  }
+}
+BENCHMARK(BM_EvaluateFreshPoint);
+
+void BM_EvaluateCachedPoint(benchmark::State& state) {
+  core::PointEvaluator evaluator(fifo_project());
+  (void)evaluator.evaluate({{"DEPTH", 64}});
+  for (auto _ : state) {
+    auto r = evaluator.evaluate({{"DEPTH", 64}});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EvaluateCachedPoint);
+
+void BM_SynthesisOnlyVsFullFlow(benchmark::State& state) {
+  core::ProjectConfig config = fifo_project();
+  config.run_implementation = state.range(0) != 0;
+  core::PointEvaluator evaluator(config);
+  std::int64_t depth = 8;
+  for (auto _ : state) {
+    auto r = evaluator.evaluate({{"DEPTH", depth}});
+    benchmark::DoNotOptimize(r);
+    depth = 8 + (depth - 8 + 1) % 500;
+  }
+}
+BENCHMARK(BM_SynthesisOnlyVsFullFlow)->Arg(0)->Arg(1);
+
+void BM_BoxGeneration(benchmark::State& state) {
+  core::PointEvaluator evaluator(fifo_project());
+  // Isolate the constructor cost (parse of the project sources).
+  for (auto _ : state) {
+    core::PointEvaluator fresh(fifo_project());
+    benchmark::DoNotOptimize(fresh.module().name);
+  }
+}
+BENCHMARK(BM_BoxGeneration);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// Neorv32 memory-sizing exploration (paper Sec. IV-C).
+//
+// Explores the VHDL RISC-V core's instruction/data memory sizes restricted
+// to powers of two — the paper's domain-restriction feature — on a Kintex-7
+// without the approximation model, and shows how BRAM usage jumps between
+// memory configurations while logic stays nearly constant.
+#include <cstdio>
+#include <string>
+
+#include "src/core/dse.hpp"
+#include "src/core/writers.hpp"
+
+using namespace dovado;
+
+int main() {
+  core::ProjectConfig project;
+  project.sources.push_back({std::string(DOVADO_RTL_DIR) + "/neorv32_top.vhd",
+                             hdl::HdlLanguage::kVhdl, "work", false});
+  project.top_module = "neorv32_top";
+  project.part = "xc7k70tfbv676-1";
+  project.target_period_ns = 1.0;
+
+  core::DseConfig config;
+  // Power-of-two restriction (Sec. III-B.1): explore a large range without
+  // meaningless intermediate sizes.
+  config.space.params.push_back(
+      {"MEM_INT_IMEM_SIZE", core::ParamDomain::power_of_two(10, 15)});
+  config.space.params.push_back(
+      {"MEM_INT_DMEM_SIZE", core::ParamDomain::power_of_two(10, 15)});
+  config.objectives = {{"bram", false}, {"lut", false}, {"fmax_mhz", true}};
+  config.ga.population_size = 16;
+  config.ga.max_generations = 12;
+  config.ga.seed = 32;
+
+  std::printf("Neorv32 memory exploration on %s (power-of-two domains)\n",
+              project.part.c_str());
+  for (const auto& p : config.space.params) {
+    std::printf("  %s in %s\n", p.name.c_str(), p.domain.describe().c_str());
+  }
+
+  core::DseEngine engine(project, config);
+  const core::DseResult result = engine.run();
+
+  std::printf("\nnon-dominated solutions (%zu):\n%s\n", result.pareto.size(),
+              core::format_table(result.pareto).c_str());
+
+  // Highlight the paper's observation: going from 2^14 to 2^15 changes BRAM
+  // a lot while leaving the other metrics almost unchanged.
+  const auto sweep = engine.evaluate_set({
+      {{"MEM_INT_IMEM_SIZE", 1 << 14}, {"MEM_INT_DMEM_SIZE", 1 << 13}},
+      {{"MEM_INT_IMEM_SIZE", 1 << 15}, {"MEM_INT_DMEM_SIZE", 1 << 15}},
+  });
+  std::printf("BRAM step between 2^14/2^13 and 2^15/2^15 configurations:\n%s",
+              core::format_table(sweep).c_str());
+  return 0;
+}

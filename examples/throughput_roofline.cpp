@@ -1,0 +1,66 @@
+// Throughput-aware exploration with a custom static performance model and
+// a roofline chart (both future-work items of the paper, Sec. V).
+//
+// TiReX consumes one input character per cluster per cycle, so a static
+// model gives throughput = fmax * NCLUSTER. The DSE trades area against
+// that derived throughput metric, and the resulting non-dominated designs
+// are placed on the device's roofline.
+#include <cstdio>
+#include <string>
+
+#include "src/core/dse.hpp"
+#include "src/core/writers.hpp"
+#include "src/perf/roofline.hpp"
+
+using namespace dovado;
+
+int main() {
+  core::ProjectConfig project;
+  project.sources.push_back({std::string(DOVADO_RTL_DIR) + "/tirex_top.vhd",
+                             hdl::HdlLanguage::kVhdl, "work", false});
+  project.top_module = "tirex_top";
+  project.part = "xczu3eg-sbva484-1-e";
+  project.target_period_ns = 1.0;
+
+  core::DseConfig config;
+  config.space.params.push_back({"NCLUSTER", core::ParamDomain::power_of_two(0, 3)});
+  config.space.params.push_back({"STACK_SIZE", core::ParamDomain::power_of_two(2, 6)});
+  config.space.params.push_back({"INSTR_MEM_SIZE", core::ParamDomain::power_of_two(3, 4)});
+  config.space.params.push_back({"DATA_MEM_SIZE", core::ParamDomain::power_of_two(3, 4)});
+
+  // Custom static performance model: characters matched per second.
+  config.derived_metrics.push_back(
+      {"throughput_mcps", [](const core::DesignPoint& point, const core::EvalMetrics& m) {
+         return m.get("fmax_mhz") * static_cast<double>(point.at("NCLUSTER"));
+       }});
+  config.objectives = {{"lut", false}, {"throughput_mcps", true}};
+  config.ga.population_size = 18;
+  config.ga.max_generations = 12;
+  config.ga.seed = 11;
+
+  core::DseEngine engine(project, config);
+  const core::DseResult result = engine.run();
+
+  std::printf("TiReX throughput exploration on zu3eg (derived metric as objective)\n\n");
+  std::printf("%s\n", core::format_table(result.pareto).c_str());
+
+  // Roofline placement: each matched character costs ~1 op of matching per
+  // cluster and one byte of instruction-stream fetch.
+  const auto device = *fpga::DeviceCatalog::find(project.part);
+  double best_fmax = 0.0;
+  for (const auto& p : result.pareto) best_fmax = std::max(best_fmax, p.metrics.get("fmax_mhz"));
+  const perf::RooflineMachine machine = perf::machine_from_device(device, best_fmax);
+
+  std::vector<perf::RooflinePoint> points;
+  for (const auto& p : result.pareto) {
+    const double nclusters = static_cast<double>(p.params.at("NCLUSTER"));
+    perf::RooflineKernel kernel;
+    kernel.name = "tirex_x" + std::to_string(static_cast<int>(nclusters));
+    kernel.ops = nclusters;        // match ops per input character
+    kernel.bytes = 2.0 * nclusters;  // instruction slice fetched per char
+    kernel.achieved_gops = p.metrics.get("throughput_mcps") * nclusters / 1000.0;
+    points.push_back(perf::place_kernel(machine, kernel));
+  }
+  std::printf("%s", perf::render_ascii(machine, points).c_str());
+  return 0;
+}

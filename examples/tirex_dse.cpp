@@ -1,0 +1,58 @@
+// TiReX cross-device exploration (paper Sec. IV-D).
+//
+// Explores the regular-expression matching architecture's datapath and
+// memory parameters (all power-of-two) on two FPGA technologies — a 16 nm
+// Zynq UltraScale+ ZU3EG and a 28 nm Kintex-7 — showing the technology
+// impact on resource usage and achievable frequency.
+#include <cstdio>
+#include <string>
+
+#include "src/core/dse.hpp"
+#include "src/core/writers.hpp"
+
+using namespace dovado;
+
+namespace {
+
+core::DseResult explore_on(const std::string& part) {
+  core::ProjectConfig project;
+  project.sources.push_back({std::string(DOVADO_RTL_DIR) + "/tirex_top.vhd",
+                             hdl::HdlLanguage::kVhdl, "work", false});
+  project.top_module = "tirex_top";
+  project.part = part;
+  project.target_period_ns = 1.0;
+
+  core::DseConfig config;
+  config.space.params.push_back({"NCLUSTER", core::ParamDomain::power_of_two(0, 3)});
+  config.space.params.push_back({"STACK_SIZE", core::ParamDomain::power_of_two(0, 8)});
+  config.space.params.push_back({"INSTR_MEM_SIZE", core::ParamDomain::power_of_two(3, 5)});
+  config.space.params.push_back({"DATA_MEM_SIZE", core::ParamDomain::power_of_two(3, 5)});
+  config.objectives = {{"lut", false}, {"bram", false}, {"fmax_mhz", true}};
+  config.ga.population_size = 20;
+  config.ga.max_generations = 12;
+  config.ga.seed = 7;
+
+  core::DseEngine engine(project, config);
+  return engine.run();
+}
+
+}  // namespace
+
+int main() {
+  for (const std::string& part : {std::string("xczu3eg-sbva484-1-e"),
+                                 std::string("xc7k70tfbv676-1")}) {
+    std::printf("=== TiReX exploration on %s ===\n", part.c_str());
+    const core::DseResult result = explore_on(part);
+    std::printf("%zu non-dominated solutions:\n%s\n", result.pareto.size(),
+                core::format_table(result.pareto).c_str());
+    double best_fmax = 0.0;
+    for (const auto& p : result.pareto) {
+      best_fmax = std::max(best_fmax, p.metrics.get("fmax_mhz"));
+    }
+    std::printf("best achievable frequency: %.0f MHz\n\n", best_fmax);
+  }
+  std::printf(
+      "The 16 nm ZU3EG sustains far higher frequencies than the 28 nm "
+      "XC7K70T for near-identical configurations (paper: ~550 vs ~190 MHz).\n");
+  return 0;
+}

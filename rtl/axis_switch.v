@@ -1,0 +1,76 @@
+/*
+ * Round-robin AXI-Stream crossbar switch. Interconnect-style workload whose
+ * LUT cost grows quadratically with the port count — used to exercise
+ * congestion-dominated timing and LUT over-utilization (extension workload,
+ * not one of the paper's case studies).
+ */
+module axis_switch #(
+    // number of ports (inputs and outputs)
+    parameter PORTS = 4,
+    // data width per port
+    parameter DATA_W = 64,
+    // output FIFO depth per port (entries)
+    parameter FIFO_DEPTH = 32,
+    localparam CNT_W = $clog2(PORTS)
+)(
+    input  wire                     clk,
+    input  wire                     rst,
+
+    input  wire [PORTS*DATA_W-1:0]  s_axis_tdata,
+    input  wire [PORTS-1:0]         s_axis_tvalid,
+    output wire [PORTS-1:0]         s_axis_tready,
+    input  wire [PORTS*CNT_W-1:0]   s_axis_tdest,
+
+    output wire [PORTS*DATA_W-1:0]  m_axis_tdata,
+    output wire [PORTS-1:0]         m_axis_tvalid,
+    input  wire [PORTS-1:0]         m_axis_tready
+);
+
+reg [CNT_W-1:0] grant [PORTS-1:0];
+reg [PORTS-1:0] granted;
+reg [DATA_W-1:0] fifo_mem [PORTS*FIFO_DEPTH-1:0];
+reg [CNT_W:0] fifo_count [PORTS-1:0];
+
+genvar gi;
+generate
+for (gi = 0; gi < PORTS; gi = gi + 1) begin : g_out
+    // Round-robin arbitration over the input requests for this output.
+    integer k;
+    always @(posedge clk) begin
+        if (rst) begin
+            grant[gi]   <= 0;
+            granted[gi] <= 1'b0;
+        end else begin
+            granted[gi] <= 1'b0;
+            for (k = 0; k < PORTS; k = k + 1) begin
+                if (s_axis_tvalid[k] &&
+                    s_axis_tdest[k*CNT_W +: CNT_W] == gi[CNT_W-1:0] &&
+                    !granted[gi]) begin
+                    grant[gi]   <= k[CNT_W-1:0];
+                    granted[gi] <= 1'b1;
+                end
+            end
+        end
+    end
+
+    assign m_axis_tdata[gi*DATA_W +: DATA_W] =
+        s_axis_tdata[grant[gi]*DATA_W +: DATA_W];
+    assign m_axis_tvalid[gi] = granted[gi] & m_axis_tready[gi];
+end
+endgenerate
+
+generate
+for (gi = 0; gi < PORTS; gi = gi + 1) begin : g_in
+    assign s_axis_tready[gi] = (fifo_count[gi] != FIFO_DEPTH[CNT_W:0]);
+    always @(posedge clk) begin
+        if (rst) fifo_count[gi] <= 0;
+        else if (s_axis_tvalid[gi] && s_axis_tready[gi]) begin
+            fifo_mem[gi*FIFO_DEPTH + fifo_count[gi][CNT_W-1:0]] <=
+                s_axis_tdata[gi*DATA_W +: DATA_W];
+            fifo_count[gi] <= fifo_count[gi] + 1;
+        end
+    end
+end
+endgenerate
+
+endmodule

@@ -1,0 +1,156 @@
+/*
+ * Reduced model of Corundum's completion queue manager (Sec. IV-B of the
+ * paper: "a non-top module implementing a completion queue manager").
+ * Parameter interface follows upstream cpl_queue_manager: the DSE explores
+ * OP_TABLE_SIZE (# outstanding operations), QUEUE_INDEX_WIDTH (log2 of the
+ * number of queues) and PIPELINE (pipeline stages).
+ */
+module cpl_queue_manager #(
+    // number of outstanding operations
+    parameter OP_TABLE_SIZE = 16,
+    // log2 of the number of queues
+    parameter QUEUE_INDEX_WIDTH = 8,
+    // pipeline stages
+    parameter PIPELINE = 2,
+    // width of queue element pointers
+    parameter QUEUE_PTR_WIDTH = 16,
+    // AXI-lite data width for the control interface
+    parameter AXIL_DATA_WIDTH = 32,
+    // request tag width
+    parameter REQ_TAG_WIDTH = 8,
+    localparam OP_TAG_WIDTH = $clog2(OP_TABLE_SIZE),
+    localparam QUEUE_RAM_WIDTH = 128
+)(
+    input  wire                          clk,
+    input  wire                          rst,
+
+    /*
+     * Enqueue request input
+     */
+    input  wire [QUEUE_INDEX_WIDTH-1:0]  s_axis_enqueue_req_queue,
+    input  wire [REQ_TAG_WIDTH-1:0]      s_axis_enqueue_req_tag,
+    input  wire                          s_axis_enqueue_req_valid,
+    output wire                          s_axis_enqueue_req_ready,
+
+    /*
+     * Enqueue response output
+     */
+    output wire [QUEUE_PTR_WIDTH-1:0]    m_axis_enqueue_resp_ptr,
+    output wire [OP_TAG_WIDTH-1:0]       m_axis_enqueue_resp_op_tag,
+    output wire                          m_axis_enqueue_resp_valid,
+    input  wire                          m_axis_enqueue_resp_ready,
+
+    /*
+     * Enqueue commit input
+     */
+    input  wire [OP_TAG_WIDTH-1:0]       s_axis_enqueue_commit_op_tag,
+    input  wire                          s_axis_enqueue_commit_valid,
+    output wire                          s_axis_enqueue_commit_ready,
+
+    /*
+     * Event output
+     */
+    output wire [QUEUE_INDEX_WIDTH-1:0]  m_axis_event_queue,
+    output wire                          m_axis_event_valid,
+    input  wire                          m_axis_event_ready
+);
+
+// operation table: tracks outstanding enqueue operations
+reg [OP_TABLE_SIZE-1:0] op_table_active = 0;
+reg [OP_TABLE_SIZE-1:0] op_table_commit = 0;
+reg [QUEUE_INDEX_WIDTH-1:0] op_table_queue [OP_TABLE_SIZE-1:0];
+reg [QUEUE_PTR_WIDTH-1:0]   op_table_ptr   [OP_TABLE_SIZE-1:0];
+reg [OP_TAG_WIDTH-1:0] op_table_start_ptr = 0;
+reg [OP_TAG_WIDTH-1:0] op_table_finish_ptr = 0;
+
+// queue state RAM: one entry per queue
+reg [QUEUE_RAM_WIDTH-1:0] queue_ram [(2**QUEUE_INDEX_WIDTH)-1:0];
+reg [QUEUE_INDEX_WIDTH-1:0] queue_ram_read_ptr = 0;
+reg [QUEUE_RAM_WIDTH-1:0] queue_ram_read_data_reg = 0;
+
+// pipeline registers
+reg [QUEUE_RAM_WIDTH-1:0] pipe_data [PIPELINE-1:0];
+reg [QUEUE_INDEX_WIDTH-1:0] pipe_queue [PIPELINE-1:0];
+reg [PIPELINE-1:0] pipe_valid = 0;
+
+reg enqueue_resp_valid_reg = 0;
+reg [QUEUE_PTR_WIDTH-1:0] enqueue_resp_ptr_reg = 0;
+reg [OP_TAG_WIDTH-1:0] enqueue_resp_op_tag_reg = 0;
+reg event_valid_reg = 0;
+reg [QUEUE_INDEX_WIDTH-1:0] event_queue_reg = 0;
+
+assign s_axis_enqueue_req_ready = !op_table_active[op_table_start_ptr];
+assign m_axis_enqueue_resp_ptr = enqueue_resp_ptr_reg;
+assign m_axis_enqueue_resp_op_tag = enqueue_resp_op_tag_reg;
+assign m_axis_enqueue_resp_valid = enqueue_resp_valid_reg;
+assign s_axis_enqueue_commit_ready = 1'b1;
+assign m_axis_event_queue = event_queue_reg;
+assign m_axis_event_valid = event_valid_reg;
+
+integer i;
+
+initial begin
+    for (i = 0; i < OP_TABLE_SIZE; i = i + 1) begin
+        op_table_queue[i] = 0;
+        op_table_ptr[i] = 0;
+    end
+end
+
+always @(posedge clk) begin
+    // stage 0: queue RAM read
+    queue_ram_read_ptr <= s_axis_enqueue_req_queue;
+    queue_ram_read_data_reg <= queue_ram[queue_ram_read_ptr];
+    pipe_data[0] <= queue_ram_read_data_reg;
+    pipe_queue[0] <= queue_ram_read_ptr;
+    pipe_valid[0] <= s_axis_enqueue_req_valid && s_axis_enqueue_req_ready;
+
+    // pipeline shift
+    for (i = 1; i < PIPELINE; i = i + 1) begin
+        pipe_data[i] <= pipe_data[i-1];
+        pipe_queue[i] <= pipe_queue[i-1];
+        pipe_valid[i] <= pipe_valid[i-1];
+    end
+
+    // final stage: allocate op table entry, produce response
+    if (pipe_valid[PIPELINE-1]) begin
+        op_table_active[op_table_start_ptr] <= 1'b1;
+        op_table_queue[op_table_start_ptr] <= pipe_queue[PIPELINE-1];
+        op_table_ptr[op_table_start_ptr] <= pipe_data[PIPELINE-1][QUEUE_PTR_WIDTH-1:0];
+        op_table_start_ptr <= op_table_start_ptr + 1;
+        enqueue_resp_ptr_reg <= pipe_data[PIPELINE-1][QUEUE_PTR_WIDTH-1:0];
+        enqueue_resp_op_tag_reg <= op_table_start_ptr;
+        enqueue_resp_valid_reg <= 1'b1;
+    end else if (m_axis_enqueue_resp_ready) begin
+        enqueue_resp_valid_reg <= 1'b0;
+    end
+
+    // commit handling
+    if (s_axis_enqueue_commit_valid) begin
+        op_table_commit[s_axis_enqueue_commit_op_tag] <= 1'b1;
+    end
+
+    // retire committed head-of-table operations, raise events
+    if (op_table_active[op_table_finish_ptr] && op_table_commit[op_table_finish_ptr]) begin
+        op_table_active[op_table_finish_ptr] <= 1'b0;
+        op_table_commit[op_table_finish_ptr] <= 1'b0;
+        queue_ram[op_table_queue[op_table_finish_ptr]] <=
+            {op_table_ptr[op_table_finish_ptr], {(QUEUE_RAM_WIDTH-QUEUE_PTR_WIDTH){1'b0}}};
+        event_queue_reg <= op_table_queue[op_table_finish_ptr];
+        event_valid_reg <= 1'b1;
+        op_table_finish_ptr <= op_table_finish_ptr + 1;
+    end else if (m_axis_event_ready) begin
+        event_valid_reg <= 1'b0;
+    end
+
+    if (rst) begin
+        op_table_active <= 0;
+        op_table_commit <= 0;
+        op_table_start_ptr <= 0;
+        op_table_finish_ptr <= 0;
+        pipe_valid <= 0;
+        enqueue_resp_valid_reg <= 0;
+        event_valid_reg <= 0;
+    end
+end
+
+endmodule

@@ -1,0 +1,87 @@
+// Reduced model of the cv32e40p (OpenHW Group RISC-V core) FIFO submodule
+// used in the paper's Sec. IV-A model-accuracy study. The parameter
+// interface matches the upstream fifo_v3: the DSE explores DEPTH.
+module cv32e40p_fifo #(
+  parameter bit          FALL_THROUGH = 1'b0,  // combinational read-through
+  parameter int unsigned DATA_WIDTH   = 32,
+  parameter int unsigned DEPTH        = 8,
+  localparam int unsigned ADDR_DEPTH  = (DEPTH > 1) ? $clog2(DEPTH) : 1
+)(
+  input  logic                  clk_i,
+  input  logic                  rst_ni,
+  input  logic                  flush_i,
+  input  logic                  testmode_i,
+  output logic                  full_o,
+  output logic                  empty_o,
+  output logic [ADDR_DEPTH-1:0] usage_o,
+  input  logic [DATA_WIDTH-1:0] data_i,
+  input  logic                  push_i,
+  output logic [DATA_WIDTH-1:0] data_o,
+  input  logic                  pop_i
+);
+
+  localparam int unsigned FifoDepth = (DEPTH > 0) ? DEPTH : 1;
+
+  logic [ADDR_DEPTH-1:0] read_pointer_n, read_pointer_q;
+  logic [ADDR_DEPTH-1:0] write_pointer_n, write_pointer_q;
+  logic [ADDR_DEPTH:0]   status_cnt_n, status_cnt_q;
+  logic [FifoDepth-1:0][DATA_WIDTH-1:0] mem_n, mem_q;
+
+  assign usage_o = status_cnt_q[ADDR_DEPTH-1:0];
+  assign full_o  = (status_cnt_q == FifoDepth[ADDR_DEPTH:0]);
+  assign empty_o = (status_cnt_q == 0) & ~(FALL_THROUGH & push_i);
+
+  always_comb begin
+    read_pointer_n  = read_pointer_q;
+    write_pointer_n = write_pointer_q;
+    status_cnt_n    = status_cnt_q;
+    data_o          = (DEPTH == 0) ? data_i : mem_q[read_pointer_q];
+    mem_n           = mem_q;
+
+    if (push_i && ~full_o) begin
+      mem_n[write_pointer_q] = data_i;
+      if (write_pointer_q == FifoDepth[ADDR_DEPTH-1:0] - 1) write_pointer_n = '0;
+      else write_pointer_n = write_pointer_q + 1;
+      status_cnt_n = status_cnt_q + 1;
+    end
+
+    if (pop_i && ~empty_o) begin
+      if (read_pointer_n == FifoDepth[ADDR_DEPTH-1:0] - 1) read_pointer_n = '0;
+      else read_pointer_n = read_pointer_q + 1;
+      status_cnt_n = status_cnt_q - 1;
+    end
+
+    if (push_i && pop_i && ~full_o && ~empty_o) status_cnt_n = status_cnt_q;
+
+    if (FALL_THROUGH && (status_cnt_q == 0) && push_i) begin
+      data_o = data_i;
+      if (pop_i) begin
+        status_cnt_n    = status_cnt_q;
+        read_pointer_n  = read_pointer_q;
+        write_pointer_n = write_pointer_q;
+      end
+    end
+  end
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (~rst_ni) begin
+      read_pointer_q  <= '0;
+      write_pointer_q <= '0;
+      status_cnt_q    <= '0;
+    end else if (flush_i) begin
+      read_pointer_q  <= '0;
+      write_pointer_q <= '0;
+      status_cnt_q    <= '0;
+    end else begin
+      read_pointer_q  <= read_pointer_n;
+      write_pointer_q <= write_pointer_n;
+      status_cnt_q    <= status_cnt_n;
+    end
+  end
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (~rst_ni) mem_q <= '0;
+    else mem_q <= mem_n;
+  end
+
+endmodule

@@ -1,0 +1,87 @@
+-- Reduced model of the Neorv32 processor top entity (Sec. IV-C of the
+-- paper: an in-order 4-stage VHDL RISC-V core). The DSE explores the
+-- instruction and data memory sizes, restricted to powers of two.
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity neorv32_top is
+  generic (
+    -- internal instruction memory size in bytes
+    MEM_INT_IMEM_SIZE : natural := 16384;
+    -- internal data memory size in bytes
+    MEM_INT_DMEM_SIZE : natural := 8192;
+    -- instruction cache: number of blocks
+    ICACHE_NUM_BLOCKS : natural := 4;
+    -- hardware multiplier/divider (M extension)
+    CPU_EXTENSION_RISCV_M : boolean := true;
+    -- number of hardware performance monitor counters
+    HPM_NUM_CNTS : natural := 0
+  );
+  port (
+    -- global control
+    clk_i  : in  std_logic;
+    rstn_i : in  std_logic;
+    -- external bus interface
+    wb_adr_o : out std_logic_vector(31 downto 0);
+    wb_dat_i : in  std_logic_vector(31 downto 0);
+    wb_dat_o : out std_logic_vector(31 downto 0);
+    wb_we_o  : out std_logic;
+    wb_stb_o : out std_logic;
+    wb_cyc_o : out std_logic;
+    wb_ack_i : in  std_logic;
+    -- GPIO
+    gpio_o : out std_logic_vector(31 downto 0);
+    gpio_i : in  std_logic_vector(31 downto 0);
+    -- UART
+    uart_txd_o : out std_logic;
+    uart_rxd_i : in  std_logic
+  );
+end entity neorv32_top;
+
+architecture neorv32_top_rtl of neorv32_top is
+
+  constant imem_addr_width_c : natural := 15;
+  constant dmem_addr_width_c : natural := 14;
+
+  type imem_t is array (0 to MEM_INT_IMEM_SIZE/4 - 1) of std_logic_vector(31 downto 0);
+  type dmem_t is array (0 to MEM_INT_DMEM_SIZE/4 - 1) of std_logic_vector(31 downto 0);
+
+  signal imem : imem_t;
+  signal dmem : dmem_t;
+
+  signal pc       : unsigned(31 downto 0);
+  signal instr    : std_logic_vector(31 downto 0);
+  signal rs1, rs2 : std_logic_vector(31 downto 0);
+  signal alu_res  : std_logic_vector(31 downto 0);
+
+begin
+
+  -- simplified 4-stage pipeline sketch: fetch / decode / execute / writeback
+  fetch: process(clk_i, rstn_i)
+  begin
+    if rstn_i = '0' then
+      pc <= (others => '0');
+    elsif rising_edge(clk_i) then
+      pc    <= pc + 4;
+      instr <= imem(to_integer(pc(imem_addr_width_c-1 downto 2)));
+    end if;
+  end process fetch;
+
+  execute: process(clk_i)
+  begin
+    if rising_edge(clk_i) then
+      alu_res <= std_logic_vector(unsigned(rs1) + unsigned(rs2));
+      dmem(to_integer(unsigned(alu_res(dmem_addr_width_c-1 downto 2)))) <= rs2;
+    end if;
+  end process execute;
+
+  wb_adr_o <= std_logic_vector(pc);
+  wb_dat_o <= alu_res;
+  wb_we_o  <= '0';
+  wb_stb_o <= '0';
+  wb_cyc_o <= '0';
+  gpio_o   <= alu_res;
+  uart_txd_o <= '1';
+
+end architecture neorv32_top_rtl;

@@ -1,0 +1,64 @@
+// Output-stationary systolic matrix-multiply array. A DSP-dominated design
+// used to exercise DSP-bound mapping, power estimation and DSP
+// over-utilization handling (no counterpart in the paper's case studies;
+// included as an extension workload).
+module systolic_mm #(
+  parameter int unsigned ROWS = 4,
+  parameter int unsigned COLS = 4,
+  parameter int unsigned DATA_W = 16,
+  parameter int unsigned ACC_W = 2 * DATA_W + 8,
+  localparam int unsigned ROW_IDX_W = (ROWS > 1) ? $clog2(ROWS) : 1
+)(
+  input  logic                       clk_i,
+  input  logic                       rst_ni,
+  input  logic                       en_i,
+  input  logic [ROWS-1:0][DATA_W-1:0] a_i,  // west inputs, one per row
+  input  logic [COLS-1:0][DATA_W-1:0] b_i,  // north inputs, one per column
+  input  logic                       drain_i,
+  input  logic [ROW_IDX_W-1:0]       drain_row_i,
+  output logic [COLS-1:0][ACC_W-1:0] c_o,   // drained accumulator row
+  output logic                       valid_o
+);
+
+  // Wavefront registers between processing elements.
+  logic [ROWS-1:0][COLS:0][DATA_W-1:0] a_pipe;
+  logic [ROWS:0][COLS-1:0][DATA_W-1:0] b_pipe;
+  logic [ROWS-1:0][COLS-1:0][ACC_W-1:0] acc;
+
+  for (genvar r = 0; r < ROWS; r++) begin : g_row
+    assign a_pipe[r][0] = a_i[r];
+  end
+  for (genvar c = 0; c < COLS; c++) begin : g_col
+    assign b_pipe[0][c] = b_i[c];
+  end
+
+  for (genvar r = 0; r < ROWS; r++) begin : g_pe_row
+    for (genvar c = 0; c < COLS; c++) begin : g_pe_col
+      always_ff @(posedge clk_i or negedge rst_ni) begin
+        if (!rst_ni) begin
+          acc[r][c]        <= '0;
+          a_pipe[r][c+1]   <= '0;
+          b_pipe[r+1][c]   <= '0;
+        end else if (en_i) begin
+          // One MAC per PE per cycle; maps onto a DSP48 slice.
+          acc[r][c]      <= acc[r][c] + a_pipe[r][c] * b_pipe[r][c];
+          a_pipe[r][c+1] <= a_pipe[r][c];
+          b_pipe[r+1][c] <= b_pipe[r][c];
+        end
+      end
+    end
+  end
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      c_o     <= '0;
+      valid_o <= 1'b0;
+    end else begin
+      valid_o <= drain_i;
+      if (drain_i) begin
+        for (int c = 0; c < COLS; c++) c_o[c] <= acc[drain_row_i][c];
+      end
+    end
+  end
+
+endmodule

@@ -1,0 +1,97 @@
+-- Reduced model of the TiReX tiled regular-expression matching architecture
+-- (Sec. IV-D of the paper). The DSE explores the datapath parallelism
+-- (NCLUSTER, which also scales the instruction width), the context-switch
+-- stack size and the instruction/data memory sizes, all powers of two.
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity tirex_top is
+  generic (
+    -- internal core parallelism and instruction width scaling
+    NCLUSTER : positive := 1;
+    -- control-unit context-switch stack depth (entries)
+    STACK_SIZE : positive := 16;
+    -- instruction memory size (K-instructions)
+    INSTR_MEM_SIZE : positive := 8;
+    -- data memory size (KB)
+    DATA_MEM_SIZE : positive := 16
+  );
+  port (
+    clk   : in  std_logic;
+    rst   : in  std_logic;
+    -- input character stream
+    char_valid_i : in  std_logic;
+    char_data_i  : in  std_logic_vector(7 downto 0);
+    char_ready_o : out std_logic;
+    -- match report interface
+    match_valid_o : out std_logic;
+    match_pos_o   : out std_logic_vector(31 downto 0);
+    -- configuration interface (instruction load)
+    cfg_we_i   : in  std_logic;
+    cfg_addr_i : in  std_logic_vector(15 downto 0);
+    cfg_data_i : in  std_logic_vector(16*NCLUSTER-1 downto 0)
+  );
+end entity tirex_top;
+
+architecture tirex_top_rtl of tirex_top is
+
+  constant instr_width_c : positive := 16 * NCLUSTER;
+
+  type instr_mem_t is array (0 to INSTR_MEM_SIZE*1024 - 1)
+    of std_logic_vector(instr_width_c-1 downto 0);
+  type data_mem_t is array (0 to DATA_MEM_SIZE*1024/4 - 1)
+    of std_logic_vector(31 downto 0);
+  type stack_t is array (0 to STACK_SIZE - 1)
+    of std_logic_vector(31 downto 0);
+
+  signal instr_mem : instr_mem_t;
+  signal data_mem  : data_mem_t;
+  signal ctx_stack : stack_t;
+
+  signal pc        : unsigned(31 downto 0);
+  signal sp        : unsigned(15 downto 0);
+  signal cur_instr : std_logic_vector(instr_width_c-1 downto 0);
+  signal active    : std_logic_vector(NCLUSTER-1 downto 0);
+  signal match_pos : unsigned(31 downto 0);
+
+begin
+
+  control_unit: process(clk, rst)
+  begin
+    if rst = '1' then
+      pc <= (others => '0');
+      sp <= (others => '0');
+    elsif rising_edge(clk) then
+      if cfg_we_i = '1' then
+        instr_mem(to_integer(unsigned(cfg_addr_i))) <= cfg_data_i;
+      elsif char_valid_i = '1' then
+        cur_instr <= instr_mem(to_integer(pc(15 downto 0)));
+        -- context switch: push/pop the engine state
+        ctx_stack(to_integer(sp(9 downto 0))) <= std_logic_vector(pc);
+        sp <= sp + 1;
+        pc <= pc + 1;
+      end if;
+    end if;
+  end process control_unit;
+
+  clusters: for c in 0 to NCLUSTER-1 generate
+    cluster_proc: process(clk)
+    begin
+      if rising_edge(clk) then
+        -- each cluster consumes a 16-bit slice of the wide instruction
+        if cur_instr(16*c+7 downto 16*c) = char_data_i then
+          active(c) <= '1';
+          match_pos <= match_pos + 1;
+        else
+          active(c) <= '0';
+        end if;
+      end if;
+    end process cluster_proc;
+  end generate clusters;
+
+  char_ready_o  <= '1';
+  match_valid_o <= active(0);
+  match_pos_o   <= std_logic_vector(match_pos);
+
+end architecture tirex_top_rtl;

@@ -1,0 +1,268 @@
+#include "src/cli/commands.hpp"
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "src/core/dse.hpp"
+#include "src/core/sensitivity.hpp"
+#include "src/core/session.hpp"
+#include "src/core/writers.hpp"
+#include "src/hdl/expr.hpp"
+#include "src/hdl/frontend.hpp"
+#include "src/fpga/board.hpp"
+#include "src/perf/roofline.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::cli {
+
+namespace {
+
+/// Build the project configuration shared by evaluate/explore.
+core::ProjectConfig project_from(const Options& options) {
+  core::ProjectConfig project;
+  for (const auto& path : options.sources) {
+    tcl::SourceFile source;
+    source.path = path;
+    source.language = hdl::language_from_path(path).value_or(hdl::HdlLanguage::kVhdl);
+    project.sources.push_back(std::move(source));
+  }
+  project.top_module = options.top;
+  project.part = options.part;
+  project.target_period_ns = options.period_ns;
+  project.synth_directive = options.synth_directive;
+  project.place_directive = options.place_directive;
+  project.route_directive = options.route_directive;
+  project.run_implementation = options.run_implementation;
+  project.incremental_synth = options.incremental;
+  project.incremental_impl = options.incremental;
+  return project;
+}
+
+bool write_file(const std::string& path, const std::string& content, std::ostream& err) {
+  std::ofstream out(path);
+  if (!out) {
+    err << "cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int run_parse(const Options& options, std::ostream& out, std::ostream& err) {
+  bool found = false;
+  for (const auto& path : options.sources) {
+    const hdl::ParseResult parsed = hdl::parse_file(path);
+    for (const auto& diag : parsed.diagnostics) {
+      err << path << ":" << diag.loc.line << ": " << diag.message << "\n";
+    }
+    if (!parsed.ok) continue;
+    const hdl::Module* module = parsed.file.find_module(options.top);
+    if (module == nullptr) continue;
+    found = true;
+
+    out << "module " << module->name << " (" << language_name(module->language) << ")\n";
+    if (!module->libraries.empty()) {
+      out << "  libraries: " << util::join(module->libraries, ", ") << "\n";
+    }
+    out << "  parameters:\n";
+    for (const auto& p : module->parameters) {
+      out << "    " << (p.is_local ? "[local] " : "") << p.name;
+      if (!p.type_name.empty()) out << " : " << p.type_name;
+      if (!p.default_expr.empty()) out << " := " << p.default_expr;
+      out << "\n";
+    }
+    out << "  ports:\n";
+    const hdl::ExprEnv env = hdl::build_param_env(*module, {});
+    for (const auto& port : module->ports) {
+      out << "    " << port.name << " : " << port_dir_name(port.dir) << " "
+          << port.type_name;
+      if (port.is_vector) {
+        const auto width = hdl::port_width(port, module->language, env);
+        if (width) out << "[" << *width << "]";
+        else out << "[" << port.left_expr << (port.downto ? " downto " : " to ")
+                 << port.right_expr << "]";
+      }
+      out << "\n";
+    }
+    const hdl::Port* clk = hdl::find_clock_port(*module);
+    out << "  clock: " << (clk != nullptr ? clk->name : "(none detected)") << "\n";
+  }
+  if (!found) {
+    err << "top module '" << options.top << "' not found in the given sources\n";
+    return 1;
+  }
+  return 0;
+}
+
+int run_evaluate(const Options& options, std::ostream& out, std::ostream& err) {
+  try {
+    core::PointEvaluator evaluator(project_from(options));
+    const core::EvalResult result = evaluator.evaluate(options.assignments);
+    if (!result.ok) {
+      err << "evaluation failed: " << result.error << "\n";
+      return 1;
+    }
+    core::ExploredPoint point;
+    point.params = options.assignments;
+    point.metrics = result.metrics;
+    out << core::format_table({point});
+    out << "simulated tool time: " << util::format("%.0f s", result.tool_seconds) << "\n";
+    if (!options.json_path.empty()) {
+      core::DseResult single;
+      single.pareto.push_back(point);
+      single.explored.push_back(point);
+      if (!write_file(options.json_path, core::to_json(single), err)) return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
+  try {
+    core::DseConfig config;
+    config.space.params = options.params;
+    for (const auto& [metric, maximize] : options.objectives) {
+      config.objectives.push_back({metric, maximize});
+    }
+    config.ga.population_size = options.population;
+    config.ga.max_generations = options.generations;
+    config.ga.seed = options.seed;
+    config.use_approximation = options.approximate;
+    config.pretrain_samples = options.pretrain;
+    config.workers = options.workers;
+    if (options.deadline_hours > 0.0) {
+      config.deadline_tool_seconds = options.deadline_hours * 3600.0;
+    }
+    if (!options.resume_path.empty()) {
+      auto session = core::load_session(options.resume_path);
+      if (!session) {
+        err << "cannot load session " << options.resume_path << "\n";
+        return 1;
+      }
+      config.warm_start = std::move(*session);
+      out << "resuming from " << options.resume_path << " ("
+          << config.warm_start.size() << " known points)\n";
+    }
+
+    core::DseEngine engine(project_from(options), config);
+    const core::DseResult result = engine.run();
+
+    out << "explored " << result.explored.size() << " design points ("
+        << result.stats.tool_runs << " tool runs, " << result.stats.estimates
+        << " estimates, " << result.stats.cache_hits << " cache hits, "
+        << util::format("%.0f", result.stats.simulated_tool_seconds)
+        << " simulated tool seconds";
+    if (result.stats.deadline_hit) out << ", deadline hit";
+    out << ")\n\n";
+    out << "non-dominated set (" << result.pareto.size() << " points):\n";
+    out << core::format_table(result.pareto);
+
+    if (!options.csv_path.empty()) {
+      std::ofstream csv(options.csv_path);
+      if (!csv) {
+        err << "cannot write " << options.csv_path << "\n";
+        return 1;
+      }
+      core::write_csv(csv, result.explored);
+      out << "explored points written to " << options.csv_path << "\n";
+    }
+    if (!options.json_path.empty()) {
+      if (!write_file(options.json_path, core::to_json(result), err)) return 1;
+      out << "full result written to " << options.json_path << "\n";
+    }
+    if (!options.session_path.empty()) {
+      if (!core::save_session(options.session_path, result.explored)) {
+        err << "cannot write session " << options.session_path << "\n";
+        return 1;
+      }
+      out << "session saved to " << options.session_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+int run_sensitivity(const Options& options, std::ostream& out, std::ostream& err) {
+  try {
+    core::DesignSpace space;
+    space.params = options.params;
+    core::DesignPoint base = core::center_point(space);
+    for (const auto& [name, value] : options.assignments) base[name] = value;
+
+    core::SensitivityOptions sens;
+    sens.samples_per_param = options.samples_per_param;
+    sens.workers = options.workers;
+    const core::SensitivityReport report =
+        core::analyze_sensitivity(project_from(options), space, base, sens);
+
+    out << "base point:";
+    for (const auto& [name, value] : report.base) out << " " << name << "=" << value;
+    out << "\n\n";
+    out << report.format_table({"lut", "ff", "bram", "fmax_mhz", "power_w"});
+    out << "\nmost influential parameter per metric:\n";
+    for (const char* metric : {"lut", "fmax_mhz", "power_w"}) {
+      const auto ranked = report.ranking(metric);
+      if (!ranked.empty()) {
+        out << "  " << metric << ": " << ranked.front().first << " ("
+            << util::format("%.1f%%", 100.0 * ranked.front().second) << ")\n";
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+int run_roofline(const Options& options, std::ostream& out, std::ostream& err) {
+  const auto device = fpga::resolve_device(options.part);
+  if (!device) {
+    err << "unknown part '" << options.part << "'\n";
+    return 1;
+  }
+  const perf::RooflineMachine machine = perf::machine_from_device(*device, options.clock_mhz);
+  std::vector<perf::RooflinePoint> points;
+  for (const auto& spec : options.kernels) {
+    perf::RooflineKernel kernel;
+    kernel.name = spec.name;
+    kernel.ops = spec.ops;
+    kernel.bytes = spec.bytes;
+    kernel.achieved_gops = spec.achieved_gops;
+    points.push_back(perf::place_kernel(machine, kernel));
+  }
+  out << perf::render_ascii(machine, points);
+  if (!options.csv_path.empty()) {
+    if (!write_file(options.csv_path, perf::to_csv(machine, points), err)) return 1;
+    out << "roofline data written to " << options.csv_path << "\n";
+  }
+  return 0;
+}
+
+int run(const Options& options, std::ostream& out, std::ostream& err) {
+  switch (options.command) {
+    case Command::kHelp:
+      out << usage();
+      return 0;
+    case Command::kParse:
+      return run_parse(options, out, err);
+    case Command::kEvaluate:
+      return run_evaluate(options, out, err);
+    case Command::kExplore:
+      return run_explore(options, out, err);
+    case Command::kSensitivity:
+      return run_sensitivity(options, out, err);
+    case Command::kRoofline:
+      return run_roofline(options, out, err);
+  }
+  return 1;
+}
+
+}  // namespace dovado::cli

@@ -1,0 +1,25 @@
+// Command drivers behind the dovado CLI. Each takes parsed options and an
+// output stream and returns a process exit code, so the whole tool is
+// testable without spawning processes.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/cli/options.hpp"
+
+namespace dovado::cli {
+
+/// Dispatch to the right command driver.
+[[nodiscard]] int run(const Options& options, std::ostream& out, std::ostream& err);
+
+[[nodiscard]] int run_parse(const Options& options, std::ostream& out, std::ostream& err);
+[[nodiscard]] int run_evaluate(const Options& options, std::ostream& out,
+                               std::ostream& err);
+[[nodiscard]] int run_explore(const Options& options, std::ostream& out,
+                              std::ostream& err);
+[[nodiscard]] int run_sensitivity(const Options& options, std::ostream& out,
+                                  std::ostream& err);
+[[nodiscard]] int run_roofline(const Options& options, std::ostream& out,
+                               std::ostream& err);
+
+}  // namespace dovado::cli

@@ -1,0 +1,16 @@
+// Entry point of the dovado command-line tool.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const dovado::cli::ParseOutcome outcome = dovado::cli::parse_args(args);
+  if (!outcome.ok) {
+    std::cerr << "dovado: " << outcome.error << "\n\n" << dovado::cli::usage();
+    return 2;
+  }
+  return dovado::cli::run(outcome.options, std::cout, std::cerr);
+}

@@ -1,0 +1,395 @@
+#include "src/cli/options.hpp"
+
+#include "src/util/strings.hpp"
+
+namespace dovado::cli {
+
+namespace {
+
+bool parse_i64(const std::string& s, std::int64_t& out) {
+  long long v = 0;
+  if (!util::parse_int(s, v)) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<core::ParamSpec> parse_param_spec(const std::string& spec,
+                                                std::string& error) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    error = "param spec must be NAME=<domain>: " + spec;
+    return std::nullopt;
+  }
+  const std::string name = spec.substr(0, eq);
+  const std::string domain = spec.substr(eq + 1);
+  const auto parts = util::split(domain, ':');
+
+  try {
+    if (parts.size() == 1 && parts[0] == "bool") {
+      return core::ParamSpec{name, core::ParamDomain::boolean()};
+    }
+    if (parts[0] == "pow2") {
+      if (parts.size() != 3) {
+        error = "pow2 domain must be NAME=pow2:minexp:maxexp: " + spec;
+        return std::nullopt;
+      }
+      std::int64_t lo = 0;
+      std::int64_t hi = 0;
+      if (!parse_i64(parts[1], lo) || !parse_i64(parts[2], hi)) {
+        error = "invalid pow2 exponents: " + spec;
+        return std::nullopt;
+      }
+      return core::ParamSpec{
+          name, core::ParamDomain::power_of_two(static_cast<int>(lo), static_cast<int>(hi))};
+    }
+    if (parts[0] == "vals") {
+      if (parts.size() != 2) {
+        error = "value-list domain must be NAME=vals:v1,v2,...: " + spec;
+        return std::nullopt;
+      }
+      std::vector<std::int64_t> values;
+      for (const auto& item : util::split(parts[1], ',')) {
+        std::int64_t v = 0;
+        if (!parse_i64(item, v)) {
+          error = "invalid value '" + item + "' in: " + spec;
+          return std::nullopt;
+        }
+        values.push_back(v);
+      }
+      return core::ParamSpec{name, core::ParamDomain::values(std::move(values))};
+    }
+    // Arithmetic range lo:hi[:step].
+    if (parts.size() < 2 || parts.size() > 3) {
+      error = "range domain must be NAME=lo:hi[:step]: " + spec;
+      return std::nullopt;
+    }
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    std::int64_t step = 1;
+    if (!parse_i64(parts[0], lo) || !parse_i64(parts[1], hi) ||
+        (parts.size() == 3 && !parse_i64(parts[2], step))) {
+      error = "invalid range bounds: " + spec;
+      return std::nullopt;
+    }
+    return core::ParamSpec{name, core::ParamDomain::range(lo, hi, step)};
+  } catch (const std::exception& e) {
+    error = std::string(e.what()) + ": " + spec;
+    return std::nullopt;
+  }
+}
+
+std::optional<std::pair<std::string, bool>> parse_objective_spec(const std::string& spec,
+                                                                 std::string& error) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    error = "objective must be metric:min or metric:max: " + spec;
+    return std::nullopt;
+  }
+  const std::string metric = spec.substr(0, colon);
+  const std::string dir = util::to_lower(spec.substr(colon + 1));
+  if (dir != "min" && dir != "max") {
+    error = "objective direction must be min or max: " + spec;
+    return std::nullopt;
+  }
+  return std::make_pair(metric, dir == "max");
+}
+
+std::optional<KernelSpec> parse_kernel_spec(const std::string& spec, std::string& error) {
+  const auto parts = util::split(spec, ':');
+  if (parts.size() < 3 || parts.size() > 4) {
+    error = "kernel must be name:ops:bytes[:gops]: " + spec;
+    return std::nullopt;
+  }
+  KernelSpec kernel;
+  kernel.name = parts[0];
+  if (!util::parse_double(parts[1], kernel.ops) ||
+      !util::parse_double(parts[2], kernel.bytes)) {
+    error = "invalid kernel numbers: " + spec;
+    return std::nullopt;
+  }
+  if (parts.size() == 4 && !util::parse_double(parts[3], kernel.achieved_gops)) {
+    error = "invalid achieved gops: " + spec;
+    return std::nullopt;
+  }
+  if (kernel.name.empty() || kernel.ops <= 0.0 || kernel.bytes <= 0.0) {
+    error = "kernel needs a name and positive ops/bytes: " + spec;
+    return std::nullopt;
+  }
+  return kernel;
+}
+
+std::string usage() {
+  return R"(dovado - design automation and design space exploration for RTL designs
+
+usage: dovado <command> [options]
+
+commands:
+  parse      print the parsed interface of the top module
+  evaluate   evaluate one design point (parse -> box -> flow -> metrics)
+  explore    run the multi-objective NSGA-II design space exploration
+  sensitivity  one-at-a-time parameter sensitivity sweep around a base point
+  roofline   render a roofline chart for a device
+  help       show this text
+
+project options (parse/evaluate/explore):
+  --source FILE           RTL source (repeatable; .vhd/.v/.sv)
+  --top NAME              module under exploration
+  --part PART             target device (e.g. xc7k70tfbv676-1)
+  --period NS             target clock period, default 1.0 (1 GHz)
+  --synth-directive D     synthesis directive (Default, AreaOptimized_high, ...)
+  --place-directive D     placement directive
+  --route-directive D     routing directive
+  --no-impl               synthesis-only flow
+  --incremental           enable the incremental synthesis/implementation flow
+
+evaluate options:
+  --set NAME=VALUE        parameter assignment (repeatable)
+
+explore options:
+  --param NAME=lo:hi[:s]  arithmetic-range parameter (repeatable)
+  --param NAME=pow2:a:b   power-of-two parameter 2^a..2^b
+  --param NAME=vals:...   explicit value list
+  --param NAME=bool       boolean parameter {0,1}
+  --objective M:min|max   optimization metric (repeatable; lut, ff, bram,
+                          dsp, uram, fmax_mhz, ...)
+  --pop N                 population size (default 24)
+  --gens N                generations (default 15)
+  --seed N                RNG seed (default 1)
+  --approximate           enable the Nadaraya-Watson fitness approximation
+  --pretrain M            synthetic dataset size (default 100)
+  --deadline-hours H      soft deadline on simulated tool time
+  --workers N             parallel tool sessions (default 0 = inline)
+  --resume FILE           warm-start from a saved session (tool results are
+                          not re-paid for)
+  --save-session FILE     save the explored points for later --resume
+
+output options:
+  --csv FILE              write explored points as CSV
+  --json FILE             write the full result as JSON
+
+sensitivity options:
+  --param NAME=...        parameters to sweep (same domain syntax as explore)
+  --set NAME=VALUE        base-point override (default: domain centers)
+  --samples N             sweep points per parameter (default 7)
+
+roofline options:
+  --part PART             device
+  --clock MHZ             clock for the machine model (default 100)
+  --kernel n:ops:bytes[:gops]   kernel to place (repeatable)
+)";
+}
+
+ParseOutcome parse_args(const std::vector<std::string>& args) {
+  ParseOutcome outcome;
+  Options& opt = outcome.options;
+  if (args.empty()) {
+    outcome.error = "missing command";
+    return outcome;
+  }
+
+  const std::string& command = args[0];
+  if (command == "help" || command == "--help" || command == "-h") {
+    opt.command = Command::kHelp;
+    outcome.ok = true;
+    return outcome;
+  }
+  if (command == "parse") opt.command = Command::kParse;
+  else if (command == "evaluate") opt.command = Command::kEvaluate;
+  else if (command == "explore") opt.command = Command::kExplore;
+  else if (command == "sensitivity") opt.command = Command::kSensitivity;
+  else if (command == "roofline") opt.command = Command::kRoofline;
+  else {
+    outcome.error = "unknown command '" + command + "'";
+    return outcome;
+  }
+
+  auto need_value = [&](std::size_t i, const std::string& flag) -> bool {
+    if (i + 1 >= args.size()) {
+      outcome.error = flag + " requires a value";
+      return false;
+    }
+    return true;
+  };
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    std::string error;
+    if (a == "--source") {
+      if (!need_value(i, a)) return outcome;
+      opt.sources.push_back(args[++i]);
+    } else if (a == "--top") {
+      if (!need_value(i, a)) return outcome;
+      opt.top = args[++i];
+    } else if (a == "--part") {
+      if (!need_value(i, a)) return outcome;
+      opt.part = args[++i];
+    } else if (a == "--period") {
+      if (!need_value(i, a)) return outcome;
+      if (!util::parse_double(args[++i], opt.period_ns) || opt.period_ns <= 0.0) {
+        outcome.error = "invalid --period";
+        return outcome;
+      }
+    } else if (a == "--synth-directive") {
+      if (!need_value(i, a)) return outcome;
+      opt.synth_directive = args[++i];
+    } else if (a == "--place-directive") {
+      if (!need_value(i, a)) return outcome;
+      opt.place_directive = args[++i];
+    } else if (a == "--route-directive") {
+      if (!need_value(i, a)) return outcome;
+      opt.route_directive = args[++i];
+    } else if (a == "--no-impl") {
+      opt.run_implementation = false;
+    } else if (a == "--incremental") {
+      opt.incremental = true;
+    } else if (a == "--set") {
+      if (!need_value(i, a)) return outcome;
+      const std::string& assignment = args[++i];
+      const auto eq = assignment.find('=');
+      std::int64_t value = 0;
+      if (eq == std::string::npos || eq == 0 ||
+          !parse_i64(assignment.substr(eq + 1), value)) {
+        outcome.error = "--set expects NAME=INTEGER: " + assignment;
+        return outcome;
+      }
+      opt.assignments[assignment.substr(0, eq)] = value;
+    } else if (a == "--param") {
+      if (!need_value(i, a)) return outcome;
+      auto spec = parse_param_spec(args[++i], error);
+      if (!spec) {
+        outcome.error = error;
+        return outcome;
+      }
+      opt.params.push_back(std::move(*spec));
+    } else if (a == "--objective") {
+      if (!need_value(i, a)) return outcome;
+      auto obj = parse_objective_spec(args[++i], error);
+      if (!obj) {
+        outcome.error = error;
+        return outcome;
+      }
+      opt.objectives.push_back(std::move(*obj));
+    } else if (a == "--pop") {
+      if (!need_value(i, a)) return outcome;
+      std::int64_t v = 0;
+      if (!parse_i64(args[++i], v) || v <= 0) {
+        outcome.error = "invalid --pop";
+        return outcome;
+      }
+      opt.population = static_cast<std::size_t>(v);
+    } else if (a == "--gens") {
+      if (!need_value(i, a)) return outcome;
+      std::int64_t v = 0;
+      if (!parse_i64(args[++i], v) || v < 0) {
+        outcome.error = "invalid --gens";
+        return outcome;
+      }
+      opt.generations = static_cast<std::size_t>(v);
+    } else if (a == "--seed") {
+      if (!need_value(i, a)) return outcome;
+      std::int64_t v = 0;
+      if (!parse_i64(args[++i], v)) {
+        outcome.error = "invalid --seed";
+        return outcome;
+      }
+      opt.seed = static_cast<std::uint64_t>(v);
+    } else if (a == "--approximate") {
+      opt.approximate = true;
+    } else if (a == "--pretrain") {
+      if (!need_value(i, a)) return outcome;
+      std::int64_t v = 0;
+      if (!parse_i64(args[++i], v) || v < 0) {
+        outcome.error = "invalid --pretrain";
+        return outcome;
+      }
+      opt.pretrain = static_cast<std::size_t>(v);
+    } else if (a == "--deadline-hours") {
+      if (!need_value(i, a)) return outcome;
+      if (!util::parse_double(args[++i], opt.deadline_hours) || opt.deadline_hours < 0.0) {
+        outcome.error = "invalid --deadline-hours";
+        return outcome;
+      }
+    } else if (a == "--workers") {
+      if (!need_value(i, a)) return outcome;
+      std::int64_t v = 0;
+      if (!parse_i64(args[++i], v) || v < 0) {
+        outcome.error = "invalid --workers";
+        return outcome;
+      }
+      opt.workers = static_cast<std::size_t>(v);
+    } else if (a == "--samples") {
+      if (!need_value(i, a)) return outcome;
+      std::int64_t v = 0;
+      if (!parse_i64(args[++i], v) || v <= 0) {
+        outcome.error = "invalid --samples";
+        return outcome;
+      }
+      opt.samples_per_param = static_cast<std::size_t>(v);
+    } else if (a == "--resume") {
+      if (!need_value(i, a)) return outcome;
+      opt.resume_path = args[++i];
+    } else if (a == "--save-session") {
+      if (!need_value(i, a)) return outcome;
+      opt.session_path = args[++i];
+    } else if (a == "--csv") {
+      if (!need_value(i, a)) return outcome;
+      opt.csv_path = args[++i];
+    } else if (a == "--json") {
+      if (!need_value(i, a)) return outcome;
+      opt.json_path = args[++i];
+    } else if (a == "--clock") {
+      if (!need_value(i, a)) return outcome;
+      if (!util::parse_double(args[++i], opt.clock_mhz) || opt.clock_mhz <= 0.0) {
+        outcome.error = "invalid --clock";
+        return outcome;
+      }
+    } else if (a == "--kernel") {
+      if (!need_value(i, a)) return outcome;
+      auto kernel = parse_kernel_spec(args[++i], error);
+      if (!kernel) {
+        outcome.error = error;
+        return outcome;
+      }
+      opt.kernels.push_back(std::move(*kernel));
+    } else {
+      outcome.error = "unknown option '" + a + "'";
+      return outcome;
+    }
+  }
+
+  // Per-command requirement checks.
+  if (opt.command == Command::kParse || opt.command == Command::kEvaluate ||
+      opt.command == Command::kExplore || opt.command == Command::kSensitivity) {
+    if (opt.sources.empty()) {
+      outcome.error = "at least one --source is required";
+      return outcome;
+    }
+    if (opt.top.empty()) {
+      outcome.error = "--top is required";
+      return outcome;
+    }
+  }
+  if (opt.command == Command::kEvaluate || opt.command == Command::kExplore ||
+      opt.command == Command::kSensitivity || opt.command == Command::kRoofline) {
+    if (opt.part.empty()) {
+      outcome.error = "--part is required";
+      return outcome;
+    }
+  }
+  if (opt.command == Command::kExplore || opt.command == Command::kSensitivity) {
+    if (opt.params.empty()) {
+      outcome.error = "at least one --param is required";
+      return outcome;
+    }
+  }
+  if (opt.command == Command::kExplore && opt.objectives.empty()) {
+    outcome.error = "explore requires at least one --objective";
+    return outcome;
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+}  // namespace dovado::cli

@@ -1,0 +1,103 @@
+// Command-line interface of the dovado tool.
+//
+// Mirrors the released Python package's UX: the user names the target
+// board/part, the top module, the search-space parameters (which one,
+// desired range of exploration) and Dovado runs automatically (paper
+// Sec. IV). Parsing is a pure function from argv to an Options struct so it
+// is unit-testable without process spawning.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/param_domain.hpp"
+
+namespace dovado::cli {
+
+enum class Command { kHelp, kParse, kEvaluate, kExplore, kSensitivity, kRoofline };
+
+/// One --kernel spec for the roofline command.
+struct KernelSpec {
+  std::string name;
+  double ops = 0.0;
+  double bytes = 0.0;
+  double achieved_gops = 0.0;
+};
+
+struct Options {
+  Command command = Command::kHelp;
+
+  // Shared project options.
+  std::vector<std::string> sources;  ///< --source (repeatable)
+  std::string top;                   ///< --top
+  std::string part;                  ///< --part
+  double period_ns = 1.0;            ///< --period
+  std::string synth_directive = "Default";  ///< --synth-directive
+  std::string place_directive = "Default";  ///< --place-directive
+  std::string route_directive = "Default";  ///< --route-directive
+  bool run_implementation = true;    ///< --no-impl clears it
+  bool incremental = false;          ///< --incremental
+
+  // evaluate: explicit design point(s).
+  core::DesignPoint assignments;     ///< --set NAME=VALUE (repeatable)
+
+  // explore: search space + objectives + GA settings.
+  std::vector<core::ParamSpec> params;       ///< --param SPEC (repeatable)
+  std::vector<std::pair<std::string, bool>> objectives;  ///< (metric, maximize)
+  std::size_t population = 24;       ///< --pop
+  std::size_t generations = 15;      ///< --gens
+  std::uint64_t seed = 1;            ///< --seed
+  bool approximate = false;          ///< --approximate
+  std::size_t pretrain = 100;        ///< --pretrain
+  double deadline_hours = 0.0;       ///< --deadline-hours (0 = none)
+  std::size_t workers = 0;           ///< --workers
+
+  // Output options.
+  std::string csv_path;   ///< --csv FILE
+  std::string json_path;  ///< --json FILE
+
+  // Session persistence (explore).
+  std::string resume_path;   ///< --resume FILE: warm-start from a session
+  std::string session_path;  ///< --save-session FILE: write one afterwards
+
+  // sensitivity.
+  std::size_t samples_per_param = 7;  ///< --samples
+
+  // roofline.
+  double clock_mhz = 100.0;          ///< --clock
+  std::vector<KernelSpec> kernels;   ///< --kernel name:ops:bytes[:gops]
+};
+
+/// Result of parsing: options or a usage error message.
+struct ParseOutcome {
+  bool ok = false;
+  std::string error;
+  Options options;
+};
+
+/// Parse argv (excluding the program name).
+[[nodiscard]] ParseOutcome parse_args(const std::vector<std::string>& args);
+
+/// Parse one --param spec:
+///   "NAME=lo:hi"        arithmetic range (optional ":step")
+///   "NAME=pow2:a:b"     {2^a .. 2^b}
+///   "NAME=vals:1,2,3"   explicit list
+///   "NAME=bool"         {0,1}
+[[nodiscard]] std::optional<core::ParamSpec> parse_param_spec(const std::string& spec,
+                                                              std::string& error);
+
+/// Parse one --objective spec: "metric:min" or "metric:max".
+[[nodiscard]] std::optional<std::pair<std::string, bool>> parse_objective_spec(
+    const std::string& spec, std::string& error);
+
+/// Parse one --kernel spec: "name:ops:bytes[:gops]".
+[[nodiscard]] std::optional<KernelSpec> parse_kernel_spec(const std::string& spec,
+                                                          std::string& error);
+
+/// The usage/help text.
+[[nodiscard]] std::string usage();
+
+}  // namespace dovado::cli

@@ -1,0 +1,452 @@
+#include "src/core/dse.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "src/opt/nds.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::core {
+
+namespace {
+
+constexpr double kFailurePenalty = 1e18;
+
+/// Known metric names (kept in sync with PointEvaluator's report
+/// extraction).
+const std::set<std::string>& known_metrics() {
+  static const std::set<std::string> names = {
+      "lut",    "lut_logic",      "lut_mem",  "ff",
+      "bram",   "dsp",            "uram",     "wns_ns",
+      "delay_ns", "fmax_mhz",     "power_w",  "power_static_w",
+      "power_dynamic_w"};
+  return names;
+}
+
+}  // namespace
+
+/// Adapts the design space + engine to the optimizer's Problem interface.
+class DovadoProblem final : public opt::Problem {
+ public:
+  DovadoProblem(DseEngine& engine, const DesignSpace& space, std::size_t n_obj)
+      : engine_(engine), space_(space), n_obj_(n_obj) {}
+
+  [[nodiscard]] std::size_t n_vars() const override { return space_.size(); }
+  [[nodiscard]] std::size_t n_objectives() const override { return n_obj_; }
+  [[nodiscard]] std::int64_t cardinality(std::size_t var) const override {
+    return space_.params[var].domain.size();
+  }
+
+  [[nodiscard]] opt::Objectives evaluate(const opt::Genome& genome) override {
+    // Single-genome path (used by baselines); routes through the same
+    // machinery as batch evaluation.
+    std::vector<opt::Individual> one(1);
+    one[0].genome = genome;
+    engine_.batch_evaluate(one);
+    return one[0].objectives;
+  }
+
+ private:
+  DseEngine& engine_;
+  const DesignSpace& space_;
+  std::size_t n_obj_;
+};
+
+DseEngine::DseEngine(ProjectConfig project, DseConfig config)
+    : project_(std::move(project)),
+      config_(std::move(config)),
+      cache_(std::make_shared<EvaluationCache>()) {
+  if (config_.space.params.empty()) {
+    throw std::runtime_error("design space has no parameters");
+  }
+  if (config_.objectives.empty()) {
+    throw std::runtime_error("at least one objective is required");
+  }
+  for (const auto& derived : config_.derived_metrics) {
+    if (derived.name.empty() || !derived.compute) {
+      throw std::runtime_error("derived metric needs a name and a compute function");
+    }
+    if (known_metrics().count(derived.name) != 0) {
+      throw std::runtime_error("derived metric '" + derived.name +
+                               "' shadows a tool metric");
+    }
+  }
+  for (const auto& obj : config_.objectives) {
+    const bool is_derived =
+        std::any_of(config_.derived_metrics.begin(), config_.derived_metrics.end(),
+                    [&](const DerivedMetric& d) { return d.name == obj.metric; });
+    if (known_metrics().count(obj.metric) == 0 && !is_derived) {
+      throw std::runtime_error("unknown objective metric '" + obj.metric + "'");
+    }
+  }
+
+  const std::size_t worker_count = std::max<std::size_t>(1, config_.workers);
+  evaluators_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    evaluators_.push_back(std::make_unique<PointEvaluator>(project_, cache_));
+  }
+  pool_ = std::make_unique<util::ThreadPool>(config_.workers);
+
+  // Validate that every space parameter exists on the module and is free.
+  const hdl::Module& module = evaluators_.front()->module();
+  for (const auto& spec : config_.space.params) {
+    bool found = false;
+    for (const auto& p : module.free_parameters()) {
+      const bool match = module.language == hdl::HdlLanguage::kVhdl
+                             ? util::iequals(p.name, spec.name)
+                             : p.name == spec.name;
+      if (match) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::runtime_error("design-space parameter '" + spec.name +
+                               "' is not a free parameter of module '" + module.name + "'");
+    }
+  }
+
+  if (config_.use_approximation) {
+    control_ = std::make_unique<model::ControlModel>(config_.control);
+  }
+
+  // Warm start: tool-backed points from a previous session pre-populate the
+  // shared evaluation cache (and the approximation dataset), so the resumed
+  // exploration treats them as already-paid-for tool runs.
+  for (const auto& point : config_.warm_start) {
+    if (point.estimated) continue;  // only exact results may seed state
+    EvalResult seeded;
+    seeded.ok = !point.failed;
+    seeded.metrics = point.metrics;
+    if (point.failed) seeded.error = "failed in a previous session";
+    cache_->store(point.params, seeded);
+    record(point.params, point.metrics, false, point.failed);
+    if (control_ && !point.failed) {
+      bool complete = true;
+      model::Values values;
+      values.reserve(config_.objectives.size());
+      for (const auto& obj : config_.objectives) {
+        if (point.metrics.values.count(obj.metric) == 0) {
+          complete = false;
+          break;
+        }
+        values.push_back(point.metrics.get(obj.metric));
+      }
+      // Points must also lie inside the current space to be usable as
+      // dataset coordinates.
+      bool in_space = true;
+      for (const auto& spec : config_.space.params) {
+        if (point.params.count(spec.name) == 0) {
+          in_space = false;
+          break;
+        }
+      }
+      if (complete && in_space) {
+        control_->add_sample(to_model_point(point.params), std::move(values));
+      }
+    }
+  }
+}
+
+double DseEngine::tool_seconds() const {
+  double total = 0.0;
+  for (const auto& e : evaluators_) total += e->tool_seconds();
+  return total;
+}
+
+bool DseEngine::deadline_exceeded() const {
+  return tool_seconds() >= config_.deadline_tool_seconds;
+}
+
+opt::Objectives DseEngine::to_objectives(const EvalMetrics& metrics) const {
+  opt::Objectives objs;
+  objs.reserve(config_.objectives.size());
+  for (const auto& obj : config_.objectives) {
+    const double v = metrics.get(obj.metric);
+    objs.push_back(obj.maximize ? -v : v);
+  }
+  return objs;
+}
+
+model::Point DseEngine::to_model_point(const DesignPoint& point) const {
+  model::Point p;
+  p.reserve(config_.space.size());
+  for (const auto& spec : config_.space.params) {
+    p.push_back(static_cast<double>(point.at(spec.name)));
+  }
+  return p;
+}
+
+EvalResult DseEngine::tool_evaluate(std::size_t worker, const DesignPoint& point) {
+  EvalResult result = evaluators_[worker % evaluators_.size()]->evaluate(point);
+  if (result.ok) {
+    for (const auto& derived : config_.derived_metrics) {
+      result.metrics.values[derived.name] = derived.compute(point, result.metrics);
+    }
+  }
+  return result;
+}
+
+void DseEngine::record(const DesignPoint& point, const EvalMetrics& metrics, bool estimated,
+                       bool failed) {
+  std::lock_guard<std::mutex> lock(record_mutex_);
+  auto it = explored_index_.find(point);
+  if (it != explored_index_.end()) {
+    // A tool-backed answer supersedes an earlier estimate for the same point.
+    if (explored_[it->second].estimated && !estimated) {
+      explored_[it->second].metrics = metrics;
+      explored_[it->second].estimated = false;
+      explored_[it->second].failed = failed;
+    }
+    return;
+  }
+  explored_index_[point] = explored_.size();
+  explored_.push_back(ExploredPoint{point, metrics, estimated, failed});
+}
+
+void DseEngine::pretrain() {
+  if (!control_ || config_.pretrain_samples == 0) return;
+
+  // M *distinct* randomly sampled design points (Sec. III-C). Samples
+  // contributed by a warm-started session count toward the budget.
+  const std::size_t already = control_->dataset().size();
+  if (already >= config_.pretrain_samples) return;
+  util::Rng rng(config_.ga.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::set<DesignPoint> chosen;
+  const std::int64_t volume = config_.space.volume();
+  const std::size_t target =
+      std::min<std::size_t>(config_.pretrain_samples - already,
+                            static_cast<std::size_t>(std::min<std::int64_t>(
+                                volume, std::numeric_limits<std::int64_t>::max())));
+  int stale = 0;
+  while (chosen.size() < target && stale < 10000) {
+    std::vector<std::int64_t> genome(config_.space.size());
+    for (std::size_t i = 0; i < genome.size(); ++i) {
+      genome[i] = rng.uniform_int(0, config_.space.params[i].domain.size() - 1);
+    }
+    if (chosen.insert(config_.space.decode(genome)).second) stale = 0;
+    else ++stale;
+  }
+
+  std::vector<DesignPoint> points(chosen.begin(), chosen.end());
+  std::vector<EvalResult> results(points.size());
+  pool_->parallel_for(points.size(), [&](std::size_t i) {
+    results[i] = tool_evaluate(i, points[i]);
+  });
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (deadline_exceeded()) {
+      stats_.deadline_hit = true;
+      // Results are already computed (simulated time), keep absorbing them.
+    }
+    ++stats_.pretrain_runs;
+    if (!results[i].ok) {
+      ++stats_.failures;
+      record(points[i], results[i].metrics, false, true);
+      continue;
+    }
+    model::Point coords = to_model_point(points[i]);
+    if (!control_->dataset().find_exact(coords)) {
+      model::Values values;
+      values.reserve(config_.objectives.size());
+      for (const auto& obj : config_.objectives) {
+        values.push_back(results[i].metrics.get(obj.metric));
+      }
+      control_->add_sample(std::move(coords), std::move(values));
+    }
+    record(points[i], results[i].metrics, false, false);
+  }
+}
+
+void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
+  struct PendingTool {
+    std::size_t individual;
+    DesignPoint point;
+    EvalResult result;
+  };
+  std::vector<PendingTool> queue;
+
+  for (std::size_t i = 0; i < individuals.size(); ++i) {
+    auto& ind = individuals[i];
+    if (ind.evaluated) continue;
+    ++stats_.ga_evaluations;
+    DesignPoint point = config_.space.decode(ind.genome);
+
+    if (control_) {
+      const model::Decision decision = control_->decide_and_count(to_model_point(point));
+      if (decision == model::Decision::kEstimate) {
+        const model::Values est = control_->estimate(to_model_point(point));
+        EvalMetrics metrics;
+        for (std::size_t k = 0; k < config_.objectives.size(); ++k) {
+          metrics.values[config_.objectives[k].metric] = est[k];
+        }
+        ind.objectives = to_objectives(metrics);
+        ind.evaluated = true;
+        ++stats_.estimates;
+        record(point, metrics, true, false);
+        continue;
+      }
+      // kCachedTool and kToolAndAdd both invoke the tool; the evaluation
+      // cache answers instantly for the former.
+    }
+    queue.push_back(PendingTool{i, std::move(point), {}});
+  }
+
+  pool_->parallel_for(queue.size(), [&](std::size_t qi) {
+    queue[qi].result = tool_evaluate(qi, queue[qi].point);
+  });
+
+  for (auto& pending : queue) {
+    auto& ind = individuals[pending.individual];
+    const EvalResult& r = pending.result;
+    if (r.cache_hit) ++stats_.cache_hits;
+    else ++stats_.tool_runs;
+
+    if (!r.ok) {
+      ++stats_.failures;
+      ind.objectives.assign(config_.objectives.size(), kFailurePenalty);
+      ind.evaluated = true;
+      record(pending.point, r.metrics, false, true);
+      continue;
+    }
+    ind.objectives = to_objectives(r.metrics);
+    ind.evaluated = true;
+    record(pending.point, r.metrics, false, false);
+
+    if (control_ && !r.cache_hit) {
+      model::Values values;
+      values.reserve(config_.objectives.size());
+      for (const auto& obj : config_.objectives) {
+        values.push_back(r.metrics.get(obj.metric));
+      }
+      control_->add_sample(to_model_point(pending.point), values);
+    }
+  }
+}
+
+std::vector<ExploredPoint> DseEngine::evaluate_set(const std::vector<DesignPoint>& points) {
+  std::vector<EvalResult> results(points.size());
+  pool_->parallel_for(points.size(), [&](std::size_t i) {
+    results[i] = tool_evaluate(i, points[i]);
+  });
+  std::vector<ExploredPoint> out;
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ExploredPoint ep;
+    ep.params = points[i];
+    ep.metrics = results[i].metrics;
+    ep.failed = !results[i].ok;
+    out.push_back(std::move(ep));
+    record(points[i], results[i].metrics, false, !results[i].ok);
+  }
+  return out;
+}
+
+DseResult DseEngine::run() {
+  pretrain();
+
+  DovadoProblem problem(*this, config_.space, config_.objectives.size());
+
+  opt::Nsga2Config ga = config_.ga;
+  if (!config_.warm_start.empty() && ga.initial_genomes.empty()) {
+    // Continue from the previous session: seed the initial population with
+    // the non-dominated subset of the warm-started points (those that still
+    // encode into the current design space).
+    std::vector<opt::Genome> genomes;
+    std::vector<opt::Objectives> objs;
+    for (const auto& point : config_.warm_start) {
+      if (point.estimated || point.failed) continue;
+      auto genome = config_.space.encode(point.params);
+      if (!genome) continue;
+      genomes.push_back(std::move(*genome));
+      objs.push_back(to_objectives(point.metrics));
+    }
+    for (std::size_t i : opt::non_dominated_indices(objs)) {
+      ga.initial_genomes.push_back(genomes[i]);
+    }
+  }
+  ga.batch_evaluate = [this](opt::Problem&, std::vector<opt::Individual>& individuals) {
+    batch_evaluate(individuals);
+  };
+  auto user_stop = config_.ga.should_stop;
+  ga.should_stop = [this, user_stop] {
+    if (deadline_exceeded()) {
+      stats_.deadline_hit = true;
+      return true;
+    }
+    return user_stop ? user_stop() : false;
+  };
+
+  opt::Nsga2 solver(ga);
+  const opt::Nsga2Result ga_result = solver.run(problem);
+  stats_.generations = ga_result.generations_run;
+
+  // Assemble the non-dominated set over everything explored (tool results
+  // and surviving estimates), excluding failures.
+  auto build_front = [this]() {
+    std::vector<std::size_t> candidate_indices;
+    std::vector<opt::Objectives> objs;
+    for (std::size_t i = 0; i < explored_.size(); ++i) {
+      if (explored_[i].failed) continue;
+      candidate_indices.push_back(i);
+      objs.push_back(to_objectives(explored_[i].metrics));
+    }
+    std::vector<std::size_t> front;
+    for (std::size_t local : opt::non_dominated_indices(objs)) {
+      front.push_back(candidate_indices[local]);
+    }
+    return front;
+  };
+
+  std::vector<std::size_t> front = build_front();
+
+  if (control_ && config_.verify_estimated_front) {
+    // Estimated points that made the front get an exact tool evaluation
+    // (growing the dataset), then the front is recomputed.
+    std::vector<DesignPoint> to_verify;
+    for (std::size_t i : front) {
+      if (explored_[i].estimated) to_verify.push_back(explored_[i].params);
+    }
+    if (!to_verify.empty()) {
+      std::vector<EvalResult> results(to_verify.size());
+      pool_->parallel_for(to_verify.size(), [&](std::size_t i) {
+        results[i] = tool_evaluate(i, to_verify[i]);
+      });
+      for (std::size_t i = 0; i < to_verify.size(); ++i) {
+        if (results[i].cache_hit) ++stats_.cache_hits;
+        else ++stats_.tool_runs;
+        if (!results[i].ok) {
+          ++stats_.failures;
+          record(to_verify[i], results[i].metrics, false, true);
+          continue;
+        }
+        // Tool answer replaces the estimate (record() handles supersession,
+        // but estimated entries must be overwritten even when equal).
+        std::lock_guard<std::mutex> lock(record_mutex_);
+        auto it = explored_index_.find(to_verify[i]);
+        if (it != explored_index_.end()) {
+          explored_[it->second].metrics = results[i].metrics;
+          explored_[it->second].estimated = false;
+          explored_[it->second].failed = false;
+        }
+      }
+      front = build_front();
+    }
+  }
+
+  DseResult result;
+  for (std::size_t i : front) result.pareto.push_back(explored_[i]);
+  // Stable presentation order: sort by the first objective (minimized view).
+  std::sort(result.pareto.begin(), result.pareto.end(),
+            [this](const ExploredPoint& a, const ExploredPoint& b) {
+              return to_objectives(a.metrics) < to_objectives(b.metrics);
+            });
+  result.explored = explored_;
+  stats_.simulated_tool_seconds = tool_seconds();
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace dovado::core

@@ -1,0 +1,164 @@
+// The Dovado DSE engine (paper Sec. III-B / III-C, Figs. 1-2).
+//
+// Wires together the design space, the single-point evaluation pipeline,
+// the NSGA-II solver and (optionally) the Nadaraya-Watson approximation
+// control model:
+//   1. optional pre-training: M distinct tool runs on randomly sampled
+//      points build the synthetic dataset,
+//   2. NSGA-II explores index space; each fitness evaluation goes through
+//      the control model (cached tool run / estimate / tool run + dataset
+//      growth) or straight to the tool when approximation is disabled,
+//   3. the non-dominated set of explored configurations is returned (with
+//      estimated front members re-evaluated by the tool for exactness).
+//
+// Tool time is *simulated* (the SimVivado runtime model), so the paper's
+// four-hour soft deadline semantics are reproduced without wall-clock cost.
+// Evaluation of a generation's offspring fans out over a thread pool, one
+// tool session per worker — the same shape as running parallel Vivado
+// processes.
+#pragma once
+
+#include <limits>
+#include <memory>
+
+#include "src/core/evaluator.hpp"
+#include "src/core/param_domain.hpp"
+#include "src/model/control.hpp"
+#include "src/opt/baselines.hpp"
+#include "src/opt/nsga2.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace dovado::core {
+
+/// One optimization objective: a metric name from EvalMetrics plus the
+/// direction. Internally everything is minimized (maximize => negate).
+struct Objective {
+  std::string metric;
+  bool maximize = false;
+};
+
+/// A user-supplied static performance model (the paper's future-work item:
+/// "inserting a custom model for static performance that enables an
+/// improved DSE"). The callback derives a new metric from the design point
+/// and the tool-reported metrics (e.g. throughput = fmax * lanes); derived
+/// metrics are first-class — they can be optimization objectives and they
+/// flow through the approximation model like tool metrics.
+struct DerivedMetric {
+  std::string name;
+  std::function<double(const DesignPoint&, const EvalMetrics&)> compute;
+};
+
+/// One explored configuration.
+struct ExploredPoint {
+  DesignPoint params;
+  EvalMetrics metrics;
+  bool estimated = false;  ///< metrics came from the NWM, not the tool
+  bool failed = false;     ///< tool run failed (e.g. over-utilization)
+};
+
+struct DseConfig {
+  DesignSpace space;
+  std::vector<Objective> objectives;
+
+  /// Genetic-algorithm settings (population, generations, operators, seed).
+  opt::Nsga2Config ga;
+
+  /// Custom static performance models, applied after every successful tool
+  /// evaluation (see DerivedMetric).
+  std::vector<DerivedMetric> derived_metrics;
+
+  /// Fitness-approximation model (Sec. III-C). Disabled by default — the
+  /// Corundum/Neorv32/TiReX studies run direct Vivado evaluations.
+  bool use_approximation = false;
+  model::ControlModel::Config control;
+  std::size_t pretrain_samples = 100;  ///< M, the synthetic-dataset size
+
+  /// Soft deadline on cumulative *simulated* tool seconds (the GA finishes
+  /// the current generation, then stops). Infinity = unconstrained.
+  double deadline_tool_seconds = std::numeric_limits<double>::infinity();
+
+  /// Worker threads for parallel tool runs (0 = evaluate inline).
+  std::size_t workers = 0;
+
+  /// Re-evaluate estimated members of the final front with the tool.
+  bool verify_estimated_front = true;
+
+  /// Warm start: tool-backed points from a previous session (see
+  /// core/session.hpp). They pre-populate the evaluation cache — and, when
+  /// approximation is on, the synthetic dataset — so resumed explorations
+  /// never repay for known configurations. Estimated points are ignored.
+  std::vector<ExploredPoint> warm_start;
+};
+
+struct DseStats {
+  std::size_t ga_evaluations = 0;    ///< fitness evaluations requested
+  std::size_t tool_runs = 0;         ///< actual (simulated) tool invocations
+  std::size_t estimates = 0;         ///< answered by the NWM
+  std::size_t cache_hits = 0;        ///< answered by the evaluation cache
+  std::size_t failures = 0;
+  std::size_t pretrain_runs = 0;
+  double simulated_tool_seconds = 0.0;
+  bool deadline_hit = false;
+  std::size_t generations = 0;
+};
+
+struct DseResult {
+  std::vector<ExploredPoint> pareto;    ///< the non-dominated set
+  std::vector<ExploredPoint> explored;  ///< every configuration touched
+  DseStats stats;
+};
+
+class DseEngine {
+ public:
+  /// Throws std::runtime_error when the project cannot be parsed, the
+  /// design space is empty, or an objective metric is unknown.
+  DseEngine(ProjectConfig project, DseConfig config);
+
+  /// Run the full exploration.
+  [[nodiscard]] DseResult run();
+
+  /// Design-automation mode: evaluate an explicit set of configurations
+  /// (the paper's "exact exploration of a given set of parameters").
+  [[nodiscard]] std::vector<ExploredPoint> evaluate_set(
+      const std::vector<DesignPoint>& points);
+
+  /// The control model after run() — exposes dataset/threshold/stats for
+  /// analysis benches. Null when approximation is disabled.
+  [[nodiscard]] const model::ControlModel* control_model() const { return control_.get(); }
+
+  /// Cumulative simulated tool seconds across all workers.
+  [[nodiscard]] double tool_seconds() const;
+
+  /// Objective vector (minimized) from metrics; +inf on failures.
+  [[nodiscard]] opt::Objectives to_objectives(const EvalMetrics& metrics) const;
+
+ private:
+  friend class DovadoProblem;
+
+  /// Raw-parameter-space coordinates of a point (Eq. 4's decision vars).
+  [[nodiscard]] model::Point to_model_point(const DesignPoint& point) const;
+
+  /// Evaluate with the tool on a specific worker's session, then apply the
+  /// configured derived metrics.
+  [[nodiscard]] EvalResult tool_evaluate(std::size_t worker, const DesignPoint& point);
+
+  void pretrain();
+  void batch_evaluate(std::vector<opt::Individual>& individuals);
+  void record(const DesignPoint& point, const EvalMetrics& metrics, bool estimated,
+              bool failed);
+  [[nodiscard]] bool deadline_exceeded() const;
+
+  ProjectConfig project_;
+  DseConfig config_;
+  std::shared_ptr<EvaluationCache> cache_;
+  std::vector<std::unique_ptr<PointEvaluator>> evaluators_;  // one per worker
+  std::unique_ptr<model::ControlModel> control_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  std::mutex record_mutex_;
+  std::map<DesignPoint, std::size_t> explored_index_;
+  std::vector<ExploredPoint> explored_;
+  DseStats stats_;
+};
+
+}  // namespace dovado::core

@@ -1,0 +1,156 @@
+#include "src/core/evaluator.hpp"
+
+#include <stdexcept>
+
+#include "src/boxing/box.hpp"
+#include "src/edatool/power.hpp"
+#include "src/edatool/report.hpp"
+#include "src/hdl/frontend.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::core {
+
+std::optional<EvalResult> EvaluationCache::lookup(const DesignPoint& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(point);
+  if (it == entries_.end()) return std::nullopt;
+  EvalResult hit = it->second;
+  hit.cache_hit = true;
+  hit.tool_seconds = 0.0;  // cached answers are free
+  return hit;
+}
+
+void EvaluationCache::store(const DesignPoint& point, const EvalResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[point] = result;
+}
+
+std::size_t EvaluationCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+PointEvaluator::PointEvaluator(ProjectConfig config, std::shared_ptr<EvaluationCache> cache)
+    : config_(std::move(config)),
+      cache_(cache ? std::move(cache) : std::make_shared<EvaluationCache>()) {
+  // Parsing step: extract the module interface (name, parameters, ports).
+  bool found = false;
+  for (const auto& source : config_.sources) {
+    const hdl::ParseResult parsed = hdl::parse_file(source.path);
+    if (!parsed.ok) {
+      std::string detail = parsed.diagnostics.empty() ? "no modules recovered"
+                                                      : parsed.diagnostics.front().message;
+      throw std::runtime_error("cannot parse '" + source.path + "': " + detail);
+    }
+    if (const hdl::Module* m = parsed.file.find_module(config_.top_module)) {
+      module_ = *m;
+      found = true;
+    }
+  }
+  if (!found) {
+    throw std::runtime_error("top module '" + config_.top_module +
+                             "' not found in the given sources");
+  }
+}
+
+EvalResult PointEvaluator::evaluate(const DesignPoint& point) {
+  if (auto hit = cache_->lookup(point)) return *hit;
+
+  EvalResult result;
+
+  // Boxing step: sandbox the module, apply the parametrization and the
+  // clock constraint at the box entry point.
+  boxing::BoxConfig box_config;
+  box_config.clock_port = config_.clock_port;
+  box_config.parameters = point;
+  box_config.target_period_ns = config_.target_period_ns;
+  const boxing::BoxResult box = boxing::generate_box(module_, box_config);
+  if (!box.ok) {
+    result.error = "boxing failed: " + box.error;
+    return result;
+  }
+
+  const std::string box_path = box.language == hdl::HdlLanguage::kVhdl
+                                   ? "dovado_box.vhd"
+                                   : "dovado_box.v";
+  sim_.add_virtual_file(box_path, box.box_source);
+  sim_.add_virtual_file("dovado_box.xdc", box.xdc);
+
+  // Script generation step: customize the TCL frame for this run.
+  tcl::FrameConfig frame;
+  frame.sources = config_.sources;
+  frame.box_path = box_path;
+  frame.box_language = box.language;
+  frame.xdc_path = "dovado_box.xdc";
+  frame.top = box.top_name;
+  frame.part = config_.part;
+  frame.synth_directive = config_.synth_directive;
+  frame.place_directive = config_.place_directive;
+  frame.route_directive = config_.route_directive;
+  frame.run_implementation = config_.run_implementation;
+  frame.incremental_synth = config_.incremental_synth;
+  frame.incremental_impl = config_.incremental_impl;
+  const auto problems = tcl::validate_frame(frame);
+  if (!problems.empty()) {
+    result.error = "invalid flow configuration: " + problems.front();
+    return result;
+  }
+
+  // Tool step.
+  const tcl::EvalResult run = sim_.run_script(tcl::generate_flow_script(frame));
+  result.tool_seconds = sim_.last_run_seconds();
+  if (!run.ok) {
+    result.error = run.error;
+    // Failures (e.g. over-utilization at placement) are cached too: the
+    // same point would fail again.
+    cache_->store(point, result);
+    return result;
+  }
+
+  // Results step: extract the metrics from the tool's textual reports.
+  std::optional<edatool::UtilizationReport> util_report;
+  std::optional<edatool::TimingReport> timing_report;
+  std::optional<edatool::PowerEstimate> power;
+  for (const auto& chunk : sim_.interp().output()) {
+    if (!util_report) {
+      if (auto parsed = edatool::UtilizationReport::parse(chunk)) util_report = parsed;
+    }
+    if (!timing_report) {
+      if (auto parsed = edatool::TimingReport::parse(chunk)) timing_report = parsed;
+    }
+    if (!power) {
+      edatool::PowerEstimate parsed;
+      if (edatool::parse_power_report(chunk, parsed)) power = parsed;
+    }
+  }
+  if (!util_report || !timing_report) {
+    result.error = "tool produced no parsable reports";
+    return result;
+  }
+
+  auto& m = result.metrics.values;
+  m["lut"] = static_cast<double>(util_report->used("Slice LUTs"));
+  m["lut_logic"] = static_cast<double>(util_report->used("LUT as Logic"));
+  m["lut_mem"] = static_cast<double>(util_report->used("LUT as Memory"));
+  m["ff"] = static_cast<double>(util_report->used("Slice Registers"));
+  m["bram"] = static_cast<double>(util_report->used("Block RAM Tile"));
+  m["dsp"] = static_cast<double>(util_report->used("DSPs"));
+  if (util_report->find("URAM") != nullptr) {
+    m["uram"] = static_cast<double>(util_report->used("URAM"));
+  }
+  if (power) {
+    m["power_w"] = power->total_w();
+    m["power_static_w"] = power->static_w;
+    m["power_dynamic_w"] = power->dynamic_w;
+  }
+  m["wns_ns"] = timing_report->slack_ns;
+  m["delay_ns"] = timing_report->data_path_ns;
+  m["fmax_mhz"] = edatool::fmax_mhz(timing_report->requirement_ns, timing_report->slack_ns);
+  result.ok = true;
+
+  cache_->store(point, result);
+  return result;
+}
+
+}  // namespace dovado::core

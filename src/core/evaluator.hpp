@@ -1,0 +1,112 @@
+// Single design point evaluation (paper Sec. III-A).
+//
+// The full design-automation pipeline for one configuration:
+//   parse RTL -> box the module -> generate the XDC + TCL flow script ->
+//   run the (simulated) tool -> parse the utilization/timing reports back
+//   into metrics.
+// Results are memoized in an EvaluationCache shared across evaluators so
+// repeated points cost nothing (mirroring Vivado answering from cached
+// runs for already-seen points).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/param_domain.hpp"
+#include "src/edatool/vivado_sim.hpp"
+#include "src/hdl/ast.hpp"
+#include "src/tcl/frames.hpp"
+
+namespace dovado::core {
+
+/// Metric values of one evaluated design point. Keys:
+///   "lut", "lut_logic", "lut_mem", "ff", "bram", "dsp", "fmax_mhz",
+///   "wns_ns", "delay_ns"  — plus "uram" only on URAM-bearing devices
+/// (device-dependent resources are reported only if present, Sec. III-A.4).
+struct EvalMetrics {
+  std::map<std::string, double> values;
+
+  [[nodiscard]] double get(const std::string& name, double fallback = 0.0) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+};
+
+/// Outcome of evaluating one design point.
+struct EvalResult {
+  bool ok = false;
+  std::string error;
+  EvalMetrics metrics;
+  double tool_seconds = 0.0;  ///< simulated tool runtime of this evaluation
+  bool cache_hit = false;
+};
+
+/// Project-level configuration shared by all evaluations.
+struct ProjectConfig {
+  std::vector<tcl::SourceFile> sources;  ///< RTL files on disk
+  std::string top_module;                ///< the module under exploration
+  std::string part;                      ///< target device
+  std::string clock_port;                ///< empty => auto-detect
+  double target_period_ns = 1.0;         ///< the paper targets 1 GHz
+  std::string synth_directive = "Default";
+  std::string place_directive = "Default";
+  std::string route_directive = "Default";
+  bool run_implementation = true;        ///< false => synthesis-only metrics
+  bool incremental_synth = false;
+  bool incremental_impl = false;
+};
+
+/// Thread-safe memoization of (design point -> result), shared between
+/// parallel evaluators.
+class EvaluationCache {
+ public:
+  [[nodiscard]] std::optional<EvalResult> lookup(const DesignPoint& point) const;
+  void store(const DesignPoint& point, const EvalResult& result);
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<DesignPoint, EvalResult> entries_;
+};
+
+class PointEvaluator {
+ public:
+  /// Parses the project sources eagerly; throws std::runtime_error when the
+  /// top module cannot be found or parsed. `cache` may be shared across
+  /// evaluators (pass nullptr for a private cache).
+  PointEvaluator(ProjectConfig config, std::shared_ptr<EvaluationCache> cache = nullptr);
+
+  /// Evaluate one design point end to end.
+  [[nodiscard]] EvalResult evaluate(const DesignPoint& point);
+
+  /// The parsed module under exploration.
+  [[nodiscard]] const hdl::Module& module() const { return module_; }
+
+  /// Free (tunable) parameters of the module.
+  [[nodiscard]] std::vector<hdl::Parameter> free_parameters() const {
+    return module_.free_parameters();
+  }
+
+  /// Cumulative simulated tool seconds across this evaluator's runs
+  /// (cache hits cost nothing).
+  [[nodiscard]] double tool_seconds() const { return sim_.total_seconds(); }
+
+  /// Underlying tool session (tests and ablations inspect it).
+  [[nodiscard]] const edatool::VivadoSim& sim() const { return sim_; }
+
+  [[nodiscard]] const ProjectConfig& config() const { return config_; }
+  [[nodiscard]] const std::shared_ptr<EvaluationCache>& cache() const { return cache_; }
+
+ private:
+  ProjectConfig config_;
+  std::shared_ptr<EvaluationCache> cache_;
+  hdl::Module module_;
+  edatool::VivadoSim sim_;
+};
+
+}  // namespace dovado::core

@@ -1,0 +1,156 @@
+#include "src/core/param_domain.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "src/util/strings.hpp"
+
+namespace dovado::core {
+
+ParamDomain ParamDomain::range(std::int64_t lo, std::int64_t hi, std::int64_t step) {
+  if (step <= 0) throw std::invalid_argument("range step must be positive");
+  if (hi < lo) std::swap(lo, hi);
+  ParamDomain d;
+  d.kind_ = Kind::kRange;
+  d.lo_ = lo;
+  d.hi_ = hi;
+  d.step_ = step;
+  return d;
+}
+
+ParamDomain ParamDomain::values(std::vector<std::int64_t> values) {
+  if (values.empty()) throw std::invalid_argument("value domain must not be empty");
+  ParamDomain d;
+  d.kind_ = Kind::kValues;
+  std::set<std::int64_t> seen;
+  for (std::int64_t v : values) {
+    if (seen.insert(v).second) d.values_.push_back(v);
+  }
+  return d;
+}
+
+ParamDomain ParamDomain::power_of_two(int min_exp, int max_exp) {
+  if (min_exp < 0 || max_exp > 62) throw std::invalid_argument("exponent out of [0,62]");
+  if (max_exp < min_exp) std::swap(min_exp, max_exp);
+  ParamDomain d;
+  d.kind_ = Kind::kPowerOfTwo;
+  d.min_exp_ = min_exp;
+  d.max_exp_ = max_exp;
+  return d;
+}
+
+std::int64_t ParamDomain::size() const {
+  switch (kind_) {
+    case Kind::kRange: return (hi_ - lo_) / step_ + 1;
+    case Kind::kValues: return static_cast<std::int64_t>(values_.size());
+    case Kind::kPowerOfTwo: return max_exp_ - min_exp_ + 1;
+  }
+  return 0;
+}
+
+std::int64_t ParamDomain::value_at(std::int64_t index) const {
+  const std::int64_t clamped = std::clamp<std::int64_t>(index, 0, size() - 1);
+  switch (kind_) {
+    case Kind::kRange: return lo_ + clamped * step_;
+    case Kind::kValues: return values_[static_cast<std::size_t>(clamped)];
+    case Kind::kPowerOfTwo: return std::int64_t{1} << (min_exp_ + clamped);
+  }
+  return 0;
+}
+
+std::int64_t ParamDomain::min_value() const {
+  if (kind_ == Kind::kValues) {
+    return *std::min_element(values_.begin(), values_.end());
+  }
+  return value_at(0);
+}
+
+std::int64_t ParamDomain::max_value() const {
+  if (kind_ == Kind::kValues) {
+    return *std::max_element(values_.begin(), values_.end());
+  }
+  return value_at(size() - 1);
+}
+
+std::optional<std::int64_t> ParamDomain::index_of(std::int64_t value) const {
+  switch (kind_) {
+    case Kind::kRange: {
+      if (value < lo_ || value > hi_ || (value - lo_) % step_ != 0) return std::nullopt;
+      return (value - lo_) / step_;
+    }
+    case Kind::kValues: {
+      for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (values_[i] == value) return static_cast<std::int64_t>(i);
+      }
+      return std::nullopt;
+    }
+    case Kind::kPowerOfTwo: {
+      if (value <= 0 || (value & (value - 1)) != 0) return std::nullopt;
+      int exp = 0;
+      std::int64_t v = value;
+      while (v > 1) {
+        v >>= 1;
+        ++exp;
+      }
+      if (exp < min_exp_ || exp > max_exp_) return std::nullopt;
+      return exp - min_exp_;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string ParamDomain::describe() const {
+  switch (kind_) {
+    case Kind::kRange:
+      if (step_ == 1) {
+        return util::format("[%lld..%lld]", static_cast<long long>(lo_),
+                            static_cast<long long>(hi_));
+      }
+      return util::format("[%lld..%lld step %lld]", static_cast<long long>(lo_),
+                          static_cast<long long>(hi_), static_cast<long long>(step_));
+    case Kind::kValues: {
+      std::vector<std::string> parts;
+      parts.reserve(values_.size());
+      for (std::int64_t v : values_) parts.push_back(std::to_string(v));
+      return "{" + util::join(parts, ",") + "}";
+    }
+    case Kind::kPowerOfTwo:
+      return util::format("2^[%d..%d]", min_exp_, max_exp_);
+  }
+  return "?";
+}
+
+std::int64_t DesignSpace::volume() const {
+  std::int64_t v = 1;
+  for (const auto& p : params) {
+    const std::int64_t c = p.domain.size();
+    if (v > (std::int64_t{1} << 62) / c) return std::int64_t{1} << 62;
+    v *= c;
+  }
+  return v;
+}
+
+DesignPoint DesignSpace::decode(const std::vector<std::int64_t>& genome) const {
+  DesignPoint point;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const std::int64_t index = i < genome.size() ? genome[i] : 0;
+    point[params[i].name] = params[i].domain.value_at(index);
+  }
+  return point;
+}
+
+std::optional<std::vector<std::int64_t>> DesignSpace::encode(const DesignPoint& point) const {
+  std::vector<std::int64_t> genome;
+  genome.reserve(params.size());
+  for (const auto& spec : params) {
+    auto it = point.find(spec.name);
+    if (it == point.end()) return std::nullopt;
+    auto index = spec.domain.index_of(it->second);
+    if (!index) return std::nullopt;
+    genome.push_back(*index);
+  }
+  return genome;
+}
+
+}  // namespace dovado::core

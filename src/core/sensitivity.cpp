@@ -1,0 +1,132 @@
+#include "src/core/sensitivity.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/strings.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace dovado::core {
+
+DesignPoint center_point(const DesignSpace& space) {
+  DesignPoint point;
+  for (const auto& spec : space.params) {
+    point[spec.name] = spec.domain.value_at(spec.domain.size() / 2);
+  }
+  return point;
+}
+
+std::vector<std::pair<std::string, double>> SensitivityReport::ranking(
+    const std::string& metric) const {
+  std::vector<std::pair<std::string, double>> ranked;
+  for (const auto& p : params) {
+    auto it = p.metrics.find(metric);
+    ranked.emplace_back(p.param, it == p.metrics.end() ? 0.0 : it->second.relative_spread());
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranked;
+}
+
+std::string SensitivityReport::format_table(const std::vector<std::string>& metrics) const {
+  std::ostringstream out;
+  out << util::format("%-24s", "parameter");
+  for (const auto& m : metrics) out << util::format(" %14s", m.c_str());
+  out << "   (relative spread over the sweep)\n";
+  for (const auto& p : params) {
+    out << util::format("%-24s", p.param.c_str());
+    for (const auto& m : metrics) {
+      auto it = p.metrics.find(m);
+      out << util::format(" %13.1f%%",
+                          100.0 * (it == p.metrics.end() ? 0.0
+                                                         : it->second.relative_spread()));
+    }
+    if (p.failures > 0) out << util::format("   [%zu failures]", p.failures);
+    out << "\n";
+  }
+  return out.str();
+}
+
+SensitivityReport analyze_sensitivity(const ProjectConfig& project,
+                                      const DesignSpace& space, const DesignPoint& base,
+                                      const SensitivityOptions& options) {
+  for (const auto& spec : space.params) {
+    if (base.count(spec.name) == 0) {
+      throw std::runtime_error("base point misses parameter '" + spec.name + "'");
+    }
+    if (!spec.domain.contains(base.at(spec.name))) {
+      throw std::runtime_error("base value of '" + spec.name + "' is outside its domain");
+    }
+  }
+
+  // One evaluator per worker, shared cache (exactly like the DSE engine).
+  auto cache = std::make_shared<EvaluationCache>();
+  const std::size_t worker_count = std::max<std::size_t>(1, options.workers);
+  std::vector<std::unique_ptr<PointEvaluator>> evaluators;
+  evaluators.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    evaluators.push_back(std::make_unique<PointEvaluator>(project, cache));
+  }
+  util::ThreadPool pool(options.workers);
+
+  SensitivityReport report;
+  report.base = base;
+  const EvalResult base_result = evaluators.front()->evaluate(base);
+  if (!base_result.ok) {
+    throw std::runtime_error("base point evaluation failed: " + base_result.error);
+  }
+  report.base_metrics = base_result.metrics;
+
+  for (const auto& spec : space.params) {
+    ParamSensitivity sensitivity;
+    sensitivity.param = spec.name;
+
+    // Evenly spaced domain indices, endpoints included, base value added.
+    std::set<std::int64_t> values;
+    const std::int64_t n = spec.domain.size();
+    const std::size_t samples =
+        std::min<std::size_t>(options.samples_per_param, static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < samples; ++i) {
+      const std::int64_t index =
+          samples == 1 ? 0
+                       : static_cast<std::int64_t>(i) * (n - 1) /
+                             static_cast<std::int64_t>(samples - 1);
+      values.insert(spec.domain.value_at(index));
+    }
+    values.insert(base.at(spec.name));
+    sensitivity.swept_values.assign(values.begin(), values.end());
+
+    std::vector<EvalResult> results(sensitivity.swept_values.size());
+    pool.parallel_for(sensitivity.swept_values.size(), [&](std::size_t i) {
+      DesignPoint point = base;
+      point[spec.name] = sensitivity.swept_values[i];
+      results[i] = evaluators[i % evaluators.size()]->evaluate(point);
+    });
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const EvalResult& r = results[i];
+      if (!r.ok) {
+        ++sensitivity.failures;
+        continue;
+      }
+      for (const auto& [name, value] : r.metrics.values) {
+        auto [it, inserted] = sensitivity.metrics.try_emplace(name);
+        MetricSweep& sweep = it->second;
+        if (inserted) {
+          sweep.base_value = report.base_metrics.get(name);
+          sweep.min_value = value;
+          sweep.max_value = value;
+        } else {
+          sweep.min_value = std::min(sweep.min_value, value);
+          sweep.max_value = std::max(sweep.max_value, value);
+        }
+      }
+    }
+    report.params.push_back(std::move(sensitivity));
+  }
+  return report;
+}
+
+}  // namespace dovado::core

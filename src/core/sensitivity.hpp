@@ -1,0 +1,77 @@
+// One-at-a-time (OAT) parameter sensitivity analysis.
+//
+// Before committing to a full DSE, a designer often wants to know *which*
+// parameters move the metrics at all — sweeping each parameter over its
+// domain while holding the others at a base configuration. The report ranks
+// parameters by their normalized influence per metric (the elasticity view
+// the paper's hand-tuning discussion implies designers build mentally), and
+// it reuses the evaluation cache, so a following exploration starts warm.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/evaluator.hpp"
+#include "src/core/param_domain.hpp"
+
+namespace dovado::core {
+
+/// Range a metric covered while one parameter swept its domain.
+struct MetricSweep {
+  double base_value = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+
+  /// Spread normalized by the base value (0 when the base is 0):
+  /// how far, relative to the base configuration, this parameter can move
+  /// the metric.
+  [[nodiscard]] double relative_spread() const {
+    if (base_value == 0.0) return max_value == min_value ? 0.0 : 1.0;
+    return (max_value - min_value) / std::abs(base_value);
+  }
+};
+
+/// Sweep results of one parameter.
+struct ParamSensitivity {
+  std::string param;
+  std::vector<std::int64_t> swept_values;
+  std::map<std::string, MetricSweep> metrics;
+  std::size_t failures = 0;  ///< swept points that failed in the tool
+};
+
+struct SensitivityReport {
+  DesignPoint base;
+  EvalMetrics base_metrics;
+  std::vector<ParamSensitivity> params;
+
+  /// Parameters ranked by descending relative spread of `metric`.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> ranking(
+      const std::string& metric) const;
+
+  /// Human-readable table: one row per parameter, one column per metric,
+  /// cells are relative spreads.
+  [[nodiscard]] std::string format_table(const std::vector<std::string>& metrics) const;
+};
+
+struct SensitivityOptions {
+  /// Max sweep points per parameter (evenly spaced over the domain,
+  /// endpoints included). The whole domain is swept when smaller.
+  std::size_t samples_per_param = 7;
+  /// Parallel tool sessions (0 = inline).
+  std::size_t workers = 0;
+};
+
+/// Run the analysis. The base point must assign every space parameter (use
+/// center_point to synthesize one). Throws std::runtime_error on project
+/// errors; per-point tool failures are counted, not thrown.
+[[nodiscard]] SensitivityReport analyze_sensitivity(const ProjectConfig& project,
+                                                    const DesignSpace& space,
+                                                    const DesignPoint& base,
+                                                    const SensitivityOptions& options = {});
+
+/// The middle-of-domain configuration of a space (a reasonable default
+/// base point).
+[[nodiscard]] DesignPoint center_point(const DesignSpace& space);
+
+}  // namespace dovado::core

@@ -1,0 +1,38 @@
+// Session persistence: save a DSE run's explored points and reload them to
+// warm-start a later exploration.
+//
+// Tool runs are the expensive resource (each simulates minutes of Vivado
+// time), so a session file lets a designer resume an exploration — with a
+// larger budget, different objectives, or the approximation model switched
+// on — without repaying for configurations already evaluated. Reloaded
+// points seed both the evaluation cache and (when approximation is
+// enabled) the synthetic dataset.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/dse.hpp"
+
+namespace dovado::core {
+
+/// Serialize explored points (typically DseResult::explored) to the
+/// session JSON format.
+[[nodiscard]] std::string session_to_json(const std::vector<ExploredPoint>& explored,
+                                          int indent = 2);
+
+/// Parse a session JSON document (accepts both session files and the
+/// full-result JSON produced by to_json — the "explored" array is used).
+/// std::nullopt on malformed input.
+[[nodiscard]] std::optional<std::vector<ExploredPoint>> session_from_json(
+    const std::string& text);
+
+/// Save explored points to a file. Returns false on I/O failure.
+bool save_session(const std::string& path, const std::vector<ExploredPoint>& explored);
+
+/// Load a session file. std::nullopt when the file is missing or invalid.
+[[nodiscard]] std::optional<std::vector<ExploredPoint>> load_session(
+    const std::string& path);
+
+}  // namespace dovado::core

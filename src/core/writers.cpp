@@ -1,0 +1,153 @@
+#include "src/core/writers.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "src/util/csv.hpp"
+#include "src/util/json.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::core {
+
+namespace {
+
+/// Union of parameter names / metric names over a point set, in stable
+/// (sorted) order.
+std::pair<std::vector<std::string>, std::vector<std::string>> column_names(
+    const std::vector<ExploredPoint>& points) {
+  std::set<std::string> params;
+  std::set<std::string> metrics;
+  for (const auto& p : points) {
+    for (const auto& [name, value] : p.params) {
+      (void)value;
+      params.insert(name);
+    }
+    for (const auto& [name, value] : p.metrics.values) {
+      (void)value;
+      metrics.insert(name);
+    }
+  }
+  return {{params.begin(), params.end()}, {metrics.begin(), metrics.end()}};
+}
+
+std::string metric_to_string(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return util::format("%.3f", v);
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const std::vector<ExploredPoint>& points) {
+  util::CsvWriter writer(out);
+  const auto [params, metrics] = column_names(points);
+  std::vector<std::string> header = params;
+  header.insert(header.end(), metrics.begin(), metrics.end());
+  header.push_back("estimated");
+  header.push_back("failed");
+  writer.row(header);
+  for (const auto& p : points) {
+    std::vector<std::string> row;
+    row.reserve(header.size());
+    for (const auto& name : params) {
+      auto it = p.params.find(name);
+      row.push_back(it == p.params.end() ? "" : std::to_string(it->second));
+    }
+    for (const auto& name : metrics) {
+      auto it = p.metrics.values.find(name);
+      row.push_back(it == p.metrics.values.end() ? "" : metric_to_string(it->second));
+    }
+    row.push_back(p.estimated ? "1" : "0");
+    row.push_back(p.failed ? "1" : "0");
+    writer.row(row);
+  }
+}
+
+std::string to_json(const DseResult& result, int indent) {
+  auto point_to_json = [](const ExploredPoint& p) {
+    util::JsonObject obj;
+    util::JsonObject params;
+    for (const auto& [name, value] : p.params) params[name] = util::Json(value);
+    util::JsonObject metrics;
+    for (const auto& [name, value] : p.metrics.values) metrics[name] = util::Json(value);
+    obj["params"] = util::Json(std::move(params));
+    obj["metrics"] = util::Json(std::move(metrics));
+    obj["estimated"] = util::Json(p.estimated);
+    obj["failed"] = util::Json(p.failed);
+    return util::Json(std::move(obj));
+  };
+
+  util::JsonObject root;
+  util::JsonArray pareto;
+  for (const auto& p : result.pareto) pareto.push_back(point_to_json(p));
+  util::JsonArray explored;
+  for (const auto& p : result.explored) explored.push_back(point_to_json(p));
+
+  util::JsonObject stats;
+  stats["ga_evaluations"] = util::Json(result.stats.ga_evaluations);
+  stats["tool_runs"] = util::Json(result.stats.tool_runs);
+  stats["estimates"] = util::Json(result.stats.estimates);
+  stats["cache_hits"] = util::Json(result.stats.cache_hits);
+  stats["failures"] = util::Json(result.stats.failures);
+  stats["pretrain_runs"] = util::Json(result.stats.pretrain_runs);
+  stats["simulated_tool_seconds"] = util::Json(result.stats.simulated_tool_seconds);
+  stats["deadline_hit"] = util::Json(result.stats.deadline_hit);
+  stats["generations"] = util::Json(result.stats.generations);
+
+  root["pareto"] = util::Json(std::move(pareto));
+  root["explored"] = util::Json(std::move(explored));
+  root["stats"] = util::Json(std::move(stats));
+  return util::Json(std::move(root)).dump(indent);
+}
+
+std::string format_table(const std::vector<ExploredPoint>& points) {
+  const auto [params, metrics] = column_names(points);
+  std::vector<std::string> header = params;
+  header.insert(header.end(), metrics.begin(), metrics.end());
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& p : points) {
+    std::vector<std::string> row;
+    for (const auto& name : params) {
+      auto it = p.params.find(name);
+      row.push_back(it == p.params.end() ? "-" : std::to_string(it->second));
+    }
+    for (const auto& name : metrics) {
+      auto it = p.metrics.values.find(name);
+      row.push_back(it == p.metrics.values.end() ? "-" : metric_to_string(it->second));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+    for (const auto& row : rows) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  auto emit_sep = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << (c == 0 ? "+-" : "-+-") << std::string(widths[c], '-');
+    }
+    out << "-+\n";
+  };
+  emit_sep();
+  emit_row(header);
+  emit_sep();
+  for (const auto& row : rows) emit_row(row);
+  emit_sep();
+  return out.str();
+}
+
+}  // namespace dovado::core

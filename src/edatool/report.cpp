@@ -1,0 +1,121 @@
+#include "src/edatool/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/strings.hpp"
+
+namespace dovado::edatool {
+
+const UtilizationRow* UtilizationReport::find(std::string_view site_type) const {
+  for (const auto& r : rows) {
+    if (r.site_type == site_type) return &r;
+  }
+  return nullptr;
+}
+
+std::int64_t UtilizationReport::used(std::string_view site_type) const {
+  const UtilizationRow* row = find(site_type);
+  return row != nullptr ? row->used : 0;
+}
+
+std::string UtilizationReport::to_text() const {
+  // Column widths follow the longest entry, like Vivado's report writer.
+  std::size_t name_w = std::string_view("Site Type").size();
+  for (const auto& r : rows) name_w = std::max(name_w, r.site_type.size());
+
+  auto separator = [&] {
+    return "+" + std::string(name_w + 2, '-') + "+------------+------------+--------+\n";
+  };
+
+  std::string out;
+  out += "1. Summary\n----------\n\n";
+  out += separator();
+  out += util::format("| %-*s | %10s | %10s | %6s |\n", static_cast<int>(name_w),
+                      "Site Type", "Used", "Available", "Util%");
+  out += separator();
+  for (const auto& r : rows) {
+    out += util::format("| %-*s | %10lld | %10lld | %6.2f |\n", static_cast<int>(name_w),
+                        r.site_type.c_str(), static_cast<long long>(r.used),
+                        static_cast<long long>(r.available), r.util_percent);
+  }
+  out += separator();
+  return out;
+}
+
+std::optional<UtilizationReport> UtilizationReport::parse(std::string_view text) {
+  UtilizationReport report;
+  for (const auto& line : util::split(text, '\n')) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.size() < 2 || trimmed.front() != '|') continue;
+    auto cells = util::split(trimmed.substr(1, trimmed.size() - 2), '|');
+    if (cells.size() != 4) continue;
+    UtilizationRow row;
+    row.site_type = std::string(util::trim(cells[0]));
+    if (row.site_type == "Site Type") continue;  // header
+    long long used = 0;
+    long long avail = 0;
+    double pct = 0.0;
+    if (!util::parse_int(cells[1], used) || !util::parse_int(cells[2], avail) ||
+        !util::parse_double(cells[3], pct)) {
+      continue;
+    }
+    row.used = used;
+    row.available = avail;
+    row.util_percent = pct;
+    report.rows.push_back(std::move(row));
+  }
+  if (report.rows.empty()) return std::nullopt;
+  return report;
+}
+
+std::string TimingReport::to_text() const {
+  std::string out;
+  out += util::format("Slack (%s) :  %.3fns  (required time - arrival time)\n",
+                      met() ? "MET" : "VIOLATED", slack_ns);
+  out += util::format("  Requirement:      %.3fns\n", requirement_ns);
+  out += util::format("  Data Path Delay:  %.3fns\n", data_path_ns);
+  out += util::format("  Logic Levels:     %d\n", logic_levels);
+  out += util::format("  Path Group:       %s\n", path_group.c_str());
+  return out;
+}
+
+std::optional<TimingReport> TimingReport::parse(std::string_view text) {
+  TimingReport report;
+  bool saw_slack = false;
+  bool saw_req = false;
+  for (const auto& line : util::split(text, '\n')) {
+    const std::string_view trimmed = util::trim(line);
+    if (util::starts_with(trimmed, "Slack")) {
+      const auto colon = trimmed.find(':');
+      if (colon == std::string_view::npos) continue;
+      std::string_view value = util::trim(trimmed.substr(colon + 1));
+      const auto ns = value.find("ns");
+      if (ns != std::string_view::npos) value = value.substr(0, ns);
+      if (util::parse_double(value, report.slack_ns)) saw_slack = true;
+    } else if (util::starts_with(trimmed, "Requirement:")) {
+      std::string v = util::replace_all(trimmed.substr(12), "ns", "");
+      if (util::parse_double(v, report.requirement_ns)) saw_req = true;
+    } else if (util::starts_with(trimmed, "Data Path Delay:")) {
+      std::string v = util::replace_all(trimmed.substr(16), "ns", "");
+      (void)util::parse_double(v, report.data_path_ns);
+    } else if (util::starts_with(trimmed, "Logic Levels:")) {
+      long long levels = 0;
+      if (util::parse_int(trimmed.substr(13), levels)) {
+        report.logic_levels = static_cast<int>(levels);
+      }
+    } else if (util::starts_with(trimmed, "Path Group:")) {
+      report.path_group = std::string(util::trim(trimmed.substr(11)));
+    }
+  }
+  if (!saw_slack || !saw_req) return std::nullopt;
+  return report;
+}
+
+double fmax_mhz(double target_period_ns, double wns_ns) {
+  const double effective_period = target_period_ns - wns_ns;
+  if (effective_period <= 0.0) return 0.0;
+  return 1000.0 / effective_period;
+}
+
+}  // namespace dovado::edatool

@@ -1,0 +1,69 @@
+// Vivado-style text reports and their parsers.
+//
+// Dovado extracts metrics from the tool's textual reports (Sec. III-A.4).
+// The simulated tool therefore emits reports in Vivado's table format and
+// the core parses them back — the extraction code path is identical to what
+// runs against the real tool.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dovado::edatool {
+
+/// One row of a utilization table.
+struct UtilizationRow {
+  std::string site_type;
+  std::int64_t used = 0;
+  std::int64_t available = 0;
+  double util_percent = 0.0;
+};
+
+/// A utilization report (subset of `report_utilization`).
+struct UtilizationReport {
+  std::vector<UtilizationRow> rows;
+
+  /// Find a row by site type (exact match). nullptr when absent — e.g. the
+  /// URAM row on devices without URAM.
+  [[nodiscard]] const UtilizationRow* find(std::string_view site_type) const;
+
+  /// Used count for a site type; 0 when the row is absent.
+  [[nodiscard]] std::int64_t used(std::string_view site_type) const;
+
+  /// Render in Vivado's +----+ table style.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parse a report produced by to_text (or a real Vivado report limited to
+  /// the summary table). std::nullopt when no table is found.
+  [[nodiscard]] static std::optional<UtilizationReport> parse(std::string_view text);
+};
+
+/// A timing summary (subset of `report_timing`).
+struct TimingReport {
+  double requirement_ns = 0.0;  ///< target clock period
+  double slack_ns = 0.0;        ///< WNS; negative when violated
+  double data_path_ns = 0.0;    ///< critical path delay
+  int logic_levels = 0;
+  std::string path_group;       ///< name of the worst path
+
+  [[nodiscard]] bool met() const { return slack_ns >= 0.0; }
+
+  /// Render in a Vivado-like "Slack (MET/VIOLATED)" layout.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parse a report produced by to_text. std::nullopt on malformed text.
+  [[nodiscard]] static std::optional<TimingReport> parse(std::string_view text);
+};
+
+/// Max achievable frequency from a timing report, in MHz.
+///
+/// The paper prints Eq. (1) as 1000/((1/1000)*T - WNS), which is
+/// dimensionally inconsistent for T and WNS both in ns; the released Dovado
+/// implementation computes 1000 / (T - WNS) MHz, which we follow (for
+/// negative WNS this equals 1000 / critical_path_delay).
+[[nodiscard]] double fmax_mhz(double target_period_ns, double wns_ns);
+
+}  // namespace dovado::edatool

@@ -1,0 +1,160 @@
+#include "src/edatool/techmap.hpp"
+
+#include <algorithm>
+
+#include "src/util/strings.hpp"
+
+namespace dovado::edatool {
+
+std::int64_t bram36_depth_capacity(std::int64_t width) {
+  // Port aspect ratios of a RAMB36E1/E2.
+  if (width <= 1) return 32768;
+  if (width <= 2) return 16384;
+  if (width <= 4) return 8192;
+  if (width <= 9) return 4096;
+  if (width <= 18) return 2048;
+  return 1024;  // widths 19..36 per column
+}
+
+std::int64_t bram36_tiles(std::int64_t depth, std::int64_t width) {
+  if (depth <= 0 || width <= 0) return 0;
+  std::int64_t tiles = 0;
+  std::int64_t remaining_width = width;
+  while (remaining_width > 0) {
+    const std::int64_t col_width = std::min<std::int64_t>(remaining_width, 36);
+    const std::int64_t cap = bram36_depth_capacity(col_width);
+    tiles += (depth + cap - 1) / cap;
+    remaining_width -= col_width;
+  }
+  return tiles;
+}
+
+MappedMemory map_memory(const netlist::Memory& memory, const fpga::Device& device) {
+  MappedMemory mapped;
+  mapped.name = memory.name;
+
+  if (memory.depth <= 0 || memory.width <= 0) {
+    mapped.impl = MemoryImpl::kRegisters;
+    return mapped;
+  }
+
+  if (memory.prefer_registers) {
+    // RTL forced flip-flops (e.g. cv32e40p's fifo mem_q): bits in FFs plus a
+    // full read multiplexer.
+    mapped.impl = MemoryImpl::kRegisters;
+    mapped.ff = memory.bits();
+    mapped.lut = netlist::mux_luts(memory.depth, memory.width);
+    mapped.extra_levels = 0;  // the generator owns the read-path levels
+    return mapped;
+  }
+
+  // UltraRAM: only for devices that have it, and only for arrays that fill
+  // a meaningful part of a 4Kx72 URAM block.
+  if (device.has_uram() && memory.depth >= 4096 && memory.width >= 64) {
+    mapped.impl = MemoryImpl::kUltraRam;
+    const std::int64_t cols = (memory.width + 71) / 72;
+    const std::int64_t rows = (memory.depth + 4095) / 4096;
+    mapped.uram = cols * rows;
+    mapped.extra_levels = rows > 1 ? netlist::mux_levels(rows) : 0;
+    return mapped;
+  }
+
+  // Distributed RAM: shallow arrays. Vivado's default threshold keeps
+  // depth <= 64 (one LUT6 = 64x1 RAM) out of block RAM unless huge, and a
+  // ram_style attribute overrides the heuristic.
+  if (!memory.prefer_block && memory.depth <= 64 && memory.bits() <= 4096) {
+    mapped.impl = MemoryImpl::kDistributed;
+    const std::int64_t luts_per_bit = (memory.depth + 63) / 64;
+    mapped.lut = memory.width * luts_per_bit * (memory.dual_port ? 2 : 1);
+    mapped.ff = memory.width;  // output register
+    return mapped;
+  }
+
+  // Block RAM.
+  mapped.impl = MemoryImpl::kBlockRam;
+  mapped.bram36 = bram36_tiles(memory.depth, memory.width);
+  const std::int64_t col_width = std::min<std::int64_t>(memory.width, 36);
+  const std::int64_t rows =
+      (memory.depth + bram36_depth_capacity(col_width) - 1) / bram36_depth_capacity(col_width);
+  if (rows > 1) {
+    // Depth cascading needs an output mux and address decode.
+    mapped.extra_levels = netlist::mux_levels(rows);
+    mapped.lut = netlist::mux_luts(rows, memory.width) / 2 + rows;
+  }
+  return mapped;
+}
+
+bool MappedDesign::over_utilized(const fpga::Device& device) const {
+  return util.lut_total() > device.resources.lut || util.ff > device.resources.ff ||
+         util.bram36 > device.resources.bram36 || util.dsp > device.resources.dsp ||
+         util.uram > device.resources.uram;
+}
+
+std::string MappedDesign::over_utilization_reason(const fpga::Device& device) const {
+  auto check = [](std::int64_t used, std::int64_t avail, const char* what) -> std::string {
+    if (used > avail) {
+      return util::format("%s over-utilized: %lld used, %lld available", what,
+                          static_cast<long long>(used), static_cast<long long>(avail));
+    }
+    return {};
+  };
+  std::string reason = check(util.lut_total(), device.resources.lut, "LUT");
+  if (reason.empty()) reason = check(util.ff, device.resources.ff, "FF");
+  if (reason.empty()) reason = check(util.bram36, device.resources.bram36, "BRAM");
+  if (reason.empty()) reason = check(util.dsp, device.resources.dsp, "DSP");
+  if (reason.empty()) reason = check(util.uram, device.resources.uram, "URAM");
+  return reason;
+}
+
+MappedDesign technology_map(const netlist::Netlist& netlist, const fpga::Device& device) {
+  MappedDesign design;
+  design.top = netlist.top;
+  design.part = device.part;
+  design.util.lut_logic = netlist.luts;
+  design.util.ff = netlist.ffs;
+  design.util.dsp = netlist.dsps;
+  design.paths = netlist.paths;
+
+  int worst_mem_levels = 0;
+  bool any_bram = false;
+  for (const auto& memory : netlist.memories) {
+    MappedMemory mapped = map_memory(memory, device);
+    design.util.ff += mapped.ff;
+    design.util.bram36 += mapped.bram36;
+    design.util.uram += mapped.uram;
+    switch (mapped.impl) {
+      case MemoryImpl::kDistributed:
+        design.util.lut_mem += mapped.lut;
+        break;
+      case MemoryImpl::kRegisters:
+      case MemoryImpl::kBlockRam:
+      case MemoryImpl::kUltraRam:
+        design.util.lut_logic += mapped.lut;
+        break;
+    }
+    worst_mem_levels = std::max(worst_mem_levels, mapped.extra_levels);
+    any_bram |= (mapped.impl == MemoryImpl::kBlockRam || mapped.impl == MemoryImpl::kUltraRam);
+    design.memories.push_back(std::move(mapped));
+  }
+
+  // Fold memory cascade levels into the BRAM-launched paths (that's where
+  // the output mux sits). If the netlist recorded no BRAM path but memories
+  // mapped to BRAM, synthesize one.
+  if (worst_mem_levels > 0) {
+    for (auto& p : design.paths) {
+      if (p.from_bram) p.logic_levels += worst_mem_levels;
+    }
+  }
+  if (any_bram &&
+      std::none_of(design.paths.begin(), design.paths.end(),
+                   [](const netlist::PathGroup& p) { return p.from_bram; })) {
+    netlist::PathGroup p;
+    p.name = "memory_read";
+    p.from_bram = true;
+    p.logic_levels = 1 + worst_mem_levels;
+    design.paths.push_back(p);
+  }
+  return design;
+}
+
+}  // namespace dovado::edatool

@@ -1,0 +1,84 @@
+// Technology mapping: from the structural netlist onto a device's physical
+// resources (LUT logic, distributed LUT RAM, flip-flops, BRAM36 tiles, DSP
+// slices, URAM where present).
+//
+// Memory implementation selection follows Vivado's inference heuristics:
+//   - arrays the RTL keeps in registers stay in FFs (plus read muxes),
+//   - shallow/small arrays go to distributed RAM in SLICEM LUTs,
+//   - everything else goes to block RAM, column-cascaded in width and
+//     row-cascaded in depth (deep cascades add output-mux logic levels),
+//   - very large, wide arrays go to UltraRAM when the device has it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fpga/device.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace dovado::edatool {
+
+/// How one memory array was implemented.
+enum class MemoryImpl { kRegisters, kDistributed, kBlockRam, kUltraRam };
+
+/// Mapping decision record for one memory (kept for reports/tests).
+struct MappedMemory {
+  std::string name;
+  MemoryImpl impl = MemoryImpl::kBlockRam;
+  std::int64_t bram36 = 0;
+  std::int64_t uram = 0;
+  std::int64_t lut = 0;  ///< LUTRAM or read-mux LUTs
+  std::int64_t ff = 0;
+  int extra_levels = 0;  ///< cascade/decode levels added to read paths
+};
+
+/// Post-mapping resource usage.
+struct MappedUtilization {
+  std::int64_t lut_logic = 0;
+  std::int64_t lut_mem = 0;  ///< distributed-RAM LUTs
+  std::int64_t ff = 0;
+  std::int64_t bram36 = 0;
+  std::int64_t dsp = 0;
+  std::int64_t uram = 0;
+
+  [[nodiscard]] std::int64_t lut_total() const { return lut_logic + lut_mem; }
+};
+
+/// A design mapped onto a specific device.
+struct MappedDesign {
+  std::string top;
+  std::string part;
+  MappedUtilization util;
+  std::vector<MappedMemory> memories;
+  /// Path groups with memory cascade levels folded in.
+  std::vector<netlist::PathGroup> paths;
+
+  /// LUT utilization fraction of the device (drives congestion).
+  [[nodiscard]] double lut_pressure(const fpga::Device& device) const {
+    return static_cast<double>(util.lut_total()) /
+           static_cast<double>(device.resources.lut);
+  }
+
+  /// True when any resource exceeds the device (placement would fail).
+  [[nodiscard]] bool over_utilized(const fpga::Device& device) const;
+
+  /// Human-readable description of the first over-utilized resource.
+  [[nodiscard]] std::string over_utilization_reason(const fpga::Device& device) const;
+};
+
+/// Decide the physical implementation of a single memory on this device.
+[[nodiscard]] MappedMemory map_memory(const netlist::Memory& memory,
+                                      const fpga::Device& device);
+
+/// Map a full netlist onto a device.
+[[nodiscard]] MappedDesign technology_map(const netlist::Netlist& netlist,
+                                          const fpga::Device& device);
+
+/// BRAM36 tiles needed for a width x depth array (column/row cascading).
+[[nodiscard]] std::int64_t bram36_tiles(std::int64_t depth, std::int64_t width);
+
+/// Depth capacity of one BRAM36 column at the given data width.
+[[nodiscard]] std::int64_t bram36_depth_capacity(std::int64_t width);
+
+}  // namespace dovado::edatool

@@ -1,0 +1,89 @@
+#include "src/edatool/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::edatool {
+
+DirectiveEffect directive_effects(const std::string& directive) {
+  const std::string d = util::to_lower(directive);
+  if (d == "runtimeoptimized" || d == "quick") return {1.02, 1.06, 0.55};
+  if (d == "areaoptimized_high") return {0.90, 1.08, 1.25};
+  if (d == "areaoptimized_medium") return {0.95, 1.04, 1.10};
+  if (d == "performanceoptimized" || d == "perfoptimized_high" || d == "explore") {
+    return {1.07, 0.94, 1.80};
+  }
+  return {1.0, 1.0, 1.0};  // Default and anything unrecognised
+}
+
+double congestion_factor(const fpga::Device& device, double lut_pressure) {
+  const double p = std::max(0.0, lut_pressure);
+  return 1.0 + device.timing.congestion_alpha * p * p;
+}
+
+double path_delay_ns(const netlist::PathGroup& path, const fpga::Device& device,
+                     TimingStage stage, double congestion, double delay_factor,
+                     double noise) {
+  const fpga::TimingParams& t = device.timing;
+
+  const double launch = path.from_bram ? t.bram_clk_to_out_ns : t.ff_clk_to_q_ns;
+  // Net delay grows slowly with fanout; post-synthesis estimates assume
+  // ideal short routes (Vivado's estimated net delays are optimistic).
+  const double fanout_mult = 0.7 + 0.1 * std::sqrt(std::max(1.0, path.avg_fanout));
+  double net = t.net_delay_ns * fanout_mult;
+  if (stage == TimingStage::kPostSynthesis) {
+    net *= 0.80;
+  } else {
+    net *= congestion;
+  }
+
+  double delay = launch + path.logic_levels * (t.lut_delay_ns + net) + t.ff_setup_ns +
+                 t.clock_uncertainty_ns;
+  if (path.through_dsp) delay += t.dsp_delay_ns;
+  delay *= delay_factor;
+  if (stage == TimingStage::kPostRoute) delay *= noise;
+  return delay;
+}
+
+TimingResult analyze_timing(const MappedDesign& design, const fpga::Device& device,
+                            double period_ns, TimingStage stage, double delay_factor,
+                            std::uint64_t noise_seed) {
+  TimingResult worst;
+  worst.path_group = "default";
+  worst.data_path_ns = 0.0;
+
+  const double congestion = congestion_factor(device, design.lut_pressure(device));
+
+  std::uint64_t path_index = 0;
+  for (const auto& path : design.paths) {
+    // Deterministic per-path placement noise in [-1.5%, +1.5%].
+    const std::uint64_t h =
+        util::hash_combine(util::hash_combine(noise_seed, path_index++),
+                           std::hash<std::string>{}(path.name));
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+    const double noise = 1.0 + (unit - 0.5) * 0.03;
+
+    const double delay = path_delay_ns(path, device, stage, congestion, delay_factor, noise);
+    if (delay > worst.data_path_ns) {
+      worst.data_path_ns = delay;
+      worst.logic_levels = path.logic_levels;
+      worst.path_group = path.name;
+    }
+  }
+
+  if (design.paths.empty()) {
+    // Pure register design: one FF-to-FF hop.
+    worst.data_path_ns = device.timing.ff_clk_to_q_ns + device.timing.net_delay_ns +
+                         device.timing.ff_setup_ns + device.timing.clock_uncertainty_ns;
+    worst.logic_levels = 0;
+    worst.path_group = "register";
+  }
+
+  worst.slack_ns = period_ns - worst.data_path_ns;
+  return worst;
+}
+
+}  // namespace dovado::edatool

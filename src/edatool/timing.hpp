@@ -1,0 +1,59 @@
+// Static timing analysis model.
+//
+// Computes the critical-path delay of a mapped design on a device, for both
+// the post-synthesis estimate and the post-route analysis. Post-route adds
+// congestion-dependent routing delay (a function of LUT pressure) and a
+// small deterministic "noise" term derived from a content hash, standing in
+// for placement variability — the same design point always gets the same
+// answer, different points get slightly decorrelated ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/edatool/techmap.hpp"
+#include "src/fpga/device.hpp"
+
+namespace dovado::edatool {
+
+/// Analysis stage: synthesis estimates routing optimistically; routed
+/// timing includes congestion and placement noise.
+enum class TimingStage { kPostSynthesis, kPostRoute };
+
+/// Multiplies applied by tool directives (see directive_effects).
+struct DirectiveEffect {
+  double area_factor = 1.0;     ///< LUT count multiplier (synthesis only)
+  double delay_factor = 1.0;    ///< critical-path multiplier
+  double runtime_factor = 1.0;  ///< tool runtime multiplier
+};
+
+/// Effects of a Vivado directive string; unknown directives behave like
+/// "Default". Recognised: Default, RuntimeOptimized, AreaOptimized_high,
+/// AreaOptimized_medium, PerformanceOptimized, Explore, Quick.
+[[nodiscard]] DirectiveEffect directive_effects(const std::string& directive);
+
+/// Result of one timing analysis.
+struct TimingResult {
+  double data_path_ns = 0.0;
+  double slack_ns = 0.0;  ///< WNS = period - data_path
+  int logic_levels = 0;
+  std::string path_group;
+};
+
+/// Congestion multiplier (>= 1) for routing delay at a LUT pressure in
+/// [0, 1+]; quadratic growth controlled by the device's congestion_alpha.
+[[nodiscard]] double congestion_factor(const fpga::Device& device, double lut_pressure);
+
+/// Delay of one path group at the given stage.
+[[nodiscard]] double path_delay_ns(const netlist::PathGroup& path, const fpga::Device& device,
+                                   TimingStage stage, double congestion,
+                                   double delay_factor, double noise);
+
+/// Worst path over the whole design. `noise_seed` feeds the deterministic
+/// placement-noise hash (pass the design-point hash).
+[[nodiscard]] TimingResult analyze_timing(const MappedDesign& design,
+                                          const fpga::Device& device, double period_ns,
+                                          TimingStage stage, double delay_factor,
+                                          std::uint64_t noise_seed);
+
+}  // namespace dovado::edatool

@@ -1,0 +1,141 @@
+// SimVivado: a simulated Vivado batch session driven through TCL.
+//
+// This is the substitute for the paper's Vivado 2019.2 dependency. Dovado's
+// code path is preserved exactly: the core writes a box + XDC + TCL flow
+// script, "launches the tool", and parses the textual reports the tool
+// prints. Only the engine behind synth_design/place_design/route_design is
+// synthetic — it elaborates the design through the netlist generators,
+// technology-maps it onto the device model and runs the analytic timing
+// engine. Tool runtime is *simulated* and accounted per command so the DSE
+// deadline logic works without real hours of wall-clock.
+//
+// Supported commands: read_vhdl, read_verilog [-sv], read_xdc, create_clock,
+// get_ports/get_nets/set_property (constraint support), synth_design
+// [-incremental], opt_design, place_design, route_design, read_checkpoint
+// [-incremental], write_checkpoint, report_utilization, report_timing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/edatool/report.hpp"
+#include "src/edatool/techmap.hpp"
+#include "src/edatool/timing.hpp"
+#include "src/fpga/device.hpp"
+#include "src/hdl/ast.hpp"
+#include "src/tcl/interp.hpp"
+
+namespace dovado::edatool {
+
+/// A module instantiation found inside a wrapper (the Dovado box): the
+/// instantiated module plus its generic/parameter overrides.
+struct Instantiation {
+  bool ok = false;
+  std::string error;
+  std::string module;
+  std::map<std::string, std::int64_t> params;
+};
+
+/// Extract the single instantiation from a box source. Works on the VHDL
+/// ("entity work.<m> generic map (...)") and Verilog ("<m> #(...) inst (...)")
+/// shapes Dovado's boxing step generates.
+[[nodiscard]] Instantiation extract_instantiation(std::string_view source,
+                                                  hdl::HdlLanguage lang);
+
+class VivadoSim {
+ public:
+  VivadoSim();
+
+  // The TCL interpreter holds command closures that capture `this`, so a
+  // session must never move or copy.
+  VivadoSim(const VivadoSim&) = delete;
+  VivadoSim& operator=(const VivadoSim&) = delete;
+  VivadoSim(VivadoSim&&) = delete;
+  VivadoSim& operator=(VivadoSim&&) = delete;
+
+  /// The TCL interpreter with all tool commands registered. Hosts may add
+  /// their own commands or variables before running scripts.
+  [[nodiscard]] tcl::Interp& interp() { return interp_; }
+
+  /// Register an in-memory source file (e.g. the generated box). Virtual
+  /// files shadow the filesystem.
+  void add_virtual_file(const std::string& path, std::string content);
+
+  /// Run a flow script. Captured `puts`/report output is available via
+  /// interp().output(); the previous run's output is cleared first.
+  [[nodiscard]] tcl::EvalResult run_script(const std::string& script);
+
+  /// Simulated tool runtime of the last run_script call / of the session.
+  [[nodiscard]] double last_run_seconds() const { return last_run_seconds_; }
+  [[nodiscard]] double total_seconds() const { return total_seconds_; }
+
+  /// Number of synth_design invocations in this session's lifetime.
+  [[nodiscard]] int synthesis_runs() const { return synthesis_runs_; }
+
+  /// Introspection for tests: the currently mapped design (after
+  /// synth_design), and whether route_design has completed on it.
+  [[nodiscard]] const std::optional<MappedDesign>& mapped() const { return mapped_; }
+  [[nodiscard]] bool routed() const { return routed_; }
+  [[nodiscard]] const TimingResult& last_timing() const { return timing_; }
+  [[nodiscard]] double period_ns() const { return period_ns_; }
+
+ private:
+  struct Checkpoint {
+    std::string top;
+    std::string part;
+    std::int64_t luts = 0;
+    bool routed = false;
+  };
+
+  /// A parsed source: interface + raw text (for box-instantiation lookup).
+  struct SourceEntry {
+    hdl::Module module;
+    std::string source_text;
+  };
+
+  void register_tool_commands();
+  std::string read_file(const std::string& path) const;  // vfs first, then disk
+  void read_source(const std::string& path, hdl::HdlLanguage lang);
+  const SourceEntry* find_module(const std::string& name) const;
+
+  void cmd_synth_design(const std::vector<std::string>& args);
+  void cmd_place_design(const std::vector<std::string>& args);
+  void cmd_route_design(const std::vector<std::string>& args);
+  void cmd_report_utilization();
+  void cmd_report_timing();
+
+  /// Resolve the elaboration target: if `top` itself has a netlist
+  /// generator use it directly, otherwise treat it as a wrapper and follow
+  /// its single instantiation.
+  void elaborate(const std::string& top, const DirectiveEffect& synth_effect);
+
+  void charge(double seconds) {
+    last_run_seconds_ += seconds;
+    total_seconds_ += seconds;
+  }
+
+  tcl::Interp interp_;
+  std::map<std::string, std::string> vfs_;
+  std::map<std::string, SourceEntry> sources_;  // keyed by lower-cased module name
+  std::map<std::string, Checkpoint> checkpoints_;
+
+  std::optional<fpga::Device> device_;
+  std::optional<MappedDesign> mapped_;
+  TimingResult timing_;
+  DirectiveEffect synth_effect_;
+  double period_ns_ = 10.0;  ///< default when no create_clock ran
+  bool routed_ = false;
+  bool incremental_synth_hit_ = false;
+  bool incremental_impl_hit_ = false;
+  std::uint64_t design_hash_ = 0;
+  std::int64_t pre_map_luts_ = 0;
+
+  double last_run_seconds_ = 0.0;
+  double total_seconds_ = 0.0;
+  int synthesis_runs_ = 0;
+};
+
+}  // namespace dovado::edatool

@@ -1,0 +1,47 @@
+#include "src/fpga/board.hpp"
+
+#include "src/util/strings.hpp"
+
+namespace dovado::fpga {
+
+namespace {
+
+std::vector<Board> build_boards() {
+  return {
+      // Avnet Ultra96: the ZU3EG the paper's TiReX study targets.
+      {"ultra96", "Avnet Ultra96-V2", "xczu3eg-sbva484-1-e", 100.0},
+      // Digilent Arty A7-35T.
+      {"arty-a7-35", "Digilent Arty A7-35T", "xc7a35ticsg324-1l", 100.0},
+      // Digilent PYNQ-Z1 / Arty Z7-20 class Zynq-7020 boards.
+      {"pynq-z1", "TUL PYNQ-Z1", "xc7z020clg400-1", 125.0},
+      // Xilinx KC705 (Kintex-7 evaluation kit).
+      {"kc705", "Xilinx KC705", "xc7k325tffg900-2", 200.0},
+      // Xilinx VCU118 (Virtex UltraScale+ with URAM).
+      {"vcu118", "Xilinx VCU118", "xcvu9p-flga2104-2l-e", 250.0},
+  };
+}
+
+}  // namespace
+
+const std::vector<Board>& BoardCatalog::all() {
+  static const std::vector<Board> boards = build_boards();
+  return boards;
+}
+
+std::optional<Board> BoardCatalog::find(std::string_view name) {
+  const std::string wanted = util::to_lower(util::trim(name));
+  for (const auto& b : all()) {
+    if (b.name == wanted) return b;
+  }
+  return std::nullopt;
+}
+
+std::optional<Device> resolve_device(std::string_view target) {
+  if (auto device = DeviceCatalog::find(target)) return device;
+  if (auto board = BoardCatalog::find(target)) {
+    return DeviceCatalog::find(board->part);
+  }
+  return std::nullopt;
+}
+
+}  // namespace dovado::fpga

@@ -1,0 +1,37 @@
+// Board catalog: named development boards mapping to catalog parts.
+//
+// Dovado exposes "the possibility of tailoring this step for a given board
+// or parts" (paper Sec. III-A.3). A board is a part plus board-level
+// context (the reference clock the designer usually constrains against).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fpga/device.hpp"
+
+namespace dovado::fpga {
+
+struct Board {
+  std::string name;          ///< canonical lower-case board name
+  std::string display_name;  ///< vendor marketing name
+  std::string part;          ///< full part name (must exist in DeviceCatalog)
+  double reference_clock_mhz = 100.0;
+};
+
+class BoardCatalog {
+ public:
+  /// Find a board by name (case-insensitive). std::nullopt when unknown.
+  [[nodiscard]] static std::optional<Board> find(std::string_view name);
+
+  /// All known boards (stable order).
+  [[nodiscard]] static const std::vector<Board>& all();
+};
+
+/// Resolve a target string that may be a part name, a part display name or
+/// a board name, to a device. std::nullopt when nothing matches.
+[[nodiscard]] std::optional<Device> resolve_device(std::string_view target);
+
+}  // namespace dovado::fpga

@@ -1,0 +1,153 @@
+#include "src/fpga/device.hpp"
+
+#include "src/util/strings.hpp"
+
+namespace dovado::fpga {
+
+namespace {
+
+// Timing parameter sets per family/speed grade. The UltraScale+ 16 nm fabric
+// is substantially faster per logic level and per net than 28 nm 7-series;
+// the ratios below reproduce the paper's observation that near-identical
+// TiReX configurations reach ~550 MHz on the ZU3EG but only ~190 MHz on the
+// XC7K70T (Sec. IV-D).
+TimingParams kintex7_grade1() {
+  TimingParams t;
+  t.lut_delay_ns = 0.124;
+  t.net_delay_ns = 0.380;
+  t.ff_clk_to_q_ns = 0.340;
+  t.ff_setup_ns = 0.060;
+  t.bram_clk_to_out_ns = 1.900;
+  t.dsp_delay_ns = 1.200;
+  t.clock_uncertainty_ns = 0.035;
+  t.congestion_alpha = 0.9;
+  return t;
+}
+
+TimingParams artix7_grade1() {
+  TimingParams t = kintex7_grade1();
+  t.lut_delay_ns = 0.152;
+  t.net_delay_ns = 0.460;
+  t.bram_clk_to_out_ns = 2.100;
+  return t;
+}
+
+TimingParams ultrascale_plus_grade1() {
+  TimingParams t;
+  t.lut_delay_ns = 0.043;
+  t.net_delay_ns = 0.135;
+  t.ff_clk_to_q_ns = 0.110;
+  t.ff_setup_ns = 0.025;
+  t.bram_clk_to_out_ns = 0.750;
+  t.dsp_delay_ns = 0.500;
+  t.clock_uncertainty_ns = 0.025;
+  t.congestion_alpha = 0.7;
+  return t;
+}
+
+std::vector<Device> build_catalog() {
+  std::vector<Device> parts;
+
+  // Kintex-7 XC7K70T: the paper quotes 41k LUTs and 82k FFs (Sec. IV-D).
+  {
+    Device d;
+    d.part = "xc7k70tfbv676-1";
+    d.family = "kintex7";
+    d.display_name = "xc7k70t";
+    d.process_nm = 28;
+    d.speed_grade = 1;
+    d.resources = {41000, 82000, 135, 240, 0, 300};
+    d.timing = kintex7_grade1();
+    parts.push_back(d);
+  }
+
+  // Zynq UltraScale+ ZU3EG: the paper quotes 70k LUTs and 141k FFs.
+  {
+    Device d;
+    d.part = "xczu3eg-sbva484-1-e";
+    d.family = "zynquplus";
+    d.display_name = "zu3eg";
+    d.process_nm = 16;
+    d.speed_grade = 1;
+    d.resources = {70560, 141120, 216, 360, 0, 252};
+    d.timing = ultrascale_plus_grade1();
+    parts.push_back(d);
+  }
+
+  // Artix-7 XC7A35T (PYNQ/Basys-class): exercises a smaller, slower fabric.
+  {
+    Device d;
+    d.part = "xc7a35ticsg324-1l";
+    d.family = "artix7";
+    d.display_name = "xc7a35t";
+    d.process_nm = 28;
+    d.speed_grade = 1;
+    d.resources = {20800, 41600, 50, 90, 0, 210};
+    d.timing = artix7_grade1();
+    parts.push_back(d);
+  }
+
+  // Kintex-7 XC7K325T (KC705 evaluation board), speed grade -2.
+  {
+    Device d;
+    d.part = "xc7k325tffg900-2";
+    d.family = "kintex7";
+    d.display_name = "xc7k325t";
+    d.process_nm = 28;
+    d.speed_grade = 2;
+    d.resources = {203800, 407600, 445, 840, 0, 500};
+    d.timing = kintex7_grade1();
+    // -2 silicon is ~10% faster than -1.
+    d.timing.lut_delay_ns *= 0.90;
+    d.timing.net_delay_ns *= 0.90;
+    d.timing.ff_clk_to_q_ns *= 0.90;
+    d.timing.bram_clk_to_out_ns *= 0.90;
+    parts.push_back(d);
+  }
+
+  // Zynq-7020 (common board target; paper's methodology supports boards too).
+  {
+    Device d;
+    d.part = "xc7z020clg400-1";
+    d.family = "zynq7000";
+    d.display_name = "xc7z020";
+    d.process_nm = 28;
+    d.speed_grade = 1;
+    d.resources = {53200, 106400, 140, 220, 0, 200};
+    d.timing = kintex7_grade1();
+    parts.push_back(d);
+  }
+
+  // Virtex UltraScale+ VU9P: the URAM-bearing part, exercising the
+  // "device-dependent resources are reported only when present" path.
+  {
+    Device d;
+    d.part = "xcvu9p-flga2104-2l-e";
+    d.family = "virtexuplus";
+    d.display_name = "xcvu9p";
+    d.process_nm = 16;
+    d.speed_grade = 2;
+    d.resources = {1182240, 2364480, 2160, 6840, 960, 832};
+    d.timing = ultrascale_plus_grade1();
+    parts.push_back(d);
+  }
+
+  return parts;
+}
+
+}  // namespace
+
+const std::vector<Device>& DeviceCatalog::all() {
+  static const std::vector<Device> catalog = build_catalog();
+  return catalog;
+}
+
+std::optional<Device> DeviceCatalog::find(std::string_view part) {
+  const std::string wanted = util::to_lower(util::trim(part));
+  for (const auto& d : all()) {
+    if (d.part == wanted || d.display_name == wanted) return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dovado::fpga

@@ -1,0 +1,72 @@
+// FPGA part catalog: resource inventories and timing model parameters.
+//
+// Dovado targets "boards or parts"; the simulated toolchain needs the same
+// information real Vivado gets from its part database — how many LUTs / FFs /
+// BRAMs / DSPs / URAMs a device has, and how fast its fabric is. The paper's
+// evaluation relies on two devices (Kintex-7 XC7K70T at 28 nm and Zynq
+// UltraScale+ ZU3EG at 16 nm) whose resource counts it quotes explicitly;
+// those numbers are reproduced here. URAM is deliberately absent from most
+// parts because the paper calls out that device-dependent resources are
+// "reported only if present".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dovado::fpga {
+
+/// Countable fabric resources of a device. BRAM is counted in 36Kb blocks
+/// (a BRAM18 consumes half a block).
+struct ResourceInventory {
+  std::int64_t lut = 0;
+  std::int64_t ff = 0;
+  std::int64_t bram36 = 0;
+  std::int64_t dsp = 0;
+  std::int64_t uram = 0;  ///< 0 when the family has no URAM
+  std::int64_t io = 0;
+};
+
+/// Fabric timing parameters consumed by the SimVivado timing engine. All
+/// delays in nanoseconds; calibrated per family/speed grade so the absolute
+/// frequencies land in the ranges the paper reports (e.g. ~200 MHz for a
+/// moderate-depth Kintex-7 datapath, ~550 MHz for the same logic on ZU3EG).
+struct TimingParams {
+  double lut_delay_ns = 0.124;      ///< one LUT6 logic level
+  double net_delay_ns = 0.300;      ///< average routed net, uncongested
+  double ff_clk_to_q_ns = 0.340;
+  double ff_setup_ns = 0.060;
+  double bram_clk_to_out_ns = 1.800;  ///< synchronous BRAM read access
+  double dsp_delay_ns = 1.100;        ///< fully pipelined DSP48 stage
+  double clock_uncertainty_ns = 0.035;
+  double congestion_alpha = 0.9;    ///< routing-delay growth with utilization
+};
+
+/// A supported FPGA part.
+struct Device {
+  std::string part;         ///< full Xilinx part name, lower case
+  std::string family;       ///< e.g. "kintex7", "zynquplus"
+  std::string display_name; ///< short human-readable name
+  int process_nm = 28;      ///< silicon process node
+  int speed_grade = 1;      ///< -1/-2/-3 (higher = faster)
+  ResourceInventory resources;
+  TimingParams timing;
+
+  /// True if this device exposes UltraRAM blocks.
+  [[nodiscard]] bool has_uram() const noexcept { return resources.uram > 0; }
+};
+
+/// Static registry of known parts. Lookup is case-insensitive and accepts
+/// either the full part name or the display name.
+class DeviceCatalog {
+ public:
+  /// Find a device; std::nullopt when the part is unknown.
+  [[nodiscard]] static std::optional<Device> find(std::string_view part);
+
+  /// All known parts (stable order).
+  [[nodiscard]] static const std::vector<Device>& all();
+};
+
+}  // namespace dovado::fpga

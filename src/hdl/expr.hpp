@@ -1,0 +1,68 @@
+// Constant-expression evaluation for HDL parameter defaults and port widths.
+//
+// Parameter defaults and vector bounds routinely reference other parameters
+// ("DEPTH-1", "$clog2(QUEUE_COUNT)", "2**ADDR_W"). Dovado needs their integer
+// value for a concrete design point, so this module evaluates expression
+// source text against a parameter environment. Only integer-valued
+// synthesizable expressions are supported — the paper's DSE formulation is
+// integer-only (Sec. III-B.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/hdl/ast.hpp"
+
+namespace dovado::hdl {
+
+/// Parameter-name -> value environment. VHDL lookups are case-insensitive,
+/// so names are stored lower-cased; use ExprEnv helpers rather than touching
+/// the map directly.
+class ExprEnv {
+ public:
+  void set(std::string_view name, std::int64_t value);
+  [[nodiscard]] std::optional<std::int64_t> get(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::int64_t> values_;
+};
+
+/// Outcome of evaluating an expression: a value or an error message
+/// (unknown identifier, division by zero, unsupported construct).
+struct ExprResult {
+  std::optional<std::int64_t> value;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return value.has_value(); }
+};
+
+/// Evaluate `expr` (HDL source text, in the syntax of `lang`) against `env`.
+///
+/// Supported: integer literals (incl. VHDL based literals and Verilog sized
+/// literals), parameter references, unary +/-, binary + - * / mod/% rem
+/// ** << >> min/max/abs/clog2 function calls ($clog2 in V/SV), parentheses,
+/// boolean literals (true/false -> 1/0), and relational/ternary operators
+/// (V/SV `cond ? a : b`).
+[[nodiscard]] ExprResult eval_expr(std::string_view expr, HdlLanguage lang, const ExprEnv& env);
+
+/// Ceiling log2 as Verilog's $clog2 defines it: clog2(0)=0, clog2(1)=0,
+/// clog2(n)=bits needed to address n items.
+[[nodiscard]] std::int64_t clog2(std::int64_t n);
+
+/// Evaluate the bit width of a port for a given environment: 1 for scalars,
+/// |left-right|+1 for vectors. Returns nullopt if bounds don't evaluate.
+[[nodiscard]] std::optional<std::int64_t> port_width(const Port& port, HdlLanguage lang,
+                                                     const ExprEnv& env);
+
+/// Build an environment from a module's parameter defaults evaluated in
+/// declaration order, then overridden by `overrides` (a concrete design
+/// point). Parameters whose defaults cannot be evaluated and are not
+/// overridden are simply absent from the result.
+[[nodiscard]] ExprEnv build_param_env(const Module& module,
+                                      const std::map<std::string, std::int64_t>& overrides);
+
+}  // namespace dovado::hdl

@@ -1,0 +1,83 @@
+// The approximation control model (paper Fig. 2 and Sec. III-C).
+//
+// For each design point the exploration wants evaluated, decide among:
+//   1. the point is already in the dataset -> call the tool, which answers
+//      from its cached results (kCachedTool);
+//   2. the point is "similar enough" (Eq. 4 distance to the nearest dataset
+//      point <= threshold) -> answer with the Nadaraya-Watson estimate
+//      (kEstimate);
+//   3. otherwise -> call the tool, add the new pair to the dataset, and
+//      re-run training/validation (kToolAndAdd).
+//
+// The threshold is adaptive by default: Γ = the average nearest-neighbour
+// Eq.-(4) distance over dataset points, updated after every addition.
+#pragma once
+
+#include <cstddef>
+
+#include "src/model/dataset.hpp"
+#include "src/model/nadaraya_watson.hpp"
+
+namespace dovado::model {
+
+enum class Decision {
+  kCachedTool,  ///< exact hit: the tool answers from cache
+  kEstimate,    ///< similar enough: use the statistical model
+  kToolAndAdd,  ///< novel: run the tool, grow the dataset, retrain
+};
+
+/// Call statistics, for the paper's cost argument (estimates replace tool
+/// invocations).
+struct ControlStats {
+  std::size_t cached_hits = 0;
+  std::size_t estimates = 0;
+  std::size_t tool_calls = 0;  ///< kToolAndAdd decisions
+};
+
+class ControlModel {
+ public:
+  struct Config {
+    /// Use the adaptive threshold Γ; when false, `fixed_threshold` applies.
+    bool adaptive_threshold = true;
+    double fixed_threshold = 0.0;
+    /// Bandwidth candidates for LOO-CV; empty => data-driven default grid.
+    std::vector<double> bandwidth_grid;
+    /// Re-select bandwidths every k additions (1 = every addition, as the
+    /// paper describes; larger values amortize LOO-CV cost).
+    std::size_t revalidate_every = 1;
+  };
+
+  ControlModel() : ControlModel(Config{}) {}
+  explicit ControlModel(Config config);
+
+  /// Classify a design point (does not mutate state).
+  [[nodiscard]] Decision decide(const Point& x) const;
+
+  /// Decide and record the decision in the statistics.
+  Decision decide_and_count(const Point& x);
+
+  /// Model estimate at x. Only valid once the dataset is non-empty.
+  [[nodiscard]] Values estimate(const Point& x) const;
+
+  /// Record a tool result (used both for pre-training and for kToolAndAdd
+  /// additions): adds the pair, refreshes Γ, and re-runs the LOO-CV
+  /// training/validation step per the revalidation cadence.
+  void add_sample(Point point, Values values);
+
+  [[nodiscard]] const Dataset& dataset() const { return dataset_; }
+  [[nodiscard]] const NadarayaWatson& model() const { return model_; }
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] const ControlStats& stats() const { return stats_; }
+
+ private:
+  void retrain();
+
+  Config config_;
+  Dataset dataset_;
+  NadarayaWatson model_;
+  double threshold_ = 0.0;
+  std::size_t additions_since_validation_ = 0;
+  ControlStats stats_;
+};
+
+}  // namespace dovado::model

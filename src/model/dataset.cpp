@@ -1,0 +1,81 @@
+#include "src/model/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dovado::model {
+
+void Dataset::add(Point point, Values values) {
+  if (points_.empty()) {
+    dimension_ = point.size();
+    metric_count_ = values.size();
+    if (dimension_ == 0) throw std::invalid_argument("dataset point has zero dimension");
+  } else {
+    if (point.size() != dimension_) {
+      throw std::invalid_argument("dataset point dimension mismatch");
+    }
+    if (values.size() != metric_count_) {
+      throw std::invalid_argument("dataset value count mismatch");
+    }
+  }
+  points_.push_back(std::move(point));
+  values_.push_back(std::move(values));
+}
+
+std::optional<std::size_t> Dataset::find_exact(const Point& point) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i] == point) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> Dataset::nearest(const Point& point, std::size_t k) const {
+  std::vector<std::size_t> order(points_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::size_t keep = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return squared_distance(points_[a], point) <
+                             squared_distance(points_[b], point);
+                    });
+  order.resize(keep);
+  return order;
+}
+
+double squared_distance(const Point& a, const Point& b) {
+  double sum = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double similarity_phi(const Dataset& dataset, const Point& x, std::size_t nth) {
+  if (nth == 0 || dataset.size() < nth) return std::numeric_limits<double>::infinity();
+  const auto neighbours = dataset.nearest(x, nth);
+  const Point& z = dataset.points()[neighbours.back()];
+  const std::size_t m = std::max<std::size_t>(1, x.size());
+  return std::sqrt(squared_distance(x, z) / static_cast<double>(m));
+}
+
+double adaptive_threshold(const Dataset& dataset) {
+  const std::size_t n = dataset.size();
+  if (n < 2) return 0.0;
+  const std::size_t m = std::max<std::size_t>(1, dataset.dimension());
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      best = std::min(best, squared_distance(dataset.points()[i], dataset.points()[j]));
+    }
+    total += std::sqrt(best / static_cast<double>(m));
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace dovado::model

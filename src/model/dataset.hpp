@@ -1,0 +1,66 @@
+// Synthetic dataset backing the fitness-approximation model.
+//
+// Stores (design point -> metric vector) pairs collected from tool runs
+// (paper Sec. III-C: "a synthetic dataset of size M by making M distinct
+// calls to Vivado with randomly sampled design points"), and provides the
+// similarity measure of Eq. (4) plus nearest-neighbour queries.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace dovado::model {
+
+/// A design point in raw parameter space (one coordinate per decision
+/// variable).
+using Point = std::vector<double>;
+
+/// Metric values at a point (one entry per optimization metric, e.g.
+/// [LUTs, FFs, Fmax]).
+using Values = std::vector<double>;
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Add a sample. The first sample fixes the point dimension and metric
+  /// count; later samples must match (checked, throws std::invalid_argument).
+  void add(Point point, Values values);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t dimension() const { return dimension_; }
+  [[nodiscard]] std::size_t metric_count() const { return metric_count_; }
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] const std::vector<Values>& values() const { return values_; }
+
+  /// Index of a sample with exactly this point, if present.
+  [[nodiscard]] std::optional<std::size_t> find_exact(const Point& point) const;
+
+  /// Indices of the k nearest samples to `point` (Euclidean), closest first.
+  [[nodiscard]] std::vector<std::size_t> nearest(const Point& point, std::size_t k) const;
+
+ private:
+  std::vector<Point> points_;
+  std::vector<Values> values_;
+  std::size_t dimension_ = 0;
+  std::size_t metric_count_ = 0;
+};
+
+/// Squared Euclidean distance between two points.
+[[nodiscard]] double squared_distance(const Point& a, const Point& b);
+
+/// Similarity measure of Eq. (4): the per-dimension RMS distance between x
+/// and its n-th nearest dataset point (nth is 1-based; nth=1 => nearest).
+/// Returns +infinity when the dataset has fewer than nth samples.
+[[nodiscard]] double similarity_phi(const Dataset& dataset, const Point& x,
+                                    std::size_t nth = 1);
+
+/// Adaptive threshold Γ (Sec. III-C): the average, over dataset points, of
+/// the Eq.-(4) distance to their nearest *other* dataset point. 0 for
+/// datasets with fewer than two samples.
+[[nodiscard]] double adaptive_threshold(const Dataset& dataset);
+
+}  // namespace dovado::model

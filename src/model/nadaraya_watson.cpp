@@ -1,0 +1,107 @@
+#include "src/model/nadaraya_watson.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dovado::model {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+}
+
+double gaussian_kernel(double squared_dist, double bandwidth) {
+  if (bandwidth <= 0.0) return 0.0;
+  return kInvSqrt2Pi * std::exp(-squared_dist / (2.0 * bandwidth * bandwidth));
+}
+
+void NadarayaWatson::fit(const Dataset& dataset, std::vector<double> bandwidths) {
+  if (dataset.empty()) throw std::invalid_argument("cannot fit on an empty dataset");
+  if (bandwidths.size() != dataset.metric_count()) {
+    throw std::invalid_argument("one bandwidth per metric required");
+  }
+  dataset_ = dataset;
+  bandwidths_ = std::move(bandwidths);
+}
+
+double NadarayaWatson::predict_metric(const Point& x, std::size_t metric,
+                                      std::size_t exclude) const {
+  const double h = bandwidths_.at(metric);
+  double numerator = 0.0;
+  double denominator = 0.0;
+  double nearest_value = 0.0;
+  double nearest_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < dataset_.size(); ++i) {
+    if (i == exclude) continue;
+    const double d2 = squared_distance(x, dataset_.points()[i]);
+    const double w = gaussian_kernel(d2, h);
+    numerator += w * dataset_.values()[i][metric];
+    denominator += w;
+    if (d2 < nearest_dist) {
+      nearest_dist = d2;
+      nearest_value = dataset_.values()[i][metric];
+    }
+  }
+  if (denominator <= std::numeric_limits<double>::min()) {
+    // All weights underflowed: degrade to 1-NN rather than returning NaN.
+    return nearest_value;
+  }
+  return numerator / denominator;
+}
+
+Values NadarayaWatson::predict(const Point& x) const {
+  if (!fitted()) throw std::logic_error("predict() before fit()");
+  Values out(dataset_.metric_count());
+  for (std::size_t m = 0; m < out.size(); ++m) {
+    out[m] = predict_metric(x, m, dataset_.size());
+  }
+  return out;
+}
+
+double loo_cv_error(const Dataset& dataset, std::size_t metric, double h) {
+  if (dataset.size() < 2) return std::numeric_limits<double>::infinity();
+  NadarayaWatson model;
+  model.fit(dataset, std::vector<double>(dataset.metric_count(), h));
+  double total = 0.0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const double predicted = model.predict_metric(dataset.points()[i], metric, i);
+    const double actual = dataset.values()[i][metric];
+    const double err = predicted - actual;
+    total += err * err;
+  }
+  return total / static_cast<double>(dataset.size());
+}
+
+std::vector<double> default_bandwidth_grid(const Dataset& dataset) {
+  // Scale the grid to the mean nearest-neighbour distance so parameter
+  // ranges of any magnitude get a sensible sweep.
+  double scale = adaptive_threshold(dataset) *
+                 std::sqrt(static_cast<double>(std::max<std::size_t>(1, dataset.dimension())));
+  if (scale <= 0.0) scale = 1.0;
+  std::vector<double> grid;
+  for (double f : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0, 8.0}) {
+    grid.push_back(scale * f);
+  }
+  return grid;
+}
+
+std::vector<double> select_bandwidths(const Dataset& dataset,
+                                      const std::vector<double>& candidates) {
+  const std::vector<double> grid =
+      candidates.empty() ? default_bandwidth_grid(dataset) : candidates;
+  std::vector<double> best(dataset.metric_count(), grid.empty() ? 1.0 : grid.front());
+  for (std::size_t metric = 0; metric < dataset.metric_count(); ++metric) {
+    double best_err = std::numeric_limits<double>::infinity();
+    for (double h : grid) {
+      const double err = loo_cv_error(dataset, metric, h);
+      if (err < best_err) {
+        best_err = err;
+        best[metric] = h;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace dovado::model

@@ -1,0 +1,57 @@
+// Nadaraya-Watson kernel regression (paper Sec. III-C, Eqs. 2-3).
+//
+// A non-parametric estimator: the prediction at x is the kernel-weighted
+// average of the dataset values, with a Gaussian kernel whose bandwidth h
+// is the single free parameter (per Shapiai et al. [28], the Gaussian
+// kernel performs best, "leaving the bandwidth as the only free
+// parameter"). Bandwidths are selected per metric by Leave-One-Out
+// cross-validation, which is cheap because the model has no training phase.
+#pragma once
+
+#include <vector>
+
+#include "src/model/dataset.hpp"
+
+namespace dovado::model {
+
+/// Gaussian kernel of Eq. (3) in squared-distance form:
+/// K_h(d2) = exp(-d2 / (2 h^2)) / sqrt(2 pi).
+[[nodiscard]] double gaussian_kernel(double squared_dist, double bandwidth);
+
+class NadarayaWatson {
+ public:
+  /// Bind the model to a dataset snapshot with one bandwidth per metric.
+  /// The dataset is copied (it is small by construction: the paper uses
+  /// M = 100 pre-training samples).
+  void fit(const Dataset& dataset, std::vector<double> bandwidths);
+
+  [[nodiscard]] bool fitted() const { return !bandwidths_.empty(); }
+  [[nodiscard]] const std::vector<double>& bandwidths() const { return bandwidths_; }
+
+  /// Predict all metrics at x (Eq. 2). If every kernel weight underflows
+  /// (x far from all samples), falls back to the nearest sample's values.
+  [[nodiscard]] Values predict(const Point& x) const;
+
+  /// Predict one metric, optionally excluding sample `exclude` (used by
+  /// LOO-CV). Pass exclude == size() to exclude nothing.
+  [[nodiscard]] double predict_metric(const Point& x, std::size_t metric,
+                                      std::size_t exclude) const;
+
+ private:
+  Dataset dataset_;
+  std::vector<double> bandwidths_;
+};
+
+/// Mean squared LOO-CV error of metric `metric` at bandwidth `h`.
+[[nodiscard]] double loo_cv_error(const Dataset& dataset, std::size_t metric, double h);
+
+/// Candidate bandwidth grid scaled to the dataset's typical nearest-
+/// neighbour distance (so the grid adapts to the parameter ranges).
+[[nodiscard]] std::vector<double> default_bandwidth_grid(const Dataset& dataset);
+
+/// Select per-metric bandwidths by LOO-CV over `candidates` (or the default
+/// grid when empty). Returns one bandwidth per metric.
+[[nodiscard]] std::vector<double> select_bandwidths(
+    const Dataset& dataset, const std::vector<double>& candidates = {});
+
+}  // namespace dovado::model

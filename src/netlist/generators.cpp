@@ -1,0 +1,379 @@
+#include "src/netlist/generators.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace dovado::netlist {
+
+std::int64_t param_or(const hdl::ExprEnv& env, const char* name, std::int64_t fallback) {
+  return env.get(name).value_or(fallback);
+}
+
+namespace {
+
+std::int64_t clamp_pos(std::int64_t v, std::int64_t lo = 1) { return std::max(v, lo); }
+
+}  // namespace
+
+Netlist generate_cv32e40p_fifo(const hdl::ExprEnv& env) {
+  const std::int64_t depth = clamp_pos(param_or(env, "DEPTH", 8));
+  const std::int64_t width = clamp_pos(param_or(env, "DATA_WIDTH", 32));
+  const bool fall_through = param_or(env, "FALL_THROUGH", 0) != 0;
+  const std::int64_t ptr_w = std::max<std::int64_t>(hdl::clog2(depth), 1);
+
+  Netlist n;
+  n.top = "cv32e40p_fifo";
+
+  // Storage: fifo_v3 keeps mem_q in flip-flops (no RAM inference), so FF
+  // usage grows linearly in DEPTH*WIDTH and the read path is a wide mux.
+  Memory mem;
+  mem.name = "mem_q";
+  mem.depth = depth;
+  mem.width = width;
+  mem.prefer_registers = true;
+  n.memories.push_back(mem);
+
+  // Pointers + status counter (each ptr_w..ptr_w+1 bits) and their
+  // increment/compare logic.
+  n.ffs += 2 * ptr_w + (ptr_w + 1);
+  n.luts += 3 * (ptr_w + 1) + 4;  // two incrementers, wrap compares, flags
+
+  // Write-enable decode: one LUT per 4 rows.
+  n.luts += (depth + 3) / 4;
+
+  // Fall-through adds a 2:1 bypass mux on the output data.
+  if (fall_through) n.luts += (width + 1) / 2;
+
+  // Critical path: read-pointer FF -> read mux tree -> (bypass) -> data out
+  // register of the consumer; plus the pointer-update path.
+  PathGroup read_path;
+  read_path.name = "mem_read_mux";
+  read_path.logic_levels = mux_levels(depth) + (fall_through ? 1 : 0) + 1;
+  read_path.avg_fanout = 4.0 + static_cast<double>(width) / 16.0;
+  n.paths.push_back(read_path);
+
+  PathGroup ptr_path;
+  ptr_path.name = "pointer_update";
+  ptr_path.logic_levels = 2 + mux_levels(ptr_w);
+  ptr_path.avg_fanout = static_cast<double>(depth) / 8.0 + 2.0;  // we fan to all rows
+  n.paths.push_back(ptr_path);
+  return n;
+}
+
+Netlist generate_cpl_queue_manager(const hdl::ExprEnv& env) {
+  const std::int64_t op_table = clamp_pos(param_or(env, "OP_TABLE_SIZE", 16));
+  const std::int64_t queue_iw = clamp_pos(param_or(env, "QUEUE_INDEX_WIDTH", 8));
+  const std::int64_t pipeline = clamp_pos(param_or(env, "PIPELINE", 2));
+  const std::int64_t ptr_w = clamp_pos(param_or(env, "QUEUE_PTR_WIDTH", 16));
+  const std::int64_t tag_w = clamp_pos(param_or(env, "REQ_TAG_WIDTH", 8));
+  const std::int64_t ram_w = 128;  // queue state record width (localparam)
+  const std::int64_t op_tag_w = std::max<std::int64_t>(hdl::clog2(op_table), 1);
+
+  Netlist n;
+  n.top = "cpl_queue_manager";
+
+  // Queue state RAM: one 128-bit record per queue; always inferred as block
+  // RAM by the tool. Across the explored QUEUE_INDEX_WIDTH range its
+  // physical footprint is the same number of BRAMs (width-dominated), which
+  // is exactly the constant-BRAM behaviour Fig. 4 shows.
+  Memory ram;
+  ram.name = "queue_ram";
+  ram.depth = std::int64_t{1} << queue_iw;
+  ram.width = ram_w;
+  ram.dual_port = true;
+  ram.prefer_block = true;  // upstream uses a block-RAM style attribute
+  n.memories.push_back(ram);
+
+  // Operation table: CAM-like structure held in FFs with per-entry valid/
+  // commit bits plus queue/pointer fields.
+  n.ffs += op_table * (queue_iw + ptr_w + 2);
+  // Allocation/retire logic: per-entry compare + head/tail pointers.
+  n.luts += op_table * 2 + 4 * op_tag_w + 8;
+  // Table read muxes (retire path reads queue and pointer fields).
+  n.luts += mux_luts(op_table, queue_iw + ptr_w);
+
+  // Per-stage pipeline registers (data + queue index + valid).
+  n.ffs += pipeline * (ram_w + queue_iw + 1);
+  // Response/event output registers and AXIS handshake logic.
+  n.ffs += ptr_w + op_tag_w + queue_iw + tag_w + 4;
+  n.luts += 24;
+
+  // Timing: the enqueue datapath has a fixed amount of combinational work
+  // (op-table match, pointer arithmetic, record update) that the PIPELINE
+  // parameter spreads across stages; deeper pipelines shorten the levels
+  // per stage with diminishing returns (retiming cannot split the RAM
+  // access or the final priority encoder).
+  const int total_levels = 2 * mux_levels(op_table) + 12;
+  const int per_stage =
+      std::max<int>(4, static_cast<int>((total_levels + pipeline - 1) / pipeline) + 1);
+  PathGroup datapath;
+  datapath.name = "enqueue_datapath";
+  datapath.logic_levels = per_stage;
+  datapath.avg_fanout = 4.0 + static_cast<double>(op_table) / 12.0;
+  n.paths.push_back(datapath);
+
+  PathGroup ram_read;
+  ram_read.name = "queue_ram_read";
+  ram_read.logic_levels = 2;
+  ram_read.from_bram = true;
+  ram_read.avg_fanout = 3.0;
+  n.paths.push_back(ram_read);
+  return n;
+}
+
+Netlist generate_neorv32_top(const hdl::ExprEnv& env) {
+  const std::int64_t imem_bytes = clamp_pos(param_or(env, "MEM_INT_IMEM_SIZE", 16384));
+  const std::int64_t dmem_bytes = clamp_pos(param_or(env, "MEM_INT_DMEM_SIZE", 8192));
+  const std::int64_t icache_blocks = param_or(env, "ICACHE_NUM_BLOCKS", 4);
+  const bool m_ext = param_or(env, "CPU_EXTENSION_RISCV_M", 1) != 0;
+  const std::int64_t hpm = param_or(env, "HPM_NUM_CNTS", 0);
+
+  Netlist n;
+  n.top = "neorv32_top";
+
+  // Fixed 4-stage in-order rv32 core (regfile in LUTRAM, CSRs, bus switch,
+  // UART/GPIO peripherals): calibrated against published neorv32 numbers.
+  n.luts += 2350;
+  n.ffs += 1900;
+
+  // Register file: 32 x 32 simple dual port, distributed RAM.
+  Memory regfile;
+  regfile.name = "regfile";
+  regfile.depth = 32;
+  regfile.width = 32;
+  n.memories.push_back(regfile);
+
+  if (m_ext) {
+    // Serial mul/div unit (LUT-based, no DSP in the default configuration).
+    n.luts += 620;
+    n.ffs += 180;
+  }
+  if (icache_blocks > 0) {
+    n.luts += 150 + 40 * hdl::clog2(icache_blocks);
+    n.ffs += 90;
+    Memory icache;
+    icache.name = "icache";
+    icache.depth = icache_blocks * 64;
+    icache.width = 32;
+    n.memories.push_back(icache);
+  }
+  n.luts += hpm * 90;
+  n.ffs += hpm * 64;
+
+  // Internal instruction and data memories: 32-bit wide, byte capacity set
+  // by the generics. These dominate BRAM usage and produce the step change
+  // Fig. 5 highlights when a size crosses a BRAM cascading boundary.
+  Memory imem;
+  imem.name = "imem";
+  imem.depth = imem_bytes / 4;
+  imem.width = 32;
+  n.memories.push_back(imem);
+
+  Memory dmem;
+  dmem.name = "dmem";
+  dmem.depth = dmem_bytes / 4;
+  dmem.width = 32;
+  n.memories.push_back(dmem);
+
+  // Critical paths: instruction fetch from BRAM through decode, and the ALU
+  // + forwarding path. Deeper memories add address-decode/cascade levels.
+  const int imem_extra = std::max<int>(0, static_cast<int>(hdl::clog2(imem_bytes / 4)) - 10);
+  PathGroup fetch;
+  fetch.name = "imem_fetch_decode";
+  fetch.logic_levels = 5 + imem_extra;
+  fetch.from_bram = true;
+  fetch.avg_fanout = 6.0;
+  n.paths.push_back(fetch);
+
+  PathGroup alu;
+  alu.name = "execute_alu";
+  alu.logic_levels = 11;
+  alu.avg_fanout = 5.0;
+  n.paths.push_back(alu);
+  return n;
+}
+
+Netlist generate_tirex_top(const hdl::ExprEnv& env) {
+  const std::int64_t nclusters = clamp_pos(param_or(env, "NCLUSTER", 1));
+  const std::int64_t stack_size = clamp_pos(param_or(env, "STACK_SIZE", 16));
+  const std::int64_t imem_kinstr = clamp_pos(param_or(env, "INSTR_MEM_SIZE", 8));
+  const std::int64_t dmem_kb = clamp_pos(param_or(env, "DATA_MEM_SIZE", 16));
+  const std::int64_t instr_w = 16 * nclusters;
+
+  Netlist n;
+  n.top = "tirex_top";
+
+  // Control unit: fetch/dispatch, context-switch management.
+  n.luts += 540 + 8 * hdl::clog2(stack_size);
+  n.ffs += 260;
+
+  // Matching clusters: each processes a 16-bit instruction slice.
+  n.luts += nclusters * 340;
+  n.ffs += nclusters * 190;
+
+  // Context-switch stack (32-bit entries). Small stacks land in LUTRAM.
+  Memory stack;
+  stack.name = "ctx_stack";
+  stack.depth = stack_size;
+  stack.width = 32;
+  n.memories.push_back(stack);
+
+  // Instruction memory: depth in K-instructions, width scales with the
+  // cluster count (wide-instruction VLIW-style scaling).
+  Memory imem;
+  imem.name = "instr_mem";
+  imem.depth = imem_kinstr * 1024;
+  imem.width = instr_w;
+  n.memories.push_back(imem);
+
+  Memory dmem;
+  dmem.name = "data_mem";
+  dmem.depth = dmem_kb * 1024 / 4;
+  dmem.width = 32;
+  n.memories.push_back(dmem);
+
+  // Critical path: instruction fetch from BRAM into the cluster compare
+  // network; wide instructions add mux/fanout pressure, deep stacks add a
+  // level on the context-switch path.
+  PathGroup fetch;
+  fetch.name = "fetch_dispatch";
+  fetch.logic_levels = 4 + static_cast<int>(hdl::clog2(nclusters));
+  fetch.from_bram = true;
+  fetch.avg_fanout = 4.0 + static_cast<double>(nclusters);
+  n.paths.push_back(fetch);
+
+  PathGroup control;
+  control.name = "control_unit";
+  control.logic_levels = 9 + static_cast<int>(hdl::clog2(stack_size) / 4);
+  control.avg_fanout = 5.0;
+  n.paths.push_back(control);
+  return n;
+}
+
+Netlist generate_counter(const hdl::ExprEnv& env) {
+  const std::int64_t width = clamp_pos(param_or(env, "WIDTH", 8));
+  Netlist n;
+  n.top = "counter";
+  n.ffs += width;
+  n.luts += width;  // carry-chain increment packs roughly 1 LUT/bit
+  PathGroup carry;
+  carry.name = "carry_chain";
+  carry.logic_levels = 1 + static_cast<int>(width / 16);  // long chains slow down
+  carry.avg_fanout = 2.0;
+  n.paths.push_back(carry);
+  return n;
+}
+
+Netlist generate_shift_reg(const hdl::ExprEnv& env) {
+  const std::int64_t depth = clamp_pos(param_or(env, "DEPTH", 16));
+  const std::int64_t width = clamp_pos(param_or(env, "WIDTH", 8));
+  Netlist n;
+  n.top = "shift_reg";
+  n.ffs += depth * width;
+  n.luts += width;
+  PathGroup p;
+  p.name = "shift";
+  p.logic_levels = 1;
+  p.avg_fanout = 2.0;
+  n.paths.push_back(p);
+  return n;
+}
+
+Netlist generate_pipelined_mac(const hdl::ExprEnv& env) {
+  const std::int64_t stages = clamp_pos(param_or(env, "STAGES", 3));
+  const std::int64_t width = clamp_pos(param_or(env, "WIDTH", 18));
+  Netlist n;
+  n.top = "pipelined_mac";
+  // One DSP48 per 18x18 partial product.
+  const std::int64_t dsp_tiles = ((width + 17) / 18) * ((width + 17) / 18);
+  n.dsps += dsp_tiles;
+  n.ffs += stages * 2 * width;
+  n.luts += dsp_tiles * 12;  // partial-product alignment
+  PathGroup p;
+  p.name = "mac";
+  p.logic_levels = std::max<int>(1, static_cast<int>(6 / stages));
+  p.through_dsp = true;
+  p.avg_fanout = 3.0;
+  n.paths.push_back(p);
+  return n;
+}
+
+Netlist generate_systolic_mm(const hdl::ExprEnv& env) {
+  const std::int64_t rows = clamp_pos(param_or(env, "ROWS", 4));
+  const std::int64_t cols = clamp_pos(param_or(env, "COLS", 4));
+  const std::int64_t data_w = clamp_pos(param_or(env, "DATA_W", 16));
+  const std::int64_t acc_w = clamp_pos(param_or(env, "ACC_W", 2 * data_w + 8));
+  const std::int64_t pes = rows * cols;
+
+  Netlist n;
+  n.top = "systolic_mm";
+  // One MAC per PE; DATA_W > 18 needs DSP tiling like pipelined_mac.
+  const std::int64_t dsp_per_pe = ((data_w + 17) / 18) * ((data_w + 17) / 18);
+  n.dsps += pes * dsp_per_pe;
+  // Wavefront registers (a/b pipes) + accumulators + drain mux output regs.
+  n.ffs += pes * (2 * data_w + acc_w) + cols * acc_w;
+  // Accumulator adders beyond the DSP pre-adder plus drain mux.
+  n.luts += pes * (acc_w / 4) + mux_luts(rows, cols * acc_w) / 4 + 20;
+
+  PathGroup mac;
+  mac.name = "pe_mac";
+  mac.logic_levels = 2;
+  mac.through_dsp = true;
+  mac.avg_fanout = 3.0;
+  n.paths.push_back(mac);
+
+  PathGroup drain;
+  drain.name = "drain_mux";
+  drain.logic_levels = 1 + mux_levels(rows);
+  drain.avg_fanout = 4.0;
+  n.paths.push_back(drain);
+  return n;
+}
+
+Netlist generate_axis_switch(const hdl::ExprEnv& env) {
+  const std::int64_t ports = clamp_pos(param_or(env, "PORTS", 4));
+  const std::int64_t data_w = clamp_pos(param_or(env, "DATA_W", 64));
+  const std::int64_t fifo_depth = clamp_pos(param_or(env, "FIFO_DEPTH", 32));
+  const std::int64_t cnt_w = std::max<std::int64_t>(hdl::clog2(ports), 1);
+
+  Netlist n;
+  n.top = "axis_switch";
+  // Per-output data mux over all inputs: the quadratic term.
+  n.luts += ports * mux_luts(ports, data_w);
+  // Arbitration: per output, compare each input's tdest (cnt_w bits) and
+  // priority-resolve.
+  n.luts += ports * ports * (cnt_w + 1) / 2 + ports * 8;
+  n.ffs += ports * (cnt_w + 1 + cnt_w + 1);  // grant + granted + counters
+
+  // Per-input output FIFO.
+  Memory fifo;
+  fifo.name = "port_fifo";
+  fifo.depth = ports * fifo_depth;
+  fifo.width = data_w;
+  n.memories.push_back(fifo);
+
+  PathGroup arb;
+  arb.name = "arbitration";
+  // Priority chain over the ports plus the data mux.
+  arb.logic_levels = 2 + static_cast<int>((ports + 3) / 4) + mux_levels(ports);
+  arb.avg_fanout = 3.0 + static_cast<double>(ports) / 2.0;
+  n.paths.push_back(arb);
+  return n;
+}
+
+void register_builtin_generators() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    GeneratorRegistry::register_generator("cv32e40p_fifo", generate_cv32e40p_fifo);
+    GeneratorRegistry::register_generator("cpl_queue_manager", generate_cpl_queue_manager);
+    GeneratorRegistry::register_generator("neorv32_top", generate_neorv32_top);
+    GeneratorRegistry::register_generator("tirex_top", generate_tirex_top);
+    GeneratorRegistry::register_generator("counter", generate_counter);
+    GeneratorRegistry::register_generator("shift_reg", generate_shift_reg);
+    GeneratorRegistry::register_generator("pipelined_mac", generate_pipelined_mac);
+    GeneratorRegistry::register_generator("systolic_mm", generate_systolic_mm);
+    GeneratorRegistry::register_generator("axis_switch", generate_axis_switch);
+  });
+}
+
+}  // namespace dovado::netlist

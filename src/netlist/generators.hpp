@@ -1,0 +1,47 @@
+// Built-in netlist generators for the paper's four case studies and a few
+// generic modules used in tests/examples.
+//
+// Each generator encodes the published structure of its architecture as a
+// function of the module parameters, so that the simulated synthesis sees
+// utilization/timing surfaces with the same shape the paper reports:
+//   - cv32e40p_fifo: FF-based storage (linear FF growth with DEPTH), read
+//     multiplexer LUTs, pointer logic (Sec. IV-A).
+//   - cpl_queue_manager: BRAM-backed queue state (constant BRAM across the
+//     explored range), op-table CAM in FF/LUTs, deeper pipelines trading
+//     registers for frequency (Sec. IV-B, Fig. 4, Table I).
+//   - neorv32_top: fixed core plus BRAM instruction/data memories; the BRAM
+//     count jumps with the power-of-two memory sizes (Sec. IV-C, Fig. 5).
+//   - tirex_top: per-cluster datapath replication, stack + memories, with a
+//     control-dominated critical path (Sec. IV-D, Figs. 6-7, Table II).
+#pragma once
+
+#include "src/netlist/ir.hpp"
+
+namespace dovado::netlist {
+
+/// Individual generators (also reachable through GeneratorRegistry by the
+/// RTL module name). Exposed directly for unit tests.
+[[nodiscard]] Netlist generate_cv32e40p_fifo(const hdl::ExprEnv& env);
+[[nodiscard]] Netlist generate_cpl_queue_manager(const hdl::ExprEnv& env);
+[[nodiscard]] Netlist generate_neorv32_top(const hdl::ExprEnv& env);
+[[nodiscard]] Netlist generate_tirex_top(const hdl::ExprEnv& env);
+
+/// Generic helpers registered for tests/examples: "counter" (WIDTH),
+/// "shift_reg" (DEPTH, WIDTH) and "pipelined_mac" (STAGES, WIDTH).
+[[nodiscard]] Netlist generate_counter(const hdl::ExprEnv& env);
+[[nodiscard]] Netlist generate_shift_reg(const hdl::ExprEnv& env);
+[[nodiscard]] Netlist generate_pipelined_mac(const hdl::ExprEnv& env);
+
+/// Extension workloads (rtl/systolic_mm.sv, rtl/axis_switch.v):
+///   - systolic_mm (ROWS, COLS, DATA_W): DSP-dominated output-stationary
+///     array, one DSP-mapped MAC per processing element;
+///   - axis_switch (PORTS, DATA_W, FIFO_DEPTH): interconnect whose
+///     arbitration/mux logic grows ~quadratically with the port count.
+[[nodiscard]] Netlist generate_systolic_mm(const hdl::ExprEnv& env);
+[[nodiscard]] Netlist generate_axis_switch(const hdl::ExprEnv& env);
+
+/// Fetch an integer parameter with a fallback default.
+[[nodiscard]] std::int64_t param_or(const hdl::ExprEnv& env, const char* name,
+                                    std::int64_t fallback);
+
+}  // namespace dovado::netlist

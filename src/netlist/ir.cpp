@@ -1,0 +1,72 @@
+#include "src/netlist/ir.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "src/util/strings.hpp"
+
+namespace dovado::netlist {
+
+void Netlist::absorb(const Netlist& other) {
+  luts += other.luts;
+  ffs += other.ffs;
+  dsps += other.dsps;
+  memories.insert(memories.end(), other.memories.begin(), other.memories.end());
+  paths.insert(paths.end(), other.paths.begin(), other.paths.end());
+}
+
+std::int64_t mux_luts(std::int64_t depth, std::int64_t width) {
+  if (depth <= 1 || width <= 0) return 0;
+  // A 4:1 mux fits one LUT6; a D:1 tree needs ceil((D-1)/3) of them per bit.
+  return width * ((depth - 1 + 2) / 3);
+}
+
+int mux_levels(std::int64_t depth) {
+  if (depth <= 1) return 0;
+  int levels = 0;
+  std::int64_t remaining = depth;
+  while (remaining > 1) {
+    remaining = (remaining + 3) / 4;
+    ++levels;
+  }
+  return levels;
+}
+
+namespace {
+
+std::map<std::string, Generator>& registry() {
+  static std::map<std::string, Generator> instance;
+  return instance;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void GeneratorRegistry::register_generator(const std::string& module_name, Generator gen) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[util::to_lower(module_name)] = std::move(gen);
+}
+
+std::optional<Generator> GeneratorRegistry::find(const std::string& module_name) {
+  register_builtin_generators();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(util::to_lower(module_name));
+  if (it == registry().end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> GeneratorRegistry::registered() {
+  register_builtin_generators();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, gen] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace dovado::netlist

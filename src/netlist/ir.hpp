@@ -1,0 +1,102 @@
+// Structural netlist intermediate representation.
+//
+// The simulated toolchain needs something to synthesize. Elaboration maps
+// (module, concrete parameters) to a Netlist: aggregate logic resources,
+// candidate memories (the technology mapper later decides BRAM vs
+// distributed RAM) and register-to-register timing path groups. The case
+// studies' generators (generators.hpp) encode the published structure of
+// each architecture so utilization and frequency respond to parameters the
+// way the real designs do.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/hdl/expr.hpp"
+
+namespace dovado::netlist {
+
+/// A memory array inferred from the RTL. The mapper decides its physical
+/// form (BRAM / distributed LUT RAM / flip-flops).
+struct Memory {
+  std::string name;
+  std::int64_t depth = 0;  ///< entries
+  std::int64_t width = 0;  ///< bits per entry
+  bool dual_port = true;   ///< simple dual port (1W1R) unless stated
+  bool prefer_registers = false;  ///< RTL style forces FF implementation
+  bool prefer_block = false;      ///< RTL ram_style attribute forces BRAM
+
+  [[nodiscard]] std::int64_t bits() const { return depth * width; }
+};
+
+/// A group of register-to-register timing paths with similar structure.
+/// The timing engine turns these into delays using the device parameters.
+struct PathGroup {
+  std::string name;
+  int logic_levels = 1;      ///< LUT levels between launch and capture FF
+  bool from_bram = false;    ///< launched by a BRAM synchronous read
+  bool through_dsp = false;  ///< passes through a DSP slice
+  double avg_fanout = 4.0;   ///< average net fanout along the path
+};
+
+/// Aggregate structural netlist of one elaborated design.
+struct Netlist {
+  std::string top;
+  std::int64_t luts = 0;  ///< combinational logic, in LUT6 equivalents
+  std::int64_t ffs = 0;   ///< register bits (excluding memories)
+  std::int64_t dsps = 0;
+  std::vector<Memory> memories;
+  std::vector<PathGroup> paths;
+
+  /// Total memory bits across all arrays.
+  [[nodiscard]] std::int64_t memory_bits() const {
+    std::int64_t total = 0;
+    for (const auto& m : memories) total += m.bits();
+    return total;
+  }
+
+  /// Deepest combinational path group (levels), 1 if none recorded.
+  [[nodiscard]] int max_logic_levels() const {
+    int levels = 1;
+    for (const auto& p : paths) levels = std::max(levels, p.logic_levels);
+    return levels;
+  }
+
+  /// Merge another netlist into this one (hierarchical composition).
+  void absorb(const Netlist& other);
+};
+
+/// Read-multiplexer cost of a D-deep, W-wide register-file read port, in
+/// LUT6 equivalents (a LUT6 covers a 4:1 mux).
+[[nodiscard]] std::int64_t mux_luts(std::int64_t depth, std::int64_t width);
+
+/// Logic levels of a D:1 multiplexer tree built from 4:1 stages.
+[[nodiscard]] int mux_levels(std::int64_t depth);
+
+/// A netlist generator: elaborates a module for a concrete parameter
+/// environment. Generators must be pure functions of the environment.
+using Generator = std::function<Netlist(const hdl::ExprEnv&)>;
+
+/// Registry mapping module names (case-insensitive) to generators. The four
+/// case studies plus a few simple modules register themselves at startup;
+/// hosts may register additional designs.
+class GeneratorRegistry {
+ public:
+  /// Register a generator under a module name; replaces any existing one.
+  static void register_generator(const std::string& module_name, Generator gen);
+
+  /// Find the generator for a module; std::nullopt if unknown.
+  [[nodiscard]] static std::optional<Generator> find(const std::string& module_name);
+
+  /// Names of all registered modules (sorted).
+  [[nodiscard]] static std::vector<std::string> registered();
+};
+
+/// Ensure the built-in generators (case studies + simple modules) are
+/// registered. Called lazily by GeneratorRegistry::find; exposed for tests.
+void register_builtin_generators();
+
+}  // namespace dovado::netlist

@@ -1,0 +1,67 @@
+#include "src/opt/baselines.hpp"
+
+#include <set>
+
+#include "src/opt/nds.hpp"
+#include "src/opt/nsga2.hpp"
+#include "src/opt/operators.hpp"
+
+namespace dovado::opt {
+
+BaselineResult random_search(Problem& problem, std::size_t budget, std::uint64_t seed) {
+  BaselineResult result;
+  util::Rng rng(seed);
+  std::set<Genome> seen;
+  const std::int64_t volume = problem.volume();
+  int stale = 0;
+  while (result.evaluated.size() < budget &&
+         static_cast<std::int64_t>(seen.size()) < volume) {
+    Genome g = random_genome(problem, rng);
+    if (!seen.insert(g).second) {
+      if (++stale > 1000) break;  // space almost exhausted
+      continue;
+    }
+    stale = 0;
+    Individual ind;
+    ind.genome = std::move(g);
+    ind.objectives = problem.evaluate(ind.genome);
+    ind.evaluated = true;
+    ++result.evaluations;
+    result.evaluated.push_back(std::move(ind));
+  }
+  result.pareto_front = pareto_subset(result.evaluated);
+  return result;
+}
+
+BaselineResult exhaustive_search(Problem& problem, std::int64_t max_points) {
+  BaselineResult result;
+  const std::int64_t volume = problem.volume();
+  if (volume <= 0 || volume > max_points) return result;
+
+  const std::size_t n = problem.n_vars();
+  Genome g(n, 0);
+  bool done = false;
+  while (!done) {
+    Individual ind;
+    ind.genome = g;
+    ind.objectives = problem.evaluate(g);
+    ind.evaluated = true;
+    ++result.evaluations;
+    result.evaluated.push_back(std::move(ind));
+
+    // Odometer increment over the mixed-radix index space.
+    done = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (++g[i] < problem.cardinality(i)) {
+        done = false;
+        break;
+      }
+      g[i] = 0;
+    }
+    if (n == 0) break;
+  }
+  result.pareto_front = pareto_subset(result.evaluated);
+  return result;
+}
+
+}  // namespace dovado::opt

@@ -1,0 +1,111 @@
+#include "src/opt/indicators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/opt/nds.hpp"
+
+namespace dovado::opt {
+
+namespace {
+
+/// Recursive hypervolume by slicing on the last dimension (HSO-style).
+/// `points` are minimization objectives strictly below `ref` in every
+/// dimension.
+double hv_recursive(std::vector<Objectives> points, const Objectives& ref) {
+  if (points.empty()) return 0.0;
+  const std::size_t dim = ref.size();
+  if (dim == 1) {
+    double best = ref[0];
+    for (const auto& p : points) best = std::min(best, p[0]);
+    return std::max(0.0, ref[0] - best);
+  }
+
+  // Sort by the last objective ascending and sweep slices.
+  std::sort(points.begin(), points.end(),
+            [dim](const Objectives& a, const Objectives& b) {
+              return a[dim - 1] < b[dim - 1];
+            });
+
+  double volume = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double slice_lo = points[i][dim - 1];
+    const double slice_hi = (i + 1 < points.size()) ? points[i + 1][dim - 1] : ref[dim - 1];
+    const double thickness = slice_hi - slice_lo;
+    if (thickness <= 0.0) continue;
+    // Points active in this slice: those with last objective <= slice_lo.
+    std::vector<Objectives> projected;
+    Objectives sub_ref(ref.begin(), ref.end() - 1);
+    for (std::size_t j = 0; j <= i; ++j) {
+      projected.emplace_back(points[j].begin(), points[j].end() - 1);
+    }
+    volume += thickness * hv_recursive(std::move(projected), sub_ref);
+  }
+  return volume;
+}
+
+double distance(const Objectives& a, const Objectives& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+double hypervolume(const std::vector<Objectives>& front, const Objectives& reference) {
+  // Keep only points strictly dominating the reference, and only the
+  // non-dominated subset (dominated points contribute nothing).
+  std::vector<Objectives> valid;
+  for (const auto& p : front) {
+    bool inside = p.size() == reference.size();
+    for (std::size_t i = 0; inside && i < p.size(); ++i) {
+      if (p[i] >= reference[i]) inside = false;
+    }
+    if (inside) valid.push_back(p);
+  }
+  if (valid.empty()) return 0.0;
+  std::vector<Objectives> nd;
+  for (std::size_t i : non_dominated_indices(valid)) nd.push_back(valid[i]);
+  // Deduplicate (duplicates would double-count slices of zero thickness —
+  // harmless, but wasteful).
+  std::sort(nd.begin(), nd.end());
+  nd.erase(std::unique(nd.begin(), nd.end()), nd.end());
+  return hv_recursive(std::move(nd), reference);
+}
+
+double igd(const std::vector<Objectives>& front,
+           const std::vector<Objectives>& reference_front) {
+  if (reference_front.empty()) return 0.0;
+  if (front.empty()) return std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (const auto& ref_point : reference_front) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& p : front) best = std::min(best, distance(ref_point, p));
+    total += best;
+  }
+  return total / static_cast<double>(reference_front.size());
+}
+
+std::vector<Objectives> normalize_objectives(const std::vector<Objectives>& points) {
+  std::vector<Objectives> out = points;
+  if (points.empty()) return out;
+  const std::size_t m = points[0].size();
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const auto& p : points) {
+      lo = std::min(lo, p[obj]);
+      hi = std::max(hi, p[obj]);
+    }
+    for (auto& p : out) {
+      p[obj] = (hi > lo) ? (p[obj] - lo) / (hi - lo) : 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace dovado::opt

@@ -1,0 +1,31 @@
+// Quality indicators for Pareto fronts: hypervolume and IGD.
+//
+// Used by tests (convergence invariants) and by the ablation benches to
+// compare NSGA-II against baselines at equal evaluation budgets.
+#pragma once
+
+#include <vector>
+
+#include "src/opt/problem.hpp"
+
+namespace dovado::opt {
+
+/// Hypervolume dominated by `front` with respect to `reference` (all
+/// objectives minimized; points not strictly dominating the reference are
+/// ignored). Exact for any dimension via recursive slicing — intended for
+/// the small fronts DSE produces (tens of points).
+[[nodiscard]] double hypervolume(const std::vector<Objectives>& front,
+                                 const Objectives& reference);
+
+/// Inverted generational distance: mean Euclidean distance from each point
+/// of `reference_front` to its nearest neighbour in `front`. 0 when `front`
+/// covers the reference exactly; lower is better.
+[[nodiscard]] double igd(const std::vector<Objectives>& front,
+                         const std::vector<Objectives>& reference_front);
+
+/// Normalize objective vectors per dimension to [0,1] over the given set
+/// (zero-spread dimensions map to 0). Returns the normalized copy.
+[[nodiscard]] std::vector<Objectives> normalize_objectives(
+    const std::vector<Objectives>& points);
+
+}  // namespace dovado::opt

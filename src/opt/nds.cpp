@@ -1,0 +1,90 @@
+#include "src/opt/nds.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dovado::opt {
+
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
+    const std::vector<Objectives>& objectives) {
+  const std::size_t n = objectives.size();
+  std::vector<std::vector<std::size_t>> fronts;
+  if (n == 0) return fronts;
+
+  std::vector<int> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      if (dominates(objectives[p], objectives[q])) {
+        dominated_by[p].push_back(q);
+        ++domination_count[q];
+      } else if (dominates(objectives[q], objectives[p])) {
+        dominated_by[q].push_back(p);
+        ++domination_count[p];
+      }
+    }
+  }
+
+  std::vector<std::size_t> current;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (domination_count[p] == 0) current.push_back(p);
+  }
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<std::size_t> next;
+    for (std::size_t p : current) {
+      for (std::size_t q : dominated_by[p]) {
+        if (--domination_count[q] == 0) next.push_back(q);
+      }
+    }
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+std::vector<double> crowding_distance(const std::vector<Objectives>& objectives,
+                                      const std::vector<std::size_t>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> distance(n, 0.0);
+  if (n == 0) return distance;
+  if (n <= 2) {
+    std::fill(distance.begin(), distance.end(), std::numeric_limits<double>::infinity());
+    return distance;
+  }
+
+  const std::size_t m = objectives[front[0]].size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return objectives[front[a]][obj] < objectives[front[b]][obj];
+    });
+    const double lo = objectives[front[order.front()]][obj];
+    const double hi = objectives[front[order.back()]][obj];
+    distance[order.front()] = std::numeric_limits<double>::infinity();
+    distance[order.back()] = std::numeric_limits<double>::infinity();
+    if (hi <= lo) continue;  // no spread in this objective
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      const double prev = objectives[front[order[i - 1]]][obj];
+      const double next = objectives[front[order[i + 1]]][obj];
+      distance[order[i]] += (next - prev) / (hi - lo);
+    }
+  }
+  return distance;
+}
+
+std::vector<std::size_t> non_dominated_indices(const std::vector<Objectives>& objectives) {
+  std::vector<std::size_t> result;
+  const std::size_t n = objectives.size();
+  for (std::size_t p = 0; p < n; ++p) {
+    bool dominated = false;
+    for (std::size_t q = 0; q < n && !dominated; ++q) {
+      if (q != p && dominates(objectives[q], objectives[p])) dominated = true;
+    }
+    if (!dominated) result.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace dovado::opt

@@ -1,0 +1,28 @@
+// Fast non-dominated sorting and crowding distance (Deb et al., NSGA-II).
+#pragma once
+
+#include <vector>
+
+#include "src/opt/problem.hpp"
+
+namespace dovado::opt {
+
+/// Partition objective vectors into non-domination fronts. Returns fronts of
+/// indices into `objectives`: fronts[0] is the Pareto front; every solution
+/// appears in exactly one front. O(M*N^2) as in the paper [26].
+[[nodiscard]] std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
+    const std::vector<Objectives>& objectives);
+
+/// Crowding distance of each member of one front (indices parallel to
+/// `front`). Boundary solutions get +infinity. Objectives with zero spread
+/// contribute nothing.
+[[nodiscard]] std::vector<double> crowding_distance(const std::vector<Objectives>& objectives,
+                                                    const std::vector<std::size_t>& front);
+
+/// Indices of the non-dominated subset of `objectives` (== front 0, but
+/// computed with a single O(N^2) pass; duplicates of a non-dominated point
+/// are all kept).
+[[nodiscard]] std::vector<std::size_t> non_dominated_indices(
+    const std::vector<Objectives>& objectives);
+
+}  // namespace dovado::opt

@@ -1,0 +1,268 @@
+#include "src/opt/nsga2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace dovado::opt {
+
+namespace {
+
+/// Genome-level duplicate detection set.
+using GenomeSet = std::set<Genome>;
+
+}  // namespace
+
+std::vector<Individual> pareto_subset(const std::vector<Individual>& population) {
+  std::vector<Objectives> objs;
+  objs.reserve(population.size());
+  for (const auto& ind : population) objs.push_back(ind.objectives);
+  const auto indices = non_dominated_indices(objs);
+
+  std::vector<Individual> front;
+  GenomeSet seen;
+  for (std::size_t i : indices) {
+    if (seen.insert(population[i].genome).second) front.push_back(population[i]);
+  }
+  return front;
+}
+
+void Nsga2::evaluate_all(Problem& problem, std::vector<Individual>& individuals,
+                         std::size_t& evaluations) {
+  for (const auto& ind : individuals) {
+    if (!ind.evaluated) ++evaluations;
+  }
+  if (config_.batch_evaluate) {
+    config_.batch_evaluate(problem, individuals);
+    for (auto& ind : individuals) ind.evaluated = true;
+    return;
+  }
+  for (auto& ind : individuals) {
+    if (!ind.evaluated) {
+      ind.objectives = problem.evaluate(ind.genome);
+      ind.evaluated = true;
+    }
+  }
+}
+
+void Nsga2::assign_rank_crowding(std::vector<Individual>& population) const {
+  std::vector<Objectives> objs;
+  objs.reserve(population.size());
+  for (const auto& ind : population) objs.push_back(ind.objectives);
+  const auto fronts = fast_non_dominated_sort(objs);
+  for (std::size_t f = 0; f < fronts.size(); ++f) {
+    const auto crowding = crowding_distance(objs, fronts[f]);
+    for (std::size_t i = 0; i < fronts[f].size(); ++i) {
+      population[fronts[f][i]].rank = static_cast<int>(f);
+      population[fronts[f][i]].crowding = crowding[i];
+    }
+  }
+}
+
+std::vector<Individual> Nsga2::make_offspring(const Problem& problem,
+                                              const std::vector<Individual>& population,
+                                              util::Rng& rng) const {
+  GenomeSet existing;
+  if (config_.eliminate_duplicates) {
+    for (const auto& ind : population) existing.insert(ind.genome);
+  }
+
+  const std::size_t n = population.size();
+  std::vector<Individual> offspring;
+  offspring.reserve(config_.population_size);
+
+  auto mutate = [&](Genome& g) {
+    switch (config_.mutation) {
+      case MutationKind::kGaussianProbability:
+        gaussian_mutation(problem, g, config_.mutation_gaussian_mean,
+                          config_.mutation_gaussian_sigma, config_.mutation_step_fraction,
+                          rng);
+        break;
+      case MutationKind::kPolynomial: {
+        const double prob = config_.mutation_polynomial_prob > 0.0
+                                ? config_.mutation_polynomial_prob
+                                : 1.0 / static_cast<double>(std::max<std::size_t>(
+                                            1, problem.n_vars()));
+        polynomial_mutation(problem, g, config_.mutation_polynomial_eta, prob, rng);
+        break;
+      }
+    }
+  };
+
+  while (offspring.size() < config_.population_size) {
+    const std::size_t before = offspring.size();
+    Genome child_a;
+    Genome child_b;
+    bool accepted = false;
+    for (int attempt = 0; attempt < std::max(1, config_.duplicate_retries); ++attempt) {
+      const std::size_t p1 =
+          tournament(population, rng.index(n), rng.index(n), rng);
+      const std::size_t p2 =
+          tournament(population, rng.index(n), rng.index(n), rng);
+      sbx_integer(problem, population[p1].genome, population[p2].genome,
+                  config_.crossover_eta, config_.crossover_prob_var, rng, child_a, child_b);
+      mutate(child_a);
+      mutate(child_b);
+      if (!config_.eliminate_duplicates) {
+        accepted = true;
+        break;
+      }
+      if (existing.count(child_a) == 0 || existing.count(child_b) == 0) {
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) {
+      // Mating keeps producing known genomes: inject a random immigrant to
+      // preserve diversity instead of spinning.
+      child_a = random_genome(problem, rng);
+      child_b = random_genome(problem, rng);
+    }
+    for (Genome* g : {&child_a, &child_b}) {
+      if (offspring.size() >= config_.population_size) break;
+      if (config_.eliminate_duplicates && existing.count(*g) != 0) continue;
+      Individual ind;
+      ind.genome = *g;
+      if (config_.eliminate_duplicates) existing.insert(*g);
+      offspring.push_back(std::move(ind));
+    }
+    // Tiny/exhausted spaces: every remaining genome is a duplicate. Accept
+    // one duplicate to guarantee forward progress (pymoo pads the offspring
+    // the same way when elimination cannot fill the population).
+    if (offspring.size() == before) {
+      Individual ind;
+      ind.genome = std::move(child_a);
+      offspring.push_back(std::move(ind));
+    }
+  }
+  return offspring;
+}
+
+std::vector<Individual> Nsga2::survive(
+    std::vector<Individual>& merged, const std::vector<Objectives>& objs,
+    const std::vector<std::vector<std::size_t>>& fronts) const {
+  const std::size_t capacity = config_.population_size;
+  std::vector<Individual> next;
+  next.reserve(capacity);
+
+  // Per-front crowding, and per-front orders by decreasing crowding.
+  std::vector<std::vector<double>> crowding(fronts.size());
+  std::vector<std::vector<std::size_t>> order(fronts.size());
+  for (std::size_t f = 0; f < fronts.size(); ++f) {
+    crowding[f] = crowding_distance(objs, fronts[f]);
+    order[f].resize(fronts[f].size());
+    for (std::size_t i = 0; i < order[f].size(); ++i) order[f][i] = i;
+    std::sort(order[f].begin(), order[f].end(), [&](std::size_t a, std::size_t b) {
+      return crowding[f][a] > crowding[f][b];
+    });
+  }
+
+  // Allowance per front: everything (standard NSGA-II) or the geometric
+  // schedule n_f = N (1-r) r^f / (1 - r^K) of controlled elitism.
+  std::vector<std::size_t> allowance(fronts.size());
+  const double r = config_.controlled_elitism_r;
+  if (r > 0.0 && r < 1.0 && fronts.size() > 1) {
+    const double k = static_cast<double>(fronts.size());
+    double geometric = (1.0 - r) / (1.0 - std::pow(r, k));
+    for (std::size_t f = 0; f < fronts.size(); ++f) {
+      allowance[f] = static_cast<std::size_t>(std::llround(
+          static_cast<double>(capacity) * geometric * std::pow(r, static_cast<double>(f))));
+    }
+  } else {
+    for (std::size_t f = 0; f < fronts.size(); ++f) allowance[f] = capacity;
+  }
+
+  // First pass: each front contributes up to its allowance, best-crowded
+  // first. Second pass: remaining capacity is filled front by front from
+  // the members passed over (Deb & Goel's overflow rule).
+  std::vector<std::vector<std::size_t>> leftovers(fronts.size());
+  for (std::size_t f = 0; f < fronts.size() && next.size() < capacity; ++f) {
+    std::size_t taken = 0;
+    for (std::size_t i : order[f]) {
+      if (taken >= allowance[f] || next.size() >= capacity) {
+        leftovers[f].push_back(i);
+        continue;
+      }
+      merged[fronts[f][i]].crowding = crowding[f][i];
+      next.push_back(merged[fronts[f][i]]);
+      ++taken;
+    }
+  }
+  for (std::size_t f = 0; f < fronts.size() && next.size() < capacity; ++f) {
+    for (std::size_t i : leftovers[f]) {
+      if (next.size() >= capacity) break;
+      merged[fronts[f][i]].crowding = crowding[f][i];
+      next.push_back(merged[fronts[f][i]]);
+    }
+  }
+  return next;
+}
+
+Nsga2Result Nsga2::run(Problem& problem) {
+  Nsga2Result result;
+  util::Rng rng(config_.seed);
+
+  // Seeded genomes first (repaired + deduplicated), then integer random
+  // sampling with duplicate elimination fills the rest.
+  std::vector<Individual> population;
+  population.reserve(config_.population_size);
+  GenomeSet seen;
+  for (Genome g : config_.initial_genomes) {
+    if (population.size() >= config_.population_size) break;
+    g.resize(problem.n_vars(), 0);
+    problem.repair(g);
+    if (config_.eliminate_duplicates && !seen.insert(g).second) continue;
+    Individual ind;
+    ind.genome = std::move(g);
+    population.push_back(std::move(ind));
+  }
+  const std::int64_t volume = problem.volume();
+  int stale = 0;
+  while (population.size() < config_.population_size) {
+    Genome g = random_genome(problem, rng);
+    if (config_.eliminate_duplicates && !seen.insert(g).second) {
+      // A space smaller than the population cannot fill it with uniques.
+      if (++stale > 200 ||
+          static_cast<std::int64_t>(seen.size()) >= volume) {
+        break;
+      }
+      continue;
+    }
+    stale = 0;
+    Individual ind;
+    ind.genome = std::move(g);
+    population.push_back(std::move(ind));
+  }
+
+  evaluate_all(problem, population, result.evaluations);
+  assign_rank_crowding(population);
+
+  for (std::size_t gen = 0; gen < config_.max_generations; ++gen) {
+    if (config_.should_stop && config_.should_stop()) break;
+
+    std::vector<Individual> offspring = make_offspring(problem, population, rng);
+    evaluate_all(problem, offspring, result.evaluations);
+
+    // (mu + lambda) elitist survival.
+    std::vector<Individual> merged;
+    merged.reserve(population.size() + offspring.size());
+    for (auto& ind : population) merged.push_back(std::move(ind));
+    for (auto& ind : offspring) merged.push_back(std::move(ind));
+
+    std::vector<Objectives> objs;
+    objs.reserve(merged.size());
+    for (const auto& ind : merged) objs.push_back(ind.objectives);
+    const auto fronts = fast_non_dominated_sort(objs);
+
+    population = survive(merged, objs, fronts);
+    assign_rank_crowding(population);
+    ++result.generations_run;
+    if (config_.on_generation) config_.on_generation(gen, population);
+  }
+
+  result.pareto_front = pareto_subset(population);
+  result.population = std::move(population);
+  return result;
+}
+
+}  // namespace dovado::opt

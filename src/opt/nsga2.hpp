@@ -1,0 +1,104 @@
+// NSGA-II: elitist non-dominated sorting genetic algorithm (Deb et al. 2002).
+//
+// This is the paper's DSE solver (Sec. III-B.1): elite-preserving, requires
+// no domain knowledge of the search space or metrics, and the sorting by
+// non-domination keeps the bookkeeping cheap. Configuration mirrors the
+// paper's Sec. IV setup: integer random sampling, integer SBX, duplicate
+// elimination, Gaussian-probability mutation.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "src/opt/nds.hpp"
+#include "src/opt/operators.hpp"
+#include "src/opt/problem.hpp"
+
+namespace dovado::opt {
+
+enum class MutationKind {
+  kGaussianProbability,  ///< the paper's setup (mean 0.5, tuned variance)
+  kPolynomial,           ///< pymoo's default, used in ablations
+};
+
+struct Nsga2Config {
+  std::size_t population_size = 40;
+  std::size_t max_generations = 50;
+  std::uint64_t seed = 1;
+
+  double crossover_eta = 15.0;
+  double crossover_prob_var = 0.9;
+
+  /// Genomes injected into the initial population before random sampling
+  /// (repaired into the domain, deduplicated). Used to continue a previous
+  /// exploration from its front instead of restarting cold.
+  std::vector<Genome> initial_genomes;
+
+  MutationKind mutation = MutationKind::kGaussianProbability;
+  double mutation_gaussian_mean = 0.5;    ///< per-individual probability mean
+  double mutation_gaussian_sigma = 0.15;  ///< the hand-tuned variance knob
+  double mutation_step_fraction = 0.1;    ///< Gaussian step size vs domain
+  double mutation_polynomial_eta = 20.0;
+  /// Per-variable probability for polynomial mutation; <0 => 1/n_vars.
+  double mutation_polynomial_prob = -1.0;
+
+  bool eliminate_duplicates = true;
+  /// Max attempts to mate a non-duplicate offspring before accepting one.
+  int duplicate_retries = 10;
+
+  /// Controlled elitism (Deb & Goel [25], the paper's other NSGA reference):
+  /// cap the share of each front in the surviving population to a geometric
+  /// schedule with ratio r in (0,1), keeping lateral diversity from worse
+  /// fronts for better convergence on multi-modal landscapes. 0 disables it
+  /// (standard NSGA-II survival).
+  double controlled_elitism_r = 0.0;
+
+  /// Optional early-termination check, polled once per generation (used for
+  /// the paper's wall-clock soft deadline on the genetic algorithm).
+  std::function<bool()> should_stop;
+
+  /// Optional batch evaluator: evaluate all unevaluated individuals in the
+  /// span (e.g. in parallel, or through the approximation control model).
+  /// Defaults to sequentially calling Problem::evaluate.
+  std::function<void(Problem&, std::vector<Individual>&)> batch_evaluate;
+
+  /// Optional per-generation observer (generation index, population after
+  /// survival).
+  std::function<void(std::size_t, const std::vector<Individual>&)> on_generation;
+};
+
+/// Result of one NSGA-II run.
+struct Nsga2Result {
+  std::vector<Individual> population;       ///< final population (ranked)
+  std::vector<Individual> pareto_front;     ///< rank-0 subset, duplicates removed
+  std::size_t generations_run = 0;
+  std::size_t evaluations = 0;              ///< Problem::evaluate calls issued
+};
+
+class Nsga2 {
+ public:
+  explicit Nsga2(Nsga2Config config) : config_(std::move(config)) {}
+
+  /// Run the algorithm on a problem.
+  [[nodiscard]] Nsga2Result run(Problem& problem);
+
+ private:
+  void evaluate_all(Problem& problem, std::vector<Individual>& individuals,
+                    std::size_t& evaluations);
+  void assign_rank_crowding(std::vector<Individual>& population) const;
+  [[nodiscard]] std::vector<Individual> make_offspring(
+      const Problem& problem, const std::vector<Individual>& population, util::Rng& rng) const;
+
+  /// (mu + lambda) survival: standard elitist truncation, or the controlled
+  /// elitist geometric schedule when controlled_elitism_r > 0.
+  [[nodiscard]] std::vector<Individual> survive(
+      std::vector<Individual>& merged, const std::vector<Objectives>& objs,
+      const std::vector<std::vector<std::size_t>>& fronts) const;
+
+  Nsga2Config config_;
+};
+
+/// Extract the duplicate-free rank-0 front of an evaluated population.
+[[nodiscard]] std::vector<Individual> pareto_subset(const std::vector<Individual>& population);
+
+}  // namespace dovado::opt

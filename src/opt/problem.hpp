@@ -1,0 +1,83 @@
+// Multi-objective integer optimization problem interface.
+//
+// The paper formulates DSE as a multi-objective *integer* problem
+// (Sec. III-B.1): only integer-valued parameters are synthesizable, boolean
+// parameters become {0,1}, and designers may restrict domains (e.g. to
+// powers of two). The optimizer works in *index space*: variable i takes
+// values in [0, cardinality(i)); the problem decodes indices to actual
+// parameter values. This makes restricted domains (power-of-two lists)
+// first-class citizens of the search instead of constraint hacks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dovado::opt {
+
+/// A candidate solution in index space.
+using Genome = std::vector<std::int64_t>;
+
+/// Objective vector; every objective is MINIMIZED (negate to maximize).
+using Objectives = std::vector<double>;
+
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  /// Number of decision variables.
+  [[nodiscard]] virtual std::size_t n_vars() const = 0;
+
+  /// Number of objectives (all minimized).
+  [[nodiscard]] virtual std::size_t n_objectives() const = 0;
+
+  /// Cardinality of variable i's domain; genome[i] in [0, cardinality(i)).
+  [[nodiscard]] virtual std::int64_t cardinality(std::size_t var) const = 0;
+
+  /// Evaluate one genome. Must be safe to call from multiple threads
+  /// concurrently unless the host serializes evaluation itself.
+  [[nodiscard]] virtual Objectives evaluate(const Genome& genome) = 0;
+
+  /// Total volume of the search space (product of cardinalities, saturating).
+  [[nodiscard]] std::int64_t volume() const {
+    std::int64_t v = 1;
+    for (std::size_t i = 0; i < n_vars(); ++i) {
+      const std::int64_t c = cardinality(i);
+      if (c <= 0) return 0;
+      if (v > (std::int64_t{1} << 62) / c) return std::int64_t{1} << 62;  // saturate
+      v *= c;
+    }
+    return v;
+  }
+
+  /// Clamp a genome into the valid index ranges (in place).
+  void repair(Genome& genome) const {
+    for (std::size_t i = 0; i < genome.size() && i < n_vars(); ++i) {
+      const std::int64_t hi = cardinality(i) - 1;
+      if (genome[i] < 0) genome[i] = 0;
+      if (genome[i] > hi) genome[i] = hi;
+    }
+  }
+};
+
+/// One evaluated individual.
+struct Individual {
+  Genome genome;
+  Objectives objectives;
+  int rank = -1;            ///< non-domination rank (0 = Pareto front)
+  double crowding = 0.0;    ///< crowding distance within its front
+  bool evaluated = false;
+};
+
+/// Pareto dominance for minimization: a dominates b iff a is no worse in
+/// every objective and strictly better in at least one.
+[[nodiscard]] inline bool dominates(const Objectives& a, const Objectives& b) {
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+}  // namespace dovado::opt

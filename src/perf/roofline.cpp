@@ -1,0 +1,148 @@
+#include "src/perf/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/csv.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::perf {
+
+RooflineMachine machine_from_device(const fpga::Device& device, double clock_mhz) {
+  RooflineMachine machine;
+  machine.label = util::format("%s @ %.0f MHz", device.display_name.c_str(), clock_mhz);
+  const double cycles_per_s = clock_mhz * 1e6;
+  const double dsp_ops = static_cast<double>(device.resources.dsp) * 2.0;
+  const double fabric_ops = static_cast<double>(device.resources.lut) / 64.0;
+  machine.peak_gops = (dsp_ops + fabric_ops) * cycles_per_s / 1e9;
+  const double bram_bytes = static_cast<double>(device.resources.bram36) * 8.0;
+  const double uram_bytes = static_cast<double>(device.resources.uram) * 16.0;
+  machine.peak_gbytes_s = (bram_bytes + uram_bytes) * cycles_per_s / 1e9;
+  return machine;
+}
+
+double attainable_gops(const RooflineMachine& machine, double intensity) {
+  if (intensity <= 0.0) return 0.0;
+  return std::min(machine.peak_gops, intensity * machine.peak_gbytes_s);
+}
+
+RooflinePoint place_kernel(const RooflineMachine& machine, const RooflineKernel& kernel) {
+  RooflinePoint point;
+  point.name = kernel.name;
+  point.intensity = kernel.bytes > 0.0 ? kernel.ops / kernel.bytes : 0.0;
+  point.attainable_gops = attainable_gops(machine, point.intensity);
+  point.achieved_gops = kernel.achieved_gops;
+  point.memory_bound = point.intensity < machine.ridge_intensity();
+  return point;
+}
+
+namespace {
+
+/// Log-scale mapping helpers for the ASCII chart.
+struct LogAxis {
+  double lo;
+  double hi;
+  int cells;
+
+  [[nodiscard]] int cell(double v) const {
+    const double clamped = std::clamp(v, lo, hi);
+    const double t = (std::log10(clamped) - std::log10(lo)) /
+                     (std::log10(hi) - std::log10(lo));
+    return std::clamp(static_cast<int>(std::lround(t * (cells - 1))), 0, cells - 1);
+  }
+};
+
+}  // namespace
+
+std::string render_ascii(const RooflineMachine& machine,
+                         const std::vector<RooflinePoint>& points, int width,
+                         int height) {
+  width = std::max(width, 24);
+  height = std::max(height, 8);
+
+  // Intensity axis spans two decades around the ridge and covers all points.
+  const double ridge = std::max(machine.ridge_intensity(), 1e-3);
+  double x_lo = ridge / 16.0;
+  double x_hi = ridge * 16.0;
+  double y_hi = machine.peak_gops * 2.0;
+  double y_lo = attainable_gops(machine, x_lo) / 8.0;
+  for (const auto& p : points) {
+    if (p.intensity > 0.0) {
+      x_lo = std::min(x_lo, p.intensity / 2.0);
+      x_hi = std::max(x_hi, p.intensity * 2.0);
+    }
+    if (p.achieved_gops > 0.0) y_lo = std::min(y_lo, p.achieved_gops / 2.0);
+  }
+  y_lo = std::max(y_lo, 1e-6);
+
+  const LogAxis xaxis{x_lo, x_hi, width};
+  const LogAxis yaxis{y_lo, y_hi, height};
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  auto plot = [&](double x, double y, char mark) {
+    const int col = xaxis.cell(x);
+    const int row = height - 1 - yaxis.cell(y);
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+  };
+
+  // The roof itself.
+  for (int c = 0; c < width; ++c) {
+    const double t = static_cast<double>(c) / (width - 1);
+    const double x = std::pow(10.0, std::log10(x_lo) + t * (std::log10(x_hi) - std::log10(x_lo)));
+    plot(x, attainable_gops(machine, x), '-');
+  }
+  // Kernels: roof position 'o', achieved performance '*'.
+  for (const auto& p : points) {
+    if (p.intensity <= 0.0) continue;
+    plot(p.intensity, p.attainable_gops, 'o');
+    if (p.achieved_gops > 0.0) plot(p.intensity, p.achieved_gops, '*');
+  }
+
+  std::ostringstream out;
+  out << "Roofline: " << machine.label << "  (peak " << util::format("%.1f", machine.peak_gops)
+      << " Gops/s, " << util::format("%.1f", machine.peak_gbytes_s) << " GB/s, ridge "
+      << util::format("%.2f", machine.ridge_intensity()) << " ops/byte)\n";
+  out << "Gops/s (log)\n";
+  for (const auto& row : grid) out << "  |" << row << "\n";
+  out << "  +" << std::string(static_cast<std::size_t>(width), '-') << "\n";
+  out << "   " << util::format("%-10.3g", x_lo)
+      << std::string(static_cast<std::size_t>(std::max(0, width - 20)), ' ')
+      << util::format("%10.3g", x_hi) << "  ops/byte (log)\n";
+  for (const auto& p : points) {
+    out << "  " << (p.memory_bound ? "[mem]" : "[cmp]") << " " << p.name << ": "
+        << util::format("%.3g ops/byte, roof %.2f Gops/s", p.intensity, p.attainable_gops);
+    if (p.achieved_gops > 0.0) {
+      out << util::format(", achieved %.2f (%.0f%% of roof)", p.achieved_gops,
+                          100.0 * p.efficiency());
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string to_csv(const RooflineMachine& machine,
+                   const std::vector<RooflinePoint>& points) {
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  writer.row({"kind", "name", "intensity_ops_per_byte", "gops"});
+  // Sample the roof at 32 log-spaced intensities for plotting.
+  const double ridge = std::max(machine.ridge_intensity(), 1e-3);
+  const double lo = ridge / 32.0;
+  const double hi = ridge * 32.0;
+  for (int i = 0; i < 32; ++i) {
+    const double t = static_cast<double>(i) / 31.0;
+    const double x = std::pow(10.0, std::log10(lo) + t * (std::log10(hi) - std::log10(lo)));
+    writer.row({"roof", machine.label, util::format("%.6g", x),
+                util::format("%.6g", attainable_gops(machine, x))});
+  }
+  for (const auto& p : points) {
+    writer.row({"kernel", p.name, util::format("%.6g", p.intensity),
+                util::format("%.6g", p.achieved_gops > 0.0 ? p.achieved_gops
+                                                           : p.attainable_gops)});
+  }
+  return out.str();
+}
+
+}  // namespace dovado::perf

@@ -1,0 +1,77 @@
+// Roofline visual performance model for FPGA designs.
+//
+// The paper lists adding "a visual performance model (e.g., Roofline [19])"
+// as future work for Dovado; this module implements it on top of the device
+// catalog. A machine model (compute ceiling + memory-bandwidth ceiling) is
+// derived from a device and a clock, kernels are placed on the roofline by
+// their operational intensity, and the chart renders as ASCII (log-log) or
+// CSV for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/fpga/device.hpp"
+
+namespace dovado::perf {
+
+/// Compute/memory ceilings of a device at a given clock.
+struct RooflineMachine {
+  std::string label;
+  double peak_gops = 0.0;      ///< compute ceiling, giga-ops/s
+  double peak_gbytes_s = 0.0;  ///< on-chip memory bandwidth ceiling, GB/s
+
+  /// Operational intensity (ops/byte) where the two ceilings meet.
+  [[nodiscard]] double ridge_intensity() const {
+    return peak_gbytes_s > 0.0 ? peak_gops / peak_gbytes_s : 0.0;
+  }
+};
+
+/// Derive the machine model from a device at `clock_mhz`:
+///   - compute ceiling: each DSP contributes one MAC (2 ops) per cycle and
+///     the LUT fabric one extra op per 64 LUTs per cycle,
+///   - bandwidth ceiling: every BRAM36 moves up to 8 bytes per cycle
+///     (dual 36-bit ports), URAM 16 bytes.
+[[nodiscard]] RooflineMachine machine_from_device(const fpga::Device& device,
+                                                  double clock_mhz);
+
+/// A kernel (or design point) characterized by its work per invocation.
+struct RooflineKernel {
+  std::string name;
+  double ops = 0.0;    ///< operations per invocation
+  double bytes = 0.0;  ///< bytes moved per invocation
+  double achieved_gops = 0.0;  ///< measured performance; 0 = unknown
+};
+
+/// A kernel placed on the roofline.
+struct RooflinePoint {
+  std::string name;
+  double intensity = 0.0;        ///< ops/byte
+  double attainable_gops = 0.0;  ///< roof at this intensity
+  double achieved_gops = 0.0;    ///< 0 when unmeasured
+  bool memory_bound = false;     ///< left of the ridge point
+
+  /// Fraction of the roof actually achieved (0 when unmeasured).
+  [[nodiscard]] double efficiency() const {
+    return attainable_gops > 0.0 ? achieved_gops / attainable_gops : 0.0;
+  }
+};
+
+/// Roof height at a given operational intensity:
+/// min(peak_gops, intensity * peak_gbytes_s).
+[[nodiscard]] double attainable_gops(const RooflineMachine& machine, double intensity);
+
+/// Place a kernel on the roofline.
+[[nodiscard]] RooflinePoint place_kernel(const RooflineMachine& machine,
+                                         const RooflineKernel& kernel);
+
+/// Render a log-log ASCII roofline chart with the kernels marked.
+[[nodiscard]] std::string render_ascii(const RooflineMachine& machine,
+                                       const std::vector<RooflinePoint>& points,
+                                       int width = 72, int height = 20);
+
+/// CSV of the roof line plus the kernel points (for external plotting).
+[[nodiscard]] std::string to_csv(const RooflineMachine& machine,
+                                 const std::vector<RooflinePoint>& points);
+
+}  // namespace dovado::perf

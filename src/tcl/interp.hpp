@@ -1,0 +1,95 @@
+// A small TCL interpreter.
+//
+// Dovado "spawns Vivado as a subprocess and communicates with the physical
+// tool through the TCL interface" (paper Sec. III-A.3). To exercise that
+// exact code path against the simulated tool, this module implements the
+// TCL subset Vivado batch scripts use: word/brace/quote parsing, $variable
+// and [command] substitution, comments, and the control commands set /
+// unset / puts / expr / if / incr / while / return / error. Tool commands
+// (synth_design, report_utilization, ...) are registered by the host
+// (see edatool/vivado_sim).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dovado::tcl {
+
+class Interp;
+
+/// A registered command: receives the full word list (args[0] is the command
+/// name) and returns its string result. Errors are raised with Interp::fail.
+using Command = std::function<std::string(Interp&, const std::vector<std::string>&)>;
+
+/// Result of evaluating a script.
+struct EvalResult {
+  bool ok = false;
+  std::string value;  ///< result of the last command when ok
+  std::string error;  ///< message when !ok
+};
+
+/// TCL error carrier used internally; commands raise it via Interp::fail.
+struct TclError {
+  std::string message;
+};
+
+class Interp {
+ public:
+  Interp();
+
+  /// Register (or replace) a command.
+  void register_command(const std::string& name, Command fn);
+
+  /// True if a command with this name exists.
+  [[nodiscard]] bool has_command(const std::string& name) const;
+
+  /// Variable access. get_var raises a TCL error for unset variables.
+  void set_var(const std::string& name, const std::string& value);
+  void unset_var(const std::string& name);
+  [[nodiscard]] std::string get_var(const std::string& name) const;
+  [[nodiscard]] bool has_var(const std::string& name) const;
+
+  /// Evaluate a script; returns the last command's result.
+  [[nodiscard]] EvalResult eval(std::string_view script);
+
+  /// Evaluate a script from inside a command (raises TclError on failure).
+  std::string eval_or_throw(std::string_view script);
+
+  /// Perform one round of $variable and [command] substitution over raw
+  /// text (as TCL's expr/if/while do on their braced arguments).
+  [[nodiscard]] std::string substitute(std::string_view text);
+
+  /// Raise a TCL error from inside a command implementation.
+  [[noreturn]] static void fail(std::string message) { throw TclError{std::move(message)}; }
+
+  /// Everything `puts` wrote, in order. Cleared by clear_output().
+  [[nodiscard]] const std::vector<std::string>& output() const { return output_; }
+  void clear_output() { output_.clear(); }
+
+  /// Append a line to the captured output (used by `puts` and by tool
+  /// commands that print reports).
+  void emit(std::string line) { output_.push_back(std::move(line)); }
+
+  /// Numeric expression evaluation as TCL `expr` defines it (doubles with
+  /// integer formatting when exact). Exposed for tests.
+  [[nodiscard]] static double eval_number(std::string_view expr);
+
+ private:
+  struct ReturnSignal {
+    std::string value;
+  };
+
+  std::string run_command(const std::vector<std::string>& words);
+  void register_builtins();
+
+  std::map<std::string, Command> commands_;
+  std::map<std::string, std::string> vars_;
+  std::vector<std::string> output_;
+  int depth_ = 0;  ///< recursion guard for [..] substitution
+};
+
+}  // namespace dovado::tcl

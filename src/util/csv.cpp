@@ -1,0 +1,99 @@
+#include "src/util/csv.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace dovado::util {
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quote = cell.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    text.emplace_back(buf);
+  }
+  row(text);
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&] {
+    record.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_record = [&] {
+    end_cell();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        cell_started = true;  // the record has at least two cells now
+        break;
+      case '\r':
+        break;  // swallow; \n terminates the record
+      case '\n':
+        end_record();
+        break;
+      default:
+        cell.push_back(c);
+        cell_started = true;
+        break;
+    }
+  }
+  // Final record without trailing newline.
+  if (cell_started || !cell.empty() || !record.empty()) end_record();
+  return records;
+}
+
+}  // namespace dovado::util

@@ -1,0 +1,37 @@
+// CSV reading/writing with RFC-4180 quoting.
+//
+// Dovado persists DSE results, synthetic datasets and benchmark series as
+// CSV so they can be plotted or diffed outside the tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dovado::util {
+
+/// Streaming CSV writer. Quotes fields containing commas, quotes or newlines.
+class CsvWriter {
+ public:
+  /// Write rows to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write one row; each cell is escaped as needed.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: write a row of doubles with full round-trip precision.
+  void row_numeric(const std::vector<double>& cells);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parse an entire CSV document (handles quoted fields and embedded
+/// newlines). Returns one vector of cells per record.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+/// Escape a single cell per RFC-4180.
+[[nodiscard]] std::string csv_escape(std::string_view cell);
+
+}  // namespace dovado::util

@@ -1,0 +1,28 @@
+#include "src/util/logging.hpp"
+
+#include <cstdio>
+
+namespace dovado::util {
+
+std::mutex Log::mutex_;
+LogLevel Log::level_ = LogLevel::kWarn;
+
+void Log::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Log::level() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return level_;
+}
+
+void Log::write(LogLevel level, std::string_view msg) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (level < level_ || level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[dovado %s] %.*s\n", kNames[static_cast<int>(level)],
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace dovado::util

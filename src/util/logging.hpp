@@ -1,0 +1,58 @@
+// Minimal thread-safe leveled logger.
+//
+// The whole framework logs through this single sink so tests can silence it
+// and examples can raise verbosity. No allocation happens for suppressed
+// levels beyond building the message string lazily at the call site.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dovado::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logger. All members are safe to call concurrently.
+class Log {
+ public:
+  /// Set the minimum level that is emitted. Defaults to kWarn so library
+  /// consumers are quiet unless they opt in.
+  static void set_level(LogLevel level);
+  [[nodiscard]] static LogLevel level();
+
+  /// Emit a message at the given level (newline appended).
+  static void write(LogLevel level, std::string_view msg);
+
+  static void debug(std::string_view msg) { write(LogLevel::kDebug, msg); }
+  static void info(std::string_view msg) { write(LogLevel::kInfo, msg); }
+  static void warn(std::string_view msg) { write(LogLevel::kWarn, msg); }
+  static void error(std::string_view msg) { write(LogLevel::kError, msg); }
+
+ private:
+  static std::mutex mutex_;
+  static LogLevel level_;
+};
+
+/// Stream-style helper: LOGSTREAM(kInfo) << "x=" << x;  Message is emitted on
+/// destruction of the temporary.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { Log::write(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (Log::level() <= level_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dovado::util

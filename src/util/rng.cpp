@@ -1,0 +1,44 @@
+#include "src/util/rng.hpp"
+
+namespace dovado::util {
+
+Xoshiro256 Xoshiro256::fork() noexcept {
+  // Derive the child seed from fresh output, then remix through splitmix64
+  // inside the child's constructor. Consumes one draw from this stream.
+  return Xoshiro256((*this)());
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo >= hi) return lo;
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection sampling on the top of the 64-bit space: bias is at most
+  // range/2^64, and the loop rejects draws in the uneven final bucket.
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              (std::numeric_limits<std::uint64_t>::max() % range + 1) % range;
+  std::uint64_t draw = gen_();
+  while (range != 0 && limit != std::numeric_limits<std::uint64_t>::max() && draw > limit) {
+    draw = gen_();
+  }
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::gaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+}  // namespace dovado::util

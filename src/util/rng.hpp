@@ -1,0 +1,132 @@
+// Deterministic pseudo-random number generation for reproducible DSE runs.
+//
+// Dovado's genetic search, synthetic-dataset sampling and the SimVivado noise
+// model all need randomness that is (a) fast, (b) high quality, and
+// (c) exactly reproducible across platforms. std::mt19937 fulfils (c) but the
+// std::*_distribution adaptors do not (their algorithms are
+// implementation-defined), so this header provides both the generator
+// (xoshiro256**, seeded via splitmix64) and portable distributions.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace dovado::util {
+
+/// splitmix64 step. Used for seeding and for cheap stateless hashing of
+/// integers into well-mixed 64-bit values (e.g. content-addressed noise).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a single 64-bit value (splitmix64 finalizer).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// Combine a hash with a new value (boost::hash_combine style, 64-bit).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) noexcept {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// xoshiro256** generator: 256-bit state, period 2^256-1, passes BigCrush.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed all 256 state bits from a single 64-bit seed via splitmix64.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Fork a statistically independent child stream (e.g. one per worker
+  /// thread) without perturbing this stream's future output.
+  [[nodiscard]] Xoshiro256 fork() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Portable random source with fixed-algorithm distributions. Wraps a
+/// Xoshiro256 and implements the distribution maths explicitly so two runs
+/// with the same seed produce identical sequences on any platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x2545f4914f6cdd1dULL) : gen_(seed) {}
+  explicit Rng(Xoshiro256 gen) : gen_(gen) {}
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  [[nodiscard]] double uniform() { return static_cast<double>(gen_() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in the inclusive range [lo, hi]. Uses Lemire-style
+  /// rejection to avoid modulo bias.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n); n must be > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal deviate (Marsaglia polar method; deterministic given
+  /// the generator stream).
+  [[nodiscard]] double gaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  [[nodiscard]] double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      std::swap(c[i - 1], c[index(i)]);
+    }
+  }
+
+  /// Independent child stream; see Xoshiro256::fork.
+  [[nodiscard]] Rng fork() { return Rng(gen_.fork()); }
+
+  [[nodiscard]] Xoshiro256& generator() noexcept { return gen_; }
+
+ private:
+  Xoshiro256 gen_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace dovado::util

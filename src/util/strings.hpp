@@ -1,0 +1,54 @@
+// Small string helpers shared across the HDL front end, TCL interpreter and
+// report parsers. All functions are pure and allocation is explicit.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dovado::util {
+
+/// Remove leading/trailing whitespace (space, tab, CR, LF, FF, VT).
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Lower-case copy (ASCII only; HDL identifiers are ASCII).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Upper-case copy (ASCII only).
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// Split on a delimiter character. Empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on any whitespace run; no empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive equality (ASCII). VHDL identifiers are case-insensitive.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// True if `s` contains `needle`.
+[[nodiscard]] bool contains(std::string_view s, std::string_view needle);
+
+/// Replace every occurrence of `from` with `to`.
+[[nodiscard]] std::string replace_all(std::string_view s, std::string_view from,
+                                      std::string_view to);
+
+/// Join elements with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parse a decimal integer; returns false on any non-numeric content.
+[[nodiscard]] bool parse_int(std::string_view s, long long& out);
+
+/// Parse a floating-point value; returns false on failure.
+[[nodiscard]] bool parse_double(std::string_view s, double& out);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace dovado::util

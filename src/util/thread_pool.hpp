@@ -1,0 +1,72 @@
+// Fixed-size worker pool with a parallel_for helper.
+//
+// NSGA-II fitness evaluation is embarrassingly parallel across the offspring
+// population; the DSE engine runs SimVivado calls through this pool exactly
+// as Dovado would fan out Vivado subprocesses. The pool degrades gracefully
+// to inline execution when constructed with zero workers (useful on single-
+// core CI machines and for deterministic debugging).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dovado::util {
+
+class ThreadPool {
+ public:
+  /// Create `workers` threads. `workers == 0` means every submitted task runs
+  /// inline in the caller (no threads are spawned).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 => inline mode).
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Submit a task; the returned future carries its result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return fut;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n), blocking until all iterations finish.
+  /// Iterations are distributed one-at-a-time (tool calls dominate cost, so
+  /// chunking would only hurt load balance). Exceptions from iterations are
+  /// rethrown (the first one encountered).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// A sensible default worker count: hardware concurrency minus one (leave a
+/// core for the orchestrator), never less than zero.
+[[nodiscard]] std::size_t default_worker_count();
+
+}  // namespace dovado::util

@@ -1,0 +1,225 @@
+#include "src/boxing/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/hdl/frontend.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::boxing {
+namespace {
+
+hdl::Module parse_one(std::string_view text, hdl::HdlLanguage lang) {
+  auto r = hdl::parse_source(text, lang);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.file.modules.empty());
+  return r.file.modules.front();
+}
+
+const char* kVhdlFifo = R"(
+library ieee;
+use ieee.std_logic_1164.all;
+entity vfifo is
+  generic (DEPTH : integer := 16; WIDTH : integer := 8);
+  port (
+    clk   : in  std_logic;
+    din   : in  std_logic_vector(WIDTH-1 downto 0);
+    dout  : out std_logic_vector(WIDTH-1 downto 0);
+    valid : out std_logic
+  );
+end vfifo;
+)";
+
+const char* kSvFifo = R"(
+module sfifo #(parameter int DEPTH = 16, parameter int WIDTH = 8)(
+  input  logic clk_i,
+  input  logic [WIDTH-1:0] data_i,
+  output logic [WIDTH-1:0] data_o
+);
+endmodule
+)";
+
+TEST(BoxVhdl, GeneratesListingOneShape) {
+  const auto module = parse_one(kVhdlFifo, hdl::HdlLanguage::kVhdl);
+  BoxConfig config;
+  config.parameters = {{"DEPTH", 64}, {"WIDTH", 16}};
+  const BoxResult box = generate_box(module, config);
+  ASSERT_TRUE(box.ok) << box.error;
+  EXPECT_EQ(box.language, hdl::HdlLanguage::kVhdl);
+  EXPECT_EQ(box.top_name, "box");
+  // The Listing-1 structure: entity box with only a clk port, DONT_TOUCH
+  // attribute on the BOXED instance.
+  EXPECT_TRUE(util::contains(box.box_source, "entity box is"));
+  EXPECT_TRUE(util::contains(box.box_source, "clk : in std_logic"));
+  EXPECT_TRUE(util::contains(box.box_source, "attribute DONT_TOUCH : string;"));
+  EXPECT_TRUE(util::contains(box.box_source,
+                             "attribute DONT_TOUCH of BOXED : label is \"TRUE\";"));
+  EXPECT_TRUE(util::contains(box.box_source, "BOXED: entity work.vfifo"));
+  EXPECT_TRUE(util::contains(box.box_source, "end architecture box_arch;"));
+}
+
+TEST(BoxVhdl, AppliesGenericMapAndClock) {
+  const auto module = parse_one(kVhdlFifo, hdl::HdlLanguage::kVhdl);
+  BoxConfig config;
+  config.parameters = {{"DEPTH", 64}, {"WIDTH", 16}};
+  const BoxResult box = generate_box(module, config);
+  ASSERT_TRUE(box.ok);
+  EXPECT_TRUE(util::contains(box.box_source, "DEPTH => 64"));
+  EXPECT_TRUE(util::contains(box.box_source, "WIDTH => 16"));
+  EXPECT_TRUE(util::contains(box.box_source, "clk => clk"));
+}
+
+TEST(BoxVhdl, InternalSignalsUseEvaluatedBounds) {
+  const auto module = parse_one(kVhdlFifo, hdl::HdlLanguage::kVhdl);
+  BoxConfig config;
+  config.parameters = {{"WIDTH", 16}};
+  const BoxResult box = generate_box(module, config);
+  ASSERT_TRUE(box.ok);
+  // WIDTH-1 downto 0 with WIDTH=16 -> (15 downto 0).
+  EXPECT_TRUE(util::contains(box.box_source, "signal s_din : std_logic_vector(15 downto 0);"));
+  EXPECT_TRUE(util::contains(box.box_source, "signal s_valid : std_logic;"));
+  EXPECT_TRUE(util::contains(box.box_source, "din => s_din"));
+}
+
+TEST(BoxVhdl, CarriesLibraryAndUseClauses) {
+  const auto module = parse_one(kVhdlFifo, hdl::HdlLanguage::kVhdl);
+  const BoxResult box = generate_box(module, {});
+  ASSERT_TRUE(box.ok);
+  EXPECT_TRUE(util::contains(box.box_source, "library ieee;"));
+  EXPECT_TRUE(util::contains(box.box_source, "use ieee.std_logic_1164.all;"));
+}
+
+TEST(BoxVerilog, GeneratesWrapper) {
+  const auto module = parse_one(kSvFifo, hdl::HdlLanguage::kSystemVerilog);
+  BoxConfig config;
+  config.parameters = {{"DEPTH", 32}};
+  const BoxResult box = generate_box(module, config);
+  ASSERT_TRUE(box.ok) << box.error;
+  EXPECT_EQ(box.language, hdl::HdlLanguage::kSystemVerilog);
+  EXPECT_TRUE(util::contains(box.box_source, "module box ("));
+  EXPECT_TRUE(util::contains(box.box_source, "input wire clk"));
+  EXPECT_TRUE(util::contains(box.box_source, "(* DONT_TOUCH = \"TRUE\" *)"));
+  EXPECT_TRUE(util::contains(box.box_source, "sfifo "));
+  EXPECT_TRUE(util::contains(box.box_source, ".DEPTH(32)"));
+  EXPECT_TRUE(util::contains(box.box_source, ".clk_i(clk)"));
+  EXPECT_TRUE(util::contains(box.box_source, "wire [7:0] s_data_i;"));
+}
+
+TEST(BoxVerilog, BoxParsesWithOurFrontend) {
+  // The generated wrapper is valid enough to round-trip through our own
+  // Verilog parser (the simulator re-reads it).
+  const auto module = parse_one(kSvFifo, hdl::HdlLanguage::kSystemVerilog);
+  const BoxResult box = generate_box(module, {});
+  ASSERT_TRUE(box.ok);
+  auto reparsed = hdl::parse_source(box.box_source, box.language);
+  ASSERT_TRUE(reparsed.ok);
+  EXPECT_EQ(reparsed.file.modules[0].name, "box");
+  ASSERT_EQ(reparsed.file.modules[0].ports.size(), 1u);
+  EXPECT_EQ(reparsed.file.modules[0].ports[0].name, "clk");
+}
+
+TEST(BoxVhdl, BoxParsesWithOurFrontend) {
+  const auto module = parse_one(kVhdlFifo, hdl::HdlLanguage::kVhdl);
+  BoxConfig bad;
+  bad.parameters = {{"", 0}};
+  EXPECT_FALSE(generate_box(module, bad).ok);
+  const BoxResult good = generate_box(module, {});
+  ASSERT_TRUE(good.ok);
+  auto reparsed = hdl::parse_source(good.box_source, hdl::HdlLanguage::kVhdl);
+  ASSERT_TRUE(reparsed.ok);
+  EXPECT_EQ(reparsed.file.modules[0].name, "box");
+}
+
+TEST(Box, XdcContainsClockConstraint) {
+  const auto module = parse_one(kVhdlFifo, hdl::HdlLanguage::kVhdl);
+  BoxConfig config;
+  config.target_period_ns = 1.0;  // the paper's 1 GHz target
+  const BoxResult box = generate_box(module, config);
+  ASSERT_TRUE(box.ok);
+  EXPECT_TRUE(util::contains(box.xdc, "create_clock -period 1.000"));
+  EXPECT_TRUE(util::contains(box.xdc, "[get_ports clk]"));
+}
+
+TEST(Box, GenerateXdcStandalone) {
+  const std::string xdc = generate_xdc("clk", 2.5);
+  EXPECT_TRUE(util::contains(xdc, "-period 2.500"));
+}
+
+TEST(Box, RejectsUnknownParameter) {
+  const auto module = parse_one(kVhdlFifo, hdl::HdlLanguage::kVhdl);
+  BoxConfig config;
+  config.parameters = {{"NOPE", 1}};
+  const BoxResult box = generate_box(module, config);
+  EXPECT_FALSE(box.ok);
+  EXPECT_TRUE(util::contains(box.error, "NOPE"));
+}
+
+TEST(Box, RejectsLocalparamOverride) {
+  const auto module = parse_one(R"(
+module lp #(parameter A = 1, localparam B = A + 1)(input wire clk);
+endmodule
+)",
+                                hdl::HdlLanguage::kVerilog);
+  BoxConfig config;
+  config.parameters = {{"B", 5}};
+  const BoxResult box = generate_box(module, config);
+  EXPECT_FALSE(box.ok);
+  EXPECT_TRUE(util::contains(box.error, "localparam"));
+}
+
+TEST(Box, RejectsBadPeriodAndNames) {
+  const auto module = parse_one(kVhdlFifo, hdl::HdlLanguage::kVhdl);
+  BoxConfig config;
+  config.target_period_ns = -1.0;
+  EXPECT_FALSE(generate_box(module, config).ok);
+
+  BoxConfig collide;
+  collide.box_name = "vfifo";
+  EXPECT_FALSE(generate_box(module, collide).ok);
+
+  BoxConfig empty_name;
+  empty_name.box_name = "";
+  EXPECT_FALSE(generate_box(module, empty_name).ok);
+}
+
+TEST(Box, RejectsMissingExplicitClock) {
+  const auto module = parse_one(kVhdlFifo, hdl::HdlLanguage::kVhdl);
+  BoxConfig config;
+  config.clock_port = "no_such_port";
+  const BoxResult box = generate_box(module, config);
+  EXPECT_FALSE(box.ok);
+}
+
+TEST(Box, ModuleWithoutClockStillBoxes) {
+  const auto module = parse_one(R"(
+entity comb is
+  port (a : in std_logic; b : out std_logic);
+end comb;
+)",
+                                hdl::HdlLanguage::kVhdl);
+  const BoxResult box = generate_box(module, {});
+  ASSERT_TRUE(box.ok);
+  // All module ports become internal signals; the box clk stays unconnected
+  // to the instance.
+  EXPECT_TRUE(util::contains(box.box_source, "a => s_a"));
+  EXPECT_TRUE(util::contains(box.box_source, "b => s_b"));
+}
+
+TEST(Box, UnresolvableWidthFails) {
+  const auto module = parse_one(R"(
+entity uw is
+  generic (W : integer);
+  port (clk : in std_logic; v : out std_logic_vector(W-1 downto 0));
+end uw;
+)",
+                                hdl::HdlLanguage::kVhdl);
+  // No default and no override: the signal width cannot be computed.
+  const BoxResult box = generate_box(module, {});
+  EXPECT_FALSE(box.ok);
+  // With an override it works.
+  BoxConfig config;
+  config.parameters = {{"W", 4}};
+  EXPECT_TRUE(generate_box(module, config).ok);
+}
+
+}  // namespace
+}  // namespace dovado::boxing

@@ -1,0 +1,200 @@
+#include "src/cli/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dovado::cli {
+namespace {
+
+ParseOutcome parse(std::initializer_list<const char*> args) {
+  return parse_args(std::vector<std::string>(args.begin(), args.end()));
+}
+
+TEST(ParseArgs, HelpVariants) {
+  for (const char* flag : {"help", "--help", "-h"}) {
+    const auto r = parse({flag});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.options.command, Command::kHelp);
+  }
+}
+
+TEST(ParseArgs, MissingCommand) {
+  EXPECT_FALSE(parse({}).ok);
+  EXPECT_FALSE(parse({"frobnicate"}).ok);
+}
+
+TEST(ParseArgs, ParseCommand) {
+  const auto r = parse({"parse", "--source", "a.vhd", "--top", "x"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.command, Command::kParse);
+  ASSERT_EQ(r.options.sources.size(), 1u);
+  EXPECT_EQ(r.options.top, "x");
+}
+
+TEST(ParseArgs, ParseRequiresSourceAndTop) {
+  EXPECT_FALSE(parse({"parse", "--top", "x"}).ok);
+  EXPECT_FALSE(parse({"parse", "--source", "a.vhd"}).ok);
+}
+
+TEST(ParseArgs, EvaluateWithAssignments) {
+  const auto r = parse({"evaluate", "--source", "a.sv", "--top", "m", "--part", "xc7k70t",
+                        "--set", "DEPTH=64", "--set", "WIDTH=32", "--period", "2.5",
+                        "--no-impl"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.command, Command::kEvaluate);
+  EXPECT_EQ(r.options.assignments.at("DEPTH"), 64);
+  EXPECT_EQ(r.options.assignments.at("WIDTH"), 32);
+  EXPECT_DOUBLE_EQ(r.options.period_ns, 2.5);
+  EXPECT_FALSE(r.options.run_implementation);
+}
+
+TEST(ParseArgs, EvaluateRequiresPart) {
+  EXPECT_FALSE(parse({"evaluate", "--source", "a.sv", "--top", "m"}).ok);
+}
+
+TEST(ParseArgs, BadSetRejected) {
+  EXPECT_FALSE(parse({"evaluate", "--source", "a.sv", "--top", "m", "--part", "p",
+                      "--set", "DEPTH"}).ok);
+  EXPECT_FALSE(parse({"evaluate", "--source", "a.sv", "--top", "m", "--part", "p",
+                      "--set", "DEPTH=abc"}).ok);
+  EXPECT_FALSE(parse({"evaluate", "--source", "a.sv", "--top", "m", "--part", "p",
+                      "--set", "=3"}).ok);
+}
+
+TEST(ParseArgs, ExploreFullConfig) {
+  const auto r = parse({"explore",       "--source",    "a.sv",       "--top",
+                        "m",             "--part",      "xc7k70t",    "--param",
+                        "DEPTH=8:512",   "--param",     "W=pow2:3:6", "--objective",
+                        "lut:min",       "--objective", "fmax_mhz:max", "--pop",
+                        "32",            "--gens",      "9",          "--seed",
+                        "7",             "--approximate", "--pretrain", "50",
+                        "--deadline-hours", "4",        "--workers",  "2",
+                        "--csv",         "out.csv",     "--json",     "out.json"});
+  ASSERT_TRUE(r.ok) << r.error;
+  const Options& o = r.options;
+  EXPECT_EQ(o.command, Command::kExplore);
+  ASSERT_EQ(o.params.size(), 2u);
+  EXPECT_EQ(o.params[0].name, "DEPTH");
+  EXPECT_EQ(o.params[0].domain.size(), 505);
+  EXPECT_EQ(o.params[1].domain.value_at(0), 8);
+  ASSERT_EQ(o.objectives.size(), 2u);
+  EXPECT_FALSE(o.objectives[0].second);
+  EXPECT_TRUE(o.objectives[1].second);
+  EXPECT_EQ(o.population, 32u);
+  EXPECT_EQ(o.generations, 9u);
+  EXPECT_EQ(o.seed, 7u);
+  EXPECT_TRUE(o.approximate);
+  EXPECT_EQ(o.pretrain, 50u);
+  EXPECT_DOUBLE_EQ(o.deadline_hours, 4.0);
+  EXPECT_EQ(o.workers, 2u);
+  EXPECT_EQ(o.csv_path, "out.csv");
+  EXPECT_EQ(o.json_path, "out.json");
+}
+
+TEST(ParseArgs, ExploreRequiresParamsAndObjectives) {
+  EXPECT_FALSE(parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                      "--objective", "lut:min"}).ok);
+  EXPECT_FALSE(parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                      "--param", "D=1:4"}).ok);
+}
+
+TEST(ParseArgs, MissingValueDetected) {
+  const auto r = parse({"parse", "--source"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--source"), std::string::npos);
+}
+
+TEST(ParseArgs, UnknownOptionDetected) {
+  EXPECT_FALSE(parse({"parse", "--source", "a.vhd", "--top", "x", "--bogus"}).ok);
+}
+
+TEST(ParseParamSpec, RangeForms) {
+  std::string error;
+  auto spec = parse_param_spec("DEPTH=8:512", error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->domain.kind(), core::ParamDomain::Kind::kRange);
+  EXPECT_EQ(spec->domain.size(), 505);
+
+  spec = parse_param_spec("N=0:100:25", error);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->domain.size(), 5);
+}
+
+TEST(ParseParamSpec, Pow2AndValsAndBool) {
+  std::string error;
+  auto spec = parse_param_spec("MEM=pow2:10:15", error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->domain.kind(), core::ParamDomain::Kind::kPowerOfTwo);
+  EXPECT_EQ(spec->domain.value_at(0), 1024);
+
+  spec = parse_param_spec("M=vals:1,5,9", error);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->domain.size(), 3);
+  EXPECT_EQ(spec->domain.value_at(2), 9);
+
+  spec = parse_param_spec("EN=bool", error);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->domain.size(), 2);
+}
+
+TEST(ParseParamSpec, Malformed) {
+  std::string error;
+  EXPECT_FALSE(parse_param_spec("DEPTH", error).has_value());
+  EXPECT_FALSE(parse_param_spec("=1:2", error).has_value());
+  EXPECT_FALSE(parse_param_spec("D=1", error).has_value());
+  EXPECT_FALSE(parse_param_spec("D=a:b", error).has_value());
+  EXPECT_FALSE(parse_param_spec("D=pow2:1", error).has_value());
+  EXPECT_FALSE(parse_param_spec("D=vals:1,x", error).has_value());
+  EXPECT_FALSE(parse_param_spec("D=1:10:0", error).has_value());  // zero step
+}
+
+TEST(ParseObjectiveSpec, Directions) {
+  std::string error;
+  auto obj = parse_objective_spec("lut:min", error);
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->first, "lut");
+  EXPECT_FALSE(obj->second);
+  obj = parse_objective_spec("fmax_mhz:MAX", error);
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_TRUE(obj->second);
+  EXPECT_FALSE(parse_objective_spec("lut", error).has_value());
+  EXPECT_FALSE(parse_objective_spec("lut:upward", error).has_value());
+  EXPECT_FALSE(parse_objective_spec(":min", error).has_value());
+}
+
+TEST(ParseKernelSpec, Forms) {
+  std::string error;
+  auto kernel = parse_kernel_spec("fir:1000:256", error);
+  ASSERT_TRUE(kernel.has_value()) << error;
+  EXPECT_EQ(kernel->name, "fir");
+  EXPECT_DOUBLE_EQ(kernel->ops, 1000.0);
+  EXPECT_DOUBLE_EQ(kernel->bytes, 256.0);
+  EXPECT_DOUBLE_EQ(kernel->achieved_gops, 0.0);
+
+  kernel = parse_kernel_spec("gemm:2e6:1e4:12.5", error);
+  ASSERT_TRUE(kernel.has_value());
+  EXPECT_DOUBLE_EQ(kernel->achieved_gops, 12.5);
+
+  EXPECT_FALSE(parse_kernel_spec("x:1", error).has_value());
+  EXPECT_FALSE(parse_kernel_spec("x:0:5", error).has_value());
+  EXPECT_FALSE(parse_kernel_spec("x:a:b", error).has_value());
+}
+
+TEST(RooflineCommand, RequiresPart) {
+  EXPECT_FALSE(parse({"roofline", "--clock", "100"}).ok);
+  const auto r = parse({"roofline", "--part", "xc7k70t", "--clock", "250", "--kernel",
+                        "k:10:5"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.options.clock_mhz, 250.0);
+  ASSERT_EQ(r.options.kernels.size(), 1u);
+}
+
+TEST(Usage, MentionsAllCommands) {
+  const std::string text = usage();
+  for (const char* word : {"parse", "evaluate", "explore", "sensitivity", "roofline", "--param",
+                           "--objective", "--approximate"}) {
+    EXPECT_NE(text.find(word), std::string::npos) << word;
+  }
+}
+
+}  // namespace
+}  // namespace dovado::cli

@@ -1,0 +1,137 @@
+#include "src/core/param_domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dovado::core {
+namespace {
+
+TEST(ParamDomain, Range) {
+  const auto d = ParamDomain::range(8, 32);
+  EXPECT_EQ(d.kind(), ParamDomain::Kind::kRange);
+  EXPECT_EQ(d.size(), 25);
+  EXPECT_EQ(d.value_at(0), 8);
+  EXPECT_EQ(d.value_at(24), 32);
+  EXPECT_EQ(d.index_of(20), 12);
+  EXPECT_FALSE(d.index_of(33).has_value());
+  EXPECT_TRUE(d.contains(8));
+  EXPECT_FALSE(d.contains(7));
+}
+
+TEST(ParamDomain, SteppedRange) {
+  const auto d = ParamDomain::range(0, 100, 25);
+  EXPECT_EQ(d.size(), 5);
+  EXPECT_EQ(d.value_at(2), 50);
+  EXPECT_EQ(d.index_of(75), 3);
+  EXPECT_FALSE(d.index_of(30).has_value());  // off-step
+}
+
+TEST(ParamDomain, RangeSwapsReversedBounds) {
+  const auto d = ParamDomain::range(10, 2);
+  EXPECT_EQ(d.min_value(), 2);
+  EXPECT_EQ(d.max_value(), 10);
+}
+
+TEST(ParamDomain, RangeRejectsBadStep) {
+  EXPECT_THROW(ParamDomain::range(0, 10, 0), std::invalid_argument);
+  EXPECT_THROW(ParamDomain::range(0, 10, -2), std::invalid_argument);
+}
+
+TEST(ParamDomain, Values) {
+  const auto d = ParamDomain::values({5, 3, 9, 3});
+  EXPECT_EQ(d.kind(), ParamDomain::Kind::kValues);
+  EXPECT_EQ(d.size(), 3);  // duplicate removed
+  EXPECT_EQ(d.value_at(0), 5);
+  EXPECT_EQ(d.value_at(1), 3);
+  EXPECT_EQ(d.index_of(9), 2);
+  EXPECT_FALSE(d.index_of(4).has_value());
+  EXPECT_THROW(ParamDomain::values({}), std::invalid_argument);
+}
+
+TEST(ParamDomain, PowerOfTwo) {
+  // The paper's restriction: e.g. Neorv32 memory sizes 2^k only.
+  const auto d = ParamDomain::power_of_two(10, 15);
+  EXPECT_EQ(d.kind(), ParamDomain::Kind::kPowerOfTwo);
+  EXPECT_EQ(d.size(), 6);
+  EXPECT_EQ(d.value_at(0), 1024);
+  EXPECT_EQ(d.value_at(5), 32768);
+  EXPECT_EQ(d.index_of(16384), 4);
+  EXPECT_FALSE(d.index_of(12288).has_value());  // not a power of two
+  EXPECT_FALSE(d.index_of(512).has_value());    // below the range
+  EXPECT_FALSE(d.index_of(0).has_value());
+  EXPECT_FALSE(d.index_of(-8).has_value());
+}
+
+TEST(ParamDomain, PowerOfTwoBoundsChecked) {
+  EXPECT_THROW(ParamDomain::power_of_two(-1, 5), std::invalid_argument);
+  EXPECT_THROW(ParamDomain::power_of_two(0, 63), std::invalid_argument);
+  const auto d = ParamDomain::power_of_two(5, 2);  // swapped is fine
+  EXPECT_EQ(d.value_at(0), 4);
+}
+
+TEST(ParamDomain, Boolean) {
+  const auto d = ParamDomain::boolean();
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.value_at(0), 0);
+  EXPECT_EQ(d.value_at(1), 1);
+}
+
+TEST(ParamDomain, ValueAtClamps) {
+  const auto d = ParamDomain::range(0, 4);
+  EXPECT_EQ(d.value_at(-5), 0);
+  EXPECT_EQ(d.value_at(99), 4);
+}
+
+TEST(ParamDomain, Describe) {
+  EXPECT_EQ(ParamDomain::range(1, 9).describe(), "[1..9]");
+  EXPECT_EQ(ParamDomain::range(0, 8, 2).describe(), "[0..8 step 2]");
+  EXPECT_EQ(ParamDomain::values({1, 2}).describe(), "{1,2}");
+  EXPECT_EQ(ParamDomain::power_of_two(3, 6).describe(), "2^[3..6]");
+}
+
+TEST(DesignSpace, VolumeAndDecode) {
+  DesignSpace space;
+  space.params.push_back({"DEPTH", ParamDomain::range(8, 10)});       // 3
+  space.params.push_back({"WIDTH", ParamDomain::power_of_two(3, 5)});  // 3
+  EXPECT_EQ(space.volume(), 9);
+  const DesignPoint p = space.decode({1, 2});
+  EXPECT_EQ(p.at("DEPTH"), 9);
+  EXPECT_EQ(p.at("WIDTH"), 32);
+}
+
+TEST(DesignSpace, EncodeRoundTrip) {
+  DesignSpace space;
+  space.params.push_back({"A", ParamDomain::range(0, 9)});
+  space.params.push_back({"B", ParamDomain::values({100, 200, 300})});
+  for (std::int64_t a = 0; a < 10; ++a) {
+    for (std::int64_t b = 0; b < 3; ++b) {
+      const DesignPoint p = space.decode({a, b});
+      const auto genome = space.encode(p);
+      ASSERT_TRUE(genome.has_value());
+      EXPECT_EQ((*genome)[0], a);
+      EXPECT_EQ((*genome)[1], b);
+    }
+  }
+}
+
+TEST(DesignSpace, EncodeRejectsInvalid) {
+  DesignSpace space;
+  space.params.push_back({"A", ParamDomain::range(0, 9)});
+  EXPECT_FALSE(space.encode({}).has_value());                  // missing param
+  EXPECT_FALSE(space.encode({{"A", 55}}).has_value());         // out of domain
+  EXPECT_TRUE(space.encode({{"A", 5}}).has_value());
+  EXPECT_TRUE(space.encode({{"A", 5}, {"X", 1}}).has_value());  // extras ignored
+}
+
+TEST(DesignSpace, DecodeShortGenomeUsesFirstValue) {
+  DesignSpace space;
+  space.params.push_back({"A", ParamDomain::range(3, 9)});
+  space.params.push_back({"B", ParamDomain::range(5, 6)});
+  const DesignPoint p = space.decode({2});
+  EXPECT_EQ(p.at("A"), 5);
+  EXPECT_EQ(p.at("B"), 5);
+}
+
+}  // namespace
+}  // namespace dovado::core

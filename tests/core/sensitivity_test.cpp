@@ -1,0 +1,128 @@
+#include "src/core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/strings.hpp"
+
+namespace dovado::core {
+namespace {
+
+ProjectConfig tirex_project() {
+  ProjectConfig config;
+  config.sources.push_back({std::string(DOVADO_RTL_DIR) + "/tirex_top.vhd",
+                            hdl::HdlLanguage::kVhdl, "work", false});
+  config.top_module = "tirex_top";
+  config.part = "xc7k70t";
+  config.target_period_ns = 1.0;
+  return config;
+}
+
+DesignSpace tirex_space() {
+  DesignSpace space;
+  space.params.push_back({"NCLUSTER", ParamDomain::power_of_two(0, 3)});
+  space.params.push_back({"STACK_SIZE", ParamDomain::power_of_two(0, 8)});
+  return space;
+}
+
+TEST(CenterPoint, MiddleOfEveryDomain) {
+  const DesignPoint center = center_point(tirex_space());
+  EXPECT_EQ(center.at("NCLUSTER"), 4);     // index 2 of {1,2,4,8}
+  EXPECT_EQ(center.at("STACK_SIZE"), 16);  // index 4 of 2^[0..8]
+}
+
+TEST(Sensitivity, SweepsEveryParameter) {
+  const auto report =
+      analyze_sensitivity(tirex_project(), tirex_space(), center_point(tirex_space()));
+  ASSERT_EQ(report.params.size(), 2u);
+  EXPECT_EQ(report.params[0].param, "NCLUSTER");
+  // Domain of 4 values swept entirely; 9-value domain capped at 7 samples
+  // (base value included, possibly adding one).
+  EXPECT_EQ(report.params[0].swept_values.size(), 4u);
+  EXPECT_GE(report.params[1].swept_values.size(), 7u);
+  EXPECT_LE(report.params[1].swept_values.size(), 8u);
+  EXPECT_EQ(report.params[0].failures, 0u);
+}
+
+TEST(Sensitivity, DatapathParameterDominatesStack) {
+  // NCLUSTER multiplies the datapath; STACK_SIZE tweaks a small memory.
+  const auto report =
+      analyze_sensitivity(tirex_project(), tirex_space(), center_point(tirex_space()));
+  const auto ranked = report.ranking("lut");
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].first, "NCLUSTER");
+  EXPECT_GT(ranked[0].second, 5.0 * ranked[1].second);
+}
+
+TEST(Sensitivity, SweepRangesBracketBase) {
+  const auto report =
+      analyze_sensitivity(tirex_project(), tirex_space(), center_point(tirex_space()));
+  for (const auto& p : report.params) {
+    for (const auto& [metric, sweep] : p.metrics) {
+      EXPECT_LE(sweep.min_value, sweep.max_value) << metric;
+      // The base value was part of the sweep, so it lies inside the range.
+      EXPECT_GE(sweep.base_value, sweep.min_value - 1e-9) << metric;
+      EXPECT_LE(sweep.base_value, sweep.max_value + 1e-9) << metric;
+    }
+  }
+}
+
+TEST(Sensitivity, ValidatesBasePoint) {
+  const DesignSpace space = tirex_space();
+  DesignPoint missing;  // no parameters at all
+  EXPECT_THROW(analyze_sensitivity(tirex_project(), space, missing), std::runtime_error);
+  DesignPoint off_domain = center_point(space);
+  off_domain["NCLUSTER"] = 3;  // not a power of two
+  EXPECT_THROW(analyze_sensitivity(tirex_project(), space, off_domain), std::runtime_error);
+}
+
+TEST(Sensitivity, SamplesOptionCapsSweep) {
+  SensitivityOptions options;
+  options.samples_per_param = 3;
+  const auto report = analyze_sensitivity(tirex_project(), tirex_space(),
+                                          center_point(tirex_space()), options);
+  // 3 samples + base (may coincide).
+  EXPECT_LE(report.params[1].swept_values.size(), 4u);
+  EXPECT_GE(report.params[1].swept_values.size(), 3u);
+}
+
+TEST(Sensitivity, CountsFailuresInsteadOfThrowing) {
+  // FIFO on a small device: deep sweep points exceed the FF budget.
+  ProjectConfig project;
+  project.sources.push_back({std::string(DOVADO_RTL_DIR) + "/cv32e40p_fifo.sv",
+                             hdl::HdlLanguage::kSystemVerilog, "work", false});
+  project.top_module = "cv32e40p_fifo";
+  project.part = "xc7a35t";
+  DesignSpace space;
+  space.params.push_back({"DEPTH", ParamDomain::values({16, 64, 2048})});
+  DesignPoint base = {{"DEPTH", 16}};
+  const auto report = analyze_sensitivity(project, space, base);
+  ASSERT_EQ(report.params.size(), 1u);
+  EXPECT_EQ(report.params[0].failures, 1u);  // DEPTH=2048 overflows
+  EXPECT_GT(report.params[0].metrics.at("ff").max_value, 0.0);
+}
+
+TEST(Sensitivity, FormatTableAndRanking) {
+  const auto report =
+      analyze_sensitivity(tirex_project(), tirex_space(), center_point(tirex_space()));
+  const std::string table = report.format_table({"lut", "fmax_mhz"});
+  EXPECT_TRUE(util::contains(table, "NCLUSTER"));
+  EXPECT_TRUE(util::contains(table, "STACK_SIZE"));
+  EXPECT_TRUE(util::contains(table, "%"));
+  const auto ranked = report.ranking("no_such_metric");
+  for (const auto& [name, spread] : ranked) EXPECT_DOUBLE_EQ(spread, 0.0);
+}
+
+TEST(MetricSweep, RelativeSpread) {
+  MetricSweep sweep;
+  sweep.base_value = 100.0;
+  sweep.min_value = 80.0;
+  sweep.max_value = 180.0;
+  EXPECT_DOUBLE_EQ(sweep.relative_spread(), 1.0);
+  sweep.base_value = 0.0;
+  EXPECT_DOUBLE_EQ(sweep.relative_spread(), 1.0);
+  sweep.min_value = sweep.max_value = 0.0;
+  EXPECT_DOUBLE_EQ(sweep.relative_spread(), 0.0);
+}
+
+}  // namespace
+}  // namespace dovado::core

@@ -1,0 +1,89 @@
+#include "src/core/writers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/csv.hpp"
+#include "src/util/json.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::core {
+namespace {
+
+std::vector<ExploredPoint> sample_points() {
+  std::vector<ExploredPoint> points(2);
+  points[0].params = {{"DEPTH", 16}, {"WIDTH", 32}};
+  points[0].metrics.values = {{"lut", 120}, {"fmax_mhz", 410.25}};
+  points[1].params = {{"DEPTH", 64}, {"WIDTH", 32}};
+  points[1].metrics.values = {{"lut", 300}, {"fmax_mhz", 333.5}};
+  points[1].estimated = true;
+  return points;
+}
+
+TEST(WriteCsv, HeaderAndRows) {
+  std::ostringstream out;
+  write_csv(out, sample_points());
+  const auto rows = util::parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0],
+            (std::vector<std::string>{"DEPTH", "WIDTH", "fmax_mhz", "lut", "estimated",
+                                      "failed"}));
+  EXPECT_EQ(rows[1][0], "16");
+  EXPECT_EQ(rows[1][3], "120");
+  EXPECT_EQ(rows[2][4], "1");  // estimated flag
+}
+
+TEST(WriteCsv, EmptySetWritesHeaderOnly) {
+  std::ostringstream out;
+  write_csv(out, {});
+  const auto rows = util::parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].back(), "failed");
+}
+
+TEST(WriteCsv, MissingMetricLeavesEmptyCell) {
+  auto points = sample_points();
+  points[1].metrics.values.erase("lut");
+  std::ostringstream out;
+  write_csv(out, points);
+  const auto rows = util::parse_csv(out.str());
+  EXPECT_EQ(rows[2][3], "");
+}
+
+TEST(ToJson, RoundTripsStructure) {
+  DseResult result;
+  result.pareto = sample_points();
+  result.explored = sample_points();
+  result.stats.tool_runs = 42;
+  result.stats.estimates = 7;
+  result.stats.simulated_tool_seconds = 123.5;
+  const std::string text = to_json(result);
+  util::Json parsed;
+  ASSERT_TRUE(util::Json::parse(text, parsed));
+  const auto& root = parsed.as_object();
+  EXPECT_EQ(root.at("pareto").as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(root.at("stats").as_object().at("tool_runs").as_number(), 42.0);
+  const auto& first = root.at("pareto").as_array()[0].as_object();
+  EXPECT_DOUBLE_EQ(first.at("params").as_object().at("DEPTH").as_number(), 16.0);
+  EXPECT_DOUBLE_EQ(first.at("metrics").as_object().at("fmax_mhz").as_number(), 410.25);
+  EXPECT_FALSE(first.at("estimated").as_bool());
+}
+
+TEST(FormatTable, AlignedColumns) {
+  const std::string table = format_table(sample_points());
+  EXPECT_TRUE(util::contains(table, "DEPTH"));
+  EXPECT_TRUE(util::contains(table, "fmax_mhz"));
+  EXPECT_TRUE(util::contains(table, "| 16"));
+  EXPECT_TRUE(util::contains(table, "410.250"));
+  // Separator lines present.
+  EXPECT_TRUE(util::contains(table, "+-"));
+}
+
+TEST(FormatTable, EmptyInput) {
+  const std::string table = format_table({});
+  EXPECT_FALSE(table.empty());  // still prints the frame
+}
+
+}  // namespace
+}  // namespace dovado::core

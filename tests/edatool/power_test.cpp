@@ -1,0 +1,86 @@
+#include "src/edatool/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/netlist/generators.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::edatool {
+namespace {
+
+fpga::Device k7() { return *fpga::DeviceCatalog::find("xc7k70t"); }
+fpga::Device zu3eg() { return *fpga::DeviceCatalog::find("zu3eg"); }
+
+MappedDesign neorv32_on(const fpga::Device& device) {
+  hdl::ExprEnv env;
+  return technology_map(netlist::generate_neorv32_top(env), device);
+}
+
+TEST(PowerModel, PositiveComponents) {
+  const auto p = estimate_power(neorv32_on(k7()), k7(), 150.0);
+  EXPECT_GT(p.static_w, 0.0);
+  EXPECT_GT(p.dynamic_w, 0.0);
+  EXPECT_DOUBLE_EQ(p.total_w(), p.static_w + p.dynamic_w);
+  // Plausible FPGA band for a small SoC: tens of mW to a few W.
+  EXPECT_GT(p.total_w(), 0.05);
+  EXPECT_LT(p.total_w(), 5.0);
+}
+
+TEST(PowerModel, DynamicScalesLinearlyWithClock) {
+  const auto design = neorv32_on(k7());
+  const auto slow = estimate_power(design, k7(), 100.0);
+  const auto fast = estimate_power(design, k7(), 200.0);
+  EXPECT_NEAR(fast.dynamic_w, 2.0 * slow.dynamic_w, 1e-9);
+  EXPECT_DOUBLE_EQ(fast.static_w, slow.static_w);  // leakage clock-invariant
+}
+
+TEST(PowerModel, DynamicScalesWithActivity) {
+  const auto design = neorv32_on(k7());
+  const auto idle = estimate_power(design, k7(), 150.0, 0.05);
+  const auto busy = estimate_power(design, k7(), 150.0, 0.25);
+  EXPECT_GT(busy.dynamic_w, idle.dynamic_w);
+}
+
+TEST(PowerModel, BiggerDesignBurnsMore) {
+  hdl::ExprEnv small_env;
+  small_env.set("NCLUSTER", 1);
+  hdl::ExprEnv big_env;
+  big_env.set("NCLUSTER", 8);
+  const auto small = technology_map(netlist::generate_tirex_top(small_env), k7());
+  const auto big = technology_map(netlist::generate_tirex_top(big_env), k7());
+  EXPECT_GT(estimate_power(big, k7(), 150.0).dynamic_w,
+            estimate_power(small, k7(), 150.0).dynamic_w);
+}
+
+TEST(PowerModel, SixteenNanometerMoreEfficient) {
+  // Same netlist, same clock: the 16 nm device burns less dynamic power per
+  // toggle and leaks less per cell than a physically larger 28 nm device.
+  hdl::ExprEnv env;
+  const auto nl = netlist::generate_tirex_top(env);
+  const auto on_k7 = estimate_power(technology_map(nl, k7()), k7(), 200.0);
+  const auto on_zu = estimate_power(technology_map(nl, zu3eg()), zu3eg(), 200.0);
+  EXPECT_LT(on_zu.dynamic_w, on_k7.dynamic_w);
+}
+
+TEST(PowerReport, RoundTrip) {
+  PowerEstimate original;
+  original.static_w = 0.1234;
+  original.dynamic_w = 0.5678;
+  const std::string text = power_report_text(original, 187.5);
+  EXPECT_TRUE(util::contains(text, "Total On-Chip Power (W):  0.6912"));
+  EXPECT_TRUE(util::contains(text, "187.500"));
+  PowerEstimate parsed;
+  ASSERT_TRUE(parse_power_report(text, parsed));
+  EXPECT_NEAR(parsed.static_w, original.static_w, 1e-4);
+  EXPECT_NEAR(parsed.dynamic_w, original.dynamic_w, 1e-4);
+}
+
+TEST(PowerReport, ParseRejectsOtherReports) {
+  PowerEstimate parsed;
+  EXPECT_FALSE(parse_power_report("", parsed));
+  EXPECT_FALSE(parse_power_report("Slack (MET) : 1.0ns", parsed));
+  EXPECT_FALSE(parse_power_report("Device Static (W): 0.1", parsed));  // dynamic missing
+}
+
+}  // namespace
+}  // namespace dovado::edatool

@@ -1,0 +1,156 @@
+#include "src/edatool/techmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/netlist/generators.hpp"
+
+namespace dovado::edatool {
+namespace {
+
+fpga::Device k7() { return *fpga::DeviceCatalog::find("xc7k70t"); }
+fpga::Device vu9p() { return *fpga::DeviceCatalog::find("xcvu9p"); }
+
+TEST(Bram36Tiles, DepthCapacityTable) {
+  EXPECT_EQ(bram36_depth_capacity(1), 32768);
+  EXPECT_EQ(bram36_depth_capacity(2), 16384);
+  EXPECT_EQ(bram36_depth_capacity(4), 8192);
+  EXPECT_EQ(bram36_depth_capacity(9), 4096);
+  EXPECT_EQ(bram36_depth_capacity(18), 2048);
+  EXPECT_EQ(bram36_depth_capacity(36), 1024);
+}
+
+TEST(Bram36Tiles, WidthCascading) {
+  // 128-wide needs 4 columns of 36; shallow -> one row each.
+  EXPECT_EQ(bram36_tiles(128, 128), 4);
+  // 32-bit x 8192-deep: one column, 8 rows.
+  EXPECT_EQ(bram36_tiles(8192, 32), 8);
+  // 32-bit x 1024: exactly one tile.
+  EXPECT_EQ(bram36_tiles(1024, 32), 1);
+  // 16-bit x 2048: one tile at x18 aspect.
+  EXPECT_EQ(bram36_tiles(2048, 16), 1);
+  EXPECT_EQ(bram36_tiles(0, 32), 0);
+}
+
+TEST(MapMemory, RegisterPreferredStaysInFf) {
+  netlist::Memory m{"mem_q", 64, 32, true, true};
+  const auto mapped = map_memory(m, k7());
+  EXPECT_EQ(mapped.impl, MemoryImpl::kRegisters);
+  EXPECT_EQ(mapped.ff, 64 * 32);
+  EXPECT_GT(mapped.lut, 0);  // read mux
+  EXPECT_EQ(mapped.bram36, 0);
+}
+
+TEST(MapMemory, ShallowGoesDistributed) {
+  netlist::Memory m{"regfile", 32, 32, true, false};
+  const auto mapped = map_memory(m, k7());
+  EXPECT_EQ(mapped.impl, MemoryImpl::kDistributed);
+  EXPECT_GT(mapped.lut, 0);
+  EXPECT_EQ(mapped.bram36, 0);
+}
+
+TEST(MapMemory, DeepGoesBlockRam) {
+  netlist::Memory m{"imem", 4096, 32, true, false};
+  const auto mapped = map_memory(m, k7());
+  EXPECT_EQ(mapped.impl, MemoryImpl::kBlockRam);
+  EXPECT_EQ(mapped.bram36, 4);
+  EXPECT_GT(mapped.extra_levels, 0);  // 4 rows cascade
+}
+
+TEST(MapMemory, SingleRowNoCascadeLevels) {
+  netlist::Memory m{"q", 512, 32, true, false};
+  const auto mapped = map_memory(m, k7());
+  EXPECT_EQ(mapped.impl, MemoryImpl::kBlockRam);
+  EXPECT_EQ(mapped.bram36, 1);
+  EXPECT_EQ(mapped.extra_levels, 0);
+}
+
+TEST(MapMemory, UramOnlyOnUramDevice) {
+  netlist::Memory m{"big", 8192, 72, true, false};
+  const auto on_k7 = map_memory(m, k7());
+  EXPECT_EQ(on_k7.impl, MemoryImpl::kBlockRam);
+  EXPECT_EQ(on_k7.uram, 0);
+  const auto on_vu9p = map_memory(m, vu9p());
+  EXPECT_EQ(on_vu9p.impl, MemoryImpl::kUltraRam);
+  EXPECT_EQ(on_vu9p.uram, 2);  // 1 column x 2 rows of 4Kx72
+  EXPECT_EQ(on_vu9p.bram36, 0);
+}
+
+TEST(TechnologyMap, CqManagerBramConstant) {
+  // Fig. 4's constant-BRAM behaviour must survive mapping: over Table I's
+  // whole configuration range the queue manager maps to the same BRAM
+  // count.
+  std::int64_t tiles = -1;
+  for (std::int64_t qiw : {4, 5, 7}) {
+    for (std::int64_t ops : {8, 13, 27, 35}) {
+      for (std::int64_t pipe : {2, 3, 4, 5}) {
+        hdl::ExprEnv env;
+        env.set("OP_TABLE_SIZE", ops);
+        env.set("QUEUE_INDEX_WIDTH", qiw);
+        env.set("PIPELINE", pipe);
+        const auto design = technology_map(netlist::generate_cpl_queue_manager(env), k7());
+        if (tiles < 0) tiles = design.util.bram36;
+        EXPECT_EQ(design.util.bram36, tiles)
+            << "qiw=" << qiw << " ops=" << ops << " pipe=" << pipe;
+      }
+    }
+  }
+  EXPECT_GT(tiles, 0);
+}
+
+TEST(TechnologyMap, Neorv32BramJumpAtBigMemories) {
+  // Fig. 5: the 2^15/2^15 configuration shows a sensible BRAM change vs the
+  // 2^14/2^13 ones while other metrics stay nearly unchanged.
+  auto map_config = [&](std::int64_t imem, std::int64_t dmem) {
+    hdl::ExprEnv env;
+    env.set("MEM_INT_IMEM_SIZE", imem);
+    env.set("MEM_INT_DMEM_SIZE", dmem);
+    return technology_map(netlist::generate_neorv32_top(env), k7());
+  };
+  const auto big = map_config(1 << 15, 1 << 15);
+  const auto small = map_config(1 << 14, 1 << 13);
+  EXPECT_GE(big.util.bram36, 2 * small.util.bram36);
+  // LUTs nearly unchanged (cascade muxes only).
+  EXPECT_NEAR(static_cast<double>(big.util.lut_total()),
+              static_cast<double>(small.util.lut_total()),
+              0.05 * static_cast<double>(small.util.lut_total()));
+}
+
+TEST(TechnologyMap, OverUtilizationDetected) {
+  netlist::Netlist n;
+  n.top = "huge";
+  n.luts = 1000000;  // way over a K7's 41k
+  const auto design = technology_map(n, k7());
+  EXPECT_TRUE(design.over_utilized(k7()));
+  EXPECT_FALSE(design.over_utilization_reason(k7()).empty());
+}
+
+TEST(TechnologyMap, FitsAreNotOverUtilized) {
+  hdl::ExprEnv env;
+  const auto design = technology_map(netlist::generate_neorv32_top(env), k7());
+  EXPECT_FALSE(design.over_utilized(k7()));
+  EXPECT_TRUE(design.over_utilization_reason(k7()).empty());
+}
+
+TEST(TechnologyMap, CascadeLevelsFoldIntoBramPaths) {
+  hdl::ExprEnv env;
+  env.set("MEM_INT_IMEM_SIZE", 1 << 16);  // 16384 deep -> 16 rows
+  const auto design = technology_map(netlist::generate_neorv32_top(env), k7());
+  bool found = false;
+  for (const auto& p : design.paths) {
+    if (p.from_bram) {
+      found = true;
+      EXPECT_GT(p.logic_levels, 5);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TechnologyMap, LutPressure) {
+  netlist::Netlist n;
+  n.luts = 4100;
+  const auto design = technology_map(n, k7());
+  EXPECT_NEAR(design.lut_pressure(k7()), 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace dovado::edatool

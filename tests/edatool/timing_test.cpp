@@ -1,0 +1,132 @@
+#include "src/edatool/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/netlist/generators.hpp"
+
+namespace dovado::edatool {
+namespace {
+
+fpga::Device k7() { return *fpga::DeviceCatalog::find("xc7k70t"); }
+fpga::Device zu3eg() { return *fpga::DeviceCatalog::find("zu3eg"); }
+
+MappedDesign simple_design(int levels, bool from_bram = false) {
+  netlist::Netlist n;
+  n.top = "t";
+  n.luts = 1000;
+  netlist::PathGroup p;
+  p.name = "p";
+  p.logic_levels = levels;
+  p.from_bram = from_bram;
+  n.paths.push_back(p);
+  return technology_map(n, k7());
+}
+
+TEST(DirectiveEffects, KnownDirectives) {
+  EXPECT_LT(directive_effects("AreaOptimized_high").area_factor, 1.0);
+  EXPECT_GT(directive_effects("AreaOptimized_high").delay_factor, 1.0);
+  EXPECT_LT(directive_effects("PerformanceOptimized").delay_factor, 1.0);
+  EXPECT_GT(directive_effects("PerformanceOptimized").runtime_factor, 1.0);
+  EXPECT_LT(directive_effects("RuntimeOptimized").runtime_factor, 1.0);
+  // Case-insensitive and default fallbacks.
+  EXPECT_EQ(directive_effects("default").area_factor, 1.0);
+  EXPECT_EQ(directive_effects("NotADirective").delay_factor, 1.0);
+  EXPECT_LT(directive_effects("explore").delay_factor, 1.0);
+}
+
+TEST(Congestion, GrowsQuadraticallyWithPressure) {
+  const auto dev = k7();
+  EXPECT_DOUBLE_EQ(congestion_factor(dev, 0.0), 1.0);
+  const double at_half = congestion_factor(dev, 0.5);
+  const double at_full = congestion_factor(dev, 1.0);
+  EXPECT_GT(at_half, 1.0);
+  EXPECT_GT(at_full, at_half);
+  EXPECT_NEAR(at_full - 1.0, 4.0 * (at_half - 1.0), 1e-9);
+  EXPECT_DOUBLE_EQ(congestion_factor(dev, -1.0), 1.0);  // clamped
+}
+
+TEST(Timing, MoreLevelsSlower) {
+  const auto d4 = analyze_timing(simple_design(4), k7(), 1.0, TimingStage::kPostRoute, 1.0, 1);
+  const auto d10 =
+      analyze_timing(simple_design(10), k7(), 1.0, TimingStage::kPostRoute, 1.0, 1);
+  EXPECT_GT(d10.data_path_ns, d4.data_path_ns);
+  EXPECT_LT(d10.slack_ns, d4.slack_ns);
+}
+
+TEST(Timing, SynthesisEstimateIsOptimistic) {
+  const auto design = simple_design(8);
+  const auto synth =
+      analyze_timing(design, k7(), 1.0, TimingStage::kPostSynthesis, 1.0, 7);
+  const auto routed = analyze_timing(design, k7(), 1.0, TimingStage::kPostRoute, 1.0, 7);
+  EXPECT_LT(synth.data_path_ns, routed.data_path_ns);
+}
+
+TEST(Timing, UltraScaleFasterThanKintex) {
+  // The paper's TiReX observation: near-identical configurations reach
+  // ~550 MHz on the ZU3EG vs ~190 MHz on the XC7K70T (Sec. IV-D).
+  hdl::ExprEnv env;
+  const auto nl = netlist::generate_tirex_top(env);
+  const auto on_k7 = technology_map(nl, k7());
+  const auto on_zu = technology_map(nl, zu3eg());
+  const auto t_k7 = analyze_timing(on_k7, k7(), 1.0, TimingStage::kPostRoute, 1.0, 3);
+  const auto t_zu = analyze_timing(on_zu, zu3eg(), 1.0, TimingStage::kPostRoute, 1.0, 3);
+  const double fmax_k7 = 1000.0 / t_k7.data_path_ns;
+  const double fmax_zu = 1000.0 / t_zu.data_path_ns;
+  EXPECT_GT(fmax_zu, 2.0 * fmax_k7);
+  // Bands, not exact values: K7 in [140, 260] MHz, ZU3EG in [400, 750] MHz.
+  EXPECT_GT(fmax_k7, 140.0);
+  EXPECT_LT(fmax_k7, 260.0);
+  EXPECT_GT(fmax_zu, 400.0);
+  EXPECT_LT(fmax_zu, 750.0);
+}
+
+TEST(Timing, BramLaunchSlower) {
+  const auto ff = analyze_timing(simple_design(3, false), k7(), 1.0,
+                                 TimingStage::kPostRoute, 1.0, 5);
+  const auto bram = analyze_timing(simple_design(3, true), k7(), 1.0,
+                                   TimingStage::kPostRoute, 1.0, 5);
+  EXPECT_GT(bram.data_path_ns, ff.data_path_ns);
+}
+
+TEST(Timing, DeterministicForSameSeed) {
+  const auto design = simple_design(6);
+  const auto a = analyze_timing(design, k7(), 1.0, TimingStage::kPostRoute, 1.0, 42);
+  const auto b = analyze_timing(design, k7(), 1.0, TimingStage::kPostRoute, 1.0, 42);
+  EXPECT_DOUBLE_EQ(a.data_path_ns, b.data_path_ns);
+  const auto c = analyze_timing(design, k7(), 1.0, TimingStage::kPostRoute, 1.0, 43);
+  EXPECT_NE(a.data_path_ns, c.data_path_ns);  // different placement noise
+  // but the noise is small (< 2%)
+  EXPECT_NEAR(c.data_path_ns, a.data_path_ns, 0.02 * a.data_path_ns);
+}
+
+TEST(Timing, DelayFactorScales) {
+  const auto design = simple_design(6);
+  const auto base = analyze_timing(design, k7(), 1.0, TimingStage::kPostRoute, 1.0, 1);
+  const auto faster = analyze_timing(design, k7(), 1.0, TimingStage::kPostRoute, 0.9, 1);
+  EXPECT_NEAR(faster.data_path_ns, 0.9 * base.data_path_ns, 1e-9);
+}
+
+TEST(Timing, EmptyDesignHasRegisterPath) {
+  netlist::Netlist n;
+  n.top = "empty";
+  const auto design = technology_map(n, k7());
+  const auto t = analyze_timing(design, k7(), 10.0, TimingStage::kPostRoute, 1.0, 1);
+  EXPECT_GT(t.data_path_ns, 0.0);
+  EXPECT_EQ(t.path_group, "register");
+  EXPECT_GT(t.slack_ns, 0.0);  // trivially meets 10ns
+}
+
+TEST(Timing, WorstPathWins) {
+  netlist::Netlist n;
+  n.top = "two";
+  n.luts = 100;
+  n.paths.push_back({"short", 2, false, false, 3.0});
+  n.paths.push_back({"long", 12, false, false, 3.0});
+  const auto design = technology_map(n, k7());
+  const auto t = analyze_timing(design, k7(), 1.0, TimingStage::kPostRoute, 1.0, 1);
+  EXPECT_EQ(t.path_group, "long");
+  EXPECT_EQ(t.logic_levels, 12);
+}
+
+}  // namespace
+}  // namespace dovado::edatool

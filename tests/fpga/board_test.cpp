@@ -1,0 +1,68 @@
+#include "src/fpga/board.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dovado::fpga {
+namespace {
+
+TEST(BoardCatalog, KnownBoards) {
+  for (const char* name : {"ultra96", "arty-a7-35", "pynq-z1", "kc705", "vcu118"}) {
+    EXPECT_TRUE(BoardCatalog::find(name).has_value()) << name;
+  }
+  EXPECT_FALSE(BoardCatalog::find("de10-nano").has_value());  // not a Xilinx board
+  EXPECT_FALSE(BoardCatalog::find("").has_value());
+}
+
+TEST(BoardCatalog, LookupIsCaseInsensitive) {
+  EXPECT_TRUE(BoardCatalog::find("ULTRA96").has_value());
+  EXPECT_TRUE(BoardCatalog::find("  Kc705 ").has_value());
+}
+
+TEST(BoardCatalog, EveryBoardPartExistsInDeviceCatalog) {
+  for (const auto& board : BoardCatalog::all()) {
+    EXPECT_TRUE(DeviceCatalog::find(board.part).has_value())
+        << board.name << " -> " << board.part;
+    EXPECT_GT(board.reference_clock_mhz, 0.0);
+    EXPECT_FALSE(board.display_name.empty());
+  }
+}
+
+TEST(BoardCatalog, NamesUnique) {
+  std::set<std::string> names;
+  for (const auto& board : BoardCatalog::all()) {
+    EXPECT_TRUE(names.insert(board.name).second) << board.name;
+  }
+}
+
+TEST(BoardCatalog, Ultra96IsThePapersZu3eg) {
+  const auto board = BoardCatalog::find("ultra96");
+  ASSERT_TRUE(board.has_value());
+  EXPECT_EQ(board->part, "xczu3eg-sbva484-1-e");
+}
+
+TEST(ResolveDevice, AcceptsPartsDisplayNamesAndBoards) {
+  // Full part name.
+  ASSERT_TRUE(resolve_device("xc7k70tfbv676-1").has_value());
+  // Display name.
+  ASSERT_TRUE(resolve_device("xc7k70t").has_value());
+  // Board name resolves to its part.
+  const auto via_board = resolve_device("pynq-z1");
+  ASSERT_TRUE(via_board.has_value());
+  EXPECT_EQ(via_board->part, "xc7z020clg400-1");
+  // Unknown anything.
+  EXPECT_FALSE(resolve_device("flux-capacitor").has_value());
+}
+
+TEST(ResolveDevice, Kc705UsesFasterGrade2Silicon) {
+  const auto kc705 = resolve_device("kc705");
+  ASSERT_TRUE(kc705.has_value());
+  EXPECT_EQ(kc705->speed_grade, 2);
+  const auto k70 = resolve_device("xc7k70t");
+  EXPECT_LT(kc705->timing.lut_delay_ns, k70->timing.lut_delay_ns);
+  EXPECT_GT(kc705->resources.lut, k70->resources.lut);
+}
+
+}  // namespace
+}  // namespace dovado::fpga

@@ -1,0 +1,87 @@
+#include "src/fpga/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dovado::fpga {
+namespace {
+
+TEST(DeviceCatalog, ContainsThePaperDevices) {
+  // Sec. IV uses a Kintex-7 XC7K70T and a Zynq UltraScale+ ZU3EG.
+  EXPECT_TRUE(DeviceCatalog::find("xc7k70tfbv676-1").has_value());
+  EXPECT_TRUE(DeviceCatalog::find("xczu3eg-sbva484-1-e").has_value());
+}
+
+TEST(DeviceCatalog, LookupByDisplayNameAndCase) {
+  EXPECT_TRUE(DeviceCatalog::find("xc7k70t").has_value());
+  EXPECT_TRUE(DeviceCatalog::find("XC7K70TFBV676-1").has_value());
+  EXPECT_TRUE(DeviceCatalog::find("  zu3eg ").has_value());
+}
+
+TEST(DeviceCatalog, UnknownPartIsNullopt) {
+  EXPECT_FALSE(DeviceCatalog::find("xc9k999t").has_value());
+  EXPECT_FALSE(DeviceCatalog::find("").has_value());
+}
+
+TEST(DeviceCatalog, PaperQuotedResourceCounts) {
+  // "the ZU3EG has 70K LUTs and 141k Flip Flops, while the XC7K70T has
+  //  41k LUT and 82K FF" (Sec. IV-D).
+  const auto k7 = DeviceCatalog::find("xc7k70t");
+  ASSERT_TRUE(k7);
+  EXPECT_EQ(k7->resources.lut, 41000);
+  EXPECT_EQ(k7->resources.ff, 82000);
+  const auto zu = DeviceCatalog::find("zu3eg");
+  ASSERT_TRUE(zu);
+  EXPECT_EQ(zu->resources.lut, 70560);
+  EXPECT_EQ(zu->resources.ff, 141120);
+}
+
+TEST(DeviceCatalog, ProcessNodesMatchPaper) {
+  // "the ZU3EG is produced at 16 nm process while the XC7K70T at 28 nm".
+  EXPECT_EQ(DeviceCatalog::find("zu3eg")->process_nm, 16);
+  EXPECT_EQ(DeviceCatalog::find("xc7k70t")->process_nm, 28);
+}
+
+TEST(DeviceCatalog, UramOnlyOnUramParts) {
+  // URAM is device-dependent and "reported only if present".
+  EXPECT_FALSE(DeviceCatalog::find("xc7k70t")->has_uram());
+  EXPECT_FALSE(DeviceCatalog::find("zu3eg")->has_uram());
+  const auto vu9p = DeviceCatalog::find("xcvu9p");
+  ASSERT_TRUE(vu9p);
+  EXPECT_TRUE(vu9p->has_uram());
+  EXPECT_GT(vu9p->resources.uram, 0);
+}
+
+TEST(DeviceCatalog, UltraScaleFabricIsFaster) {
+  const auto k7 = DeviceCatalog::find("xc7k70t");
+  const auto zu = DeviceCatalog::find("zu3eg");
+  EXPECT_LT(zu->timing.lut_delay_ns, k7->timing.lut_delay_ns);
+  EXPECT_LT(zu->timing.net_delay_ns, k7->timing.net_delay_ns);
+  EXPECT_LT(zu->timing.ff_clk_to_q_ns, k7->timing.ff_clk_to_q_ns);
+  EXPECT_LT(zu->timing.bram_clk_to_out_ns, k7->timing.bram_clk_to_out_ns);
+}
+
+TEST(DeviceCatalog, AllPartsWellFormed) {
+  for (const auto& d : DeviceCatalog::all()) {
+    EXPECT_FALSE(d.part.empty());
+    EXPECT_FALSE(d.family.empty());
+    EXPECT_GT(d.resources.lut, 0) << d.part;
+    EXPECT_GT(d.resources.ff, 0) << d.part;
+    EXPECT_GT(d.resources.bram36, 0) << d.part;
+    EXPECT_GT(d.timing.lut_delay_ns, 0.0) << d.part;
+    EXPECT_GT(d.timing.net_delay_ns, 0.0) << d.part;
+    // FFs are paired with LUTs at 2:1 on all supported families.
+    EXPECT_EQ(d.resources.ff, d.resources.lut * 2) << d.part;
+  }
+}
+
+TEST(DeviceCatalog, PartNamesUnique) {
+  std::set<std::string> names;
+  for (const auto& d : DeviceCatalog::all()) {
+    EXPECT_TRUE(names.insert(d.part).second) << "duplicate part " << d.part;
+  }
+}
+
+}  // namespace
+}  // namespace dovado::fpga

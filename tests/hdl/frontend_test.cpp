@@ -1,0 +1,73 @@
+#include "src/hdl/frontend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace dovado::hdl {
+namespace {
+
+TEST(LanguageFromPath, Extensions) {
+  EXPECT_EQ(language_from_path("a/b/top.vhd"), HdlLanguage::kVhdl);
+  EXPECT_EQ(language_from_path("top.vhdl"), HdlLanguage::kVhdl);
+  EXPECT_EQ(language_from_path("nic.v"), HdlLanguage::kVerilog);
+  EXPECT_EQ(language_from_path("core.sv"), HdlLanguage::kSystemVerilog);
+  EXPECT_EQ(language_from_path("defs.svh"), HdlLanguage::kSystemVerilog);
+  EXPECT_FALSE(language_from_path("README.md").has_value());
+  EXPECT_FALSE(language_from_path("noext").has_value());
+}
+
+TEST(LanguageFromContent, Sniffing) {
+  EXPECT_EQ(language_from_content("entity e is end e; architecture a of e is begin end;"),
+            HdlLanguage::kVhdl);
+  EXPECT_EQ(language_from_content("module m(); endmodule"), HdlLanguage::kVerilog);
+  EXPECT_EQ(language_from_content("module m(input logic c); always_ff begin end endmodule"),
+            HdlLanguage::kSystemVerilog);
+  EXPECT_FALSE(language_from_content("int main() { return 0; }").has_value());
+}
+
+TEST(ParseSource, DispatchesByLanguage) {
+  auto v = parse_source("entity x is port (clk : in std_logic); end x;", HdlLanguage::kVhdl);
+  ASSERT_TRUE(v.ok);
+  EXPECT_EQ(v.file.modules[0].name, "x");
+  auto sv = parse_source("module y(input logic clk); endmodule", HdlLanguage::kSystemVerilog);
+  ASSERT_TRUE(sv.ok);
+  EXPECT_EQ(sv.file.modules[0].name, "y");
+}
+
+TEST(ParseFile, MissingFileReportsDiagnostic) {
+  auto r = parse_file("/nonexistent/path/missing.vhd");
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.diagnostics.empty());
+}
+
+TEST(ParseFile, ReadsRealFileFromDisk) {
+  const std::string path = testing::TempDir() + "/dovado_frontend_test.sv";
+  {
+    std::ofstream out(path);
+    out << "module disk_mod #(parameter P = 3)(input logic clk);\nendmodule\n";
+  }
+  auto r = parse_file(path);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.file.modules[0].name, "disk_mod");
+  EXPECT_EQ(r.file.language, HdlLanguage::kSystemVerilog);
+  std::remove(path.c_str());
+}
+
+TEST(ParseFile, ShippedRtlParses) {
+  // Every RTL source shipped with the repo must parse cleanly; this guards
+  // the case-study sources used by examples and benches.
+  const std::string dir = DOVADO_RTL_DIR;
+  for (const char* name :
+       {"/cv32e40p_fifo.sv", "/corundum_cq_manager.v", "/neorv32_top.vhd", "/tirex_top.vhd",
+        "/systolic_mm.sv", "/axis_switch.v"}) {
+    auto r = parse_file(dir + name);
+    EXPECT_TRUE(r.ok) << name;
+    EXPECT_FALSE(r.file.modules.empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dovado::hdl

@@ -1,0 +1,222 @@
+// Robustness tests: declaration-style variety, hostile formatting and
+// constructs that must not confuse interface extraction (the paper calls
+// out "a wide variety of declaration styles ... hindering regular
+// expressions usage").
+#include <gtest/gtest.h>
+
+#include "src/hdl/expr.hpp"
+#include "src/hdl/frontend.hpp"
+
+namespace dovado::hdl {
+namespace {
+
+TEST(VhdlRobustness, MixedCaseKeywords) {
+  auto r = parse_source(R"(
+ENTITY Shouty IS
+  GENERIC (Width : INTEGER := 8);
+  PORT (Clk : IN STD_LOGIC; Q : OUT STD_LOGIC_VECTOR(Width-1 DOWNTO 0));
+END ENTITY Shouty;
+)",
+                        HdlLanguage::kVhdl);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.file.modules[0].name, "Shouty");
+  EXPECT_EQ(r.file.modules[0].parameters[0].name, "Width");
+  EXPECT_EQ(r.file.modules[0].ports.size(), 2u);
+}
+
+TEST(VhdlRobustness, CrLfAndTabs) {
+  auto r = parse_source(
+      "entity crlf is\r\n\tgeneric (N : integer := 4);\r\n\tport (clk : in "
+      "std_logic);\r\nend crlf;\r\n",
+      HdlLanguage::kVhdl);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.file.modules[0].parameters[0].default_expr, "4");
+}
+
+TEST(VhdlRobustness, EntityWordInsideStringAndComment) {
+  auto r = parse_source(R"(
+-- this comment mentions entity fake is
+entity real_one is
+  generic (NAME : string := "entity inside string is fine");
+  port (clk : in std_logic);
+end real_one;
+)",
+                        HdlLanguage::kVhdl);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.file.modules.size(), 1u);
+  EXPECT_EQ(r.file.modules[0].name, "real_one");
+}
+
+TEST(VhdlRobustness, GenericWithoutDefault) {
+  auto r = parse_source(R"(
+entity nodefault is
+  generic (W : integer; D : integer := 2);
+  port (clk : in std_logic);
+end nodefault;
+)",
+                        HdlLanguage::kVhdl);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.file.modules[0].parameters.size(), 2u);
+  EXPECT_TRUE(r.file.modules[0].parameters[0].default_expr.empty());
+  EXPECT_EQ(r.file.modules[0].parameters[1].default_expr, "2");
+}
+
+TEST(VhdlRobustness, ArchitectureWithProcessesAndGenerate) {
+  auto r = parse_source(R"(
+entity deep is
+  port (clk : in std_logic; q : out std_logic);
+end deep;
+architecture rtl of deep is
+  signal s : std_logic;
+begin
+  g: for i in 0 to 3 generate
+    p: process(clk)
+    begin
+      if rising_edge(clk) then
+        case s is
+          when '0' => s <= '1';
+          when others => s <= '0';
+        end case;
+      end if;
+    end process p;
+  end generate g;
+  q <= s;
+end architecture rtl;
+entity after_arch is
+  port (clk : in std_logic);
+end after_arch;
+)",
+                        HdlLanguage::kVhdl);
+  ASSERT_TRUE(r.ok);
+  // The parser must recover past the nested architecture and find the
+  // second entity.
+  ASSERT_EQ(r.file.modules.size(), 2u);
+  EXPECT_EQ(r.file.modules[1].name, "after_arch");
+  EXPECT_EQ(r.file.modules[0].architectures.size(), 1u);
+}
+
+TEST(VhdlRobustness, EverythingOnOneLine) {
+  auto r = parse_source(
+      "entity oneliner is generic (A : integer := 1; B : integer := 2); port (clk : in "
+      "std_logic; d : in std_logic_vector(A+B-1 downto 0)); end oneliner;",
+      HdlLanguage::kVhdl);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.file.modules[0].parameters.size(), 2u);
+  EXPECT_TRUE(r.file.modules[0].ports[1].is_vector);
+}
+
+TEST(VerilogRobustness, CommentedModuleIgnored) {
+  auto r = parse_source(R"(
+// module ghost(input wire clk); endmodule
+/* module phantom(input wire clk); endmodule */
+module actual(input wire clk);
+endmodule
+)",
+                        HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.file.modules.size(), 1u);
+  EXPECT_EQ(r.file.modules[0].name, "actual");
+}
+
+TEST(VerilogRobustness, DirectivesBetweenDeclarations) {
+  auto r = parse_source(R"(
+`timescale 1ns/1ps
+`define WIDTH 8
+module directives #(parameter W = 8)(
+  input wire clk,
+`ifdef SYNTHESIS
+  input wire synth_only,
+`endif
+  output wire [W-1:0] q
+);
+endmodule
+)",
+                        HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  const Module& m = r.file.modules[0];
+  EXPECT_EQ(m.name, "directives");
+  // Directive lines are skipped wholesale, so synth_only is absent (macro
+  // expansion is out of scope) — but clk and q must both survive.
+  EXPECT_NE(m.find_port("clk"), nullptr);
+  EXPECT_NE(m.find_port("q"), nullptr);
+}
+
+TEST(VerilogRobustness, GenerateBlockDoesNotLeakPorts) {
+  auto r = parse_source(R"(
+module gen #(parameter N = 4)(input wire clk, output wire [N-1:0] q);
+  genvar i;
+  generate
+    for (i = 0; i < N; i = i + 1) begin : g
+      sub u ( .clk(clk), .q(q[i]) );
+    end
+  endgenerate
+endmodule
+module sub(input wire clk, output wire q);
+endmodule
+)",
+                        HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.file.modules.size(), 2u);
+  EXPECT_EQ(r.file.modules[0].ports.size(), 2u);
+  EXPECT_EQ(r.file.modules[1].ports.size(), 2u);
+}
+
+TEST(VerilogRobustness, ParameterExpressionsWithPower) {
+  auto r = parse_source(R"(
+module pw #(
+  parameter EXP = 10,
+  parameter SIZE = 2 ** EXP,
+  parameter HALF = SIZE / 2
+)(input wire clk);
+endmodule
+)",
+                        HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  ExprEnv env = build_param_env(r.file.modules[0], {});
+  EXPECT_EQ(env.get("SIZE"), 1024);
+  EXPECT_EQ(env.get("HALF"), 512);
+  env = build_param_env(r.file.modules[0], {{"EXP", 4}});
+  EXPECT_EQ(env.get("HALF"), 8);
+}
+
+TEST(VerilogRobustness, UnpackedArrayPortDimensions) {
+  auto r = parse_source(R"(
+module up #(parameter LANES = 4)(
+  input  logic clk_i,
+  input  logic [31:0] data_i [LANES],
+  output logic [31:0] data_o [LANES]
+);
+endmodule
+)",
+                        HdlLanguage::kSystemVerilog);
+  ASSERT_TRUE(r.ok);
+  const Module& m = r.file.modules[0];
+  // Packed dimension captured; the unpacked one is skipped without
+  // breaking the following port.
+  EXPECT_NE(m.find_port("data_i"), nullptr);
+  EXPECT_NE(m.find_port("data_o"), nullptr);
+  EXPECT_TRUE(m.find_port("data_i")->is_vector);
+}
+
+TEST(VerilogRobustness, VeryLongPortList) {
+  std::string src = "module wide(\n  input wire clk";
+  for (int i = 0; i < 200; ++i) src += ",\n  input wire d" + std::to_string(i);
+  src += "\n);\nendmodule\n";
+  auto r = parse_source(src, HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.file.modules[0].ports.size(), 201u);
+}
+
+TEST(Robustness, DeeplyNestedParensInDefault) {
+  auto r = parse_source(R"(
+module nest #(parameter P = ((((1 + 2)) * ((3))))) (input wire clk);
+endmodule
+)",
+                        HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  ExprEnv env = build_param_env(r.file.modules[0], {});
+  EXPECT_EQ(env.get("P"), 9);
+}
+
+}  // namespace
+}  // namespace dovado::hdl

@@ -1,0 +1,249 @@
+#include "src/hdl/verilog_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/hdl/expr.hpp"
+
+namespace dovado::hdl {
+namespace {
+
+constexpr const char* kAnsiModule = R"(
+// A synchronous FIFO in SystemVerilog.
+module sync_fifo #(
+  parameter int DEPTH = 512,
+  parameter int WIDTH = 32,
+  localparam int ADDR_W = $clog2(DEPTH)
+)(
+  input  logic              clk_i,
+  input  logic              rst_ni,
+  input  logic              push_i,
+  input  logic [WIDTH-1:0]  data_i,
+  output logic              full_o,
+  output logic [WIDTH-1:0]  data_o
+);
+  logic [ADDR_W:0] wptr, rptr;
+endmodule
+)";
+
+TEST(VerilogParser, AnsiHeader) {
+  auto r = parse_verilog(kAnsiModule, HdlLanguage::kSystemVerilog, "fifo.sv");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.file.modules.size(), 1u);
+  const Module& m = r.file.modules[0];
+  EXPECT_EQ(m.name, "sync_fifo");
+  ASSERT_EQ(m.parameters.size(), 3u);
+  EXPECT_EQ(m.parameters[0].name, "DEPTH");
+  EXPECT_EQ(m.parameters[0].default_expr, "512");
+  EXPECT_FALSE(m.parameters[0].is_local);
+  EXPECT_EQ(m.parameters[2].name, "ADDR_W");
+  EXPECT_TRUE(m.parameters[2].is_local);
+  ASSERT_EQ(m.ports.size(), 6u);
+}
+
+TEST(VerilogParser, FreeParametersExcludeLocal) {
+  auto r = parse_verilog(kAnsiModule, HdlLanguage::kSystemVerilog);
+  EXPECT_EQ(r.file.modules[0].free_parameters().size(), 2u);
+}
+
+TEST(VerilogParser, PortShapes) {
+  auto r = parse_verilog(kAnsiModule, HdlLanguage::kSystemVerilog);
+  const Module& m = r.file.modules[0];
+  EXPECT_EQ(m.ports[0].name, "clk_i");
+  EXPECT_EQ(m.ports[0].dir, PortDir::kIn);
+  EXPECT_FALSE(m.ports[0].is_vector);
+  EXPECT_EQ(m.ports[3].name, "data_i");
+  EXPECT_TRUE(m.ports[3].is_vector);
+  EXPECT_EQ(m.ports[4].name, "full_o");
+  EXPECT_EQ(m.ports[4].dir, PortDir::kOut);
+  EXPECT_EQ(m.ports[5].dir, PortDir::kOut);
+  EXPECT_TRUE(m.ports[5].is_vector);
+}
+
+TEST(VerilogParser, WidthExpressionEvaluates) {
+  auto r = parse_verilog(kAnsiModule, HdlLanguage::kSystemVerilog);
+  const Module& m = r.file.modules[0];
+  ExprEnv env = build_param_env(m, {{"WIDTH", 64}});
+  EXPECT_EQ(port_width(m.ports[3], HdlLanguage::kSystemVerilog, env), 64);
+  EXPECT_EQ(env.get("ADDR_W"), 9);  // localparam derives from default DEPTH
+}
+
+TEST(VerilogParser, DirectionCarriesAcrossCommaList) {
+  auto r = parse_verilog(R"(
+module carry(
+  input wire a, b, c,
+  output reg q
+);
+endmodule
+)",
+                         HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  const Module& m = r.file.modules[0];
+  ASSERT_EQ(m.ports.size(), 4u);
+  EXPECT_EQ(m.ports[1].dir, PortDir::kIn);
+  EXPECT_EQ(m.ports[2].dir, PortDir::kIn);
+  EXPECT_EQ(m.ports[3].dir, PortDir::kOut);
+  EXPECT_EQ(m.ports[3].type_name, "reg");
+}
+
+TEST(VerilogParser, NonAnsiHeader) {
+  auto r = parse_verilog(R"(
+module legacy(clk, rst, din, dout);
+  parameter WIDTH = 16;
+  parameter DEPTH = 64;
+  input clk;
+  input rst;
+  input [WIDTH-1:0] din;
+  output [WIDTH-1:0] dout;
+  reg [WIDTH-1:0] mem [0:DEPTH-1];
+endmodule
+)",
+                         HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  const Module& m = r.file.modules[0];
+  EXPECT_EQ(m.name, "legacy");
+  ASSERT_EQ(m.parameters.size(), 2u);
+  EXPECT_EQ(m.parameters[1].name, "DEPTH");
+  ASSERT_EQ(m.ports.size(), 4u);
+  EXPECT_EQ(m.ports[2].name, "din");
+  EXPECT_EQ(m.ports[2].dir, PortDir::kIn);
+  EXPECT_TRUE(m.ports[2].is_vector);
+  EXPECT_EQ(m.ports[3].dir, PortDir::kOut);
+}
+
+TEST(VerilogParser, ParameterListWithCommas) {
+  auto r = parse_verilog(R"(
+module multi #(
+  parameter A = 1, B = 2,
+  parameter C = A + B
+)(input wire clk);
+endmodule
+)",
+                         HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  const Module& m = r.file.modules[0];
+  ASSERT_EQ(m.parameters.size(), 3u);
+  EXPECT_EQ(m.parameters[1].name, "B");
+  EXPECT_EQ(m.parameters[1].default_expr, "2");
+  ExprEnv env = build_param_env(m, {});
+  EXPECT_EQ(env.get("C"), 3);
+}
+
+TEST(VerilogParser, BodyParametersAndLocalparams) {
+  auto r = parse_verilog(R"(
+module body(clk);
+  input clk;
+  parameter OUTSTANDING = 16;
+  localparam PTR_W = $clog2(OUTSTANDING);
+  reg [PTR_W-1:0] head;
+endmodule
+)",
+                         HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  const Module& m = r.file.modules[0];
+  ASSERT_EQ(m.parameters.size(), 2u);
+  EXPECT_FALSE(m.parameters[0].is_local);
+  EXPECT_TRUE(m.parameters[1].is_local);
+}
+
+TEST(VerilogParser, FunctionArgsNotMistakenForPorts) {
+  auto r = parse_verilog(R"(
+module f(input wire clk, output wire [3:0] q);
+  function [3:0] add;
+    input [3:0] a;
+    input [3:0] b;
+    begin
+      add = a + b;
+    end
+  endfunction
+endmodule
+)",
+                         HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.file.modules[0].ports.size(), 2u);
+}
+
+TEST(VerilogParser, SizedLiteralDefault) {
+  auto r = parse_verilog(R"(
+module lit #(parameter [7:0] MAGIC = 8'hA5)(input wire clk);
+endmodule
+)",
+                         HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  const Module& m = r.file.modules[0];
+  ASSERT_EQ(m.parameters.size(), 1u);
+  ExprEnv env = build_param_env(m, {});
+  EXPECT_EQ(env.get("MAGIC"), 0xA5);
+}
+
+TEST(VerilogParser, TernaryDefault) {
+  auto r = parse_verilog(R"(
+module t #(parameter MODE = 1, parameter W = MODE ? 32 : 16)(input wire clk);
+endmodule
+)",
+                         HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  ExprEnv env = build_param_env(r.file.modules[0], {});
+  EXPECT_EQ(env.get("W"), 32);
+  env = build_param_env(r.file.modules[0], {{"MODE", 0}});
+  EXPECT_EQ(env.get("W"), 16);
+}
+
+TEST(VerilogParser, MultipleModulesPerFile) {
+  auto r = parse_verilog(R"(
+module a(input wire clk); endmodule
+module b(input wire clk); endmodule
+)",
+                         HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.file.modules.size(), 2u);
+  EXPECT_NE(r.file.find_module("b"), nullptr);
+  EXPECT_EQ(r.file.find_module("B"), nullptr);  // case-sensitive in Verilog
+}
+
+TEST(VerilogParser, PackageImportsRecorded) {
+  auto r = parse_verilog(R"(
+package my_pkg;
+endpackage
+module uses_pkg import my_pkg::*; (input logic clk);
+endmodule
+)",
+                         HdlLanguage::kSystemVerilog);
+  ASSERT_TRUE(r.ok);
+  const Module& m = r.file.modules[0];
+  EXPECT_EQ(m.name, "uses_pkg");
+  ASSERT_FALSE(m.use_clauses.empty());
+}
+
+TEST(VerilogParser, AttributesAndDirectivesIgnored) {
+  auto r = parse_verilog(R"(
+`timescale 1ns/1ps
+(* dont_touch = "true" *)
+module attr(input wire clk);
+endmodule
+)",
+                         HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.file.modules[0].name, "attr");
+}
+
+TEST(VerilogParser, ClockDetection) {
+  auto r = parse_verilog(kAnsiModule, HdlLanguage::kSystemVerilog);
+  const Port* clk = find_clock_port(r.file.modules[0]);
+  ASSERT_NE(clk, nullptr);
+  EXPECT_EQ(clk->name, "clk_i");
+}
+
+TEST(VerilogParser, EmptyInputNotOk) {
+  auto r = parse_verilog("", HdlLanguage::kVerilog);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(VerilogParser, UnterminatedModuleStillRecovered) {
+  auto r = parse_verilog("module oops(input wire clk);", HdlLanguage::kVerilog);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.file.modules[0].name, "oops");
+  EXPECT_EQ(r.file.modules[0].ports.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dovado::hdl

@@ -1,0 +1,264 @@
+#include "src/hdl/vhdl_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/hdl/expr.hpp"
+
+namespace dovado::hdl {
+namespace {
+
+constexpr const char* kSimpleEntity = R"(
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity counter is
+  generic (
+    WIDTH : integer := 8;
+    INIT  : natural := 0
+  );
+  port (
+    clk    : in  std_logic;
+    rst_n  : in  std_logic;
+    enable : in  std_logic;
+    count  : out std_logic_vector(WIDTH-1 downto 0)
+  );
+end entity counter;
+
+architecture rtl of counter is
+begin
+end architecture rtl;
+)";
+
+TEST(VhdlParser, SimpleEntity) {
+  auto r = parse_vhdl(kSimpleEntity, "counter.vhd");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.file.modules.size(), 1u);
+  const Module& m = r.file.modules[0];
+  EXPECT_EQ(m.name, "counter");
+  EXPECT_EQ(m.language, HdlLanguage::kVhdl);
+  ASSERT_EQ(m.parameters.size(), 2u);
+  EXPECT_EQ(m.parameters[0].name, "WIDTH");
+  EXPECT_EQ(m.parameters[0].type_name, "integer");
+  EXPECT_EQ(m.parameters[0].default_expr, "8");
+  EXPECT_EQ(m.parameters[1].name, "INIT");
+  EXPECT_EQ(m.parameters[1].type_name, "natural");
+  ASSERT_EQ(m.ports.size(), 4u);
+}
+
+TEST(VhdlParser, LibraryAndUseClauses) {
+  auto r = parse_vhdl(kSimpleEntity);
+  const Module& m = r.file.modules[0];
+  ASSERT_EQ(m.libraries.size(), 1u);
+  EXPECT_EQ(m.libraries[0], "ieee");
+  ASSERT_EQ(m.use_clauses.size(), 2u);
+  EXPECT_EQ(m.use_clauses[0], "ieee.std_logic_1164.all");
+  EXPECT_EQ(m.use_clauses[1], "ieee.numeric_std.all");
+}
+
+TEST(VhdlParser, PortDirectionsAndTypes) {
+  auto r = parse_vhdl(kSimpleEntity);
+  const Module& m = r.file.modules[0];
+  EXPECT_EQ(m.ports[0].name, "clk");
+  EXPECT_EQ(m.ports[0].dir, PortDir::kIn);
+  EXPECT_EQ(m.ports[0].type_name, "std_logic");
+  EXPECT_FALSE(m.ports[0].is_vector);
+  EXPECT_EQ(m.ports[3].name, "count");
+  EXPECT_EQ(m.ports[3].dir, PortDir::kOut);
+  EXPECT_EQ(m.ports[3].type_name, "std_logic_vector");
+  EXPECT_TRUE(m.ports[3].is_vector);
+  EXPECT_TRUE(m.ports[3].downto);
+}
+
+TEST(VhdlParser, VectorBoundsEvaluate) {
+  auto r = parse_vhdl(kSimpleEntity);
+  const Module& m = r.file.modules[0];
+  ExprEnv env = build_param_env(m, {});
+  EXPECT_EQ(port_width(m.ports[3], HdlLanguage::kVhdl, env), 8);
+  env = build_param_env(m, {{"WIDTH", 13}});
+  EXPECT_EQ(port_width(m.ports[3], HdlLanguage::kVhdl, env), 13);
+}
+
+TEST(VhdlParser, ArchitectureNameRecorded) {
+  auto r = parse_vhdl(kSimpleEntity);
+  const Module& m = r.file.modules[0];
+  ASSERT_EQ(m.architectures.size(), 1u);
+  EXPECT_EQ(m.architectures[0], "rtl");
+}
+
+TEST(VhdlParser, GroupedIdentifiers) {
+  auto r = parse_vhdl(R"(
+entity grouped is
+  generic (A, B, C : integer := 4);
+  port (x, y : in std_logic; z : out std_logic);
+end grouped;
+)");
+  ASSERT_TRUE(r.ok);
+  const Module& m = r.file.modules[0];
+  ASSERT_EQ(m.parameters.size(), 3u);
+  EXPECT_EQ(m.parameters[2].name, "C");
+  EXPECT_EQ(m.parameters[2].default_expr, "4");
+  ASSERT_EQ(m.ports.size(), 3u);
+  EXPECT_EQ(m.ports[1].name, "y");
+  EXPECT_EQ(m.ports[1].dir, PortDir::kIn);
+  EXPECT_EQ(m.ports[2].dir, PortDir::kOut);
+}
+
+TEST(VhdlParser, DefaultModeIsIn) {
+  auto r = parse_vhdl(R"(
+entity dm is
+  port (d : std_logic);
+end dm;
+)");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.file.modules[0].ports[0].dir, PortDir::kIn);
+}
+
+TEST(VhdlParser, BufferModeTreatedAsOut) {
+  auto r = parse_vhdl(R"(
+entity bm is
+  port (q : buffer std_logic);
+end bm;
+)");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.file.modules[0].ports[0].dir, PortDir::kOut);
+}
+
+TEST(VhdlParser, ExpressionDefaults) {
+  auto r = parse_vhdl(R"(
+entity e is
+  generic (
+    DEPTH  : integer := 2**9;
+    ADDR_W : integer := clog2(DEPTH)
+  );
+  port (clk : in std_logic);
+end e;
+)");
+  ASSERT_TRUE(r.ok);
+  const Module& m = r.file.modules[0];
+  ExprEnv env = build_param_env(m, {});
+  EXPECT_EQ(env.get("DEPTH"), 512);
+  EXPECT_EQ(env.get("ADDR_W"), 9);
+}
+
+TEST(VhdlParser, IntegerRangeConstraintSkipped) {
+  auto r = parse_vhdl(R"(
+entity rc is
+  generic (MODE : integer range 0 to 3 := 1);
+  port (clk : in std_logic);
+end rc;
+)");
+  ASSERT_TRUE(r.ok);
+  const Module& m = r.file.modules[0];
+  ASSERT_EQ(m.parameters.size(), 1u);
+  EXPECT_EQ(m.parameters[0].default_expr, "1");
+}
+
+TEST(VhdlParser, MultipleEntitiesInOneFile) {
+  auto r = parse_vhdl(R"(
+entity a is port (clk : in std_logic); end a;
+entity b is port (clk : in std_logic); end entity b;
+)");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.file.modules.size(), 2u);
+  EXPECT_EQ(r.file.modules[0].name, "a");
+  EXPECT_EQ(r.file.modules[1].name, "b");
+  EXPECT_NE(r.file.find_module("B"), nullptr);  // case-insensitive lookup
+}
+
+TEST(VhdlParser, ToRangeDirection) {
+  auto r = parse_vhdl(R"(
+entity t is
+  port (v : in std_logic_vector(0 to 7));
+end t;
+)");
+  ASSERT_TRUE(r.ok);
+  const Port& p = r.file.modules[0].ports[0];
+  EXPECT_TRUE(p.is_vector);
+  EXPECT_FALSE(p.downto);
+  EXPECT_EQ(port_width(p, HdlLanguage::kVhdl, {}), 8);
+}
+
+TEST(VhdlParser, CommentsInsideDeclarations) {
+  auto r = parse_vhdl(R"(
+entity c is
+  generic (
+    -- the data width
+    W : integer := 16 -- bits
+  );
+  port (clk : in std_logic);
+end c;
+)");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.file.modules[0].parameters[0].default_expr, "16");
+}
+
+TEST(VhdlParser, StringGenericKeptButNotEvaluated) {
+  auto r = parse_vhdl(R"(
+entity s is
+  generic (IMPL : string := "AUTO"; N : integer := 4);
+  port (clk : in std_logic);
+end s;
+)");
+  ASSERT_TRUE(r.ok);
+  const Module& m = r.file.modules[0];
+  ASSERT_EQ(m.parameters.size(), 2u);
+  EXPECT_EQ(m.parameters[0].type_name, "string");
+  ExprEnv env = build_param_env(m, {});
+  EXPECT_FALSE(env.get("IMPL").has_value());
+  EXPECT_EQ(env.get("N"), 4);
+}
+
+TEST(VhdlParser, ClockDetection) {
+  auto r = parse_vhdl(kSimpleEntity);
+  const Port* clk = find_clock_port(r.file.modules[0]);
+  ASSERT_NE(clk, nullptr);
+  EXPECT_EQ(clk->name, "clk");
+}
+
+TEST(VhdlParser, ClockDetectionPrefersExactName) {
+  auto r = parse_vhdl(R"(
+entity ck is
+  port (clk_en : in std_logic; clk_i : in std_logic);
+end ck;
+)");
+  const Port* clk = find_clock_port(r.file.modules[0]);
+  ASSERT_NE(clk, nullptr);
+  EXPECT_EQ(clk->name, "clk_i");
+}
+
+TEST(VhdlParser, NoClockYieldsNull) {
+  auto r = parse_vhdl(R"(
+entity nc is
+  port (a : in std_logic);
+end nc;
+)");
+  EXPECT_EQ(find_clock_port(r.file.modules[0]), nullptr);
+}
+
+TEST(VhdlParser, EmptyInputNotOk) {
+  auto r = parse_vhdl("");
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.file.modules.empty());
+}
+
+TEST(VhdlParser, GarbageInputDoesNotCrash) {
+  auto r = parse_vhdl("!!! ??? entity ;;; end");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(VhdlParser, EntityWithNoGenericsOrPorts) {
+  auto r = parse_vhdl("entity bare is end entity;");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.file.modules[0].name, "bare");
+  EXPECT_TRUE(r.file.modules[0].parameters.empty());
+  EXPECT_TRUE(r.file.modules[0].ports.empty());
+}
+
+TEST(VhdlParser, FreeParametersExcludeNone) {
+  auto r = parse_vhdl(kSimpleEntity);
+  EXPECT_EQ(r.file.modules[0].free_parameters().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dovado::hdl

@@ -1,0 +1,238 @@
+#include "src/netlist/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dovado::netlist {
+namespace {
+
+hdl::ExprEnv env_of(std::initializer_list<std::pair<const char*, std::int64_t>> kv) {
+  hdl::ExprEnv env;
+  for (const auto& [k, v] : kv) env.set(k, v);
+  return env;
+}
+
+// ---- cv32e40p FIFO ---------------------------------------------------------
+
+TEST(FifoGenerator, FfGrowsLinearlyWithDepth) {
+  const auto small = generate_cv32e40p_fifo(env_of({{"DEPTH", 8}, {"DATA_WIDTH", 32}}));
+  const auto large = generate_cv32e40p_fifo(env_of({{"DEPTH", 256}, {"DATA_WIDTH", 32}}));
+  // Storage is FF-based (fifo_v3 style): 32x more depth => ~32x the memory
+  // bits. Accept the pointer-logic offset.
+  const std::int64_t small_bits = small.memories[0].bits();
+  const std::int64_t large_bits = large.memories[0].bits();
+  EXPECT_EQ(large_bits, 32 * small_bits);
+  EXPECT_TRUE(small.memories[0].prefer_registers);
+}
+
+TEST(FifoGenerator, LutsGrowWithDepthViaReadMux) {
+  const auto d64 = generate_cv32e40p_fifo(env_of({{"DEPTH", 64}}));
+  const auto d512 = generate_cv32e40p_fifo(env_of({{"DEPTH", 512}}));
+  EXPECT_GT(d512.luts, d64.luts);
+  EXPECT_GT(d512.max_logic_levels(), d64.max_logic_levels());
+}
+
+TEST(FifoGenerator, FallThroughAddsBypass) {
+  const auto plain = generate_cv32e40p_fifo(env_of({{"DEPTH", 32}, {"FALL_THROUGH", 0}}));
+  const auto ft = generate_cv32e40p_fifo(env_of({{"DEPTH", 32}, {"FALL_THROUGH", 1}}));
+  EXPECT_GT(ft.luts, plain.luts);
+  EXPECT_GT(ft.max_logic_levels(), plain.max_logic_levels());
+}
+
+TEST(FifoGenerator, DegenerateDepthIsSafe) {
+  const auto n = generate_cv32e40p_fifo(env_of({{"DEPTH", 0}}));
+  EXPECT_GE(n.luts, 0);
+  EXPECT_GE(n.memories[0].depth, 1);
+}
+
+// ---- Corundum completion queue manager --------------------------------------
+
+TEST(CqManagerGenerator, BramConstantAcrossExploredRange) {
+  // Fig. 4: "the module is constant in the number of BRAMs needed" across
+  // Table I's configurations. The queue RAM is width-dominated; its BRAM
+  // tile count must not change over the explored queue-index range.
+  std::int64_t tiles = -1;
+  for (std::int64_t qiw : {4, 5, 6, 7}) {
+    for (std::int64_t ops : {8, 16, 35}) {
+      for (std::int64_t pipe : {2, 3, 4, 5}) {
+        const auto n = generate_cpl_queue_manager(env_of(
+            {{"OP_TABLE_SIZE", ops}, {"QUEUE_INDEX_WIDTH", qiw}, {"PIPELINE", pipe}}));
+        ASSERT_EQ(n.memories.size(), 1u);
+        // Mapping decides tiles; here check the memory shape is constant in
+        // width and below one BRAM row of depth.
+        EXPECT_EQ(n.memories[0].width, 128);
+        EXPECT_LE(n.memories[0].depth, 1024);
+        if (tiles < 0) tiles = n.memories[0].width;
+        EXPECT_EQ(n.memories[0].width, tiles);
+      }
+    }
+  }
+}
+
+TEST(CqManagerGenerator, PipelineTradesFfForLevels) {
+  const auto shallow = generate_cpl_queue_manager(
+      env_of({{"OP_TABLE_SIZE", 16}, {"QUEUE_INDEX_WIDTH", 4}, {"PIPELINE", 2}}));
+  const auto deep = generate_cpl_queue_manager(
+      env_of({{"OP_TABLE_SIZE", 16}, {"QUEUE_INDEX_WIDTH", 4}, {"PIPELINE", 5}}));
+  EXPECT_GT(deep.ffs, shallow.ffs);                              // more stage registers
+  EXPECT_LT(deep.max_logic_levels(), shallow.max_logic_levels());  // shorter stages
+}
+
+TEST(CqManagerGenerator, OpTableScalesFfAndLut) {
+  const auto small = generate_cpl_queue_manager(
+      env_of({{"OP_TABLE_SIZE", 8}, {"QUEUE_INDEX_WIDTH", 4}, {"PIPELINE", 2}}));
+  const auto large = generate_cpl_queue_manager(
+      env_of({{"OP_TABLE_SIZE", 35}, {"QUEUE_INDEX_WIDTH", 4}, {"PIPELINE", 2}}));
+  EXPECT_GT(large.ffs, small.ffs);
+  EXPECT_GT(large.luts, small.luts);
+}
+
+// ---- Neorv32 ----------------------------------------------------------------
+
+TEST(Neorv32Generator, MemorySizesDriveMemoryBits) {
+  const auto small = generate_neorv32_top(
+      env_of({{"MEM_INT_IMEM_SIZE", 1 << 14}, {"MEM_INT_DMEM_SIZE", 1 << 13}}));
+  const auto large = generate_neorv32_top(
+      env_of({{"MEM_INT_IMEM_SIZE", 1 << 15}, {"MEM_INT_DMEM_SIZE", 1 << 15}}));
+  EXPECT_GT(large.memory_bits(), small.memory_bits());
+}
+
+TEST(Neorv32Generator, CoreLogicIndependentOfMemorySizes) {
+  const auto a = generate_neorv32_top(
+      env_of({{"MEM_INT_IMEM_SIZE", 1 << 13}, {"MEM_INT_DMEM_SIZE", 1 << 13}}));
+  const auto b = generate_neorv32_top(
+      env_of({{"MEM_INT_IMEM_SIZE", 1 << 15}, {"MEM_INT_DMEM_SIZE", 1 << 15}}));
+  // Fig. 5: growing the memories changes BRAM a lot while "leaving almost
+  // unchanged the other metrics". LUTs/FFs must be equal here.
+  EXPECT_EQ(a.luts, b.luts);
+  EXPECT_EQ(a.ffs, b.ffs);
+}
+
+TEST(Neorv32Generator, OptionalUnitsAddLogic) {
+  const auto base = generate_neorv32_top(env_of({{"CPU_EXTENSION_RISCV_M", 0}}));
+  const auto with_m = generate_neorv32_top(env_of({{"CPU_EXTENSION_RISCV_M", 1}}));
+  EXPECT_GT(with_m.luts, base.luts);
+  const auto with_hpm = generate_neorv32_top(
+      env_of({{"CPU_EXTENSION_RISCV_M", 0}, {"HPM_NUM_CNTS", 4}}));
+  EXPECT_GT(with_hpm.luts, base.luts);
+  EXPECT_GT(with_hpm.ffs, base.ffs);
+}
+
+TEST(Neorv32Generator, DeeperImemLengthensFetchPath) {
+  const auto small = generate_neorv32_top(env_of({{"MEM_INT_IMEM_SIZE", 1 << 12}}));
+  const auto huge = generate_neorv32_top(env_of({{"MEM_INT_IMEM_SIZE", 1 << 18}}));
+  auto fetch_levels = [](const Netlist& n) {
+    for (const auto& p : n.paths) {
+      if (p.from_bram) return p.logic_levels;
+    }
+    return -1;
+  };
+  EXPECT_GT(fetch_levels(huge), fetch_levels(small));
+}
+
+// ---- TiReX ------------------------------------------------------------------
+
+TEST(TirexGenerator, ClustersScaleDatapath) {
+  const auto one = generate_tirex_top(env_of({{"NCLUSTER", 1}}));
+  const auto four = generate_tirex_top(env_of({{"NCLUSTER", 4}}));
+  EXPECT_GT(four.luts, one.luts);
+  EXPECT_GT(four.ffs, one.ffs);
+  // Instruction width scales with NCLUSTER.
+  auto imem_width = [](const Netlist& n) {
+    for (const auto& m : n.memories) {
+      if (m.name == "instr_mem") return m.width;
+    }
+    return std::int64_t{-1};
+  };
+  EXPECT_EQ(imem_width(one), 16);
+  EXPECT_EQ(imem_width(four), 64);
+}
+
+TEST(TirexGenerator, StackSizeAffectsControlPath) {
+  const auto shallow = generate_tirex_top(env_of({{"STACK_SIZE", 1}}));
+  const auto deep = generate_tirex_top(env_of({{"STACK_SIZE", 256}}));
+  EXPECT_GT(deep.max_logic_levels(), shallow.max_logic_levels());
+  EXPECT_GT(deep.luts, shallow.luts);
+}
+
+TEST(TirexGenerator, MemoriesPresent) {
+  const auto n = generate_tirex_top(
+      env_of({{"NCLUSTER", 1}, {"STACK_SIZE", 16}, {"INSTR_MEM_SIZE", 8},
+              {"DATA_MEM_SIZE", 16}}));
+  ASSERT_EQ(n.memories.size(), 3u);  // stack + imem + dmem
+  EXPECT_EQ(n.memories[1].depth, 8 * 1024);
+  EXPECT_EQ(n.memories[2].depth, 16 * 1024 / 4);
+}
+
+// ---- generic modules --------------------------------------------------------
+
+TEST(GenericGenerators, Counter) {
+  const auto w8 = generate_counter(env_of({{"WIDTH", 8}}));
+  const auto w64 = generate_counter(env_of({{"WIDTH", 64}}));
+  EXPECT_EQ(w8.ffs, 8);
+  EXPECT_EQ(w64.ffs, 64);
+  EXPECT_GT(w64.max_logic_levels(), w8.max_logic_levels());
+}
+
+TEST(GenericGenerators, ShiftReg) {
+  const auto n = generate_shift_reg(env_of({{"DEPTH", 16}, {"WIDTH", 4}}));
+  EXPECT_EQ(n.ffs, 64);
+  EXPECT_EQ(n.max_logic_levels(), 1);
+}
+
+TEST(GenericGenerators, MacUsesDsp) {
+  const auto n18 = generate_pipelined_mac(env_of({{"WIDTH", 18}, {"STAGES", 3}}));
+  EXPECT_EQ(n18.dsps, 1);
+  const auto n36 = generate_pipelined_mac(env_of({{"WIDTH", 36}, {"STAGES", 3}}));
+  EXPECT_EQ(n36.dsps, 4);
+  EXPECT_TRUE(n18.paths[0].through_dsp);
+}
+
+TEST(GenericGenerators, DefaultsApplyWhenEnvEmpty) {
+  const auto n = generate_cv32e40p_fifo({});
+  EXPECT_EQ(n.memories[0].depth, 8);   // DEPTH default
+  EXPECT_EQ(n.memories[0].width, 32);  // DATA_WIDTH default
+}
+
+TEST(ExtensionGenerators, SystolicDspScaling) {
+  const auto small = generate_systolic_mm(env_of({{"ROWS", 2}, {"COLS", 2}}));
+  const auto large = generate_systolic_mm(env_of({{"ROWS", 8}, {"COLS", 8}}));
+  EXPECT_EQ(small.dsps, 4);
+  EXPECT_EQ(large.dsps, 64);
+  EXPECT_GT(large.ffs, small.ffs);
+  // Wide data tiles multiple DSPs per PE.
+  const auto wide = generate_systolic_mm(env_of({{"ROWS", 2}, {"COLS", 2}, {"DATA_W", 32}}));
+  EXPECT_EQ(wide.dsps, 16);  // 4 PEs x 2x2 DSP tiles
+  EXPECT_TRUE(small.paths[0].through_dsp);
+}
+
+TEST(ExtensionGenerators, AxisSwitchQuadraticLuts) {
+  const auto p4 = generate_axis_switch(env_of({{"PORTS", 4}}));
+  const auto p8 = generate_axis_switch(env_of({{"PORTS", 8}}));
+  const auto p16 = generate_axis_switch(env_of({{"PORTS", 16}}));
+  // Doubling ports should more than double LUTs (quadratic mux/arb terms).
+  EXPECT_GT(p8.luts, 2 * p4.luts);
+  EXPECT_GT(p16.luts, 2 * p8.luts);
+  // More ports also lengthen the arbitration path.
+  EXPECT_GT(p16.max_logic_levels(), p4.max_logic_levels());
+}
+
+TEST(ExtensionGenerators, AxisSwitchFifoScales) {
+  const auto shallow = generate_axis_switch(env_of({{"PORTS", 4}, {"FIFO_DEPTH", 16}}));
+  const auto deep = generate_axis_switch(env_of({{"PORTS", 4}, {"FIFO_DEPTH", 512}}));
+  EXPECT_GT(deep.memory_bits(), shallow.memory_bits());
+}
+
+TEST(ExtensionGenerators, RegisteredAndRtlParses) {
+  EXPECT_TRUE(GeneratorRegistry::find("systolic_mm").has_value());
+  EXPECT_TRUE(GeneratorRegistry::find("axis_switch").has_value());
+}
+
+TEST(ParamOr, FallbackAndCaseInsensitive) {
+  hdl::ExprEnv env;
+  env.set("Depth", 7);
+  EXPECT_EQ(param_or(env, "DEPTH", 99), 7);
+  EXPECT_EQ(param_or(env, "MISSING", 99), 99);
+}
+
+}  // namespace
+}  // namespace dovado::netlist

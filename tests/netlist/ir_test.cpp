@@ -1,0 +1,92 @@
+#include "src/netlist/ir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dovado::netlist {
+namespace {
+
+TEST(MuxHelpers, MuxLuts) {
+  EXPECT_EQ(mux_luts(1, 32), 0);   // no mux needed
+  EXPECT_EQ(mux_luts(4, 1), 1);    // 4:1 in one LUT6
+  EXPECT_EQ(mux_luts(4, 8), 8);
+  EXPECT_EQ(mux_luts(16, 1), 5);   // (16-1+2)/3
+  EXPECT_EQ(mux_luts(0, 8), 0);
+  EXPECT_EQ(mux_luts(8, 0), 0);
+}
+
+TEST(MuxHelpers, MuxLevels) {
+  EXPECT_EQ(mux_levels(1), 0);
+  EXPECT_EQ(mux_levels(2), 1);
+  EXPECT_EQ(mux_levels(4), 1);
+  EXPECT_EQ(mux_levels(5), 2);
+  EXPECT_EQ(mux_levels(16), 2);
+  EXPECT_EQ(mux_levels(64), 3);
+  EXPECT_EQ(mux_levels(512), 5);
+}
+
+TEST(Netlist, MemoryBits) {
+  Memory m;
+  m.depth = 512;
+  m.width = 32;
+  EXPECT_EQ(m.bits(), 512 * 32);
+}
+
+TEST(Netlist, AggregateHelpers) {
+  Netlist n;
+  n.luts = 10;
+  n.memories.push_back({"a", 16, 8, true, false});
+  n.memories.push_back({"b", 64, 4, true, false});
+  EXPECT_EQ(n.memory_bits(), 16 * 8 + 64 * 4);
+  EXPECT_EQ(n.max_logic_levels(), 1);
+  n.paths.push_back({"p1", 4, false, false, 3.0});
+  n.paths.push_back({"p2", 9, true, false, 3.0});
+  EXPECT_EQ(n.max_logic_levels(), 9);
+}
+
+TEST(Netlist, Absorb) {
+  Netlist a;
+  a.luts = 100;
+  a.ffs = 50;
+  a.paths.push_back({"pa", 3, false, false, 2.0});
+  Netlist b;
+  b.luts = 7;
+  b.dsps = 2;
+  b.memories.push_back({"m", 8, 8, true, false});
+  a.absorb(b);
+  EXPECT_EQ(a.luts, 107);
+  EXPECT_EQ(a.ffs, 50);
+  EXPECT_EQ(a.dsps, 2);
+  EXPECT_EQ(a.memories.size(), 1u);
+  EXPECT_EQ(a.paths.size(), 1u);
+}
+
+TEST(GeneratorRegistry, BuiltinsRegistered) {
+  const auto names = GeneratorRegistry::registered();
+  for (const char* expected : {"cv32e40p_fifo", "cpl_queue_manager", "neorv32_top",
+                               "tirex_top", "counter", "shift_reg", "pipelined_mac"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end()) << expected;
+  }
+}
+
+TEST(GeneratorRegistry, LookupCaseInsensitive) {
+  EXPECT_TRUE(GeneratorRegistry::find("NEORV32_TOP").has_value());
+  EXPECT_TRUE(GeneratorRegistry::find("Cv32e40p_Fifo").has_value());
+  EXPECT_FALSE(GeneratorRegistry::find("unknown_module").has_value());
+}
+
+TEST(GeneratorRegistry, CustomRegistration) {
+  GeneratorRegistry::register_generator("custom_thing", [](const hdl::ExprEnv&) {
+    Netlist n;
+    n.top = "custom_thing";
+    n.luts = 5;
+    return n;
+  });
+  auto gen = GeneratorRegistry::find("custom_thing");
+  ASSERT_TRUE(gen.has_value());
+  EXPECT_EQ((*gen)({}).luts, 5);
+}
+
+}  // namespace
+}  // namespace dovado::netlist

@@ -1,0 +1,102 @@
+#include "src/opt/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dovado::opt {
+namespace {
+
+class GridProblem final : public Problem {
+ public:
+  GridProblem(std::int64_t nx, std::int64_t ny) : nx_(nx), ny_(ny) {}
+  [[nodiscard]] std::size_t n_vars() const override { return 2; }
+  [[nodiscard]] std::size_t n_objectives() const override { return 2; }
+  [[nodiscard]] std::int64_t cardinality(std::size_t var) const override {
+    return var == 0 ? nx_ : ny_;
+  }
+  [[nodiscard]] Objectives evaluate(const Genome& g) override {
+    return {static_cast<double>(g[0] + g[1]),
+            static_cast<double>((nx_ - 1 - g[0]) + g[1])};
+  }
+
+ private:
+  std::int64_t nx_;
+  std::int64_t ny_;
+};
+
+TEST(RandomSearch, RespectsBudgetAndUnique) {
+  GridProblem problem(50, 50);
+  const auto result = random_search(problem, 100, 42);
+  EXPECT_EQ(result.evaluations, 100u);
+  std::set<Genome> genomes;
+  for (const auto& ind : result.evaluated) {
+    EXPECT_TRUE(genomes.insert(ind.genome).second);
+  }
+}
+
+TEST(RandomSearch, SmallSpaceExhausted) {
+  GridProblem problem(3, 3);
+  const auto result = random_search(problem, 100, 1);
+  EXPECT_EQ(result.evaluations, 9u);
+}
+
+TEST(RandomSearch, FrontIsNonDominated) {
+  GridProblem problem(20, 20);
+  const auto result = random_search(problem, 80, 7);
+  for (const auto& a : result.pareto_front) {
+    for (const auto& b : result.pareto_front) {
+      EXPECT_FALSE(dominates(a.objectives, b.objectives));
+    }
+  }
+}
+
+TEST(RandomSearch, Deterministic) {
+  GridProblem p1(30, 30);
+  GridProblem p2(30, 30);
+  const auto a = random_search(p1, 50, 99);
+  const auto b = random_search(p2, 50, 99);
+  ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+  for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+    EXPECT_EQ(a.evaluated[i].genome, b.evaluated[i].genome);
+  }
+}
+
+TEST(ExhaustiveSearch, EnumeratesWholeSpace) {
+  GridProblem problem(6, 7);
+  const auto result = exhaustive_search(problem);
+  EXPECT_EQ(result.evaluations, 42u);
+  std::set<Genome> genomes;
+  for (const auto& ind : result.evaluated) genomes.insert(ind.genome);
+  EXPECT_EQ(genomes.size(), 42u);
+}
+
+TEST(ExhaustiveSearch, GroundTruthFront) {
+  // For f1 = x + y, f2 = (nx-1-x) + y the Pareto set is y = 0, all x.
+  GridProblem problem(5, 5);
+  const auto result = exhaustive_search(problem);
+  EXPECT_EQ(result.pareto_front.size(), 5u);
+  for (const auto& ind : result.pareto_front) {
+    EXPECT_EQ(ind.genome[1], 0);
+  }
+}
+
+TEST(ExhaustiveSearch, RefusesHugeSpaces) {
+  GridProblem problem(1 << 12, 1 << 12);
+  const auto result = exhaustive_search(problem, 1000);
+  EXPECT_EQ(result.evaluations, 0u);
+  EXPECT_TRUE(result.evaluated.empty());
+}
+
+TEST(ExhaustiveSearch, FrontNeverDominatedByAnyPoint) {
+  GridProblem problem(8, 8);
+  const auto result = exhaustive_search(problem);
+  for (const auto& front_member : result.pareto_front) {
+    for (const auto& any : result.evaluated) {
+      EXPECT_FALSE(dominates(any.objectives, front_member.objectives));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dovado::opt

@@ -1,0 +1,102 @@
+#include "src/opt/indicators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dovado::opt {
+namespace {
+
+TEST(Hypervolume, SinglePoint2D) {
+  // Point (1,1) vs reference (3,3): rectangle 2x2.
+  EXPECT_DOUBLE_EQ(hypervolume({{1, 1}}, {3, 3}), 4.0);
+}
+
+TEST(Hypervolume, TwoStaircasePoints) {
+  // (1,2) and (2,1) vs (3,3): union of 2x1 and 1x2 plus the 1x1 overlap
+  // region = 2 + 2 - 1 = 3.
+  EXPECT_DOUBLE_EQ(hypervolume({{1, 2}, {2, 1}}, {3, 3}), 3.0);
+}
+
+TEST(Hypervolume, DominatedPointAddsNothing) {
+  const double base = hypervolume({{1, 1}}, {3, 3});
+  EXPECT_DOUBLE_EQ(hypervolume({{1, 1}, {2, 2}}, {3, 3}), base);
+}
+
+TEST(Hypervolume, DuplicatePointsCountOnce) {
+  EXPECT_DOUBLE_EQ(hypervolume({{1, 1}, {1, 1}}, {3, 3}), 4.0);
+}
+
+TEST(Hypervolume, PointsOutsideReferenceIgnored) {
+  EXPECT_DOUBLE_EQ(hypervolume({{4, 4}}, {3, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({{1, 3}}, {3, 3}), 0.0);  // equal on an axis
+  EXPECT_DOUBLE_EQ(hypervolume({}, {3, 3}), 0.0);
+}
+
+TEST(Hypervolume, OneDimensional) {
+  EXPECT_DOUBLE_EQ(hypervolume({{2}}, {10}), 8.0);
+  EXPECT_DOUBLE_EQ(hypervolume({{2}, {5}}, {10}), 8.0);
+}
+
+TEST(Hypervolume, ThreeDimensionalBox) {
+  // Single point (0,0,0) vs ref (2,3,4): volume 24.
+  EXPECT_DOUBLE_EQ(hypervolume({{0, 0, 0}}, {2, 3, 4}), 24.0);
+}
+
+TEST(Hypervolume, ThreeDimensionalUnion) {
+  // (0,0,1) and (1,1,0) vs (2,2,2):
+  // A = 2*2*1 = 4 (z in [1,2) slice full box of A) ... computed by
+  // inclusion-exclusion: vol(A)=2*2*1=4, vol(B)=1*1*2=2, overlap=1*1*1=1
+  // => 5.
+  EXPECT_DOUBLE_EQ(hypervolume({{0, 0, 1}, {1, 1, 0}}, {2, 2, 2}), 5.0);
+}
+
+TEST(Hypervolume, MonotoneInPoints) {
+  const std::vector<Objectives> small = {{2, 2}};
+  const std::vector<Objectives> bigger = {{2, 2}, {1, 2.5}};
+  EXPECT_GT(hypervolume(bigger, {3, 3}), hypervolume(small, {3, 3}));
+}
+
+TEST(Igd, ZeroWhenCovering) {
+  const std::vector<Objectives> front = {{1, 2}, {2, 1}};
+  EXPECT_DOUBLE_EQ(igd(front, front), 0.0);
+}
+
+TEST(Igd, InfinityForEmptyFront) {
+  EXPECT_TRUE(std::isinf(igd({}, {{1, 1}})));
+}
+
+TEST(Igd, ZeroForEmptyReference) {
+  EXPECT_DOUBLE_EQ(igd({{1, 1}}, {}), 0.0);
+}
+
+TEST(Igd, MeanNearestDistance) {
+  // Reference {(0,0),(2,0)}, front {(1,0)}: distances 1 and 1 -> 1.
+  EXPECT_DOUBLE_EQ(igd({{1, 0}}, {{0, 0}, {2, 0}}), 1.0);
+}
+
+TEST(Igd, CloserFrontScoresBetter) {
+  const std::vector<Objectives> ref = {{0, 0}, {1, 1}, {2, 2}};
+  const double close = igd({{0.1, 0.1}, {1.1, 1.1}, {2.1, 2.1}}, ref);
+  const double far = igd({{5, 5}}, ref);
+  EXPECT_LT(close, far);
+}
+
+TEST(Normalize, MapsToUnitRange) {
+  const auto out = normalize_objectives({{0, 10}, {5, 20}, {10, 30}});
+  EXPECT_DOUBLE_EQ(out[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(out[2][0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1][1], 0.5);
+}
+
+TEST(Normalize, ZeroSpreadDimension) {
+  const auto out = normalize_objectives({{5, 1}, {5, 2}});
+  EXPECT_DOUBLE_EQ(out[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1][0], 0.0);
+}
+
+TEST(Normalize, EmptyInput) { EXPECT_TRUE(normalize_objectives({}).empty()); }
+
+}  // namespace
+}  // namespace dovado::opt

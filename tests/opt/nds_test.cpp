@@ -1,0 +1,146 @@
+#include "src/opt/nds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace dovado::opt {
+namespace {
+
+TEST(Dominates, Definition) {
+  EXPECT_TRUE(dominates({1, 1}, {2, 2}));
+  EXPECT_TRUE(dominates({1, 2}, {1, 3}));
+  EXPECT_FALSE(dominates({1, 2}, {1, 2}));  // equal: no strict improvement
+  EXPECT_FALSE(dominates({1, 3}, {2, 2}));  // trade-off
+  EXPECT_FALSE(dominates({2, 2}, {1, 1}));
+  EXPECT_TRUE(dominates({0}, {1}));
+}
+
+TEST(FastNonDominatedSort, SimpleFronts) {
+  // Points: a=(1,1) dominates everything; b=(2,3), c=(3,2) mutually
+  // non-dominated; d=(4,4) dominated by all.
+  const std::vector<Objectives> objs = {{1, 1}, {2, 3}, {3, 2}, {4, 4}};
+  const auto fronts = fast_non_dominated_sort(objs);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(fronts[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(fronts[1], (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(fronts[2], (std::vector<std::size_t>{3}));
+}
+
+TEST(FastNonDominatedSort, AllNonDominated) {
+  const std::vector<Objectives> objs = {{1, 4}, {2, 3}, {3, 2}, {4, 1}};
+  const auto fronts = fast_non_dominated_sort(objs);
+  ASSERT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(fronts[0].size(), 4u);
+}
+
+TEST(FastNonDominatedSort, TotalOrderChain) {
+  const std::vector<Objectives> objs = {{3, 3}, {1, 1}, {2, 2}, {4, 4}};
+  const auto fronts = fast_non_dominated_sort(objs);
+  ASSERT_EQ(fronts.size(), 4u);
+  EXPECT_EQ(fronts[0][0], 1u);
+  EXPECT_EQ(fronts[3][0], 3u);
+}
+
+TEST(FastNonDominatedSort, EmptyAndSingle) {
+  EXPECT_TRUE(fast_non_dominated_sort({}).empty());
+  const auto fronts = fast_non_dominated_sort({{1.0, 2.0}});
+  ASSERT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(fronts[0].size(), 1u);
+}
+
+TEST(FastNonDominatedSort, DuplicatesShareFront) {
+  const std::vector<Objectives> objs = {{1, 1}, {1, 1}, {2, 2}};
+  const auto fronts = fast_non_dominated_sort(objs);
+  ASSERT_EQ(fronts.size(), 2u);
+  EXPECT_EQ(fronts[0].size(), 2u);
+}
+
+TEST(FastNonDominatedSort, EveryPointInExactlyOneFront) {
+  std::vector<Objectives> objs;
+  for (int i = 0; i < 50; ++i) {
+    objs.push_back({static_cast<double>(i % 7), static_cast<double>((i * 13) % 11),
+                    static_cast<double>((i * 29) % 5)});
+  }
+  const auto fronts = fast_non_dominated_sort(objs);
+  std::vector<int> seen(objs.size(), 0);
+  for (const auto& front : fronts) {
+    for (std::size_t i : front) ++seen[i];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(FastNonDominatedSort, FrontInvariant) {
+  // No member of front k may dominate a member of front j <= k, and every
+  // member of front k>0 must be dominated by someone in front k-1.
+  std::vector<Objectives> objs;
+  for (int i = 0; i < 40; ++i) {
+    objs.push_back({static_cast<double>((i * 7) % 13), static_cast<double>((i * 5) % 9)});
+  }
+  const auto fronts = fast_non_dominated_sort(objs);
+  for (std::size_t k = 1; k < fronts.size(); ++k) {
+    for (std::size_t p : fronts[k]) {
+      bool dominated_by_prev = false;
+      for (std::size_t q : fronts[k - 1]) {
+        dominated_by_prev |= dominates(objs[q], objs[p]);
+      }
+      EXPECT_TRUE(dominated_by_prev);
+    }
+  }
+}
+
+TEST(CrowdingDistance, BoundariesInfinite) {
+  const std::vector<Objectives> objs = {{1, 4}, {2, 3}, {3, 2}, {4, 1}};
+  const std::vector<std::size_t> front = {0, 1, 2, 3};
+  const auto d = crowding_distance(objs, front);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(d[0], inf);
+  EXPECT_EQ(d[3], inf);
+  EXPECT_GT(d[1], 0.0);
+  EXPECT_LT(d[1], inf);
+}
+
+TEST(CrowdingDistance, InteriorOrdering) {
+  // Middle point crammed close to a neighbour has lower crowding.
+  const std::vector<Objectives> objs = {{0, 10}, {1, 9}, {5, 5}, {10, 0}};
+  const auto d = crowding_distance(objs, {0, 1, 2, 3});
+  EXPECT_LT(d[1], d[2]);
+}
+
+TEST(CrowdingDistance, TinyFrontsAllInfinite) {
+  const std::vector<Objectives> objs = {{1, 2}, {2, 1}};
+  const auto one = crowding_distance(objs, {0});
+  EXPECT_TRUE(std::isinf(one[0]));
+  const auto two = crowding_distance(objs, {0, 1});
+  EXPECT_TRUE(std::isinf(two[0]));
+  EXPECT_TRUE(std::isinf(two[1]));
+}
+
+TEST(CrowdingDistance, ZeroSpreadObjectiveIgnored) {
+  const std::vector<Objectives> objs = {{1, 5}, {2, 5}, {3, 5}};
+  const auto d = crowding_distance(objs, {0, 1, 2});
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[2]));
+  // Interior point: distance from objective 0 only (1.0 + 0 from flat obj).
+  EXPECT_NEAR(d[1], 1.0, 1e-12);
+}
+
+TEST(NonDominatedIndices, MatchesFrontZero) {
+  std::vector<Objectives> objs;
+  for (int i = 0; i < 30; ++i) {
+    objs.push_back({static_cast<double>((i * 11) % 17), static_cast<double>((i * 3) % 7)});
+  }
+  const auto fronts = fast_non_dominated_sort(objs);
+  const auto nd = non_dominated_indices(objs);
+  EXPECT_EQ(nd, fronts[0]);
+}
+
+TEST(NonDominatedIndices, KeepsDuplicateOptima) {
+  const std::vector<Objectives> objs = {{1, 1}, {1, 1}, {2, 0}};
+  const auto nd = non_dominated_indices(objs);
+  EXPECT_EQ(nd.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dovado::opt

@@ -1,0 +1,115 @@
+#include "src/perf/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/strings.hpp"
+
+namespace dovado::perf {
+namespace {
+
+RooflineMachine k7_machine() {
+  return machine_from_device(*fpga::DeviceCatalog::find("xc7k70t"), 200.0);
+}
+
+TEST(RooflineMachine, DerivedFromDevice) {
+  const RooflineMachine m = k7_machine();
+  // 240 DSP * 2 ops + 41000/64 fabric ops, at 200 MHz.
+  const double expected_gops = (240 * 2.0 + 41000.0 / 64.0) * 200e6 / 1e9;
+  EXPECT_NEAR(m.peak_gops, expected_gops, 1e-9);
+  // 135 BRAM36 * 8 bytes/cycle at 200 MHz.
+  EXPECT_NEAR(m.peak_gbytes_s, 135 * 8.0 * 200e6 / 1e9, 1e-9);
+  EXPECT_GT(m.ridge_intensity(), 0.0);
+  EXPECT_TRUE(util::contains(m.label, "xc7k70t"));
+}
+
+TEST(RooflineMachine, ScalesWithClock) {
+  const auto slow = machine_from_device(*fpga::DeviceCatalog::find("xc7k70t"), 100.0);
+  const auto fast = machine_from_device(*fpga::DeviceCatalog::find("xc7k70t"), 200.0);
+  EXPECT_NEAR(fast.peak_gops, 2.0 * slow.peak_gops, 1e-9);
+  EXPECT_NEAR(fast.peak_gbytes_s, 2.0 * slow.peak_gbytes_s, 1e-9);
+  // Ridge intensity is clock-invariant.
+  EXPECT_NEAR(fast.ridge_intensity(), slow.ridge_intensity(), 1e-12);
+}
+
+TEST(RooflineMachine, UramAddsBandwidth) {
+  const auto vu9p = machine_from_device(*fpga::DeviceCatalog::find("xcvu9p"), 100.0);
+  const double bram_only = 2160 * 8.0 * 100e6 / 1e9;
+  EXPECT_GT(vu9p.peak_gbytes_s, bram_only);
+}
+
+TEST(Attainable, RooflineShape) {
+  const RooflineMachine m = k7_machine();
+  const double ridge = m.ridge_intensity();
+  // Memory-bound region: linear in intensity.
+  EXPECT_NEAR(attainable_gops(m, ridge / 4.0), m.peak_gops / 4.0, 1e-9);
+  // Compute-bound region: flat at the peak.
+  EXPECT_NEAR(attainable_gops(m, ridge * 8.0), m.peak_gops, 1e-9);
+  // Exactly at the ridge both ceilings agree.
+  EXPECT_NEAR(attainable_gops(m, ridge), m.peak_gops, 1e-9);
+  EXPECT_DOUBLE_EQ(attainable_gops(m, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(attainable_gops(m, -1.0), 0.0);
+}
+
+TEST(PlaceKernel, BoundClassification) {
+  const RooflineMachine m = k7_machine();
+  const double ridge = m.ridge_intensity();
+  RooflineKernel mem_kernel{"streaming", ridge * 0.1, 1.0, 0.0};
+  const RooflinePoint p1 = place_kernel(m, mem_kernel);
+  EXPECT_TRUE(p1.memory_bound);
+  EXPECT_NEAR(p1.intensity, ridge * 0.1, 1e-9);
+
+  RooflineKernel cmp_kernel{"compute", ridge * 10.0, 1.0, 0.0};
+  const RooflinePoint p2 = place_kernel(m, cmp_kernel);
+  EXPECT_FALSE(p2.memory_bound);
+  EXPECT_NEAR(p2.attainable_gops, m.peak_gops, 1e-9);
+}
+
+TEST(PlaceKernel, EfficiencyFraction) {
+  const RooflineMachine m = k7_machine();
+  RooflineKernel kernel{"half", m.ridge_intensity() * 4.0, 1.0, m.peak_gops / 2.0};
+  const RooflinePoint p = place_kernel(m, kernel);
+  EXPECT_NEAR(p.efficiency(), 0.5, 1e-9);
+  RooflineKernel unmeasured{"x", 1.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(place_kernel(m, unmeasured).efficiency(), 0.0);
+}
+
+TEST(PlaceKernel, ZeroBytesIsSafe) {
+  const RooflineMachine m = k7_machine();
+  RooflineKernel kernel{"nobytes", 10.0, 0.0, 0.0};
+  const RooflinePoint p = place_kernel(m, kernel);
+  EXPECT_DOUBLE_EQ(p.intensity, 0.0);
+  EXPECT_DOUBLE_EQ(p.attainable_gops, 0.0);
+}
+
+TEST(RenderAscii, ContainsChartElements) {
+  const RooflineMachine m = k7_machine();
+  std::vector<RooflinePoint> points;
+  points.push_back(place_kernel(m, {"k1", 4.0, 2.0, 5.0}));
+  const std::string chart = render_ascii(m, points);
+  EXPECT_TRUE(util::contains(chart, "Roofline:"));
+  EXPECT_TRUE(util::contains(chart, "ops/byte"));
+  EXPECT_TRUE(util::contains(chart, "k1"));
+  EXPECT_TRUE(util::contains(chart, "-"));  // the roof
+  EXPECT_TRUE(util::contains(chart, "*"));  // the measured point
+  EXPECT_TRUE(util::contains(chart, "achieved"));
+}
+
+TEST(RenderAscii, EmptyPointsStillRenders) {
+  const std::string chart = render_ascii(k7_machine(), {});
+  EXPECT_TRUE(util::contains(chart, "Roofline:"));
+}
+
+TEST(ToCsv, RoofAndKernels) {
+  const RooflineMachine m = k7_machine();
+  std::vector<RooflinePoint> points;
+  points.push_back(place_kernel(m, {"k1", 4.0, 2.0, 5.0}));
+  const std::string csv = to_csv(m, points);
+  const auto rows = util::split(csv, '\n');
+  // header + 32 roof samples + 1 kernel + trailing empty.
+  EXPECT_GE(rows.size(), 34u);
+  EXPECT_TRUE(util::contains(rows[0], "intensity_ops_per_byte"));
+  EXPECT_TRUE(util::contains(csv, "kernel,k1"));
+}
+
+}  // namespace
+}  // namespace dovado::perf

@@ -1,0 +1,83 @@
+// Property sweeps of parameter domains: index/value round-trips, bounds and
+// membership over every domain kind.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/core/param_domain.hpp"
+
+namespace dovado::core {
+namespace {
+
+struct DomainCase {
+  std::string name;
+  ParamDomain domain;
+};
+
+class DomainProperty : public ::testing::TestWithParam<DomainCase> {};
+
+TEST_P(DomainProperty, IndexValueRoundTrip) {
+  const ParamDomain& d = GetParam().domain;
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    const std::int64_t v = d.value_at(i);
+    const auto back = d.index_of(v);
+    ASSERT_TRUE(back.has_value()) << "value " << v;
+    EXPECT_EQ(*back, i);
+  }
+}
+
+TEST_P(DomainProperty, ValuesAreDistinct) {
+  const ParamDomain& d = GetParam().domain;
+  std::set<std::int64_t> seen;
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    EXPECT_TRUE(seen.insert(d.value_at(i)).second);
+  }
+}
+
+TEST_P(DomainProperty, MinMaxAreExtremes) {
+  const ParamDomain& d = GetParam().domain;
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    EXPECT_GE(d.value_at(i), d.min_value());
+    EXPECT_LE(d.value_at(i), d.max_value());
+  }
+}
+
+TEST_P(DomainProperty, ContainsAgreesWithEnumeration) {
+  const ParamDomain& d = GetParam().domain;
+  std::set<std::int64_t> members;
+  for (std::int64_t i = 0; i < d.size(); ++i) members.insert(d.value_at(i));
+  // Probe the hull of the domain plus a margin.
+  for (std::int64_t v = d.min_value() - 2; v <= d.max_value() + 2; ++v) {
+    EXPECT_EQ(d.contains(v), members.count(v) == 1) << "value " << v;
+  }
+}
+
+TEST_P(DomainProperty, ClampingNeverEscapes) {
+  const ParamDomain& d = GetParam().domain;
+  // Out-of-range indices clamp to the first/last domain entries (which for
+  // unordered value lists need not be the numeric extremes).
+  EXPECT_EQ(d.value_at(-100), d.value_at(0));
+  EXPECT_EQ(d.value_at(d.size() + 100), d.value_at(d.size() - 1));
+}
+
+TEST_P(DomainProperty, DescriptionNonEmpty) {
+  EXPECT_FALSE(GetParam().domain.describe().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, DomainProperty,
+    ::testing::Values(DomainCase{"unit_range", ParamDomain::range(5, 5)},
+                      DomainCase{"dense_range", ParamDomain::range(8, 40)},
+                      DomainCase{"stepped_range", ParamDomain::range(0, 100, 7)},
+                      DomainCase{"negative_range", ParamDomain::range(-20, -5, 3)},
+                      DomainCase{"straddling_range", ParamDomain::range(-4, 4)},
+                      DomainCase{"boolean", ParamDomain::boolean()},
+                      DomainCase{"pow2_small", ParamDomain::power_of_two(0, 4)},
+                      DomainCase{"pow2_large", ParamDomain::power_of_two(10, 20)},
+                      DomainCase{"value_list", ParamDomain::values({3, 1, 4, 15, 9, 26})},
+                      DomainCase{"single_value", ParamDomain::values({42})}),
+    [](const ::testing::TestParamInfo<DomainCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace dovado::core

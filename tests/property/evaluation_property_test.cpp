@@ -1,0 +1,147 @@
+// Property sweep of the full evaluation pipeline over every case study and
+// device: the invariants every (module, part) pair must satisfy.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/evaluator.hpp"
+#include "src/fpga/device.hpp"
+
+namespace dovado::core {
+namespace {
+
+struct CaseStudy {
+  std::string label;
+  std::string file;
+  hdl::HdlLanguage language;
+  std::string top;
+  DesignPoint small_point;  ///< a light configuration
+  DesignPoint big_point;    ///< a heavier configuration (more area)
+  std::string scaled_metric;  ///< metric that must grow small -> big
+};
+
+struct EvalCase {
+  CaseStudy study;
+  std::string part;
+};
+
+std::vector<CaseStudy> case_studies() {
+  return {
+      {"fifo",
+       "cv32e40p_fifo.sv",
+       hdl::HdlLanguage::kSystemVerilog,
+       "cv32e40p_fifo",
+       {{"DEPTH", 16}},
+       {{"DEPTH", 256}},
+       "ff"},
+      {"cq_manager",
+       "corundum_cq_manager.v",
+       hdl::HdlLanguage::kVerilog,
+       "cpl_queue_manager",
+       {{"OP_TABLE_SIZE", 8}, {"PIPELINE", 2}},
+       {{"OP_TABLE_SIZE", 32}, {"PIPELINE", 5}},
+       "ff"},
+      {"neorv32",
+       "neorv32_top.vhd",
+       hdl::HdlLanguage::kVhdl,
+       "neorv32_top",
+       {{"MEM_INT_IMEM_SIZE", 4096}, {"MEM_INT_DMEM_SIZE", 4096}},
+       {{"MEM_INT_IMEM_SIZE", 32768}, {"MEM_INT_DMEM_SIZE", 32768}},
+       "bram"},
+      {"tirex",
+       "tirex_top.vhd",
+       hdl::HdlLanguage::kVhdl,
+       "tirex_top",
+       {{"NCLUSTER", 1}, {"STACK_SIZE", 4}},
+       {{"NCLUSTER", 4}, {"STACK_SIZE", 256}},
+       "lut"},
+  };
+}
+
+class EvaluationProperty : public ::testing::TestWithParam<EvalCase> {
+ protected:
+  ProjectConfig project() const {
+    const auto& param = GetParam();
+    ProjectConfig config;
+    config.sources.push_back({std::string(DOVADO_RTL_DIR) + "/" + param.study.file,
+                              param.study.language, "work", false});
+    config.top_module = param.study.top;
+    config.part = param.part;
+    config.target_period_ns = 1.0;
+    return config;
+  }
+};
+
+TEST_P(EvaluationProperty, EvaluatesWithSaneMetrics) {
+  PointEvaluator evaluator(project());
+  const EvalResult r = evaluator.evaluate(GetParam().study.small_point);
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto device = fpga::DeviceCatalog::find(GetParam().part);
+  ASSERT_TRUE(device.has_value());
+  EXPECT_GT(r.metrics.get("lut"), 0.0);
+  EXPECT_LE(r.metrics.get("lut"), static_cast<double>(device->resources.lut));
+  EXPECT_GT(r.metrics.get("ff"), 0.0);
+  EXPECT_LE(r.metrics.get("ff"), static_cast<double>(device->resources.ff));
+  EXPECT_GE(r.metrics.get("bram"), 0.0);
+  // Frequencies stay in a physically plausible FPGA band.
+  EXPECT_GT(r.metrics.get("fmax_mhz"), 20.0);
+  EXPECT_LT(r.metrics.get("fmax_mhz"), 1500.0);
+  // Consistency: fmax == 1000 / (T - WNS).
+  EXPECT_NEAR(r.metrics.get("fmax_mhz"), 1000.0 / (1.0 - r.metrics.get("wns_ns")), 0.1);
+}
+
+TEST_P(EvaluationProperty, BiggerConfigurationUsesMoreOfItsMetric) {
+  PointEvaluator evaluator(project());
+  const EvalResult small = evaluator.evaluate(GetParam().study.small_point);
+  const EvalResult big = evaluator.evaluate(GetParam().study.big_point);
+  ASSERT_TRUE(small.ok);
+  ASSERT_TRUE(big.ok);
+  const std::string& metric = GetParam().study.scaled_metric;
+  EXPECT_GT(big.metrics.get(metric), small.metrics.get(metric)) << metric;
+}
+
+TEST_P(EvaluationProperty, DeterministicAcrossSessions) {
+  PointEvaluator a(project());
+  PointEvaluator b(project());
+  const EvalResult ra = a.evaluate(GetParam().study.small_point);
+  const EvalResult rb = b.evaluate(GetParam().study.small_point);
+  ASSERT_TRUE(ra.ok);
+  ASSERT_TRUE(rb.ok);
+  EXPECT_EQ(ra.metrics.values, rb.metrics.values);
+}
+
+TEST_P(EvaluationProperty, UltraScaleFasterThanSevenSeries) {
+  // Technology property across every case study: the same configuration on
+  // the 16 nm ZU3EG beats the 28 nm parts.
+  if (GetParam().part == "xczu3eg-sbva484-1-e") GTEST_SKIP();
+  ProjectConfig seven_series = project();
+  ProjectConfig ultrascale = project();
+  ultrascale.part = "xczu3eg-sbva484-1-e";
+  const EvalResult slow = PointEvaluator(seven_series).evaluate(GetParam().study.small_point);
+  const EvalResult fast = PointEvaluator(ultrascale).evaluate(GetParam().study.small_point);
+  ASSERT_TRUE(slow.ok);
+  ASSERT_TRUE(fast.ok);
+  EXPECT_GT(fast.metrics.get("fmax_mhz"), slow.metrics.get("fmax_mhz"));
+}
+
+std::vector<EvalCase> all_cases() {
+  std::vector<EvalCase> cases;
+  for (const auto& study : case_studies()) {
+    for (const char* part : {"xc7k70tfbv676-1", "xczu3eg-sbva484-1-e", "xc7z020"}) {
+      cases.push_back({study, part});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CaseStudiesByDevice, EvaluationProperty, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<EvalCase>& info) {
+      std::string name = info.param.study.label + "_" + info.param.part;
+      for (auto& c : name)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace dovado::core

@@ -1,0 +1,131 @@
+// Property sweep of the Nadaraya-Watson estimator over dataset sizes and
+// bandwidths: convex-combination bounds, symmetry and convergence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/model/nadaraya_watson.hpp"
+#include "src/util/rng.hpp"
+
+namespace dovado::model {
+namespace {
+
+struct NwmCase {
+  std::size_t samples;
+  double bandwidth;
+};
+
+class NwmProperty : public ::testing::TestWithParam<NwmCase> {
+ protected:
+  /// Noisy quadratic ground truth on [0, 100].
+  static double truth(double x) { return 0.01 * x * x + 2.0 * x + 5.0; }
+
+  Dataset make_dataset() const {
+    Dataset d;
+    util::Rng rng(GetParam().samples * 7919 + 13);
+    for (std::size_t i = 0; i < GetParam().samples; ++i) {
+      const double x = rng.uniform(0.0, 100.0);
+      d.add({x}, {truth(x)});
+    }
+    return d;
+  }
+};
+
+TEST_P(NwmProperty, PredictionsStayInsideValueHull) {
+  const Dataset d = make_dataset();
+  NadarayaWatson nwm;
+  nwm.fit(d, {GetParam().bandwidth});
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const auto& v : d.values()) {
+    lo = std::min(lo, v[0]);
+    hi = std::max(hi, v[0]);
+  }
+  for (double x = -20.0; x <= 120.0; x += 3.7) {
+    const double y = nwm.predict({x})[0];
+    EXPECT_GE(y, lo - 1e-9);
+    EXPECT_LE(y, hi + 1e-9);
+    EXPECT_FALSE(std::isnan(y));
+  }
+}
+
+TEST_P(NwmProperty, ExactSampleRecoveredWithTinyBandwidth) {
+  const Dataset d = make_dataset();
+  NadarayaWatson nwm;
+  nwm.fit(d, {0.01});
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    // The property holds for well-separated samples; near-duplicates share
+    // kernel weight, so skip points with a close neighbour (< 20 sigma).
+    bool isolated = true;
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      if (j != i && std::fabs(d.points()[i][0] - d.points()[j][0]) < 0.2) {
+        isolated = false;
+        break;
+      }
+    }
+    if (!isolated) continue;
+    EXPECT_NEAR(nwm.predict(d.points()[i])[0], d.values()[i][0], 1e-6);
+  }
+}
+
+TEST_P(NwmProperty, LooErrorFinite) {
+  const Dataset d = make_dataset();
+  if (d.size() < 2) GTEST_SKIP();
+  const double err = loo_cv_error(d, 0, GetParam().bandwidth);
+  EXPECT_TRUE(std::isfinite(err));
+  EXPECT_GE(err, 0.0);
+}
+
+TEST_P(NwmProperty, PredictionContinuity) {
+  // Kernel smoothing is Lipschitz on this scale: nearby queries give
+  // nearby answers (no cliffs from the fallback path).
+  const Dataset d = make_dataset();
+  NadarayaWatson nwm;
+  nwm.fit(d, {std::max(GetParam().bandwidth, 1.0)});
+  for (double x = 10.0; x < 90.0; x += 7.0) {
+    const double y1 = nwm.predict({x})[0];
+    const double y2 = nwm.predict({x + 0.01})[0];
+    EXPECT_NEAR(y1, y2, 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeBandwidthGrid, NwmProperty,
+    ::testing::Values(NwmCase{3, 0.5}, NwmCase{3, 10.0}, NwmCase{10, 1.0},
+                      NwmCase{10, 30.0}, NwmCase{50, 2.0}, NwmCase{50, 15.0},
+                      NwmCase{200, 5.0}, NwmCase{200, 50.0}),
+    [](const ::testing::TestParamInfo<NwmCase>& info) {
+      return "n" + std::to_string(info.param.samples) + "_h" +
+             std::to_string(static_cast<int>(info.param.bandwidth * 10));
+    });
+
+class BandwidthConvergence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BandwidthConvergence, MoreSamplesNeverHurtMuch) {
+  // Monotone-ish learning: LOO-CV-selected model error on a fixed test set
+  // with n samples stays within a factor of the 2n-sample error.
+  auto run = [](std::size_t n) {
+    Dataset train;
+    util::Rng rng(17);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = rng.uniform(0.0, 100.0);
+      train.add({x}, {std::sin(x / 10.0)});
+    }
+    NadarayaWatson nwm;
+    nwm.fit(train, select_bandwidths(train));
+    double mse = 0.0;
+    for (double x = 2.5; x < 100.0; x += 5.0) {
+      const double err = nwm.predict({x})[0] - std::sin(x / 10.0);
+      mse += err * err;
+    }
+    return mse / 20.0;
+  };
+  const std::size_t n = GetParam();
+  EXPECT_LT(run(2 * n), run(n) * 3.0 + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BandwidthConvergence, ::testing::Values(10u, 25u, 50u));
+
+}  // namespace
+}  // namespace dovado::model

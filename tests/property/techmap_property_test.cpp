@@ -1,0 +1,107 @@
+// Property sweeps of the technology mapper: capacity conservation and
+// monotonicity over a grid of memory shapes and all catalog devices.
+#include <gtest/gtest.h>
+
+#include "src/edatool/techmap.hpp"
+
+namespace dovado::edatool {
+namespace {
+
+struct MemoryShape {
+  std::int64_t depth;
+  std::int64_t width;
+};
+
+class BramTilesProperty : public ::testing::TestWithParam<MemoryShape> {};
+
+TEST_P(BramTilesProperty, CapacityIsConserved) {
+  // The tiles allocated must hold at least the array's bits.
+  const auto [depth, width] = GetParam();
+  const std::int64_t tiles = bram36_tiles(depth, width);
+  EXPECT_GE(tiles * 36 * 1024, depth * width);
+}
+
+TEST_P(BramTilesProperty, NoGrossOverAllocation) {
+  // Aspect-ratio padding wastes capacity, but never more than the width
+  // rounding (a < 36-bit column still burns whole BRAMs for the depth) plus
+  // one extra depth row per column.
+  const auto [depth, width] = GetParam();
+  const std::int64_t tiles = bram36_tiles(depth, width);
+  const std::int64_t columns = (width + 35) / 36;
+  const std::int64_t worst_rows = (depth + 1023) / 1024 + 1;
+  EXPECT_LE(tiles, columns * worst_rows);
+}
+
+TEST_P(BramTilesProperty, MonotoneInDepthAndWidth) {
+  const auto [depth, width] = GetParam();
+  EXPECT_LE(bram36_tiles(depth, width), bram36_tiles(depth * 2, width));
+  EXPECT_LE(bram36_tiles(depth, width), bram36_tiles(depth, width + 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, BramTilesProperty,
+    ::testing::Values(MemoryShape{16, 8}, MemoryShape{64, 1}, MemoryShape{128, 128},
+                      MemoryShape{512, 32}, MemoryShape{1024, 36}, MemoryShape{1025, 36},
+                      MemoryShape{2048, 16}, MemoryShape{4096, 9}, MemoryShape{8192, 32},
+                      MemoryShape{8192, 72}, MemoryShape{32768, 1}, MemoryShape{1, 512},
+                      MemoryShape{100000, 64}),
+    [](const ::testing::TestParamInfo<MemoryShape>& info) {
+      return "d" + std::to_string(info.param.depth) + "w" + std::to_string(info.param.width);
+    });
+
+class MapMemoryOnDevice : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MapMemoryOnDevice, EveryImplementationHoldsTheBits) {
+  const auto device = fpga::DeviceCatalog::find(GetParam());
+  ASSERT_TRUE(device.has_value());
+  for (std::int64_t depth : {8, 32, 64, 256, 1024, 4096, 16384}) {
+    for (std::int64_t width : {1, 8, 32, 72, 128}) {
+      netlist::Memory memory{"m", depth, width, true, false, false};
+      const MappedMemory mapped = map_memory(memory, *device);
+      switch (mapped.impl) {
+        case MemoryImpl::kRegisters:
+          EXPECT_GE(mapped.ff, memory.bits());
+          break;
+        case MemoryImpl::kDistributed:
+          // One SLICEM LUT6 holds 64 bits of RAM.
+          EXPECT_GE(mapped.lut * 64, memory.bits());
+          break;
+        case MemoryImpl::kBlockRam:
+          EXPECT_GE(mapped.bram36 * 36 * 1024, memory.bits());
+          break;
+        case MemoryImpl::kUltraRam:
+          EXPECT_GE(mapped.uram * 4096 * 72, memory.bits());
+          EXPECT_TRUE(device->has_uram());
+          break;
+      }
+    }
+  }
+}
+
+TEST_P(MapMemoryOnDevice, RegisterPreferenceAlwaysHonoured) {
+  const auto device = fpga::DeviceCatalog::find(GetParam());
+  ASSERT_TRUE(device.has_value());
+  netlist::Memory memory{"m", 512, 32, true, true, false};
+  EXPECT_EQ(map_memory(memory, *device).impl, MemoryImpl::kRegisters);
+}
+
+TEST_P(MapMemoryOnDevice, BlockPreferenceAlwaysHonoured) {
+  const auto device = fpga::DeviceCatalog::find(GetParam());
+  ASSERT_TRUE(device.has_value());
+  netlist::Memory memory{"m", 16, 16, true, false, true};  // tiny but forced
+  const auto mapped = map_memory(memory, *device);
+  EXPECT_TRUE(mapped.impl == MemoryImpl::kBlockRam || mapped.impl == MemoryImpl::kUltraRam);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, MapMemoryOnDevice,
+                         ::testing::Values("xc7k70t", "zu3eg", "xc7a35t", "xc7z020",
+                                           "xcvu9p"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (auto& c : name)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace dovado::edatool

@@ -1,0 +1,131 @@
+// Tests for the extended TCL builtins: proc, foreach, for, lists, string
+// and format (the commands real Vivado batch scripts lean on).
+#include <gtest/gtest.h>
+
+#include "src/tcl/interp.hpp"
+
+namespace dovado::tcl {
+namespace {
+
+std::string eval_ok(Interp& in, std::string_view script) {
+  auto r = in.eval(script);
+  EXPECT_TRUE(r.ok) << r.error << " in: " << script;
+  return r.value;
+}
+
+TEST(TclForeach, IteratesPlainList) {
+  Interp in;
+  eval_ok(in, "set sum 0\nforeach x {1 2 3 4} {incr sum $x}");
+  EXPECT_EQ(in.get_var("sum"), "10");
+}
+
+TEST(TclForeach, HonoursBracedElements) {
+  Interp in;
+  eval_ok(in, "set out \"\"\nforeach w {a {b c} d} {append out <$w>}");
+  EXPECT_EQ(in.get_var("out"), "<a><b c><d>");
+}
+
+TEST(TclForeach, EmptyListNoIterations) {
+  Interp in;
+  eval_ok(in, "set n 0\nforeach x {} {incr n}");
+  EXPECT_EQ(in.get_var("n"), "0");
+}
+
+TEST(TclFor, ClassicCountingLoop) {
+  Interp in;
+  eval_ok(in, "set acc 0\nfor {set i 0} {$i < 5} {incr i} {incr acc $i}");
+  EXPECT_EQ(in.get_var("acc"), "10");
+  EXPECT_EQ(in.get_var("i"), "5");
+}
+
+TEST(TclProc, DefineAndCall) {
+  Interp in;
+  eval_ok(in, "proc add2 {a b} {expr {$a + $b}}");
+  EXPECT_EQ(eval_ok(in, "add2 19 23"), "42");
+  EXPECT_EQ(eval_ok(in, "set x [add2 [add2 1 2] 3]"), "6");
+}
+
+TEST(TclProc, ReturnInsideBody) {
+  Interp in;
+  eval_ok(in, "proc pick {a} {if {$a > 0} {return pos}\nreturn neg}");
+  EXPECT_EQ(eval_ok(in, "pick 5"), "pos");
+  EXPECT_EQ(eval_ok(in, "pick -1"), "neg");
+}
+
+TEST(TclProc, ArityChecked) {
+  Interp in;
+  eval_ok(in, "proc one {a} {set a}");
+  EXPECT_FALSE(in.eval("one").ok);
+  EXPECT_FALSE(in.eval("one 1 2").ok);
+}
+
+TEST(TclList, LengthIndexAppend) {
+  Interp in;
+  EXPECT_EQ(eval_ok(in, "llength {a b {c d} e}"), "4");
+  EXPECT_EQ(eval_ok(in, "llength {}"), "0");
+  EXPECT_EQ(eval_ok(in, "lindex {x y z} 1"), "y");
+  EXPECT_EQ(eval_ok(in, "lindex {x y z} end"), "z");
+  EXPECT_EQ(eval_ok(in, "lindex {x y z} 9"), "");
+  eval_ok(in, "lappend items alpha\nlappend items {b c}");
+  EXPECT_EQ(in.get_var("items"), "alpha {b c}");
+  EXPECT_EQ(eval_ok(in, "llength $items"), "2");
+}
+
+TEST(TclString, Subcommands) {
+  Interp in;
+  EXPECT_EQ(eval_ok(in, "string length hello"), "5");
+  EXPECT_EQ(eval_ok(in, "string tolower ABC"), "abc");
+  EXPECT_EQ(eval_ok(in, "string toupper abc"), "ABC");
+  EXPECT_EQ(eval_ok(in, "string trim {  x  }"), "x");
+  EXPECT_EQ(eval_ok(in, "string equal abc abc"), "1");
+  EXPECT_EQ(eval_ok(in, "string equal abc abd"), "0");
+  EXPECT_EQ(eval_ok(in, "string first lo hello"), "3");
+  EXPECT_EQ(eval_ok(in, "string first zz hello"), "-1");
+  EXPECT_EQ(eval_ok(in, "string range hello 1 3"), "ell");
+  EXPECT_EQ(eval_ok(in, "string range hello 1 end"), "ello");
+  EXPECT_FALSE(in.eval("string frobnicate x").ok);
+}
+
+TEST(TclString, GlobMatch) {
+  Interp in;
+  EXPECT_EQ(eval_ok(in, "string match {xc7*} xc7k70t"), "1");
+  EXPECT_EQ(eval_ok(in, "string match {xc7?70t} xc7k70t"), "1");
+  EXPECT_EQ(eval_ok(in, "string match {*70t} xc7k70t"), "1");
+  EXPECT_EQ(eval_ok(in, "string match {zu*} xc7k70t"), "0");
+  EXPECT_EQ(eval_ok(in, "string match {} {}"), "1");
+}
+
+TEST(TclFormat, Specifiers) {
+  Interp in;
+  EXPECT_EQ(eval_ok(in, "format {value=%d} 42"), "value=42");
+  EXPECT_EQ(eval_ok(in, "format {%s-%s} a b"), "a-b");
+  EXPECT_EQ(eval_ok(in, "format {%d%%} 50"), "50%");
+  EXPECT_EQ(eval_ok(in, "format {%x} 255"), "ff");
+  EXPECT_EQ(eval_ok(in, "format {%g} 2.5"), "2.5");
+  EXPECT_FALSE(in.eval("format {%d}").ok);       // missing argument
+  EXPECT_FALSE(in.eval("format {%q} 1").ok);     // unsupported spec
+}
+
+TEST(TclBuiltins, ComposedVivadoishScript) {
+  // The idioms together, like a report post-processing script would use.
+  Interp in;
+  const char* script = R"(
+proc percent {used avail} {
+  expr {100.0 * $used / $avail}
+}
+set rows {{lut 1234 41000} {ff 2200 82000}}
+set out ""
+foreach row $rows {
+  set name [lindex $row 0]
+  set pct [format {%g} [percent [lindex $row 1] [lindex $row 2]]]
+  append out "$name=$pct "
+}
+string trim $out
+)";
+  auto r = in.eval(script);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, "lut=3.00976 ff=2.68293");
+}
+
+}  // namespace
+}  // namespace dovado::tcl

@@ -1,0 +1,131 @@
+#include "src/tcl/frames.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/strings.hpp"
+
+namespace dovado::tcl {
+namespace {
+
+FrameConfig sample_config() {
+  FrameConfig config;
+  config.sources.push_back({"pkg/defs.sv", hdl::HdlLanguage::kSystemVerilog, "work", true});
+  config.sources.push_back({"core/cpu.vhd", hdl::HdlLanguage::kVhdl, "work", false});
+  config.sources.push_back({"nic/mac.v", hdl::HdlLanguage::kVerilog, "work", false});
+  config.box_path = "dovado_box.vhd";
+  config.box_language = hdl::HdlLanguage::kVhdl;
+  config.top = "box";
+  config.part = "xc7k70tfbv676-1";
+  return config;
+}
+
+TEST(Frames, ValidConfigPasses) {
+  EXPECT_TRUE(validate_frame(sample_config()).empty());
+}
+
+TEST(Frames, MissingPartOrTopFlagged) {
+  FrameConfig config = sample_config();
+  config.part.clear();
+  auto problems = validate_frame(config);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_TRUE(util::contains(problems[0], "part"));
+
+  config = sample_config();
+  config.top.clear();
+  EXPECT_FALSE(validate_frame(config).empty());
+}
+
+TEST(Frames, VhdlLibraryNamingConstraint) {
+  // Paper Sec. III-A.3: one subfolder per VHDL library with the same name.
+  FrameConfig config = sample_config();
+  config.sources.push_back({"libs/mylib/pkg.vhd", hdl::HdlLanguage::kVhdl, "mylib", false});
+  EXPECT_TRUE(validate_frame(config).empty());
+
+  config.sources.back().path = "elsewhere/pkg.vhd";
+  auto problems = validate_frame(config);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_TRUE(util::contains(problems[0], "mylib"));
+}
+
+TEST(Frames, VhdlPackageMarkRejected) {
+  FrameConfig config = sample_config();
+  config.sources.push_back({"a.vhd", hdl::HdlLanguage::kVhdl, "work", true});
+  EXPECT_FALSE(validate_frame(config).empty());
+}
+
+TEST(Frames, SvPackagesReadFirstBoxLast) {
+  // Paper: "SV packages are read at the very beginning of the step".
+  const auto order = reading_order(sample_config());
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0].path, "pkg/defs.sv");
+  EXPECT_EQ(order[1].path, "core/cpu.vhd");
+  EXPECT_EQ(order[2].path, "nic/mac.v");
+  EXPECT_EQ(order[3].path, "dovado_box.vhd");
+}
+
+TEST(Frames, ReadCommandsPerLanguage) {
+  EXPECT_EQ(read_command({"a.vhd", hdl::HdlLanguage::kVhdl, "work", false}),
+            "read_vhdl {a.vhd}");
+  EXPECT_EQ(read_command({"libs/ip/a.vhd", hdl::HdlLanguage::kVhdl, "ip", false}),
+            "read_vhdl -library ip {libs/ip/a.vhd}");
+  EXPECT_EQ(read_command({"m.v", hdl::HdlLanguage::kVerilog, "", false}),
+            "read_verilog {m.v}");
+  EXPECT_EQ(read_command({"m.sv", hdl::HdlLanguage::kSystemVerilog, "", false}),
+            "read_verilog -sv {m.sv}");
+}
+
+TEST(Frames, FlowScriptStructure) {
+  const std::string script = generate_flow_script(sample_config());
+  // Commands appear in flow order.
+  const auto pos_read = script.find("read_verilog -sv {pkg/defs.sv}");
+  const auto pos_xdc = script.find("read_xdc {dovado_box.xdc}");
+  const auto pos_synth = script.find("synth_design -top $top -part $part");
+  const auto pos_opt = script.find("opt_design");
+  const auto pos_place = script.find("place_design");
+  const auto pos_route = script.find("route_design");
+  const auto pos_util = script.find("report_utilization");
+  const auto pos_timing = script.find("report_timing");
+  EXPECT_NE(pos_read, std::string::npos);
+  EXPECT_LT(pos_read, pos_xdc);
+  EXPECT_LT(pos_xdc, pos_synth);
+  EXPECT_LT(pos_synth, pos_opt);
+  EXPECT_LT(pos_opt, pos_place);
+  EXPECT_LT(pos_place, pos_route);
+  EXPECT_LT(pos_route, pos_util);
+  EXPECT_LT(pos_util, pos_timing);
+}
+
+TEST(Frames, SynthesisOnlyFlowSkipsImplementation) {
+  FrameConfig config = sample_config();
+  config.run_implementation = false;
+  const std::string script = generate_flow_script(config);
+  EXPECT_FALSE(util::contains(script, "place_design"));
+  EXPECT_FALSE(util::contains(script, "route_design"));
+  EXPECT_TRUE(util::contains(script, "report_timing"));
+}
+
+TEST(Frames, IncrementalFlagsEmitCheckpointCommands) {
+  FrameConfig config = sample_config();
+  config.incremental_synth = true;
+  config.incremental_impl = true;
+  const std::string script = generate_flow_script(config);
+  EXPECT_TRUE(util::contains(script, "synth_design"));
+  EXPECT_TRUE(util::contains(script, "-incremental {post_synth.dcp}"));
+  EXPECT_TRUE(util::contains(script, "read_checkpoint -incremental {post_route.dcp}"));
+  EXPECT_TRUE(util::contains(script, "write_checkpoint -force {post_synth.dcp}"));
+  EXPECT_TRUE(util::contains(script, "write_checkpoint -force {post_route.dcp}"));
+}
+
+TEST(Frames, DirectivesInjected) {
+  FrameConfig config = sample_config();
+  config.synth_directive = "AreaOptimized_high";
+  config.place_directive = "Explore";
+  config.route_directive = "Explore";
+  const std::string script = generate_flow_script(config);
+  EXPECT_TRUE(util::contains(script, "-directive {AreaOptimized_high}"));
+  EXPECT_TRUE(util::contains(script, "place_design -directive {Explore}"));
+  EXPECT_TRUE(util::contains(script, "route_design -directive {Explore}"));
+}
+
+}  // namespace
+}  // namespace dovado::tcl

@@ -1,0 +1,88 @@
+#include "src/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dovado::util {
+namespace {
+
+TEST(CsvEscape, PlainCellUnchanged) { EXPECT_EQ(csv_escape("abc"), "abc"); }
+
+TEST(CsvEscape, QuotesCommasNewlines) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line1\nline2"), "\"line1\nline2\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row({"name", "value"});
+  w.row({"fifo,deep", "42"});
+  EXPECT_EQ(out.str(), "name,value\n\"fifo,deep\",42\n");
+}
+
+TEST(CsvWriter, NumericRoundTrip) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row_numeric({1.5, 0.1, 3.0});
+  const auto parsed = parse_csv(out.str());
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].size(), 3u);
+  EXPECT_EQ(parsed[0][0], "1.5");
+  EXPECT_EQ(parsed[0][2], "3");
+}
+
+TEST(ParseCsv, SimpleDocument) {
+  const auto rows = parse_csv("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ParseCsv, QuotedFieldWithComma) {
+  const auto rows = parse_csv("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "c");
+}
+
+TEST(ParseCsv, EscapedQuote) {
+  const auto rows = parse_csv("\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(ParseCsv, EmbeddedNewlineInQuotes) {
+  const auto rows = parse_csv("\"l1\nl2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "l1\nl2");
+}
+
+TEST(ParseCsv, NoTrailingNewline) {
+  const auto rows = parse_csv("a,b");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 2u);
+}
+
+TEST(ParseCsv, CrLfLineEndings) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(ParseCsv, EmptyInput) { EXPECT_TRUE(parse_csv("").empty()); }
+
+TEST(ParseCsv, RoundTripThroughWriter) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  const std::vector<std::string> original{"plain", "with,comma", "with\"quote", "multi\nline"};
+  w.row(original);
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
+}  // namespace
+}  // namespace dovado::util

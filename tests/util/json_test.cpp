@@ -1,0 +1,108 @@
+#include "src/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dovado::util {
+namespace {
+
+TEST(JsonDump, Scalars) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonDump, StringEscapes) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("line\nbreak").dump(), "\"line\\nbreak\"");
+  EXPECT_EQ(Json("tab\there").dump(), "\"tab\\there\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+}
+
+TEST(JsonDump, ArraysAndObjects) {
+  JsonArray arr{Json(1), Json(2), Json("x")};
+  EXPECT_EQ(Json(arr).dump(), "[1,2,\"x\"]");
+  JsonObject obj;
+  obj["b"] = Json(2);
+  obj["a"] = Json(1);
+  EXPECT_EQ(Json(obj).dump(), "{\"a\":1,\"b\":2}");  // map keys sorted
+}
+
+TEST(JsonDump, EmptyContainers) {
+  EXPECT_EQ(Json(JsonArray{}).dump(), "[]");
+  EXPECT_EQ(Json(JsonObject{}).dump(), "{}");
+}
+
+TEST(JsonDump, PrettyPrint) {
+  JsonObject obj;
+  obj["k"] = Json(JsonArray{Json(1)});
+  const std::string expected = "{\n  \"k\": [\n    1\n  ]\n}";
+  EXPECT_EQ(Json(obj).dump(2), expected);
+}
+
+TEST(JsonDump, LargeIntegersStayIntegral) {
+  EXPECT_EQ(Json(static_cast<std::int64_t>(1) << 40).dump(), "1099511627776");
+}
+
+TEST(JsonParse, Scalars) {
+  Json v;
+  ASSERT_TRUE(Json::parse("42", v));
+  EXPECT_DOUBLE_EQ(v.as_number(), 42.0);
+  ASSERT_TRUE(Json::parse("true", v));
+  EXPECT_TRUE(v.as_bool());
+  ASSERT_TRUE(Json::parse("null", v));
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(Json::parse("\"hello\"", v));
+  EXPECT_EQ(v.as_string(), "hello");
+  ASSERT_TRUE(Json::parse("-1.25e2", v));
+  EXPECT_DOUBLE_EQ(v.as_number(), -125.0);
+}
+
+TEST(JsonParse, NestedStructure) {
+  Json v;
+  ASSERT_TRUE(Json::parse(R"({"a": [1, 2, {"b": null}], "c": "x"})", v));
+  ASSERT_TRUE(v.is_object());
+  const auto& obj = v.as_object();
+  ASSERT_TRUE(obj.at("a").is_array());
+  EXPECT_EQ(obj.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(obj.at("a").as_array()[2].as_object().at("b").is_null());
+  EXPECT_EQ(obj.at("c").as_string(), "x");
+}
+
+TEST(JsonParse, EscapesRoundTrip) {
+  Json v;
+  ASSERT_TRUE(Json::parse(R"("a\"b\n\t\\")", v));
+  EXPECT_EQ(v.as_string(), "a\"b\n\t\\");
+}
+
+TEST(JsonParse, UnicodeEscape) {
+  Json v;
+  ASSERT_TRUE(Json::parse(R"("Aé")", v));
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  Json v;
+  EXPECT_FALSE(Json::parse("{", v));
+  EXPECT_FALSE(Json::parse("[1,", v));
+  EXPECT_FALSE(Json::parse("\"unterminated", v));
+  EXPECT_FALSE(Json::parse("42 garbage", v));
+  EXPECT_FALSE(Json::parse("", v));
+  EXPECT_FALSE(Json::parse("{\"k\" 1}", v));
+}
+
+TEST(JsonParse, RoundTripOfDump) {
+  JsonObject obj;
+  obj["pareto"] = Json(JsonArray{Json(1.5), Json(2.25)});
+  obj["name"] = Json("neorv32");
+  obj["ok"] = Json(true);
+  const std::string text = Json(obj).dump(2);
+  Json parsed;
+  ASSERT_TRUE(Json::parse(text, parsed));
+  EXPECT_EQ(parsed.dump(), Json(obj).dump());
+}
+
+}  // namespace
+}  // namespace dovado::util

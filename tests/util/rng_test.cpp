@@ -1,0 +1,161 @@
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace dovado::util {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values from the public-domain splitmix64 implementation
+  // with seed 0.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(s), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(s), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256, DeterministicAcrossInstances) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, ForkIsIndependent) {
+  Xoshiro256 parent(7);
+  Xoshiro256 child = parent.fork();
+  // The child must not replay the parent's stream.
+  std::vector<std::uint64_t> p;
+  std::vector<std::uint64_t> c;
+  for (int i = 0; i < 32; ++i) {
+    p.push_back(parent());
+    c.push_back(child());
+  }
+  EXPECT_NE(p, c);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(99);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(4);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  // lo > hi clamps to lo rather than misbehaving.
+  EXPECT_EQ(rng.uniform_int(9, 3), 9);
+}
+
+TEST(Rng, UniformIntApproximatelyUniform) {
+  Rng rng(2024);
+  std::vector<int> histogram(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histogram[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  for (int count : histogram) {
+    EXPECT_NEAR(count, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(31337);
+  const int n = 200000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(8);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(77);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, IndexStaysInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(HashCombine, OrderSensitive) {
+  const auto a = hash_combine(hash_combine(0, 1), 2);
+  const auto b = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Mix64, AvalanchesSmallChanges) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t a = mix64(0x1234);
+  const std::uint64_t b = mix64(0x1235);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+}  // namespace
+}  // namespace dovado::util

@@ -1,0 +1,100 @@
+#include "src/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dovado::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nabc\r\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no_ws"), "no_ws");
+}
+
+TEST(Case, Conversions) {
+  EXPECT_EQ(to_lower("StD_LoGiC"), "std_logic");
+  EXPECT_EQ(to_upper("abc123"), "ABC123");
+}
+
+TEST(Split, BasicAndEmptyFields) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, TrailingDelimiterYieldsEmptyField) {
+  const auto parts = split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitWs, CollapsesRuns) {
+  const auto parts = split_ws("  foo \t bar\nbaz ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(SplitWs, EmptyInput) { EXPECT_TRUE(split_ws("   ").empty()); }
+
+TEST(Predicates, StartEndContains) {
+  EXPECT_TRUE(starts_with("entity foo", "entity"));
+  EXPECT_FALSE(starts_with("ent", "entity"));
+  EXPECT_TRUE(ends_with("top.vhd", ".vhd"));
+  EXPECT_FALSE(ends_with("vhd", ".vhd"));
+  EXPECT_TRUE(contains("abcdef", "cde"));
+  EXPECT_FALSE(contains("abc", "xyz"));
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("DownTo", "downto"));
+  EXPECT_FALSE(iequals("down", "downto"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(ReplaceAll, MultipleOccurrences) {
+  EXPECT_EQ(replace_all("a_b_c", "_", "--"), "a--b--c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+TEST(ParseInt, ValidAndInvalid) {
+  long long v = 0;
+  EXPECT_TRUE(parse_int("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int(" -17 ", v));
+  EXPECT_EQ(v, -17);
+  EXPECT_FALSE(parse_int("12x", v));
+  EXPECT_FALSE(parse_int("", v));
+  EXPECT_FALSE(parse_int("3.5", v));
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("3.25", v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(parse_double("-1e3", v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("", v));
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(format("%s", "plain"), "plain");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace dovado::util

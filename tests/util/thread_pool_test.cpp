@@ -1,0 +1,82 @@
+#include "src/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dovado::util {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  const auto tid = std::this_thread::get_id();
+  auto fut = pool.submit([tid] { return std::this_thread::get_id() == tid; });
+  EXPECT_TRUE(fut.get());
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIterations) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForInlinePool) {
+  ThreadPool pool(0);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(50,
+                        [&](std::size_t i) {
+                          if (i == 13) throw std::logic_error("unlucky");
+                        }),
+      std::logic_error);
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(200);
+  for (int i = 1; i <= 200; ++i) {
+    futures.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 200 * 201 / 2);
+}
+
+TEST(DefaultWorkerCount, NeverUnderflows) {
+  // On any machine this must be >= 0 (trivially) and < 1024 (sanity).
+  EXPECT_LT(default_worker_count(), 1024u);
+}
+
+}  // namespace
+}  // namespace dovado::util
