@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/derived_metric_test.cpp" "tests/CMakeFiles/test_core.dir/core/derived_metric_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/derived_metric_test.cpp.o.d"
+  "/root/repo/tests/core/dse_parallel_test.cpp" "tests/CMakeFiles/test_core.dir/core/dse_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dse_parallel_test.cpp.o.d"
   "/root/repo/tests/core/dse_test.cpp" "tests/CMakeFiles/test_core.dir/core/dse_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dse_test.cpp.o.d"
   "/root/repo/tests/core/evaluator_test.cpp" "tests/CMakeFiles/test_core.dir/core/evaluator_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/evaluator_test.cpp.o.d"
   "/root/repo/tests/core/param_domain_test.cpp" "tests/CMakeFiles/test_core.dir/core/param_domain_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/param_domain_test.cpp.o.d"

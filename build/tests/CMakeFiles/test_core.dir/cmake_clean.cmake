@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_core.dir/core/derived_metric_test.cpp.o"
   "CMakeFiles/test_core.dir/core/derived_metric_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dse_parallel_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dse_parallel_test.cpp.o.d"
   "CMakeFiles/test_core.dir/core/dse_test.cpp.o"
   "CMakeFiles/test_core.dir/core/dse_test.cpp.o.d"
   "CMakeFiles/test_core.dir/core/evaluator_test.cpp.o"

@@ -295,8 +295,14 @@ tests/CMakeFiles/test_core.dir/core/derived_metric_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/util/../../src/core/dse.hpp \
  /root/repo/src/util/../../src/core/evaluator.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /root/repo/src/util/../../src/core/param_domain.hpp \
  /root/repo/src/util/../../src/edatool/vivado_sim.hpp \
  /root/repo/src/util/../../src/edatool/report.hpp \
@@ -339,13 +345,6 @@ tests/CMakeFiles/test_core.dir/core/derived_metric_test.cpp.o: \
  /root/repo/src/util/../../src/opt/nds.hpp \
  /root/repo/src/util/../../src/opt/operators.hpp \
  /root/repo/src/util/../../src/util/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

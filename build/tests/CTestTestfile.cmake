@@ -25,8 +25,8 @@ set_tests_properties(test_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests
 add_test(test_core "/root/repo/build/tests/test_core")
 set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;78;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_perf "/root/repo/build/tests/test_perf")
-set_tests_properties(test_perf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;89;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_perf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;90;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_cli "/root/repo/build/tests/test_cli")
-set_tests_properties(test_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;94;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;95;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_property "/root/repo/build/tests/test_property")
-set_tests_properties(test_property PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;100;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_property PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;101;dovado_test;/root/repo/tests/CMakeLists.txt;0;")

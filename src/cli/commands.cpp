@@ -156,10 +156,16 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
     out << "explored " << result.explored.size() << " design points ("
         << result.stats.tool_runs << " tool runs, " << result.stats.estimates
         << " estimates, " << result.stats.cache_hits << " cache hits, "
+        << result.stats.single_flight_joins << " single-flight joins, "
         << util::format("%.0f", result.stats.simulated_tool_seconds)
         << " simulated tool seconds";
     if (result.stats.deadline_hit) out << ", deadline hit";
-    out << ")\n\n";
+    out << ")\n";
+    out << "parallel dispatch: " << result.stats.batches << " batches, "
+        << result.stats.lease_waits << " lease waits, "
+        << result.stats.deadline_skips << " deadline skips, peak batch "
+        << util::format("%.0f", result.stats.max_batch_tool_seconds)
+        << " tool seconds\n\n";
     out << "non-dominated set (" << result.pareto.size() << " points):\n";
     out << core::format_table(result.pareto);
 

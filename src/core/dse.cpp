@@ -82,15 +82,17 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
     }
   }
 
-  const std::size_t worker_count = std::max<std::size_t>(1, config_.workers);
-  evaluators_.reserve(worker_count);
-  for (std::size_t i = 0; i < worker_count; ++i) {
-    evaluators_.push_back(std::make_unique<PointEvaluator>(project_, cache_));
+  // One exclusively-leasable tool session per parallel lane: the pool's
+  // workers plus the caller, which participates in parallel_for. Inline
+  // mode (workers == 0) gets a single session.
+  const std::size_t lane_count = config_.workers == 0 ? 1 : config_.workers + 1;
+  for (std::size_t i = 0; i < lane_count; ++i) {
+    evaluators_.add(std::make_unique<PointEvaluator>(project_, cache_));
   }
   pool_ = std::make_unique<util::ThreadPool>(config_.workers);
 
   // Validate that every space parameter exists on the module and is free.
-  const hdl::Module& module = evaluators_.front()->module();
+  const hdl::Module& module = evaluators_.front().module();
   for (const auto& spec : config_.space.params) {
     bool found = false;
     for (const auto& p : module.free_parameters()) {
@@ -151,13 +153,25 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
 }
 
 double DseEngine::tool_seconds() const {
-  double total = 0.0;
-  for (const auto& e : evaluators_) total += e->tool_seconds();
-  return total;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return tool_seconds_accum_;
 }
 
 bool DseEngine::deadline_exceeded() const {
   return tool_seconds() >= config_.deadline_tool_seconds;
+}
+
+void DseEngine::mark_deadline_hit() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.deadline_hit = true;
+}
+
+DseStats DseEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  DseStats snapshot = stats_;
+  snapshot.simulated_tool_seconds = tool_seconds_accum_;
+  snapshot.lease_waits = evaluators_.lease_waits();
+  return snapshot;
 }
 
 opt::Objectives DseEngine::to_objectives(const EvalMetrics& metrics) const {
@@ -179,14 +193,47 @@ model::Point DseEngine::to_model_point(const DesignPoint& point) const {
   return p;
 }
 
-EvalResult DseEngine::tool_evaluate(std::size_t worker, const DesignPoint& point) {
-  EvalResult result = evaluators_[worker % evaluators_.size()]->evaluate(point);
+EvalResult DseEngine::tool_evaluate(const DesignPoint& point) {
+  EvalResult result;
+  {
+    const EvaluatorPool::Lease lease = evaluators_.acquire();
+    result = lease->evaluate(point);
+  }
   if (result.ok) {
     for (const auto& derived : config_.derived_metrics) {
       result.metrics.values[derived.name] = derived.compute(point, result.metrics);
     }
   }
+  // Cache hits and single-flight joins carry zero tool seconds, so charging
+  // unconditionally counts every simulated second exactly once.
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  tool_seconds_accum_ += result.tool_seconds;
   return result;
+}
+
+std::size_t DseEngine::run_deadline_chunked(std::size_t n,
+                                            const std::function<void(std::size_t)>& fn) {
+  // The caller participates in parallel_for, so a chunk of twice the lane
+  // count keeps every lane busy while bounding deadline overshoot to one
+  // chunk's worth of tool runs.
+  const std::size_t chunk = 2 * (pool_->worker_count() + 1);
+  const double start_seconds = tool_seconds();
+  std::size_t dispatched = 0;
+  while (dispatched < n) {
+    if (deadline_exceeded()) {
+      mark_deadline_hit();
+      break;
+    }
+    const std::size_t end = std::min(n, dispatched + chunk);
+    pool_->parallel_for(dispatched, end, fn);
+    dispatched = end;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.batches;
+  stats_.last_batch_tool_seconds = tool_seconds_accum_ - start_seconds;
+  stats_.max_batch_tool_seconds =
+      std::max(stats_.max_batch_tool_seconds, stats_.last_batch_tool_seconds);
+  return dispatched;
 }
 
 void DseEngine::record(const DesignPoint& point, const EvalMetrics& metrics, bool estimated,
@@ -232,18 +279,23 @@ void DseEngine::pretrain() {
 
   std::vector<DesignPoint> points(chosen.begin(), chosen.end());
   std::vector<EvalResult> results(points.size());
-  pool_->parallel_for(points.size(), [&](std::size_t i) {
-    results[i] = tool_evaluate(i, points[i]);
+  // Chunked dispatch: the deadline is checked between chunks, so a
+  // too-large pretrain batch can no longer blow through the budget before
+  // the first deadline check.
+  const std::size_t dispatched = run_deadline_chunked(points.size(), [&](std::size_t i) {
+    results[i] = tool_evaluate(points[i]);
   });
 
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    if (deadline_exceeded()) {
-      stats_.deadline_hit = true;
-      // Results are already computed (simulated time), keep absorbing them.
+  for (std::size_t i = 0; i < dispatched; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.pretrain_runs;
     }
-    ++stats_.pretrain_runs;
     if (!results[i].ok) {
-      ++stats_.failures;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.failures;
+      }
       record(points[i], results[i].metrics, false, true);
       continue;
     }
@@ -263,15 +315,23 @@ void DseEngine::pretrain() {
 void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
   struct PendingTool {
     std::size_t individual;
-    DesignPoint point;
-    EvalResult result;
+    std::size_t unique_index;  ///< into unique_points / results
   };
   std::vector<PendingTool> queue;
+  // Identical genomes in one batch collapse onto a single tool run up
+  // front (deterministic single-flight); the cache-level single-flight
+  // additionally covers duplicates that only meet in flight (concurrent
+  // engine entry points sharing the evaluation cache).
+  std::vector<DesignPoint> unique_points;
+  std::map<DesignPoint, std::size_t> unique_index;
 
   for (std::size_t i = 0; i < individuals.size(); ++i) {
     auto& ind = individuals[i];
     if (ind.evaluated) continue;
-    ++stats_.ga_evaluations;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.ga_evaluations;
+    }
     DesignPoint point = config_.space.decode(ind.genome);
 
     if (control_) {
@@ -284,58 +344,100 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
         }
         ind.objectives = to_objectives(metrics);
         ind.evaluated = true;
-        ++stats_.estimates;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.estimates;
+        }
         record(point, metrics, true, false);
         continue;
       }
       // kCachedTool and kToolAndAdd both invoke the tool; the evaluation
       // cache answers instantly for the former.
     }
-    queue.push_back(PendingTool{i, std::move(point), {}});
+    const auto [it, inserted] = unique_index.try_emplace(point, unique_points.size());
+    if (inserted) unique_points.push_back(std::move(point));
+    queue.push_back(PendingTool{i, it->second});
   }
 
-  pool_->parallel_for(queue.size(), [&](std::size_t qi) {
-    queue[qi].result = tool_evaluate(qi, queue[qi].point);
-  });
+  std::vector<EvalResult> results(unique_points.size());
+  const std::size_t dispatched =
+      run_deadline_chunked(unique_points.size(), [&](std::size_t ui) {
+        results[ui] = tool_evaluate(unique_points[ui]);
+      });
 
-  for (auto& pending : queue) {
+  std::vector<bool> leader_done(unique_points.size(), false);
+  for (const auto& pending : queue) {
     auto& ind = individuals[pending.individual];
-    const EvalResult& r = pending.result;
-    if (r.cache_hit) ++stats_.cache_hits;
-    else ++stats_.tool_runs;
-
-    if (!r.ok) {
-      ++stats_.failures;
+    if (pending.unique_index >= dispatched) {
+      // The mid-batch deadline cut dispatch before this point ran. Penalize
+      // the individual so the generation can still close (the GA's
+      // should_stop sees the deadline right after), and leave it out of the
+      // explored set — it was never actually evaluated.
       ind.objectives.assign(config_.objectives.size(), kFailurePenalty);
       ind.evaluated = true;
-      record(pending.point, r.metrics, false, true);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.deadline_skips;
+      continue;
+    }
+    EvalResult r = results[pending.unique_index];
+    if (leader_done[pending.unique_index] && !r.cache_hit) {
+      // A duplicate of an earlier individual in this batch: it joins the
+      // leader's run instead of paying for the tool again.
+      r.joined = true;
+      r.tool_seconds = 0.0;
+    }
+    leader_done[pending.unique_index] = true;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (r.cache_hit) ++stats_.cache_hits;
+      else if (r.joined) ++stats_.single_flight_joins;
+      else ++stats_.tool_runs;
+    }
+
+    const DesignPoint& point = unique_points[pending.unique_index];
+    if (!r.ok) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.failures;
+      }
+      ind.objectives.assign(config_.objectives.size(), kFailurePenalty);
+      ind.evaluated = true;
+      record(point, r.metrics, false, true);
       continue;
     }
     ind.objectives = to_objectives(r.metrics);
     ind.evaluated = true;
-    record(pending.point, r.metrics, false, false);
+    record(point, r.metrics, false, false);
 
-    if (control_ && !r.cache_hit) {
+    if (control_ && !r.cache_hit && !r.joined) {
       model::Values values;
       values.reserve(config_.objectives.size());
       for (const auto& obj : config_.objectives) {
         values.push_back(r.metrics.get(obj.metric));
       }
-      control_->add_sample(to_model_point(pending.point), values);
+      control_->add_sample(to_model_point(point), values);
     }
   }
 }
 
 std::vector<ExploredPoint> DseEngine::evaluate_set(const std::vector<DesignPoint>& points) {
   std::vector<EvalResult> results(points.size());
-  pool_->parallel_for(points.size(), [&](std::size_t i) {
-    results[i] = tool_evaluate(i, points[i]);
+  const std::size_t dispatched = run_deadline_chunked(points.size(), [&](std::size_t i) {
+    results[i] = tool_evaluate(points[i]);
   });
   std::vector<ExploredPoint> out;
   out.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     ExploredPoint ep;
     ep.params = points[i];
+    if (i >= dispatched) {
+      // Cut by the mid-batch deadline: reported as failed, not recorded.
+      ep.failed = true;
+      out.push_back(std::move(ep));
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.deadline_skips;
+      continue;
+    }
     ep.metrics = results[i].metrics;
     ep.failed = !results[i].ok;
     out.push_back(std::move(ep));
@@ -373,7 +475,7 @@ DseResult DseEngine::run() {
   auto user_stop = config_.ga.should_stop;
   ga.should_stop = [this, user_stop] {
     if (deadline_exceeded()) {
-      stats_.deadline_hit = true;
+      mark_deadline_hit();
       return true;
     }
     return user_stop ? user_stop() : false;
@@ -381,7 +483,10 @@ DseResult DseEngine::run() {
 
   opt::Nsga2 solver(ga);
   const opt::Nsga2Result ga_result = solver.run(problem);
-  stats_.generations = ga_result.generations_run;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.generations = ga_result.generations_run;
+  }
 
   // Assemble the non-dominated set over everything explored (tool results
   // and surviving estimates), excluding failures.
@@ -410,15 +515,24 @@ DseResult DseEngine::run() {
       if (explored_[i].estimated) to_verify.push_back(explored_[i].params);
     }
     if (!to_verify.empty()) {
+      // Verification runs even past the deadline: the returned front must
+      // be exact (estimated members re-evaluated by the tool, Sec. III-C).
       std::vector<EvalResult> results(to_verify.size());
       pool_->parallel_for(to_verify.size(), [&](std::size_t i) {
-        results[i] = tool_evaluate(i, to_verify[i]);
+        results[i] = tool_evaluate(to_verify[i]);
       });
       for (std::size_t i = 0; i < to_verify.size(); ++i) {
-        if (results[i].cache_hit) ++stats_.cache_hits;
-        else ++stats_.tool_runs;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          if (results[i].cache_hit) ++stats_.cache_hits;
+          else if (results[i].joined) ++stats_.single_flight_joins;
+          else ++stats_.tool_runs;
+        }
         if (!results[i].ok) {
-          ++stats_.failures;
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.failures;
+          }
           record(to_verify[i], results[i].metrics, false, true);
           continue;
         }
@@ -444,8 +558,7 @@ DseResult DseEngine::run() {
               return to_objectives(a.metrics) < to_objectives(b.metrics);
             });
   result.explored = explored_;
-  stats_.simulated_tool_seconds = tool_seconds();
-  result.stats = stats_;
+  result.stats = stats();
   return result;
 }
 

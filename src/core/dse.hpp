@@ -100,6 +100,14 @@ struct DseStats {
   double simulated_tool_seconds = 0.0;
   bool deadline_hit = false;
   std::size_t generations = 0;
+
+  // Concurrency counters (see DESIGN.md "Concurrency model").
+  std::size_t single_flight_joins = 0;  ///< shared another task's identical run
+  std::size_t lease_waits = 0;          ///< acquire() calls that blocked for an evaluator
+  std::size_t deadline_skips = 0;       ///< evaluations cut by the mid-batch deadline
+  std::size_t batches = 0;              ///< chunk-dispatched parallel batches
+  double last_batch_tool_seconds = 0.0; ///< tool seconds paid by the latest batch
+  double max_batch_tool_seconds = 0.0;  ///< most expensive batch so far
 };
 
 struct DseResult {
@@ -119,8 +127,23 @@ class DseEngine {
 
   /// Design-automation mode: evaluate an explicit set of configurations
   /// (the paper's "exact exploration of a given set of parameters").
+  /// Points beyond the tool deadline are returned as failed (and not
+  /// recorded as explored).
   [[nodiscard]] std::vector<ExploredPoint> evaluate_set(
       const std::vector<DesignPoint>& points);
+
+  /// Evaluate one GA batch: estimate or tool-evaluate every unevaluated
+  /// individual. Identical points in the batch are single-flighted (one
+  /// tool run, the duplicates join it); the tool deadline is enforced
+  /// between dispatch chunks, and individuals cut by it get the failure
+  /// penalty so the generation can still close. Exposed for the NSGA-II
+  /// callback and for parallel stress tests.
+  void batch_evaluate(std::vector<opt::Individual>& individuals);
+
+  /// Consistent snapshot of the statistics (counters, lease waits and the
+  /// accumulated simulated tool seconds). Safe to call concurrently with
+  /// in-flight evaluations.
+  [[nodiscard]] DseStats stats() const;
 
   /// The control model after run() — exposes dataset/threshold/stats for
   /// analysis benches. Null when approximation is disabled.
@@ -138,27 +161,38 @@ class DseEngine {
   /// Raw-parameter-space coordinates of a point (Eq. 4's decision vars).
   [[nodiscard]] model::Point to_model_point(const DesignPoint& point) const;
 
-  /// Evaluate with the tool on a specific worker's session, then apply the
-  /// configured derived metrics.
-  [[nodiscard]] EvalResult tool_evaluate(std::size_t worker, const DesignPoint& point);
+  /// Evaluate with the tool on an exclusively leased session, then apply
+  /// the configured derived metrics and charge the guarded tool-seconds
+  /// accumulator. Safe to call from any number of pool tasks.
+  [[nodiscard]] EvalResult tool_evaluate(const DesignPoint& point);
+
+  /// Dispatch fn(i) for i in [0, n) over the pool in chunks, checking the
+  /// tool deadline between chunks; stops dispatching (and flags
+  /// deadline_hit) once the deadline is exceeded. Returns how many
+  /// iterations were dispatched, and accounts per-batch tool seconds.
+  std::size_t run_deadline_chunked(std::size_t n,
+                                   const std::function<void(std::size_t)>& fn);
 
   void pretrain();
-  void batch_evaluate(std::vector<opt::Individual>& individuals);
   void record(const DesignPoint& point, const EvalMetrics& metrics, bool estimated,
               bool failed);
   [[nodiscard]] bool deadline_exceeded() const;
+  void mark_deadline_hit();
 
   ProjectConfig project_;
   DseConfig config_;
   std::shared_ptr<EvaluationCache> cache_;
-  std::vector<std::unique_ptr<PointEvaluator>> evaluators_;  // one per worker
+  EvaluatorPool evaluators_;  ///< one tool session per worker, leased exclusively
   std::unique_ptr<model::ControlModel> control_;
   std::unique_ptr<util::ThreadPool> pool_;
 
-  std::mutex record_mutex_;
+  std::mutex record_mutex_;  ///< guards explored_index_ + explored_
   std::map<DesignPoint, std::size_t> explored_index_;
   std::vector<ExploredPoint> explored_;
+
+  mutable std::mutex stats_mutex_;  ///< guards stats_ + tool_seconds_accum_
   DseStats stats_;
+  double tool_seconds_accum_ = 0.0;
 };
 
 }  // namespace dovado::core

@@ -21,6 +21,52 @@ std::optional<EvalResult> EvaluationCache::lookup(const DesignPoint& point) cons
   return hit;
 }
 
+EvaluationCache::Claim EvaluationCache::claim(const DesignPoint& point) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto it = entries_.find(point); it != entries_.end()) {
+      Claim hit{ClaimKind::kHit, it->second};
+      hit.result.cache_hit = true;
+      hit.result.tool_seconds = 0.0;  // cached answers are free
+      return hit;
+    }
+    auto fit = in_flight_.find(point);
+    if (fit == in_flight_.end()) {
+      in_flight_.emplace(point, std::make_shared<InFlight>());
+      return Claim{ClaimKind::kLeader, {}};
+    }
+    std::shared_ptr<InFlight> flight = fit->second;
+    flight->done.wait(lock, [&] { return flight->published || flight->abandoned; });
+    if (flight->published) {
+      Claim joined{ClaimKind::kJoined, flight->result};
+      joined.result.joined = true;
+      joined.result.tool_seconds = 0.0;  // the leader paid for the run
+      return joined;
+    }
+    // The leader abandoned: retry, possibly becoming the new leader.
+  }
+}
+
+void EvaluationCache::publish(const DesignPoint& point, const EvalResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[point] = result;
+  auto it = in_flight_.find(point);
+  if (it == in_flight_.end()) return;
+  it->second->published = true;
+  it->second->result = result;
+  it->second->done.notify_all();
+  in_flight_.erase(it);
+}
+
+void EvaluationCache::abandon(const DesignPoint& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = in_flight_.find(point);
+  if (it == in_flight_.end()) return;
+  it->second->abandoned = true;
+  it->second->done.notify_all();
+  in_flight_.erase(it);
+}
+
 void EvaluationCache::store(const DesignPoint& point, const EvalResult& result) {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_[point] = result;
@@ -55,8 +101,25 @@ PointEvaluator::PointEvaluator(ProjectConfig config, std::shared_ptr<EvaluationC
 }
 
 EvalResult PointEvaluator::evaluate(const DesignPoint& point) {
-  if (auto hit = cache_->lookup(point)) return *hit;
+  const EvaluationCache::Claim claim = cache_->claim(point);
+  if (claim.kind != EvaluationCache::ClaimKind::kLeader) return claim.result;
 
+  // This evaluator leads the point. Every pipeline outcome is deterministic
+  // for a given point — boxing failures, flow-configuration problems,
+  // tool-step failures, unparsable reports and successes alike — so every
+  // outcome is published (memoized + handed to single-flight joiners);
+  // re-running the same bad point would only repay for the same answer.
+  try {
+    const EvalResult result = run_pipeline(point);
+    cache_->publish(point, result);
+    return result;
+  } catch (...) {
+    cache_->abandon(point);
+    throw;
+  }
+}
+
+EvalResult PointEvaluator::run_pipeline(const DesignPoint& point) {
   EvalResult result;
 
   // Boxing step: sandbox the module, apply the parametrization and the
@@ -102,9 +165,6 @@ EvalResult PointEvaluator::evaluate(const DesignPoint& point) {
   result.tool_seconds = sim_.last_run_seconds();
   if (!run.ok) {
     result.error = run.error;
-    // Failures (e.g. over-utilization at placement) are cached too: the
-    // same point would fail again.
-    cache_->store(point, result);
     return result;
   }
 
@@ -148,9 +208,54 @@ EvalResult PointEvaluator::evaluate(const DesignPoint& point) {
   m["delay_ns"] = timing_report->data_path_ns;
   m["fmax_mhz"] = edatool::fmax_mhz(timing_report->requirement_ns, timing_report->slack_ns);
   result.ok = true;
-
-  cache_->store(point, result);
   return result;
+}
+
+EvaluatorPool::Lease::~Lease() {
+  if (pool_ != nullptr) pool_->release(evaluator_);
+}
+
+void EvaluatorPool::add(std::unique_ptr<PointEvaluator> evaluator) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  idle_.push_back(evaluator.get());
+  owned_.push_back(std::move(evaluator));
+  available_.notify_one();
+}
+
+EvaluatorPool::Lease EvaluatorPool::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (owned_.empty()) throw std::logic_error("EvaluatorPool::acquire on an empty pool");
+  if (idle_.empty()) {
+    ++lease_waits_;
+    available_.wait(lock, [this] { return !idle_.empty(); });
+  }
+  PointEvaluator* evaluator = idle_.back();
+  idle_.pop_back();
+  return Lease(this, evaluator);
+}
+
+void EvaluatorPool::release(PointEvaluator* evaluator) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(evaluator);
+  }
+  available_.notify_one();
+}
+
+std::size_t EvaluatorPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return owned_.size();
+}
+
+std::size_t EvaluatorPool::lease_waits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lease_waits_;
+}
+
+const PointEvaluator& EvaluatorPool::front() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (owned_.empty()) throw std::logic_error("EvaluatorPool::front on an empty pool");
+  return *owned_.front();
 }
 
 }  // namespace dovado::core

@@ -9,6 +9,7 @@
 // runs for already-seen points).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -44,6 +45,7 @@ struct EvalResult {
   EvalMetrics metrics;
   double tool_seconds = 0.0;  ///< simulated tool runtime of this evaluation
   bool cache_hit = false;
+  bool joined = false;  ///< shared another thread's in-flight run (single-flight)
 };
 
 /// Project-level configuration shared by all evaluations.
@@ -62,16 +64,54 @@ struct ProjectConfig {
 };
 
 /// Thread-safe memoization of (design point -> result), shared between
-/// parallel evaluators.
+/// parallel evaluators, with *single-flight* deduplication: the first
+/// thread to claim an uncached point becomes its leader and runs the tool;
+/// any concurrent claimant of the same point blocks on the in-flight entry
+/// and shares the leader's answer instead of paying for a duplicate run.
 class EvaluationCache {
  public:
+  enum class ClaimKind {
+    kHit,     ///< already cached; `result` holds the memoized answer
+    kLeader,  ///< caller owns the point: evaluate, then publish() or abandon()
+    kJoined,  ///< blocked on an in-flight leader and shares its result
+  };
+  struct Claim {
+    ClaimKind kind = ClaimKind::kLeader;
+    EvalResult result;  ///< valid for kHit and kJoined
+  };
+
+  /// Resolve a point with single-flight semantics. kLeader claimants *must*
+  /// eventually call publish() (any deterministic outcome, success or
+  /// failure) or abandon() (evaluation aborted, e.g. by an exception) for
+  /// the same point, or joined threads would block forever.
+  [[nodiscard]] Claim claim(const DesignPoint& point);
+
+  /// Memoize the leader's result and wake every joined thread with it.
+  void publish(const DesignPoint& point, const EvalResult& result);
+
+  /// Drop the in-flight entry without a result; woken joiners retry the
+  /// claim (one of them becomes the new leader).
+  void abandon(const DesignPoint& point);
+
   [[nodiscard]] std::optional<EvalResult> lookup(const DesignPoint& point) const;
+  /// Direct insertion, bypassing single-flight (warm-start seeding).
   void store(const DesignPoint& point, const EvalResult& result);
   [[nodiscard]] std::size_t size() const;
 
  private:
+  /// One in-flight evaluation. Joiners wait on `done` under the cache
+  /// mutex; the shared_ptr keeps the entry alive after the leader erases
+  /// it from the in-flight map.
+  struct InFlight {
+    std::condition_variable done;
+    bool published = false;
+    bool abandoned = false;
+    EvalResult result;
+  };
+
   mutable std::mutex mutex_;
   std::map<DesignPoint, EvalResult> entries_;
+  std::map<DesignPoint, std::shared_ptr<InFlight>> in_flight_;
 };
 
 class PointEvaluator {
@@ -103,10 +143,75 @@ class PointEvaluator {
   [[nodiscard]] const std::shared_ptr<EvaluationCache>& cache() const { return cache_; }
 
  private:
+  /// The pipeline body behind evaluate(); runs without consulting the
+  /// cache (the caller holds the single-flight claim).
+  [[nodiscard]] EvalResult run_pipeline(const DesignPoint& point);
+
   ProjectConfig config_;
   std::shared_ptr<EvaluationCache> cache_;
   hdl::Module module_;
   edatool::VivadoSim sim_;
+};
+
+/// A mutex/condvar-guarded free-list of evaluators. Each PointEvaluator
+/// owns a stateful SimVivado session, so two in-flight evaluations must
+/// never share one; parallel batch code checks out an exclusive evaluator
+/// with acquire() and returns it when the RAII Lease dies. acquire()
+/// blocks when every evaluator is checked out (counted in lease_waits(),
+/// surfaced through DseStats), which replaces the racy `index % size`
+/// selection that could alias two tasks onto the same session.
+class EvaluatorPool {
+ public:
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept : pool_(other.pool_), evaluator_(other.evaluator_) {
+      other.pool_ = nullptr;
+      other.evaluator_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease();
+
+    [[nodiscard]] PointEvaluator* operator->() const { return evaluator_; }
+    [[nodiscard]] PointEvaluator& operator*() const { return *evaluator_; }
+
+   private:
+    friend class EvaluatorPool;
+    Lease(EvaluatorPool* pool, PointEvaluator* evaluator)
+        : pool_(pool), evaluator_(evaluator) {}
+
+    EvaluatorPool* pool_;
+    PointEvaluator* evaluator_;
+  };
+
+  EvaluatorPool() = default;
+
+  /// Register an evaluator; it becomes immediately acquirable.
+  void add(std::unique_ptr<PointEvaluator> evaluator);
+
+  /// Check out an exclusive evaluator, blocking until one is free.
+  /// Throws std::logic_error on an empty pool (nothing could ever be
+  /// released to satisfy the wait).
+  [[nodiscard]] Lease acquire();
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Number of acquire() calls that had to block for a free evaluator.
+  [[nodiscard]] std::size_t lease_waits() const;
+
+  /// The first registered evaluator, for pre-run introspection (module
+  /// interface, shared cache). Do not use while evaluations are in flight.
+  [[nodiscard]] const PointEvaluator& front() const;
+
+ private:
+  void release(PointEvaluator* evaluator);
+
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::vector<std::unique_ptr<PointEvaluator>> owned_;
+  std::vector<PointEvaluator*> idle_;
+  std::size_t lease_waits_ = 0;
 };
 
 }  // namespace dovado::core

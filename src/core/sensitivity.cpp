@@ -61,19 +61,24 @@ SensitivityReport analyze_sensitivity(const ProjectConfig& project,
     }
   }
 
-  // One evaluator per worker, shared cache (exactly like the DSE engine).
+  // One leasable tool session per parallel lane (pool workers plus the
+  // caller), shared cache — exactly like the DSE engine. Leasing keeps two
+  // in-flight sweep points from aliasing onto one SimVivado session.
   auto cache = std::make_shared<EvaluationCache>();
-  const std::size_t worker_count = std::max<std::size_t>(1, options.workers);
-  std::vector<std::unique_ptr<PointEvaluator>> evaluators;
-  evaluators.reserve(worker_count);
-  for (std::size_t i = 0; i < worker_count; ++i) {
-    evaluators.push_back(std::make_unique<PointEvaluator>(project, cache));
+  const std::size_t lane_count = options.workers == 0 ? 1 : options.workers + 1;
+  EvaluatorPool evaluators;
+  for (std::size_t i = 0; i < lane_count; ++i) {
+    evaluators.add(std::make_unique<PointEvaluator>(project, cache));
   }
   util::ThreadPool pool(options.workers);
 
   SensitivityReport report;
   report.base = base;
-  const EvalResult base_result = evaluators.front()->evaluate(base);
+  EvalResult base_result;
+  {
+    const EvaluatorPool::Lease lease = evaluators.acquire();
+    base_result = lease->evaluate(base);
+  }
   if (!base_result.ok) {
     throw std::runtime_error("base point evaluation failed: " + base_result.error);
   }
@@ -102,7 +107,8 @@ SensitivityReport analyze_sensitivity(const ProjectConfig& project,
     pool.parallel_for(sensitivity.swept_values.size(), [&](std::size_t i) {
       DesignPoint point = base;
       point[spec.name] = sensitivity.swept_values[i];
-      results[i] = evaluators[i % evaluators.size()]->evaluate(point);
+      const EvaluatorPool::Lease lease = evaluators.acquire();
+      results[i] = lease->evaluate(point);
     });
 
     for (std::size_t i = 0; i < results.size(); ++i) {

@@ -96,6 +96,12 @@ std::string to_json(const DseResult& result, int indent) {
   stats["simulated_tool_seconds"] = util::Json(result.stats.simulated_tool_seconds);
   stats["deadline_hit"] = util::Json(result.stats.deadline_hit);
   stats["generations"] = util::Json(result.stats.generations);
+  stats["single_flight_joins"] = util::Json(result.stats.single_flight_joins);
+  stats["lease_waits"] = util::Json(result.stats.lease_waits);
+  stats["deadline_skips"] = util::Json(result.stats.deadline_skips);
+  stats["batches"] = util::Json(result.stats.batches);
+  stats["last_batch_tool_seconds"] = util::Json(result.stats.last_batch_tool_seconds);
+  stats["max_batch_tool_seconds"] = util::Json(result.stats.max_batch_tool_seconds);
 
   root["pareto"] = util::Json(std::move(pareto));
   root["explored"] = util::Json(std::move(explored));

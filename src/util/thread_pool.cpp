@@ -35,19 +35,20 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  if (workers_.empty() || end - begin == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> next{begin};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   auto body = [&] {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= end) return;
       try {
         fn(i);
       } catch (...) {
@@ -66,7 +67,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
 
 std::size_t default_worker_count() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 1 ? hw - 1 : 0;
+  return hw > 1 ? hw - 1 : 1;
 }
 
 }  // namespace dovado::util

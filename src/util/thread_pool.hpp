@@ -49,11 +49,20 @@ class ThreadPool {
     return fut;
   }
 
-  /// Run fn(i) for i in [0, n), blocking until all iterations finish.
+  /// Run fn(i) for i in [begin, end), blocking until all iterations finish.
   /// Iterations are distributed one-at-a-time (tool calls dominate cost, so
-  /// chunking would only hurt load balance). Exceptions from iterations are
-  /// rethrown (the first one encountered).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// chunking would only hurt load balance). The caller participates as an
+  /// extra lane, so up to worker_count() + 1 iterations run concurrently.
+  /// Exceptions from iterations are rethrown (the first one encountered).
+  /// The range form lets callers dispatch a batch in slices (e.g. to check
+  /// a deadline between slices) without rebasing their indices.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Run fn(i) for i in [0, n).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    parallel_for(0, n, fn);
+  }
 
  private:
   void worker_loop();
@@ -66,7 +75,11 @@ class ThreadPool {
 };
 
 /// A sensible default worker count: hardware concurrency minus one (leave a
-/// core for the orchestrator), never less than zero.
+/// core for the orchestrator), never less than one. A single-core host gets
+/// one worker thread rather than zero so that callers sizing resources off
+/// this value (e.g. one tool session per worker) always get at least one;
+/// inline execution remains available by constructing ThreadPool(0)
+/// explicitly.
 [[nodiscard]] std::size_t default_worker_count();
 
 }  // namespace dovado::util

@@ -1,0 +1,331 @@
+// Multithreaded stress tests for the evaluation concurrency layer:
+// evaluator leasing, single-flight cache deduplication, guarded statistics
+// and mid-batch deadline enforcement. Designed to run under
+// -fsanitize=thread (the `tsan` preset, see DESIGN.md "Concurrency model").
+#include "src/core/dse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace dovado::core {
+namespace {
+
+ProjectConfig fifo_project() {
+  ProjectConfig config;
+  config.sources.push_back(
+      {std::string(DOVADO_RTL_DIR) + "/cv32e40p_fifo.sv", hdl::HdlLanguage::kSystemVerilog,
+       "work", false});
+  config.top_module = "cv32e40p_fifo";
+  config.part = "xc7k70t";
+  config.target_period_ns = 1.0;
+  return config;
+}
+
+DseConfig fifo_dse(std::size_t workers) {
+  DseConfig config;
+  config.space.params.push_back({"DEPTH", ParamDomain::range(8, 200)});
+  config.objectives = {{"lut", false}, {"fmax_mhz", true}};
+  config.ga.population_size = 10;
+  config.ga.max_generations = 5;
+  config.ga.seed = 11;
+  config.workers = workers;
+  return config;
+}
+
+std::vector<opt::Individual> batch_of(const std::vector<std::int64_t>& genome_indices) {
+  std::vector<opt::Individual> batch(genome_indices.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].genome = {genome_indices[i]};
+  }
+  return batch;
+}
+
+TEST(EvaluationCacheSingleFlight, JoinersShareTheLeadersRun) {
+  EvaluationCache cache;
+  const DesignPoint point{{"DEPTH", 8}};
+
+  const auto leader = cache.claim(point);
+  ASSERT_EQ(leader.kind, EvaluationCache::ClaimKind::kLeader);
+
+  EvalResult answer;
+  answer.ok = true;
+  answer.metrics.values["lut"] = 7.0;
+  answer.tool_seconds = 42.0;
+
+  std::atomic<int> joined{0};
+  std::atomic<int> hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      const auto claim = cache.claim(point);
+      // A concurrent claimant either blocked on the in-flight entry
+      // (joined) or arrived after publication (hit) — never a second
+      // leader, never a duplicate run.
+      if (claim.kind == EvaluationCache::ClaimKind::kJoined) {
+        EXPECT_TRUE(claim.result.joined);
+        EXPECT_DOUBLE_EQ(claim.result.tool_seconds, 0.0);
+        ++joined;
+      } else {
+        EXPECT_EQ(claim.kind, EvaluationCache::ClaimKind::kHit);
+        EXPECT_TRUE(claim.result.cache_hit);
+        ++hits;
+      }
+      EXPECT_TRUE(claim.result.ok);
+      EXPECT_DOUBLE_EQ(claim.result.metrics.get("lut"), 7.0);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cache.publish(point, answer);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(joined + hits, 4);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto stored = cache.lookup(point);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_TRUE(stored->ok);
+}
+
+TEST(EvaluationCacheSingleFlight, AbandonElectsANewLeader) {
+  EvaluationCache cache;
+  const DesignPoint point{{"DEPTH", 16}};
+
+  const auto first = cache.claim(point);
+  ASSERT_EQ(first.kind, EvaluationCache::ClaimKind::kLeader);
+
+  std::atomic<int> successor_leaders{0};
+  std::atomic<int> resolved{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      const auto claim = cache.claim(point);
+      if (claim.kind == EvaluationCache::ClaimKind::kLeader) {
+        ++successor_leaders;
+        EvalResult answer;
+        answer.ok = true;
+        cache.publish(point, answer);
+      } else {
+        EXPECT_TRUE(claim.result.ok);
+      }
+      ++resolved;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cache.abandon(point);  // the original leader's evaluation blew up
+  for (auto& t : threads) t.join();
+
+  // Exactly one of the woken claimants re-claimed leadership and published;
+  // every claimant came back with an answer.
+  EXPECT_EQ(successor_leaders.load(), 1);
+  EXPECT_EQ(resolved.load(), 3);
+  EXPECT_TRUE(cache.lookup(point).has_value());
+}
+
+TEST(EvaluatorPool, BlockedAcquireIsCountedAndServed) {
+  EvaluatorPool pool;
+  pool.add(std::make_unique<PointEvaluator>(fifo_project()));
+  ASSERT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.lease_waits(), 0u);
+
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    const EvaluatorPool::Lease lease = pool.acquire();
+    held = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  });
+  while (!held) std::this_thread::yield();
+
+  // The single evaluator is checked out: this acquire must block until the
+  // holder's lease dies, and the wait is counted.
+  const EvaluatorPool::Lease lease = pool.acquire();
+  EXPECT_EQ(pool.lease_waits(), 1u);
+  holder.join();
+}
+
+TEST(EvaluatorPool, EmptyPoolThrows) {
+  EvaluatorPool pool;
+  EXPECT_THROW((void)pool.acquire(), std::logic_error);
+}
+
+TEST(DseParallel, IdenticalPointsPayExactlyOneToolRun) {
+  // Acceptance criterion: a batch of N identical design points performs
+  // exactly 1 tool run; the other N-1 are single-flight joins.
+  DseEngine engine(fifo_project(), fifo_dse(4));
+  auto batch = batch_of(std::vector<std::int64_t>(24, 42));
+  engine.batch_evaluate(batch);
+
+  const DseStats stats = engine.stats();
+  EXPECT_EQ(stats.ga_evaluations, 24u);
+  EXPECT_EQ(stats.tool_runs, 1u);
+  EXPECT_EQ(stats.single_flight_joins, 23u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.simulated_tool_seconds, 0.0);
+
+  for (const auto& ind : batch) {
+    EXPECT_TRUE(ind.evaluated);
+    EXPECT_EQ(ind.objectives, batch.front().objectives);
+  }
+}
+
+TEST(DseParallel, DuplicateHeavyBatchHasDeterministicStats) {
+  // Batch size >> workers with heavy duplication: 96 individuals over 8
+  // distinct points. Leasing + batch-level single-flight make the totals
+  // exact, not merely race-free.
+  std::vector<std::int64_t> indices;
+  for (std::size_t i = 0; i < 96; ++i) indices.push_back(static_cast<std::int64_t>(i % 8) * 9);
+
+  DseEngine engine(fifo_project(), fifo_dse(3));
+  auto batch = batch_of(indices);
+  engine.batch_evaluate(batch);
+
+  DseStats stats = engine.stats();
+  EXPECT_EQ(stats.ga_evaluations, 96u);
+  EXPECT_EQ(stats.tool_runs, 8u);
+  EXPECT_EQ(stats.single_flight_joins, 88u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+
+  // A second identical batch is fully absorbed by the cache.
+  auto again = batch_of(indices);
+  engine.batch_evaluate(again);
+  stats = engine.stats();
+  EXPECT_EQ(stats.tool_runs, 8u);
+  EXPECT_EQ(stats.single_flight_joins, 88u);
+  EXPECT_EQ(stats.cache_hits, 96u);
+
+  // And a second engine reproduces the first one's totals exactly.
+  DseEngine other(fifo_project(), fifo_dse(3));
+  auto other_batch = batch_of(indices);
+  other.batch_evaluate(other_batch);
+  const DseStats other_stats = other.stats();
+  EXPECT_EQ(other_stats.tool_runs, 8u);
+  EXPECT_EQ(other_stats.single_flight_joins, 88u);
+  // Cache hits and joins are free, so both engines paid for the same 8 runs.
+  EXPECT_DOUBLE_EQ(other_stats.simulated_tool_seconds,
+                   engine.stats().simulated_tool_seconds);
+}
+
+TEST(DseParallel, SharedCacheConcurrentEvaluatorsRunToolOnce) {
+  // Two evaluators, one shared cache, racing on the same point: the
+  // in-flight entry makes the second thread join instead of re-running.
+  auto cache = std::make_shared<EvaluationCache>();
+  PointEvaluator a(fifo_project(), cache);
+  PointEvaluator b(fifo_project(), cache);
+
+  EvalResult ra;
+  EvalResult rb;
+  std::thread ta([&] { ra = a.evaluate({{"DEPTH", 96}}); });
+  std::thread tb([&] { rb = b.evaluate({{"DEPTH", 96}}); });
+  ta.join();
+  tb.join();
+
+  ASSERT_TRUE(ra.ok) << ra.error;
+  ASSERT_TRUE(rb.ok) << rb.error;
+  EXPECT_EQ(ra.metrics.values, rb.metrics.values);
+  // Exactly one session synthesized; the other joined or hit the cache and
+  // paid zero tool seconds.
+  EXPECT_EQ(a.sim().synthesis_runs() + b.sim().synthesis_runs(), 1);
+  EXPECT_EQ((ra.tool_seconds > 0.0 ? 1 : 0) + (rb.tool_seconds > 0.0 ? 1 : 0), 1);
+}
+
+TEST(DseParallel, DeadlineEnforcedMidBatch) {
+  DseConfig config = fifo_dse(2);
+  config.deadline_tool_seconds = 1.0;  // any first chunk exceeds this
+  DseEngine engine(fifo_project(), config);
+
+  std::vector<std::int64_t> indices;
+  for (std::size_t i = 0; i < 40; ++i) indices.push_back(static_cast<std::int64_t>(i * 4));
+  auto batch = batch_of(indices);
+  engine.batch_evaluate(batch);
+
+  const DseStats stats = engine.stats();
+  EXPECT_TRUE(stats.deadline_hit);
+  EXPECT_GT(stats.deadline_skips, 0u);
+  // Dispatch stopped after the first chunk (2 * (workers + 1) runs), far
+  // short of the 40-point batch the old code would have completed.
+  EXPECT_LE(stats.tool_runs, 2 * (config.workers + 1));
+  EXPECT_GE(stats.tool_runs, 1u);
+  EXPECT_EQ(stats.tool_runs + stats.deadline_skips, 40u);
+  EXPECT_GT(stats.last_batch_tool_seconds, 0.0);
+
+  // Skipped individuals are penalized so the generation can close.
+  for (const auto& ind : batch) EXPECT_TRUE(ind.evaluated);
+
+  // A follow-up batch dispatches nothing at all.
+  auto more = batch_of({1, 2, 3});
+  engine.batch_evaluate(more);
+  const DseStats after = engine.stats();
+  EXPECT_EQ(after.tool_runs, stats.tool_runs);
+  EXPECT_EQ(after.deadline_skips, stats.deadline_skips + 3);
+}
+
+TEST(DseParallel, DeadlineEnforcedMidEvaluateSet) {
+  DseConfig config = fifo_dse(2);
+  config.deadline_tool_seconds = 1.0;
+  DseEngine engine(fifo_project(), config);
+
+  std::vector<DesignPoint> points;
+  for (std::int64_t d = 8; d < 8 + 40; ++d) points.push_back({{"DEPTH", d}});
+  const auto out = engine.evaluate_set(points);
+
+  ASSERT_EQ(out.size(), points.size());
+  const DseStats stats = engine.stats();
+  EXPECT_TRUE(stats.deadline_hit);
+  EXPECT_GT(stats.deadline_skips, 0u);
+  std::size_t failed = 0;
+  for (const auto& p : out) failed += p.failed ? 1 : 0;
+  EXPECT_EQ(failed, stats.deadline_skips);
+}
+
+TEST(DseParallel, FullRunDeterministicAcrossWorkerCounts) {
+  // Leasing + deterministic single-flight accounting make a parallel run
+  // bitwise-reproducible — and identical to the inline run: worker count
+  // is a throughput knob, not a semantics knob.
+  auto run_with = [](std::size_t workers) {
+    DseEngine engine(fifo_project(), fifo_dse(workers));
+    return engine.run();
+  };
+  const DseResult inline_run = run_with(0);
+  const DseResult parallel_a = run_with(4);
+  const DseResult parallel_b = run_with(4);
+
+  ASSERT_EQ(parallel_a.pareto.size(), inline_run.pareto.size());
+  for (std::size_t i = 0; i < parallel_a.pareto.size(); ++i) {
+    EXPECT_EQ(parallel_a.pareto[i].params, inline_run.pareto[i].params);
+    EXPECT_EQ(parallel_b.pareto[i].params, inline_run.pareto[i].params);
+  }
+  EXPECT_EQ(parallel_a.stats.tool_runs, inline_run.stats.tool_runs);
+  EXPECT_EQ(parallel_a.stats.cache_hits, inline_run.stats.cache_hits);
+  EXPECT_EQ(parallel_a.stats.single_flight_joins, inline_run.stats.single_flight_joins);
+  EXPECT_EQ(parallel_a.stats.ga_evaluations, inline_run.stats.ga_evaluations);
+  EXPECT_DOUBLE_EQ(parallel_a.stats.simulated_tool_seconds,
+                   inline_run.stats.simulated_tool_seconds);
+  EXPECT_DOUBLE_EQ(parallel_a.stats.simulated_tool_seconds,
+                   parallel_b.stats.simulated_tool_seconds);
+}
+
+TEST(DseParallel, StatsSnapshotSafeDuringRun) {
+  // stats() may be polled by a monitoring thread while evaluations are in
+  // flight; under TSan this verifies the accumulator is actually guarded.
+  DseEngine engine(fifo_project(), fifo_dse(3));
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    while (!done) {
+      const DseStats snapshot = engine.stats();
+      EXPECT_GE(snapshot.simulated_tool_seconds, 0.0);
+      EXPECT_LE(snapshot.tool_runs, 10000u);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const DseResult result = engine.run();
+  done = true;
+  monitor.join();
+  EXPECT_FALSE(result.pareto.empty());
+  EXPECT_DOUBLE_EQ(result.stats.simulated_tool_seconds, engine.tool_seconds());
+}
+
+}  // namespace
+}  // namespace dovado::core

@@ -103,6 +103,33 @@ TEST(PointEvaluator, InvalidParameterFailsCleanly) {
   const auto r = evaluator.evaluate({{"NO_SUCH_PARAM", 1}});
   EXPECT_FALSE(r.ok);
   EXPECT_FALSE(r.error.empty());
+  // Deterministic failure: the retry is answered from the cache, not re-run.
+  const auto again = evaluator.evaluate({{"NO_SUCH_PARAM", 1}});
+  EXPECT_FALSE(again.ok);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.error, r.error);
+}
+
+TEST(PointEvaluator, BoxingFailuresAreCached) {
+  // A bad clock-port override fails at the boxing step, before the tool
+  // ever launches. The failure is deterministic for the point, so it must
+  // be memoized — the old behaviour re-ran the doomed pipeline every time
+  // the GA resampled the point.
+  ProjectConfig config = fifo_project();
+  config.clock_port = "no_such_port";
+  PointEvaluator evaluator(config);
+  const auto first = evaluator.evaluate({{"DEPTH", 16}});
+  EXPECT_FALSE(first.ok);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_NE(first.error.find("no_such_port"), std::string::npos) << first.error;
+  const auto second = evaluator.evaluate({{"DEPTH", 16}});
+  EXPECT_FALSE(second.ok);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.error, first.error);
+  EXPECT_EQ(evaluator.cache()->size(), 1u);
+  // No tool time was ever paid for this point.
+  EXPECT_EQ(evaluator.sim().synthesis_runs(), 0);
+  EXPECT_DOUBLE_EQ(evaluator.tool_seconds(), 0.0);
 }
 
 TEST(PointEvaluator, VhdlProjectEvaluates) {
