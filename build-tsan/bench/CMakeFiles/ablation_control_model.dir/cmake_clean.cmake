@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_control_model.dir/ablation_control_model.cpp.o"
+  "CMakeFiles/ablation_control_model.dir/ablation_control_model.cpp.o.d"
+  "ablation_control_model"
+  "ablation_control_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_control_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

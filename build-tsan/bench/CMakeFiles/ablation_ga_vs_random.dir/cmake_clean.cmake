@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ga_vs_random.dir/ablation_ga_vs_random.cpp.o"
+  "CMakeFiles/ablation_ga_vs_random.dir/ablation_ga_vs_random.cpp.o.d"
+  "ablation_ga_vs_random"
+  "ablation_ga_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ga_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nwm_bandwidth.dir/ablation_nwm_bandwidth.cpp.o"
+  "CMakeFiles/ablation_nwm_bandwidth.dir/ablation_nwm_bandwidth.cpp.o.d"
+  "ablation_nwm_bandwidth"
+  "ablation_nwm_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nwm_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

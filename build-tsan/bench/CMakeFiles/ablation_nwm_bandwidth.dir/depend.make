@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_nwm_bandwidth.
+# This may be replaced when dependencies are built.

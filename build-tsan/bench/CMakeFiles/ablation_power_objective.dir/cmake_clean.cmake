@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_power_objective.dir/ablation_power_objective.cpp.o"
+  "CMakeFiles/ablation_power_objective.dir/ablation_power_objective.cpp.o.d"
+  "ablation_power_objective"
+  "ablation_power_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

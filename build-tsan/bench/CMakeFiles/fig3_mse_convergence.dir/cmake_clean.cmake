@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mse_convergence.dir/fig3_mse_convergence.cpp.o"
+  "CMakeFiles/fig3_mse_convergence.dir/fig3_mse_convergence.cpp.o.d"
+  "fig3_mse_convergence"
+  "fig3_mse_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mse_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

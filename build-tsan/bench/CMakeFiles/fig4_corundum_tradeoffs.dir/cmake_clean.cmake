@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_corundum_tradeoffs.dir/fig4_corundum_tradeoffs.cpp.o"
+  "CMakeFiles/fig4_corundum_tradeoffs.dir/fig4_corundum_tradeoffs.cpp.o.d"
+  "fig4_corundum_tradeoffs"
+  "fig4_corundum_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_corundum_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

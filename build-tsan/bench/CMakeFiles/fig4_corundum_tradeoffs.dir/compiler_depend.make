@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_corundum_tradeoffs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_corundum_tradeoffs.
+# This may be replaced when dependencies are built.

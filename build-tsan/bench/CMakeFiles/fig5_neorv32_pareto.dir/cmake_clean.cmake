@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_neorv32_pareto.dir/fig5_neorv32_pareto.cpp.o"
+  "CMakeFiles/fig5_neorv32_pareto.dir/fig5_neorv32_pareto.cpp.o.d"
+  "fig5_neorv32_pareto"
+  "fig5_neorv32_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_neorv32_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

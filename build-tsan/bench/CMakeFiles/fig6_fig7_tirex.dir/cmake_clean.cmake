@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fig7_tirex.dir/fig6_fig7_tirex.cpp.o"
+  "CMakeFiles/fig6_fig7_tirex.dir/fig6_fig7_tirex.cpp.o.d"
+  "fig6_fig7_tirex"
+  "fig6_fig7_tirex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fig7_tirex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

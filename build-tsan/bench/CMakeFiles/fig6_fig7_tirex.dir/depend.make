@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_fig7_tirex.
+# This may be replaced when dependencies are built.

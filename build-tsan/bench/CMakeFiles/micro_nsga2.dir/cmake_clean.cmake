@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_nsga2.dir/micro_nsga2.cpp.o"
+  "CMakeFiles/micro_nsga2.dir/micro_nsga2.cpp.o.d"
+  "micro_nsga2"
+  "micro_nsga2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_nsga2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

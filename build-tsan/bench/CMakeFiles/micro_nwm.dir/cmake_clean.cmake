@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_nwm.dir/micro_nwm.cpp.o"
+  "CMakeFiles/micro_nwm.dir/micro_nwm.cpp.o.d"
+  "micro_nwm"
+  "micro_nwm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_nwm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

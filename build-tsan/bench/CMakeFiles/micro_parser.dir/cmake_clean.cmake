@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_parser.dir/micro_parser.cpp.o"
+  "CMakeFiles/micro_parser.dir/micro_parser.cpp.o.d"
+  "micro_parser"
+  "micro_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

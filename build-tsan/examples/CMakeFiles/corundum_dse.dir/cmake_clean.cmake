@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corundum_dse.dir/corundum_dse.cpp.o"
+  "CMakeFiles/corundum_dse.dir/corundum_dse.cpp.o.d"
+  "corundum_dse"
+  "corundum_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corundum_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neorv32_dse.dir/neorv32_dse.cpp.o"
+  "CMakeFiles/neorv32_dse.dir/neorv32_dse.cpp.o.d"
+  "neorv32_dse"
+  "neorv32_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neorv32_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_roofline.dir/throughput_roofline.cpp.o"
+  "CMakeFiles/throughput_roofline.dir/throughput_roofline.cpp.o.d"
+  "throughput_roofline"
+  "throughput_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

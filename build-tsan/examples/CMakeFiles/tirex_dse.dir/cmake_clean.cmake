@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tirex_dse.dir/tirex_dse.cpp.o"
+  "CMakeFiles/tirex_dse.dir/tirex_dse.cpp.o.d"
+  "tirex_dse"
+  "tirex_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tirex_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

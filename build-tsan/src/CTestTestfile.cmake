@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("fpga")
+subdirs("hdl")
+subdirs("boxing")
+subdirs("tcl")
+subdirs("netlist")
+subdirs("edatool")
+subdirs("opt")
+subdirs("model")
+subdirs("core")
+subdirs("perf")
+subdirs("cli")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado_boxing.dir/box.cpp.o"
+  "CMakeFiles/dovado_boxing.dir/box.cpp.o.d"
+  "libdovado_boxing.a"
+  "libdovado_boxing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado_boxing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado.dir/main.cpp.o"
+  "CMakeFiles/dovado.dir/main.cpp.o.d"
+  "dovado"
+  "dovado.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

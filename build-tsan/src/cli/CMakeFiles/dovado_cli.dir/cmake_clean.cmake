@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado_cli.dir/commands.cpp.o"
+  "CMakeFiles/dovado_cli.dir/commands.cpp.o.d"
+  "CMakeFiles/dovado_cli.dir/options.cpp.o"
+  "CMakeFiles/dovado_cli.dir/options.cpp.o.d"
+  "libdovado_cli.a"
+  "libdovado_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado_core.dir/dse.cpp.o"
+  "CMakeFiles/dovado_core.dir/dse.cpp.o.d"
+  "CMakeFiles/dovado_core.dir/evaluator.cpp.o"
+  "CMakeFiles/dovado_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/dovado_core.dir/param_domain.cpp.o"
+  "CMakeFiles/dovado_core.dir/param_domain.cpp.o.d"
+  "CMakeFiles/dovado_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/dovado_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/dovado_core.dir/session.cpp.o"
+  "CMakeFiles/dovado_core.dir/session.cpp.o.d"
+  "CMakeFiles/dovado_core.dir/writers.cpp.o"
+  "CMakeFiles/dovado_core.dir/writers.cpp.o.d"
+  "libdovado_core.a"
+  "libdovado_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edatool/power.cpp" "src/edatool/CMakeFiles/dovado_edatool.dir/power.cpp.o" "gcc" "src/edatool/CMakeFiles/dovado_edatool.dir/power.cpp.o.d"
+  "/root/repo/src/edatool/report.cpp" "src/edatool/CMakeFiles/dovado_edatool.dir/report.cpp.o" "gcc" "src/edatool/CMakeFiles/dovado_edatool.dir/report.cpp.o.d"
+  "/root/repo/src/edatool/techmap.cpp" "src/edatool/CMakeFiles/dovado_edatool.dir/techmap.cpp.o" "gcc" "src/edatool/CMakeFiles/dovado_edatool.dir/techmap.cpp.o.d"
+  "/root/repo/src/edatool/timing.cpp" "src/edatool/CMakeFiles/dovado_edatool.dir/timing.cpp.o" "gcc" "src/edatool/CMakeFiles/dovado_edatool.dir/timing.cpp.o.d"
+  "/root/repo/src/edatool/vivado_sim.cpp" "src/edatool/CMakeFiles/dovado_edatool.dir/vivado_sim.cpp.o" "gcc" "src/edatool/CMakeFiles/dovado_edatool.dir/vivado_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/dovado_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fpga/CMakeFiles/dovado_fpga.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tcl/CMakeFiles/dovado_tcl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hdl/CMakeFiles/dovado_hdl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dovado_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

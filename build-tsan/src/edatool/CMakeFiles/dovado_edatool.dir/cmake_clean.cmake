@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado_edatool.dir/power.cpp.o"
+  "CMakeFiles/dovado_edatool.dir/power.cpp.o.d"
+  "CMakeFiles/dovado_edatool.dir/report.cpp.o"
+  "CMakeFiles/dovado_edatool.dir/report.cpp.o.d"
+  "CMakeFiles/dovado_edatool.dir/techmap.cpp.o"
+  "CMakeFiles/dovado_edatool.dir/techmap.cpp.o.d"
+  "CMakeFiles/dovado_edatool.dir/timing.cpp.o"
+  "CMakeFiles/dovado_edatool.dir/timing.cpp.o.d"
+  "CMakeFiles/dovado_edatool.dir/vivado_sim.cpp.o"
+  "CMakeFiles/dovado_edatool.dir/vivado_sim.cpp.o.d"
+  "libdovado_edatool.a"
+  "libdovado_edatool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado_edatool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dovado_edatool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado_fpga.dir/board.cpp.o"
+  "CMakeFiles/dovado_fpga.dir/board.cpp.o.d"
+  "CMakeFiles/dovado_fpga.dir/device.cpp.o"
+  "CMakeFiles/dovado_fpga.dir/device.cpp.o.d"
+  "libdovado_fpga.a"
+  "libdovado_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

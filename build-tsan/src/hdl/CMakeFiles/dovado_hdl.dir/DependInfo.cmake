@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdl/expr.cpp" "src/hdl/CMakeFiles/dovado_hdl.dir/expr.cpp.o" "gcc" "src/hdl/CMakeFiles/dovado_hdl.dir/expr.cpp.o.d"
+  "/root/repo/src/hdl/frontend.cpp" "src/hdl/CMakeFiles/dovado_hdl.dir/frontend.cpp.o" "gcc" "src/hdl/CMakeFiles/dovado_hdl.dir/frontend.cpp.o.d"
+  "/root/repo/src/hdl/lexer.cpp" "src/hdl/CMakeFiles/dovado_hdl.dir/lexer.cpp.o" "gcc" "src/hdl/CMakeFiles/dovado_hdl.dir/lexer.cpp.o.d"
+  "/root/repo/src/hdl/verilog_parser.cpp" "src/hdl/CMakeFiles/dovado_hdl.dir/verilog_parser.cpp.o" "gcc" "src/hdl/CMakeFiles/dovado_hdl.dir/verilog_parser.cpp.o.d"
+  "/root/repo/src/hdl/vhdl_parser.cpp" "src/hdl/CMakeFiles/dovado_hdl.dir/vhdl_parser.cpp.o" "gcc" "src/hdl/CMakeFiles/dovado_hdl.dir/vhdl_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/dovado_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

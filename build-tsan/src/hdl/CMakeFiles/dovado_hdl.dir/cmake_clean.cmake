@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado_hdl.dir/expr.cpp.o"
+  "CMakeFiles/dovado_hdl.dir/expr.cpp.o.d"
+  "CMakeFiles/dovado_hdl.dir/frontend.cpp.o"
+  "CMakeFiles/dovado_hdl.dir/frontend.cpp.o.d"
+  "CMakeFiles/dovado_hdl.dir/lexer.cpp.o"
+  "CMakeFiles/dovado_hdl.dir/lexer.cpp.o.d"
+  "CMakeFiles/dovado_hdl.dir/verilog_parser.cpp.o"
+  "CMakeFiles/dovado_hdl.dir/verilog_parser.cpp.o.d"
+  "CMakeFiles/dovado_hdl.dir/vhdl_parser.cpp.o"
+  "CMakeFiles/dovado_hdl.dir/vhdl_parser.cpp.o.d"
+  "libdovado_hdl.a"
+  "libdovado_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dovado_hdl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/control.cpp" "src/model/CMakeFiles/dovado_model.dir/control.cpp.o" "gcc" "src/model/CMakeFiles/dovado_model.dir/control.cpp.o.d"
+  "/root/repo/src/model/dataset.cpp" "src/model/CMakeFiles/dovado_model.dir/dataset.cpp.o" "gcc" "src/model/CMakeFiles/dovado_model.dir/dataset.cpp.o.d"
+  "/root/repo/src/model/nadaraya_watson.cpp" "src/model/CMakeFiles/dovado_model.dir/nadaraya_watson.cpp.o" "gcc" "src/model/CMakeFiles/dovado_model.dir/nadaraya_watson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/dovado_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado_model.dir/control.cpp.o"
+  "CMakeFiles/dovado_model.dir/control.cpp.o.d"
+  "CMakeFiles/dovado_model.dir/dataset.cpp.o"
+  "CMakeFiles/dovado_model.dir/dataset.cpp.o.d"
+  "CMakeFiles/dovado_model.dir/nadaraya_watson.cpp.o"
+  "CMakeFiles/dovado_model.dir/nadaraya_watson.cpp.o.d"
+  "libdovado_model.a"
+  "libdovado_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado_netlist.dir/generators.cpp.o"
+  "CMakeFiles/dovado_netlist.dir/generators.cpp.o.d"
+  "CMakeFiles/dovado_netlist.dir/ir.cpp.o"
+  "CMakeFiles/dovado_netlist.dir/ir.cpp.o.d"
+  "libdovado_netlist.a"
+  "libdovado_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

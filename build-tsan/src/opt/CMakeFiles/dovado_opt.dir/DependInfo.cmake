@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/baselines.cpp" "src/opt/CMakeFiles/dovado_opt.dir/baselines.cpp.o" "gcc" "src/opt/CMakeFiles/dovado_opt.dir/baselines.cpp.o.d"
+  "/root/repo/src/opt/indicators.cpp" "src/opt/CMakeFiles/dovado_opt.dir/indicators.cpp.o" "gcc" "src/opt/CMakeFiles/dovado_opt.dir/indicators.cpp.o.d"
+  "/root/repo/src/opt/nds.cpp" "src/opt/CMakeFiles/dovado_opt.dir/nds.cpp.o" "gcc" "src/opt/CMakeFiles/dovado_opt.dir/nds.cpp.o.d"
+  "/root/repo/src/opt/nsga2.cpp" "src/opt/CMakeFiles/dovado_opt.dir/nsga2.cpp.o" "gcc" "src/opt/CMakeFiles/dovado_opt.dir/nsga2.cpp.o.d"
+  "/root/repo/src/opt/operators.cpp" "src/opt/CMakeFiles/dovado_opt.dir/operators.cpp.o" "gcc" "src/opt/CMakeFiles/dovado_opt.dir/operators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/dovado_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado_opt.dir/baselines.cpp.o"
+  "CMakeFiles/dovado_opt.dir/baselines.cpp.o.d"
+  "CMakeFiles/dovado_opt.dir/indicators.cpp.o"
+  "CMakeFiles/dovado_opt.dir/indicators.cpp.o.d"
+  "CMakeFiles/dovado_opt.dir/nds.cpp.o"
+  "CMakeFiles/dovado_opt.dir/nds.cpp.o.d"
+  "CMakeFiles/dovado_opt.dir/nsga2.cpp.o"
+  "CMakeFiles/dovado_opt.dir/nsga2.cpp.o.d"
+  "CMakeFiles/dovado_opt.dir/operators.cpp.o"
+  "CMakeFiles/dovado_opt.dir/operators.cpp.o.d"
+  "libdovado_opt.a"
+  "libdovado_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

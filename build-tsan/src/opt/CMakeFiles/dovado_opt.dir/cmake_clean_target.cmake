@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdovado_opt.a"
+)

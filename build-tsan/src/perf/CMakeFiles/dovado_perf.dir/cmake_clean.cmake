@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado_perf.dir/roofline.cpp.o"
+  "CMakeFiles/dovado_perf.dir/roofline.cpp.o.d"
+  "libdovado_perf.a"
+  "libdovado_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

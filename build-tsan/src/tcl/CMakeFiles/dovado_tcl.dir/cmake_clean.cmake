@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado_tcl.dir/frames.cpp.o"
+  "CMakeFiles/dovado_tcl.dir/frames.cpp.o.d"
+  "CMakeFiles/dovado_tcl.dir/interp.cpp.o"
+  "CMakeFiles/dovado_tcl.dir/interp.cpp.o.d"
+  "libdovado_tcl.a"
+  "libdovado_tcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado_tcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

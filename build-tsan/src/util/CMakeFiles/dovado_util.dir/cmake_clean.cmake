@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dovado_util.dir/csv.cpp.o"
+  "CMakeFiles/dovado_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dovado_util.dir/json.cpp.o"
+  "CMakeFiles/dovado_util.dir/json.cpp.o.d"
+  "CMakeFiles/dovado_util.dir/logging.cpp.o"
+  "CMakeFiles/dovado_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dovado_util.dir/rng.cpp.o"
+  "CMakeFiles/dovado_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dovado_util.dir/strings.cpp.o"
+  "CMakeFiles/dovado_util.dir/strings.cpp.o.d"
+  "CMakeFiles/dovado_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dovado_util.dir/thread_pool.cpp.o.d"
+  "libdovado_util.a"
+  "libdovado_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dovado_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

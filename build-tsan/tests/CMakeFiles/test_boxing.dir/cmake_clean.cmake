@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boxing.dir/boxing/box_test.cpp.o"
+  "CMakeFiles/test_boxing.dir/boxing/box_test.cpp.o.d"
+  "test_boxing"
+  "test_boxing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boxing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

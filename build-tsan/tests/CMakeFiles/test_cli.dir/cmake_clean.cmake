@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli.dir/cli/commands_test.cpp.o"
+  "CMakeFiles/test_cli.dir/cli/commands_test.cpp.o.d"
+  "CMakeFiles/test_cli.dir/cli/options_test.cpp.o"
+  "CMakeFiles/test_cli.dir/cli/options_test.cpp.o.d"
+  "test_cli"
+  "test_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/derived_metric_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/derived_metric_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dse_parallel_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dse_parallel_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dse_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dse_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/evaluator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/evaluator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/param_domain_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/param_domain_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sensitivity_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sensitivity_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/session_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/session_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/writers_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/writers_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

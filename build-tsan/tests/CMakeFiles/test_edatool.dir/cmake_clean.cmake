@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edatool.dir/edatool/power_test.cpp.o"
+  "CMakeFiles/test_edatool.dir/edatool/power_test.cpp.o.d"
+  "CMakeFiles/test_edatool.dir/edatool/report_test.cpp.o"
+  "CMakeFiles/test_edatool.dir/edatool/report_test.cpp.o.d"
+  "CMakeFiles/test_edatool.dir/edatool/techmap_test.cpp.o"
+  "CMakeFiles/test_edatool.dir/edatool/techmap_test.cpp.o.d"
+  "CMakeFiles/test_edatool.dir/edatool/timing_test.cpp.o"
+  "CMakeFiles/test_edatool.dir/edatool/timing_test.cpp.o.d"
+  "CMakeFiles/test_edatool.dir/edatool/vivado_sim_test.cpp.o"
+  "CMakeFiles/test_edatool.dir/edatool/vivado_sim_test.cpp.o.d"
+  "test_edatool"
+  "test_edatool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edatool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga.dir/fpga/board_test.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/board_test.cpp.o.d"
+  "CMakeFiles/test_fpga.dir/fpga/device_test.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/device_test.cpp.o.d"
+  "test_fpga"
+  "test_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

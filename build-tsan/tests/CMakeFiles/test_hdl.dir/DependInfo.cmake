@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hdl/expr_test.cpp" "tests/CMakeFiles/test_hdl.dir/hdl/expr_test.cpp.o" "gcc" "tests/CMakeFiles/test_hdl.dir/hdl/expr_test.cpp.o.d"
+  "/root/repo/tests/hdl/frontend_test.cpp" "tests/CMakeFiles/test_hdl.dir/hdl/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/test_hdl.dir/hdl/frontend_test.cpp.o.d"
+  "/root/repo/tests/hdl/lexer_test.cpp" "tests/CMakeFiles/test_hdl.dir/hdl/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/test_hdl.dir/hdl/lexer_test.cpp.o.d"
+  "/root/repo/tests/hdl/robustness_test.cpp" "tests/CMakeFiles/test_hdl.dir/hdl/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/test_hdl.dir/hdl/robustness_test.cpp.o.d"
+  "/root/repo/tests/hdl/verilog_parser_test.cpp" "tests/CMakeFiles/test_hdl.dir/hdl/verilog_parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_hdl.dir/hdl/verilog_parser_test.cpp.o.d"
+  "/root/repo/tests/hdl/vhdl_parser_test.cpp" "tests/CMakeFiles/test_hdl.dir/hdl/vhdl_parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_hdl.dir/hdl/vhdl_parser_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/hdl/CMakeFiles/dovado_hdl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dovado_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

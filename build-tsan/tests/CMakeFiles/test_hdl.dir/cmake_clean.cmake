@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdl.dir/hdl/expr_test.cpp.o"
+  "CMakeFiles/test_hdl.dir/hdl/expr_test.cpp.o.d"
+  "CMakeFiles/test_hdl.dir/hdl/frontend_test.cpp.o"
+  "CMakeFiles/test_hdl.dir/hdl/frontend_test.cpp.o.d"
+  "CMakeFiles/test_hdl.dir/hdl/lexer_test.cpp.o"
+  "CMakeFiles/test_hdl.dir/hdl/lexer_test.cpp.o.d"
+  "CMakeFiles/test_hdl.dir/hdl/robustness_test.cpp.o"
+  "CMakeFiles/test_hdl.dir/hdl/robustness_test.cpp.o.d"
+  "CMakeFiles/test_hdl.dir/hdl/verilog_parser_test.cpp.o"
+  "CMakeFiles/test_hdl.dir/hdl/verilog_parser_test.cpp.o.d"
+  "CMakeFiles/test_hdl.dir/hdl/vhdl_parser_test.cpp.o"
+  "CMakeFiles/test_hdl.dir/hdl/vhdl_parser_test.cpp.o.d"
+  "test_hdl"
+  "test_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

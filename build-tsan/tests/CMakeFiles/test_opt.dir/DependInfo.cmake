@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/opt/baselines_test.cpp" "tests/CMakeFiles/test_opt.dir/opt/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/test_opt.dir/opt/baselines_test.cpp.o.d"
+  "/root/repo/tests/opt/indicators_test.cpp" "tests/CMakeFiles/test_opt.dir/opt/indicators_test.cpp.o" "gcc" "tests/CMakeFiles/test_opt.dir/opt/indicators_test.cpp.o.d"
+  "/root/repo/tests/opt/nds_test.cpp" "tests/CMakeFiles/test_opt.dir/opt/nds_test.cpp.o" "gcc" "tests/CMakeFiles/test_opt.dir/opt/nds_test.cpp.o.d"
+  "/root/repo/tests/opt/nsga2_test.cpp" "tests/CMakeFiles/test_opt.dir/opt/nsga2_test.cpp.o" "gcc" "tests/CMakeFiles/test_opt.dir/opt/nsga2_test.cpp.o.d"
+  "/root/repo/tests/opt/operators_test.cpp" "tests/CMakeFiles/test_opt.dir/opt/operators_test.cpp.o" "gcc" "tests/CMakeFiles/test_opt.dir/opt/operators_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/opt/CMakeFiles/dovado_opt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dovado_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

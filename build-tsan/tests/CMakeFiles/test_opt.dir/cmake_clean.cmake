@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/opt/baselines_test.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/baselines_test.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/indicators_test.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/indicators_test.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/nds_test.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/nds_test.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/nsga2_test.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/nsga2_test.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/operators_test.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/operators_test.cpp.o.d"
+  "test_opt"
+  "test_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/boxing_property_test.cpp" "tests/CMakeFiles/test_property.dir/property/boxing_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/boxing_property_test.cpp.o.d"
+  "/root/repo/tests/property/domain_property_test.cpp" "tests/CMakeFiles/test_property.dir/property/domain_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/domain_property_test.cpp.o.d"
+  "/root/repo/tests/property/evaluation_property_test.cpp" "tests/CMakeFiles/test_property.dir/property/evaluation_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/evaluation_property_test.cpp.o.d"
+  "/root/repo/tests/property/nsga2_property_test.cpp" "tests/CMakeFiles/test_property.dir/property/nsga2_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/nsga2_property_test.cpp.o.d"
+  "/root/repo/tests/property/nwm_property_test.cpp" "tests/CMakeFiles/test_property.dir/property/nwm_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/nwm_property_test.cpp.o.d"
+  "/root/repo/tests/property/techmap_property_test.cpp" "tests/CMakeFiles/test_property.dir/property/techmap_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/techmap_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/dovado_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/boxing/CMakeFiles/dovado_boxing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/edatool/CMakeFiles/dovado_edatool.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/opt/CMakeFiles/dovado_opt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/dovado_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/dovado_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tcl/CMakeFiles/dovado_tcl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hdl/CMakeFiles/dovado_hdl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fpga/CMakeFiles/dovado_fpga.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dovado_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/boxing_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/boxing_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/domain_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/domain_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/evaluation_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/evaluation_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/nsga2_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/nsga2_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/nwm_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/nwm_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/techmap_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/techmap_property_test.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcl.dir/tcl/builtins_test.cpp.o"
+  "CMakeFiles/test_tcl.dir/tcl/builtins_test.cpp.o.d"
+  "CMakeFiles/test_tcl.dir/tcl/frames_test.cpp.o"
+  "CMakeFiles/test_tcl.dir/tcl/frames_test.cpp.o.d"
+  "CMakeFiles/test_tcl.dir/tcl/interp_test.cpp.o"
+  "CMakeFiles/test_tcl.dir/tcl/interp_test.cpp.o.d"
+  "test_tcl"
+  "test_tcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/csv_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/json_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/json_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/rng_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/strings_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/strings_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

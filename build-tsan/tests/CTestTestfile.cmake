@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build-tsan/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fpga "/root/repo/build-tsan/tests/test_fpga")
+set_tests_properties(test_fpga PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hdl "/root/repo/build-tsan/tests/test_hdl")
+set_tests_properties(test_hdl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;25;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_boxing "/root/repo/build-tsan/tests/test_boxing")
+set_tests_properties(test_boxing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;35;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tcl "/root/repo/build-tsan/tests/test_tcl")
+set_tests_properties(test_tcl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;40;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_netlist "/root/repo/build-tsan/tests/test_netlist")
+set_tests_properties(test_netlist PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;47;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_edatool "/root/repo/build-tsan/tests/test_edatool")
+set_tests_properties(test_edatool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;53;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_opt "/root/repo/build-tsan/tests/test_opt")
+set_tests_properties(test_opt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;62;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_model "/root/repo/build-tsan/tests/test_model")
+set_tests_properties(test_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;71;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build-tsan/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;78;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_perf "/root/repo/build-tsan/tests/test_perf")
+set_tests_properties(test_perf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;90;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cli "/root/repo/build-tsan/tests/test_cli")
+set_tests_properties(test_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;95;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_property "/root/repo/build-tsan/tests/test_property")
+set_tests_properties(test_property PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;101;dovado_test;/root/repo/tests/CMakeLists.txt;0;")
