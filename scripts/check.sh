@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full verification sweep: the tier-1 suite on the release build plus the
+# sanitizer presets over the concurrency/robustness suites (the fault-injected
+# stress tests in tests/core/dse_parallel_test.cpp are written to run under
+# TSan; the journal's raw-fd I/O and report corruption paths under ASan).
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the sanitizer presets (release build + ctest only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: release build + full ctest =="
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+ctest --preset default -j "$jobs"
+
+if [[ "$fast" == "1" ]]; then
+  echo "== --fast: skipping sanitizer presets =="
+  exit 0
+fi
+
+echo "== tsan: fault-injected concurrency suite =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs" --target test_core test_util
+ctest --preset tsan-parallel -j "$jobs"
+
+echo "== asan: full suite =="
+cmake --preset asan
+cmake --build --preset asan -j "$jobs"
+ctest --preset asan -j "$jobs"
+
+echo "== all checks passed =="

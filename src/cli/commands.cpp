@@ -1,11 +1,13 @@
 #include "src/cli/commands.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <ostream>
 
 #include "src/core/dse.hpp"
 #include "src/core/sensitivity.hpp"
+#include "src/edatool/faults.hpp"
 #include "src/core/session.hpp"
 #include "src/core/writers.hpp"
 #include "src/hdl/expr.hpp"
@@ -46,6 +48,25 @@ bool write_file(const std::string& path, const std::string& content, std::ostrea
     return false;
   }
   out << content;
+  return true;
+}
+
+/// Resolve the fault plan: --fault-plan wins over the DOVADO_FAULT_PLAN
+/// environment variable. Returns false (with a message) on a bad spec.
+bool apply_fault_plan(const Options& options, core::DseConfig& config, std::ostream& err) {
+  std::string spec = options.fault_plan;
+  if (spec.empty()) {
+    const char* env = std::getenv("DOVADO_FAULT_PLAN");
+    if (env != nullptr) spec = env;
+  }
+  if (spec.empty()) return true;
+  std::string error;
+  const auto plan = edatool::FaultPlan::parse(spec, error);
+  if (!plan) {
+    err << "invalid fault plan '" << spec << "': " << error << "\n";
+    return false;
+  }
+  config.fault_plan = *plan;
   return true;
 }
 
@@ -139,15 +160,31 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
     if (options.deadline_hours > 0.0) {
       config.deadline_tool_seconds = options.deadline_hours * 3600.0;
     }
+    config.supervise.max_retries = options.max_retries;
+    config.supervise.attempt_timeout_tool_seconds = options.attempt_timeout;
+    config.supervise.seed = options.seed;
+    config.journal_path = options.journal_path;
+    config.resume_from_journal = !options.resume_path.empty();
+    if (!apply_fault_plan(options, config, err)) return 1;
     if (!options.resume_path.empty()) {
-      auto session = core::load_session(options.resume_path);
-      if (!session) {
-        err << "cannot load session " << options.resume_path << "\n";
-        return 1;
+      core::SessionLoad session = core::load_session_ex(options.resume_path);
+      switch (session.status) {
+        case core::SessionLoadStatus::kLoaded:
+          config.warm_start = std::move(session.explored);
+          out << "resuming from " << options.resume_path << " ("
+              << config.warm_start.size() << " known points)\n";
+          break;
+        case core::SessionLoadStatus::kMissing:
+          // First run of a to-be-resumed campaign: nothing to warm-start
+          // from yet (the journal, if any, may still have evaluations).
+          out << "session " << options.resume_path
+              << " not found; starting fresh\n";
+          break;
+        case core::SessionLoadStatus::kCorrupt:
+          err << "session " << options.resume_path
+              << " exists but cannot be parsed; refusing to discard it\n";
+          return 1;
       }
-      config.warm_start = std::move(*session);
-      out << "resuming from " << options.resume_path << " ("
-          << config.warm_start.size() << " known points)\n";
     }
 
     core::DseEngine engine(project_from(options), config);
@@ -165,7 +202,18 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
         << result.stats.lease_waits << " lease waits, "
         << result.stats.deadline_skips << " deadline skips, peak batch "
         << util::format("%.0f", result.stats.max_batch_tool_seconds)
-        << " tool seconds\n\n";
+        << " tool seconds\n";
+    out << "robustness: " << result.stats.retries << " retries, "
+        << result.stats.transient_failures << " transient / "
+        << result.stats.deterministic_failures << " deterministic / "
+        << result.stats.timeouts << " timeout failures, "
+        << result.stats.quarantined << " quarantined, "
+        << result.stats.approx_fallbacks << " approx fallbacks, "
+        << result.stats.journal_replays << " journal replays";
+    if (result.stats.faults_injected > 0) {
+      out << ", " << result.stats.faults_injected << " faults injected";
+    }
+    out << "\n\n";
     out << "non-dominated set (" << result.pareto.size() << " points):\n";
     out << core::format_table(result.pareto);
 

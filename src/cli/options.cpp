@@ -162,8 +162,21 @@ explore options:
   --deadline-hours H      soft deadline on simulated tool time
   --workers N             parallel tool sessions (default 0 = inline)
   --resume FILE           warm-start from a saved session (tool results are
-                          not re-paid for)
+                          not re-paid for); a missing file starts fresh, a
+                          corrupt file is a hard error
   --save-session FILE     save the explored points for later --resume
+
+robustness options (explore):
+  --max-retries N         tool attempts after a transient failure (default 3;
+                          exhausted points are quarantined)
+  --attempt-timeout S     per-attempt budget in simulated tool seconds; hung
+                          runs are killed and classified as timeouts (0 = off)
+  --journal FILE          append every paid-for evaluation (fsync'd JSONL);
+                          with --resume an existing journal is replayed so a
+                          crashed run repays for nothing
+  --fault-plan SPEC       inject tool faults for robustness drills, e.g.
+                          seed=7,crash=0.2,hang=0.05,corrupt=0.1,abort=0.02
+                          (also read from DOVADO_FAULT_PLAN)
 
 output options:
   --csv FILE              write explored points as CSV
@@ -330,6 +343,26 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
     } else if (a == "--resume") {
       if (!need_value(i, a)) return outcome;
       opt.resume_path = args[++i];
+    } else if (a == "--fault-plan") {
+      if (!need_value(i, a)) return outcome;
+      opt.fault_plan = args[++i];
+    } else if (a == "--max-retries") {
+      if (!need_value(i, a)) return outcome;
+      std::int64_t v = 0;
+      if (!parse_i64(args[++i], v) || v < 0) {
+        outcome.error = "invalid --max-retries";
+        return outcome;
+      }
+      opt.max_retries = static_cast<int>(v);
+    } else if (a == "--attempt-timeout") {
+      if (!need_value(i, a)) return outcome;
+      if (!util::parse_double(args[++i], opt.attempt_timeout) || opt.attempt_timeout < 0.0) {
+        outcome.error = "invalid --attempt-timeout";
+        return outcome;
+      }
+    } else if (a == "--journal") {
+      if (!need_value(i, a)) return outcome;
+      opt.journal_path = args[++i];
     } else if (a == "--save-session") {
       if (!need_value(i, a)) return outcome;
       opt.session_path = args[++i];

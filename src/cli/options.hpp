@@ -63,6 +63,12 @@ struct Options {
   std::string resume_path;   ///< --resume FILE: warm-start from a session
   std::string session_path;  ///< --save-session FILE: write one afterwards
 
+  // Robustness (explore/evaluate).
+  std::string fault_plan;        ///< --fault-plan SPEC (or DOVADO_FAULT_PLAN env)
+  int max_retries = 3;           ///< --max-retries N
+  double attempt_timeout = 0.0;  ///< --attempt-timeout SECONDS (simulated; 0 = off)
+  std::string journal_path;      ///< --journal FILE: crash-safe evaluation log
+
   // sensitivity.
   std::size_t samples_per_param = 7;  ///< --samples
 

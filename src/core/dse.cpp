@@ -82,12 +82,23 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
     }
   }
 
+  // Every evaluation runs supervised (retries/quarantine); with faults off
+  // and a healthy tool, supervision is a single attempt plus bookkeeping.
+  supervisor_ = std::make_shared<EvaluationSupervisor>(config_.supervise);
+  if (config_.fault_plan.active()) {
+    fault_injector_ = std::make_shared<edatool::FaultInjector>(config_.fault_plan);
+    util::Log::info("fault injection active: " + config_.fault_plan.to_string());
+  }
+
   // One exclusively-leasable tool session per parallel lane: the pool's
   // workers plus the caller, which participates in parallel_for. Inline
   // mode (workers == 0) gets a single session.
   const std::size_t lane_count = config_.workers == 0 ? 1 : config_.workers + 1;
   for (std::size_t i = 0; i < lane_count; ++i) {
-    evaluators_.add(std::make_unique<PointEvaluator>(project_, cache_));
+    auto evaluator = std::make_unique<PointEvaluator>(project_, cache_);
+    evaluator->set_supervisor(supervisor_);
+    if (fault_injector_) evaluator->set_fault_injector(fault_injector_);
+    evaluators_.add(std::move(evaluator));
   }
   pool_ = std::make_unique<util::ThreadPool>(config_.workers);
 
@@ -150,6 +161,74 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
       }
     }
   }
+
+  // Crash-safety journal: replay what a previous (possibly crashed) run
+  // already paid for, then keep appending. A corrupt journal is a hard
+  // error — silently dropping paid-for evaluations would be worse than
+  // stopping.
+  if (!config_.journal_path.empty()) {
+    SessionJournal::Replay replay;
+    std::string journal_error;
+    journal_ = SessionJournal::open(config_.journal_path,
+                                    config_.resume_from_journal ? &replay : nullptr,
+                                    journal_error);
+    if (!journal_) throw std::runtime_error(journal_error);
+    if (!replay.records.empty()) {
+      if (replay.torn_tail) {
+        util::Log::warn("journal '" + config_.journal_path +
+                        "' had a torn final record (crash mid-write); dropped");
+      }
+      replay_journal(replay);
+    }
+  }
+}
+
+void DseEngine::replay_journal(const SessionJournal::Replay& replay) {
+  for (const auto& rec : replay.records) {
+    if (cache_->lookup(rec.params)) continue;  // warm start already seeded it
+    EvalResult seeded;
+    seeded.ok = rec.ok;
+    seeded.metrics = rec.metrics;
+    seeded.error = rec.error;
+    seeded.failure = rec.failure;
+    seeded.attempts = rec.attempts;
+    seeded.quarantined = rec.quarantined;
+    cache_->store(rec.params, seeded);
+    record(rec.params, rec.metrics, false, !rec.ok);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.journal_replays;
+    }
+    // Rebuild the approximation dataset the way the original run grew it,
+    // so a resumed model-guided exploration makes the same decisions.
+    if (control_ && rec.ok) {
+      bool in_space = true;
+      for (const auto& spec : config_.space.params) {
+        if (rec.params.count(spec.name) == 0) {
+          in_space = false;
+          break;
+        }
+      }
+      bool complete = true;
+      model::Values values;
+      values.reserve(config_.objectives.size());
+      for (const auto& obj : config_.objectives) {
+        if (rec.metrics.values.count(obj.metric) == 0) {
+          complete = false;
+          break;
+        }
+        values.push_back(rec.metrics.get(obj.metric));
+      }
+      if (in_space && complete) {
+        model::Point coords = to_model_point(rec.params);
+        if (!control_->dataset().find_exact(coords)) {
+          control_->add_sample(std::move(coords), std::move(values));
+        }
+      }
+    }
+  }
+  util::Log::info("journal replay: " + std::to_string(replay.records.size()) +
+                  " evaluations recovered from '" + config_.journal_path + "'");
 }
 
 double DseEngine::tool_seconds() const {
@@ -167,10 +246,25 @@ void DseEngine::mark_deadline_hit() {
 }
 
 DseStats DseEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  DseStats snapshot = stats_;
-  snapshot.simulated_tool_seconds = tool_seconds_accum_;
+  DseStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+    snapshot.simulated_tool_seconds = tool_seconds_accum_;
+  }
   snapshot.lease_waits = evaluators_.lease_waits();
+  const SupervisorStats sup = supervisor_->stats();
+  snapshot.retries = sup.retries;
+  snapshot.transient_failures = sup.transient_failures;
+  snapshot.deterministic_failures = sup.deterministic_failures;
+  snapshot.timeouts = sup.timeouts;
+  snapshot.quarantined = sup.quarantined_points;
+  snapshot.backoff_tool_seconds = sup.backoff_tool_seconds;
+  if (fault_injector_) {
+    const auto counters = fault_injector_->counters();
+    snapshot.faults_injected =
+        counters.crashes + counters.hangs + counters.corrupted_reports + counters.aborts;
+  }
   return snapshot;
 }
 
@@ -202,6 +296,24 @@ EvalResult DseEngine::tool_evaluate(const DesignPoint& point) {
   if (result.ok) {
     for (const auto& derived : config_.derived_metrics) {
       result.metrics.values[derived.name] = derived.compute(point, result.metrics);
+    }
+  }
+  // Journal every *fresh* tool answer (cache hits and joins were paid for —
+  // and journaled — by their leader) so a crashed campaign can resume
+  // without repaying for it.
+  if (journal_ && !result.cache_hit && !result.joined) {
+    JournalRecord rec;
+    rec.params = point;
+    rec.metrics = result.metrics;
+    rec.ok = result.ok;
+    rec.error = result.error;
+    rec.failure = result.failure;
+    rec.attempts = result.attempts;
+    rec.quarantined = result.quarantined;
+    rec.tool_seconds = result.tool_seconds;
+    if (!journal_->append(rec)) {
+      util::Log::warn("journal append failed for '" + journal_->path() +
+                      "'; crash recovery will miss this point");
     }
   }
   // Cache hits and single-flight joins carry zero tool seconds, so charging
@@ -237,7 +349,7 @@ std::size_t DseEngine::run_deadline_chunked(std::size_t n,
 }
 
 void DseEngine::record(const DesignPoint& point, const EvalMetrics& metrics, bool estimated,
-                       bool failed) {
+                       bool failed, bool approximate) {
   std::lock_guard<std::mutex> lock(record_mutex_);
   auto it = explored_index_.find(point);
   if (it != explored_index_.end()) {
@@ -246,11 +358,18 @@ void DseEngine::record(const DesignPoint& point, const EvalMetrics& metrics, boo
       explored_[it->second].metrics = metrics;
       explored_[it->second].estimated = false;
       explored_[it->second].failed = failed;
+      explored_[it->second].approximate = approximate;
+    }
+    // An NWM fallback score supersedes the bare failure it degrades.
+    if (explored_[it->second].failed && approximate) {
+      explored_[it->second].metrics = metrics;
+      explored_[it->second].failed = false;
+      explored_[it->second].approximate = true;
     }
     return;
   }
   explored_index_[point] = explored_.size();
-  explored_.push_back(ExploredPoint{point, metrics, estimated, failed});
+  explored_.push_back(ExploredPoint{point, metrics, estimated, failed, approximate});
 }
 
 void DseEngine::pretrain() {
@@ -399,6 +518,26 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.failures;
+      }
+      // Graceful degradation: a quarantined point (the tool kept failing,
+      // not a property of the design) is scored with an NWM estimate when
+      // the dataset can support one, instead of the +inf penalty that
+      // would punch a hole in the front.
+      if (r.quarantined && control_ && config_.approx_fallback_min_samples > 0 &&
+          control_->dataset().size() >= config_.approx_fallback_min_samples) {
+        const model::Values est = control_->estimate(to_model_point(point));
+        EvalMetrics metrics;
+        for (std::size_t k = 0; k < config_.objectives.size(); ++k) {
+          metrics.values[config_.objectives[k].metric] = est[k];
+        }
+        ind.objectives = to_objectives(metrics);
+        ind.evaluated = true;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.approx_fallbacks;
+        }
+        record(point, metrics, false, false, /*approximate=*/true);
+        continue;
       }
       ind.objectives.assign(config_.objectives.size(), kFailurePenalty);
       ind.evaluated = true;

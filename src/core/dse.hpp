@@ -22,7 +22,10 @@
 #include <memory>
 
 #include "src/core/evaluator.hpp"
+#include "src/core/journal.hpp"
 #include "src/core/param_domain.hpp"
+#include "src/core/supervisor.hpp"
+#include "src/edatool/faults.hpp"
 #include "src/model/control.hpp"
 #include "src/opt/baselines.hpp"
 #include "src/opt/nsga2.hpp"
@@ -52,8 +55,9 @@ struct DerivedMetric {
 struct ExploredPoint {
   DesignPoint params;
   EvalMetrics metrics;
-  bool estimated = false;  ///< metrics came from the NWM, not the tool
-  bool failed = false;     ///< tool run failed (e.g. over-utilization)
+  bool estimated = false;    ///< metrics came from the NWM, not the tool
+  bool failed = false;       ///< tool run failed (e.g. over-utilization)
+  bool approximate = false;  ///< NWM fallback score for a retry-exhausted point
 };
 
 struct DseConfig {
@@ -88,6 +92,29 @@ struct DseConfig {
   /// approximation is on, the synthetic dataset — so resumed explorations
   /// never repay for known configurations. Estimated points are ignored.
   std::vector<ExploredPoint> warm_start;
+
+  /// Retry/quarantine policy applied to every tool evaluation (see
+  /// core/supervisor.hpp). Always active; on a fault-free tool the policy
+  /// is pure bookkeeping (the clean path takes a single attempt).
+  SupervisorConfig supervise;
+
+  /// Fault injection for the simulated tool (tests, robustness drills —
+  /// see edatool/faults.hpp). Inactive by default.
+  edatool::FaultPlan fault_plan;
+
+  /// Crash-safety journal (see core/journal.hpp). Empty = no journal.
+  std::string journal_path;
+
+  /// Replay an existing journal at `journal_path` into the evaluation
+  /// cache before exploring (crash recovery). When false, an existing
+  /// journal file is discarded and written fresh.
+  bool resume_from_journal = false;
+
+  /// Graceful degradation: when a point exhausts its retries (quarantine)
+  /// and the approximation model is on with at least this many dataset
+  /// samples, score the point with an NWM estimate flagged
+  /// `approximate=true` instead of the failure penalty. 0 disables.
+  std::size_t approx_fallback_min_samples = 5;
 };
 
 struct DseStats {
@@ -108,6 +135,17 @@ struct DseStats {
   std::size_t batches = 0;              ///< chunk-dispatched parallel batches
   double last_batch_tool_seconds = 0.0; ///< tool seconds paid by the latest batch
   double max_batch_tool_seconds = 0.0;  ///< most expensive batch so far
+
+  // Robustness counters (see DESIGN.md "Failure model & recovery").
+  std::size_t retries = 0;                 ///< extra tool attempts after failures
+  std::size_t transient_failures = 0;      ///< attempts classified transient
+  std::size_t deterministic_failures = 0;  ///< attempts classified deterministic
+  std::size_t timeouts = 0;                ///< attempts over the per-attempt budget
+  std::size_t quarantined = 0;             ///< points that exhausted their retries
+  std::size_t approx_fallbacks = 0;        ///< quarantined points scored by the NWM
+  std::size_t journal_replays = 0;         ///< points recovered from the journal
+  std::size_t faults_injected = 0;         ///< injected tool faults (fault plans only)
+  double backoff_tool_seconds = 0.0;       ///< simulated seconds spent backing off
 };
 
 struct DseResult {
@@ -149,6 +187,14 @@ class DseEngine {
   /// analysis benches. Null when approximation is disabled.
   [[nodiscard]] const model::ControlModel* control_model() const { return control_.get(); }
 
+  /// The retry/quarantine policy (always present; see DseConfig::supervise).
+  [[nodiscard]] const EvaluationSupervisor& supervisor() const { return *supervisor_; }
+
+  /// The fault injector, null unless a fault plan is active.
+  [[nodiscard]] const edatool::FaultInjector* fault_injector() const {
+    return fault_injector_.get();
+  }
+
   /// Cumulative simulated tool seconds across all workers.
   [[nodiscard]] double tool_seconds() const;
 
@@ -175,16 +221,22 @@ class DseEngine {
 
   void pretrain();
   void record(const DesignPoint& point, const EvalMetrics& metrics, bool estimated,
-              bool failed);
+              bool failed, bool approximate = false);
+  /// Replay the journal's intact records into the evaluation cache (and the
+  /// approximation dataset); called from the constructor on --resume.
+  void replay_journal(const SessionJournal::Replay& replay);
   [[nodiscard]] bool deadline_exceeded() const;
   void mark_deadline_hit();
 
   ProjectConfig project_;
   DseConfig config_;
   std::shared_ptr<EvaluationCache> cache_;
+  std::shared_ptr<EvaluationSupervisor> supervisor_;
+  std::shared_ptr<edatool::FaultInjector> fault_injector_;  ///< null = no faults
   EvaluatorPool evaluators_;  ///< one tool session per worker, leased exclusively
   std::unique_ptr<model::ControlModel> control_;
   std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<SessionJournal> journal_;  ///< null = journaling disabled
 
   std::mutex record_mutex_;  ///< guards explored_index_ + explored_
   std::map<DesignPoint, std::size_t> explored_index_;

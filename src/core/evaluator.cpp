@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/boxing/box.hpp"
+#include "src/core/supervisor.hpp"
 #include "src/edatool/power.hpp"
 #include "src/edatool/report.hpp"
 #include "src/hdl/frontend.hpp"
@@ -10,6 +11,16 @@
 #include "src/util/strings.hpp"
 
 namespace dovado::core {
+
+const char* failure_class_name(FailureClass cls) {
+  switch (cls) {
+    case FailureClass::kNone: return "none";
+    case FailureClass::kTransient: return "transient";
+    case FailureClass::kDeterministic: return "deterministic";
+    case FailureClass::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
 
 std::optional<EvalResult> EvaluationCache::lookup(const DesignPoint& point) const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -104,13 +115,17 @@ EvalResult PointEvaluator::evaluate(const DesignPoint& point) {
   const EvaluationCache::Claim claim = cache_->claim(point);
   if (claim.kind != EvaluationCache::ClaimKind::kLeader) return claim.result;
 
-  // This evaluator leads the point. Every pipeline outcome is deterministic
-  // for a given point — boxing failures, flow-configuration problems,
-  // tool-step failures, unparsable reports and successes alike — so every
-  // outcome is published (memoized + handed to single-flight joiners);
-  // re-running the same bad point would only repay for the same answer.
+  // This evaluator leads the point. The *final* outcome is deterministic
+  // for a given point — the supervisor retries transient faults internally,
+  // so what is left after supervision (success, deterministic failure, or a
+  // retry-exhausted quarantine failure) is published: memoized and handed
+  // to single-flight joiners alike. Re-claiming a quarantined point is a
+  // cache hit on its failure, never another tool run.
   try {
-    const EvalResult result = run_pipeline(point);
+    const EvalResult result =
+        supervisor_ ? supervisor_->supervise(
+                          point, [&](int attempt) { return run_pipeline(point, attempt); })
+                    : run_pipeline(point, 0);
     cache_->publish(point, result);
     return result;
   } catch (...) {
@@ -119,7 +134,7 @@ EvalResult PointEvaluator::evaluate(const DesignPoint& point) {
   }
 }
 
-EvalResult PointEvaluator::run_pipeline(const DesignPoint& point) {
+EvalResult PointEvaluator::run_pipeline(const DesignPoint& point, int attempt) {
   EvalResult result;
 
   // Boxing step: sandbox the module, apply the parametrization and the
@@ -161,6 +176,7 @@ EvalResult PointEvaluator::run_pipeline(const DesignPoint& point) {
   }
 
   // Tool step.
+  sim_.set_fault_context(edatool::fault_point_key(point), attempt);
   const tcl::EvalResult run = sim_.run_script(tcl::generate_flow_script(frame));
   result.tool_seconds = sim_.last_run_seconds();
   if (!run.ok) {
@@ -169,15 +185,28 @@ EvalResult PointEvaluator::run_pipeline(const DesignPoint& point) {
   }
 
   // Results step: extract the metrics from the tool's textual reports.
+  // Checked parsers: a truncated or garbled report must surface as a
+  // diagnostic failure here, not as silently-zero metrics downstream.
   std::optional<edatool::UtilizationReport> util_report;
   std::optional<edatool::TimingReport> timing_report;
   std::optional<edatool::PowerEstimate> power;
+  std::string report_diag;
   for (const auto& chunk : sim_.interp().output()) {
     if (!util_report) {
-      if (auto parsed = edatool::UtilizationReport::parse(chunk)) util_report = parsed;
+      auto checked = edatool::UtilizationReport::parse_checked(chunk);
+      if (checked.report) {
+        util_report = std::move(checked.report);
+      } else if (checked.attempted && report_diag.empty()) {
+        report_diag = checked.error;
+      }
     }
     if (!timing_report) {
-      if (auto parsed = edatool::TimingReport::parse(chunk)) timing_report = parsed;
+      auto checked = edatool::TimingReport::parse_checked(chunk);
+      if (checked.report) {
+        timing_report = std::move(checked.report);
+      } else if (checked.attempted && report_diag.empty()) {
+        report_diag = checked.error;
+      }
     }
     if (!power) {
       edatool::PowerEstimate parsed;
@@ -186,6 +215,7 @@ EvalResult PointEvaluator::run_pipeline(const DesignPoint& point) {
   }
   if (!util_report || !timing_report) {
     result.error = "tool produced no parsable reports";
+    if (!report_diag.empty()) result.error += " (" + report_diag + ")";
     return result;
   }
 

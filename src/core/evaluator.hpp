@@ -38,6 +38,17 @@ struct EvalMetrics {
   }
 };
 
+/// How an evaluation failure is classified by the supervision layer (see
+/// core/supervisor.hpp and DESIGN.md "Failure model & recovery").
+enum class FailureClass {
+  kNone,           ///< the evaluation succeeded
+  kTransient,      ///< tool crash / corrupt report — worth retrying
+  kDeterministic,  ///< same point will fail the same way (e.g. over-utilization)
+  kTimeout,        ///< attempt exceeded the per-attempt tool-seconds budget
+};
+
+[[nodiscard]] const char* failure_class_name(FailureClass cls);
+
 /// Outcome of evaluating one design point.
 struct EvalResult {
   bool ok = false;
@@ -46,6 +57,15 @@ struct EvalResult {
   double tool_seconds = 0.0;  ///< simulated tool runtime of this evaluation
   bool cache_hit = false;
   bool joined = false;  ///< shared another thread's in-flight run (single-flight)
+
+  // Supervision outcome (meaningful when an EvaluationSupervisor wrapped the
+  // run; defaults describe an unsupervised single attempt). These travel
+  // through the cache, so single-flight joiners and later cache hits see the
+  // same classification the leader produced.
+  FailureClass failure = FailureClass::kNone;
+  int attempts = 1;           ///< tool attempts performed (1 + retries)
+  bool quarantined = false;   ///< exhausted retries; point is quarantined
+  double backoff_seconds = 0.0;  ///< simulated backoff charged across retries
 };
 
 /// Project-level configuration shared by all evaluations.
@@ -114,6 +134,8 @@ class EvaluationCache {
   std::map<DesignPoint, std::shared_ptr<InFlight>> in_flight_;
 };
 
+class EvaluationSupervisor;
+
 class PointEvaluator {
  public:
   /// Parses the project sources eagerly; throws std::runtime_error when the
@@ -121,8 +143,20 @@ class PointEvaluator {
   /// evaluators (pass nullptr for a private cache).
   PointEvaluator(ProjectConfig config, std::shared_ptr<EvaluationCache> cache = nullptr);
 
-  /// Evaluate one design point end to end.
+  /// Evaluate one design point end to end. When a supervisor is attached,
+  /// the single-flight leader runs under its retry/quarantine policy and
+  /// the final (possibly retried) outcome is what gets published.
   [[nodiscard]] EvalResult evaluate(const DesignPoint& point);
+
+  /// Attach a shared retry/quarantine policy (nullptr = single attempt).
+  void set_supervisor(std::shared_ptr<EvaluationSupervisor> supervisor) {
+    supervisor_ = std::move(supervisor);
+  }
+
+  /// Forward a fault injector to the underlying tool session.
+  void set_fault_injector(std::shared_ptr<const edatool::FaultInjector> injector) {
+    sim_.set_fault_injector(std::move(injector));
+  }
 
   /// The parsed module under exploration.
   [[nodiscard]] const hdl::Module& module() const { return module_; }
@@ -144,11 +178,13 @@ class PointEvaluator {
 
  private:
   /// The pipeline body behind evaluate(); runs without consulting the
-  /// cache (the caller holds the single-flight claim).
-  [[nodiscard]] EvalResult run_pipeline(const DesignPoint& point);
+  /// cache (the caller holds the single-flight claim). `attempt` is the
+  /// 0-based retry index, forwarded to the tool's fault context.
+  [[nodiscard]] EvalResult run_pipeline(const DesignPoint& point, int attempt);
 
   ProjectConfig config_;
   std::shared_ptr<EvaluationCache> cache_;
+  std::shared_ptr<EvaluationSupervisor> supervisor_;
   hdl::Module module_;
   edatool::VivadoSim sim_;
 };

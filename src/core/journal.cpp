@@ -1,0 +1,168 @@
+#include "src/core/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/json.hpp"
+
+namespace dovado::core {
+
+namespace {
+
+std::optional<FailureClass> failure_class_from_name(const std::string& name) {
+  if (name == "none") return FailureClass::kNone;
+  if (name == "transient") return FailureClass::kTransient;
+  if (name == "deterministic") return FailureClass::kDeterministic;
+  if (name == "timeout") return FailureClass::kTimeout;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string journal_record_to_json(const JournalRecord& record) {
+  util::JsonObject obj;
+  util::JsonObject params;
+  for (const auto& [name, value] : record.params) params[name] = util::Json(value);
+  util::JsonObject metrics;
+  for (const auto& [name, value] : record.metrics.values) metrics[name] = util::Json(value);
+  obj["params"] = util::Json(std::move(params));
+  obj["metrics"] = util::Json(std::move(metrics));
+  obj["ok"] = util::Json(record.ok);
+  if (!record.error.empty()) obj["error"] = util::Json(record.error);
+  obj["failure"] = util::Json(failure_class_name(record.failure));
+  obj["attempts"] = util::Json(record.attempts);
+  obj["quarantined"] = util::Json(record.quarantined);
+  obj["tool_seconds"] = util::Json(record.tool_seconds);
+  return util::Json(std::move(obj)).dump();
+}
+
+std::optional<JournalRecord> journal_record_from_json(const std::string& line) {
+  util::Json parsed;
+  if (!util::Json::parse(line, parsed) || !parsed.is_object()) return std::nullopt;
+  const auto& obj = parsed.as_object();
+
+  auto params_it = obj.find("params");
+  auto ok_it = obj.find("ok");
+  if (params_it == obj.end() || !params_it->second.is_object() || ok_it == obj.end() ||
+      !ok_it->second.is_bool()) {
+    return std::nullopt;
+  }
+  JournalRecord record;
+  for (const auto& [name, value] : params_it->second.as_object()) {
+    if (!value.is_number()) return std::nullopt;
+    record.params[name] = static_cast<std::int64_t>(value.as_number());
+  }
+  if (record.params.empty()) return std::nullopt;
+  record.ok = ok_it->second.as_bool();
+  if (auto it = obj.find("metrics"); it != obj.end() && it->second.is_object()) {
+    for (const auto& [name, value] : it->second.as_object()) {
+      if (!value.is_number()) return std::nullopt;
+      record.metrics.values[name] = value.as_number();
+    }
+  }
+  if (auto it = obj.find("error"); it != obj.end() && it->second.is_string()) {
+    record.error = it->second.as_string();
+  }
+  if (auto it = obj.find("failure"); it != obj.end() && it->second.is_string()) {
+    auto cls = failure_class_from_name(it->second.as_string());
+    if (!cls) return std::nullopt;
+    record.failure = *cls;
+  }
+  if (auto it = obj.find("attempts"); it != obj.end() && it->second.is_number()) {
+    record.attempts = static_cast<int>(it->second.as_number());
+  }
+  if (auto it = obj.find("quarantined"); it != obj.end() && it->second.is_bool()) {
+    record.quarantined = it->second.as_bool();
+  }
+  if (auto it = obj.find("tool_seconds"); it != obj.end() && it->second.is_number()) {
+    record.tool_seconds = it->second.as_number();
+  }
+  return record;
+}
+
+std::unique_ptr<SessionJournal> SessionJournal::open(const std::string& path,
+                                                     Replay* replay, std::string& error) {
+  std::size_t keep_bytes = 0;
+  if (replay != nullptr) {
+    *replay = Replay{};
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const std::string text = buffer.str();
+      std::size_t pos = 0;
+      while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const bool has_newline = nl != std::string::npos;
+        const std::string line =
+            text.substr(pos, has_newline ? nl - pos : std::string::npos);
+        const std::size_t next = has_newline ? nl + 1 : text.size();
+        if (line.empty()) {
+          pos = next;
+          continue;
+        }
+        auto record = journal_record_from_json(line);
+        if (!record) {
+          // Only a *tail* may be torn (the writer died mid-append). A bad
+          // record with intact content after it is a damaged file.
+          if (text.find_first_not_of(" \t\r\n", next) != std::string::npos) {
+            error = "journal '" + path + "' is corrupt (damaged record mid-file)";
+            return nullptr;
+          }
+          replay->torn_tail = true;
+          break;
+        }
+        replay->records.push_back(std::move(*record));
+        keep_bytes = next;
+        pos = next;
+      }
+    }
+  }
+
+  int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
+  if (replay == nullptr) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    error = "cannot open journal '" + path + "': " + std::strerror(errno);
+    return nullptr;
+  }
+  if (replay != nullptr) {
+    // Drop the torn tail so appended records follow the intact prefix.
+    if (::ftruncate(fd, static_cast<off_t>(keep_bytes)) != 0 ||
+        ::lseek(fd, 0, SEEK_END) < 0) {
+      error = "cannot recover journal '" + path + "': " + std::strerror(errno);
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  return std::unique_ptr<SessionJournal>(new SessionJournal(fd, path));
+}
+
+SessionJournal::~SessionJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool SessionJournal::append(const JournalRecord& record) {
+  const std::string line = journal_record_to_json(record) + "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return false;
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The record only counts once it is durable: a crash right after append()
+  // returns must find it on disk.
+  return ::fsync(fd_) == 0;
+}
+
+}  // namespace dovado::core

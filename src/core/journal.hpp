@@ -1,0 +1,88 @@
+// Crash-safe evaluation journal (append-only JSONL).
+//
+// A multi-hour campaign that dies — power loss, OOM kill, a crashed host —
+// must not forfeit the tool runs it already paid for. The session file
+// (core/session.hpp) is only written at the end of a run, so the engine
+// additionally appends one JSONL record per *fresh tool answer* to a
+// journal, fsync'd per record: after a crash, every acknowledged evaluation
+// is on disk.
+//
+// On --resume the journal is replayed into the evaluation cache (never into
+// the GA's initial population — replay must not perturb the search
+// trajectory). With the same seed the GA then regenerates the identical
+// point sequence and every journaled point is answered as a cache hit, so a
+// resumed run re-evaluates nothing it already paid for and converges on the
+// same explored set.
+//
+// A torn tail (the process died mid-write) is expected and recovered from:
+// replay keeps the longest intact record prefix and the file is truncated
+// back to it before appending continues. Corruption *before* intact records
+// is not tolerated — that is a damaged file, not a crash artifact.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/evaluator.hpp"
+#include "src/core/param_domain.hpp"
+
+namespace dovado::core {
+
+/// One journaled evaluation: the design point plus the (final, possibly
+/// supervised) tool outcome.
+struct JournalRecord {
+  DesignPoint params;
+  EvalMetrics metrics;
+  bool ok = false;
+  std::string error;
+  FailureClass failure = FailureClass::kNone;
+  int attempts = 1;
+  bool quarantined = false;
+  double tool_seconds = 0.0;
+};
+
+/// Serialize to one JSONL line (no trailing newline).
+[[nodiscard]] std::string journal_record_to_json(const JournalRecord& record);
+
+/// Parse one JSONL line. std::nullopt on malformed input.
+[[nodiscard]] std::optional<JournalRecord> journal_record_from_json(
+    const std::string& line);
+
+class SessionJournal {
+ public:
+  struct Replay {
+    std::vector<JournalRecord> records;  ///< longest intact prefix
+    bool torn_tail = false;  ///< a truncated/garbled final line was dropped
+  };
+
+  /// Open `path` for appending. With `replay` non-null the existing file is
+  /// replayed first (intact prefix into *replay, file truncated back past a
+  /// torn tail); with `replay` null any existing content is discarded — a
+  /// fresh campaign must not inherit a stale journal. Returns nullptr and
+  /// sets `error` on I/O failure.
+  [[nodiscard]] static std::unique_ptr<SessionJournal> open(const std::string& path,
+                                                            Replay* replay,
+                                                            std::string& error);
+
+  ~SessionJournal();
+  SessionJournal(const SessionJournal&) = delete;
+  SessionJournal& operator=(const SessionJournal&) = delete;
+
+  /// Append one record and fsync it to disk before returning. Thread-safe.
+  /// Returns false when the write failed (the record is not acknowledged).
+  bool append(const JournalRecord& record);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  SessionJournal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  std::mutex mutex_;
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace dovado::core

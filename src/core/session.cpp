@@ -19,6 +19,7 @@ util::Json point_to_json(const ExploredPoint& p) {
   obj["metrics"] = util::Json(std::move(metrics));
   obj["estimated"] = util::Json(p.estimated);
   obj["failed"] = util::Json(p.failed);
+  obj["approximate"] = util::Json(p.approximate);
   return util::Json(std::move(obj));
 }
 
@@ -46,6 +47,7 @@ std::optional<ExploredPoint> point_from_json(const util::Json& json) {
   };
   point.estimated = flag("estimated");
   point.failed = flag("failed");
+  point.approximate = flag("approximate");
   return point;
 }
 
@@ -83,12 +85,33 @@ bool save_session(const std::string& path, const std::vector<ExploredPoint>& exp
   return static_cast<bool>(out);
 }
 
-std::optional<std::vector<ExploredPoint>> load_session(const std::string& path) {
+SessionLoad load_session_ex(const std::string& path) {
+  SessionLoad out;
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) {
+    // Missing file vs unreadable content are different situations for the
+    // caller: --resume on a first run should fall back to a fresh start,
+    // while a present-but-broken file must be a hard error (resuming
+    // "fresh" would silently discard a paid-for session).
+    out.status = SessionLoadStatus::kMissing;
+    return out;
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return session_from_json(buffer.str());
+  auto parsed = session_from_json(buffer.str());
+  if (!parsed) {
+    out.status = SessionLoadStatus::kCorrupt;
+    return out;
+  }
+  out.status = SessionLoadStatus::kLoaded;
+  out.explored = std::move(*parsed);
+  return out;
+}
+
+std::optional<std::vector<ExploredPoint>> load_session(const std::string& path) {
+  SessionLoad load = load_session_ex(path);
+  if (load.status != SessionLoadStatus::kLoaded) return std::nullopt;
+  return std::move(load.explored);
 }
 
 }  // namespace dovado::core

@@ -35,4 +35,17 @@ bool save_session(const std::string& path, const std::vector<ExploredPoint>& exp
 [[nodiscard]] std::optional<std::vector<ExploredPoint>> load_session(
     const std::string& path);
 
+/// Why a session load produced no points — callers react differently to a
+/// file that never existed (fresh start) vs one that exists but cannot be
+/// parsed (hard error: the session it held would be silently lost).
+enum class SessionLoadStatus { kLoaded, kMissing, kCorrupt };
+
+struct SessionLoad {
+  SessionLoadStatus status = SessionLoadStatus::kMissing;
+  std::vector<ExploredPoint> explored;  ///< valid only for kLoaded
+};
+
+/// Load a session file, distinguishing missing from corrupt.
+[[nodiscard]] SessionLoad load_session_ex(const std::string& path);
+
 }  // namespace dovado::core

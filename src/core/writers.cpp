@@ -48,6 +48,7 @@ void write_csv(std::ostream& out, const std::vector<ExploredPoint>& points) {
   header.insert(header.end(), metrics.begin(), metrics.end());
   header.push_back("estimated");
   header.push_back("failed");
+  header.push_back("approximate");
   writer.row(header);
   for (const auto& p : points) {
     std::vector<std::string> row;
@@ -62,6 +63,7 @@ void write_csv(std::ostream& out, const std::vector<ExploredPoint>& points) {
     }
     row.push_back(p.estimated ? "1" : "0");
     row.push_back(p.failed ? "1" : "0");
+    row.push_back(p.approximate ? "1" : "0");
     writer.row(row);
   }
 }
@@ -77,6 +79,7 @@ std::string to_json(const DseResult& result, int indent) {
     obj["metrics"] = util::Json(std::move(metrics));
     obj["estimated"] = util::Json(p.estimated);
     obj["failed"] = util::Json(p.failed);
+    obj["approximate"] = util::Json(p.approximate);
     return util::Json(std::move(obj));
   };
 
@@ -102,6 +105,15 @@ std::string to_json(const DseResult& result, int indent) {
   stats["batches"] = util::Json(result.stats.batches);
   stats["last_batch_tool_seconds"] = util::Json(result.stats.last_batch_tool_seconds);
   stats["max_batch_tool_seconds"] = util::Json(result.stats.max_batch_tool_seconds);
+  stats["retries"] = util::Json(result.stats.retries);
+  stats["transient_failures"] = util::Json(result.stats.transient_failures);
+  stats["deterministic_failures"] = util::Json(result.stats.deterministic_failures);
+  stats["timeouts"] = util::Json(result.stats.timeouts);
+  stats["quarantined"] = util::Json(result.stats.quarantined);
+  stats["approx_fallbacks"] = util::Json(result.stats.approx_fallbacks);
+  stats["journal_replays"] = util::Json(result.stats.journal_replays);
+  stats["faults_injected"] = util::Json(result.stats.faults_injected);
+  stats["backoff_tool_seconds"] = util::Json(result.stats.backoff_tool_seconds);
 
   root["pareto"] = util::Json(std::move(pareto));
   root["explored"] = util::Json(std::move(explored));

@@ -69,6 +69,70 @@ std::optional<UtilizationReport> UtilizationReport::parse(std::string_view text)
   return report;
 }
 
+UtilizationReport::Checked UtilizationReport::parse_checked(std::string_view text) {
+  Checked out;
+  enum class State { kBeforeTable, kAfterHeader, kInRows, kDone };
+  State state = State::kBeforeTable;
+  UtilizationReport report;
+  for (const auto& line : util::split(text, '\n')) {
+    const std::string_view trimmed = util::trim(line);
+    if (state == State::kDone) break;
+    const bool is_border = trimmed.size() >= 2 && trimmed.front() == '+';
+    const bool is_row = trimmed.size() >= 2 && trimmed.front() == '|';
+
+    if (state == State::kBeforeTable) {
+      if (!is_row) continue;
+      auto cells = util::split(trimmed.substr(1, trimmed.size() - 2), '|');
+      if (cells.size() == 4 && util::trim(cells[0]) == "Site Type") {
+        out.attempted = true;
+        state = State::kAfterHeader;
+      }
+      continue;
+    }
+
+    // Inside the table: only border lines, well-formed rows and blank lines
+    // may appear until the closing border.
+    if (trimmed.empty()) continue;
+    if (is_border) {
+      if (state == State::kInRows) state = State::kDone;  // closing border
+      continue;  // the separator right under the header
+    }
+    if (!is_row) {
+      out.error = "unexpected text inside utilization table: '" +
+                  std::string(trimmed.substr(0, 40)) + "'";
+      return out;
+    }
+    auto cells = util::split(trimmed.substr(1, trimmed.size() - 2), '|');
+    UtilizationRow row;
+    long long used = 0;
+    long long avail = 0;
+    double pct = 0.0;
+    if (cells.size() != 4 || !util::parse_int(cells[1], used) ||
+        !util::parse_int(cells[2], avail) || !util::parse_double(cells[3], pct)) {
+      out.error =
+          "malformed utilization row: '" + std::string(trimmed.substr(0, 60)) + "'";
+      return out;
+    }
+    row.site_type = std::string(util::trim(cells[0]));
+    row.used = used;
+    row.available = avail;
+    row.util_percent = pct;
+    report.rows.push_back(std::move(row));
+    state = State::kInRows;
+  }
+  if (!out.attempted) {
+    out.error = "no utilization table found";
+    return out;
+  }
+  if (state != State::kDone) {
+    out.error = report.rows.empty() ? "utilization table truncated before any row"
+                                    : "utilization table truncated (no closing border)";
+    return out;
+  }
+  out.report = std::move(report);
+  return out;
+}
+
 std::string TimingReport::to_text() const {
   std::string out;
   out += util::format("Slack (%s) :  %.3fns  (required time - arrival time)\n",
@@ -110,6 +174,66 @@ std::optional<TimingReport> TimingReport::parse(std::string_view text) {
   }
   if (!saw_slack || !saw_req) return std::nullopt;
   return report;
+}
+
+TimingReport::Checked TimingReport::parse_checked(std::string_view text) {
+  Checked out;
+  TimingReport report;
+  bool saw_slack = false;
+  bool saw_req = false;
+  bool saw_delay = false;
+  for (const auto& line : util::split(text, '\n')) {
+    const std::string_view trimmed = util::trim(line);
+    if (util::starts_with(trimmed, "Slack")) {
+      out.attempted = true;
+      const auto colon = trimmed.find(':');
+      if (colon == std::string_view::npos) {
+        out.error = "timing report: malformed Slack line";
+        return out;
+      }
+      std::string_view value = util::trim(trimmed.substr(colon + 1));
+      const auto ns = value.find("ns");
+      if (ns != std::string_view::npos) value = value.substr(0, ns);
+      if (!util::parse_double(value, report.slack_ns)) {
+        out.error = "timing report: unparsable Slack value";
+        return out;
+      }
+      saw_slack = true;
+    } else if (util::starts_with(trimmed, "Requirement:")) {
+      out.attempted = true;
+      std::string v = util::replace_all(trimmed.substr(12), "ns", "");
+      if (!util::parse_double(v, report.requirement_ns)) {
+        out.error = "timing report: unparsable Requirement value";
+        return out;
+      }
+      saw_req = true;
+    } else if (util::starts_with(trimmed, "Data Path Delay:")) {
+      std::string v = util::replace_all(trimmed.substr(16), "ns", "");
+      if (!util::parse_double(v, report.data_path_ns)) {
+        out.error = "timing report: unparsable Data Path Delay value";
+        return out;
+      }
+      saw_delay = true;
+    } else if (util::starts_with(trimmed, "Logic Levels:")) {
+      long long levels = 0;
+      if (util::parse_int(trimmed.substr(13), levels)) {
+        report.logic_levels = static_cast<int>(levels);
+      }
+    } else if (util::starts_with(trimmed, "Path Group:")) {
+      report.path_group = std::string(util::trim(trimmed.substr(11)));
+    }
+  }
+  if (!out.attempted) {
+    out.error = "no timing report found";
+    return out;
+  }
+  if (!saw_slack || !saw_req || !saw_delay) {
+    out.error = std::string("timing report truncated: missing ") +
+                (!saw_slack ? "Slack" : !saw_req ? "Requirement" : "Data Path Delay");
+    return out;
+  }
+  out.report = report;
+  return out;
 }
 
 double fmax_mhz(double target_period_ns, double wns_ns) {

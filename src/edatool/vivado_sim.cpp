@@ -386,7 +386,7 @@ void VivadoSim::cmd_report_utilization() {
   if (device_->has_uram()) {
     report.rows.push_back({"URAM", u.uram, r.uram, pct(u.uram, r.uram)});
   }
-  interp_.emit(report.to_text());
+  interp_.emit(corrupt_reports_ ? corrupt_report_text(report.to_text()) : report.to_text());
 }
 
 void VivadoSim::cmd_report_timing() {
@@ -399,7 +399,7 @@ void VivadoSim::cmd_report_timing() {
   report.data_path_ns = timing_.data_path_ns;
   report.logic_levels = timing_.logic_levels;
   report.path_group = timing_.path_group;
-  interp_.emit(report.to_text());
+  interp_.emit(corrupt_reports_ ? corrupt_report_text(report.to_text()) : report.to_text());
 }
 
 void VivadoSim::register_tool_commands() {
@@ -531,14 +531,67 @@ void VivadoSim::register_tool_commands() {
             timing_.data_path_ns > 0.0 ? 1000.0 / timing_.data_path_ns : 0.0;
         const PowerEstimate estimate = estimate_power(*mapped_, *device_, clock_mhz);
         charge(3.0);
-        interp_.emit(power_report_text(estimate, clock_mhz));
+        const std::string text = power_report_text(estimate, clock_mhz);
+        interp_.emit(corrupt_reports_ ? corrupt_report_text(text) : text);
         return {};
       });
+}
+
+std::string VivadoSim::corrupt_report_text(std::string text) {
+  // Every digit becomes '#' (no numeric cell parses any more) and the tail
+  // is lost, mimicking a report file whose writer died mid-flush.
+  for (char& c : text) {
+    if (c >= '0' && c <= '9') c = '#';
+  }
+  text.resize(text.size() - text.size() / 3);
+  text.insert(0, "WARNING: [Report 1-13] report stream interrupted (simulated fault)\n");
+  return text;
 }
 
 tcl::EvalResult VivadoSim::run_script(const std::string& script) {
   interp_.clear_output();
   last_run_seconds_ = 0.0;
+  charge_factor_ = 1.0;
+  corrupt_reports_ = false;
+  last_fault_ = FaultKind::kNone;
+
+  if (faults_) {
+    const FaultInjector::Decision fault = faults_->decide(fault_point_key_, fault_attempt_);
+    last_fault_ = fault.kind;
+    switch (fault.kind) {
+      case FaultKind::kCrash: {
+        // The process dies partway through the flow: a deterministic
+        // fraction of a typical synthesis run is charged, then the script
+        // fails the way a vanished subprocess does.
+        charge(5.0 + 20.0 * (static_cast<double>(util::mix64(fault_point_key_ ^
+                                                             static_cast<std::uint64_t>(
+                                                                 fault_attempt_)) >>
+                                                 11) *
+                             0x1.0p-53));
+        tcl::EvalResult crashed;
+        crashed.error =
+            "ERROR: [Common 17-179] Vivado process terminated abnormally (simulated "
+            "transient crash)";
+        return crashed;
+      }
+      case FaultKind::kPersistentAbort: {
+        charge(3.0);
+        tcl::EvalResult aborted;
+        aborted.error =
+            "ERROR: [Common 17-179] Vivado process terminated abnormally (simulated "
+            "persistent abort)";
+        return aborted;
+      }
+      case FaultKind::kHang:
+        charge_factor_ = fault.hang_factor;
+        break;
+      case FaultKind::kCorruptReport:
+        corrupt_reports_ = true;
+        break;
+      case FaultKind::kNone:
+        break;
+    }
+  }
   return interp_.eval(script);
 }
 

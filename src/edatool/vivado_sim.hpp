@@ -17,10 +17,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "src/edatool/faults.hpp"
 #include "src/edatool/report.hpp"
 #include "src/edatool/techmap.hpp"
 #include "src/edatool/timing.hpp"
@@ -68,6 +70,27 @@ class VivadoSim {
   /// interp().output(); the previous run's output is cleared first.
   [[nodiscard]] tcl::EvalResult run_script(const std::string& script);
 
+  /// Attach a fault injector (nullptr = faults off). May be shared across
+  /// sessions; see edatool/faults.hpp. Faults fire per run_script call
+  /// according to the context set by set_fault_context.
+  void set_fault_injector(std::shared_ptr<const FaultInjector> injector) {
+    faults_ = std::move(injector);
+  }
+  [[nodiscard]] const std::shared_ptr<const FaultInjector>& fault_injector() const {
+    return faults_;
+  }
+
+  /// Identify the next run for the injector: the design point's stable key
+  /// (fault_point_key) and the 0-based retry attempt. Remains in effect
+  /// until the next call.
+  void set_fault_context(std::uint64_t point_key, int attempt) {
+    fault_point_key_ = point_key;
+    fault_attempt_ = attempt;
+  }
+
+  /// Fault injected by the most recent run_script call (kNone when clean).
+  [[nodiscard]] FaultKind last_fault() const { return last_fault_; }
+
   /// Simulated tool runtime of the last run_script call / of the session.
   [[nodiscard]] double last_run_seconds() const { return last_run_seconds_; }
   [[nodiscard]] double total_seconds() const { return total_seconds_; }
@@ -113,9 +136,15 @@ class VivadoSim {
   void elaborate(const std::string& top, const DirectiveEffect& synth_effect);
 
   void charge(double seconds) {
-    last_run_seconds_ += seconds;
-    total_seconds_ += seconds;
+    // An injected hang inflates every command's simulated runtime, the same
+    // way a wedged real tool burns wall-clock across the whole flow.
+    last_run_seconds_ += seconds * charge_factor_;
+    total_seconds_ += seconds * charge_factor_;
   }
+
+  /// Garble report text for an injected kCorruptReport fault: digits become
+  /// '#' and the tail is cut, so no parser can extract metrics from it.
+  [[nodiscard]] static std::string corrupt_report_text(std::string text);
 
   tcl::Interp interp_;
   std::map<std::string, std::string> vfs_;
@@ -136,6 +165,15 @@ class VivadoSim {
   double last_run_seconds_ = 0.0;
   double total_seconds_ = 0.0;
   int synthesis_runs_ = 0;
+
+  // Fault injection (see faults.hpp). The decision for a run is made once
+  // at run_script entry from (injector seed, point key, attempt).
+  std::shared_ptr<const FaultInjector> faults_;
+  std::uint64_t fault_point_key_ = 0;
+  int fault_attempt_ = 0;
+  double charge_factor_ = 1.0;     ///< >1 while an injected hang is active
+  bool corrupt_reports_ = false;   ///< garble report output this run
+  FaultKind last_fault_ = FaultKind::kNone;
 };
 
 }  // namespace dovado::edatool

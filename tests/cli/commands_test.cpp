@@ -153,13 +153,29 @@ TEST(CliExplore, SessionSaveAndResume) {
   std::remove(session.c_str());
 }
 
-TEST(CliExplore, ResumeMissingFileFails) {
+TEST(CliExplore, ResumeMissingFileStartsFresh) {
   const std::string source = rtl("cv32e40p_fifo.sv");
   const auto r = run_cli({"explore", "--source", source.c_str(), "--top", "cv32e40p_fifo",
                           "--part", "xc7k70t", "--param", "DEPTH=8:80", "--objective",
-                          "lut:min", "--resume", "/no/such/session.json"});
+                          "lut:min", "--pop", "6", "--gens", "2", "--resume",
+                          "/no/such/session.json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(util::contains(r.out, "starting fresh"));
+}
+
+TEST(CliExplore, ResumeCorruptFileFails) {
+  const std::string source = rtl("cv32e40p_fifo.sv");
+  const std::string session = testing::TempDir() + "/dovado_cli_corrupt_session.json";
+  {
+    std::ofstream out(session);
+    out << "{ this is not a session";
+  }
+  const auto r = run_cli({"explore", "--source", source.c_str(), "--top", "cv32e40p_fifo",
+                          "--part", "xc7k70t", "--param", "DEPTH=8:80", "--objective",
+                          "lut:min", "--resume", session.c_str()});
   EXPECT_NE(r.code, 0);
-  EXPECT_TRUE(util::contains(r.err, "cannot load session"));
+  EXPECT_TRUE(util::contains(r.err, "cannot be parsed"));
+  std::remove(session.c_str());
 }
 
 TEST(CliEvaluate, AcceptsBoardNames) {

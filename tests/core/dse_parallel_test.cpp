@@ -8,6 +8,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -325,6 +329,275 @@ TEST(DseParallel, StatsSnapshotSafeDuringRun) {
   monitor.join();
   EXPECT_FALSE(result.pareto.empty());
   EXPECT_DOUBLE_EQ(result.stats.simulated_tool_seconds, engine.tool_seconds());
+}
+
+edatool::FaultPlan plan_of(const std::string& spec) {
+  std::string error;
+  const auto plan = edatool::FaultPlan::parse(spec, error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  return plan.value_or(edatool::FaultPlan{});
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t n = 0;
+  for (char c : text) n += (c == '\n') ? 1 : 0;
+  return n;
+}
+
+void expect_same_front(const DseResult& a, const DseResult& b) {
+  ASSERT_EQ(a.pareto.size(), b.pareto.size());
+  for (std::size_t i = 0; i < a.pareto.size(); ++i) {
+    EXPECT_EQ(a.pareto[i].params, b.pareto[i].params);
+    EXPECT_EQ(a.pareto[i].metrics.values, b.pareto[i].metrics.values);
+  }
+}
+
+TEST(EvaluationSupervisor, ClassifiesErrorText) {
+  EXPECT_EQ(EvaluationSupervisor::classify_error(
+                "ERROR: [Common 17-179] Vivado process terminated abnormally "
+                "(simulated transient crash)"),
+            FailureClass::kTransient);
+  EXPECT_EQ(EvaluationSupervisor::classify_error(
+                "WARNING: [Report 1-13] report stream interrupted (simulated fault)"),
+            FailureClass::kTransient);
+  EXPECT_EQ(EvaluationSupervisor::classify_error(
+                "tool produced no parsable reports (utilization table truncated "
+                "(no closing border))"),
+            FailureClass::kTransient);
+  // Tool-semantic failures repeat on retry: re-running pays the same answer.
+  EXPECT_EQ(EvaluationSupervisor::classify_error("placement failed: over-utilization"),
+            FailureClass::kDeterministic);
+  EXPECT_EQ(EvaluationSupervisor::classify_error("box generation failed"),
+            FailureClass::kDeterministic);
+}
+
+TEST(DseRobustness, TransientFaultStressMatchesFaultFreeFront) {
+  // Acceptance criterion: a seeded 20% crash + 5% hang plan must not change
+  // *what* the campaign finds, only what it costs. Every transient fault
+  // eventually clears under retry, so the faulty run's non-dominated set is
+  // identical to the fault-free run's.
+  DseEngine clean(fifo_project(), fifo_dse(3));
+  const DseResult clean_result = clean.run();
+
+  DseConfig config = fifo_dse(3);
+  config.fault_plan = plan_of("seed=11,crash=0.2,hang=0.05,hang_factor=5");
+  config.supervise.max_retries = 8;
+  DseEngine faulty(fifo_project(), config);
+  const DseResult faulty_result = faulty.run();
+
+  expect_same_front(clean_result, faulty_result);
+  EXPECT_GT(faulty_result.stats.faults_injected, 0u);
+  EXPECT_GT(faulty_result.stats.retries, 0u);
+  EXPECT_GT(faulty_result.stats.transient_failures, 0u);
+  EXPECT_GT(faulty_result.stats.backoff_tool_seconds, 0.0);
+  EXPECT_EQ(faulty_result.stats.quarantined, 0u);
+  // Crashed attempts and backoff are charged, so the faulty campaign is
+  // strictly more expensive in simulated tool time.
+  EXPECT_GT(faulty_result.stats.simulated_tool_seconds,
+            clean_result.stats.simulated_tool_seconds);
+}
+
+TEST(DseRobustness, HungAttemptsAreKilledAndRetried) {
+  // Calibrate the per-attempt budget from the most expensive clean run so
+  // only injected hangs (inflated 200x) can exceed it.
+  DseEngine probe(fifo_project(), fifo_dse(0));
+  auto probe_batch = batch_of({192});  // DEPTH=200, the largest design
+  probe.batch_evaluate(probe_batch);
+  const double worst_clean_seconds = probe.stats().simulated_tool_seconds;
+  ASSERT_GT(worst_clean_seconds, 0.0);
+
+  DseConfig config = fifo_dse(2);
+  config.fault_plan = plan_of("seed=4,hang=0.25,hang_factor=200");
+  config.supervise.max_retries = 8;
+  config.supervise.attempt_timeout_tool_seconds = 10.0 * worst_clean_seconds;
+  DseEngine engine(fifo_project(), config);
+  const DseResult result = engine.run();
+
+  EXPECT_GT(result.stats.timeouts, 0u);
+  EXPECT_GT(result.stats.retries, 0u);
+  EXPECT_EQ(result.stats.quarantined, 0u);
+  // A killed attempt's charge is capped at the budget, so no single attempt
+  // can dominate the campaign the way an unsupervised hang would.
+  EXPECT_FALSE(result.pareto.empty());
+}
+
+TEST(DseRobustness, PersistentAbortsAreQuarantinedAndNeverRerun) {
+  DseConfig config = fifo_dse(2);
+  config.fault_plan = plan_of("seed=5,abort=0.3");
+  config.supervise.max_retries = 2;
+  DseEngine engine(fifo_project(), config);
+  const DseResult result = engine.run();
+
+  EXPECT_GT(result.stats.quarantined, 0u);
+  EXPECT_EQ(result.stats.quarantined, engine.supervisor().quarantine_size());
+  EXPECT_GT(result.stats.failures, 0u);
+  // Every quarantined point burned 1 + max_retries attempts.
+  EXPECT_GE(result.stats.transient_failures,
+            result.stats.quarantined * (1 + config.supervise.max_retries));
+  EXPECT_FALSE(result.pareto.empty());
+
+  // Find a quarantined explored point and re-request it: the cached failure
+  // answers without another tool attempt.
+  const ExploredPoint* quarantined = nullptr;
+  for (const auto& p : result.explored) {
+    if (p.failed && engine.supervisor().is_quarantined(p.params)) {
+      quarantined = &p;
+      break;
+    }
+  }
+  ASSERT_NE(quarantined, nullptr);
+  const DseStats before = engine.stats();
+  auto batch = batch_of({quarantined->params.at("DEPTH") - 8});
+  engine.batch_evaluate(batch);
+  const DseStats after = engine.stats();
+  EXPECT_EQ(after.tool_runs, before.tool_runs);
+  EXPECT_EQ(after.cache_hits, before.cache_hits + 1);
+}
+
+TEST(DseRobustness, QuarantinedPointsFallBackToApproximateScores) {
+  DseConfig config = fifo_dse(0);
+  config.fault_plan = plan_of("seed=6,abort=0.3");
+  config.supervise.max_retries = 1;
+  config.use_approximation = true;
+  config.pretrain_samples = 15;
+  config.approx_fallback_min_samples = 5;
+  DseEngine engine(fifo_project(), config);
+  const DseResult result = engine.run();
+
+  EXPECT_GT(result.stats.approx_fallbacks, 0u);
+  bool saw_approximate = false;
+  for (const auto& p : result.explored) {
+    if (!p.approximate) continue;
+    saw_approximate = true;
+    // An approximate point carries a usable NWM score, not a penalty.
+    EXPECT_FALSE(p.failed);
+    EXPECT_FALSE(p.metrics.values.empty());
+  }
+  EXPECT_TRUE(saw_approximate);
+}
+
+TEST(DseJournal, ResumeReplaysEveryPaidRunAndPaysNothing) {
+  const std::string path = testing::TempDir() + "/dovado_journal_replay.jsonl";
+  std::remove(path.c_str());
+
+  DseConfig config = fifo_dse(2);
+  config.journal_path = path;
+  DseEngine first(fifo_project(), config);
+  const DseResult original = first.run();
+  ASSERT_GT(original.stats.tool_runs, 0u);
+  // One fsync'd record per fresh tool answer.
+  EXPECT_EQ(count_lines(read_file(path)), original.stats.tool_runs);
+
+  config.resume_from_journal = true;
+  DseEngine resumed(fifo_project(), config);
+  const DseResult replayed = resumed.run();
+
+  // Same seed => same GA trajectory => every journaled point is a cache
+  // hit: the resumed campaign re-evaluates nothing it already paid for.
+  EXPECT_EQ(replayed.stats.journal_replays, original.stats.tool_runs);
+  EXPECT_EQ(replayed.stats.tool_runs, 0u);
+  EXPECT_EQ(replayed.explored.size(), original.explored.size());
+  expect_same_front(original, replayed);
+  std::remove(path.c_str());
+}
+
+TEST(DseJournal, TornTailIsRecoveredAndRepaired) {
+  const std::string path = testing::TempDir() + "/dovado_journal_torn.jsonl";
+  std::remove(path.c_str());
+
+  DseConfig config = fifo_dse(2);
+  config.journal_path = path;
+  DseEngine first(fifo_project(), config);
+  const DseResult original = first.run();
+  const std::size_t records = original.stats.tool_runs;
+  ASSERT_GT(records, 1u);
+
+  // Tear the final record mid-write, as a crash during append would.
+  std::string content = read_file(path);
+  ASSERT_GT(content.size(), 10u);
+  content.resize(content.size() - 10);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  }
+
+  config.resume_from_journal = true;
+  DseEngine resumed(fifo_project(), config);
+  const DseResult recovered = resumed.run();
+
+  // The intact prefix replays; only the one torn record is re-evaluated,
+  // and the campaign still converges on the original explored set.
+  EXPECT_EQ(recovered.stats.journal_replays, records - 1);
+  EXPECT_EQ(recovered.stats.tool_runs, 1u);
+  EXPECT_EQ(recovered.explored.size(), original.explored.size());
+  expect_same_front(original, recovered);
+
+  // The re-run was appended past the truncated tail, so the journal is
+  // whole again: a third resume replays everything.
+  DseEngine again(fifo_project(), config);
+  const DseResult third = again.run();
+  EXPECT_EQ(third.stats.journal_replays, records);
+  EXPECT_EQ(third.stats.tool_runs, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DseJournal, CorruptRecordMidFileIsAHardError) {
+  const std::string path = testing::TempDir() + "/dovado_journal_corrupt.jsonl";
+  std::remove(path.c_str());
+
+  DseConfig config = fifo_dse(0);
+  config.journal_path = path;
+  DseEngine first(fifo_project(), config);
+  (void)first.run();
+
+  // Damage the *first* record while intact records follow: that is file
+  // corruption, not a crash artifact, and must not be silently dropped.
+  std::string content = read_file(path);
+  const auto eol = content.find('\n');
+  ASSERT_NE(eol, std::string::npos);
+  ASSERT_LT(eol + 1, content.size());  // at least one intact record after
+  content.replace(0, eol, "xx{ not a journal record");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  }
+
+  config.resume_from_journal = true;
+  EXPECT_THROW(DseEngine(fifo_project(), config), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SessionJournalRecord, JsonRoundTrip) {
+  JournalRecord record;
+  record.params = {{"DEPTH", 64}, {"WIDTH", 8}};
+  record.metrics.values = {{"lut", 321.0}, {"fmax_mhz", 512.25}};
+  record.ok = false;
+  record.error = "ERROR: [Common 17-179] Vivado process terminated abnormally";
+  record.failure = FailureClass::kTransient;
+  record.attempts = 3;
+  record.quarantined = true;
+  record.tool_seconds = 12.5;
+
+  const auto parsed = journal_record_from_json(journal_record_to_json(record));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->params, record.params);
+  EXPECT_EQ(parsed->metrics.values, record.metrics.values);
+  EXPECT_EQ(parsed->ok, record.ok);
+  EXPECT_EQ(parsed->error, record.error);
+  EXPECT_EQ(parsed->failure, record.failure);
+  EXPECT_EQ(parsed->attempts, record.attempts);
+  EXPECT_EQ(parsed->quarantined, record.quarantined);
+  EXPECT_DOUBLE_EQ(parsed->tool_seconds, record.tool_seconds);
+
+  EXPECT_FALSE(journal_record_from_json("xx{ not a record").has_value());
+  EXPECT_FALSE(journal_record_from_json("").has_value());
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ TEST(WriteCsv, HeaderAndRows) {
   ASSERT_EQ(rows.size(), 3u);
   EXPECT_EQ(rows[0],
             (std::vector<std::string>{"DEPTH", "WIDTH", "fmax_mhz", "lut", "estimated",
-                                      "failed"}));
+                                      "failed", "approximate"}));
   EXPECT_EQ(rows[1][0], "16");
   EXPECT_EQ(rows[1][3], "120");
   EXPECT_EQ(rows[2][4], "1");  // estimated flag
@@ -39,7 +39,7 @@ TEST(WriteCsv, EmptySetWritesHeaderOnly) {
   write_csv(out, {});
   const auto rows = util::parse_csv(out.str());
   ASSERT_EQ(rows.size(), 1u);
-  EXPECT_EQ(rows[0].back(), "failed");
+  EXPECT_EQ(rows[0].back(), "approximate");
 }
 
 TEST(WriteCsv, MissingMetricLeavesEmptyCell) {

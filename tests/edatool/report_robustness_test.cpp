@@ -1,0 +1,265 @@
+// Robustness of the report-extraction path: corrupt, truncated or
+// interleaved tool output must fail *loudly* through parse_checked with a
+// diagnostic, never parse into silently-zero metrics. Also covers the fault
+// plan / injector determinism contracts the supervisor relies on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/edatool/faults.hpp"
+#include "src/edatool/report.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::edatool {
+namespace {
+
+UtilizationReport sample_utilization() {
+  UtilizationReport report;
+  report.rows.push_back({"Slice LUTs", 1200, 41000, 2.93});
+  report.rows.push_back({"Slice Registers", 800, 82000, 0.98});
+  report.rows.push_back({"Block RAM Tile", 4, 135, 2.96});
+  return report;
+}
+
+TimingReport sample_timing() {
+  TimingReport report;
+  report.requirement_ns = 2.0;
+  report.slack_ns = -0.25;
+  report.data_path_ns = 2.25;
+  report.logic_levels = 5;
+  report.path_group = "clk";
+  return report;
+}
+
+TEST(CheckedUtilization, IntactReportParses) {
+  const auto checked = UtilizationReport::parse_checked(sample_utilization().to_text());
+  EXPECT_TRUE(checked.attempted);
+  EXPECT_TRUE(checked.error.empty()) << checked.error;
+  ASSERT_TRUE(checked.report.has_value());
+  EXPECT_EQ(checked.report->used("Slice LUTs"), 1200);
+}
+
+TEST(CheckedUtilization, TruncatedTableFails) {
+  std::string text = sample_utilization().to_text();
+  // Cut mid-table: keep the header and first row, lose the closing border.
+  const auto row = text.find("Slice Registers");
+  ASSERT_NE(row, std::string::npos);
+  text.resize(text.rfind('\n', row) + 1);
+  const auto checked = UtilizationReport::parse_checked(text);
+  EXPECT_TRUE(checked.attempted);
+  EXPECT_FALSE(checked.report.has_value());
+  EXPECT_TRUE(util::contains(checked.error, "truncated")) << checked.error;
+}
+
+TEST(CheckedUtilization, GarbledDigitsFailWithRowDiagnostic) {
+  std::string text = sample_utilization().to_text();
+  // Same garbling an injected kCorruptReport applies: digits become '#'.
+  for (char& c : text) {
+    if (c >= '0' && c <= '9') c = '#';
+  }
+  const auto checked = UtilizationReport::parse_checked(text);
+  EXPECT_TRUE(checked.attempted);
+  EXPECT_FALSE(checked.report.has_value());
+  EXPECT_FALSE(checked.error.empty());
+}
+
+TEST(CheckedUtilization, InterleavedOutputInsideTableFails) {
+  std::string text = sample_utilization().to_text();
+  // A concurrent writer splices a log line into the middle of the table.
+  const auto pos = text.find("| Slice Registers");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, "INFO: [Synth 8-7080] Parallel synthesis criteria met\n");
+  const auto checked = UtilizationReport::parse_checked(text);
+  EXPECT_TRUE(checked.attempted);
+  EXPECT_FALSE(checked.report.has_value());
+  EXPECT_TRUE(util::contains(checked.error, "unexpected text")) << checked.error;
+}
+
+TEST(CheckedUtilization, GarbageTextIsNotAttempted) {
+  const auto checked = UtilizationReport::parse_checked("ERROR: tool died\nno table here\n");
+  EXPECT_FALSE(checked.attempted);
+  EXPECT_FALSE(checked.report.has_value());
+  EXPECT_TRUE(util::contains(checked.error, "no utilization table")) << checked.error;
+}
+
+TEST(CheckedUtilization, LenientParseStillDropsBadRows) {
+  // Documents why parse_checked exists: the lenient parser keeps going past
+  // a garbled row, which downstream would read as a missing (zero) metric.
+  std::string text = sample_utilization().to_text();
+  const auto pos = text.find("1200");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, "12#0");
+  const auto lenient = UtilizationReport::parse(text);
+  ASSERT_TRUE(lenient.has_value());
+  EXPECT_EQ(lenient->used("Slice LUTs"), 0);  // silently zero
+  const auto checked = UtilizationReport::parse_checked(text);
+  EXPECT_FALSE(checked.report.has_value());  // checked parse refuses
+  EXPECT_FALSE(checked.error.empty());
+}
+
+TEST(CheckedTiming, IntactReportParses) {
+  const auto checked = TimingReport::parse_checked(sample_timing().to_text());
+  EXPECT_TRUE(checked.attempted);
+  EXPECT_TRUE(checked.error.empty()) << checked.error;
+  ASSERT_TRUE(checked.report.has_value());
+  EXPECT_DOUBLE_EQ(checked.report->slack_ns, -0.25);
+  EXPECT_DOUBLE_EQ(checked.report->data_path_ns, 2.25);
+}
+
+TEST(CheckedTiming, MissingDelayLineFails) {
+  std::string text = sample_timing().to_text();
+  const auto pos = text.find("Data Path Delay");
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = text.find('\n', pos);
+  text.erase(pos, eol == std::string::npos ? std::string::npos : eol - pos + 1);
+  const auto checked = TimingReport::parse_checked(text);
+  EXPECT_TRUE(checked.attempted);
+  EXPECT_FALSE(checked.report.has_value());
+  EXPECT_TRUE(util::contains(checked.error, "Data Path Delay")) << checked.error;
+}
+
+TEST(CheckedTiming, GarbledSlackFails) {
+  std::string text = sample_timing().to_text();
+  for (char& c : text) {
+    if (c >= '0' && c <= '9') c = '#';
+  }
+  const auto checked = TimingReport::parse_checked(text);
+  EXPECT_TRUE(checked.attempted);
+  EXPECT_FALSE(checked.report.has_value());
+  EXPECT_TRUE(util::contains(checked.error, "Slack")) << checked.error;
+}
+
+TEST(CheckedTiming, GarbageTextIsNotAttempted) {
+  const auto checked = TimingReport::parse_checked("segfault (core dumped)\n");
+  EXPECT_FALSE(checked.attempted);
+  EXPECT_TRUE(util::contains(checked.error, "no timing report")) << checked.error;
+}
+
+TEST(FaultPlanParse, FullSpecRoundTrips) {
+  std::string error;
+  const auto plan = FaultPlan::parse(
+      "seed=7,crash=0.2,hang=0.05,corrupt=0.1,abort=0.02,hang_factor=30", error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_DOUBLE_EQ(plan->crash_rate, 0.2);
+  EXPECT_DOUBLE_EQ(plan->hang_rate, 0.05);
+  EXPECT_DOUBLE_EQ(plan->corrupt_rate, 0.1);
+  EXPECT_DOUBLE_EQ(plan->abort_rate, 0.02);
+  EXPECT_DOUBLE_EQ(plan->hang_factor, 30.0);
+  EXPECT_TRUE(plan->active());
+
+  const auto again = FaultPlan::parse(plan->to_string(), error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_DOUBLE_EQ(again->crash_rate, plan->crash_rate);
+  EXPECT_DOUBLE_EQ(again->abort_rate, plan->abort_rate);
+  EXPECT_EQ(again->seed, plan->seed);
+}
+
+TEST(FaultPlanParse, EmptySpecIsInactive) {
+  std::string error;
+  const auto plan = FaultPlan::parse("  ", error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_FALSE(plan->active());
+}
+
+TEST(FaultPlanParse, RejectsBadSpecs) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse("crash=1.5", error).has_value());
+  EXPECT_TRUE(util::contains(error, "[0,1]")) << error;
+  EXPECT_FALSE(FaultPlan::parse("crash=abc", error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("warp=0.1", error).has_value());
+  EXPECT_TRUE(util::contains(error, "unknown")) << error;
+  EXPECT_FALSE(FaultPlan::parse("crash", error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("hang_factor=0.5", error).has_value());
+  // Transient rates competing for the same roll must fit in one unit range.
+  EXPECT_FALSE(FaultPlan::parse("crash=0.6,hang=0.3,corrupt=0.2", error).has_value());
+  EXPECT_TRUE(util::contains(error, "sum")) << error;
+}
+
+TEST(FaultInjector, DecisionsAreDeterministic) {
+  std::string error;
+  const auto plan = FaultPlan::parse("seed=11,crash=0.3,hang=0.1,corrupt=0.1,abort=0.05", error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const FaultInjector a(*plan);
+  const FaultInjector b(*plan);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      EXPECT_EQ(a.decide(key, attempt).kind, b.decide(key, attempt).kind)
+          << "key=" << key << " attempt=" << attempt;
+    }
+  }
+}
+
+TEST(FaultInjector, PersistentAbortRecursAcrossAttempts) {
+  std::string error;
+  const auto plan = FaultPlan::parse("seed=3,abort=0.2", error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const FaultInjector injector(*plan);
+  int aborting_points = 0;
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    if (injector.decide(key, 0).kind != FaultKind::kPersistentAbort) continue;
+    ++aborting_points;
+    for (int attempt = 1; attempt < 6; ++attempt) {
+      EXPECT_EQ(injector.decide(key, attempt).kind, FaultKind::kPersistentAbort)
+          << "abort did not recur on attempt " << attempt << " for key " << key;
+    }
+  }
+  // ~20% of 500 keys should abort; determinism makes the exact count stable.
+  EXPECT_GT(aborting_points, 50);
+  EXPECT_LT(aborting_points, 150);
+}
+
+TEST(FaultInjector, TransientFaultsRerollPerAttempt) {
+  std::string error;
+  const auto plan = FaultPlan::parse("seed=5,crash=0.5", error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const FaultInjector injector(*plan);
+  // At crash=0.5 a point that crashed on attempt 0 clears within a few
+  // retries with overwhelming probability; find one that demonstrates it.
+  bool saw_recovery = false;
+  for (std::uint64_t key = 0; key < 200 && !saw_recovery; ++key) {
+    if (injector.decide(key, 0).kind != FaultKind::kCrash) continue;
+    for (int attempt = 1; attempt < 8; ++attempt) {
+      if (injector.decide(key, attempt).kind == FaultKind::kNone) {
+        saw_recovery = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_recovery);
+}
+
+TEST(FaultInjector, HangCarriesConfiguredFactor) {
+  std::string error;
+  const auto plan = FaultPlan::parse("seed=9,hang=1.0,hang_factor=40", error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const FaultInjector injector(*plan);
+  const auto decision = injector.decide(42, 0);
+  ASSERT_EQ(decision.kind, FaultKind::kHang);
+  EXPECT_DOUBLE_EQ(decision.hang_factor, 40.0);
+}
+
+TEST(FaultInjector, CountersTrackFiredFaults) {
+  std::string error;
+  const auto plan = FaultPlan::parse("seed=2,crash=0.4,abort=0.1", error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const FaultInjector injector(*plan);
+  for (std::uint64_t key = 0; key < 100; ++key) (void)injector.decide(key, 0);
+  const auto counters = injector.counters();
+  EXPECT_GT(counters.crashes, 0u);
+  EXPECT_GT(counters.aborts, 0u);
+  EXPECT_EQ(counters.hangs, 0u);
+  EXPECT_EQ(counters.corrupted_reports, 0u);
+}
+
+TEST(FaultPointKey, OrderIndependentAndValueSensitive) {
+  const std::map<std::string, std::int64_t> a = {{"DEPTH", 16}, {"WIDTH", 32}};
+  const std::map<std::string, std::int64_t> b = {{"WIDTH", 32}, {"DEPTH", 16}};
+  EXPECT_EQ(fault_point_key(a), fault_point_key(b));  // std::map iterates sorted
+  const std::map<std::string, std::int64_t> c = {{"DEPTH", 17}, {"WIDTH", 32}};
+  EXPECT_NE(fault_point_key(a), fault_point_key(c));
+}
+
+}  // namespace
+}  // namespace dovado::edatool
