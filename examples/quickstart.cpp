@@ -79,7 +79,8 @@ int main() {
   }
   std::printf("--- evaluated design points (xc7k70t, target 1 GHz) ---\n%s",
               core::format_table(rows).c_str());
-  std::printf("\nsimulated tool time: %.0f s across %d synthesis runs\n",
-              evaluator.tool_seconds(), evaluator.sim().synthesis_runs());
+  std::printf("\nsimulated tool time: %.0f s across %llu flow runs\n",
+              evaluator.tool_seconds(),
+              static_cast<unsigned long long>(evaluator.backend().flows_run()));
   return 0;
 }

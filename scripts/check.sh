@@ -18,7 +18,7 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 echo "== tier-1: release build + full ctest =="
 cmake --preset default
 cmake --build --preset default -j "$jobs"
-ctest --preset default -j "$jobs"
+ctest --preset default -j "$jobs" --timeout 600
 
 if [[ "$fast" == "1" ]]; then
   echo "== --fast: skipping sanitizer presets =="
@@ -28,11 +28,11 @@ fi
 echo "== tsan: fault-injected concurrency suite =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" --target test_core test_util
-ctest --preset tsan-parallel -j "$jobs"
+ctest --preset tsan-parallel -j "$jobs" --timeout 600
 
 echo "== asan: full suite =="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs"
-ctest --preset asan -j "$jobs"
+ctest --preset asan -j "$jobs" --timeout 600
 
 echo "== all checks passed =="

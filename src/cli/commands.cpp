@@ -38,6 +38,7 @@ core::ProjectConfig project_from(const Options& options) {
   project.run_implementation = options.run_implementation;
   project.incremental_synth = options.incremental;
   project.incremental_impl = options.incremental;
+  project.backend = options.backend;
   return project;
 }
 
@@ -157,6 +158,7 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
     config.use_approximation = options.approximate;
     config.pretrain_samples = options.pretrain;
     config.workers = options.workers;
+    config.screen_keep_ratio = options.screen_ratio;
     if (options.deadline_hours > 0.0) {
       config.deadline_tool_seconds = options.deadline_hours * 3600.0;
     }
@@ -198,6 +200,18 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
         << " simulated tool seconds";
     if (result.stats.deadline_hit) out << ", deadline hit";
     out << ")\n";
+    if (!result.stats.backend_runs.empty()) {
+      out << "backend runs:";
+      for (const auto& [name, runs] : result.stats.backend_runs) {
+        out << " " << name << "=" << runs;
+      }
+      if (result.stats.screened_out > 0) {
+        out << " (" << result.stats.screened_out << " screened out, "
+            << util::format("%.0f", result.stats.screen_tool_seconds)
+            << " screening tool seconds)";
+      }
+      out << "\n";
+    }
     out << "parallel dispatch: " << result.stats.batches << " batches, "
         << result.stats.lease_waits << " lease waits, "
         << result.stats.deadline_skips << " deadline skips, peak batch "

@@ -143,6 +143,9 @@ project options (parse/evaluate/explore):
   --route-directive D     routing directive
   --no-impl               synthesis-only flow
   --incremental           enable the incremental synthesis/implementation flow
+  --backend NAME          evaluation backend: vivado-sim (default, the
+                          simulated tool) or analytic (fast low-fidelity
+                          cost-model estimator)
 
 evaluate options:
   --set NAME=VALUE        parameter assignment (repeatable)
@@ -161,6 +164,10 @@ explore options:
   --pretrain M            synthetic dataset size (default 100)
   --deadline-hours H      soft deadline on simulated tool time
   --workers N             parallel tool sessions (default 0 = inline)
+  --screen-ratio R        multi-fidelity screening: pre-rank each offspring
+                          batch on the analytic backend and send only the
+                          top fraction R to the full flow (default 1.0 =
+                          screening off)
   --resume FILE           warm-start from a saved session (tool results are
                           not re-paid for); a missing file starts fresh, a
                           corrupt file is a hard error
@@ -257,6 +264,16 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
       opt.run_implementation = false;
     } else if (a == "--incremental") {
       opt.incremental = true;
+    } else if (a == "--backend") {
+      if (!need_value(i, a)) return outcome;
+      opt.backend = args[++i];
+    } else if (a == "--screen-ratio") {
+      if (!need_value(i, a)) return outcome;
+      if (!util::parse_double(args[++i], opt.screen_ratio) || opt.screen_ratio <= 0.0 ||
+          opt.screen_ratio > 1.0) {
+        outcome.error = "invalid --screen-ratio (must be in (0, 1])";
+        return outcome;
+      }
     } else if (a == "--set") {
       if (!need_value(i, a)) return outcome;
       const std::string& assignment = args[++i];

@@ -40,6 +40,7 @@ struct Options {
   std::string route_directive = "Default";  ///< --route-directive
   bool run_implementation = true;    ///< --no-impl clears it
   bool incremental = false;          ///< --incremental
+  std::string backend = "vivado-sim";  ///< --backend NAME
 
   // evaluate: explicit design point(s).
   core::DesignPoint assignments;     ///< --set NAME=VALUE (repeatable)
@@ -54,6 +55,7 @@ struct Options {
   std::size_t pretrain = 100;        ///< --pretrain
   double deadline_hours = 0.0;       ///< --deadline-hours (0 = none)
   std::size_t workers = 0;           ///< --workers
+  double screen_ratio = 1.0;         ///< --screen-ratio (1.0 = no screening)
 
   // Output options.
   std::string csv_path;   ///< --csv FILE

@@ -1,0 +1,198 @@
+#include "src/core/broker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/logging.hpp"
+
+namespace dovado::core {
+
+EvaluationBroker::EvaluationBroker(ProjectConfig project, BrokerConfig config)
+    : project_(std::move(project)),
+      config_(std::move(config)),
+      cache_(std::make_shared<EvaluationCache>()) {
+  // Every evaluation runs supervised (retries/quarantine); with faults off
+  // and a healthy tool, supervision is a single attempt plus bookkeeping.
+  supervisor_ = std::make_shared<EvaluationSupervisor>(config_.supervise);
+  if (config_.fault_plan.active()) {
+    fault_injector_ = std::make_shared<edatool::FaultInjector>(config_.fault_plan);
+    util::Log::info("fault injection active: " + config_.fault_plan.to_string());
+  }
+
+  // One exclusively-leasable tool session per parallel lane: the pool's
+  // workers plus the caller, which participates in parallel_for. Inline
+  // mode (workers == 0) gets a single session.
+  const std::size_t lane_count = config_.workers == 0 ? 1 : config_.workers + 1;
+  for (std::size_t i = 0; i < lane_count; ++i) {
+    auto evaluator = std::make_unique<PointEvaluator>(project_, cache_);
+    evaluator->set_supervisor(supervisor_);
+    if (fault_injector_) evaluator->set_fault_injector(fault_injector_);
+    if (i == 0) {
+      backend_info_ = evaluator->backend().info();
+      metric_names_ = evaluator->backend().metric_names();
+    }
+    evaluators_.add(std::move(evaluator));
+  }
+  pool_ = std::make_unique<util::ThreadPool>(config_.workers);
+
+  // Crash-safety journal: open (and read back) now, but hold the replay
+  // until replay_journal() — the engine seeds warm-start state first so
+  // replay can skip what it already covers. A corrupt journal is a hard
+  // error: silently dropping paid-for evaluations would be worse than
+  // stopping.
+  if (!config_.journal_path.empty()) {
+    std::string journal_error;
+    journal_ = SessionJournal::open(config_.journal_path,
+                                    config_.resume_from_journal ? &pending_replay_ : nullptr,
+                                    journal_error);
+    if (!journal_) throw std::runtime_error(journal_error);
+    if (pending_replay_.torn_tail) {
+      util::Log::warn("journal '" + config_.journal_path +
+                      "' had a torn final record (crash mid-write); dropped");
+    }
+  }
+}
+
+std::vector<JournalRecord> EvaluationBroker::replay_journal() {
+  std::vector<JournalRecord> seeded;
+  if (pending_replay_.records.empty()) return seeded;
+  for (const auto& rec : pending_replay_.records) {
+    if (cache_->lookup(rec.params)) continue;  // warm start already seeded it
+    EvalResult result;
+    result.ok = rec.ok;
+    result.metrics = rec.metrics;
+    result.error = rec.error;
+    result.failure = rec.failure;
+    result.attempts = rec.attempts;
+    result.quarantined = rec.quarantined;
+    cache_->store(rec.params, result);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++journal_replays_;
+    }
+    seeded.push_back(rec);
+  }
+  util::Log::info("journal replay: " + std::to_string(pending_replay_.records.size()) +
+                  " evaluations recovered from '" + config_.journal_path + "'");
+  pending_replay_ = {};
+  return seeded;
+}
+
+void EvaluationBroker::seed_cache(const DesignPoint& point, const EvalResult& result) {
+  cache_->store(point, result);
+}
+
+std::optional<EvalResult> EvaluationBroker::cached(const DesignPoint& point) const {
+  return cache_->lookup(point);
+}
+
+EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point) {
+  EvalResult result;
+  {
+    const EvaluatorPool::Lease lease = evaluators_.acquire();
+    result = lease->evaluate(point);
+  }
+  if (result.ok) {
+    for (const auto& derived : config_.derived_metrics) {
+      result.metrics.values[derived.name] = derived.compute(point, result.metrics);
+    }
+  }
+  // Journal every *fresh* tool answer (cache hits and joins were paid for —
+  // and journaled — by their leader) so a crashed campaign can resume
+  // without repaying for it.
+  const bool fresh = !result.cache_hit && !result.joined;
+  if (journal_ && fresh) {
+    JournalRecord rec;
+    rec.params = point;
+    rec.metrics = result.metrics;
+    rec.ok = result.ok;
+    rec.error = result.error;
+    rec.failure = result.failure;
+    rec.attempts = result.attempts;
+    rec.quarantined = result.quarantined;
+    rec.tool_seconds = result.tool_seconds;
+    if (!journal_->append(rec)) {
+      util::Log::warn("journal append failed for '" + journal_->path() +
+                      "'; crash recovery will miss this point");
+    }
+  }
+  // Cache hits and single-flight joins carry zero tool seconds, so charging
+  // unconditionally counts every simulated second exactly once.
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  tool_seconds_accum_ += result.tool_seconds;
+  if (fresh) ++fresh_runs_;
+  return result;
+}
+
+std::size_t EvaluationBroker::run_deadline_chunked(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  // The caller participates in parallel_for, so a chunk of twice the lane
+  // count keeps every lane busy while bounding deadline overshoot to one
+  // chunk's worth of tool runs.
+  const std::size_t chunk = 2 * (pool_->worker_count() + 1);
+  const double start_seconds = tool_seconds();
+  std::size_t dispatched = 0;
+  while (dispatched < n) {
+    if (deadline_exceeded()) {
+      mark_deadline_hit();
+      break;
+    }
+    const std::size_t end = std::min(n, dispatched + chunk);
+    pool_->parallel_for(dispatched, end, fn);
+    dispatched = end;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++batches_;
+  last_batch_tool_seconds_ = tool_seconds_accum_ - start_seconds;
+  max_batch_tool_seconds_ = std::max(max_batch_tool_seconds_, last_batch_tool_seconds_);
+  return dispatched;
+}
+
+void EvaluationBroker::parallel_for(std::size_t n,
+                                    const std::function<void(std::size_t)>& fn) {
+  pool_->parallel_for(n, fn);
+}
+
+double EvaluationBroker::tool_seconds() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return tool_seconds_accum_;
+}
+
+bool EvaluationBroker::deadline_exceeded() const {
+  return tool_seconds() >= config_.deadline_tool_seconds;
+}
+
+void EvaluationBroker::mark_deadline_hit() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  deadline_hit_ = true;
+}
+
+BrokerStats EvaluationBroker::stats() const {
+  BrokerStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot.fresh_runs = fresh_runs_;
+    snapshot.tool_seconds = tool_seconds_accum_;
+    snapshot.deadline_hit = deadline_hit_;
+    snapshot.batches = batches_;
+    snapshot.last_batch_tool_seconds = last_batch_tool_seconds_;
+    snapshot.max_batch_tool_seconds = max_batch_tool_seconds_;
+    snapshot.journal_replays = journal_replays_;
+  }
+  snapshot.lease_waits = evaluators_.lease_waits();
+  const SupervisorStats sup = supervisor_->stats();
+  snapshot.retries = sup.retries;
+  snapshot.transient_failures = sup.transient_failures;
+  snapshot.deterministic_failures = sup.deterministic_failures;
+  snapshot.timeouts = sup.timeouts;
+  snapshot.quarantined = sup.quarantined_points;
+  snapshot.backoff_tool_seconds = sup.backoff_tool_seconds;
+  if (fault_injector_) {
+    const auto counters = fault_injector_->counters();
+    snapshot.faults_injected =
+        counters.crashes + counters.hangs + counters.corrupted_reports + counters.aborts;
+  }
+  return snapshot;
+}
+
+}  // namespace dovado::core

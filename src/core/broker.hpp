@@ -1,0 +1,174 @@
+// The evaluation broker: everything between "here is a design point" and
+// "here is its (possibly supervised, journaled, cached) tool answer".
+//
+// Decomposed out of DseEngine so the search logic (GA <-> control model)
+// and the evaluation machinery evolve independently. One broker owns one
+// backend fidelity: the cache, the exclusively-leased evaluator pool, the
+// retry/quarantine supervisor, the optional fault injector, the crash
+// journal and the tool-seconds deadline accounting all live here. The
+// engine composes one high-fidelity broker with (optionally) a second
+// low-fidelity broker for multi-fidelity screening.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/evaluator.hpp"
+#include "src/core/journal.hpp"
+#include "src/core/param_domain.hpp"
+#include "src/core/supervisor.hpp"
+#include "src/edatool/backend.hpp"
+#include "src/edatool/faults.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace dovado::core {
+
+/// A user-supplied static performance model (the paper's future-work item:
+/// "inserting a custom model for static performance that enables an
+/// improved DSE"). The callback derives a new metric from the design point
+/// and the tool-reported metrics (e.g. throughput = fmax * lanes); derived
+/// metrics are first-class — they can be optimization objectives and they
+/// flow through the approximation model like tool metrics.
+struct DerivedMetric {
+  std::string name;
+  std::function<double(const DesignPoint&, const EvalMetrics&)> compute;
+};
+
+struct BrokerConfig {
+  /// Worker threads for parallel tool runs (0 = evaluate inline).
+  std::size_t workers = 0;
+
+  /// Retry/quarantine policy applied to every tool evaluation.
+  SupervisorConfig supervise;
+
+  /// Fault injection for the simulated tool. Inactive by default.
+  edatool::FaultPlan fault_plan;
+
+  /// Applied after every successful tool evaluation.
+  std::vector<DerivedMetric> derived_metrics;
+
+  /// Soft deadline on this broker's cumulative *simulated* tool seconds.
+  double deadline_tool_seconds = std::numeric_limits<double>::infinity();
+
+  /// Crash-safety journal (see core/journal.hpp). Empty = no journal.
+  std::string journal_path;
+
+  /// Replay an existing journal at `journal_path` into the evaluation
+  /// cache (see replay_journal()). When false an existing file is
+  /// discarded and written fresh.
+  bool resume_from_journal = false;
+};
+
+/// Counters owned by one broker; DseStats merges them per fidelity.
+struct BrokerStats {
+  std::size_t fresh_runs = 0;  ///< pipeline runs actually paid for (no hit/join)
+  double tool_seconds = 0.0;
+  bool deadline_hit = false;
+  std::size_t lease_waits = 0;
+  std::size_t batches = 0;
+  double last_batch_tool_seconds = 0.0;
+  double max_batch_tool_seconds = 0.0;
+  std::size_t journal_replays = 0;
+
+  // Supervision outcomes (see core/supervisor.hpp).
+  std::size_t retries = 0;
+  std::size_t transient_failures = 0;
+  std::size_t deterministic_failures = 0;
+  std::size_t timeouts = 0;
+  std::size_t quarantined = 0;
+  double backoff_tool_seconds = 0.0;
+  std::size_t faults_injected = 0;
+};
+
+class EvaluationBroker {
+ public:
+  /// Builds the supervisor, the fault injector (when a plan is active), one
+  /// evaluator per parallel lane and the thread pool, and opens the
+  /// journal. Throws std::runtime_error when the project cannot be parsed,
+  /// the backend name is unknown, or the journal cannot be opened; a
+  /// pending journal replay is held until replay_journal() is called (the
+  /// engine seeds warm-start state first).
+  EvaluationBroker(ProjectConfig project, BrokerConfig config);
+
+  /// Evaluate with the tool on an exclusively leased session, then apply
+  /// the configured derived metrics, journal fresh answers and charge the
+  /// guarded tool-seconds accumulator. Safe to call from any number of
+  /// pool tasks.
+  [[nodiscard]] EvalResult tool_evaluate(const DesignPoint& point);
+
+  /// Dispatch fn(i) for i in [0, n) over the pool in chunks, checking the
+  /// tool deadline between chunks; stops dispatching (and flags
+  /// deadline_hit) once the deadline is exceeded. Returns how many
+  /// iterations were dispatched, and accounts per-batch tool seconds.
+  std::size_t run_deadline_chunked(std::size_t n,
+                                   const std::function<void(std::size_t)>& fn);
+
+  /// Plain parallel dispatch with no deadline check (front verification,
+  /// screening sweeps).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Replay the journal opened at construction into the evaluation cache,
+  /// skipping points the caller already seeded (warm start). Returns the
+  /// records actually seeded so the caller can mirror them into its own
+  /// bookkeeping (explored set, approximation dataset). Empty when there
+  /// was nothing to replay.
+  [[nodiscard]] std::vector<JournalRecord> replay_journal();
+
+  /// Direct cache seeding, bypassing single-flight (warm start).
+  void seed_cache(const DesignPoint& point, const EvalResult& result);
+
+  /// Cached answer for a point, if any (cheap; no evaluation).
+  [[nodiscard]] std::optional<EvalResult> cached(const DesignPoint& point) const;
+
+  [[nodiscard]] double tool_seconds() const;
+  [[nodiscard]] bool deadline_exceeded() const;
+  void mark_deadline_hit();
+
+  /// Consistent counter snapshot; safe during in-flight evaluations.
+  [[nodiscard]] BrokerStats stats() const;
+
+  /// The module interface under exploration (pool snapshot; safe while
+  /// evaluations are in flight).
+  [[nodiscard]] const hdl::Module& module() const { return evaluators_.module(); }
+
+  /// Identity and capabilities of this broker's backend.
+  [[nodiscard]] const edatool::BackendInfo& backend_info() const { return backend_info_; }
+
+  /// Metric names the backend reports (validation, did-you-mean).
+  [[nodiscard]] const std::vector<std::string>& metric_names() const {
+    return metric_names_;
+  }
+
+  [[nodiscard]] const EvaluationSupervisor& supervisor() const { return *supervisor_; }
+  [[nodiscard]] const edatool::FaultInjector* fault_injector() const {
+    return fault_injector_.get();
+  }
+
+ private:
+  ProjectConfig project_;
+  BrokerConfig config_;
+  std::shared_ptr<EvaluationCache> cache_;
+  std::shared_ptr<EvaluationSupervisor> supervisor_;
+  std::shared_ptr<edatool::FaultInjector> fault_injector_;  ///< null = no faults
+  EvaluatorPool evaluators_;  ///< one tool session per lane, leased exclusively
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<SessionJournal> journal_;  ///< null = journaling disabled
+  SessionJournal::Replay pending_replay_;    ///< held until replay_journal()
+  edatool::BackendInfo backend_info_;
+  std::vector<std::string> metric_names_;
+
+  mutable std::mutex stats_mutex_;  ///< guards the mutable counters below
+  double tool_seconds_accum_ = 0.0;
+  std::size_t fresh_runs_ = 0;
+  std::size_t batches_ = 0;
+  double last_batch_tool_seconds_ = 0.0;
+  double max_batch_tool_seconds_ = 0.0;
+  bool deadline_hit_ = false;
+  std::size_t journal_replays_ = 0;
+};
+
+}  // namespace dovado::core

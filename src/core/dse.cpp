@@ -1,6 +1,8 @@
 #include "src/core/dse.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <set>
 #include <stdexcept>
 
@@ -13,17 +15,6 @@ namespace dovado::core {
 namespace {
 
 constexpr double kFailurePenalty = 1e18;
-
-/// Known metric names (kept in sync with PointEvaluator's report
-/// extraction).
-const std::set<std::string>& known_metrics() {
-  static const std::set<std::string> names = {
-      "lut",    "lut_logic",      "lut_mem",  "ff",
-      "bram",   "dsp",            "uram",     "wns_ns",
-      "delay_ns", "fmax_mhz",     "power_w",  "power_static_w",
-      "power_dynamic_w"};
-  return names;
-}
 
 }  // namespace
 
@@ -55,9 +46,7 @@ class DovadoProblem final : public opt::Problem {
 };
 
 DseEngine::DseEngine(ProjectConfig project, DseConfig config)
-    : project_(std::move(project)),
-      config_(std::move(config)),
-      cache_(std::make_shared<EvaluationCache>()) {
+    : project_(std::move(project)), config_(std::move(config)) {
   if (config_.space.params.empty()) {
     throw std::runtime_error("design space has no parameters");
   }
@@ -68,42 +57,52 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
     if (derived.name.empty() || !derived.compute) {
       throw std::runtime_error("derived metric needs a name and a compute function");
     }
-    if (known_metrics().count(derived.name) != 0) {
+  }
+  if (!(config_.screen_keep_ratio > 0.0) || config_.screen_keep_ratio > 1.0) {
+    throw std::runtime_error("screen_keep_ratio must be in (0, 1]");
+  }
+  if (!config_.backend.empty()) project_.backend = config_.backend;
+
+  // The high-fidelity broker: cache, evaluator pool, supervisor, fault
+  // injector, journal and deadline accounting (see core/broker.hpp).
+  BrokerConfig broker_config;
+  broker_config.workers = config_.workers;
+  broker_config.supervise = config_.supervise;
+  broker_config.fault_plan = config_.fault_plan;
+  broker_config.derived_metrics = config_.derived_metrics;
+  broker_config.deadline_tool_seconds = config_.deadline_tool_seconds;
+  broker_config.journal_path = config_.journal_path;
+  broker_config.resume_from_journal = config_.resume_from_journal;
+  broker_ = std::make_unique<EvaluationBroker>(project_, broker_config);
+
+  // Validate metric names against what the backend actually reports, with
+  // a did-you-mean suggestion — a typo'd objective must fail loudly at
+  // construction, not silently optimize a metric that is always zero.
+  const std::vector<std::string>& backend_metrics = broker_->metric_names();
+  const auto is_backend_metric = [&](const std::string& name) {
+    return std::find(backend_metrics.begin(), backend_metrics.end(), name) !=
+           backend_metrics.end();
+  };
+  std::vector<std::string> known = backend_metrics;
+  for (const auto& derived : config_.derived_metrics) {
+    if (is_backend_metric(derived.name)) {
       throw std::runtime_error("derived metric '" + derived.name +
                                "' shadows a tool metric");
     }
+    known.push_back(derived.name);
   }
   for (const auto& obj : config_.objectives) {
-    const bool is_derived =
-        std::any_of(config_.derived_metrics.begin(), config_.derived_metrics.end(),
-                    [&](const DerivedMetric& d) { return d.name == obj.metric; });
-    if (known_metrics().count(obj.metric) == 0 && !is_derived) {
-      throw std::runtime_error("unknown objective metric '" + obj.metric + "'");
-    }
+    if (std::find(known.begin(), known.end(), obj.metric) != known.end()) continue;
+    std::string message = "unknown objective metric '" + obj.metric + "'";
+    const std::string suggestion = util::closest_match(obj.metric, known);
+    if (!suggestion.empty()) message += " (did you mean '" + suggestion + "'?)";
+    message += "; backend '" + broker_->backend_info().name +
+               "' reports: " + util::join(known, ", ");
+    throw std::runtime_error(message);
   }
-
-  // Every evaluation runs supervised (retries/quarantine); with faults off
-  // and a healthy tool, supervision is a single attempt plus bookkeeping.
-  supervisor_ = std::make_shared<EvaluationSupervisor>(config_.supervise);
-  if (config_.fault_plan.active()) {
-    fault_injector_ = std::make_shared<edatool::FaultInjector>(config_.fault_plan);
-    util::Log::info("fault injection active: " + config_.fault_plan.to_string());
-  }
-
-  // One exclusively-leasable tool session per parallel lane: the pool's
-  // workers plus the caller, which participates in parallel_for. Inline
-  // mode (workers == 0) gets a single session.
-  const std::size_t lane_count = config_.workers == 0 ? 1 : config_.workers + 1;
-  for (std::size_t i = 0; i < lane_count; ++i) {
-    auto evaluator = std::make_unique<PointEvaluator>(project_, cache_);
-    evaluator->set_supervisor(supervisor_);
-    if (fault_injector_) evaluator->set_fault_injector(fault_injector_);
-    evaluators_.add(std::move(evaluator));
-  }
-  pool_ = std::make_unique<util::ThreadPool>(config_.workers);
 
   // Validate that every space parameter exists on the module and is free.
-  const hdl::Module& module = evaluators_.front().module();
+  const hdl::Module& module = broker_->module();
   for (const auto& spec : config_.space.params) {
     bool found = false;
     for (const auto& p : module.free_parameters()) {
@@ -121,6 +120,19 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
     }
   }
 
+  // Multi-fidelity screening: a second broker on the low-fidelity backend.
+  // No fault plan, no journal, no deadline — screening answers are cheap,
+  // disposable estimates; only high-fidelity spend is budgeted.
+  if (config_.screen_keep_ratio < 1.0) {
+    ProjectConfig screen_project = project_;
+    screen_project.backend = config_.screen_backend;
+    BrokerConfig screen_config;
+    screen_config.workers = config_.workers;
+    screen_config.supervise = config_.supervise;
+    screen_config.derived_metrics = config_.derived_metrics;
+    screen_broker_ = std::make_unique<EvaluationBroker>(screen_project, screen_config);
+  }
+
   if (config_.use_approximation) {
     control_ = std::make_unique<model::ControlModel>(config_.control);
   }
@@ -134,7 +146,7 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
     seeded.ok = !point.failed;
     seeded.metrics = point.metrics;
     if (point.failed) seeded.error = "failed in a previous session";
-    cache_->store(point.params, seeded);
+    broker_->seed_cache(point.params, seeded);
     record(point.params, point.metrics, false, point.failed);
     if (control_ && !point.failed) {
       bool complete = true;
@@ -162,43 +174,15 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
     }
   }
 
-  // Crash-safety journal: replay what a previous (possibly crashed) run
-  // already paid for, then keep appending. A corrupt journal is a hard
-  // error — silently dropping paid-for evaluations would be worse than
-  // stopping.
-  if (!config_.journal_path.empty()) {
-    SessionJournal::Replay replay;
-    std::string journal_error;
-    journal_ = SessionJournal::open(config_.journal_path,
-                                    config_.resume_from_journal ? &replay : nullptr,
-                                    journal_error);
-    if (!journal_) throw std::runtime_error(journal_error);
-    if (!replay.records.empty()) {
-      if (replay.torn_tail) {
-        util::Log::warn("journal '" + config_.journal_path +
-                        "' had a torn final record (crash mid-write); dropped");
-      }
-      replay_journal(replay);
-    }
-  }
+  // Crash recovery: the broker seeds its cache from the journal (skipping
+  // warm-started points); the engine mirrors the seeded records into the
+  // explored set and the approximation dataset.
+  absorb_replayed(broker_->replay_journal());
 }
 
-void DseEngine::replay_journal(const SessionJournal::Replay& replay) {
-  for (const auto& rec : replay.records) {
-    if (cache_->lookup(rec.params)) continue;  // warm start already seeded it
-    EvalResult seeded;
-    seeded.ok = rec.ok;
-    seeded.metrics = rec.metrics;
-    seeded.error = rec.error;
-    seeded.failure = rec.failure;
-    seeded.attempts = rec.attempts;
-    seeded.quarantined = rec.quarantined;
-    cache_->store(rec.params, seeded);
+void DseEngine::absorb_replayed(const std::vector<JournalRecord>& records) {
+  for (const auto& rec : records) {
     record(rec.params, rec.metrics, false, !rec.ok);
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.journal_replays;
-    }
     // Rebuild the approximation dataset the way the original run grew it,
     // so a resumed model-guided exploration makes the same decisions.
     if (control_ && rec.ok) {
@@ -227,22 +211,6 @@ void DseEngine::replay_journal(const SessionJournal::Replay& replay) {
       }
     }
   }
-  util::Log::info("journal replay: " + std::to_string(replay.records.size()) +
-                  " evaluations recovered from '" + config_.journal_path + "'");
-}
-
-double DseEngine::tool_seconds() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return tool_seconds_accum_;
-}
-
-bool DseEngine::deadline_exceeded() const {
-  return tool_seconds() >= config_.deadline_tool_seconds;
-}
-
-void DseEngine::mark_deadline_hit() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.deadline_hit = true;
 }
 
 DseStats DseEngine::stats() const {
@@ -250,20 +218,28 @@ DseStats DseEngine::stats() const {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     snapshot = stats_;
-    snapshot.simulated_tool_seconds = tool_seconds_accum_;
   }
-  snapshot.lease_waits = evaluators_.lease_waits();
-  const SupervisorStats sup = supervisor_->stats();
-  snapshot.retries = sup.retries;
-  snapshot.transient_failures = sup.transient_failures;
-  snapshot.deterministic_failures = sup.deterministic_failures;
-  snapshot.timeouts = sup.timeouts;
-  snapshot.quarantined = sup.quarantined_points;
-  snapshot.backoff_tool_seconds = sup.backoff_tool_seconds;
-  if (fault_injector_) {
-    const auto counters = fault_injector_->counters();
-    snapshot.faults_injected =
-        counters.crashes + counters.hangs + counters.corrupted_reports + counters.aborts;
+  const BrokerStats hifi = broker_->stats();
+  snapshot.simulated_tool_seconds = hifi.tool_seconds;
+  snapshot.deadline_hit = hifi.deadline_hit;
+  snapshot.lease_waits = hifi.lease_waits;
+  snapshot.batches = hifi.batches;
+  snapshot.last_batch_tool_seconds = hifi.last_batch_tool_seconds;
+  snapshot.max_batch_tool_seconds = hifi.max_batch_tool_seconds;
+  snapshot.retries = hifi.retries;
+  snapshot.transient_failures = hifi.transient_failures;
+  snapshot.deterministic_failures = hifi.deterministic_failures;
+  snapshot.timeouts = hifi.timeouts;
+  snapshot.quarantined = hifi.quarantined;
+  snapshot.backoff_tool_seconds = hifi.backoff_tool_seconds;
+  snapshot.journal_replays = hifi.journal_replays;
+  snapshot.faults_injected = hifi.faults_injected;
+  snapshot.backend_runs[broker_->backend_info().name] += hifi.fresh_runs;
+  if (screen_broker_) {
+    const BrokerStats lofi = screen_broker_->stats();
+    snapshot.screen_runs = lofi.fresh_runs;
+    snapshot.screen_tool_seconds = lofi.tool_seconds;
+    snapshot.backend_runs[screen_broker_->backend_info().name] += lofi.fresh_runs;
   }
   return snapshot;
 }
@@ -285,67 +261,6 @@ model::Point DseEngine::to_model_point(const DesignPoint& point) const {
     p.push_back(static_cast<double>(point.at(spec.name)));
   }
   return p;
-}
-
-EvalResult DseEngine::tool_evaluate(const DesignPoint& point) {
-  EvalResult result;
-  {
-    const EvaluatorPool::Lease lease = evaluators_.acquire();
-    result = lease->evaluate(point);
-  }
-  if (result.ok) {
-    for (const auto& derived : config_.derived_metrics) {
-      result.metrics.values[derived.name] = derived.compute(point, result.metrics);
-    }
-  }
-  // Journal every *fresh* tool answer (cache hits and joins were paid for —
-  // and journaled — by their leader) so a crashed campaign can resume
-  // without repaying for it.
-  if (journal_ && !result.cache_hit && !result.joined) {
-    JournalRecord rec;
-    rec.params = point;
-    rec.metrics = result.metrics;
-    rec.ok = result.ok;
-    rec.error = result.error;
-    rec.failure = result.failure;
-    rec.attempts = result.attempts;
-    rec.quarantined = result.quarantined;
-    rec.tool_seconds = result.tool_seconds;
-    if (!journal_->append(rec)) {
-      util::Log::warn("journal append failed for '" + journal_->path() +
-                      "'; crash recovery will miss this point");
-    }
-  }
-  // Cache hits and single-flight joins carry zero tool seconds, so charging
-  // unconditionally counts every simulated second exactly once.
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  tool_seconds_accum_ += result.tool_seconds;
-  return result;
-}
-
-std::size_t DseEngine::run_deadline_chunked(std::size_t n,
-                                            const std::function<void(std::size_t)>& fn) {
-  // The caller participates in parallel_for, so a chunk of twice the lane
-  // count keeps every lane busy while bounding deadline overshoot to one
-  // chunk's worth of tool runs.
-  const std::size_t chunk = 2 * (pool_->worker_count() + 1);
-  const double start_seconds = tool_seconds();
-  std::size_t dispatched = 0;
-  while (dispatched < n) {
-    if (deadline_exceeded()) {
-      mark_deadline_hit();
-      break;
-    }
-    const std::size_t end = std::min(n, dispatched + chunk);
-    pool_->parallel_for(dispatched, end, fn);
-    dispatched = end;
-  }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.batches;
-  stats_.last_batch_tool_seconds = tool_seconds_accum_ - start_seconds;
-  stats_.max_batch_tool_seconds =
-      std::max(stats_.max_batch_tool_seconds, stats_.last_batch_tool_seconds);
-  return dispatched;
 }
 
 void DseEngine::record(const DesignPoint& point, const EvalMetrics& metrics, bool estimated,
@@ -401,9 +316,10 @@ void DseEngine::pretrain() {
   // Chunked dispatch: the deadline is checked between chunks, so a
   // too-large pretrain batch can no longer blow through the budget before
   // the first deadline check.
-  const std::size_t dispatched = run_deadline_chunked(points.size(), [&](std::size_t i) {
-    results[i] = tool_evaluate(points[i]);
-  });
+  const std::size_t dispatched =
+      broker_->run_deadline_chunked(points.size(), [&](std::size_t i) {
+        results[i] = broker_->tool_evaluate(points[i]);
+      });
 
   for (std::size_t i = 0; i < dispatched; ++i) {
     {
@@ -431,10 +347,86 @@ void DseEngine::pretrain() {
   }
 }
 
+std::vector<std::optional<EvalResult>> DseEngine::screen_batch(
+    const std::vector<DesignPoint>& unique_points) {
+  std::vector<std::optional<EvalResult>> settled(unique_points.size());
+  // Only uncached points are screened: anything the high-fidelity cache
+  // already answers is forwarded (the hit is free and exact).
+  std::vector<std::size_t> fresh;
+  for (std::size_t ui = 0; ui < unique_points.size(); ++ui) {
+    if (!broker_->cached(unique_points[ui])) fresh.push_back(ui);
+  }
+  if (fresh.empty()) return settled;
+
+  // Screen-out decisions are sticky: a point that already holds a cached
+  // screen answer lost the forwarding lottery in an earlier batch, and
+  // re-entering it every time the GA resamples the point would leak most
+  // of the screening savings (attractive points get re-proposed for
+  // generations, and each re-ranking is another chance to be forwarded).
+  // Such points settle from the cached estimate; only first-seen points
+  // compete for the high-fidelity slots.
+  std::vector<char> sticky(fresh.size(), 0);
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    sticky[i] = screen_broker_->cached(unique_points[fresh[i]]) ? 1 : 0;
+  }
+
+  std::vector<EvalResult> screens(fresh.size());
+  screen_broker_->parallel_for(fresh.size(), [&](std::size_t i) {
+    screens[i] = screen_broker_->tool_evaluate(unique_points[fresh[i]]);
+  });
+
+  // Rank the successful first-seen screens; failures are always forwarded
+  // — the high-fidelity tool has the authoritative verdict on buildability.
+  std::vector<std::size_t> ok_local;
+  std::vector<opt::Objectives> objs;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    if (!screens[i].ok) continue;
+    if (sticky[i]) {
+      settled[fresh[i]] = screens[i];
+      continue;
+    }
+    ok_local.push_back(i);
+    objs.push_back(to_objectives(screens[i].metrics));
+  }
+  if (ok_local.empty()) return settled;
+  const std::size_t keep = std::min<std::size_t>(
+      ok_local.size(),
+      static_cast<std::size_t>(std::ceil(config_.screen_keep_ratio *
+                                         static_cast<double>(ok_local.size()))));
+  if (keep >= ok_local.size()) return settled;  // nothing to screen out
+
+  // Non-dominated fronts in order; the boundary front is thinned by
+  // crowding distance so the kept subset stays spread along the front
+  // (the NSGA-II survival rule, applied to the screen estimates).
+  std::vector<char> kept(ok_local.size(), 0);
+  std::size_t taken = 0;
+  for (const auto& front : opt::fast_non_dominated_sort(objs)) {
+    if (taken >= keep) break;
+    if (taken + front.size() <= keep) {
+      for (std::size_t member : front) kept[member] = 1;
+      taken += front.size();
+      continue;
+    }
+    const std::vector<double> crowd = opt::crowding_distance(objs, front);
+    std::vector<std::size_t> order(front.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return crowd[a] > crowd[b]; });
+    for (std::size_t k = 0; k < order.size() && taken < keep; ++k, ++taken) {
+      kept[front[order[k]]] = 1;
+    }
+    break;
+  }
+  for (std::size_t j = 0; j < ok_local.size(); ++j) {
+    if (!kept[j]) settled[fresh[ok_local[j]]] = std::move(screens[ok_local[j]]);
+  }
+  return settled;
+}
+
 void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
   struct PendingTool {
     std::size_t individual;
-    std::size_t unique_index;  ///< into unique_points / results
+    std::size_t unique_index;  ///< into unique_points
   };
   std::vector<PendingTool> queue;
   // Identical genomes in one batch collapse onto a single tool run up
@@ -478,16 +470,60 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
     queue.push_back(PendingTool{i, it->second});
   }
 
-  std::vector<EvalResult> results(unique_points.size());
+  // Multi-fidelity screening: pre-rank the batch's fresh points on the
+  // low-fidelity broker; unpromising ones are settled with their screening
+  // answer and never reach the high-fidelity tool. Skipped once the
+  // deadline passed — the batch is about to be cut anyway.
+  std::vector<std::optional<EvalResult>> settled(unique_points.size());
+  if (screen_broker_ && !broker_->deadline_exceeded()) {
+    settled = screen_batch(unique_points);
+  }
+  constexpr std::size_t kNotForwarded = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> forward;  ///< unique indices sent to high fidelity
+  std::vector<std::size_t> forward_pos(unique_points.size(), kNotForwarded);
+  for (std::size_t ui = 0; ui < unique_points.size(); ++ui) {
+    if (settled[ui]) continue;
+    forward_pos[ui] = forward.size();
+    forward.push_back(ui);
+  }
+
+  std::vector<EvalResult> results(forward.size());
   const std::size_t dispatched =
-      run_deadline_chunked(unique_points.size(), [&](std::size_t ui) {
-        results[ui] = tool_evaluate(unique_points[ui]);
+      broker_->run_deadline_chunked(forward.size(), [&](std::size_t fi) {
+        results[fi] = broker_->tool_evaluate(unique_points[forward[fi]]);
       });
 
   std::vector<bool> leader_done(unique_points.size(), false);
   for (const auto& pending : queue) {
     auto& ind = individuals[pending.individual];
-    if (pending.unique_index >= dispatched) {
+    const std::size_t ui = pending.unique_index;
+    const DesignPoint& point = unique_points[ui];
+
+    if (settled[ui]) {
+      // Screened out: the low-fidelity answer scores the individual and the
+      // point is recorded as estimated (the screen backend reports the same
+      // metric names, so objectives and derived metrics line up).
+      ind.objectives = to_objectives(settled[ui]->metrics);
+      ind.evaluated = true;
+      if (!leader_done[ui]) {
+        leader_done[ui] = true;
+        bool first_settle;
+        {
+          // Sticky screen-outs re-settle on every later batch that
+          // resamples the point; only the first settle counts.
+          std::lock_guard<std::mutex> lock(record_mutex_);
+          first_settle = explored_index_.find(point) == explored_index_.end();
+        }
+        if (first_settle) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.screened_out;
+        }
+      }
+      record(point, settled[ui]->metrics, true, false);
+      continue;
+    }
+
+    if (forward_pos[ui] >= dispatched) {
       // The mid-batch deadline cut dispatch before this point ran. Penalize
       // the individual so the generation can still close (the GA's
       // should_stop sees the deadline right after), and leave it out of the
@@ -498,14 +534,14 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
       ++stats_.deadline_skips;
       continue;
     }
-    EvalResult r = results[pending.unique_index];
-    if (leader_done[pending.unique_index] && !r.cache_hit) {
+    EvalResult r = results[forward_pos[ui]];
+    if (leader_done[ui] && !r.cache_hit) {
       // A duplicate of an earlier individual in this batch: it joins the
       // leader's run instead of paying for the tool again.
       r.joined = true;
       r.tool_seconds = 0.0;
     }
-    leader_done[pending.unique_index] = true;
+    leader_done[ui] = true;
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       if (r.cache_hit) ++stats_.cache_hits;
@@ -513,7 +549,6 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
       else ++stats_.tool_runs;
     }
 
-    const DesignPoint& point = unique_points[pending.unique_index];
     if (!r.ok) {
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -561,9 +596,10 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
 
 std::vector<ExploredPoint> DseEngine::evaluate_set(const std::vector<DesignPoint>& points) {
   std::vector<EvalResult> results(points.size());
-  const std::size_t dispatched = run_deadline_chunked(points.size(), [&](std::size_t i) {
-    results[i] = tool_evaluate(points[i]);
-  });
+  const std::size_t dispatched =
+      broker_->run_deadline_chunked(points.size(), [&](std::size_t i) {
+        results[i] = broker_->tool_evaluate(points[i]);
+      });
   std::vector<ExploredPoint> out;
   out.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -613,8 +649,8 @@ DseResult DseEngine::run() {
   };
   auto user_stop = config_.ga.should_stop;
   ga.should_stop = [this, user_stop] {
-    if (deadline_exceeded()) {
-      mark_deadline_hit();
+    if (broker_->deadline_exceeded()) {
+      broker_->mark_deadline_hit();
       return true;
     }
     return user_stop ? user_stop() : false;
@@ -646,19 +682,24 @@ DseResult DseEngine::run() {
 
   std::vector<std::size_t> front = build_front();
 
-  if (control_ && config_.verify_estimated_front) {
-    // Estimated points that made the front get an exact tool evaluation
-    // (growing the dataset), then the front is recomputed.
-    std::vector<DesignPoint> to_verify;
-    for (std::size_t i : front) {
-      if (explored_[i].estimated) to_verify.push_back(explored_[i].params);
-    }
-    if (!to_verify.empty()) {
+  if ((control_ || screen_broker_) && config_.verify_estimated_front) {
+    // Estimated points that made the front — NWM estimates and screened-out
+    // survivors alike — get an exact tool evaluation (growing the dataset),
+    // then the front is recomputed. Correcting an optimistic estimate can
+    // let a previously-dominated *estimated* point back into the front, so
+    // iterate until the front is fully exact (each pass converts at least
+    // one estimate, so this terminates).
+    while (true) {
+      std::vector<DesignPoint> to_verify;
+      for (std::size_t i : front) {
+        if (explored_[i].estimated) to_verify.push_back(explored_[i].params);
+      }
+      if (to_verify.empty()) break;
       // Verification runs even past the deadline: the returned front must
       // be exact (estimated members re-evaluated by the tool, Sec. III-C).
       std::vector<EvalResult> results(to_verify.size());
-      pool_->parallel_for(to_verify.size(), [&](std::size_t i) {
-        results[i] = tool_evaluate(to_verify[i]);
+      broker_->parallel_for(to_verify.size(), [&](std::size_t i) {
+        results[i] = broker_->tool_evaluate(to_verify[i]);
       });
       for (std::size_t i = 0; i < to_verify.size(); ++i) {
         {

@@ -1,8 +1,7 @@
 // The Dovado DSE engine (paper Sec. III-B / III-C, Figs. 1-2).
 //
-// Wires together the design space, the single-point evaluation pipeline,
-// the NSGA-II solver and (optionally) the Nadaraya-Watson approximation
-// control model:
+// Wires together the design space, the evaluation broker(s), the NSGA-II
+// solver and (optionally) the Nadaraya-Watson approximation control model:
 //   1. optional pre-training: M distinct tool runs on randomly sampled
 //      points build the synthetic dataset,
 //   2. NSGA-II explores index space; each fitness evaluation goes through
@@ -10,6 +9,13 @@
 //      growth) or straight to the tool when approximation is disabled,
 //   3. the non-dominated set of explored configurations is returned (with
 //      estimated front members re-evaluated by the tool for exactness).
+//
+// The evaluation machinery — cache, evaluator pool, supervisor, journal,
+// deadline accounting — lives in EvaluationBroker (core/broker.hpp); the
+// engine owns the search logic. With multi-fidelity screening enabled
+// (screen_keep_ratio < 1) a second low-fidelity broker pre-ranks each GA
+// offspring batch and only the most promising fraction pays for a
+// high-fidelity run; the rest are recorded as estimated.
 //
 // Tool time is *simulated* (the SimVivado runtime model), so the paper's
 // four-hour soft deadline semantics are reproduced without wall-clock cost.
@@ -19,17 +25,17 @@
 #pragma once
 
 #include <limits>
+#include <map>
 #include <memory>
 
+#include "src/core/broker.hpp"
 #include "src/core/evaluator.hpp"
-#include "src/core/journal.hpp"
 #include "src/core/param_domain.hpp"
 #include "src/core/supervisor.hpp"
 #include "src/edatool/faults.hpp"
 #include "src/model/control.hpp"
 #include "src/opt/baselines.hpp"
 #include "src/opt/nsga2.hpp"
-#include "src/util/thread_pool.hpp"
 
 namespace dovado::core {
 
@@ -40,22 +46,11 @@ struct Objective {
   bool maximize = false;
 };
 
-/// A user-supplied static performance model (the paper's future-work item:
-/// "inserting a custom model for static performance that enables an
-/// improved DSE"). The callback derives a new metric from the design point
-/// and the tool-reported metrics (e.g. throughput = fmax * lanes); derived
-/// metrics are first-class — they can be optimization objectives and they
-/// flow through the approximation model like tool metrics.
-struct DerivedMetric {
-  std::string name;
-  std::function<double(const DesignPoint&, const EvalMetrics&)> compute;
-};
-
 /// One explored configuration.
 struct ExploredPoint {
   DesignPoint params;
   EvalMetrics metrics;
-  bool estimated = false;    ///< metrics came from the NWM, not the tool
+  bool estimated = false;    ///< metrics came from the NWM or the screening backend
   bool failed = false;       ///< tool run failed (e.g. over-utilization)
   bool approximate = false;  ///< NWM fallback score for a retry-exhausted point
 };
@@ -68,8 +63,20 @@ struct DseConfig {
   opt::Nsga2Config ga;
 
   /// Custom static performance models, applied after every successful tool
-  /// evaluation (see DerivedMetric).
+  /// evaluation (see DerivedMetric in core/broker.hpp).
   std::vector<DerivedMetric> derived_metrics;
+
+  /// Evaluation backend override; empty uses the project's backend.
+  std::string backend;
+
+  /// Multi-fidelity screening: fraction of each GA offspring batch that is
+  /// forwarded to the high-fidelity backend after pre-ranking the batch on
+  /// `screen_backend`. 1.0 (default) disables screening; e.g. 0.5 halves
+  /// the high-fidelity runs per batch. Must be in (0, 1].
+  double screen_keep_ratio = 1.0;
+
+  /// Low-fidelity backend used for screening.
+  std::string screen_backend = "analytic";
 
   /// Fitness-approximation model (Sec. III-C). Disabled by default — the
   /// Corundum/Neorv32/TiReX studies run direct Vivado evaluations.
@@ -77,8 +84,9 @@ struct DseConfig {
   model::ControlModel::Config control;
   std::size_t pretrain_samples = 100;  ///< M, the synthetic-dataset size
 
-  /// Soft deadline on cumulative *simulated* tool seconds (the GA finishes
-  /// the current generation, then stops). Infinity = unconstrained.
+  /// Soft deadline on cumulative *simulated* high-fidelity tool seconds
+  /// (the GA finishes the current generation, then stops). Infinity =
+  /// unconstrained. Screening runs are not charged against it.
   double deadline_tool_seconds = std::numeric_limits<double>::infinity();
 
   /// Worker threads for parallel tool runs (0 = evaluate inline).
@@ -136,6 +144,14 @@ struct DseStats {
   double last_batch_tool_seconds = 0.0; ///< tool seconds paid by the latest batch
   double max_batch_tool_seconds = 0.0;  ///< most expensive batch so far
 
+  // Multi-fidelity screening counters (see DESIGN.md "Backend abstraction
+  // & multi-fidelity screening").
+  std::size_t screened_out = 0;         ///< distinct points settled by the screening backend
+  std::size_t screen_runs = 0;          ///< fresh screening-backend runs
+  double screen_tool_seconds = 0.0;     ///< simulated seconds on the screen backend
+  /// Fresh pipeline runs per backend name (e.g. "vivado-sim", "analytic").
+  std::map<std::string, std::size_t> backend_runs;
+
   // Robustness counters (see DESIGN.md "Failure model & recovery").
   std::size_t retries = 0;                 ///< extra tool attempts after failures
   std::size_t transient_failures = 0;      ///< attempts classified transient
@@ -157,7 +173,9 @@ struct DseResult {
 class DseEngine {
  public:
   /// Throws std::runtime_error when the project cannot be parsed, the
-  /// design space is empty, or an objective metric is unknown.
+  /// design space is empty, a backend name is unknown, or an objective
+  /// metric is not reported by the backend (the message suggests the
+  /// closest known name).
   DseEngine(ProjectConfig project, DseConfig config);
 
   /// Run the full exploration.
@@ -172,31 +190,41 @@ class DseEngine {
 
   /// Evaluate one GA batch: estimate or tool-evaluate every unevaluated
   /// individual. Identical points in the batch are single-flighted (one
-  /// tool run, the duplicates join it); the tool deadline is enforced
-  /// between dispatch chunks, and individuals cut by it get the failure
-  /// penalty so the generation can still close. Exposed for the NSGA-II
-  /// callback and for parallel stress tests.
+  /// tool run, the duplicates join it); with screening enabled the batch
+  /// is pre-ranked on the low-fidelity broker first; the tool deadline is
+  /// enforced between dispatch chunks, and individuals cut by it get the
+  /// failure penalty so the generation can still close. Exposed for the
+  /// NSGA-II callback and for parallel stress tests.
   void batch_evaluate(std::vector<opt::Individual>& individuals);
 
-  /// Consistent snapshot of the statistics (counters, lease waits and the
-  /// accumulated simulated tool seconds). Safe to call concurrently with
-  /// in-flight evaluations.
+  /// Consistent snapshot of the statistics (engine counters merged with
+  /// the brokers'). Safe to call concurrently with in-flight evaluations.
   [[nodiscard]] DseStats stats() const;
 
   /// The control model after run() — exposes dataset/threshold/stats for
   /// analysis benches. Null when approximation is disabled.
   [[nodiscard]] const model::ControlModel* control_model() const { return control_.get(); }
 
-  /// The retry/quarantine policy (always present; see DseConfig::supervise).
-  [[nodiscard]] const EvaluationSupervisor& supervisor() const { return *supervisor_; }
+  /// The high-fidelity broker's retry/quarantine policy (always present).
+  [[nodiscard]] const EvaluationSupervisor& supervisor() const {
+    return broker_->supervisor();
+  }
 
   /// The fault injector, null unless a fault plan is active.
   [[nodiscard]] const edatool::FaultInjector* fault_injector() const {
-    return fault_injector_.get();
+    return broker_->fault_injector();
   }
 
-  /// Cumulative simulated tool seconds across all workers.
-  [[nodiscard]] double tool_seconds() const;
+  /// The high-fidelity evaluation broker (tests and benches inspect it).
+  [[nodiscard]] const EvaluationBroker& broker() const { return *broker_; }
+
+  /// The screening broker; null unless screening is enabled.
+  [[nodiscard]] const EvaluationBroker* screen_broker() const {
+    return screen_broker_.get();
+  }
+
+  /// Cumulative simulated high-fidelity tool seconds across all workers.
+  [[nodiscard]] double tool_seconds() const { return broker_->tool_seconds(); }
 
   /// Objective vector (minimized) from metrics; +inf on failures.
   [[nodiscard]] opt::Objectives to_objectives(const EvalMetrics& metrics) const;
@@ -207,44 +235,33 @@ class DseEngine {
   /// Raw-parameter-space coordinates of a point (Eq. 4's decision vars).
   [[nodiscard]] model::Point to_model_point(const DesignPoint& point) const;
 
-  /// Evaluate with the tool on an exclusively leased session, then apply
-  /// the configured derived metrics and charge the guarded tool-seconds
-  /// accumulator. Safe to call from any number of pool tasks.
-  [[nodiscard]] EvalResult tool_evaluate(const DesignPoint& point);
-
-  /// Dispatch fn(i) for i in [0, n) over the pool in chunks, checking the
-  /// tool deadline between chunks; stops dispatching (and flags
-  /// deadline_hit) once the deadline is exceeded. Returns how many
-  /// iterations were dispatched, and accounts per-batch tool seconds.
-  std::size_t run_deadline_chunked(std::size_t n,
-                                   const std::function<void(std::size_t)>& fn);
+  /// Screen `unique_points` on the low-fidelity broker: returns, per point,
+  /// either the screening answer that settles it (the point stays
+  /// low-fidelity) or std::nullopt (the point must be forwarded to high
+  /// fidelity). Screen failures are forwarded — the high-fidelity tool has
+  /// the authoritative verdict on whether a point is buildable.
+  [[nodiscard]] std::vector<std::optional<EvalResult>> screen_batch(
+      const std::vector<DesignPoint>& unique_points);
 
   void pretrain();
   void record(const DesignPoint& point, const EvalMetrics& metrics, bool estimated,
               bool failed, bool approximate = false);
-  /// Replay the journal's intact records into the evaluation cache (and the
-  /// approximation dataset); called from the constructor on --resume.
-  void replay_journal(const SessionJournal::Replay& replay);
-  [[nodiscard]] bool deadline_exceeded() const;
-  void mark_deadline_hit();
+  /// Mirror journal records the broker replayed into the explored set and
+  /// the approximation dataset; called from the constructor on --resume.
+  void absorb_replayed(const std::vector<JournalRecord>& records);
 
   ProjectConfig project_;
   DseConfig config_;
-  std::shared_ptr<EvaluationCache> cache_;
-  std::shared_ptr<EvaluationSupervisor> supervisor_;
-  std::shared_ptr<edatool::FaultInjector> fault_injector_;  ///< null = no faults
-  EvaluatorPool evaluators_;  ///< one tool session per worker, leased exclusively
+  std::unique_ptr<EvaluationBroker> broker_;         ///< high fidelity
+  std::unique_ptr<EvaluationBroker> screen_broker_;  ///< null = no screening
   std::unique_ptr<model::ControlModel> control_;
-  std::unique_ptr<util::ThreadPool> pool_;
-  std::unique_ptr<SessionJournal> journal_;  ///< null = journaling disabled
 
   std::mutex record_mutex_;  ///< guards explored_index_ + explored_
   std::map<DesignPoint, std::size_t> explored_index_;
   std::vector<ExploredPoint> explored_;
 
-  mutable std::mutex stats_mutex_;  ///< guards stats_ + tool_seconds_accum_
+  mutable std::mutex stats_mutex_;  ///< guards stats_ (engine-local counters)
   DseStats stats_;
-  double tool_seconds_accum_ = 0.0;
 };
 
 }  // namespace dovado::core

@@ -109,6 +109,10 @@ PointEvaluator::PointEvaluator(ProjectConfig config, std::shared_ptr<EvaluationC
     throw std::runtime_error("top module '" + config_.top_module +
                              "' not found in the given sources");
   }
+
+  // Backend step: resolve the configured evaluation backend through the
+  // registry (throws with a did-you-mean message on an unknown name).
+  backend_ = edatool::BackendRegistry::create(config_.backend);
 }
 
 EvalResult PointEvaluator::evaluate(const DesignPoint& point) {
@@ -152,8 +156,8 @@ EvalResult PointEvaluator::run_pipeline(const DesignPoint& point, int attempt) {
   const std::string box_path = box.language == hdl::HdlLanguage::kVhdl
                                    ? "dovado_box.vhd"
                                    : "dovado_box.v";
-  sim_.add_virtual_file(box_path, box.box_source);
-  sim_.add_virtual_file("dovado_box.xdc", box.xdc);
+  backend_->add_virtual_file(box_path, box.box_source);
+  backend_->add_virtual_file("dovado_box.xdc", box.xdc);
 
   // Script generation step: customize the TCL frame for this run.
   tcl::FrameConfig frame;
@@ -175,12 +179,17 @@ EvalResult PointEvaluator::run_pipeline(const DesignPoint& point, int attempt) {
     return result;
   }
 
-  // Tool step.
-  sim_.set_fault_context(edatool::fault_point_key(point), attempt);
-  const tcl::EvalResult run = sim_.run_script(tcl::generate_flow_script(frame));
-  result.tool_seconds = sim_.last_run_seconds();
-  if (!run.ok) {
-    result.error = run.error;
+  // Tool step: hand the script (and, for model-driven backends, the frame
+  // itself) to the configured backend.
+  edatool::FlowRequest request;
+  request.script = tcl::generate_flow_script(frame);
+  request.frame = frame;
+  request.period_ns = config_.target_period_ns;
+  backend_->set_fault_context(edatool::fault_point_key(point), attempt);
+  const edatool::FlowOutcome outcome = backend_->run_flow(request);
+  result.tool_seconds = outcome.tool_seconds;
+  if (!outcome.ok) {
+    result.error = outcome.error;
     return result;
   }
 
@@ -191,7 +200,7 @@ EvalResult PointEvaluator::run_pipeline(const DesignPoint& point, int attempt) {
   std::optional<edatool::TimingReport> timing_report;
   std::optional<edatool::PowerEstimate> power;
   std::string report_diag;
-  for (const auto& chunk : sim_.interp().output()) {
+  for (const auto& chunk : outcome.reports) {
     if (!util_report) {
       auto checked = edatool::UtilizationReport::parse_checked(chunk);
       if (checked.report) {
@@ -247,6 +256,10 @@ EvaluatorPool::Lease::~Lease() {
 
 void EvaluatorPool::add(std::unique_ptr<PointEvaluator> evaluator) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (owned_.empty()) {
+    module_snapshot_ = std::make_unique<hdl::Module>(evaluator->module());
+    free_parameters_snapshot_ = evaluator->free_parameters();
+  }
   idle_.push_back(evaluator.get());
   owned_.push_back(std::move(evaluator));
   available_.notify_one();
@@ -282,10 +295,18 @@ std::size_t EvaluatorPool::lease_waits() const {
   return lease_waits_;
 }
 
-const PointEvaluator& EvaluatorPool::front() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (owned_.empty()) throw std::logic_error("EvaluatorPool::front on an empty pool");
-  return *owned_.front();
+const hdl::Module& EvaluatorPool::module() const {
+  if (module_snapshot_ == nullptr) {
+    throw std::logic_error("EvaluatorPool::module on an empty pool");
+  }
+  return *module_snapshot_;
+}
+
+const std::vector<hdl::Parameter>& EvaluatorPool::free_parameters() const {
+  if (module_snapshot_ == nullptr) {
+    throw std::logic_error("EvaluatorPool::free_parameters on an empty pool");
+  }
+  return free_parameters_snapshot_;
 }
 
 }  // namespace dovado::core

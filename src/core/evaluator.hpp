@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "src/core/param_domain.hpp"
-#include "src/edatool/vivado_sim.hpp"
+#include "src/edatool/backend.hpp"
 #include "src/hdl/ast.hpp"
 #include "src/tcl/frames.hpp"
 
@@ -81,6 +81,10 @@ struct ProjectConfig {
   bool run_implementation = true;        ///< false => synthesis-only metrics
   bool incremental_synth = false;
   bool incremental_impl = false;
+  /// Evaluation backend, resolved through edatool::BackendRegistry
+  /// ("vivado-sim" = the simulated tool, "analytic" = the fast
+  /// low-fidelity estimator).
+  std::string backend = "vivado-sim";
 };
 
 /// Thread-safe memoization of (design point -> result), shared between
@@ -138,9 +142,10 @@ class EvaluationSupervisor;
 
 class PointEvaluator {
  public:
-  /// Parses the project sources eagerly; throws std::runtime_error when the
-  /// top module cannot be found or parsed. `cache` may be shared across
-  /// evaluators (pass nullptr for a private cache).
+  /// Parses the project sources eagerly and instantiates the configured
+  /// evaluation backend; throws std::runtime_error when the top module
+  /// cannot be found or parsed, or the backend name is unknown. `cache`
+  /// may be shared across evaluators (pass nullptr for a private cache).
   PointEvaluator(ProjectConfig config, std::shared_ptr<EvaluationCache> cache = nullptr);
 
   /// Evaluate one design point end to end. When a supervisor is attached,
@@ -155,7 +160,7 @@ class PointEvaluator {
 
   /// Forward a fault injector to the underlying tool session.
   void set_fault_injector(std::shared_ptr<const edatool::FaultInjector> injector) {
-    sim_.set_fault_injector(std::move(injector));
+    backend_->set_fault_injector(std::move(injector));
   }
 
   /// The parsed module under exploration.
@@ -168,10 +173,10 @@ class PointEvaluator {
 
   /// Cumulative simulated tool seconds across this evaluator's runs
   /// (cache hits cost nothing).
-  [[nodiscard]] double tool_seconds() const { return sim_.total_seconds(); }
+  [[nodiscard]] double tool_seconds() const { return backend_->total_seconds(); }
 
-  /// Underlying tool session (tests and ablations inspect it).
-  [[nodiscard]] const edatool::VivadoSim& sim() const { return sim_; }
+  /// The evaluation backend session (tests and ablations inspect it).
+  [[nodiscard]] const edatool::EdaBackend& backend() const { return *backend_; }
 
   [[nodiscard]] const ProjectConfig& config() const { return config_; }
   [[nodiscard]] const std::shared_ptr<EvaluationCache>& cache() const { return cache_; }
@@ -179,14 +184,14 @@ class PointEvaluator {
  private:
   /// The pipeline body behind evaluate(); runs without consulting the
   /// cache (the caller holds the single-flight claim). `attempt` is the
-  /// 0-based retry index, forwarded to the tool's fault context.
+  /// 0-based retry index, forwarded to the backend's fault context.
   [[nodiscard]] EvalResult run_pipeline(const DesignPoint& point, int attempt);
 
   ProjectConfig config_;
   std::shared_ptr<EvaluationCache> cache_;
   std::shared_ptr<EvaluationSupervisor> supervisor_;
   hdl::Module module_;
-  edatool::VivadoSim sim_;
+  std::unique_ptr<edatool::EdaBackend> backend_;
 };
 
 /// A mutex/condvar-guarded free-list of evaluators. Each PointEvaluator
@@ -223,7 +228,8 @@ class EvaluatorPool {
 
   EvaluatorPool() = default;
 
-  /// Register an evaluator; it becomes immediately acquirable.
+  /// Register an evaluator; it becomes immediately acquirable. The first
+  /// add() snapshots the module interface for module()/free_parameters().
   void add(std::unique_ptr<PointEvaluator> evaluator);
 
   /// Check out an exclusive evaluator, blocking until one is free.
@@ -236,9 +242,14 @@ class EvaluatorPool {
   /// Number of acquire() calls that had to block for a free evaluator.
   [[nodiscard]] std::size_t lease_waits() const;
 
-  /// The first registered evaluator, for pre-run introspection (module
-  /// interface, shared cache). Do not use while evaluations are in flight.
-  [[nodiscard]] const PointEvaluator& front() const;
+  /// The module interface under exploration, snapshotted when the first
+  /// evaluator was registered — safe to read while evaluations are in
+  /// flight (it never touches a live evaluator). Throws std::logic_error
+  /// on an empty pool.
+  [[nodiscard]] const hdl::Module& module() const;
+
+  /// Free (tunable) parameters of the snapshotted module interface.
+  [[nodiscard]] const std::vector<hdl::Parameter>& free_parameters() const;
 
  private:
   void release(PointEvaluator* evaluator);
@@ -248,6 +259,11 @@ class EvaluatorPool {
   std::vector<std::unique_ptr<PointEvaluator>> owned_;
   std::vector<PointEvaluator*> idle_;
   std::size_t lease_waits_ = 0;
+
+  /// Interface snapshot captured at first add(); immutable afterwards, so
+  /// reads need no lock once an evaluator exists.
+  std::unique_ptr<hdl::Module> module_snapshot_;
+  std::vector<hdl::Parameter> free_parameters_snapshot_;
 };
 
 }  // namespace dovado::core

@@ -105,6 +105,14 @@ std::string to_json(const DseResult& result, int indent) {
   stats["batches"] = util::Json(result.stats.batches);
   stats["last_batch_tool_seconds"] = util::Json(result.stats.last_batch_tool_seconds);
   stats["max_batch_tool_seconds"] = util::Json(result.stats.max_batch_tool_seconds);
+  stats["screened_out"] = util::Json(result.stats.screened_out);
+  stats["screen_runs"] = util::Json(result.stats.screen_runs);
+  stats["screen_tool_seconds"] = util::Json(result.stats.screen_tool_seconds);
+  util::JsonObject backend_runs;
+  for (const auto& [name, runs] : result.stats.backend_runs) {
+    backend_runs[name] = util::Json(runs);
+  }
+  stats["backend_runs"] = util::Json(std::move(backend_runs));
   stats["retries"] = util::Json(result.stats.retries);
   stats["transient_failures"] = util::Json(result.stats.transient_failures);
   stats["deterministic_failures"] = util::Json(result.stats.deterministic_failures);

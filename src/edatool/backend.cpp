@@ -1,0 +1,113 @@
+#include "src/edatool/backend.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "src/edatool/analytic_backend.hpp"
+#include "src/edatool/vivado_sim_backend.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::edatool {
+
+const char* fidelity_name(BackendFidelity fidelity) {
+  switch (fidelity) {
+    case BackendFidelity::kHigh: return "high";
+    case BackendFidelity::kLow: return "low";
+  }
+  return "unknown";
+}
+
+const std::vector<std::string>& standard_metric_names() {
+  static const std::vector<std::string> names = {
+      "lut",      "lut_logic", "lut_mem",  "ff",
+      "bram",     "dsp",       "uram",     "wns_ns",
+      "delay_ns", "fmax_mhz",  "power_w",  "power_static_w",
+      "power_dynamic_w"};
+  return names;
+}
+
+std::string corrupt_report_text(std::string text) {
+  // Every digit becomes '#' (no numeric cell parses any more) and the tail
+  // is lost, mimicking a report file whose writer died mid-flush.
+  for (char& c : text) {
+    if (c >= '0' && c <= '9') c = '#';
+  }
+  text.resize(text.size() - text.size() / 3);
+  text.insert(0, "WARNING: [Report 1-13] report stream interrupted (simulated fault)\n");
+  return text;
+}
+
+namespace {
+
+std::map<std::string, BackendRegistry::Factory>& registry() {
+  static std::map<std::string, BackendRegistry::Factory> instance;
+  return instance;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// Register the shipped backends exactly once; callers must hold the
+/// registry mutex.
+void ensure_builtins_locked() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  registry()["vivado-sim"] = [] {
+    return std::unique_ptr<EdaBackend>(std::make_unique<VivadoSimBackend>());
+  };
+  registry()["analytic"] = [] {
+    return std::unique_ptr<EdaBackend>(std::make_unique<AnalyticBackend>());
+  };
+}
+
+}  // namespace
+
+void BackendRegistry::register_backend(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  ensure_builtins_locked();
+  registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<EdaBackend> BackendRegistry::create(const std::string& name) {
+  Factory factory;
+  std::vector<std::string> known;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    ensure_builtins_locked();
+    auto it = registry().find(name);
+    if (it != registry().end()) {
+      factory = it->second;
+    } else {
+      for (const auto& [key, value] : registry()) {
+        (void)value;
+        known.push_back(key);
+      }
+    }
+  }
+  if (factory) return factory();
+
+  std::string message = "unknown backend '" + name + "'";
+  const std::string suggestion = util::closest_match(name, known);
+  if (!suggestion.empty()) message += " (did you mean '" + suggestion + "'?)";
+  message += "; known backends: " + util::join(known, ", ");
+  throw std::runtime_error(message);
+}
+
+std::vector<std::string> BackendRegistry::names() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  ensure_builtins_locked();
+  std::vector<std::string> out;
+  out.reserve(registry().size());
+  for (const auto& [key, value] : registry()) {
+    (void)value;
+    out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace dovado::edatool

@@ -1,0 +1,133 @@
+// Backend abstraction for the evaluation pipeline (see DESIGN.md "Backend
+// abstraction & multi-fidelity screening").
+//
+// The core never talks to a concrete tool: it hands the backend a flow
+// request (the generated TCL script plus the structured frame it was
+// generated from) and parses the textual reports the backend returns. Two
+// implementations ship today:
+//   - VivadoSimBackend: the SimVivado batch session, behavior-identical to
+//     the pre-interface pipeline (high fidelity),
+//   - AnalyticBackend: a fast estimator built directly on the techmap and
+//     timing cost models, answering in near-zero simulated tool seconds
+//     with deliberately noisy-but-correlated metrics (low fidelity, for
+//     multi-fidelity screening).
+// Backends are created by name through the BackendRegistry, which is the
+// seam every future backend (real-Vivado shim, remote farm) plugs into.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/edatool/faults.hpp"
+#include "src/tcl/frames.hpp"
+
+namespace dovado::edatool {
+
+/// How trustworthy a backend's metrics are. Low-fidelity answers are rank
+/// guidance only: they may be recorded as estimates but never as exact
+/// tool results.
+enum class BackendFidelity { kHigh, kLow };
+
+[[nodiscard]] const char* fidelity_name(BackendFidelity fidelity);
+
+/// Capability flags a backend advertises. The core consults these instead
+/// of knowing concrete types.
+struct BackendInfo {
+  std::string name;                         ///< registry name ("vivado-sim", ...)
+  BackendFidelity fidelity = BackendFidelity::kHigh;
+  bool supports_implementation = true;      ///< can run place/route flows
+  bool supports_incremental = true;         ///< honors incremental checkpoints
+  bool supports_fault_injection = true;     ///< honors an attached FaultInjector
+};
+
+/// One flow invocation. The script is the customized TCL frame exactly as
+/// the pre-interface pipeline generated it — script-driven backends execute
+/// it verbatim; model-driven backends read the structured `frame` (and the
+/// clock period, which only exists inside the XDC) instead of parsing TCL.
+struct FlowRequest {
+  std::string script;
+  tcl::FrameConfig frame;
+  double period_ns = 1.0;  ///< the XDC create_clock period
+};
+
+/// What came back from one flow run. Reports are the tool's textual output
+/// chunks (utilization/timing/power tables); the caller parses them with
+/// the checked report parsers, so a corrupt report fails loudly the same
+/// way for every backend.
+struct FlowOutcome {
+  bool ok = false;
+  std::string error;                 ///< tool-style "ERROR: [...]" on failure
+  std::vector<std::string> reports;  ///< captured output, in emit order
+  double tool_seconds = 0.0;         ///< simulated runtime of this run
+};
+
+/// Pure-virtual interface of one exclusive tool session. Sessions are
+/// stateful (virtual files, incremental checkpoints, accumulated simulated
+/// seconds) and not thread-safe — the EvaluatorPool leases each one
+/// exclusively.
+class EdaBackend {
+ public:
+  virtual ~EdaBackend() = default;
+
+  [[nodiscard]] virtual const BackendInfo& info() const = 0;
+
+  /// Register an in-memory source file (the generated box + XDC). Virtual
+  /// files shadow the filesystem.
+  virtual void add_virtual_file(const std::string& path, std::string content) = 0;
+
+  /// Attach a fault injector (nullptr = faults off); shared across
+  /// sessions. Backends without fault support ignore it.
+  virtual void set_fault_injector(std::shared_ptr<const FaultInjector> injector) = 0;
+
+  /// Identify the next run for the injector: the design point's stable key
+  /// (fault_point_key) and the 0-based retry attempt.
+  virtual void set_fault_context(std::uint64_t point_key, int attempt) = 0;
+
+  /// Run one flow end to end.
+  [[nodiscard]] virtual FlowOutcome run_flow(const FlowRequest& request) = 0;
+
+  /// Cumulative simulated tool seconds across this session's runs.
+  [[nodiscard]] virtual double total_seconds() const = 0;
+
+  /// Number of run_flow invocations on this session (fresh runs only —
+  /// cache hits never reach the backend).
+  [[nodiscard]] virtual std::uint64_t flows_run() const = 0;
+
+  /// Metric names this backend can report (superset over devices; e.g.
+  /// "uram" appears only on URAM-bearing parts). Used to validate
+  /// objectives at engine construction.
+  [[nodiscard]] virtual std::vector<std::string> metric_names() const = 0;
+};
+
+/// The metric vocabulary of the standard report pipeline (utilization +
+/// timing + power tables parsed by PointEvaluator). Both shipped backends
+/// report exactly this set.
+[[nodiscard]] const std::vector<std::string>& standard_metric_names();
+
+/// Garble report text the way an injected kCorruptReport fault does: every
+/// digit becomes '#' and the tail is cut, so no checked parser can extract
+/// metrics from it. Shared by all fault-capable backends so the supervisor
+/// classifies the damage identically.
+[[nodiscard]] std::string corrupt_report_text(std::string text);
+
+/// Name -> factory registry of evaluation backends. The two built-in
+/// backends ("vivado-sim", "analytic") are always registered; hosts may add
+/// their own before creating evaluators.
+class BackendRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<EdaBackend>()>;
+
+  static void register_backend(const std::string& name, Factory factory);
+
+  /// Instantiate a backend by name; throws std::runtime_error (listing the
+  /// known names, with a did-you-mean hint) when the name is unknown.
+  [[nodiscard]] static std::unique_ptr<EdaBackend> create(const std::string& name);
+
+  /// Registered backend names, sorted.
+  [[nodiscard]] static std::vector<std::string> names();
+};
+
+}  // namespace dovado::edatool

@@ -1,5 +1,6 @@
 #include "src/edatool/vivado_sim.hpp"
 
+#include "src/edatool/backend.hpp"
 #include "src/edatool/power.hpp"
 
 #include <cmath>
@@ -538,14 +539,9 @@ void VivadoSim::register_tool_commands() {
 }
 
 std::string VivadoSim::corrupt_report_text(std::string text) {
-  // Every digit becomes '#' (no numeric cell parses any more) and the tail
-  // is lost, mimicking a report file whose writer died mid-flush.
-  for (char& c : text) {
-    if (c >= '0' && c <= '9') c = '#';
-  }
-  text.resize(text.size() - text.size() / 3);
-  text.insert(0, "WARNING: [Report 1-13] report stream interrupted (simulated fault)\n");
-  return text;
+  // Shared with every fault-capable backend so the supervisor classifies
+  // the damage identically (see edatool/backend.hpp).
+  return edatool::corrupt_report_text(std::move(text));
 }
 
 tcl::EvalResult VivadoSim::run_script(const std::string& script) {

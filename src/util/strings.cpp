@@ -1,5 +1,6 @@
 #include "src/util/strings.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cstdarg>
@@ -135,6 +136,38 @@ std::string format(const char* fmt, ...) {
   }
   va_end(args_copy);
   return out;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // One-row dynamic program; identifiers are short so O(|a|*|b|) is fine.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string closest_match(std::string_view name,
+                          const std::vector<std::string>& candidates) {
+  const std::string needle = to_lower(name);
+  const std::size_t budget = std::max<std::size_t>(2, needle.size() / 3);
+  std::string best;
+  std::size_t best_distance = budget + 1;
+  for (const auto& candidate : candidates) {
+    const std::size_t d = edit_distance(needle, to_lower(candidate));
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
 }
 
 }  // namespace dovado::util

@@ -51,4 +51,13 @@ namespace dovado::util {
 /// printf-style formatting into a std::string.
 [[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Levenshtein edit distance (insert/delete/substitute, each cost 1).
+[[nodiscard]] std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `name` by edit distance (case-insensitive),
+/// for did-you-mean diagnostics. Empty when no candidate is within
+/// max(2, |name| / 3) edits — a suggestion further away would mislead.
+[[nodiscard]] std::string closest_match(std::string_view name,
+                                        const std::vector<std::string>& candidates);
+
 }  // namespace dovado::util

@@ -1,0 +1,188 @@
+// Backend parity: the VivadoSimBackend adapter must be indistinguishable
+// from driving VivadoSim directly, and the analytic low-fidelity backend
+// must run the same evaluation pipeline end to end with rankings that
+// track the high-fidelity tool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/dse.hpp"
+#include "src/core/evaluator.hpp"
+#include "src/edatool/vivado_sim.hpp"
+#include "src/edatool/vivado_sim_backend.hpp"
+#include "src/tcl/frames.hpp"
+
+namespace dovado::core {
+namespace {
+
+ProjectConfig fifo_project(const std::string& backend = "vivado-sim") {
+  ProjectConfig config;
+  config.sources.push_back(
+      {std::string(DOVADO_RTL_DIR) + "/cv32e40p_fifo.sv", hdl::HdlLanguage::kSystemVerilog,
+       "work", false});
+  config.top_module = "cv32e40p_fifo";
+  config.part = "xc7k70tfbv676-1";
+  config.target_period_ns = 1.0;
+  config.backend = backend;
+  return config;
+}
+
+/// Spearman rank correlation (no ties expected in these sweeps).
+double rank_correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> order(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+    std::vector<double> rank(v.size());
+    for (std::size_t i = 0; i < order.size(); ++i) rank[order[i]] = static_cast<double>(i);
+    return rank;
+  };
+  const std::vector<double> ra = ranks(a);
+  const std::vector<double> rb = ranks(b);
+  const double n = static_cast<double>(a.size());
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+}
+
+TEST(BackendParity, AdapterMatchesRawVivadoSimByteForByte) {
+  // The same flow, once through a raw VivadoSim session and once through
+  // the EdaBackend adapter: identical report text, identical simulated
+  // runtime. This is the refactor's no-behavior-change guarantee.
+  tcl::FrameConfig frame;
+  frame.sources.push_back({std::string(DOVADO_RTL_DIR) + "/cv32e40p_fifo.sv",
+                           hdl::HdlLanguage::kSystemVerilog, "work", false});
+  frame.box_path = std::string(DOVADO_RTL_DIR) + "/cv32e40p_fifo.sv";
+  frame.box_language = hdl::HdlLanguage::kSystemVerilog;
+  frame.xdc_path = "box.xdc";
+  frame.top = "cv32e40p_fifo";
+  frame.part = "xc7k70tfbv676-1";
+  frame.run_implementation = true;
+  const std::string script = tcl::generate_flow_script(frame);
+  const std::string xdc = "create_clock -period 1.000 [get_ports clk_i]\n";
+
+  edatool::VivadoSim raw;
+  raw.add_virtual_file("box.xdc", xdc);
+  const tcl::EvalResult raw_result = raw.run_script(script);
+  ASSERT_TRUE(raw_result.ok) << raw_result.error;
+
+  edatool::VivadoSimBackend adapter;
+  adapter.add_virtual_file("box.xdc", xdc);
+  edatool::FlowRequest request;
+  request.script = script;
+  request.frame = frame;
+  request.period_ns = 1.0;
+  const edatool::FlowOutcome outcome = adapter.run_flow(request);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+
+  EXPECT_EQ(outcome.reports, raw.interp().output());
+  EXPECT_DOUBLE_EQ(outcome.tool_seconds, raw.last_run_seconds());
+}
+
+TEST(BackendParity, VivadoSimBackendMatchesDefaultEvaluator) {
+  // Selecting "vivado-sim" explicitly is the default path.
+  const EvalResult implicit = PointEvaluator(fifo_project()).evaluate({{"DEPTH", 96}});
+  const EvalResult explicit_backend =
+      PointEvaluator(fifo_project("vivado-sim")).evaluate({{"DEPTH", 96}});
+  ASSERT_TRUE(implicit.ok) << implicit.error;
+  ASSERT_TRUE(explicit_backend.ok) << explicit_backend.error;
+  EXPECT_EQ(implicit.metrics.values, explicit_backend.metrics.values);
+  EXPECT_DOUBLE_EQ(implicit.tool_seconds, explicit_backend.tool_seconds);
+}
+
+TEST(BackendParity, AnalyticEvaluatesEndToEndAndDeterministically) {
+  const EvalResult a = PointEvaluator(fifo_project("analytic")).evaluate({{"DEPTH", 64}});
+  const EvalResult b = PointEvaluator(fifo_project("analytic")).evaluate({{"DEPTH", 64}});
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.metrics.values, b.metrics.values);
+  EXPECT_GT(a.metrics.get("ff"), 0.0);
+  EXPECT_GT(a.metrics.get("lut"), 0.0);
+  EXPECT_GT(a.metrics.get("fmax_mhz"), 0.0);
+  EXPECT_GT(a.metrics.get("power_w"), 0.0);
+  // The estimate is orders of magnitude cheaper than the simulated flow.
+  const EvalResult hifi = PointEvaluator(fifo_project()).evaluate({{"DEPTH", 64}});
+  EXPECT_LT(a.tool_seconds * 100.0, hifi.tool_seconds);
+}
+
+TEST(BackendParity, AnalyticIsNoisyButRankCorrelated) {
+  // The low-fidelity estimate may be off in magnitude but must preserve
+  // ordering across a parameter sweep — that is what makes it usable for
+  // screening (keep the best fraction, drop the rest).
+  PointEvaluator lofi(fifo_project("analytic"));
+  PointEvaluator hifi(fifo_project());
+  std::vector<double> lofi_ff;
+  std::vector<double> hifi_ff;
+  std::vector<double> lofi_lut;
+  std::vector<double> hifi_lut;
+  bool any_difference = false;
+  for (std::int64_t depth : {8, 16, 32, 64, 128, 256, 512}) {
+    const EvalResult lo = lofi.evaluate({{"DEPTH", depth}});
+    const EvalResult hi = hifi.evaluate({{"DEPTH", depth}});
+    ASSERT_TRUE(lo.ok) << lo.error;
+    ASSERT_TRUE(hi.ok) << hi.error;
+    lofi_ff.push_back(lo.metrics.get("ff"));
+    hifi_ff.push_back(hi.metrics.get("ff"));
+    lofi_lut.push_back(lo.metrics.get("lut"));
+    hifi_lut.push_back(hi.metrics.get("lut"));
+    if (lo.metrics.values != hi.metrics.values) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);  // deliberately noisy, not a copy of the tool
+  EXPECT_GE(rank_correlation(lofi_ff, hifi_ff), 0.9);
+  EXPECT_GE(rank_correlation(lofi_lut, hifi_lut), 0.9);
+}
+
+TEST(BackendParity, DseRunsEntirelyOnAnalyticBackend) {
+  DseConfig config;
+  config.space.params.push_back({"DEPTH", ParamDomain::range(8, 256)});
+  config.objectives = {{"lut", false}, {"fmax_mhz", true}};
+  config.ga.population_size = 8;
+  config.ga.max_generations = 4;
+  config.backend = "analytic";
+  DseEngine engine(fifo_project(), config);
+  const DseResult result = engine.run();
+  ASSERT_FALSE(result.pareto.empty());
+  EXPECT_GT(result.stats.backend_runs.at("analytic"), 0u);
+  EXPECT_EQ(result.stats.backend_runs.count("vivado-sim"), 0u);
+  for (const auto& p : result.pareto) EXPECT_GT(p.metrics.get("lut"), 0.0);
+}
+
+TEST(BackendParity, UnknownObjectiveMetricSuggestsClosestName) {
+  DseConfig config;
+  config.space.params.push_back({"DEPTH", ParamDomain::range(8, 64)});
+  config.objectives = {{"luts", false}};
+  try {
+    DseEngine engine(fifo_project(), config);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("luts"), std::string::npos) << message;
+    EXPECT_NE(message.find("did you mean 'lut'"), std::string::npos) << message;
+    EXPECT_NE(message.find("vivado-sim"), std::string::npos) << message;
+  }
+}
+
+TEST(BackendParity, UnknownBackendNameRejectedAtConstruction) {
+  EXPECT_THROW(PointEvaluator(fifo_project("vivado")), std::runtime_error);
+}
+
+TEST(EvaluatorPoolSnapshot, ModuleReadableWhileLeasesAreOut) {
+  EvaluatorPool pool;
+  pool.add(std::make_unique<PointEvaluator>(fifo_project()));
+  const auto lease = pool.acquire();  // the only evaluator is checked out
+  EXPECT_EQ(pool.module().name, "cv32e40p_fifo");
+  EXPECT_EQ(pool.free_parameters().size(), 3u);
+}
+
+TEST(EvaluatorPoolSnapshot, EmptyPoolThrows) {
+  EvaluatorPool pool;
+  EXPECT_THROW((void)pool.module(), std::logic_error);
+  EXPECT_THROW((void)pool.free_parameters(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dovado::core

@@ -128,7 +128,7 @@ TEST(PointEvaluator, BoxingFailuresAreCached) {
   EXPECT_EQ(second.error, first.error);
   EXPECT_EQ(evaluator.cache()->size(), 1u);
   // No tool time was ever paid for this point.
-  EXPECT_EQ(evaluator.sim().synthesis_runs(), 0);
+  EXPECT_EQ(evaluator.backend().flows_run(), 0u);
   EXPECT_DOUBLE_EQ(evaluator.tool_seconds(), 0.0);
 }
 
