@@ -165,6 +165,11 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
     config.supervise.max_retries = options.max_retries;
     config.supervise.attempt_timeout_tool_seconds = options.attempt_timeout;
     config.supervise.seed = options.seed;
+    config.breaker.enabled = options.breaker;
+    config.breaker.window = options.breaker_window;
+    config.breaker.failure_threshold = options.breaker_threshold;
+    config.breaker.probe_budget = options.probe_budget;
+    config.breaker.seed = options.seed;
     config.journal_path = options.journal_path;
     config.resume_from_journal = !options.resume_path.empty();
     if (!apply_fault_plan(options, config, err)) return 1;
@@ -227,7 +232,17 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
     if (result.stats.faults_injected > 0) {
       out << ", " << result.stats.faults_injected << " faults injected";
     }
-    out << "\n\n";
+    out << "\n";
+    if (result.stats.breaker_trips > 0 || result.stats.breaker_fast_fails > 0 ||
+        result.stats.degraded_evals > 0) {
+      out << "availability: " << result.stats.breaker_trips << " breaker trips / "
+          << result.stats.breaker_recoveries << " recoveries, "
+          << result.stats.breaker_fast_fails << " fast fails, "
+          << result.stats.probe_runs << " probes, "
+          << result.stats.degraded_evals << " degraded evals, "
+          << result.stats.reverified_points << " re-verified\n";
+    }
+    out << "\n";
     out << "non-dominated set (" << result.pareto.size() << " points):\n";
     out << core::format_table(result.pareto);
 

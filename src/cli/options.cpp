@@ -182,8 +182,20 @@ robustness options (explore):
                           with --resume an existing journal is replayed so a
                           crashed run repays for nothing
   --fault-plan SPEC       inject tool faults for robustness drills, e.g.
-                          seed=7,crash=0.2,hang=0.05,corrupt=0.1,abort=0.02
+                          seed=7,crash=0.2,hang=0.05,corrupt=0.1,abort=0.02,
+                          outage_start=20,outage_len=30 (backend outage) or
+                          flap_up=10,flap_down=15 (flapping backend)
                           (also read from DOVADO_FAULT_PLAN)
+
+availability options (explore):
+  --no-breaker            disable the per-backend circuit breaker
+  --breaker-window N      rolling window of final outcomes per backend
+                          (default 12)
+  --breaker-threshold N   failures within the window that trip the breaker
+                          open; while open, evaluations fast-fail and are
+                          hedged on the analytic backend (default 6)
+  --probe-budget N        recovery probes per half-open episode; a quorum of
+                          successes closes the breaker again (default 3)
 
 output options:
   --csv FILE              write explored points as CSV
@@ -380,6 +392,32 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
     } else if (a == "--journal") {
       if (!need_value(i, a)) return outcome;
       opt.journal_path = args[++i];
+    } else if (a == "--no-breaker") {
+      opt.breaker = false;
+    } else if (a == "--breaker-window") {
+      if (!need_value(i, a)) return outcome;
+      std::int64_t v = 0;
+      if (!parse_i64(args[++i], v) || v <= 0) {
+        outcome.error = "invalid --breaker-window (must be a positive integer)";
+        return outcome;
+      }
+      opt.breaker_window = static_cast<std::size_t>(v);
+    } else if (a == "--breaker-threshold") {
+      if (!need_value(i, a)) return outcome;
+      std::int64_t v = 0;
+      if (!parse_i64(args[++i], v) || v <= 0) {
+        outcome.error = "invalid --breaker-threshold (must be a positive integer)";
+        return outcome;
+      }
+      opt.breaker_threshold = static_cast<std::size_t>(v);
+    } else if (a == "--probe-budget") {
+      if (!need_value(i, a)) return outcome;
+      std::int64_t v = 0;
+      if (!parse_i64(args[++i], v) || v <= 0) {
+        outcome.error = "invalid --probe-budget (must be a positive integer)";
+        return outcome;
+      }
+      opt.probe_budget = static_cast<std::size_t>(v);
     } else if (a == "--save-session") {
       if (!need_value(i, a)) return outcome;
       opt.session_path = args[++i];
@@ -404,7 +442,20 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
       }
       opt.kernels.push_back(std::move(*kernel));
     } else {
+      // Did-you-mean: suggest the closest known flag for typos like
+      // --screen-ration or --breaker-treshold.
+      static const std::vector<std::string> kKnownFlags = {
+          "--source", "--top", "--part", "--period", "--synth-directive",
+          "--place-directive", "--route-directive", "--no-impl", "--incremental",
+          "--backend", "--screen-ratio", "--set", "--param", "--objective", "--pop",
+          "--gens", "--seed", "--approximate", "--pretrain", "--deadline-hours",
+          "--workers", "--samples", "--resume", "--fault-plan", "--max-retries",
+          "--attempt-timeout", "--journal", "--no-breaker", "--breaker-window",
+          "--breaker-threshold", "--probe-budget", "--save-session", "--csv",
+          "--json", "--clock", "--kernel"};
       outcome.error = "unknown option '" + a + "'";
+      const std::string suggestion = util::closest_match(a, kKnownFlags);
+      if (!suggestion.empty()) outcome.error += " (did you mean '" + suggestion + "'?)";
       return outcome;
     }
   }
@@ -436,6 +487,20 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
   }
   if (opt.command == Command::kExplore && opt.objectives.empty()) {
     outcome.error = "explore requires at least one --objective";
+    return outcome;
+  }
+  if (opt.backend == "analytic" && opt.screen_ratio < 1.0) {
+    outcome.error =
+        "--screen-ratio screens on the analytic backend, but --backend analytic "
+        "already evaluates there (screening against itself saves nothing); drop "
+        "--screen-ratio or use --backend vivado-sim";
+    return outcome;
+  }
+  if (opt.breaker_threshold > opt.breaker_window) {
+    outcome.error = "--breaker-threshold (" + std::to_string(opt.breaker_threshold) +
+                    ") cannot exceed --breaker-window (" +
+                    std::to_string(opt.breaker_window) +
+                    "): the breaker could never trip";
     return outcome;
   }
   outcome.ok = true;

@@ -71,6 +71,12 @@ struct Options {
   double attempt_timeout = 0.0;  ///< --attempt-timeout SECONDS (simulated; 0 = off)
   std::string journal_path;      ///< --journal FILE: crash-safe evaluation log
 
+  // Backend health / circuit breaker (explore).
+  bool breaker = true;                ///< --no-breaker clears it
+  std::size_t breaker_window = 12;    ///< --breaker-window N
+  std::size_t breaker_threshold = 6;  ///< --breaker-threshold N
+  std::size_t probe_budget = 3;       ///< --probe-budget N
+
   // sensitivity.
   std::size_t samples_per_param = 7;  ///< --samples
 

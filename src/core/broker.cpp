@@ -53,9 +53,35 @@ EvaluationBroker::EvaluationBroker(ProjectConfig project, BrokerConfig config)
   }
 }
 
+void EvaluationBroker::set_health_manager(std::shared_ptr<BackendHealthManager> health) {
+  health_ = std::move(health);
+}
+
+void EvaluationBroker::append_health_event(const HealthEvent& event) {
+  if (!journal_) return;
+  if (!journal_->append_event(event)) {
+    util::Log::warn("journal append failed for health event on '" + journal_->path() +
+                    "'; a resumed run will re-discover this outage");
+  }
+}
+
 std::vector<JournalRecord> EvaluationBroker::replay_journal() {
   std::vector<JournalRecord> seeded;
-  if (pending_replay_.records.empty()) return seeded;
+  // Health events are recovered even when no evaluation records were
+  // journaled (e.g. the breaker tripped before any run finished).
+  if (!pending_replay_.health_events.empty()) {
+    replayed_health_events_ = std::move(pending_replay_.health_events);
+    pending_replay_.health_events.clear();
+  }
+  if (pending_replay_.skipped_records > 0) {
+    util::Log::warn("journal '" + config_.journal_path + "': skipped " +
+                    std::to_string(pending_replay_.skipped_records) +
+                    " record(s) of unknown kind");
+  }
+  if (pending_replay_.records.empty()) {
+    pending_replay_ = {};
+    return seeded;
+  }
   for (const auto& rec : pending_replay_.records) {
     if (cache_->lookup(rec.params)) continue;  // warm start already seeded it
     EvalResult result;
@@ -86,7 +112,26 @@ std::optional<EvalResult> EvaluationBroker::cached(const DesignPoint& point) con
   return cache_->lookup(point);
 }
 
-EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point) {
+EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe) {
+  // Circuit-breaker gate: only *uncached* points consult the breaker — a
+  // memoized answer costs nothing and says nothing new about health.
+  BreakerAdmission admission = BreakerAdmission::kAllow;
+  if (health_ && !cache_->contains(point)) {
+    admission = probe ? health_->admit_probe(backend_info_.name)
+                      : health_->admit(backend_info_.name);
+    if (admission == BreakerAdmission::kFastFail) {
+      EvalResult fast;
+      fast.ok = false;
+      fast.fast_failed = true;
+      fast.failure = FailureClass::kTransient;
+      fast.attempts = 0;
+      fast.error = "circuit breaker open for backend '" + backend_info_.name +
+                   "' (fast fail)";
+      // Deliberately not cached, journaled or charged: the answer says the
+      // *backend* is down right now, nothing about the design point.
+      return fast;
+    }
+  }
   EvalResult result;
   {
     const EvaluatorPool::Lease lease = evaluators_.acquire();
@@ -97,10 +142,22 @@ EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point) {
       result.metrics.values[derived.name] = derived.compute(point, result.metrics);
     }
   }
+  // Only *fresh* answers feed the breaker's window: a cache hit or a
+  // single-flight join replays an old answer and says nothing about the
+  // backend's health right now. A probe slot that resolved without
+  // touching the backend is returned to the budget.
+  const bool fresh = !result.cache_hit && !result.joined;
+  if (health_) {
+    if (fresh) {
+      health_->on_outcome(backend_info_.name, admission == BreakerAdmission::kProbe,
+                          result);
+    } else if (admission == BreakerAdmission::kProbe) {
+      health_->cancel_probe(backend_info_.name);
+    }
+  }
   // Journal every *fresh* tool answer (cache hits and joins were paid for —
   // and journaled — by their leader) so a crashed campaign can resume
   // without repaying for it.
-  const bool fresh = !result.cache_hit && !result.joined;
   if (journal_ && fresh) {
     JournalRecord rec;
     rec.params = point;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/core/evaluator.hpp"
+#include "src/core/health/manager.hpp"
 #include "src/core/journal.hpp"
 #include "src/core/param_domain.hpp"
 #include "src/core/supervisor.hpp"
@@ -98,7 +99,26 @@ class EvaluationBroker {
   /// the configured derived metrics, journal fresh answers and charge the
   /// guarded tool-seconds accumulator. Safe to call from any number of
   /// pool tasks.
-  [[nodiscard]] EvalResult tool_evaluate(const DesignPoint& point);
+  ///
+  /// With a health manager attached, uncached points first pass the
+  /// backend's circuit breaker: an open breaker answers in O(1) with
+  /// `fast_failed=true` (zero tool seconds; never cached or journaled).
+  /// `probe=true` requests admission through the breaker's probe budget
+  /// instead of regular traffic (the engine's recovery probe queue).
+  [[nodiscard]] EvalResult tool_evaluate(const DesignPoint& point, bool probe = false);
+
+  /// Attach the per-backend circuit breakers (see core/health/). Must be
+  /// called before evaluations start; null detaches.
+  void set_health_manager(std::shared_ptr<BackendHealthManager> health);
+
+  /// Journal a breaker transition (no-op without a journal). Used as the
+  /// health manager's event sink.
+  void append_health_event(const HealthEvent& event);
+
+  /// Health events recovered by replay_journal() (empty before it runs).
+  [[nodiscard]] const std::vector<HealthEvent>& replayed_health_events() const {
+    return replayed_health_events_;
+  }
 
   /// Dispatch fn(i) for i in [0, n) over the pool in chunks, checking the
   /// tool deadline between chunks; stops dispatching (and flags
@@ -158,6 +178,8 @@ class EvaluationBroker {
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<SessionJournal> journal_;  ///< null = journaling disabled
   SessionJournal::Replay pending_replay_;    ///< held until replay_journal()
+  std::shared_ptr<BackendHealthManager> health_;  ///< null = no breakers
+  std::vector<HealthEvent> replayed_health_events_;
   edatool::BackendInfo backend_info_;
   std::vector<std::string> metric_names_;
 

@@ -133,6 +133,21 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
     screen_broker_ = std::make_unique<EvaluationBroker>(screen_project, screen_config);
   }
 
+  // Backend health management (see core/health/): a circuit breaker on the
+  // high-fidelity backend drives the degradation ladder. Pointless when the
+  // hi-fi backend *is* the hedge tier — there is nothing to degrade to.
+  if (config_.breaker.enabled &&
+      broker_->backend_info().name != config_.screen_backend) {
+    health_ = std::make_shared<BackendHealthManager>(config_.breaker);
+    health_->set_event_sink([this](const HealthEvent& event) {
+      util::Log::warn("backend '" + event.backend + "' breaker: " +
+                      health_event_kind_name(event.kind) +
+                      (event.cause.empty() ? "" : " (" + event.cause + ")"));
+      broker_->append_health_event(event);
+    });
+    broker_->set_health_manager(health_);
+  }
+
   if (config_.use_approximation) {
     control_ = std::make_unique<model::ControlModel>(config_.control);
   }
@@ -176,8 +191,81 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
 
   // Crash recovery: the broker seeds its cache from the journal (skipping
   // warm-started points); the engine mirrors the seeded records into the
-  // explored set and the approximation dataset.
+  // explored set and the approximation dataset, and journaled breaker
+  // transitions restore the health state (an open breaker stays open — a
+  // resumed run must not re-pay the failure window of a known outage).
   absorb_replayed(broker_->replay_journal());
+  if (health_) health_->restore(broker_->replayed_health_events());
+}
+
+EvaluationBroker* DseEngine::hedge_broker() {
+  // With screening enabled the low-fidelity broker already exists and its
+  // cache likely holds the hedged points (screen_batch saw them first).
+  if (screen_broker_) return screen_broker_.get();
+  std::lock_guard<std::mutex> lock(hedge_mutex_);
+  if (!owned_hedge_broker_) {
+    ProjectConfig hedge_project = project_;
+    hedge_project.backend = config_.screen_backend;
+    BrokerConfig hedge_config;
+    hedge_config.workers = config_.workers;
+    hedge_config.supervise = config_.supervise;
+    hedge_config.derived_metrics = config_.derived_metrics;
+    owned_hedge_broker_ = std::make_unique<EvaluationBroker>(hedge_project, hedge_config);
+  }
+  return owned_hedge_broker_.get();
+}
+
+void DseEngine::enqueue_probe(const DesignPoint& point) {
+  if (!health_) return;
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  // Bounded and deduplicated: a handful of representative fast-failed
+  // points is enough to diagnose recovery; queueing every one would turn
+  // the queue into a shadow of the whole search.
+  const std::size_t cap = std::max<std::size_t>(config_.breaker.probe_budget * 4, 8);
+  if (probe_queue_.size() >= cap) return;
+  if (!probe_seen_.insert(point).second) return;
+  probe_queue_.push_back(point);
+}
+
+void DseEngine::run_probe_queue() {
+  if (!health_) return;
+  const std::string& backend = broker_->backend_info().name;
+  while (health_->probe_wanted(backend)) {
+    DesignPoint point;
+    {
+      std::lock_guard<std::mutex> lock(probe_mutex_);
+      if (probe_queue_.empty()) return;
+      point = probe_queue_.front();
+      probe_queue_.pop_front();
+    }
+    const EvalResult r = broker_->tool_evaluate(point, /*probe=*/true);
+    if (r.fast_failed) {
+      // The cooldown is still counting (or the budget is spent); keep the
+      // point for the next batch's probe round.
+      std::lock_guard<std::mutex> lock(probe_mutex_);
+      probe_queue_.push_front(std::move(point));
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (r.cache_hit) ++stats_.cache_hits;
+      else if (r.joined) ++stats_.single_flight_joins;
+      else ++stats_.tool_runs;
+      if (!r.ok) ++stats_.failures;
+    }
+    if (!r.ok) continue;  // breaker handles the re-trip; the point is not recorded
+    // A probe success is a paid-for exact answer: record it (superseding
+    // any hedged estimate for the point) and grow the dataset.
+    record(point, r.metrics, false, false);
+    if (control_ && !r.cache_hit && !r.joined) {
+      model::Values values;
+      values.reserve(config_.objectives.size());
+      for (const auto& obj : config_.objectives) {
+        values.push_back(r.metrics.get(obj.metric));
+      }
+      control_->add_sample(to_model_point(point), values);
+    }
+  }
 }
 
 void DseEngine::absorb_replayed(const std::vector<JournalRecord>& records) {
@@ -240,6 +328,22 @@ DseStats DseEngine::stats() const {
     snapshot.screen_runs = lofi.fresh_runs;
     snapshot.screen_tool_seconds = lofi.tool_seconds;
     snapshot.backend_runs[screen_broker_->backend_info().name] += lofi.fresh_runs;
+  }
+  {
+    // The lazily-built hedge broker (only exists once a breaker opened
+    // without screening enabled).
+    std::lock_guard<std::mutex> lock(hedge_mutex_);
+    if (owned_hedge_broker_) {
+      const BrokerStats hedge = owned_hedge_broker_->stats();
+      snapshot.backend_runs[owned_hedge_broker_->backend_info().name] += hedge.fresh_runs;
+    }
+  }
+  if (health_) {
+    const HealthStats health = health_->stats();
+    snapshot.breaker_trips = health.trips;
+    snapshot.breaker_recoveries = health.recoveries;
+    snapshot.breaker_fast_fails = health.fast_fails;
+    snapshot.probe_runs = health.probe_runs;
   }
   return snapshot;
 }
@@ -322,6 +426,9 @@ void DseEngine::pretrain() {
       });
 
   for (std::size_t i = 0; i < dispatched; ++i) {
+    // A fast-failed pretrain sample never ran: it is neither a pretrain
+    // run nor a statement about the point.
+    if (results[i].fast_failed) continue;
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.pretrain_runs;
@@ -493,6 +600,29 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
         results[fi] = broker_->tool_evaluate(unique_points[forward[fi]]);
       });
 
+  // Degraded rung of the availability ladder: points the open breaker
+  // fast-failed are *hedged* — evaluated on the analytic tier right away
+  // (scored below, flagged approximate) — and remembered as probe
+  // candidates so recovery is tested on points the search actually wants.
+  std::map<std::size_t, EvalResult> hedged;
+  {
+    std::vector<std::size_t> hedge_ui;
+    for (std::size_t fi = 0; fi < dispatched; ++fi) {
+      if (results[fi].fast_failed) hedge_ui.push_back(forward[fi]);
+    }
+    if (!hedge_ui.empty()) {
+      EvaluationBroker* hedger = hedge_broker();
+      std::vector<EvalResult> hedge_results(hedge_ui.size());
+      hedger->parallel_for(hedge_ui.size(), [&](std::size_t i) {
+        hedge_results[i] = hedger->tool_evaluate(unique_points[hedge_ui[i]]);
+      });
+      for (std::size_t i = 0; i < hedge_ui.size(); ++i) {
+        enqueue_probe(unique_points[hedge_ui[i]]);
+        hedged.emplace(hedge_ui[i], std::move(hedge_results[i]));
+      }
+    }
+  }
+
   std::vector<bool> leader_done(unique_points.size(), false);
   for (const auto& pending : queue) {
     auto& ind = individuals[pending.individual];
@@ -535,6 +665,33 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
       continue;
     }
     EvalResult r = results[forward_pos[ui]];
+    if (r.fast_failed) {
+      // Breaker open: the hi-fi backend was never touched. Score from the
+      // hedge answer when the analytic tier delivered one; the point is
+      // recorded estimated + approximate so the verification loop
+      // re-verifies it hi-fi once (if) the backend recovers.
+      const auto hedge_it = hedged.find(ui);
+      if (hedge_it != hedged.end() && hedge_it->second.ok) {
+        ind.objectives = to_objectives(hedge_it->second.metrics);
+        ind.evaluated = true;
+        if (!leader_done[ui]) {
+          leader_done[ui] = true;
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.degraded_evals;
+        }
+        record(point, hedge_it->second.metrics, /*estimated=*/true, /*failed=*/false,
+               /*approximate=*/true);
+      } else {
+        // No hedge tier answer either: penalize but do not record — the
+        // point was never actually evaluated by anything.
+        ind.objectives.assign(config_.objectives.size(), kFailurePenalty);
+        ind.evaluated = true;
+        leader_done[ui] = true;
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.failures;
+      }
+      continue;
+    }
     if (leader_done[ui] && !r.cache_hit) {
       // A duplicate of an earlier individual in this batch: it joins the
       // leader's run instead of paying for the tool again.
@@ -592,6 +749,11 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
       control_->add_sample(to_model_point(point), values);
     }
   }
+
+  // Recovery rung: after every batch the probe queue re-tries a bounded
+  // number of fast-failed points against the hi-fi tier (once the
+  // breaker's cooldown admits probes). Probe successes close the breaker.
+  run_probe_queue();
 }
 
 std::vector<ExploredPoint> DseEngine::evaluate_set(const std::vector<DesignPoint>& points) {
@@ -611,6 +773,14 @@ std::vector<ExploredPoint> DseEngine::evaluate_set(const std::vector<DesignPoint
       out.push_back(std::move(ep));
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.deadline_skips;
+      continue;
+    }
+    if (results[i].fast_failed) {
+      // Breaker open: reported as failed, but not recorded as explored —
+      // nothing ever evaluated the point.
+      ep.failed = true;
+      ep.metrics = results[i].metrics;
+      out.push_back(std::move(ep));
       continue;
     }
     ep.metrics = results[i].metrics;
@@ -682,14 +852,19 @@ DseResult DseEngine::run() {
 
   std::vector<std::size_t> front = build_front();
 
-  if ((control_ || screen_broker_) && config_.verify_estimated_front) {
-    // Estimated points that made the front — NWM estimates and screened-out
-    // survivors alike — get an exact tool evaluation (growing the dataset),
-    // then the front is recomputed. Correcting an optimistic estimate can
-    // let a previously-dominated *estimated* point back into the front, so
-    // iterate until the front is fully exact (each pass converts at least
-    // one estimate, so this terminates).
-    while (true) {
+  if ((control_ || screen_broker_ || health_) && config_.verify_estimated_front) {
+    // Estimated points that made the front — NWM estimates, screened-out
+    // survivors and hedged (breaker-degraded) members alike — get an exact
+    // tool evaluation (growing the dataset), then the front is recomputed.
+    // Correcting an optimistic estimate can let a previously-dominated
+    // *estimated* point back into the front, so iterate until the front is
+    // fully exact. With an open breaker a whole pass can fast-fail without
+    // converting anything; such zero-progress passes get a bounded number
+    // of probe-driven recovery attempts, after which the remaining front
+    // members stay estimated (and flagged approximate) — a degraded-but-
+    // complete answer beats hammering a dead backend forever.
+    std::size_t zero_progress_passes = 0;
+    while (zero_progress_passes < 4) {
       std::vector<DesignPoint> to_verify;
       for (std::size_t i : front) {
         if (explored_[i].estimated) to_verify.push_back(explored_[i].params);
@@ -701,7 +876,14 @@ DseResult DseEngine::run() {
       broker_->parallel_for(to_verify.size(), [&](std::size_t i) {
         results[i] = broker_->tool_evaluate(to_verify[i]);
       });
+      std::size_t converted = 0;
       for (std::size_t i = 0; i < to_verify.size(); ++i) {
+        if (results[i].fast_failed) {
+          // Breaker still open: the hi-fi tier was never consulted, so the
+          // hedged estimate stands (neither converted nor failed).
+          continue;
+        }
+        ++converted;
         {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           if (results[i].cache_hit) ++stats_.cache_hits;
@@ -718,14 +900,31 @@ DseResult DseEngine::run() {
         }
         // Tool answer replaces the estimate (record() handles supersession,
         // but estimated entries must be overwritten even when equal).
-        std::lock_guard<std::mutex> lock(record_mutex_);
-        auto it = explored_index_.find(to_verify[i]);
-        if (it != explored_index_.end()) {
-          explored_[it->second].metrics = results[i].metrics;
-          explored_[it->second].estimated = false;
-          explored_[it->second].failed = false;
+        bool was_approximate = false;
+        {
+          std::lock_guard<std::mutex> lock(record_mutex_);
+          auto it = explored_index_.find(to_verify[i]);
+          if (it != explored_index_.end()) {
+            was_approximate = explored_[it->second].approximate;
+            explored_[it->second].metrics = results[i].metrics;
+            explored_[it->second].estimated = false;
+            explored_[it->second].failed = false;
+            explored_[it->second].approximate = false;
+          }
+        }
+        if (was_approximate) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.reverified_points;
         }
       }
+      if (converted == 0) {
+        // Give recovery one more chance per zero-progress pass: a probe
+        // success closes the breaker and the next pass verifies for real.
+        ++zero_progress_passes;
+        run_probe_queue();
+        continue;
+      }
+      zero_progress_passes = 0;
       front = build_front();
     }
   }

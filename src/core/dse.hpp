@@ -24,9 +24,11 @@
 // processes.
 #pragma once
 
+#include <deque>
 #include <limits>
 #include <map>
 #include <memory>
+#include <set>
 
 #include "src/core/broker.hpp"
 #include "src/core/evaluator.hpp"
@@ -123,6 +125,15 @@ struct DseConfig {
   /// samples, score the point with an NWM estimate flagged
   /// `approximate=true` instead of the failure penalty. 0 disables.
   std::size_t approx_fallback_min_samples = 5;
+
+  /// Backend health management (see core/health/ and DESIGN.md
+  /// "Availability & degradation ladder"): a per-backend circuit breaker
+  /// fast-fails evaluations on a persistently sick backend, new points are
+  /// hedged on the analytic tier (flagged `approximate=true`) and a bounded
+  /// probe queue re-tries representative points until the backend recovers.
+  /// Disabled automatically when the high-fidelity backend *is* the
+  /// analytic backend (there is nothing to degrade to).
+  BreakerConfig breaker;
 };
 
 struct DseStats {
@@ -162,6 +173,15 @@ struct DseStats {
   std::size_t journal_replays = 0;         ///< points recovered from the journal
   std::size_t faults_injected = 0;         ///< injected tool faults (fault plans only)
   double backoff_tool_seconds = 0.0;       ///< simulated seconds spent backing off
+
+  // Availability counters (see DESIGN.md "Availability & degradation
+  // ladder").
+  std::size_t breaker_trips = 0;       ///< circuit-breaker open transitions
+  std::size_t breaker_recoveries = 0;  ///< breakers closed again after probes
+  std::size_t breaker_fast_fails = 0;  ///< evaluations rejected in O(1) while open
+  std::size_t probe_runs = 0;          ///< recovery probes sent to the sick backend
+  std::size_t degraded_evals = 0;      ///< points hedged on the analytic tier
+  std::size_t reverified_points = 0;   ///< hedged front members re-verified hi-fi
 };
 
 struct DseResult {
@@ -223,6 +243,12 @@ class DseEngine {
     return screen_broker_.get();
   }
 
+  /// The backend health manager; null when the breaker is disabled (or the
+  /// high-fidelity backend is already the analytic tier).
+  [[nodiscard]] const BackendHealthManager* health_manager() const {
+    return health_.get();
+  }
+
   /// Cumulative simulated high-fidelity tool seconds across all workers.
   [[nodiscard]] double tool_seconds() const { return broker_->tool_seconds(); }
 
@@ -250,11 +276,34 @@ class DseEngine {
   /// the approximation dataset; called from the constructor on --resume.
   void absorb_replayed(const std::vector<JournalRecord>& records);
 
+  /// The low-fidelity broker hedged evaluations run on while the hi-fi
+  /// breaker is open: the screening broker when screening is enabled,
+  /// otherwise a lazily built analytic broker. Thread-safe.
+  [[nodiscard]] EvaluationBroker* hedge_broker();
+
+  /// Remember a fast-failed point as a recovery-probe candidate (bounded,
+  /// deduplicated).
+  void enqueue_probe(const DesignPoint& point);
+
+  /// Drain the probe queue through the breaker's probe budget: each
+  /// admitted probe re-tries a representative fast-failed point against
+  /// the hi-fi backend (successes are recorded exact and grow the
+  /// dataset). Called after each batch; stops on the first fast-fail.
+  void run_probe_queue();
+
   ProjectConfig project_;
   DseConfig config_;
   std::unique_ptr<EvaluationBroker> broker_;         ///< high fidelity
   std::unique_ptr<EvaluationBroker> screen_broker_;  ///< null = no screening
+  std::shared_ptr<BackendHealthManager> health_;     ///< null = breaker disabled
   std::unique_ptr<model::ControlModel> control_;
+
+  mutable std::mutex hedge_mutex_;  ///< guards lazy owned_hedge_broker_ creation
+  std::unique_ptr<EvaluationBroker> owned_hedge_broker_;
+
+  std::mutex probe_mutex_;  ///< guards the probe queue + dedup set
+  std::deque<DesignPoint> probe_queue_;
+  std::set<DesignPoint> probe_seen_;
 
   std::mutex record_mutex_;  ///< guards explored_index_ + explored_
   std::map<DesignPoint, std::size_t> explored_index_;

@@ -32,6 +32,11 @@ std::optional<EvalResult> EvaluationCache::lookup(const DesignPoint& point) cons
   return hit;
 }
 
+bool EvaluationCache::contains(const DesignPoint& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(point) != entries_.end();
+}
+
 EvaluationCache::Claim EvaluationCache::claim(const DesignPoint& point) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {

@@ -57,6 +57,10 @@ struct EvalResult {
   double tool_seconds = 0.0;  ///< simulated tool runtime of this evaluation
   bool cache_hit = false;
   bool joined = false;  ///< shared another thread's in-flight run (single-flight)
+  /// The circuit breaker rejected the run in O(1) without touching the
+  /// backend (see core/health/breaker.hpp). Never cached or journaled —
+  /// it says nothing about the design point, only about backend health.
+  bool fast_failed = false;
 
   // Supervision outcome (meaningful when an EvaluationSupervisor wrapped the
   // run; defaults describe an unsupervised single attempt). These travel
@@ -118,6 +122,8 @@ class EvaluationCache {
   void abandon(const DesignPoint& point);
 
   [[nodiscard]] std::optional<EvalResult> lookup(const DesignPoint& point) const;
+  /// Presence test without copying the cached result (hot-path guards).
+  [[nodiscard]] bool contains(const DesignPoint& point) const;
   /// Direct insertion, bypassing single-flight (warm-start seeding).
   void store(const DesignPoint& point, const EvalResult& result);
   [[nodiscard]] std::size_t size() const;

@@ -1,0 +1,50 @@
+// Structured backend-health events (breaker trips / probes / recoveries).
+//
+// Health transitions are campaign state, not log noise: a resumed run must
+// know the hi-fi backend was already diagnosed as down, or it re-pays the
+// whole failure window before degrading again. Events therefore flow into
+// the crash-safe journal (core/journal.hpp, record kind "health") alongside
+// evaluation records, and --resume replays them into the health manager.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dovado::core {
+
+enum class HealthEventKind {
+  kTrip,      ///< breaker opened: the backend is considered down
+  kHalfOpen,  ///< cooldown elapsed; recovery probes may be issued
+  kRecover,   ///< probe quorum succeeded; breaker closed again
+};
+
+[[nodiscard]] inline const char* health_event_kind_name(HealthEventKind kind) {
+  switch (kind) {
+    case HealthEventKind::kTrip: return "trip";
+    case HealthEventKind::kHalfOpen: return "half-open";
+    case HealthEventKind::kRecover: return "recover";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] inline std::optional<HealthEventKind> health_event_kind_from_name(
+    std::string_view name) {
+  if (name == "trip") return HealthEventKind::kTrip;
+  if (name == "half-open") return HealthEventKind::kHalfOpen;
+  if (name == "recover") return HealthEventKind::kRecover;
+  return std::nullopt;
+}
+
+/// One breaker state transition, with enough context to explain *why* in
+/// logs/JSON and to restore the breaker on --resume.
+struct HealthEvent {
+  std::string backend;            ///< backend name (e.g. "vivado-sim")
+  HealthEventKind kind = HealthEventKind::kTrip;
+  std::string cause;              ///< last failure's error text (trips only)
+  std::size_t window_failures = 0;  ///< failures in the rolling window at trip
+  std::size_t window_size = 0;      ///< outcomes in the rolling window at trip
+};
+
+}  // namespace dovado::core

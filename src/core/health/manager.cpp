@@ -1,0 +1,83 @@
+#include "src/core/health/manager.hpp"
+
+namespace dovado::core {
+
+BackendHealthManager::BackendHealthManager(BreakerConfig config)
+    : config_(std::move(config)) {}
+
+void BackendHealthManager::set_event_sink(CircuitBreaker::EventSink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+CircuitBreaker& BackendHealthManager::breaker(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = breakers_.find(backend);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(backend,
+                      std::make_unique<CircuitBreaker>(backend, config_, sink_))
+             .first;
+  }
+  return *it->second;
+}
+
+BreakerAdmission BackendHealthManager::admit(const std::string& backend) {
+  return breaker(backend).admit();
+}
+
+BreakerAdmission BackendHealthManager::admit_probe(const std::string& backend) {
+  return breaker(backend).admit_probe();
+}
+
+void BackendHealthManager::cancel_probe(const std::string& backend) {
+  breaker(backend).cancel_probe();
+}
+
+bool BackendHealthManager::probe_wanted(const std::string& backend) {
+  return breaker(backend).probe_wanted();
+}
+
+void BackendHealthManager::on_outcome(const std::string& backend, bool probe,
+                                      const EvalResult& result) {
+  CircuitBreaker& b = breaker(backend);
+  if (result.ok || result.failure == FailureClass::kDeterministic ||
+      result.failure == FailureClass::kNone) {
+    // A deterministic failure is a *correct answer* about a bad design
+    // point — the backend responded; its health is fine.
+    b.on_success(probe);
+    return;
+  }
+  b.on_failure(probe, result.error.empty()
+                          ? std::string(failure_class_name(result.failure)) + " failure"
+                          : result.error);
+}
+
+void BackendHealthManager::restore(const std::vector<HealthEvent>& events) {
+  for (const auto& event : events) {
+    if (event.backend.empty()) continue;
+    breaker(event.backend).restore(event);
+  }
+}
+
+BreakerState BackendHealthManager::state(const std::string& backend) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = breakers_.find(backend);
+  // A backend with no breaker yet has seen no failures: closed.
+  return it == breakers_.end() ? BreakerState::kClosed : it->second->state();
+}
+
+HealthStats BackendHealthManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HealthStats total;
+  for (const auto& [name, b] : breakers_) {
+    const CircuitBreaker::Stats s = b->stats();
+    total.trips += s.trips;
+    total.recoveries += s.recoveries;
+    total.fast_fails += s.fast_fails;
+    total.probe_runs += s.probe_runs;
+  }
+  return total;
+}
+
+}  // namespace dovado::core

@@ -22,10 +22,18 @@ std::optional<FailureClass> failure_class_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+std::string header_line() {
+  util::JsonObject obj;
+  obj["kind"] = util::Json(std::string("header"));
+  obj["version"] = util::Json(kJournalVersion);
+  return util::Json(std::move(obj)).dump();
+}
+
 }  // namespace
 
 std::string journal_record_to_json(const JournalRecord& record) {
   util::JsonObject obj;
+  obj["kind"] = util::Json(std::string("eval"));
   util::JsonObject params;
   for (const auto& [name, value] : record.params) params[name] = util::Json(value);
   util::JsonObject metrics;
@@ -85,6 +93,44 @@ std::optional<JournalRecord> journal_record_from_json(const std::string& line) {
   return record;
 }
 
+std::string health_event_to_json(const HealthEvent& event) {
+  util::JsonObject obj;
+  obj["kind"] = util::Json(std::string("health"));
+  obj["backend"] = util::Json(event.backend);
+  obj["event"] = util::Json(std::string(health_event_kind_name(event.kind)));
+  if (!event.cause.empty()) obj["cause"] = util::Json(event.cause);
+  obj["window_failures"] = util::Json(event.window_failures);
+  obj["window_size"] = util::Json(event.window_size);
+  return util::Json(std::move(obj)).dump();
+}
+
+std::optional<HealthEvent> health_event_from_json(const std::string& line) {
+  util::Json parsed;
+  if (!util::Json::parse(line, parsed) || !parsed.is_object()) return std::nullopt;
+  const auto& obj = parsed.as_object();
+  auto backend_it = obj.find("backend");
+  auto event_it = obj.find("event");
+  if (backend_it == obj.end() || !backend_it->second.is_string() ||
+      event_it == obj.end() || !event_it->second.is_string()) {
+    return std::nullopt;
+  }
+  const auto kind = health_event_kind_from_name(event_it->second.as_string());
+  if (!kind) return std::nullopt;
+  HealthEvent event;
+  event.backend = backend_it->second.as_string();
+  event.kind = *kind;
+  if (auto it = obj.find("cause"); it != obj.end() && it->second.is_string()) {
+    event.cause = it->second.as_string();
+  }
+  if (auto it = obj.find("window_failures"); it != obj.end() && it->second.is_number()) {
+    event.window_failures = static_cast<std::size_t>(it->second.as_number());
+  }
+  if (auto it = obj.find("window_size"); it != obj.end() && it->second.is_number()) {
+    event.window_size = static_cast<std::size_t>(it->second.as_number());
+  }
+  return event;
+}
+
 std::unique_ptr<SessionJournal> SessionJournal::open(const std::string& path,
                                                      Replay* replay, std::string& error) {
   std::size_t keep_bytes = 0;
@@ -106,10 +152,48 @@ std::unique_ptr<SessionJournal> SessionJournal::open(const std::string& path,
           pos = next;
           continue;
         }
-        auto record = journal_record_from_json(line);
-        if (!record) {
-          // Only a *tail* may be torn (the writer died mid-append). A bad
-          // record with intact content after it is a damaged file.
+        // Dispatch on the record kind. Parse failures — unreadable JSON or
+        // a malformed record of a known kind — follow the torn-tail rule:
+        // only a *tail* may be torn (the writer died mid-append); a bad
+        // line with intact content after it is a damaged file.
+        bool parsed_ok = false;
+        util::Json parsed;
+        std::string kind;
+        if (util::Json::parse(line, parsed) && parsed.is_object()) {
+          const auto& obj = parsed.as_object();
+          if (auto it = obj.find("kind"); it != obj.end() && it->second.is_string()) {
+            kind = it->second.as_string();
+          }
+          if (kind == "header") {
+            if (auto it = obj.find("version"); it != obj.end() && it->second.is_number()) {
+              replay->version = static_cast<int>(it->second.as_number());
+              if (replay->version > kJournalVersion) {
+                error = "journal '" + path + "' was written by a newer dovado (format version " +
+                        std::to_string(replay->version) + "; this build reads up to " +
+                        std::to_string(kJournalVersion) + ")";
+                return nullptr;
+              }
+              parsed_ok = true;
+            }
+          } else if (kind == "health") {
+            if (auto event = health_event_from_json(line)) {
+              replay->health_events.push_back(std::move(*event));
+              parsed_ok = true;
+            }
+          } else if (kind == "eval" || kind.empty()) {
+            // No "kind" = a legacy version-1 eval record.
+            if (auto record = journal_record_from_json(line)) {
+              replay->records.push_back(std::move(*record));
+              parsed_ok = true;
+            }
+          } else {
+            // Unknown kind within a readable version: skip tolerantly so a
+            // newer dovado may add record kinds without breaking resume.
+            ++replay->skipped_records;
+            parsed_ok = true;
+          }
+        }
+        if (!parsed_ok) {
           if (text.find_first_not_of(" \t\r\n", next) != std::string::npos) {
             error = "journal '" + path + "' is corrupt (damaged record mid-file)";
             return nullptr;
@@ -117,7 +201,6 @@ std::unique_ptr<SessionJournal> SessionJournal::open(const std::string& path,
           replay->torn_tail = true;
           break;
         }
-        replay->records.push_back(std::move(*record));
         keep_bytes = next;
         pos = next;
       }
@@ -140,15 +223,22 @@ std::unique_ptr<SessionJournal> SessionJournal::open(const std::string& path,
       return nullptr;
     }
   }
-  return std::unique_ptr<SessionJournal>(new SessionJournal(fd, path));
+  auto journal = std::unique_ptr<SessionJournal>(new SessionJournal(fd, path));
+  // A fresh (or recovered-to-empty) journal starts with the version header.
+  if (replay == nullptr || keep_bytes == 0) {
+    if (!journal->append_line(header_line() + "\n")) {
+      error = "cannot write journal header to '" + path + "': " + std::strerror(errno);
+      return nullptr;
+    }
+  }
+  return journal;
 }
 
 SessionJournal::~SessionJournal() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-bool SessionJournal::append(const JournalRecord& record) {
-  const std::string line = journal_record_to_json(record) + "\n";
+bool SessionJournal::append_line(const std::string& line) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (fd_ < 0) return false;
   std::size_t written = 0;
@@ -163,6 +253,14 @@ bool SessionJournal::append(const JournalRecord& record) {
   // The record only counts once it is durable: a crash right after append()
   // returns must find it on disk.
   return ::fsync(fd_) == 0;
+}
+
+bool SessionJournal::append(const JournalRecord& record) {
+  return append_line(journal_record_to_json(record) + "\n");
+}
+
+bool SessionJournal::append_event(const HealthEvent& event) {
+  return append_line(health_event_to_json(event) + "\n");
 }
 
 }  // namespace dovado::core

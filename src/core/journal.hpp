@@ -7,12 +7,24 @@
 // journal, fsync'd per record: after a crash, every acknowledged evaluation
 // is on disk.
 //
+// Format (version 2): the first line is a header record
+//   {"kind":"header","version":2}
+// and every following line is a kind-tagged record — "eval" for tool
+// answers, "health" for breaker transitions (core/health/events.hpp).
+// Records without a "kind" are legacy version-1 eval records, so old
+// journals replay unchanged. Unknown kinds within a readable version are
+// *skipped tolerantly* (forward compatibility: a newer dovado may add
+// record kinds without bumping the version); an unknown *version* is a
+// hard error — silently misparsing paid-for evaluations would be worse
+// than stopping.
+//
 // On --resume the journal is replayed into the evaluation cache (never into
 // the GA's initial population — replay must not perturb the search
 // trajectory). With the same seed the GA then regenerates the identical
 // point sequence and every journaled point is answered as a cache hit, so a
 // resumed run re-evaluates nothing it already paid for and converges on the
-// same explored set.
+// same explored set. Health events replay into the breaker state machine so
+// a resumed run does not re-pay the failure window of a known outage.
 //
 // A torn tail (the process died mid-write) is expected and recovered from:
 // replay keeps the longest intact record prefix and the file is truncated
@@ -27,9 +39,13 @@
 #include <vector>
 
 #include "src/core/evaluator.hpp"
+#include "src/core/health/events.hpp"
 #include "src/core/param_domain.hpp"
 
 namespace dovado::core {
+
+/// The journal format this build writes (and the newest it reads).
+inline constexpr int kJournalVersion = 2;
 
 /// One journaled evaluation: the design point plus the (final, possibly
 /// supervised) tool outcome.
@@ -51,18 +67,29 @@ struct JournalRecord {
 [[nodiscard]] std::optional<JournalRecord> journal_record_from_json(
     const std::string& line);
 
+/// Serialize a health event to one JSONL line (no trailing newline).
+[[nodiscard]] std::string health_event_to_json(const HealthEvent& event);
+
+/// Parse a health-event JSONL line. std::nullopt on malformed input.
+[[nodiscard]] std::optional<HealthEvent> health_event_from_json(
+    const std::string& line);
+
 class SessionJournal {
  public:
   struct Replay {
-    std::vector<JournalRecord> records;  ///< longest intact prefix
+    std::vector<JournalRecord> records;    ///< longest intact prefix
+    std::vector<HealthEvent> health_events;  ///< breaker transitions, in order
+    int version = 1;            ///< header version (1 = headerless legacy file)
+    std::size_t skipped_records = 0;  ///< unknown-kind lines tolerated
     bool torn_tail = false;  ///< a truncated/garbled final line was dropped
   };
 
   /// Open `path` for appending. With `replay` non-null the existing file is
   /// replayed first (intact prefix into *replay, file truncated back past a
   /// torn tail); with `replay` null any existing content is discarded — a
-  /// fresh campaign must not inherit a stale journal. Returns nullptr and
-  /// sets `error` on I/O failure.
+  /// fresh campaign must not inherit a stale journal. A fresh (or empty)
+  /// journal starts with a version header. Returns nullptr and sets
+  /// `error` on I/O failure, a damaged file, or an unknown format version.
   [[nodiscard]] static std::unique_ptr<SessionJournal> open(const std::string& path,
                                                             Replay* replay,
                                                             std::string& error);
@@ -75,10 +102,15 @@ class SessionJournal {
   /// Returns false when the write failed (the record is not acknowledged).
   bool append(const JournalRecord& record);
 
+  /// Append one health event (breaker transition), fsync'd. Thread-safe.
+  bool append_event(const HealthEvent& event);
+
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
   SessionJournal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  bool append_line(const std::string& line);
 
   std::mutex mutex_;
   int fd_;

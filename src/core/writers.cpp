@@ -122,6 +122,12 @@ std::string to_json(const DseResult& result, int indent) {
   stats["journal_replays"] = util::Json(result.stats.journal_replays);
   stats["faults_injected"] = util::Json(result.stats.faults_injected);
   stats["backoff_tool_seconds"] = util::Json(result.stats.backoff_tool_seconds);
+  stats["breaker_trips"] = util::Json(result.stats.breaker_trips);
+  stats["breaker_recoveries"] = util::Json(result.stats.breaker_recoveries);
+  stats["breaker_fast_fails"] = util::Json(result.stats.breaker_fast_fails);
+  stats["probe_runs"] = util::Json(result.stats.probe_runs);
+  stats["degraded_evals"] = util::Json(result.stats.degraded_evals);
+  stats["reverified_points"] = util::Json(result.stats.reverified_points);
 
   root["pareto"] = util::Json(std::move(pareto));
   root["explored"] = util::Json(std::move(explored));

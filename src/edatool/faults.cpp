@@ -82,6 +82,14 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& spec, std::string& 
         return std::nullopt;
       }
       plan.hang_factor = num;
+    } else if (key == "outage_start") {
+      plan.outage_start = static_cast<std::uint64_t>(num);
+    } else if (key == "outage_len") {
+      plan.outage_len = static_cast<std::uint64_t>(num);
+    } else if (key == "flap_up") {
+      plan.flap_up = static_cast<std::uint64_t>(num);
+    } else if (key == "flap_down") {
+      plan.flap_down = static_cast<std::uint64_t>(num);
     } else {
       error = "unknown fault-plan key '" + key + "'";
       return std::nullopt;
@@ -91,18 +99,60 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& spec, std::string& 
     error = "fault-plan transient rates (crash+hang+corrupt) must sum to <= 1";
     return std::nullopt;
   }
+  if ((plan.flap_up > 0) != (plan.flap_down > 0)) {
+    error = "fault-plan flapping needs both flap_up and flap_down";
+    return std::nullopt;
+  }
+  if (plan.outage_len > 0 && plan.outage_start == 0) {
+    error = "fault-plan outage_len needs outage_start";
+    return std::nullopt;
+  }
   return plan;
 }
 
 std::string FaultPlan::to_string() const {
-  return util::format("seed=%llu,crash=%g,hang=%g,corrupt=%g,abort=%g,hang_factor=%g",
-                      static_cast<unsigned long long>(seed), crash_rate, hang_rate,
-                      corrupt_rate, abort_rate, hang_factor);
+  std::string spec =
+      util::format("seed=%llu,crash=%g,hang=%g,corrupt=%g,abort=%g,hang_factor=%g",
+                   static_cast<unsigned long long>(seed), crash_rate, hang_rate,
+                   corrupt_rate, abort_rate, hang_factor);
+  // Sequence faults are emitted only when configured, so the canonical
+  // spec of a plain stochastic plan is unchanged (round-trip stability).
+  if (outage_start > 0) {
+    spec += util::format(",outage_start=%llu,outage_len=%llu",
+                         static_cast<unsigned long long>(outage_start),
+                         static_cast<unsigned long long>(outage_len));
+  }
+  if (flap_up > 0 && flap_down > 0) {
+    spec += util::format(",flap_up=%llu,flap_down=%llu",
+                         static_cast<unsigned long long>(flap_up),
+                         static_cast<unsigned long long>(flap_down));
+  }
+  return spec;
 }
 
 FaultInjector::Decision FaultInjector::decide(std::uint64_t point_key, int attempt) const {
   Decision decision;
   if (!plan_.active()) return decision;
+
+  // Sequence faults first: the backend being down beats any per-point
+  // decision. The ordinal only advances when sequence faults are
+  // configured, keeping the stateless streams order-independent otherwise.
+  if (plan_.sequence_faults()) {
+    const std::uint64_t ordinal =
+        attempt_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (plan_.outage_start > 0 && ordinal >= plan_.outage_start &&
+        (plan_.outage_len == 0 || ordinal < plan_.outage_start + plan_.outage_len)) {
+      ++crashes_;
+      decision.kind = FaultKind::kCrash;
+      return decision;
+    }
+    if (plan_.flap_up > 0 && plan_.flap_down > 0 &&
+        (ordinal - 1) % (plan_.flap_up + plan_.flap_down) >= plan_.flap_up) {
+      ++crashes_;
+      decision.kind = FaultKind::kCrash;
+      return decision;
+    }
+  }
 
   // Persistent aborts depend on the point alone: the same point aborts on
   // attempt 0, 1, 2, ... — modelling a design configuration that reliably

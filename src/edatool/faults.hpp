@@ -38,13 +38,29 @@ struct FaultPlan {
   double abort_rate = 0.0;    ///< per-point: aborts on *every* attempt
   double hang_factor = 25.0;  ///< runtime multiplier for injected hangs
 
+  // Sequence faults, keyed on the global tool-attempt ordinal rather than
+  // the point: they model the *backend* being down, not a point being bad
+  // (exercising the circuit breaker's degradation ladder). Order-dependent
+  // by design — deterministic only under inline evaluation (workers=0).
+  std::uint64_t outage_start = 0;  ///< 1-based attempt the outage begins at (0 = off)
+  std::uint64_t outage_len = 0;    ///< attempts the outage lasts (0 = forever)
+  std::uint64_t flap_up = 0;       ///< healthy attempts per flap cycle (0 = off)
+  std::uint64_t flap_down = 0;     ///< crashing attempts per flap cycle
+
   /// True when any fault can actually fire.
   [[nodiscard]] bool active() const {
-    return crash_rate > 0.0 || hang_rate > 0.0 || corrupt_rate > 0.0 || abort_rate > 0.0;
+    return crash_rate > 0.0 || hang_rate > 0.0 || corrupt_rate > 0.0 ||
+           abort_rate > 0.0 || sequence_faults();
+  }
+
+  /// True when an attempt-ordinal fault (outage / flapping) is configured.
+  [[nodiscard]] bool sequence_faults() const {
+    return outage_start > 0 || (flap_up > 0 && flap_down > 0);
   }
 
   /// Parse a comma-separated spec, e.g.
-  ///   "seed=7,crash=0.2,hang=0.05,corrupt=0.1,abort=0.02,hang_factor=30".
+  ///   "seed=7,crash=0.2,hang=0.05,corrupt=0.1,abort=0.02,hang_factor=30"
+  /// or "outage_start=20,outage_len=30" or "flap_up=10,flap_down=15".
   /// Unknown keys, non-numeric values and rates outside [0,1] are errors.
   [[nodiscard]] static std::optional<FaultPlan> parse(const std::string& spec,
                                                       std::string& error);
@@ -103,6 +119,10 @@ class FaultInjector {
   mutable std::atomic<std::uint64_t> hangs_{0};
   mutable std::atomic<std::uint64_t> corrupted_{0};
   mutable std::atomic<std::uint64_t> aborts_{0};
+  /// Global tool-attempt counter driving sequence faults (outage/flap).
+  /// Only advanced when the plan configures them, so the purely stateless
+  /// per-point/per-attempt fault streams stay order-independent.
+  mutable std::atomic<std::uint64_t> attempt_ordinal_{0};
 };
 
 }  // namespace dovado::edatool

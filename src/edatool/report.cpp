@@ -192,8 +192,15 @@ TimingReport::Checked TimingReport::parse_checked(std::string_view text) {
         return out;
       }
       std::string_view value = util::trim(trimmed.substr(colon + 1));
+      // The unit is part of the format: a value with its "ns" sheared off
+      // is a truncated line, and accepting "2.2" from a torn "2.25ns"
+      // would silently misreport timing.
       const auto ns = value.find("ns");
-      if (ns != std::string_view::npos) value = value.substr(0, ns);
+      if (ns == std::string_view::npos) {
+        out.error = "timing report: Slack value missing its ns unit (truncated line?)";
+        return out;
+      }
+      value = value.substr(0, ns);
       if (!util::parse_double(value, report.slack_ns)) {
         out.error = "timing report: unparsable Slack value";
         return out;
@@ -201,15 +208,25 @@ TimingReport::Checked TimingReport::parse_checked(std::string_view text) {
       saw_slack = true;
     } else if (util::starts_with(trimmed, "Requirement:")) {
       out.attempted = true;
-      std::string v = util::replace_all(trimmed.substr(12), "ns", "");
-      if (!util::parse_double(v, report.requirement_ns)) {
+      std::string_view value = util::trim(trimmed.substr(12));
+      const auto ns = value.find("ns");
+      if (ns == std::string_view::npos) {
+        out.error = "timing report: Requirement value missing its ns unit (truncated line?)";
+        return out;
+      }
+      if (!util::parse_double(value.substr(0, ns), report.requirement_ns)) {
         out.error = "timing report: unparsable Requirement value";
         return out;
       }
       saw_req = true;
     } else if (util::starts_with(trimmed, "Data Path Delay:")) {
-      std::string v = util::replace_all(trimmed.substr(16), "ns", "");
-      if (!util::parse_double(v, report.data_path_ns)) {
+      std::string_view value = util::trim(trimmed.substr(16));
+      const auto ns = value.find("ns");
+      if (ns == std::string_view::npos) {
+        out.error = "timing report: Data Path Delay value missing its ns unit (truncated line?)";
+        return out;
+      }
+      if (!util::parse_double(value.substr(0, ns), report.data_path_ns)) {
         out.error = "timing report: unparsable Data Path Delay value";
         return out;
       }

@@ -107,6 +107,78 @@ TEST(ParseArgs, UnknownOptionDetected) {
   EXPECT_FALSE(parse({"parse", "--source", "a.vhd", "--top", "x", "--bogus"}).ok);
 }
 
+TEST(ParseArgs, UnknownOptionSuggestsClosestFlag) {
+  const auto r = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                        "--param", "D=1:4", "--objective", "lut:min", "--screen-rato",
+                        "0.5"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--screen-rato"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("did you mean '--screen-ratio'"), std::string::npos) << r.error;
+}
+
+TEST(ParseArgs, BreakerFlagsParseAndValidate) {
+  const auto r = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                        "--param", "D=1:4", "--objective", "lut:min",
+                        "--breaker-window", "20", "--breaker-threshold", "9",
+                        "--probe-budget", "5"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.options.breaker);
+  EXPECT_EQ(r.options.breaker_window, 20u);
+  EXPECT_EQ(r.options.breaker_threshold, 9u);
+  EXPECT_EQ(r.options.probe_budget, 5u);
+
+  const auto off = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                          "--param", "D=1:4", "--objective", "lut:min", "--no-breaker"});
+  ASSERT_TRUE(off.ok) << off.error;
+  EXPECT_FALSE(off.options.breaker);
+
+  // Invalid numeric values name the flag.
+  const auto bad = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                          "--param", "D=1:4", "--objective", "lut:min",
+                          "--breaker-window", "0"});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("--breaker-window"), std::string::npos) << bad.error;
+}
+
+TEST(ParseArgs, BreakerThresholdCannotExceedWindow) {
+  const auto r = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                        "--param", "D=1:4", "--objective", "lut:min",
+                        "--breaker-window", "4", "--breaker-threshold", "6"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--breaker-threshold"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("never trip"), std::string::npos) << r.error;
+}
+
+TEST(ParseArgs, ScreeningOnTheAnalyticBackendIsRejected) {
+  // --backend analytic already evaluates on the screening tier; screening
+  // against itself saves nothing and the combination is almost certainly a
+  // mistake. The error says what to change.
+  const auto r = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                        "--param", "D=1:4", "--objective", "lut:min",
+                        "--backend", "analytic", "--screen-ratio", "0.5"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--screen-ratio"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("analytic"), std::string::npos) << r.error;
+
+  // Either alone is fine.
+  EXPECT_TRUE(parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                     "--param", "D=1:4", "--objective", "lut:min",
+                     "--backend", "analytic"}).ok);
+  EXPECT_TRUE(parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                     "--param", "D=1:4", "--objective", "lut:min",
+                     "--screen-ratio", "0.5"}).ok);
+}
+
+TEST(ParseArgs, ScreenRatioOutsideUnitRangeIsRejected) {
+  for (const char* bad : {"0", "-0.5", "1.5", "abc"}) {
+    const auto r = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                          "--param", "D=1:4", "--objective", "lut:min",
+                          "--screen-ratio", bad});
+    EXPECT_FALSE(r.ok) << "--screen-ratio " << bad << " was accepted";
+    EXPECT_NE(r.error.find("--screen-ratio"), std::string::npos) << r.error;
+  }
+}
+
 TEST(ParseParamSpec, RangeForms) {
   std::string error;
   auto spec = parse_param_spec("DEPTH=8:512", error);

@@ -432,6 +432,9 @@ TEST(DseRobustness, PersistentAbortsAreQuarantinedAndNeverRerun) {
   DseConfig config = fifo_dse(2);
   config.fault_plan = plan_of("seed=5,abort=0.3");
   config.supervise.max_retries = 2;
+  // This test is about the quarantine path: the high abort rate would trip
+  // the circuit breaker and fast-fail points before they can quarantine.
+  config.breaker.enabled = false;
   DseEngine engine(fifo_project(), config);
   const DseResult result = engine.run();
 
@@ -465,6 +468,9 @@ TEST(DseRobustness, QuarantinedPointsFallBackToApproximateScores) {
   DseConfig config = fifo_dse(0);
   config.fault_plan = plan_of("seed=6,abort=0.3");
   config.supervise.max_retries = 1;
+  // Exercise the quarantine->NWM fallback, not the circuit breaker (the
+  // abort rate is high enough to trip it).
+  config.breaker.enabled = false;
   config.use_approximation = true;
   config.pretrain_samples = 15;
   config.approx_fallback_min_samples = 5;
@@ -483,6 +489,109 @@ TEST(DseRobustness, QuarantinedPointsFallBackToApproximateScores) {
   EXPECT_TRUE(saw_approximate);
 }
 
+TEST(DseAvailability, FiniteOutageTripsHedgesAndRecovers) {
+  // The simulated tool goes down for attempts [5, 15): the breaker trips,
+  // points are hedged on the analytic tier, the probe queue re-tries
+  // representative points, and once the outage ends the breaker closes and
+  // every hedged front member is re-verified — the final front is exact.
+  DseConfig config = fifo_dse(0);
+  config.fault_plan = plan_of("seed=3,outage_start=5,outage_len=10");
+  config.supervise.max_retries = 2;
+  config.breaker.window = 4;
+  config.breaker.failure_threshold = 2;
+  config.breaker.cooldown_fast_fails = 1;
+  config.breaker.probe_budget = 2;
+  config.breaker.probe_quorum = 1;
+  DseEngine engine(fifo_project(), config);
+  const DseResult result = engine.run();
+
+  EXPECT_GE(result.stats.breaker_trips, 1u);
+  EXPECT_GE(result.stats.breaker_recoveries, 1u);
+  EXPECT_GT(result.stats.breaker_fast_fails, 0u);
+  EXPECT_GT(result.stats.probe_runs, 0u);
+  EXPECT_GT(result.stats.degraded_evals, 0u);
+  ASSERT_NE(engine.health_manager(), nullptr);
+  EXPECT_EQ(engine.health_manager()->state("vivado-sim"), BreakerState::kClosed);
+  // Recovery happened, so no approximate estimate survives on the front.
+  ASSERT_FALSE(result.pareto.empty());
+  for (const auto& p : result.pareto) {
+    EXPECT_FALSE(p.approximate) << "unverified hedged point on the front";
+    EXPECT_FALSE(p.estimated);
+  }
+}
+
+TEST(DseAvailability, PersistentOutageCompletesDegradedWithinDeadline) {
+  // Clean baseline: what the campaign costs when the tool works.
+  DseEngine clean(fifo_project(), fifo_dse(0));
+  const DseResult clean_result = clean.run();
+  ASSERT_GT(clean_result.stats.simulated_tool_seconds, 0.0);
+
+  // The tool is down from the first attempt and never comes back. Without
+  // the breaker every point would burn its full retry budget; with it the
+  // campaign fast-fails in O(1), degrades to analytic estimates and still
+  // finishes every generation inside half the clean budget.
+  DseConfig config = fifo_dse(0);
+  config.fault_plan = plan_of("seed=9,outage_start=1");  // len 0 = forever
+  config.supervise.max_retries = 1;
+  config.breaker.window = 4;
+  config.breaker.failure_threshold = 2;
+  config.breaker.cooldown_fast_fails = 2;
+  config.breaker.probe_budget = 1;
+  config.breaker.probe_quorum = 1;
+  config.deadline_tool_seconds = 0.5 * clean_result.stats.simulated_tool_seconds;
+  DseEngine engine(fifo_project(), config);
+  const DseResult result = engine.run();
+
+  EXPECT_EQ(result.stats.generations, clean_result.stats.generations);
+  EXPECT_FALSE(result.stats.deadline_hit);
+  EXPECT_LT(result.stats.simulated_tool_seconds, config.deadline_tool_seconds);
+  EXPECT_GE(result.stats.breaker_trips, 1u);
+  EXPECT_EQ(result.stats.breaker_recoveries, 0u);
+  EXPECT_GT(result.stats.breaker_fast_fails, 0u);
+  EXPECT_GT(result.stats.degraded_evals, 0u);
+  // The front survives on flagged analytic estimates: degraded, not dead.
+  ASSERT_FALSE(result.pareto.empty());
+  for (const auto& p : result.pareto) {
+    EXPECT_TRUE(p.approximate);
+    EXPECT_TRUE(p.estimated);
+    EXPECT_FALSE(p.failed);
+    EXPECT_FALSE(p.metrics.values.empty());
+  }
+}
+
+TEST(DseAvailability, ResumeRestoresTheOpenBreakerWithoutRepayingTheWindow) {
+  const std::string path = testing::TempDir() + "/dovado_journal_breaker.jsonl";
+  std::remove(path.c_str());
+
+  DseConfig config = fifo_dse(0);
+  config.journal_path = path;
+  config.fault_plan = plan_of("seed=9,outage_start=1");  // permanent outage
+  config.supervise.max_retries = 1;
+  config.breaker.window = 4;
+  config.breaker.failure_threshold = 2;
+  config.breaker.cooldown_fast_fails = 2;
+  config.breaker.probe_budget = 0;  // no probes: the outage is never re-tested
+  DseEngine first(fifo_project(), config);
+  const DseResult original = first.run();
+  ASSERT_GE(original.stats.breaker_trips, 1u);
+  // The first run paid the failure window to discover the outage.
+  ASSERT_GT(original.stats.transient_failures, 0u);
+
+  config.resume_from_journal = true;
+  DseEngine resumed(fifo_project(), config);
+  const DseResult replayed = resumed.run();
+
+  // The journaled trip reopened the breaker before the first evaluation:
+  // the resumed run makes zero tool attempts and re-pays nothing.
+  EXPECT_GE(replayed.stats.breaker_trips, 1u);
+  EXPECT_EQ(replayed.stats.transient_failures, 0u);
+  EXPECT_EQ(replayed.stats.tool_runs, 0u);
+  EXPECT_GT(replayed.stats.breaker_fast_fails, 0u);
+  EXPECT_GT(replayed.stats.degraded_evals, 0u);
+  ASSERT_NE(resumed.health_manager(), nullptr);
+  std::remove(path.c_str());
+}
+
 TEST(DseJournal, ResumeReplaysEveryPaidRunAndPaysNothing) {
   const std::string path = testing::TempDir() + "/dovado_journal_replay.jsonl";
   std::remove(path.c_str());
@@ -493,7 +602,8 @@ TEST(DseJournal, ResumeReplaysEveryPaidRunAndPaysNothing) {
   const DseResult original = first.run();
   ASSERT_GT(original.stats.tool_runs, 0u);
   // One fsync'd record per fresh tool answer.
-  EXPECT_EQ(count_lines(read_file(path)), original.stats.tool_runs);
+  // One line per paid-for run, plus the version header.
+  EXPECT_EQ(count_lines(read_file(path)), original.stats.tool_runs + 1);
 
   config.resume_from_journal = true;
   DseEngine resumed(fifo_project(), config);

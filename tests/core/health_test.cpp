@@ -1,0 +1,431 @@
+// Unit tests for the backend health layer: the circuit breaker state
+// machine (window arithmetic, cooldown, half-open probe accounting), the
+// manager's failure-class filtering, and journal v2 (header/version,
+// health-event records, tolerant unknown-kind skipping, legacy replay).
+#include "src/core/health/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/health/manager.hpp"
+#include "src/core/journal.hpp"
+
+namespace dovado::core {
+namespace {
+
+BreakerConfig small_config() {
+  BreakerConfig config;
+  config.window = 4;
+  config.failure_threshold = 3;
+  config.cooldown_fast_fails = 1;  // jitter of [0.75, 1.25) floors to 1
+  config.probe_budget = 2;
+  config.probe_quorum = 2;
+  config.seed = 7;
+  return config;
+}
+
+/// Drive an open breaker through its cooldown via probe admissions,
+/// returning the probe slot the transition itself consumed. Returns the
+/// number of fast-fails paid before half-open.
+std::size_t elapse_cooldown(CircuitBreaker& breaker) {
+  std::size_t fast_fails = 0;
+  for (int i = 0; i < 1000 && breaker.state() == BreakerState::kOpen; ++i) {
+    if (breaker.admit_probe() == BreakerAdmission::kProbe) {
+      breaker.cancel_probe();  // only the transition was wanted
+      break;
+    }
+    ++fast_fails;
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen) << "cooldown never elapsed";
+  return fast_fails;
+}
+
+TEST(CircuitBreaker, StaysClosedBelowThreshold) {
+  CircuitBreaker breaker("vivado-sim", small_config(), nullptr);
+  breaker.on_failure(false, "crash");
+  breaker.on_failure(false, "crash");
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.admit(), BreakerAdmission::kAllow);
+  EXPECT_EQ(breaker.stats().trips, 0u);
+  EXPECT_EQ(breaker.stats().window_failures, 2u);
+}
+
+TEST(CircuitBreaker, TripsAtThresholdAndEmitsEventBeforeClearingWindow) {
+  std::vector<HealthEvent> events;
+  CircuitBreaker breaker("vivado-sim", small_config(),
+                         [&](const HealthEvent& e) { events.push_back(e); });
+  breaker.on_failure(false, "crash");
+  breaker.on_failure(false, "crash");
+  breaker.on_failure(false, "tool crashed (simulated)");
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, HealthEventKind::kTrip);
+  EXPECT_EQ(events[0].backend, "vivado-sim");
+  EXPECT_EQ(events[0].cause, "tool crashed (simulated)");
+  // The event snapshots the window that caused the trip...
+  EXPECT_EQ(events[0].window_failures, 3u);
+  EXPECT_EQ(events[0].window_size, 3u);
+  // ...and the live window is cleared so recovery starts from a clean slate.
+  EXPECT_EQ(breaker.stats().window_failures, 0u);
+  EXPECT_EQ(breaker.stats().window_size, 0u);
+  EXPECT_EQ(breaker.stats().trips, 1u);
+}
+
+TEST(CircuitBreaker, RollingWindowEvictsOldOutcomes) {
+  // window=4, threshold=3: two failures diluted by successes never trip.
+  CircuitBreaker breaker("vivado-sim", small_config(), nullptr);
+  breaker.on_failure(false, "crash");
+  breaker.on_failure(false, "crash");
+  breaker.on_success(false);
+  breaker.on_success(false);
+  breaker.on_success(false);  // evicts the first failure
+  EXPECT_EQ(breaker.stats().window_failures, 1u);
+  EXPECT_EQ(breaker.stats().window_size, 4u);
+  breaker.on_failure(false, "crash");
+  breaker.on_failure(false, "crash");  // window = [s, s, f, f]: still 2 < 3
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.on_failure(false, "crash");  // window = [s, f, f, f]: trips
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreaker, RegularAdmissionNeverProbes) {
+  CircuitBreaker breaker("vivado-sim", small_config(), nullptr);
+  for (int i = 0; i < 3; ++i) breaker.on_failure(false, "crash");
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  // Regular traffic fast-fails forever — it counts the cooldown down but
+  // never transitions the breaker; only the probe queue does that.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(breaker.admit(), BreakerAdmission::kFastFail);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().fast_fails, 100u);
+}
+
+TEST(CircuitBreaker, CooldownIsJitteredBoundedAndDeterministic) {
+  BreakerConfig config = small_config();
+  config.cooldown_fast_fails = 8;
+  auto run = [&config] {
+    CircuitBreaker breaker("vivado-sim", config, nullptr);
+    for (int i = 0; i < 3; ++i) breaker.on_failure(false, "crash");
+    EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+    return elapse_cooldown(breaker);
+  };
+  const std::size_t first = run();
+  // +-25% jitter around 8: the cooldown lands in [6, 10].
+  EXPECT_GE(first, 6u);
+  EXPECT_LE(first, 10u);
+  // Identical (seed, trip) pairs cool down identically.
+  EXPECT_EQ(first, run());
+}
+
+TEST(CircuitBreaker, HalfOpenBudgetQuorumAndRecovery) {
+  std::vector<HealthEvent> events;
+  CircuitBreaker breaker("vivado-sim", small_config(),
+                         [&](const HealthEvent& e) { events.push_back(e); });
+  for (int i = 0; i < 3; ++i) breaker.on_failure(false, "crash");
+  elapse_cooldown(breaker);
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+  // probe_budget=2: two probes admitted, the third fast-fails.
+  EXPECT_EQ(breaker.admit_probe(), BreakerAdmission::kProbe);
+  EXPECT_EQ(breaker.admit_probe(), BreakerAdmission::kProbe);
+  EXPECT_EQ(breaker.admit_probe(), BreakerAdmission::kFastFail);
+  EXPECT_FALSE(breaker.probe_wanted());
+
+  // probe_quorum=2: two probe successes close the breaker.
+  breaker.on_success(true);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.on_success(true);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().recoveries, 1u);
+  EXPECT_EQ(breaker.stats().probe_runs, 2u);
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, HealthEventKind::kTrip);
+  EXPECT_EQ(events[1].kind, HealthEventKind::kHalfOpen);
+  EXPECT_EQ(events[2].kind, HealthEventKind::kRecover);
+}
+
+TEST(CircuitBreaker, ProbeFailureReTrips) {
+  CircuitBreaker breaker("vivado-sim", small_config(), nullptr);
+  for (int i = 0; i < 3; ++i) breaker.on_failure(false, "crash");
+  elapse_cooldown(breaker);
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  ASSERT_EQ(breaker.admit_probe(), BreakerAdmission::kProbe);
+  breaker.on_failure(true, "still down");
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 2u);
+}
+
+TEST(CircuitBreaker, StaleNonProbeOutcomesWhileOpenAreIgnored) {
+  // Runs admitted just before the trip report back afterwards; neither a
+  // stray success nor a stray failure moves the state machine.
+  CircuitBreaker breaker("vivado-sim", small_config(), nullptr);
+  for (int i = 0; i < 3; ++i) breaker.on_failure(false, "crash");
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  breaker.on_success(false);
+  breaker.on_failure(false, "straggler");
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 1u);
+  EXPECT_EQ(breaker.stats().window_failures, 0u);
+}
+
+TEST(CircuitBreaker, CancelProbeReturnsTheSlot) {
+  BreakerConfig config = small_config();
+  config.probe_budget = 1;
+  CircuitBreaker breaker("vivado-sim", config, nullptr);
+  for (int i = 0; i < 3; ++i) breaker.on_failure(false, "crash");
+  elapse_cooldown(breaker);
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+  ASSERT_EQ(breaker.admit_probe(), BreakerAdmission::kProbe);
+  EXPECT_EQ(breaker.admit_probe(), BreakerAdmission::kFastFail);
+  // The probe's answer came from the cache — the slot (and its counter)
+  // come back so a real probe can still reach the backend.
+  breaker.cancel_probe();
+  EXPECT_EQ(breaker.admit_probe(), BreakerAdmission::kProbe);
+  EXPECT_EQ(breaker.stats().probe_runs, 1u);
+}
+
+TEST(CircuitBreaker, RestoreTripReopensWithoutEmittingEvents) {
+  std::vector<HealthEvent> events;
+  CircuitBreaker breaker("vivado-sim", small_config(),
+                         [&](const HealthEvent& e) { events.push_back(e); });
+  HealthEvent trip;
+  trip.backend = "vivado-sim";
+  trip.kind = HealthEventKind::kTrip;
+  trip.cause = "outage from the previous run";
+  breaker.restore(trip);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 1u);
+  // Replayed transitions must not be re-journaled.
+  EXPECT_TRUE(events.empty());
+  // The restored breaker fast-fails regular traffic immediately — the
+  // resumed run does not re-pay the failure window...
+  EXPECT_EQ(breaker.admit(), BreakerAdmission::kFastFail);
+  // ...and its cooldown elapses through the probe queue as usual.
+  elapse_cooldown(breaker);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreaker, RestoreReplaysAFullEpisode) {
+  CircuitBreaker breaker("vivado-sim", small_config(), nullptr);
+  HealthEvent event;
+  event.backend = "vivado-sim";
+  event.kind = HealthEventKind::kTrip;
+  breaker.restore(event);
+  event.kind = HealthEventKind::kHalfOpen;
+  breaker.restore(event);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  event.kind = HealthEventKind::kRecover;
+  breaker.restore(event);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().trips, 1u);
+  EXPECT_EQ(breaker.stats().recoveries, 1u);
+}
+
+TEST(CircuitBreaker, DisabledBreakerAdmitsEverything) {
+  BreakerConfig config = small_config();
+  config.enabled = false;
+  CircuitBreaker breaker("vivado-sim", config, nullptr);
+  for (int i = 0; i < 20; ++i) breaker.on_failure(false, "crash");
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.admit(), BreakerAdmission::kAllow);
+  EXPECT_FALSE(breaker.probe_wanted());
+}
+
+EvalResult outcome_of(bool ok, FailureClass failure) {
+  EvalResult result;
+  result.ok = ok;
+  result.failure = failure;
+  if (!ok) result.error = "simulated";
+  return result;
+}
+
+TEST(BackendHealthManager, DeterministicFailuresCountAsHealthyAnswers) {
+  // Over-utilization et al. are the backend answering *correctly* about a
+  // bad point — only transient failures and timeouts feed the window.
+  BackendHealthManager manager(small_config());
+  for (int i = 0; i < 10; ++i) {
+    manager.on_outcome("vivado-sim", false,
+                       outcome_of(false, FailureClass::kDeterministic));
+  }
+  EXPECT_EQ(manager.state("vivado-sim"), BreakerState::kClosed);
+  EXPECT_EQ(manager.stats().trips, 0u);
+}
+
+TEST(BackendHealthManager, TransientFailuresAndTimeoutsTrip) {
+  BackendHealthManager manager(small_config());
+  manager.on_outcome("vivado-sim", false, outcome_of(false, FailureClass::kTransient));
+  manager.on_outcome("vivado-sim", false, outcome_of(false, FailureClass::kTimeout));
+  manager.on_outcome("vivado-sim", false, outcome_of(false, FailureClass::kTransient));
+  EXPECT_EQ(manager.state("vivado-sim"), BreakerState::kOpen);
+  EXPECT_EQ(manager.stats().trips, 1u);
+  EXPECT_EQ(manager.admit("vivado-sim"), BreakerAdmission::kFastFail);
+}
+
+TEST(BackendHealthManager, BreakersAreIndependentPerBackend) {
+  BackendHealthManager manager(small_config());
+  for (int i = 0; i < 3; ++i) {
+    manager.on_outcome("vivado-sim", false, outcome_of(false, FailureClass::kTransient));
+  }
+  EXPECT_EQ(manager.state("vivado-sim"), BreakerState::kOpen);
+  EXPECT_EQ(manager.state("analytic"), BreakerState::kClosed);
+  EXPECT_EQ(manager.admit("analytic"), BreakerAdmission::kAllow);
+  EXPECT_EQ(manager.stats().trips, 1u);
+}
+
+TEST(BackendHealthManager, RestoreReopensJournaledBreakers) {
+  BackendHealthManager manager(small_config());
+  HealthEvent trip;
+  trip.backend = "vivado-sim";
+  trip.kind = HealthEventKind::kTrip;
+  HealthEvent bogus;  // an empty backend name is skipped, not crashed on
+  bogus.kind = HealthEventKind::kRecover;
+  manager.restore({trip, bogus});
+  EXPECT_EQ(manager.state("vivado-sim"), BreakerState::kOpen);
+  EXPECT_EQ(manager.admit("vivado-sim"), BreakerAdmission::kFastFail);
+}
+
+std::string temp_journal(const char* name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(JournalV2, FreshJournalStartsWithAVersionHeader) {
+  const std::string path = temp_journal("dovado_health_fresh.jsonl");
+  std::string error;
+  auto journal = SessionJournal::open(path, nullptr, error);
+  ASSERT_NE(journal, nullptr) << error;
+  journal.reset();
+
+  const std::string text = read_file(path);
+  EXPECT_EQ(text.substr(0, text.find('\n')), "{\"kind\":\"header\",\"version\":2}");
+
+  SessionJournal::Replay replay;
+  journal = SessionJournal::open(path, &replay, error);
+  ASSERT_NE(journal, nullptr) << error;
+  EXPECT_EQ(replay.version, 2);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_FALSE(replay.torn_tail);
+}
+
+TEST(JournalV2, HealthEventRoundTrip) {
+  HealthEvent event;
+  event.backend = "vivado-sim";
+  event.kind = HealthEventKind::kHalfOpen;
+  event.cause = "tool crashed (simulated)";
+  event.window_failures = 6;
+  event.window_size = 12;
+  const auto parsed = health_event_from_json(health_event_to_json(event));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->backend, event.backend);
+  EXPECT_EQ(parsed->kind, event.kind);
+  EXPECT_EQ(parsed->cause, event.cause);
+  EXPECT_EQ(parsed->window_failures, event.window_failures);
+  EXPECT_EQ(parsed->window_size, event.window_size);
+}
+
+TEST(JournalV2, AppendedEventsAndRecordsReplayInOrder) {
+  const std::string path = temp_journal("dovado_health_replay.jsonl");
+  std::string error;
+  auto journal = SessionJournal::open(path, nullptr, error);
+  ASSERT_NE(journal, nullptr) << error;
+
+  JournalRecord record;
+  record.params["DEPTH"] = 16;
+  record.ok = true;
+  record.metrics.values["lut"] = 42.0;
+  ASSERT_TRUE(journal->append(record));
+
+  HealthEvent trip;
+  trip.backend = "vivado-sim";
+  trip.kind = HealthEventKind::kTrip;
+  trip.cause = "crash";
+  ASSERT_TRUE(journal->append_event(trip));
+  HealthEvent recover = trip;
+  recover.kind = HealthEventKind::kRecover;
+  ASSERT_TRUE(journal->append_event(recover));
+  journal.reset();
+
+  SessionJournal::Replay replay;
+  journal = SessionJournal::open(path, &replay, error);
+  ASSERT_NE(journal, nullptr) << error;
+  EXPECT_EQ(replay.version, 2);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].params.at("DEPTH"), 16);
+  ASSERT_EQ(replay.health_events.size(), 2u);
+  EXPECT_EQ(replay.health_events[0].kind, HealthEventKind::kTrip);
+  EXPECT_EQ(replay.health_events[1].kind, HealthEventKind::kRecover);
+  EXPECT_EQ(replay.skipped_records, 0u);
+}
+
+TEST(JournalV2, FutureVersionIsAHardError) {
+  const std::string path = temp_journal("dovado_health_future.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"kind\": \"header\", \"version\": 3}\n";
+  }
+  std::string error;
+  SessionJournal::Replay replay;
+  auto journal = SessionJournal::open(path, &replay, error);
+  EXPECT_EQ(journal, nullptr);
+  EXPECT_NE(error.find("newer dovado"), std::string::npos) << error;
+  EXPECT_NE(error.find("version 3"), std::string::npos) << error;
+}
+
+TEST(JournalV2, UnknownRecordKindsAreSkippedTolerantly) {
+  // A future dovado may add record kinds without bumping the version; a
+  // resume on this build skips them and keeps every record it understands.
+  const std::string path = temp_journal("dovado_health_unknown.jsonl");
+  JournalRecord record;
+  record.params["DEPTH"] = 8;
+  record.ok = true;
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"kind\": \"header\", \"version\": 2}\n";
+    out << "{\"kind\": \"lease\", \"holder\": \"worker-3\"}\n";
+    out << journal_record_to_json(record) << "\n";
+  }
+  std::string error;
+  SessionJournal::Replay replay;
+  auto journal = SessionJournal::open(path, &replay, error);
+  ASSERT_NE(journal, nullptr) << error;
+  EXPECT_EQ(replay.skipped_records, 1u);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].params.at("DEPTH"), 8);
+}
+
+TEST(JournalV2, LegacyHeaderlessJournalStillReplays) {
+  // Version-1 journals had no header and no "kind" field; they replay as
+  // eval records and report version 1.
+  const std::string path = temp_journal("dovado_health_legacy.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"params\": {\"DEPTH\": 24}, \"ok\": true, "
+           "\"metrics\": {\"lut\": 7}}\n";
+  }
+  std::string error;
+  SessionJournal::Replay replay;
+  auto journal = SessionJournal::open(path, &replay, error);
+  ASSERT_NE(journal, nullptr) << error;
+  EXPECT_EQ(replay.version, 1);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].params.at("DEPTH"), 24);
+  EXPECT_EQ(replay.health_events.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dovado::core

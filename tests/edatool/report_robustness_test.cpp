@@ -4,11 +4,14 @@
 // plan / injector determinism contracts the supervisor relies on.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/edatool/faults.hpp"
 #include "src/edatool/report.hpp"
+#include "src/util/rng.hpp"
 #include "src/util/strings.hpp"
 
 namespace dovado::edatool {
@@ -136,6 +139,124 @@ TEST(CheckedTiming, GarbageTextIsNotAttempted) {
   EXPECT_TRUE(util::contains(checked.error, "no timing report")) << checked.error;
 }
 
+// --- Report shredder ------------------------------------------------------
+// Seeded structured fuzzing of the checked parsers: hundreds of mutated
+// reports (truncations, duplicated lines, bit flips, line swaps) must never
+// crash the parser, and whenever a mutated report still parses, the values
+// it yields must match the pristine baseline — a mutation must never turn
+// into silently different metrics. (Bit flips are the one exception: a
+// flipped digit produces a syntactically valid report that is
+// indistinguishable from a genuine one, so they only assert no-crash.)
+
+enum class Shred { kTruncate, kDuplicateLine, kBitFlip, kSwapLines };
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string shred(const std::string& original, Shred op, util::Rng& rng) {
+  switch (op) {
+    case Shred::kTruncate: {
+      std::string text = original;
+      text.resize(rng.index(text.size() + 1));
+      return text;
+    }
+    case Shred::kDuplicateLine: {
+      auto lines = split_lines(original);
+      const std::size_t i = rng.index(lines.size());
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i), lines[i]);
+      return join_lines(lines);
+    }
+    case Shred::kBitFlip: {
+      std::string text = original;
+      const std::size_t byte = rng.index(text.size());
+      text[byte] = static_cast<char>(text[byte] ^ (1 << rng.index(8)));
+      return text;
+    }
+    case Shred::kSwapLines: {
+      auto lines = split_lines(original);
+      const std::size_t a = rng.index(lines.size());
+      const std::size_t b = rng.index(lines.size());
+      std::swap(lines[a], lines[b]);
+      return join_lines(lines);
+    }
+  }
+  return original;
+}
+
+TEST(ReportShredder, MutatedReportsNeverCrashOrMisparse) {
+  const UtilizationReport util_baseline = sample_utilization();
+  const TimingReport timing_baseline = sample_timing();
+  const std::string util_text = util_baseline.to_text();
+  const std::string timing_text = timing_baseline.to_text();
+
+  util::Rng rng(20260806u);
+  int successes = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const bool use_util = rng.chance(0.5);
+    const auto op = static_cast<Shred>(rng.index(4));
+    const std::string mutated = shred(use_util ? util_text : timing_text, op, rng);
+
+    if (use_util) {
+      const auto checked = UtilizationReport::parse_checked(mutated);
+      if (!checked.report.has_value()) {
+        EXPECT_FALSE(checked.error.empty()) << "rejection without a diagnostic";
+        continue;
+      }
+      if (op == Shred::kBitFlip) continue;
+      ++successes;
+      // Structural mutations never alter bytes inside a line, so every row
+      // a surviving parse yields must be a pristine baseline row. (A swap
+      // can legitimately drop rows — moving the closing border up ends the
+      // table early — so this is subset-match, not equality.)
+      for (const auto& row : checked.report->rows) {
+        const auto* base = util_baseline.find(row.site_type);
+        ASSERT_NE(base, nullptr) << "trial " << trial << " invented row " << row.site_type;
+        EXPECT_EQ(row.used, base->used) << "trial " << trial;
+        EXPECT_EQ(row.available, base->available) << "trial " << trial;
+        EXPECT_DOUBLE_EQ(row.util_percent, base->util_percent) << "trial " << trial;
+      }
+    } else {
+      const auto checked = TimingReport::parse_checked(mutated);
+      if (!checked.report.has_value()) {
+        EXPECT_FALSE(checked.error.empty()) << "rejection without a diagnostic";
+        continue;
+      }
+      if (op == Shred::kBitFlip) continue;
+      ++successes;
+      EXPECT_DOUBLE_EQ(checked.report->slack_ns, timing_baseline.slack_ns)
+          << "trial " << trial;
+      EXPECT_DOUBLE_EQ(checked.report->requirement_ns, timing_baseline.requirement_ns)
+          << "trial " << trial;
+      EXPECT_DOUBLE_EQ(checked.report->data_path_ns, timing_baseline.data_path_ns)
+          << "trial " << trial;
+    }
+  }
+  // The shredder must exercise the acceptance path too, not only rejections
+  // (benign mutations — tail truncations, duplicated rows — still parse).
+  EXPECT_GT(successes, 0);
+}
+
 TEST(FaultPlanParse, FullSpecRoundTrips) {
   std::string error;
   const auto plan = FaultPlan::parse(
@@ -251,6 +372,79 @@ TEST(FaultInjector, CountersTrackFiredFaults) {
   EXPECT_GT(counters.aborts, 0u);
   EXPECT_EQ(counters.hangs, 0u);
   EXPECT_EQ(counters.corrupted_reports, 0u);
+}
+
+TEST(FaultPlanParse, SequenceFaultsRoundTrip) {
+  std::string error;
+  const auto plan = FaultPlan::parse(
+      "seed=2,outage_start=5,outage_len=10,flap_up=3,flap_down=2", error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_EQ(plan->outage_start, 5u);
+  EXPECT_EQ(plan->outage_len, 10u);
+  EXPECT_EQ(plan->flap_up, 3u);
+  EXPECT_EQ(plan->flap_down, 2u);
+  EXPECT_TRUE(plan->sequence_faults());
+  EXPECT_TRUE(plan->active());
+
+  const auto again = FaultPlan::parse(plan->to_string(), error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->outage_start, plan->outage_start);
+  EXPECT_EQ(again->outage_len, plan->outage_len);
+  EXPECT_EQ(again->flap_up, plan->flap_up);
+  EXPECT_EQ(again->flap_down, plan->flap_down);
+}
+
+TEST(FaultPlanParse, RejectsLonelySequenceFields) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse("flap_up=3", error).has_value());
+  EXPECT_TRUE(util::contains(error, "flap")) << error;
+  EXPECT_FALSE(FaultPlan::parse("flap_down=3", error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("outage_len=5", error).has_value());
+  EXPECT_TRUE(util::contains(error, "outage")) << error;
+}
+
+TEST(FaultInjector, OutageWindowCrashesByAttemptOrdinal) {
+  std::string error;
+  const auto plan = FaultPlan::parse("seed=1,outage_start=3,outage_len=4", error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const FaultInjector injector(*plan);
+  // Attempt ordinals 1..8: the outage covers [3, 7) regardless of which
+  // point each attempt evaluates.
+  const FaultKind expected[] = {FaultKind::kNone,  FaultKind::kNone,
+                                FaultKind::kCrash, FaultKind::kCrash,
+                                FaultKind::kCrash, FaultKind::kCrash,
+                                FaultKind::kNone,  FaultKind::kNone};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(injector.decide(static_cast<std::uint64_t>(100 + i), 0).kind, expected[i])
+        << "attempt ordinal " << (i + 1);
+  }
+  EXPECT_EQ(injector.counters().crashes, 4u);
+}
+
+TEST(FaultInjector, PermanentOutageNeverEnds) {
+  std::string error;
+  const auto plan = FaultPlan::parse("seed=1,outage_start=2", error);  // len 0 = forever
+  ASSERT_TRUE(plan.has_value()) << error;
+  const FaultInjector injector(*plan);
+  EXPECT_EQ(injector.decide(7, 0).kind, FaultKind::kNone);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(injector.decide(static_cast<std::uint64_t>(i), 0).kind, FaultKind::kCrash);
+  }
+}
+
+TEST(FaultInjector, FlappingAlternatesHealthyAndCrashingRuns) {
+  std::string error;
+  const auto plan = FaultPlan::parse("seed=1,flap_up=2,flap_down=3", error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const FaultInjector injector(*plan);
+  // Cycle of 5: ordinals 1-2 healthy, 3-5 down, repeating.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int i = 0; i < 5; ++i) {
+      const auto kind = injector.decide(static_cast<std::uint64_t>(cycle * 5 + i), 0).kind;
+      EXPECT_EQ(kind, i < 2 ? FaultKind::kNone : FaultKind::kCrash)
+          << "cycle " << cycle << " position " << i;
+    }
+  }
 }
 
 TEST(FaultPointKey, OrderIndependentAndValueSensitive) {
