@@ -15,10 +15,13 @@ fast=0
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-echo "== tier-1: release build + full ctest =="
-cmake --preset default
+echo "== tier-1: release build (-Wall -Wextra -Werror) + full ctest =="
+cmake --preset default -DDOVADO_WERROR=ON
 cmake --build --preset default -j "$jobs"
 ctest --preset default -j "$jobs" --timeout 600
+
+echo "== lint: clang-tidy (skipped when not installed) =="
+scripts/lint.sh build
 
 if [[ "$fast" == "1" ]]; then
   echo "== --fast: skipping sanitizer presets =="
@@ -34,5 +37,10 @@ echo "== asan: full suite =="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs"
 ctest --preset asan -j "$jobs" --timeout 600
+
+echo "== ubsan: full suite =="
+cmake --preset ubsan
+cmake --build --preset ubsan -j "$jobs"
+ctest --preset ubsan -j "$jobs" --timeout 600
 
 echo "== all checks passed =="

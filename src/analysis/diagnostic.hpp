@@ -1,0 +1,55 @@
+// Diagnostics of the static verification layer (see DESIGN.md "Static
+// verification layer").
+//
+// Every analyzer — netlist lint, TCL script lint, design-space lint —
+// reports findings as Diagnostic records: a severity, a stable rule id
+// (the handle used by --lint-rules and by the seeded-defect tests), a
+// source location, and a message with an optional elaborating note.
+// Diagnostics are data, not control flow: analyzers never throw on a
+// finding, so one broken construct still yields every other finding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/hdl/ast.hpp"
+
+namespace dovado::analysis {
+
+enum class Severity {
+  kNote,     ///< informational; never affects exit codes or the gate
+  kWarning,  ///< suspicious but runnable; `dovado lint` exits 1
+  kError,    ///< would waste or break a tool run; exits 2, fails pre-flight
+};
+
+[[nodiscard]] const char* severity_name(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string rule_id;   ///< stable id, e.g. "net-multiply-driven"
+  std::string file;      ///< source path; may be a virtual path ("<flow script>")
+  hdl::SourceLoc loc;    ///< 1-based; {0,0} when no location applies
+  std::string message;
+  std::string note;      ///< optional elaboration (e.g. a did-you-mean hint)
+};
+
+/// Findings of one lint run plus the counters the exit-code and pre-flight
+/// policies are built on.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  [[nodiscard]] std::size_t errors() const { return count(Severity::kError); }
+  [[nodiscard]] std::size_t warnings() const { return count(Severity::kWarning); }
+
+  /// True when a diagnostic with this rule id was reported.
+  [[nodiscard]] bool has(const std::string& rule_id) const;
+
+  /// CLI exit code: 0 clean, 1 warnings only, 2 any error.
+  [[nodiscard]] int exit_code() const;
+
+  void add(Severity severity, std::string rule_id, std::string file, hdl::SourceLoc loc,
+           std::string message, std::string note = "");
+};
+
+}  // namespace dovado::analysis

@@ -1,0 +1,62 @@
+#include "src/analysis/render.hpp"
+
+#include "src/util/json.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::analysis {
+
+std::string render_text(const LintReport& report) {
+  std::string out;
+  for (const auto& d : report.diagnostics) {
+    if (!d.file.empty()) {
+      out += d.file;
+      if (d.loc.line > 0) {
+        out += ':';
+        out += std::to_string(d.loc.line);
+        if (d.loc.col > 0) {
+          out += ':';
+          out += std::to_string(d.loc.col);
+        }
+      }
+      out += ": ";
+    }
+    out += severity_name(d.severity);
+    out += '[';
+    out += d.rule_id;
+    out += "]: ";
+    out += d.message;
+    out += '\n';
+    if (!d.note.empty()) {
+      out += "  note: ";
+      out += d.note;
+      out += '\n';
+    }
+  }
+  out += util::format("%zu error(s), %zu warning(s), %zu note(s)\n", report.errors(),
+                      report.warnings(), report.count(Severity::kNote));
+  return out;
+}
+
+std::string render_json(const LintReport& report) {
+  util::JsonArray diags;
+  for (const auto& d : report.diagnostics) {
+    util::JsonObject obj;
+    obj["severity"] = severity_name(d.severity);
+    obj["rule"] = d.rule_id;
+    obj["file"] = d.file;
+    obj["line"] = static_cast<std::int64_t>(d.loc.line);
+    obj["col"] = static_cast<std::int64_t>(d.loc.col);
+    obj["message"] = d.message;
+    if (!d.note.empty()) obj["note"] = d.note;
+    diags.emplace_back(std::move(obj));
+  }
+  util::JsonObject root;
+  root["diagnostics"] = std::move(diags);
+  root["errors"] = report.errors();
+  root["warnings"] = report.warnings();
+  root["notes"] = report.count(Severity::kNote);
+  root["exit_code"] = static_cast<std::int64_t>(report.exit_code());
+  return util::Json(std::move(root)).dump(2) + "\n";
+}
+
+}  // namespace dovado::analysis

@@ -1,0 +1,18 @@
+// Diagnostic renderers: the compiler-style text form and a machine-readable
+// JSON form (`dovado lint --lint-format json`).
+#pragma once
+
+#include <string>
+
+#include "src/analysis/diagnostic.hpp"
+
+namespace dovado::analysis {
+
+/// "file:line:col: severity[rule-id]: message" per diagnostic, notes
+/// indented beneath, plus a one-line summary tail.
+[[nodiscard]] std::string render_text(const LintReport& report);
+
+/// {"diagnostics": [...], "errors": N, "warnings": N, "exit_code": N}.
+[[nodiscard]] std::string render_json(const LintReport& report);
+
+}  // namespace dovado::analysis

@@ -1,0 +1,55 @@
+// The lint rule registry.
+//
+// Every rule the analyzers can fire is declared here with its default
+// severity and a one-line summary (the table DESIGN.md renders). RuleSet is
+// the enable/disable view `--lint-rules +x,-y` parses into; unknown rule
+// names fail with a did-you-mean suggestion (the same closest-match helper
+// the CLI uses for unknown flags).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostic.hpp"
+
+namespace dovado::analysis {
+
+/// One registered rule. The id is stable and user-visible.
+struct RuleInfo {
+  std::string id;
+  Severity severity = Severity::kWarning;
+  std::string family;   ///< "hdl", "net", "tcl", "space", "flow"
+  std::string summary;  ///< one line, for `dovado lint` docs and DESIGN.md
+};
+
+/// All registered rules, in family order.
+[[nodiscard]] const std::vector<RuleInfo>& all_rules();
+
+/// Look up a rule by id; nullptr when unknown.
+[[nodiscard]] const RuleInfo* find_rule(const std::string& id);
+
+/// Which rules are active. Default-constructed = all enabled.
+class RuleSet {
+ public:
+  [[nodiscard]] bool enabled(const std::string& rule_id) const {
+    return disabled_.count(rule_id) == 0;
+  }
+
+  void disable(const std::string& rule_id) { disabled_.insert(rule_id); }
+  void enable(const std::string& rule_id) { disabled_.erase(rule_id); }
+
+  /// Parse a "+rule,-rule,..." spec into this set. "+x" (re-)enables,
+  /// "-x" disables; "-all"/"+all" flips every rule at once. Returns an
+  /// empty string on success, else the error message (unknown names get a
+  /// did-you-mean suggestion).
+  [[nodiscard]] std::string apply_spec(const std::string& spec);
+
+  /// Drop diagnostics whose rule is disabled.
+  void filter(LintReport& report) const;
+
+ private:
+  std::set<std::string> disabled_;
+};
+
+}  // namespace dovado::analysis

@@ -1,0 +1,161 @@
+#include "src/analysis/space_lint.hpp"
+
+#include <set>
+
+#include "src/edatool/backend.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::analysis {
+
+namespace {
+
+/// Metric vocabulary of the chosen backends (union over every registered
+/// backend when none are named). Registry failures degrade to the standard
+/// vocabulary rather than aborting the lint.
+std::set<std::string> backend_metric_vocabulary(const std::vector<std::string>& backends) {
+  std::set<std::string> vocabulary;
+  const std::vector<std::string> names =
+      backends.empty() ? edatool::BackendRegistry::names() : backends;
+  for (const auto& name : names) {
+    try {
+      const auto backend = edatool::BackendRegistry::create(name);
+      for (const auto& metric : backend->metric_names()) vocabulary.insert(metric);
+    } catch (const std::exception&) {
+      for (const auto& metric : edatool::standard_metric_names()) {
+        vocabulary.insert(metric);
+      }
+    }
+  }
+  return vocabulary;
+}
+
+/// Descending arithmetic-range detection from the raw CLI spec. The domain
+/// constructor silently swaps `256:8` into `8:256`, so by the time a
+/// ParamDomain exists the contradiction is gone — only the raw text knows.
+void lint_raw_specs(const std::vector<std::string>& specs, const std::string& where,
+                    LintReport& report) {
+  for (const auto& spec : specs) {
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0) continue;  // CLI parser rejects
+    const std::string name = spec.substr(0, eq);
+    const auto parts = util::split(spec.substr(eq + 1), ':');
+    if (parts.size() < 2 || parts.size() > 3) continue;
+    if (parts[0] == "pow2" || parts[0] == "vals") continue;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    long long l = 0;
+    long long h = 0;
+    if (!util::parse_int(parts[0], l) || !util::parse_int(parts[1], h)) continue;
+    lo = l;
+    hi = h;
+    if (lo > hi) {
+      report.add(Severity::kError, "space-descending-range", where, {},
+                 "range of parameter '" + name + "' is descending (" + parts[0] + ":" +
+                     parts[1] + ")",
+                 "write it as " + parts[1] + ":" + parts[0] +
+                     " — descending bounds are a contradiction, not a direction");
+    }
+  }
+}
+
+}  // namespace
+
+void lint_design_space(const core::DesignSpace& space,
+                       const std::vector<core::Objective>& objectives,
+                       const std::vector<core::DerivedMetric>& derived,
+                       const SpaceLintOptions& options, const std::string& where,
+                       LintReport& report) {
+  // --- parameter names -----------------------------------------------------
+  for (std::size_t i = 0; i < space.params.size(); ++i) {
+    for (std::size_t j = i + 1; j < space.params.size(); ++j) {
+      const std::string& a = space.params[i].name;
+      const std::string& b = space.params[j].name;
+      if (a == b) {
+        report.add(Severity::kError, "space-duplicate-param", where, {},
+                   "parameter '" + b + "' appears twice in the design space");
+      } else if (util::iequals(a, b)) {
+        report.add(Severity::kWarning, "space-shadowed-param", where, {},
+                   "parameters '" + a + "' and '" + b + "' differ only by case",
+                   "Verilog is case-sensitive but VHDL and many tools are not; one "
+                   "will shadow the other");
+      }
+    }
+  }
+
+  if (!options.module_params.empty()) {
+    for (const auto& param : space.params) {
+      bool found = false;
+      for (const auto& known : options.module_params) {
+        if (known == param.name) found = true;
+      }
+      if (!found) {
+        const std::string suggestion =
+            util::closest_match(param.name, options.module_params);
+        report.add(Severity::kError, "space-unknown-param", where, {},
+                   "free parameter '" + param.name +
+                       "' does not exist on the top module",
+                   suggestion.empty() ? std::string()
+                                      : "did you mean '" + suggestion + "'?");
+      }
+    }
+  }
+
+  // --- domains -------------------------------------------------------------
+  for (const auto& param : space.params) {
+    const core::ParamDomain& domain = param.domain;
+    if (domain.size() == 1) {
+      report.add(Severity::kWarning, "space-singleton-domain", where, {},
+                 "domain of parameter '" + param.name + "' is the single value " +
+                     std::to_string(domain.value_at(0)),
+                 "a one-point domain adds a dimension the optimizer cannot move in; "
+                 "hard-code the value instead");
+    }
+    if (domain.kind() == core::ParamDomain::Kind::kRange &&
+        domain.range_step() > 1 &&
+        (domain.range_hi() - domain.range_lo()) % domain.range_step() != 0) {
+      const std::int64_t reachable = domain.max_value();
+      report.add(Severity::kWarning, "space-step-unreachable", where, {},
+                 "upper bound " + std::to_string(domain.range_hi()) +
+                     " of parameter '" + param.name + "' is unreachable with step " +
+                     std::to_string(domain.range_step()) + " (last value is " +
+                     std::to_string(reachable) + ")");
+    }
+  }
+
+  lint_raw_specs(options.raw_param_specs, where, report);
+
+  // --- objectives & derived metrics ----------------------------------------
+  const std::set<std::string> vocabulary = backend_metric_vocabulary(options.backends);
+
+  for (const auto& metric : derived) {
+    if (vocabulary.count(metric.name) > 0) {
+      report.add(Severity::kError, "space-derived-shadows-metric", where, {},
+                 "derived metric '" + metric.name +
+                     "' has the same name as a backend metric",
+                 "the derived value would silently overwrite the tool's report; "
+                 "pick a distinct name");
+    }
+  }
+
+  std::set<std::string> known = vocabulary;
+  for (const auto& metric : derived) known.insert(metric.name);
+
+  std::set<std::string> seen_objectives;
+  for (const auto& objective : objectives) {
+    if (known.count(objective.metric) == 0) {
+      const std::vector<std::string> candidates(known.begin(), known.end());
+      const std::string suggestion = util::closest_match(objective.metric, candidates);
+      report.add(Severity::kError, "space-metric-unknown", where, {},
+                 "objective metric '" + objective.metric +
+                     "' is not reported by any selected backend",
+                 suggestion.empty() ? std::string()
+                                    : "did you mean '" + suggestion + "'?");
+    }
+    if (!seen_objectives.insert(objective.metric).second) {
+      report.add(Severity::kWarning, "space-objective-duplicate", where, {},
+                 "objective metric '" + objective.metric + "' is listed twice");
+    }
+  }
+}
+
+}  // namespace dovado::analysis

@@ -1,0 +1,36 @@
+// Design-space lint: rules over the DSE configuration itself — parameter
+// domains, objectives, and derived metrics — before any evaluation is paid
+// for. A contradictory domain or an objective over a metric no backend
+// reports dooms the whole campaign, and both are knowable statically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostic.hpp"
+#include "src/core/dse.hpp"
+
+namespace dovado::analysis {
+
+struct SpaceLintOptions {
+  /// Module parameters of the top module (free parameters must name one).
+  /// Empty => the parameter-existence rule is skipped (no HDL context).
+  std::vector<std::string> module_params;
+  /// Backends whose metric vocabulary the objectives may use. Empty =>
+  /// union over every registered backend.
+  std::vector<std::string> backends;
+  /// Raw `name=spec` strings exactly as the user wrote them (the CLI form).
+  /// ParamDomain::range() silently swaps descending bounds, so the
+  /// descending-range rule only fires on the raw spec.
+  std::vector<std::string> raw_param_specs;
+};
+
+/// Lint a design space plus objectives/derived metrics. Appends to `report`
+/// with the pseudo-path `where` (e.g. "<design-space>").
+void lint_design_space(const core::DesignSpace& space,
+                       const std::vector<core::Objective>& objectives,
+                       const std::vector<core::DerivedMetric>& derived,
+                       const SpaceLintOptions& options, const std::string& where,
+                       LintReport& report);
+
+}  // namespace dovado::analysis

@@ -1,0 +1,546 @@
+#include "src/analysis/tcl_lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "src/tcl/ast.hpp"
+#include "src/tcl/interp.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::analysis {
+
+namespace {
+
+using tcl::CommandNode;
+using tcl::ScriptNode;
+using tcl::WordNode;
+
+/// Per-tool-command flag table. Only commands listed here have their flags
+/// validated; everything else passes through (an unknown flag on a command
+/// we do not model is not evidence of a bug).
+struct FlagTable {
+  std::vector<std::string> value_flags;  ///< flags that consume the next word
+  std::vector<std::string> bool_flags;   ///< flags with no value
+  std::vector<std::string> required_flags;
+  bool requires_positional = false;      ///< e.g. a file path
+};
+
+const std::map<std::string, FlagTable>& flag_tables() {
+  static const std::map<std::string, FlagTable> kTables = {
+      {"synth_design",
+       {{"-top", "-part", "-directive", "-incremental"}, {}, {"-top", "-part"}, false}},
+      {"opt_design", {{}, {}, {}, false}},
+      {"place_design", {{"-directive"}, {}, {}, false}},
+      {"route_design", {{"-directive"}, {}, {}, false}},
+      {"read_verilog", {{}, {"-sv"}, {}, true}},
+      {"read_vhdl", {{"-library"}, {}, {}, true}},
+      {"read_xdc", {{}, {}, {}, true}},
+      {"create_clock", {{"-period", "-name"}, {"-add"}, {"-period"}, false}},
+      {"write_checkpoint", {{}, {"-force"}, {}, true}},
+      {"read_checkpoint", {{"-incremental"}, {}, {}, false}},
+      {"report_utilization", {{}, {}, {}, false}},
+      {"report_timing", {{}, {}, {}, false}},
+      {"report_power", {{}, {}, {}, false}},
+  };
+  return kTables;
+}
+
+/// Commands that only make sense after synth_design has produced a netlist
+/// (mirrors the backend's "[...] before synth_design" failures).
+const std::set<std::string>& post_synth_commands() {
+  static const std::set<std::string> kCommands = {
+      "opt_design",       "place_design",  "route_design",
+      "write_checkpoint", "report_utilization", "report_timing",
+      "report_power",
+  };
+  return kCommands;
+}
+
+/// Directive names the backend's timing model distinguishes
+/// (edatool::directive_effects); anything else silently behaves as Default.
+const std::vector<std::string>& known_directives() {
+  static const std::vector<std::string> kDirectives = {
+      "default",
+      "runtimeoptimized",
+      "quick",
+      "areaoptimized_high",
+      "areaoptimized_medium",
+      "performanceoptimized",
+      "perfoptimized_high",
+      "explore",
+  };
+  return kDirectives;
+}
+
+std::vector<std::string> builtin_commands() {
+  return {"set",    "unset",  "puts",    "expr",   "incr",  "if",     "while",
+          "return", "error",  "catch",   "list",   "append", "foreach", "for",
+          "proc",   "llength", "lindex", "lappend", "string", "format"};
+}
+
+/// True when the word's text reaches the command verbatim: braced words are
+/// never substituted, and bare/quoted words without `$` or `[` are literal.
+bool is_static(const WordNode& word) {
+  if (word.kind == WordNode::Kind::kBraced) return true;
+  if (word.kind == WordNode::Kind::kBracket) return false;
+  return tcl::extract_var_refs(word.text).empty() && !tcl::has_command_subst(word.text);
+}
+
+/// Static numeric evaluation of a condition; nullopt when it depends on
+/// variables, command substitution, or is not a constant expression.
+std::optional<double> static_number(const WordNode& word) {
+  if (!tcl::extract_var_refs(word.text).empty()) return std::nullopt;
+  if (tcl::has_command_subst(word.text)) return std::nullopt;
+  try {
+    return tcl::Interp::eval_number(word.text);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+class TclLinter {
+ public:
+  TclLinter(std::string path, const TclLintOptions& options, LintReport& report)
+      : path_(std::move(path)), options_(options), report_(report) {
+    for (const auto& name : builtin_commands()) known_commands_.insert(name);
+    for (const auto& [name, _] : flag_tables()) known_commands_.insert(name);
+    known_commands_.insert("get_ports");
+    known_commands_.insert("get_nets");
+    known_commands_.insert("set_property");
+    for (const auto& var : options.predefined_vars) defined_.insert(var);
+  }
+
+  void lint(const std::string& text) {
+    const ScriptNode script = tcl::parse_script(text);
+    if (!script.ok) {
+      report_.add(Severity::kError, "tcl-parse-error", path_,
+                  {static_cast<std::uint32_t>(script.error_line), 0}, script.error);
+      return;
+    }
+    lint_commands(script.commands);
+  }
+
+ private:
+  void add(Severity severity, const std::string& rule, int line, std::string message,
+           std::string note = "") {
+    report_.add(severity, rule, path_, {static_cast<std::uint32_t>(line), 0},
+                std::move(message), std::move(note));
+  }
+
+  /// Check every `$ref` in a word against the may-defined set.
+  void check_refs(const WordNode& word) {
+    if (word.kind == WordNode::Kind::kBraced) return;  // not substituted
+    check_refs_in(word.text, word.line);
+  }
+
+  void check_refs_in(const std::string& text, int line) {
+    for (const auto& ref : tcl::extract_var_refs(text)) {
+      if (defined_.count(ref) > 0) continue;
+      add(Severity::kError, "tcl-unset-var", line,
+          "variable '" + ref + "' is read but never set on any path");
+      defined_.insert(ref);  // report each variable once
+    }
+  }
+
+  /// Lint a word that the command will evaluate as a script (if/while
+  /// bodies, proc bodies, bracket substitutions).
+  void lint_script_word(const WordNode& word) {
+    const ScriptNode nested = tcl::parse_script(word.text, word.line);
+    if (!nested.ok) {
+      add(Severity::kError, "tcl-parse-error", nested.error_line, nested.error);
+      return;
+    }
+    lint_commands(nested.commands);
+  }
+
+  /// Collect variables a script word could define, without reporting
+  /// anything — the pre-pass for loop bodies, where a read in iteration N
+  /// may see a definition from iteration N-1.
+  void collect_defs(const WordNode& word) {
+    const ScriptNode nested = tcl::parse_script(word.text, word.line);
+    if (!nested.ok) return;
+    collect_defs_in(nested.commands);
+  }
+
+  void collect_defs_in(const std::vector<CommandNode>& commands) {
+    for (const auto& command : commands) {
+      if (command.words.empty() || !is_static(command.words[0])) continue;
+      const std::string& name = command.words[0].text;
+      const auto def_target = [&](std::size_t i) {
+        if (command.words.size() > i && is_static(command.words[i])) {
+          defined_.insert(command.words[i].text);
+        }
+      };
+      if (name == "set" && command.words.size() >= 3) def_target(1);
+      if (name == "append" || name == "lappend" || name == "incr") def_target(1);
+      if (name == "foreach") def_target(1);
+      if (name == "catch") def_target(2);
+      if (name == "proc" && command.words.size() == 4) {
+        if (is_static(command.words[1])) known_commands_.insert(command.words[1].text);
+      }
+      // Recurse into nested control-flow bodies.
+      if (name == "if" || name == "while" || name == "for" || name == "foreach" ||
+          name == "catch") {
+        for (std::size_t i = 1; i < command.words.size(); ++i) {
+          if (command.words[i].kind == WordNode::Kind::kBraced) {
+            collect_defs(command.words[i]);
+          }
+        }
+      }
+    }
+  }
+
+  void wrong_arity(const CommandNode& command, const std::string& usage) {
+    add(Severity::kError, "tcl-wrong-arity", command.line,
+        "wrong # args to '" + command.words[0].text + "'", "usage: " + usage);
+  }
+
+  void lint_commands(const std::vector<CommandNode>& commands) {
+    for (const auto& command : commands) lint_command(command);
+  }
+
+  void lint_command(const CommandNode& command) {
+    if (command.words.empty()) return;
+    const WordNode& head = command.words[0];
+
+    // Bracket words anywhere in the command are nested scripts sharing this
+    // scope — lint them before the command itself consumes their results.
+    for (const auto& word : command.words) {
+      if (word.kind == WordNode::Kind::kBracket) lint_script_word(word);
+    }
+
+    if (!is_static(head)) {
+      // Dynamically-named command: check the name's own refs, then bail.
+      for (const auto& word : command.words) check_refs(word);
+      return;
+    }
+    const std::string& name = head.text;
+
+    if (known_commands_.count(name) == 0) {
+      const std::vector<std::string> candidates(known_commands_.begin(),
+                                                known_commands_.end());
+      const std::string suggestion = util::closest_match(name, candidates);
+      add(Severity::kError, "tcl-unknown-command", command.line,
+          "unknown command '" + name + "'",
+          suggestion.empty() ? std::string() : "did you mean '" + suggestion + "'?");
+      for (std::size_t i = 1; i < command.words.size(); ++i) check_refs(command.words[i]);
+      return;
+    }
+
+    if (name == "if") {
+      lint_if(command);
+      return;
+    }
+    if (name == "while") {
+      lint_while(command);
+      return;
+    }
+    if (name == "for") {
+      lint_for(command);
+      return;
+    }
+    if (name == "foreach") {
+      lint_foreach(command);
+      return;
+    }
+    if (name == "proc") {
+      lint_proc(command);
+      return;
+    }
+    if (name == "catch") {
+      lint_catch(command);
+      return;
+    }
+
+    // Plain commands: every remaining word is substituted normally.
+    for (std::size_t i = 1; i < command.words.size(); ++i) {
+      const WordNode& word = command.words[i];
+      // `expr` re-substitutes braced arguments, so refs inside them count.
+      if (name == "expr" && word.kind == WordNode::Kind::kBraced) {
+        check_refs_in(word.text, word.line);
+      } else {
+        check_refs(word);
+      }
+    }
+
+    const std::size_t args = command.words.size() - 1;
+    if (name == "set") {
+      if (args < 1 || args > 2) {
+        wrong_arity(command, "set varName ?newValue?");
+      } else if (args == 2) {
+        if (is_static(command.words[1])) defined_.insert(command.words[1].text);
+      } else if (is_static(command.words[1]) &&
+                 defined_.count(command.words[1].text) == 0) {
+        add(Severity::kError, "tcl-unset-var", command.line,
+            "variable '" + command.words[1].text + "' is read but never set on any path");
+        defined_.insert(command.words[1].text);
+      }
+      return;
+    }
+    if (name == "unset") {
+      if (args < 1) wrong_arity(command, "unset varName ?varName ...?");
+      for (std::size_t i = 1; i < command.words.size(); ++i) {
+        if (is_static(command.words[i])) defined_.erase(command.words[i].text);
+      }
+      return;
+    }
+    if (name == "puts" && (args < 1 || args > 2)) {
+      wrong_arity(command, "puts ?-nonewline? string");
+      return;
+    }
+    if (name == "expr" && args < 1) {
+      wrong_arity(command, "expr arg ?arg ...?");
+      return;
+    }
+    if (name == "incr") {
+      if (args < 1 || args > 2) {
+        wrong_arity(command, "incr varName ?increment?");
+      } else if (is_static(command.words[1])) {
+        defined_.insert(command.words[1].text);
+      }
+      return;
+    }
+    if ((name == "append" || name == "lappend") && args >= 1 &&
+        is_static(command.words[1])) {
+      defined_.insert(command.words[1].text);
+      return;
+    }
+
+    const auto table = flag_tables().find(name);
+    if (table != flag_tables().end()) {
+      lint_tool_command(command, table->second);
+    }
+  }
+
+  void lint_if(const CommandNode& command) {
+    // if cond body ?elseif cond body ...? ?else body?
+    const auto& words = command.words;
+    const std::set<std::string> before = defined_;
+    std::set<std::string> joined = defined_;  // union over branches
+    bool saw_else = false;
+    bool prior_taken = false;  // a statically-true condition shadows the rest
+
+    std::size_t i = 1;
+    while (true) {
+      if (i + 1 >= words.size()) {
+        wrong_arity(command, "if cond body ?elseif cond body ...? ?else body?");
+        return;
+      }
+      const WordNode& cond = words[i];
+      check_refs_in(cond.text, cond.line);  // conditions are always substituted
+      std::size_t body = i + 1;
+      if (body < words.size() && is_static(words[body]) && words[body].text == "then") {
+        ++body;
+      }
+      if (body >= words.size()) {
+        wrong_arity(command, "if cond body ?elseif cond body ...? ?else body?");
+        return;
+      }
+
+      const std::optional<double> value = static_number(cond);
+      const bool dead = (value && *value == 0.0) || prior_taken;
+      if (dead) {
+        add(Severity::kWarning, "tcl-dead-branch", cond.line,
+            prior_taken ? "branch is unreachable: an earlier condition is always true"
+                        : "condition '" + cond.text + "' is always false");
+      }
+      if (value && *value != 0.0 && !prior_taken) prior_taken = true;
+
+      defined_ = before;
+      lint_script_word(words[body]);
+      if (!dead) {
+        joined.insert(defined_.begin(), defined_.end());
+      }
+
+      std::size_t next = body + 1;
+      if (next >= words.size()) break;
+      if (is_static(words[next]) && words[next].text == "elseif") {
+        i = next + 1;
+        continue;
+      }
+      if (is_static(words[next]) && words[next].text == "else") {
+        if (next + 1 >= words.size()) {
+          wrong_arity(command, "if cond body ?elseif cond body ...? ?else body?");
+          return;
+        }
+        if (prior_taken) {
+          add(Severity::kWarning, "tcl-dead-branch", words[next].line,
+              "else branch is unreachable: an earlier condition is always true");
+        }
+        saw_else = true;
+        defined_ = before;
+        lint_script_word(words[next + 1]);
+        if (!prior_taken) joined.insert(defined_.begin(), defined_.end());
+        break;
+      }
+      wrong_arity(command, "if cond body ?elseif cond body ...? ?else body?");
+      return;
+    }
+
+    // May-analysis: defined after the if = defined on any branch. Without
+    // an else, falling through keeps only `before`, already in `joined`.
+    (void)saw_else;
+    defined_ = std::move(joined);
+  }
+
+  void lint_while(const CommandNode& command) {
+    if (command.words.size() != 3) {
+      wrong_arity(command, "while test body");
+      return;
+    }
+    const WordNode& cond = command.words[1];
+    const WordNode& body = command.words[2];
+    check_refs_in(cond.text, cond.line);
+    const std::optional<double> value = static_number(cond);
+    if (value && *value == 0.0) {
+      add(Severity::kWarning, "tcl-dead-branch", cond.line,
+          "loop body is unreachable: condition '" + cond.text + "' is always false");
+    }
+    collect_defs(body);  // iteration N may read iteration N-1's definitions
+    lint_script_word(body);
+  }
+
+  void lint_for(const CommandNode& command) {
+    if (command.words.size() != 5) {
+      wrong_arity(command, "for start test next body");
+      return;
+    }
+    lint_script_word(command.words[1]);  // init runs unconditionally
+    check_refs_in(command.words[2].text, command.words[2].line);
+    collect_defs(command.words[3]);
+    collect_defs(command.words[4]);
+    lint_script_word(command.words[4]);
+    lint_script_word(command.words[3]);
+  }
+
+  void lint_foreach(const CommandNode& command) {
+    if (command.words.size() != 4) {
+      wrong_arity(command, "foreach varName list body");
+      return;
+    }
+    check_refs(command.words[2]);
+    if (is_static(command.words[1])) defined_.insert(command.words[1].text);
+    collect_defs(command.words[3]);
+    lint_script_word(command.words[3]);
+  }
+
+  void lint_proc(const CommandNode& command) {
+    if (command.words.size() != 4) {
+      wrong_arity(command, "proc name args body");
+      return;
+    }
+    if (is_static(command.words[1])) known_commands_.insert(command.words[1].text);
+    // Flat scoping (see interp.cpp): the body sees globals, and formals are
+    // bound as ordinary variables.
+    for (const auto& formal : util::split(command.words[2].text, ' ')) {
+      const std::string trimmed{util::trim(formal)};
+      if (!trimmed.empty()) defined_.insert(trimmed);
+    }
+    lint_script_word(command.words[3]);
+  }
+
+  void lint_catch(const CommandNode& command) {
+    if (command.words.size() < 2 || command.words.size() > 3) {
+      wrong_arity(command, "catch script ?resultVar?");
+      return;
+    }
+    lint_script_word(command.words[1]);
+    if (command.words.size() == 3 && is_static(command.words[2])) {
+      defined_.insert(command.words[2].text);
+    }
+  }
+
+  void lint_tool_command(const CommandNode& command, const FlagTable& table) {
+    const std::string& name = command.words[0].text;
+    std::vector<std::string> seen_flags;
+    std::size_t positionals = 0;
+
+    std::vector<std::string> all_flags = table.value_flags;
+    all_flags.insert(all_flags.end(), table.bool_flags.begin(), table.bool_flags.end());
+
+    for (std::size_t i = 1; i < command.words.size(); ++i) {
+      const WordNode& word = command.words[i];
+      const bool flag_like = is_static(word) && !word.text.empty() &&
+                             word.text[0] == '-' &&
+                             word.kind != WordNode::Kind::kBraced;
+      if (!flag_like) {
+        ++positionals;
+        continue;
+      }
+      const bool is_value =
+          std::find(table.value_flags.begin(), table.value_flags.end(), word.text) !=
+          table.value_flags.end();
+      const bool is_bool =
+          std::find(table.bool_flags.begin(), table.bool_flags.end(), word.text) !=
+          table.bool_flags.end();
+      if (!is_value && !is_bool) {
+        const std::string suggestion = util::closest_match(word.text, all_flags);
+        add(Severity::kError, "tcl-unknown-flag", word.line,
+            "unknown flag '" + word.text + "' for '" + name + "'",
+            suggestion.empty() ? std::string() : "did you mean '" + suggestion + "'?");
+        continue;
+      }
+      seen_flags.push_back(word.text);
+      if (is_value) {
+        if (i + 1 >= command.words.size()) {
+          add(Severity::kError, "tcl-missing-arg", word.line,
+              "flag '" + word.text + "' of '" + name + "' expects a value");
+        } else {
+          ++i;  // consume the value (refs were already checked above)
+          if (word.text == "-directive") check_directive(name, command.words[i]);
+        }
+      }
+    }
+
+    for (const auto& required : table.required_flags) {
+      if (std::find(seen_flags.begin(), seen_flags.end(), required) ==
+          seen_flags.end()) {
+        add(Severity::kError, "tcl-missing-arg", command.line,
+            "'" + name + "' is missing required flag '" + required + "'");
+      }
+    }
+    if (table.requires_positional && positionals == 0) {
+      add(Severity::kError, "tcl-missing-arg", command.line,
+          "'" + name + "' is missing its file argument");
+    }
+
+    if (options_.check_flow_order) {
+      if (name == "synth_design") synth_done_ = true;
+      if (!synth_done_ && post_synth_commands().count(name) > 0) {
+        add(Severity::kError, "tcl-flow-order", command.line,
+            "'" + name + "' before synth_design: there is no netlist yet");
+      }
+    }
+  }
+
+  void check_directive(const std::string& command, const WordNode& value) {
+    if (!is_static(value)) return;  // dynamic directive: cannot judge
+    for (const auto& known : known_directives()) {
+      if (util::iequals(value.text, known)) return;
+    }
+    const std::string suggestion = util::closest_match(value.text, known_directives());
+    add(Severity::kWarning, "tcl-unknown-directive", value.line,
+        "unknown directive '" + value.text + "' for '" + command +
+            "' silently behaves as Default",
+        suggestion.empty() ? std::string() : "did you mean '" + suggestion + "'?");
+  }
+
+  std::string path_;
+  const TclLintOptions& options_;
+  LintReport& report_;
+  std::set<std::string> defined_;
+  std::set<std::string> known_commands_;
+  bool synth_done_ = false;
+};
+
+}  // namespace
+
+void lint_tcl_script(const std::string& text, const std::string& path,
+                     const TclLintOptions& options, LintReport& report) {
+  TclLinter linter(path, options, report);
+  linter.lint(text);
+}
+
+}  // namespace dovado::analysis

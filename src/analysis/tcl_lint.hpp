@@ -1,0 +1,33 @@
+// TCL script lint: abstract interpretation of the mini-TCL dialect without
+// executing side effects.
+//
+// The linter parses a script into the structural AST (src/tcl/ast) and walks
+// it with a may-defined variable analysis: a variable counts as defined when
+// any path could have set it, so only reads that are impossible on every
+// path are reported. Tool commands (synth_design, place_design, ...) are
+// validated against flag tables mirroring the simulated Vivado backend, and
+// a flow-order state machine catches implementation steps issued before
+// synth_design.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostic.hpp"
+
+namespace dovado::analysis {
+
+struct TclLintOptions {
+  /// Variables assumed defined before the first command (e.g. variables an
+  /// enclosing script sets before sourcing this one).
+  std::vector<std::string> predefined_vars;
+  /// Validate synthesis/implementation ordering. Disable for constraint
+  /// files (XDC), which run inside read_xdc mid-flow.
+  bool check_flow_order = true;
+};
+
+/// Lint one TCL script. Appends diagnostics to `report`.
+void lint_tcl_script(const std::string& text, const std::string& path,
+                     const TclLintOptions& options, LintReport& report);
+
+}  // namespace dovado::analysis

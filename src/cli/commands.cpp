@@ -5,6 +5,8 @@
 #include <limits>
 #include <ostream>
 
+#include "src/analysis/analyzer.hpp"
+#include "src/analysis/render.hpp"
 #include "src/core/dse.hpp"
 #include "src/core/sensitivity.hpp"
 #include "src/edatool/faults.hpp"
@@ -172,6 +174,7 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
     config.breaker.seed = options.seed;
     config.journal_path = options.journal_path;
     config.resume_from_journal = !options.resume_path.empty();
+    config.preflight = options.preflight;
     if (!apply_fault_plan(options, config, err)) return 1;
     if (!options.resume_path.empty()) {
       core::SessionLoad session = core::load_session_ex(options.resume_path);
@@ -329,6 +332,36 @@ int run_roofline(const Options& options, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int run_lint(const Options& options, std::ostream& out, std::ostream& err) {
+  analysis::RuleSet rules;
+  const std::string spec_error = rules.apply_spec(options.lint_rules);
+  if (!spec_error.empty()) {
+    err << spec_error << "\n";
+    return 2;
+  }
+
+  analysis::LintReport report;
+  const core::ProjectConfig project = project_from(options);
+  analysis::lint_project(project, report);
+
+  // Design-space lint only when the user gave a space to judge.
+  if (!options.params.empty() || !options.objectives.empty()) {
+    core::DseConfig config;
+    config.space.params = options.params;
+    for (const auto& [metric, maximize] : options.objectives) {
+      config.objectives.push_back({metric, maximize});
+    }
+    config.backend = options.backend;
+    config.screen_keep_ratio = options.screen_ratio;
+    analysis::lint_dse_config(project, config, options.raw_param_specs, report);
+  }
+
+  rules.filter(report);
+  out << (options.lint_format == "json" ? analysis::render_json(report)
+                                        : analysis::render_text(report));
+  return report.exit_code();
+}
+
 int run(const Options& options, std::ostream& out, std::ostream& err) {
   switch (options.command) {
     case Command::kHelp:
@@ -344,6 +377,8 @@ int run(const Options& options, std::ostream& out, std::ostream& err) {
       return run_sensitivity(options, out, err);
     case Command::kRoofline:
       return run_roofline(options, out, err);
+    case Command::kLint:
+      return run_lint(options, out, err);
   }
   return 1;
 }

@@ -21,5 +21,7 @@ namespace dovado::cli {
                                   std::ostream& err);
 [[nodiscard]] int run_roofline(const Options& options, std::ostream& out,
                                std::ostream& err);
+/// Static analysis. Exit code: 0 clean, 1 warnings only, 2 errors.
+[[nodiscard]] int run_lint(const Options& options, std::ostream& out, std::ostream& err);
 
 }  // namespace dovado::cli

@@ -131,6 +131,8 @@ commands:
   explore    run the multi-objective NSGA-II design space exploration
   sensitivity  one-at-a-time parameter sensitivity sweep around a base point
   roofline   render a roofline chart for a device
+  lint       static pre-flight analysis of RTL, generated TCL and the
+             design space (exit 0 = clean, 1 = warnings, 2 = errors)
   help       show this text
 
 project options (parse/evaluate/explore):
@@ -197,6 +199,14 @@ availability options (explore):
   --probe-budget N        recovery probes per half-open episode; a quorum of
                           successes closes the breaker again (default 3)
 
+lint options (lint/explore):
+  --lint-format F         lint report format: text (default) or json
+  --lint-rules SPEC       enable/disable rules, e.g. -net-undriven,+all
+                          (unknown names get a did-you-mean suggestion)
+  --no-preflight          explore only: skip the mandatory pre-flight lint
+                          gate (a lint error normally aborts before the
+                          first tool run)
+
 output options:
   --csv FILE              write explored points as CSV
   --json FILE             write the full result as JSON
@@ -232,6 +242,7 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
   else if (command == "explore") opt.command = Command::kExplore;
   else if (command == "sensitivity") opt.command = Command::kSensitivity;
   else if (command == "roofline") opt.command = Command::kRoofline;
+  else if (command == "lint") opt.command = Command::kLint;
   else {
     outcome.error = "unknown command '" + command + "'";
     return outcome;
@@ -299,6 +310,7 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
       opt.assignments[assignment.substr(0, eq)] = value;
     } else if (a == "--param") {
       if (!need_value(i, a)) return outcome;
+      opt.raw_param_specs.push_back(args[i + 1]);
       auto spec = parse_param_spec(args[++i], error);
       if (!spec) {
         outcome.error = error;
@@ -392,6 +404,18 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
     } else if (a == "--journal") {
       if (!need_value(i, a)) return outcome;
       opt.journal_path = args[++i];
+    } else if (a == "--lint-format") {
+      if (!need_value(i, a)) return outcome;
+      opt.lint_format = args[++i];
+      if (opt.lint_format != "text" && opt.lint_format != "json") {
+        outcome.error = "--lint-format must be text or json";
+        return outcome;
+      }
+    } else if (a == "--lint-rules") {
+      if (!need_value(i, a)) return outcome;
+      opt.lint_rules = args[++i];
+    } else if (a == "--no-preflight") {
+      opt.preflight = false;
     } else if (a == "--no-breaker") {
       opt.breaker = false;
     } else if (a == "--breaker-window") {
@@ -452,7 +476,8 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
           "--workers", "--samples", "--resume", "--fault-plan", "--max-retries",
           "--attempt-timeout", "--journal", "--no-breaker", "--breaker-window",
           "--breaker-threshold", "--probe-budget", "--save-session", "--csv",
-          "--json", "--clock", "--kernel"};
+          "--json", "--clock", "--kernel", "--lint-format", "--lint-rules",
+          "--no-preflight"};
       outcome.error = "unknown option '" + a + "'";
       const std::string suggestion = util::closest_match(a, kKnownFlags);
       if (!suggestion.empty()) outcome.error += " (did you mean '" + suggestion + "'?)";
@@ -462,7 +487,8 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
 
   // Per-command requirement checks.
   if (opt.command == Command::kParse || opt.command == Command::kEvaluate ||
-      opt.command == Command::kExplore || opt.command == Command::kSensitivity) {
+      opt.command == Command::kExplore || opt.command == Command::kSensitivity ||
+      opt.command == Command::kLint) {
     if (opt.sources.empty()) {
       outcome.error = "at least one --source is required";
       return outcome;

@@ -17,7 +17,7 @@
 
 namespace dovado::cli {
 
-enum class Command { kHelp, kParse, kEvaluate, kExplore, kSensitivity, kRoofline };
+enum class Command { kHelp, kParse, kEvaluate, kExplore, kSensitivity, kRoofline, kLint };
 
 /// One --kernel spec for the roofline command.
 struct KernelSpec {
@@ -45,8 +45,16 @@ struct Options {
   // evaluate: explicit design point(s).
   core::DesignPoint assignments;     ///< --set NAME=VALUE (repeatable)
 
+  // lint: static analysis (also gates explore as the pre-flight check).
+  std::string lint_format = "text";  ///< --lint-format text|json
+  std::string lint_rules;            ///< --lint-rules +x,-y (see analysis/rules.hpp)
+  bool preflight = true;             ///< --no-preflight clears it (explore)
+
   // explore: search space + objectives + GA settings.
   std::vector<core::ParamSpec> params;       ///< --param SPEC (repeatable)
+  std::vector<std::string> raw_param_specs;  ///< --param strings as written
+                                             ///< (descending ranges are only
+                                             ///< visible pre-normalization)
   std::vector<std::pair<std::string, bool>> objectives;  ///< (metric, maximize)
   std::size_t population = 24;       ///< --pop
   std::size_t generations = 15;      ///< --gens

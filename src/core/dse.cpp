@@ -1,10 +1,14 @@
 #include "src/core/dse.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+
+#include "src/analysis/analyzer.hpp"
+#include "src/analysis/render.hpp"
 
 #include "src/opt/nds.hpp"
 #include "src/util/logging.hpp"
@@ -791,7 +795,27 @@ std::vector<ExploredPoint> DseEngine::evaluate_set(const std::vector<DesignPoint
   return out;
 }
 
+void DseEngine::run_preflight() {
+  if (!config_.preflight) return;
+  const auto start = std::chrono::steady_clock::now();
+  const analysis::LintReport report = analysis::preflight(project_, config_);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.preflight_ms = elapsed_ms;
+  }
+  if (report.count(analysis::Severity::kError) > 0) {
+    throw std::runtime_error("pre-flight lint found " +
+                             std::to_string(report.count(analysis::Severity::kError)) +
+                             " error(s):\n" + analysis::render_text(report) +
+                             "(use --no-preflight to bypass the gate)");
+  }
+}
+
 DseResult DseEngine::run() {
+  run_preflight();
   pretrain();
 
   DovadoProblem problem(*this, config_.space, config_.objectives.size());

@@ -134,6 +134,14 @@ struct DseConfig {
   /// Disabled automatically when the high-fidelity backend *is* the
   /// analytic backend (there is nothing to degrade to).
   BreakerConfig breaker;
+
+  /// Mandatory pre-flight static analysis (see src/analysis/ and DESIGN.md
+  /// "Static verification layer"): run() lints the project and this
+  /// configuration before the first broker call and throws
+  /// std::runtime_error (with the rendered report) on any error-severity
+  /// diagnostic, so no tool seconds are paid for a doomed campaign.
+  /// Disable only to reproduce pre-lint behavior (CLI: --no-preflight).
+  bool preflight = true;
 };
 
 struct DseStats {
@@ -146,6 +154,7 @@ struct DseStats {
   double simulated_tool_seconds = 0.0;
   bool deadline_hit = false;
   std::size_t generations = 0;
+  double preflight_ms = 0.0;         ///< wall-clock spent in the pre-flight lint
 
   // Concurrency counters (see DESIGN.md "Concurrency model").
   std::size_t single_flight_joins = 0;  ///< shared another task's identical run
@@ -268,6 +277,11 @@ class DseEngine {
   /// the authoritative verdict on whether a point is buildable.
   [[nodiscard]] std::vector<std::optional<EvalResult>> screen_batch(
       const std::vector<DesignPoint>& unique_points);
+
+  /// The pre-flight gate: static lint of project + config before the first
+  /// broker call (throws on error-severity diagnostics). No-op when
+  /// config_.preflight is false.
+  void run_preflight();
 
   void pretrain();
   void record(const DesignPoint& point, const EvalMetrics& metrics, bool estimated,

@@ -55,6 +55,12 @@ class ParamDomain {
   [[nodiscard]] std::int64_t min_value() const;
   [[nodiscard]] std::int64_t max_value() const;
 
+  /// Raw arithmetic-range fields (meaningful for kRange only; the linter
+  /// inspects them for unreachable-bound diagnostics).
+  [[nodiscard]] std::int64_t range_lo() const { return lo_; }
+  [[nodiscard]] std::int64_t range_hi() const { return hi_; }
+  [[nodiscard]] std::int64_t range_step() const { return step_; }
+
   /// Human-readable description, e.g. "[8..512 step 4]" or "2^[1..15]".
   [[nodiscard]] std::string describe() const;
 

@@ -40,6 +40,10 @@ struct Parameter {
   std::string type_name;     ///< declared type ("integer", "int", "natural", ...); may be empty in Verilog
   std::string default_expr;  ///< source text of the default; empty if none
   bool is_local = false;     ///< SV localparam / VHDL constant: not user-tunable
+  /// Packed range of the parameter itself (`parameter [3:0] P = ...`),
+  /// kept as source text; both empty when the parameter is unranged.
+  std::string range_left_expr;
+  std::string range_right_expr;
   SourceLoc loc;
 };
 
@@ -59,6 +63,9 @@ struct Port {
   std::string left_expr;   ///< empty for scalar ports
   std::string right_expr;  ///< empty for scalar ports
   bool downto = true;      ///< VHDL "downto" vs "to"; Verilog [l:r] maps to downto
+  /// More than one packed dimension (`[A-1:0][B-1:0]`): left/right hold the
+  /// outermost range only, so single-range width math does not apply.
+  bool multi_packed = false;
   SourceLoc loc;
 };
 

@@ -141,9 +141,9 @@ class VerilogParser {
       if (param_type_.empty()) param_type_ = util::to_lower(ts().peek().text);
       ts().next();
     }
-    std::string dummy_l;
-    std::string dummy_r;
-    (void)parse_range(dummy_l, dummy_r);  // packed range of the parameter itself
+    std::string range_l;
+    std::string range_r;
+    (void)parse_range(range_l, range_r);  // packed range of the parameter itself
 
     while (ts().peek().kind == TokenKind::kIdentifier) {
       Parameter p;
@@ -151,6 +151,8 @@ class VerilogParser {
       p.name = ts().next().text;
       p.type_name = param_type_;
       p.is_local = is_local;
+      p.range_left_expr = range_l;
+      p.range_right_expr = range_r;
       // Unpacked dimension on the name (rare for params) — skip.
       std::string ul;
       std::string ur;
@@ -192,6 +194,7 @@ class VerilogParser {
     PortDir current_dir = PortDir::kIn;
     bool have_dir = false;
     bool current_vec = false;
+    bool current_multi = false;
     std::string cur_left;
     std::string cur_right;
     std::string current_type;
@@ -216,6 +219,15 @@ class VerilogParser {
           ts().next();
         }
         current_vec = parse_range(cur_left, cur_right);
+        // Multidimensional packed arrays (`[A-1:0][B-1:0]`): keep the
+        // outermost range, consume the rest.
+        current_multi = false;
+        while (ts().peek().is_punct("[")) {
+          std::string l2;
+          std::string r2;
+          (void)parse_range(l2, r2);
+          current_multi = true;
+        }
         continue;
       }
       if (t.kind == TokenKind::kIdentifier) {
@@ -238,13 +250,16 @@ class VerilogParser {
         p.is_vector = current_vec;
         p.left_expr = cur_left;
         p.right_expr = cur_right;
+        p.multi_packed = current_multi;
         m.ports.push_back(std::move(p));
         // Default value on a port (SV): skip.
         if (ts().accept_punct("=")) (void)collect_expr({",", ")"});
-        // Unpacked dimension: skip.
-        std::string l;
-        std::string r;
-        (void)parse_range(l, r);
+        // Unpacked dimensions: skip.
+        while (ts().peek().is_punct("[")) {
+          std::string l;
+          std::string r;
+          (void)parse_range(l, r);
+        }
         ts().accept_punct(",");
         continue;
       }

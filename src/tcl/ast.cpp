@@ -1,0 +1,196 @@
+#include "src/tcl/ast.hpp"
+
+#include <cctype>
+
+namespace dovado::tcl {
+
+namespace {
+
+bool is_word_end(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+bool is_command_end(char c) { return c == '\n' || c == ';'; }
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  int line = 1;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos + ahead < text.size() ? text[pos + ahead] : '\0';
+  }
+  char next() {
+    const char c = text[pos++];
+    if (c == '\n') ++line;
+    return c;
+  }
+};
+
+}  // namespace
+
+ScriptNode parse_script(std::string_view text, int first_line) {
+  ScriptNode script;
+  Cursor c{text, 0, first_line};
+
+  auto fail = [&](std::string message, int line) {
+    script.ok = false;
+    script.error = std::move(message);
+    script.error_line = line;
+  };
+
+  while (!c.done() && script.ok) {
+    while (!c.done() && (is_word_end(c.peek()) || is_command_end(c.peek()))) c.next();
+    if (c.done()) break;
+    if (c.peek() == '#') {  // comment at command position
+      while (!c.done() && c.peek() != '\n') {
+        if (c.peek() == '\\' && c.peek(1) == '\n') c.next();
+        c.next();
+      }
+      continue;
+    }
+
+    CommandNode command;
+    command.line = c.line;
+    bool command_done = false;
+    while (!c.done() && !command_done && script.ok) {
+      while (!c.done() && is_word_end(c.peek())) c.next();
+      if (c.done()) break;
+      if (is_command_end(c.peek())) {
+        c.next();
+        break;
+      }
+      if (c.peek() == '\\' && c.peek(1) == '\n') {
+        c.next();
+        c.next();
+        continue;
+      }
+
+      WordNode word;
+      word.line = c.line;
+      if (c.peek() == '{') {
+        word.kind = WordNode::Kind::kBraced;
+        const int open_line = c.line;
+        c.next();
+        int depth = 1;
+        while (!c.done()) {
+          if (c.peek() == '\\' && c.pos + 1 < c.text.size()) {
+            word.text.push_back(c.next());
+            word.text.push_back(c.next());
+            continue;
+          }
+          const char ch = c.next();
+          if (ch == '{') ++depth;
+          if (ch == '}') {
+            if (--depth == 0) break;
+          }
+          word.text.push_back(ch);
+        }
+        if (depth != 0) {
+          fail("missing close-brace", open_line);
+          break;
+        }
+      } else if (c.peek() == '"') {
+        word.kind = WordNode::Kind::kQuoted;
+        const int open_line = c.line;
+        c.next();
+        while (!c.done() && c.peek() != '"') {
+          if (c.peek() == '\\' && c.pos + 1 < c.text.size()) {
+            word.text.push_back(c.next());
+            word.text.push_back(c.next());
+            continue;
+          }
+          word.text.push_back(c.next());
+        }
+        if (c.done()) {
+          fail("missing close-quote", open_line);
+          break;
+        }
+        c.next();
+      } else if (c.peek() == '[') {
+        word.kind = WordNode::Kind::kBracket;
+        const int open_line = c.line;
+        c.next();
+        int depth = 1;
+        while (!c.done()) {
+          if (c.peek() == '\\' && c.pos + 1 < c.text.size()) {
+            word.text.push_back(c.next());
+            word.text.push_back(c.next());
+            continue;
+          }
+          const char ch = c.next();
+          if (ch == '[') ++depth;
+          if (ch == ']') {
+            if (--depth == 0) break;
+          }
+          word.text.push_back(ch);
+        }
+        if (depth != 0) {
+          fail("missing close-bracket", open_line);
+          break;
+        }
+        // A bracket word may have a bare tail (`[cmd]suffix`); keep it as
+        // part of the text so the linter still sees the substitution.
+        while (!c.done() && !is_word_end(c.peek()) && !is_command_end(c.peek())) {
+          word.text.push_back(c.next());
+        }
+      } else {
+        word.kind = WordNode::Kind::kBare;
+        while (!c.done() && !is_word_end(c.peek()) && !is_command_end(c.peek())) {
+          if (c.peek() == '\\' && c.peek(1) == '\n') {
+            c.next();
+            c.next();
+            command_done = false;
+            break;
+          }
+          if (c.peek() == '\\' && c.pos + 1 < c.text.size()) {
+            word.text.push_back(c.next());
+            word.text.push_back(c.next());
+            continue;
+          }
+          word.text.push_back(c.next());
+        }
+      }
+      command.words.push_back(std::move(word));
+    }
+    if (!command.words.empty()) script.commands.push_back(std::move(command));
+  }
+  return script;
+}
+
+std::vector<std::string> extract_var_refs(std::string_view text) {
+  std::vector<std::string> refs;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\') {  // escaped character — not a reference
+      ++i;
+      continue;
+    }
+    if (text[i] != '$') continue;
+    std::size_t j = i + 1;
+    std::string name;
+    if (j < text.size() && text[j] == '{') {
+      ++j;
+      while (j < text.size() && text[j] != '}') name.push_back(text[j++]);
+    } else {
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) || text[j] == '_' ||
+              text[j] == ':')) {
+        name.push_back(text[j++]);
+      }
+    }
+    if (!name.empty()) refs.push_back(name);
+    i = j > i ? j - 1 : i;
+  }
+  return refs;
+}
+
+bool has_command_subst(std::string_view text) {
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '[') return true;
+  }
+  return false;
+}
+
+}  // namespace dovado::tcl

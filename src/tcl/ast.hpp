@@ -1,0 +1,55 @@
+// A structural AST for the mini-TCL dialect (see interp.hpp).
+//
+// The interpreter parses scripts on the fly while executing them; the TCL
+// lint analyzer (src/analysis/tcl_lint) needs the same parse *without* the
+// side effects. parse_script applies the identical word rules — braces,
+// quotes, bracket substitution, backslash-newline continuation, comments —
+// but produces a command list instead of running anything. Braced words are
+// kept as raw text (TCL's "everything is a string": bodies of if/while/proc
+// are re-parsed by whoever evaluates them, and the linter does the same).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dovado::tcl {
+
+/// One word of a command, classified by its quoting.
+struct WordNode {
+  enum class Kind {
+    kBare,     ///< unquoted; $var and [cmd] substitution applies
+    kQuoted,   ///< "..." with substitution
+    kBraced,   ///< {...} literal (no substitution at parse level)
+    kBracket,  ///< [script] — the whole word is a command substitution
+  };
+  Kind kind = Kind::kBare;
+  std::string text;  ///< raw contents (quotes/braces/brackets stripped)
+  int line = 1;
+};
+
+/// One command: words[0] is the command name.
+struct CommandNode {
+  std::vector<WordNode> words;
+  int line = 1;
+};
+
+/// A parsed script. `ok` is false on unbalanced syntax (the error carries
+/// the line of the unterminated construct).
+struct ScriptNode {
+  std::vector<CommandNode> commands;
+  bool ok = true;
+  std::string error;
+  int error_line = 0;
+};
+
+/// Parse a script into commands without evaluating anything.
+[[nodiscard]] ScriptNode parse_script(std::string_view text, int first_line = 1);
+
+/// Extract `$name` / `${name}` variable references from word text.
+[[nodiscard]] std::vector<std::string> extract_var_refs(std::string_view text);
+
+/// True when the text contains a `[...]` command substitution.
+[[nodiscard]] bool has_command_subst(std::string_view text);
+
+}  // namespace dovado::tcl

@@ -1,0 +1,117 @@
+// `dovado lint` end-to-end through the CLI driver: exit codes 0/1/2, the
+// JSON format switch, and the --lint-rules spec (including its did-you-mean
+// path) — all without spawning a process.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/cli/commands.hpp"
+#include "src/cli/options.hpp"
+
+namespace dovado::cli {
+namespace {
+
+Options lint_options(const std::string& fixture, const std::string& top) {
+  Options options;
+  options.command = Command::kLint;
+  options.sources = {std::string(DOVADO_ANALYSIS_FIXTURE_DIR) + "/" + fixture};
+  options.top = top;
+  return options;
+}
+
+TEST(CliLint, ErrorsExitTwo) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_lint(lint_options("multidriven.v", "multidriven"), out, err);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(out.str().find("net-multiply-driven"), std::string::npos) << out.str();
+}
+
+TEST(CliLint, WarningsExitOne) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code =
+      run_lint(lint_options("width_mismatch.v", "width_mismatch"), out, err);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.str().find("net-width-mismatch"), std::string::npos) << out.str();
+}
+
+TEST(CliLint, CleanExitZero) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code =
+      run_lint(lint_options("preflight_clean.v", "preflight_clean"), out, err);
+  EXPECT_EQ(code, 0) << out.str();
+  EXPECT_NE(out.str().find("0 error(s), 0 warning(s)"), std::string::npos);
+}
+
+TEST(CliLint, JsonFormat) {
+  Options options = lint_options("multidriven.v", "multidriven");
+  options.lint_format = "json";
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(options, out, err), 2);
+  EXPECT_EQ(out.str().front(), '{');
+  EXPECT_NE(out.str().find("\"exit_code\""), std::string::npos);
+  EXPECT_NE(out.str().find("net-multiply-driven"), std::string::npos);
+}
+
+TEST(CliLint, RuleSpecDisablesTheFinding) {
+  Options options = lint_options("multidriven.v", "multidriven");
+  options.lint_rules = "-net-multiply-driven";
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(options, out, err), 0) << out.str();
+}
+
+TEST(CliLint, UnknownRuleNameSuggestsClosest) {
+  Options options = lint_options("multidriven.v", "multidriven");
+  options.lint_rules = "-net-multiply-drivn";
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(options, out, err), 2);
+  EXPECT_NE(err.str().find("net-multiply-driven"), std::string::npos) << err.str();
+}
+
+TEST(CliLint, DesignSpaceLintedWhenParamsGiven) {
+  Options options = lint_options("preflight_clean.v", "preflight_clean");
+  std::string error;
+  const auto spec = parse_param_spec("WIDHT=2:8", error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  options.params = {*spec};
+  options.raw_param_specs = {"WIDHT=2:8"};
+  options.objectives = {{"lut", false}};
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(options, out, err), 2);
+  EXPECT_NE(out.str().find("space-unknown-param"), std::string::npos) << out.str();
+}
+
+TEST(CliLint, ArgvParsing) {
+  const ParseOutcome ok = parse_args({"lint", "--source", "a.v", "--top", "t",
+                                      "--lint-format", "json", "--lint-rules",
+                                      "-net-undriven"});
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.options.command, Command::kLint);
+  EXPECT_EQ(ok.options.lint_format, "json");
+  EXPECT_EQ(ok.options.lint_rules, "-net-undriven");
+
+  const ParseOutcome bad_format =
+      parse_args({"lint", "--source", "a.v", "--top", "t", "--lint-format", "yaml"});
+  EXPECT_FALSE(bad_format.ok);
+
+  const ParseOutcome no_top = parse_args({"lint", "--source", "a.v"});
+  EXPECT_FALSE(no_top.ok);
+
+  const ParseOutcome explore = parse_args(
+      {"explore", "--source", "a.v", "--top", "t", "--part", "p", "--param",
+       "N=2:8", "--objective", "lut:min", "--no-preflight"});
+  ASSERT_TRUE(explore.ok) << explore.error;
+  EXPECT_FALSE(explore.options.preflight);
+  ASSERT_EQ(explore.options.raw_param_specs.size(), 1u);
+  EXPECT_EQ(explore.options.raw_param_specs.front(), "N=2:8");
+}
+
+}  // namespace
+}  // namespace dovado::cli

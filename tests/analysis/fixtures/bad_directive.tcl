@@ -1,0 +1,2 @@
+# Fixture: "Turbo" is not a known directive -> tcl-unknown-directive.
+synth_design -top box -part xc7k70t -directive Turbo

@@ -1,0 +1,12 @@
+// Fixture: p -> q -> p through continuous assigns -> net-comb-loop.
+module comb_loop(
+    input wire clk,
+    input wire a,
+    output wire y
+);
+  wire p;
+  wire q;
+  assign p = q & a;
+  assign q = p;
+  assign y = p & a;
+endmodule

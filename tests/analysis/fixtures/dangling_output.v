@@ -1,0 +1,9 @@
+// Fixture: output `z` is never driven -> net-dangling-output.
+module dangling_output(
+    input wire clk,
+    input wire a,
+    output wire y,
+    output wire z
+);
+  assign y = a;
+endmodule

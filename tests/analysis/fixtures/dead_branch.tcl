@@ -1,0 +1,5 @@
+# Fixture: the condition is statically false -> tcl-dead-branch.
+set x 1
+if {0} {
+  puts $x
+}

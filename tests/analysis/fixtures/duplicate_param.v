@@ -1,0 +1,11 @@
+// Fixture: parameter `WIDTH` declared twice -> hdl-duplicate-param.
+module duplicate_param #(
+    parameter WIDTH = 4,
+    parameter WIDTH = 8
+) (
+    input wire clk,
+    input wire a,
+    output wire y
+);
+  assign y = a;
+endmodule

@@ -1,0 +1,9 @@
+// Fixture: port `a` declared twice -> hdl-duplicate-port.
+module duplicate_port(
+    input wire clk,
+    input wire a,
+    input wire a,
+    output wire y
+);
+  assign y = clk;
+endmodule

@@ -1,0 +1,2 @@
+# Fixture: place_design before synth_design -> tcl-flow-order.
+place_design -directive Default

@@ -1,0 +1,2 @@
+# Fixture: synth_design without its required -top flag -> tcl-missing-arg.
+synth_design -part xc7k70t

@@ -1,0 +1,11 @@
+// Fixture: two whole-net continuous assigns fight over `y`
+// -> net-multiply-driven.
+module multidriven(
+    input wire clk,
+    input wire a,
+    input wire b,
+    output wire y
+);
+  assign y = a;
+  assign y = b;
+endmodule

@@ -1,0 +1,7 @@
+// Fixture: no port named like a clock -> hdl-no-clock-port (top only).
+module no_clock(
+    input wire a,
+    output wire y
+);
+  assign y = a;
+endmodule

@@ -1,0 +1,16 @@
+-- Fixture: (0 downto 7) is a null range -> hdl-port-range-reversed.
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity null_range is
+  port (
+    clk  : in  std_logic;
+    data : in  std_logic_vector(0 downto 7);
+    y    : out std_logic
+  );
+end entity null_range;
+
+architecture rtl of null_range is
+begin
+  y <= clk;
+end architecture rtl;

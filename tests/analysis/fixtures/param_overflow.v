@@ -1,0 +1,11 @@
+// Fixture: 300 needs 9 bits but the parameter declares 4
+// -> hdl-param-width-overflow.
+module param_overflow #(
+    parameter [3:0] DEPTH = 300
+) (
+    input wire clk,
+    input wire a,
+    output wire y
+);
+  assign y = a;
+endmodule

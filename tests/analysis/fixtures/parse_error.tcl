@@ -1,0 +1,2 @@
+# Fixture: unbalanced brace -> tcl-parse-error.
+set x {unclosed

@@ -1,0 +1,3 @@
+// Fixture: "module" followed by a number is not a module name -> hdl-parse.
+module 42bad (input wire clk);
+endmodule

@@ -1,0 +1,14 @@
+// Fixture for the pre-flight gate: parametrized (so a design space can be
+// built over it) but multiply driven -> the gate must abort the campaign
+// before the first tool run.
+module preflight_broken #(
+    parameter WIDTH = 4
+) (
+    input wire clk,
+    input wire a,
+    input wire b,
+    output wire y
+);
+  assign y = a;
+  assign y = b;
+endmodule

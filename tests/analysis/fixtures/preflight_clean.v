@@ -1,0 +1,11 @@
+// Fixture for the pre-flight gate: a clean parametrized passthrough that
+// lints with zero diagnostics, so the campaign must proceed.
+module preflight_clean #(
+    parameter WIDTH = 4
+) (
+    input wire clk,
+    input wire [WIDTH-1:0] a,
+    output wire [WIDTH-1:0] y
+);
+  assign y = a;
+endmodule

@@ -1,0 +1,8 @@
+// Fixture: `mystery` is read but nothing drives it -> net-undriven.
+module undriven(
+    input wire clk,
+    output wire y
+);
+  wire mystery;
+  assign y = mystery;
+endmodule

@@ -1,0 +1,2 @@
+# Fixture: "synt_design" is a typo for synth_design -> tcl-unknown-command.
+synt_design

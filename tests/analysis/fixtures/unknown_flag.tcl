@@ -1,0 +1,2 @@
+# Fixture: -directiv is a typo for -directive -> tcl-unknown-flag.
+synth_design -top box -part xc7k70t -directiv Quick

@@ -1,0 +1,3 @@
+# Fixture: $flow_dir is read but never set on any path -> tcl-unset-var.
+set part xc7k70t
+puts $flow_dir

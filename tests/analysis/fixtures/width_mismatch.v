@@ -1,0 +1,8 @@
+// Fixture: 4-bit output assigned from an 8-bit input -> net-width-mismatch.
+module width_mismatch(
+    input wire clk,
+    input wire [7:0] a,
+    output wire [3:0] y
+);
+  assign y = a;
+endmodule

@@ -1,0 +1,2 @@
+# Fixture: foreach takes exactly var/list/body -> tcl-wrong-arity.
+foreach x {1 2}

@@ -1,0 +1,144 @@
+// The pre-flight gate: DseEngine::run() must refuse to spend a single tool
+// second on a campaign static analysis already knows is doomed — and must
+// cost (nearly) nothing on a clean one.
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/analyzer.hpp"
+#include "src/analysis/render.hpp"
+#include "src/core/dse.hpp"
+
+namespace dovado::analysis {
+namespace {
+
+core::ProjectConfig fixture_project(const std::string& file, const std::string& top) {
+  core::ProjectConfig project;
+  project.sources.push_back({std::string(DOVADO_ANALYSIS_FIXTURE_DIR) + "/" + file,
+                             hdl::HdlLanguage::kVerilog, "work", false});
+  project.top_module = top;
+  project.part = "xc7k70t";
+  project.target_period_ns = 2.0;
+  return project;
+}
+
+core::DseConfig small_dse() {
+  core::DseConfig config;
+  config.space.params.push_back({"WIDTH", core::ParamDomain::range(2, 8, 2)});
+  config.objectives = {{"lut", false}};
+  config.backend = "analytic";  // keep the gate tests fast
+  config.ga.population_size = 6;
+  config.ga.max_generations = 2;
+  config.ga.seed = 7;
+  return config;
+}
+
+// The simulated backends only evaluate modules with a registered
+// architecture model, so campaigns that must actually *run* use the shipped
+// fifo design (known to lint clean).
+core::ProjectConfig fifo_project() {
+  core::ProjectConfig project;
+  project.sources.push_back({std::string(DOVADO_RTL_DIR) + "/cv32e40p_fifo.sv",
+                             hdl::HdlLanguage::kSystemVerilog, "work", false});
+  project.top_module = "cv32e40p_fifo";
+  project.part = "xc7k70t";
+  return project;
+}
+
+core::DseConfig fifo_dse() {
+  core::DseConfig config;
+  config.space.params.push_back({"DEPTH", core::ParamDomain::range(8, 64)});
+  config.objectives = {{"lut", false}, {"fmax_mhz", true}};
+  config.ga.population_size = 6;
+  config.ga.max_generations = 2;
+  config.ga.seed = 7;
+  return config;
+}
+
+TEST(Preflight, GateAbortsBeforeAnyToolRun) {
+  core::DseEngine engine(fixture_project("preflight_broken.v", "preflight_broken"),
+                         small_dse());
+  try {
+    (void)engine.run();
+    FAIL() << "run() must throw on an error-severity diagnostic";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("pre-flight"), std::string::npos) << what;
+    EXPECT_NE(what.find("net-multiply-driven"), std::string::npos) << what;
+    EXPECT_NE(what.find("--no-preflight"), std::string::npos) << what;
+  }
+  // Nothing was paid for: the gate fired before the first broker call.
+  const core::DseStats stats = engine.stats();
+  EXPECT_EQ(stats.tool_runs, 0u);
+  EXPECT_EQ(stats.pretrain_runs, 0u);
+  for (const auto& [backend, runs] : stats.backend_runs) {
+    EXPECT_EQ(runs, 0u) << backend;
+  }
+  EXPECT_EQ(stats.simulated_tool_seconds, 0.0);
+  EXPECT_GT(stats.preflight_ms, 0.0);
+}
+
+TEST(Preflight, NoPreflightEscapeHatchRuns) {
+  // The broken fixture rides along as an extra source file: it parses (so
+  // the engine constructor accepts the project) and only the lint knows it
+  // is multiply driven — the same project demonstrates both sides of the
+  // gate on a runnable design.
+  core::ProjectConfig project = fifo_project();
+  project.sources.push_back({std::string(DOVADO_ANALYSIS_FIXTURE_DIR) +
+                                 "/preflight_broken.v",
+                             hdl::HdlLanguage::kVerilog, "work", false});
+
+  core::DseEngine gated(project, fifo_dse());
+  EXPECT_THROW((void)gated.run(), std::runtime_error);
+  EXPECT_EQ(gated.stats().tool_runs, 0u);
+
+  core::DseConfig config = fifo_dse();
+  config.preflight = false;
+  core::DseEngine engine(project, config);
+  const core::DseResult result = engine.run();
+  EXPECT_FALSE(result.explored.empty());
+  EXPECT_GT(result.stats.tool_runs, 0u);
+  EXPECT_EQ(result.stats.preflight_ms, 0.0);  // the gate never ran
+}
+
+TEST(Preflight, CleanCampaignPassesAndRecordsTiming) {
+  core::DseEngine engine(fifo_project(), fifo_dse());
+  const core::DseResult result = engine.run();
+  EXPECT_FALSE(result.pareto.empty());
+  EXPECT_GT(result.stats.tool_runs, 0u);
+  EXPECT_GT(result.stats.preflight_ms, 0.0);
+}
+
+TEST(Preflight, ReportMirrorsTheGateVerdict) {
+  const auto broken_project =
+      fixture_project("preflight_broken.v", "preflight_broken");
+  const LintReport broken = preflight(broken_project, small_dse());
+  EXPECT_GT(broken.errors(), 0u);
+  EXPECT_TRUE(broken.has("net-multiply-driven"));
+
+  const auto clean_project = fixture_project("preflight_clean.v", "preflight_clean");
+  const LintReport clean = preflight(clean_project, small_dse());
+  EXPECT_TRUE(clean.diagnostics.empty()) << render_text(clean);
+}
+
+TEST(Preflight, DisabledRuleOpensTheGate) {
+  // The same broken project passes once the offending rule is disabled —
+  // the RuleSet reaches all the way into the gate.
+  RuleSet rules;
+  ASSERT_EQ(rules.apply_spec("-net-multiply-driven"), "");
+  const LintReport report = preflight(
+      fixture_project("preflight_broken.v", "preflight_broken"), small_dse(), rules);
+  EXPECT_EQ(report.errors(), 0u);
+}
+
+TEST(Preflight, LintsTheDseConfigTooNotJustTheProject) {
+  core::DseConfig config = small_dse();
+  config.objectives.push_back({"lut", false});  // duplicate objective
+  const LintReport report =
+      preflight(fixture_project("preflight_clean.v", "preflight_clean"), config);
+  EXPECT_TRUE(report.has("space-objective-duplicate"));
+}
+
+}  // namespace
+}  // namespace dovado::analysis

@@ -166,9 +166,9 @@ TEST(PortWidth, UnresolvableIsNullopt) {
 TEST(BuildParamEnv, DefaultsAndOverrides) {
   Module m;
   m.language = HdlLanguage::kSystemVerilog;
-  m.parameters.push_back({"DEPTH", "int", "512", false, {}});
-  m.parameters.push_back({"ADDR_W", "int", "$clog2(DEPTH)", false, {}});
-  m.parameters.push_back({"FIXED", "int", "7", true, {}});
+  m.parameters.push_back({"DEPTH", "int", "512", false, "", "", {}});
+  m.parameters.push_back({"ADDR_W", "int", "$clog2(DEPTH)", false, "", "", {}});
+  m.parameters.push_back({"FIXED", "int", "7", true, "", "", {}});
 
   // Defaults only.
   auto env = build_param_env(m, {});
