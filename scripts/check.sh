@@ -23,6 +23,11 @@ ctest --preset default -j "$jobs" --timeout 600
 echo "== lint: clang-tidy (skipped when not installed) =="
 scripts/lint.sh build
 
+echo "== bench gate: steady-state fleet utilization (BENCH_utilization.json) =="
+# Exits non-zero when the bar is missed: steady > 90%, batch < 70%,
+# steady hypervolume >= batch at the shared tool-second budget.
+build/bench/micro_steady_state_utilization
+
 if [[ "$fast" == "1" ]]; then
   echo "== --fast: skipping sanitizer presets =="
   exit 0

@@ -161,6 +161,8 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
     config.pretrain_samples = options.pretrain;
     config.workers = options.workers;
     config.screen_keep_ratio = options.screen_ratio;
+    config.steady_state = options.steady_state;
+    config.max_inflight = options.max_inflight;
     if (options.deadline_hours > 0.0) {
       config.deadline_tool_seconds = options.deadline_hours * 3600.0;
     }
@@ -219,6 +221,13 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
             << " screening tool seconds)";
       }
       out << "\n";
+    }
+    if (options.steady_state) {
+      out << "steady state: " << result.stats.steady_completions << " completions, "
+          << result.stats.inflight_replayed << " inflight replayed, "
+          << util::format("%.1f%%", result.stats.tool_seconds_utilization * 100.0)
+          << " lane utilization over " << result.stats.virtual_lanes
+          << " lanes\n";
     }
     out << "parallel dispatch: " << result.stats.batches << " batches, "
         << result.stats.lease_waits << " lease waits, "

@@ -170,6 +170,12 @@ explore options:
                           batch on the analytic backend and send only the
                           top fraction R to the full flow (default 1.0 =
                           screening off)
+  --steady-state          asynchronous steady-state engine: offspring are
+                          submitted one at a time as evaluator lanes free
+                          up (no generational barrier); survival runs per
+                          completion
+  --max-inflight N        steady-state only: evaluations in flight at once
+                          (default 0 = one per evaluator lane)
   --resume FILE           warm-start from a saved session (tool results are
                           not re-paid for); a missing file starts fresh, a
                           corrupt file is a hard error
@@ -373,6 +379,16 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
         return outcome;
       }
       opt.workers = static_cast<std::size_t>(v);
+    } else if (a == "--steady-state") {
+      opt.steady_state = true;
+    } else if (a == "--max-inflight") {
+      if (!need_value(i, a)) return outcome;
+      std::int64_t v = 0;
+      if (!parse_i64(args[++i], v) || v < 0) {
+        outcome.error = "invalid --max-inflight";
+        return outcome;
+      }
+      opt.max_inflight = static_cast<std::size_t>(v);
     } else if (a == "--samples") {
       if (!need_value(i, a)) return outcome;
       std::int64_t v = 0;
@@ -473,7 +489,8 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
           "--place-directive", "--route-directive", "--no-impl", "--incremental",
           "--backend", "--screen-ratio", "--set", "--param", "--objective", "--pop",
           "--gens", "--seed", "--approximate", "--pretrain", "--deadline-hours",
-          "--workers", "--samples", "--resume", "--fault-plan", "--max-retries",
+          "--workers", "--steady-state", "--max-inflight", "--samples",
+          "--resume", "--fault-plan", "--max-retries",
           "--attempt-timeout", "--journal", "--no-breaker", "--breaker-window",
           "--breaker-threshold", "--probe-budget", "--save-session", "--csv",
           "--json", "--clock", "--kernel", "--lint-format", "--lint-rules",

@@ -64,6 +64,8 @@ struct Options {
   double deadline_hours = 0.0;       ///< --deadline-hours (0 = none)
   std::size_t workers = 0;           ///< --workers
   double screen_ratio = 1.0;         ///< --screen-ratio (1.0 = no screening)
+  bool steady_state = false;         ///< --steady-state
+  std::size_t max_inflight = 0;      ///< --max-inflight (0 = one per lane)
 
   // Output options.
   std::string csv_path;   ///< --csv FILE

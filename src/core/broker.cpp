@@ -34,6 +34,7 @@ EvaluationBroker::EvaluationBroker(ProjectConfig project, BrokerConfig config)
     evaluators_.add(std::move(evaluator));
   }
   pool_ = std::make_unique<util::ThreadPool>(config_.workers);
+  lane_free_.assign(config_.virtual_lanes != 0 ? config_.virtual_lanes : lane_count, 0.0);
 
   // Crash-safety journal: open (and read back) now, but hold the replay
   // until replay_journal() — the engine seeds warm-start state first so
@@ -65,8 +66,63 @@ void EvaluationBroker::append_health_event(const HealthEvent& event) {
   }
 }
 
+std::size_t EvaluationBroker::virtual_lane_count() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return lane_free_.size();
+}
+
+double EvaluationBroker::lane_submit_locked(double seconds) {
+  // Greedy list scheduling: the run starts on the lane that frees up first
+  // (first such lane for determinism) and occupies it for `seconds`.
+  std::size_t lane = 0;
+  for (std::size_t i = 1; i < lane_free_.size(); ++i) {
+    if (lane_free_[i] < lane_free_[lane]) lane = i;
+  }
+  lane_free_[lane] += seconds;
+  lane_busy_seconds_ += seconds;
+  return lane_free_[lane];
+}
+
+void EvaluationBroker::lane_barrier() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  const double makespan = *std::max_element(lane_free_.begin(), lane_free_.end());
+  for (double& t : lane_free_) t = makespan;
+}
+
+double EvaluationBroker::virtual_makespan() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return *std::max_element(lane_free_.begin(), lane_free_.end());
+}
+
+void EvaluationBroker::async(std::function<void()> fn) {
+  auto guarded = [fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      util::Log::warn(std::string("async evaluation task failed: ") + e.what());
+    } catch (...) {
+      util::Log::warn("async evaluation task failed with a non-standard exception");
+    }
+  };
+  // The future is intentionally dropped: completion is observed through
+  // the caller's own completion bookkeeping, not through the future.
+  (void)pool_->submit(std::move(guarded));
+}
+
+void EvaluationBroker::journal_inflight(const DesignPoint& point) {
+  if (!journal_) return;
+  if (!journal_->append_inflight(point)) {
+    util::Log::warn("journal append failed for inflight marker on '" + journal_->path() +
+                    "'; a resumed run will not re-submit this point");
+  }
+}
+
 std::vector<JournalRecord> EvaluationBroker::replay_journal() {
   std::vector<JournalRecord> seeded;
+  if (!pending_replay_.inflight.empty()) {
+    replayed_inflight_ = std::move(pending_replay_.inflight);
+    pending_replay_.inflight.clear();
+  }
   // Health events are recovered even when no evaluation records were
   // journaled (e.g. the breaker tripped before any run finished).
   if (!pending_replay_.health_events.empty()) {
@@ -177,6 +233,11 @@ EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe)
   // unconditionally counts every simulated second exactly once.
   std::lock_guard<std::mutex> lock(stats_mutex_);
   tool_seconds_accum_ += result.tool_seconds;
+  // Stamp (or clear — cached answers carry their leader's stale stamp) the
+  // virtual lane clock: only fresh lane-occupying runs advance it.
+  result.virtual_finish = fresh && result.tool_seconds > 0.0
+                              ? lane_submit_locked(result.tool_seconds)
+                              : 0.0;
   if (fresh) ++fresh_runs_;
   return result;
 }
@@ -235,6 +296,15 @@ BrokerStats EvaluationBroker::stats() const {
     snapshot.last_batch_tool_seconds = last_batch_tool_seconds_;
     snapshot.max_batch_tool_seconds = max_batch_tool_seconds_;
     snapshot.journal_replays = journal_replays_;
+    snapshot.virtual_lanes = lane_free_.size();
+    snapshot.busy_tool_seconds = lane_busy_seconds_;
+    snapshot.virtual_makespan_seconds =
+        *std::max_element(lane_free_.begin(), lane_free_.end());
+    snapshot.utilization =
+        snapshot.virtual_makespan_seconds > 0.0
+            ? lane_busy_seconds_ / (snapshot.virtual_makespan_seconds *
+                                    static_cast<double>(lane_free_.size()))
+            : 0.0;
   }
   snapshot.lease_waits = evaluators_.lease_waits();
   const SupervisorStats sup = supervisor_->stats();

@@ -43,6 +43,14 @@ struct BrokerConfig {
   /// Worker threads for parallel tool runs (0 = evaluate inline).
   std::size_t workers = 0;
 
+  /// Lanes of the *virtual* evaluator-fleet clock used for utilization
+  /// accounting and steady-state completion ordering (see lane notes on
+  /// EvaluationBroker). 0 = one lane per real parallel lane (workers + 1,
+  /// or 1 inline). Setting this above the real lane count models a larger
+  /// fleet deterministically — the utilization bench runs inline
+  /// (workers=0) against 8 virtual lanes.
+  std::size_t virtual_lanes = 0;
+
   /// Retry/quarantine policy applied to every tool evaluation.
   SupervisorConfig supervise;
 
@@ -74,6 +82,15 @@ struct BrokerStats {
   double last_batch_tool_seconds = 0.0;
   double max_batch_tool_seconds = 0.0;
   std::size_t journal_replays = 0;
+
+  // Virtual lane clock (utilization accounting; see EvaluationBroker).
+  std::size_t virtual_lanes = 0;
+  double busy_tool_seconds = 0.0;       ///< sum of lane-occupying run times
+  double virtual_makespan_seconds = 0.0;  ///< when the last lane goes idle
+  /// busy / (makespan * lanes): the fraction of fleet-seconds spent
+  /// actually evaluating rather than idling at a barrier. 0 before any
+  /// lane-occupying run.
+  double utilization = 0.0;
 
   // Supervision outcomes (see core/supervisor.hpp).
   std::size_t retries = 0;
@@ -131,6 +148,48 @@ class EvaluationBroker {
   /// screening sweeps).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Fire-and-forget submission onto the broker's pool (inline when
+  /// workers == 0, so inline submission completes before returning). The
+  /// steady-state engine uses this for its continuous submit/complete
+  /// loop; exceptions escaping `fn` are logged, not propagated — the
+  /// caller observes failures through the EvalResult it receives.
+  void async(std::function<void()> fn);
+
+  // ---- Virtual lane clock -------------------------------------------
+  // Evaluations are simulated: they return instantly in wall-clock but
+  // report simulated tool seconds, so "utilization" is meaningless in wall
+  // time. The broker therefore keeps a virtual fleet of `virtual_lanes`
+  // evaluator lanes and list-schedules every lane-occupying run onto the
+  // earliest-free lane. The batch engine calls lane_barrier() at each
+  // generational sync point (all lanes wait for the slowest); the
+  // steady-state engine never barriers. utilization = busy_seconds /
+  // (makespan * lanes) then measures exactly the idle time the barrier
+  // causes. tool_evaluate() stamps EvalResult::virtual_finish for fresh
+  // runs automatically.
+
+  /// Number of virtual lanes (config.virtual_lanes, or the real lane
+  /// count when 0).
+  [[nodiscard]] std::size_t virtual_lane_count() const;
+
+  /// Advance every virtual lane to the current makespan — the generational
+  /// barrier, where idle lanes wait for the slowest in-flight run.
+  void lane_barrier();
+
+  /// Virtual time at which the last lane goes idle.
+  [[nodiscard]] double virtual_makespan() const;
+
+  /// Append an inflight marker for `point` to the journal (no-op without a
+  /// journal). Called by the steady-state engine at submission; the eval
+  /// record appended when the answer lands supersedes it.
+  void journal_inflight(const DesignPoint& point);
+
+  /// Inflight points recovered by replay_journal() — submitted by a
+  /// crashed campaign but never answered (empty before replay, and for
+  /// journals without inflight markers).
+  [[nodiscard]] const std::vector<DesignPoint>& replayed_inflight() const {
+    return replayed_inflight_;
+  }
+
   /// Replay the journal opened at construction into the evaluation cache,
   /// skipping points the caller already seeded (warm start). Returns the
   /// records actually seeded so the caller can mirror them into its own
@@ -180,10 +239,18 @@ class EvaluationBroker {
   SessionJournal::Replay pending_replay_;    ///< held until replay_journal()
   std::shared_ptr<BackendHealthManager> health_;  ///< null = no breakers
   std::vector<HealthEvent> replayed_health_events_;
+  std::vector<DesignPoint> replayed_inflight_;
   edatool::BackendInfo backend_info_;
   std::vector<std::string> metric_names_;
 
+  /// Earliest-free run: schedule `seconds` of work onto the earliest-free
+  /// virtual lane; returns the virtual finish time. Caller holds
+  /// stats_mutex_.
+  double lane_submit_locked(double seconds);
+
   mutable std::mutex stats_mutex_;  ///< guards the mutable counters below
+  std::vector<double> lane_free_;   ///< virtual time each lane frees up
+  double lane_busy_seconds_ = 0.0;
   double tool_seconds_accum_ = 0.0;
   std::size_t fresh_runs_ = 0;
   std::size_t batches_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -71,6 +72,7 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
   // injector, journal and deadline accounting (see core/broker.hpp).
   BrokerConfig broker_config;
   broker_config.workers = config_.workers;
+  broker_config.virtual_lanes = config_.virtual_lanes;
   broker_config.supervise = config_.supervise;
   broker_config.fault_plan = config_.fault_plan;
   broker_config.derived_metrics = config_.derived_metrics;
@@ -326,6 +328,10 @@ DseStats DseEngine::stats() const {
   snapshot.backoff_tool_seconds = hifi.backoff_tool_seconds;
   snapshot.journal_replays = hifi.journal_replays;
   snapshot.faults_injected = hifi.faults_injected;
+  snapshot.tool_seconds_utilization = hifi.utilization;
+  snapshot.busy_tool_seconds = hifi.busy_tool_seconds;
+  snapshot.virtual_makespan_seconds = hifi.virtual_makespan_seconds;
+  snapshot.virtual_lanes = hifi.virtual_lanes;
   snapshot.backend_runs[broker_->backend_info().name] += hifi.fresh_runs;
   if (screen_broker_) {
     const BrokerStats lofi = screen_broker_->stats();
@@ -428,6 +434,7 @@ void DseEngine::pretrain() {
       broker_->run_deadline_chunked(points.size(), [&](std::size_t i) {
         results[i] = broker_->tool_evaluate(points[i]);
       });
+  broker_->lane_barrier();  // pretraining completes before the search starts
 
   for (std::size_t i = 0; i < dispatched; ++i) {
     // A fast-failed pretrain sample never ran: it is neither a pretrain
@@ -534,7 +541,8 @@ std::vector<std::optional<EvalResult>> DseEngine::screen_batch(
   return settled;
 }
 
-void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
+std::size_t DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
+  std::size_t scored = 0;  ///< individuals that consumed a genuine evaluation
   struct PendingTool {
     std::size_t individual;
     std::size_t unique_index;  ///< into unique_points
@@ -566,6 +574,7 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
         }
         ind.objectives = to_objectives(metrics);
         ind.evaluated = true;
+        ++scored;
         {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.estimates;
@@ -639,6 +648,7 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
       // metric names, so objectives and derived metrics line up).
       ind.objectives = to_objectives(settled[ui]->metrics);
       ind.evaluated = true;
+      ++scored;
       if (!leader_done[ui]) {
         leader_done[ui] = true;
         bool first_settle;
@@ -678,6 +688,7 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
       if (hedge_it != hedged.end() && hedge_it->second.ok) {
         ind.objectives = to_objectives(hedge_it->second.metrics);
         ind.evaluated = true;
+        ++scored;
         if (!leader_done[ui]) {
           leader_done[ui] = true;
           std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -703,6 +714,7 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
       r.tool_seconds = 0.0;
     }
     leader_done[ui] = true;
+    ++scored;  // every remaining branch scores from a consumed evaluation
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       if (r.cache_hit) ++stats_.cache_hits;
@@ -754,10 +766,16 @@ void DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals) {
     }
   }
 
+  // The generational barrier, made visible to the virtual lane clock: every
+  // idle lane waits here for the slowest run of the batch — exactly the
+  // idle time the steady-state engine eliminates.
+  broker_->lane_barrier();
+
   // Recovery rung: after every batch the probe queue re-tries a bounded
   // number of fast-failed points against the hi-fi tier (once the
   // breaker's cooldown admits probes). Probe successes close the breaker.
   run_probe_queue();
+  return scored;
 }
 
 std::vector<ExploredPoint> DseEngine::evaluate_set(const std::vector<DesignPoint>& points) {
@@ -766,6 +784,7 @@ std::vector<ExploredPoint> DseEngine::evaluate_set(const std::vector<DesignPoint
       broker_->run_deadline_chunked(points.size(), [&](std::size_t i) {
         results[i] = broker_->tool_evaluate(points[i]);
       });
+  broker_->lane_barrier();  // a one-shot batch API: the set closes together
   std::vector<ExploredPoint> out;
   out.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -814,6 +833,309 @@ void DseEngine::run_preflight() {
   }
 }
 
+void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
+  opt::SteadyStateNsga2 searcher(ga, problem);
+
+  // Equal-budget semantics vs the generational engine: pop * (gens + 1)
+  // completions is exactly what max_generations full batches plus the
+  // initial population would have requested.
+  const std::size_t budget =
+      config_.steady_state_evaluations != 0
+          ? config_.steady_state_evaluations
+          : ga.population_size * (ga.max_generations + 1);
+  const std::size_t max_inflight = std::max<std::size_t>(
+      1, config_.max_inflight != 0 ? config_.max_inflight
+                                   : broker_->virtual_lane_count());
+
+  auto user_stop = config_.ga.should_stop;
+  auto should_stop = [&] {
+    if (broker_->deadline_exceeded()) {
+      broker_->mark_deadline_hit();
+      return true;
+    }
+    return user_stop ? user_stop() : false;
+  };
+
+  // One submitted evaluation awaiting its broker answer. `result` is
+  // written by the pool task and read by the control loop only after the
+  // completion is published into `ready` under `mu`.
+  struct Inflight {
+    std::size_t seq = 0;
+    opt::Genome genome;
+    DesignPoint point;
+    EvalResult result;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::shared_ptr<Inflight>> ready;
+
+  // Per-completion sticky screening. The batch engine ranks a whole
+  // offspring batch and forwards its best keep_ratio fraction; with no
+  // batch to rank, each screen answer is compared against a sliding window
+  // of recent ones and forwarded iff fewer than keep_ratio of them
+  // dominate it — the same top-fraction intent, thresholded on domination
+  // count. Screen-outs stay sticky through the screen broker's cache
+  // exactly as in the batch path.
+  std::deque<opt::Objectives> screen_window;
+  const std::size_t window_cap = std::max<std::size_t>(4 * ga.population_size, 16);
+
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t inflight = 0;
+  std::size_t seq = 0;
+
+  // Resolve one broker answer — the per-individual scoring of the batch
+  // engine (hedge, quarantine fallback, penalties) followed by a (mu+1)
+  // tell. Runs on the control thread only.
+  auto resolve = [&](const Inflight& c) {
+    const EvalResult& r = c.result;
+    opt::Objectives objectives;
+    if (r.fast_failed) {
+      // Breaker open: hedge on the analytic tier right away and remember
+      // the point as a probe candidate (recorded estimated + approximate so
+      // front verification re-verifies it hi-fi after recovery).
+      EvaluationBroker* hedger = hedge_broker();
+      const EvalResult hedge = hedger->tool_evaluate(c.point);
+      enqueue_probe(c.point);
+      if (hedge.ok) {
+        objectives = to_objectives(hedge.metrics);
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.degraded_evals;
+        }
+        record(c.point, hedge.metrics, /*estimated=*/true, /*failed=*/false,
+               /*approximate=*/true);
+      } else {
+        objectives.assign(config_.objectives.size(), kFailurePenalty);
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.failures;
+      }
+      searcher.tell(c.genome, objectives);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (r.cache_hit) ++stats_.cache_hits;
+      else if (r.joined) ++stats_.single_flight_joins;
+      else ++stats_.tool_runs;
+    }
+    if (!r.ok) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.failures;
+      }
+      if (r.quarantined && control_ && config_.approx_fallback_min_samples > 0 &&
+          control_->dataset().size() >= config_.approx_fallback_min_samples) {
+        const model::Values est = control_->estimate(to_model_point(c.point));
+        EvalMetrics metrics;
+        for (std::size_t k = 0; k < config_.objectives.size(); ++k) {
+          metrics.values[config_.objectives[k].metric] = est[k];
+        }
+        objectives = to_objectives(metrics);
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.approx_fallbacks;
+        }
+        record(c.point, metrics, false, false, /*approximate=*/true);
+      } else {
+        objectives.assign(config_.objectives.size(), kFailurePenalty);
+        record(c.point, r.metrics, false, true);
+      }
+      searcher.tell(c.genome, objectives);
+      return;
+    }
+    objectives = to_objectives(r.metrics);
+    record(c.point, r.metrics, false, false);
+    if (control_ && !r.cache_hit && !r.joined) {
+      model::Values values;
+      values.reserve(config_.objectives.size());
+      for (const auto& obj : config_.objectives) {
+        values.push_back(r.metrics.get(obj.metric));
+      }
+      control_->add_sample(to_model_point(c.point), values);
+    }
+    searcher.tell(c.genome, objectives);
+  };
+
+  // Submit one genome. Returns true when the point went to the broker
+  // (occupies an inflight slot); estimates and screen settles resolve
+  // synchronously and are told back immediately. `direct` bypasses the
+  // estimate/screen ladder — replayed inflight points were already
+  // committed to high fidelity by the crashed campaign.
+  auto submit_one = [&](opt::Genome genome, bool direct) -> bool {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.ga_evaluations;
+    }
+    DesignPoint point = config_.space.decode(genome);
+
+    if (control_ && !direct) {
+      const model::Decision decision = control_->decide_and_count(to_model_point(point));
+      if (decision == model::Decision::kEstimate) {
+        const model::Values est = control_->estimate(to_model_point(point));
+        EvalMetrics metrics;
+        for (std::size_t k = 0; k < config_.objectives.size(); ++k) {
+          metrics.values[config_.objectives[k].metric] = est[k];
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.estimates;
+        }
+        record(point, metrics, true, false);
+        searcher.tell(genome, to_objectives(metrics));
+        return false;
+      }
+    }
+
+    const bool hifi_cached = broker_->cached(point).has_value();
+    if (screen_broker_ && !direct && !hifi_cached && !broker_->deadline_exceeded()) {
+      // Sticky screen-outs: a cached screen answer means the point already
+      // lost the forwarding lottery; it settles again without re-entering.
+      const auto prior = screen_broker_->cached(point);
+      EvalResult screen;
+      bool settle = false;
+      if (prior && prior->ok) {
+        screen = *prior;
+        settle = true;
+      } else if (!prior) {
+        screen = screen_broker_->tool_evaluate(point);
+        if (screen.ok) {
+          const opt::Objectives sobj = to_objectives(screen.metrics);
+          if (screen_window.size() >= 4) {
+            std::size_t dominating = 0;
+            for (const auto& w : screen_window) {
+              if (opt::dominates(w, sobj)) ++dominating;
+            }
+            settle = static_cast<double>(dominating) >=
+                     config_.screen_keep_ratio *
+                         static_cast<double>(screen_window.size());
+          }
+          screen_window.push_back(sobj);
+          if (screen_window.size() > window_cap) screen_window.pop_front();
+        }
+        // Screen failures always forward — the high-fidelity tool has the
+        // authoritative verdict on buildability.
+      }
+      if (settle) {
+        bool first_settle;
+        {
+          std::lock_guard<std::mutex> lock(record_mutex_);
+          first_settle = explored_index_.find(point) == explored_index_.end();
+        }
+        if (first_settle) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.screened_out;
+        }
+        record(point, screen.metrics, true, false);
+        searcher.tell(genome, to_objectives(screen.metrics));
+        return false;
+      }
+    }
+
+    // Forwarded to the high-fidelity broker. The inflight marker makes the
+    // submission crash-safe: a campaign that dies here re-submits the
+    // point exactly once on resume (the eval record supersedes it).
+    if (!hifi_cached) broker_->journal_inflight(point);
+    auto slot = std::make_shared<Inflight>();
+    slot->seq = seq++;
+    slot->genome = std::move(genome);
+    slot->point = std::move(point);
+    ++inflight;
+    broker_->async([this, slot, &mu, &cv, &ready] {
+      slot->result = broker_->tool_evaluate(slot->point);
+      // Notify while holding the lock: the control loop cannot pop this
+      // completion (and then return, destroying mu/cv) until this task has
+      // released the mutex — by which point it no longer touches either.
+      std::lock_guard<std::mutex> lock(mu);
+      ready.push_back(slot);
+      cv.notify_one();
+    });
+    return true;
+  };
+
+  // Resume: inflight points journaled by a crashed campaign are submitted
+  // first, exactly once (reserve() keeps ask() from regenerating them).
+  std::deque<opt::Genome> replay;
+  for (const DesignPoint& point : broker_->replayed_inflight()) {
+    auto genome = config_.space.encode(point);
+    if (!genome) continue;  // the space changed; the point is unreachable now
+    searcher.reserve(*genome);
+    replay.push_back(std::move(*genome));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.inflight_replayed += replay.size();
+  }
+
+  // The continuous submit/complete loop: keep up to max_inflight
+  // evaluations in the air, and on every completion run survival, probe
+  // scheduling and the next submission — no generational barrier anywhere.
+  bool stop_submission = false;
+  while (true) {
+    while (!stop_submission && inflight < max_inflight && submitted < budget) {
+      if (should_stop()) {
+        stop_submission = true;
+        break;
+      }
+      opt::Genome genome;
+      bool direct = false;
+      if (!replay.empty()) {
+        genome = std::move(replay.front());
+        replay.pop_front();
+        direct = true;
+      } else {
+        genome = searcher.ask();
+      }
+      ++submitted;
+      if (!submit_one(std::move(genome), direct)) {
+        ++completed;
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.steady_completions;
+      }
+    }
+    if (inflight == 0) {
+      if (stop_submission || submitted >= budget) break;
+      continue;  // everything so far resolved synchronously; submit more
+    }
+    std::shared_ptr<Inflight> next;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return !ready.empty(); });
+      // Pop the earliest virtual finish (sequence number breaks ties and
+      // orders zero-cost answers). Inline mode resolves every submission
+      // at submit time, so this pop order exactly replays the virtual
+      // fleet's completion schedule; under real threads it is the closest
+      // deterministic-given-completion-order approximation.
+      auto best = ready.begin();
+      for (auto it = std::next(ready.begin()); it != ready.end(); ++it) {
+        if ((*it)->result.virtual_finish < (*best)->result.virtual_finish ||
+            ((*it)->result.virtual_finish == (*best)->result.virtual_finish &&
+             (*it)->seq < (*best)->seq)) {
+          best = it;
+        }
+      }
+      next = *best;
+      ready.erase(best);
+    }
+    --inflight;
+    resolve(*next);
+    ++completed;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.steady_completions;
+    }
+    // Per-completion probe scheduling: breaker recovery is tested
+    // continuously instead of once per generation.
+    run_probe_queue();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.generations =
+        ga.population_size != 0 ? completed / ga.population_size : 0;
+  }
+}
+
 DseResult DseEngine::run() {
   run_preflight();
   pretrain();
@@ -838,23 +1160,27 @@ DseResult DseEngine::run() {
       ga.initial_genomes.push_back(genomes[i]);
     }
   }
-  ga.batch_evaluate = [this](opt::Problem&, std::vector<opt::Individual>& individuals) {
-    batch_evaluate(individuals);
-  };
-  auto user_stop = config_.ga.should_stop;
-  ga.should_stop = [this, user_stop] {
-    if (broker_->deadline_exceeded()) {
-      broker_->mark_deadline_hit();
-      return true;
-    }
-    return user_stop ? user_stop() : false;
-  };
+  if (config_.steady_state) {
+    run_steady_state(problem, ga);
+  } else {
+    ga.batch_evaluate = [this](opt::Problem&, std::vector<opt::Individual>& individuals) {
+      return batch_evaluate(individuals);
+    };
+    auto user_stop = config_.ga.should_stop;
+    ga.should_stop = [this, user_stop] {
+      if (broker_->deadline_exceeded()) {
+        broker_->mark_deadline_hit();
+        return true;
+      }
+      return user_stop ? user_stop() : false;
+    };
 
-  opt::Nsga2 solver(ga);
-  const opt::Nsga2Result ga_result = solver.run(problem);
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.generations = ga_result.generations_run;
+    opt::Nsga2 solver(ga);
+    const opt::Nsga2Result ga_result = solver.run(problem);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.generations = ga_result.generations_run;
+    }
   }
 
   // Assemble the non-dominated set over everything explored (tool results

@@ -94,6 +94,27 @@ struct DseConfig {
   /// Worker threads for parallel tool runs (0 = evaluate inline).
   std::size_t workers = 0;
 
+  /// Steady-state (mu+1, bounded-inflight) engine instead of generational
+  /// lambda-batches (see DESIGN.md "Steady-state engine"): an ask/tell
+  /// offspring generator feeds a continuous submit/complete loop over the
+  /// broker, and survival, sticky screening, hedging and probe scheduling
+  /// all happen per completion. The batch path stays available for A/B.
+  bool steady_state = false;
+
+  /// Bound on concurrently submitted (inflight) evaluations in steady-state
+  /// mode. 0 = one per virtual evaluator lane.
+  std::size_t max_inflight = 0;
+
+  /// Evaluation budget of the steady-state engine (completions, counting
+  /// estimates and screen settles). 0 = population * (generations + 1),
+  /// the generational engine's budget at the same ga settings.
+  std::size_t steady_state_evaluations = 0;
+
+  /// Virtual evaluator lanes for utilization accounting and steady-state
+  /// completion ordering (see BrokerConfig::virtual_lanes). 0 = match the
+  /// real lane count (workers + 1, or 1 inline).
+  std::size_t virtual_lanes = 0;
+
   /// Re-evaluate estimated members of the final front with the tool.
   bool verify_estimated_front = true;
 
@@ -183,6 +204,18 @@ struct DseStats {
   std::size_t faults_injected = 0;         ///< injected tool faults (fault plans only)
   double backoff_tool_seconds = 0.0;       ///< simulated seconds spent backing off
 
+  // Steady-state engine counters (see DESIGN.md "Steady-state engine").
+  std::size_t steady_completions = 0;  ///< completions processed by the steady loop
+  std::size_t inflight_replayed = 0;   ///< journaled inflight points re-submitted on resume
+  /// Virtual-lane utilization of the high-fidelity evaluator fleet:
+  /// busy evaluator-seconds / (virtual makespan * lanes). The generational
+  /// engine barriers every generation (idle lanes wait for the slowest
+  /// run); the steady-state engine keeps lanes busy continuously.
+  double tool_seconds_utilization = 0.0;
+  double busy_tool_seconds = 0.0;        ///< lane-occupying run seconds
+  double virtual_makespan_seconds = 0.0; ///< when the last virtual lane goes idle
+  std::size_t virtual_lanes = 0;
+
   // Availability counters (see DESIGN.md "Availability & degradation
   // ladder").
   std::size_t breaker_trips = 0;       ///< circuit-breaker open transitions
@@ -224,7 +257,13 @@ class DseEngine {
   /// enforced between dispatch chunks, and individuals cut by it get the
   /// failure penalty so the generation can still close. Exposed for the
   /// NSGA-II callback and for parallel stress tests.
-  void batch_evaluate(std::vector<opt::Individual>& individuals);
+  ///
+  /// Returns how many individuals received a genuine score from some
+  /// evaluation source (tool runs including failures, cache hits, NWM
+  /// estimates, screen settles, hedges, quarantine fallbacks). Deadline-cut
+  /// and unhedged fast-failed individuals get the failure penalty without
+  /// consuming an evaluation and are not counted.
+  std::size_t batch_evaluate(std::vector<opt::Individual>& individuals);
 
   /// Consistent snapshot of the statistics (engine counters merged with
   /// the brokers'). Safe to call concurrently with in-flight evaluations.
@@ -284,6 +323,15 @@ class DseEngine {
   void run_preflight();
 
   void pretrain();
+
+  /// The steady-state campaign (config_.steady_state): a bounded-inflight
+  /// submit/complete loop over the broker where survival, sticky
+  /// screening, hedging and probe scheduling happen per completion.
+  /// Replayed inflight points are re-submitted first (exactly once). Fills
+  /// stats_.generations/steady_completions; the caller assembles the
+  /// front afterwards exactly as for the generational engine.
+  void run_steady_state(opt::Problem& problem, opt::Nsga2Config ga);
+
   void record(const DesignPoint& point, const EvalMetrics& metrics, bool estimated,
               bool failed, bool approximate = false);
   /// Mirror journal records the broker replayed into the explored set and

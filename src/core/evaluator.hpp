@@ -61,6 +61,12 @@ struct EvalResult {
   /// backend (see core/health/breaker.hpp). Never cached or journaled —
   /// it says nothing about the design point, only about backend health.
   bool fast_failed = false;
+  /// Position of this answer on the broker's virtual lane clock: the
+  /// simulated time at which a real evaluator fleet would have finished
+  /// this run. 0 for answers that consumed no lane time (cache hits,
+  /// single-flight joins, fast-fails). Set by the broker, not the
+  /// evaluator; the steady-state engine orders completions by it.
+  double virtual_finish = 0.0;
 
   // Supervision outcome (meaningful when an EvaluationSupervisor wrapped the
   // run; defaults describe an unsupervised single attempt). These travel

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -93,6 +94,30 @@ std::optional<JournalRecord> journal_record_from_json(const std::string& line) {
   return record;
 }
 
+std::string inflight_record_to_json(const DesignPoint& point) {
+  util::JsonObject obj;
+  obj["kind"] = util::Json(std::string("inflight"));
+  util::JsonObject params;
+  for (const auto& [name, value] : point) params[name] = util::Json(value);
+  obj["params"] = util::Json(std::move(params));
+  return util::Json(std::move(obj)).dump();
+}
+
+std::optional<DesignPoint> inflight_record_from_json(const std::string& line) {
+  util::Json parsed;
+  if (!util::Json::parse(line, parsed) || !parsed.is_object()) return std::nullopt;
+  const auto& obj = parsed.as_object();
+  auto params_it = obj.find("params");
+  if (params_it == obj.end() || !params_it->second.is_object()) return std::nullopt;
+  DesignPoint point;
+  for (const auto& [name, value] : params_it->second.as_object()) {
+    if (!value.is_number()) return std::nullopt;
+    point[name] = static_cast<std::int64_t>(value.as_number());
+  }
+  if (point.empty()) return std::nullopt;
+  return point;
+}
+
 std::string health_event_to_json(const HealthEvent& event) {
   util::JsonObject obj;
   obj["kind"] = util::Json(std::string("health"));
@@ -134,6 +159,7 @@ std::optional<HealthEvent> health_event_from_json(const std::string& line) {
 std::unique_ptr<SessionJournal> SessionJournal::open(const std::string& path,
                                                      Replay* replay, std::string& error) {
   std::size_t keep_bytes = 0;
+  std::vector<DesignPoint> inflight_marks;
   if (replay != nullptr) {
     *replay = Replay{};
     std::ifstream in(path, std::ios::binary);
@@ -180,6 +206,11 @@ std::unique_ptr<SessionJournal> SessionJournal::open(const std::string& path,
               replay->health_events.push_back(std::move(*event));
               parsed_ok = true;
             }
+          } else if (kind == "inflight") {
+            if (auto point = inflight_record_from_json(line)) {
+              inflight_marks.push_back(std::move(*point));
+              parsed_ok = true;
+            }
           } else if (kind == "eval" || kind.empty()) {
             // No "kind" = a legacy version-1 eval record.
             if (auto record = journal_record_from_json(line)) {
@@ -204,6 +235,18 @@ std::unique_ptr<SessionJournal> SessionJournal::open(const std::string& path,
         keep_bytes = next;
         pos = next;
       }
+    }
+    // An inflight mark is superseded by an eval record for the same point
+    // anywhere in the file (a completed point is cached and never re-run
+    // fresh, so position does not matter). What survives is work the
+    // crashed campaign submitted but never got an answer for.
+    for (auto& mark : inflight_marks) {
+      const bool superseded =
+          std::any_of(replay->records.begin(), replay->records.end(),
+                      [&](const JournalRecord& rec) { return rec.params == mark; });
+      const bool duplicate = std::find(replay->inflight.begin(), replay->inflight.end(),
+                                       mark) != replay->inflight.end();
+      if (!superseded && !duplicate) replay->inflight.push_back(std::move(mark));
     }
   }
 
@@ -261,6 +304,10 @@ bool SessionJournal::append(const JournalRecord& record) {
 
 bool SessionJournal::append_event(const HealthEvent& event) {
   return append_line(health_event_to_json(event) + "\n");
+}
+
+bool SessionJournal::append_inflight(const DesignPoint& point) {
+  return append_line(inflight_record_to_json(point) + "\n");
 }
 
 }  // namespace dovado::core

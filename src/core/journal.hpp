@@ -10,7 +10,9 @@
 // Format (version 2): the first line is a header record
 //   {"kind":"header","version":2}
 // and every following line is a kind-tagged record — "eval" for tool
-// answers, "health" for breaker transitions (core/health/events.hpp).
+// answers, "health" for breaker transitions (core/health/events.hpp), and
+// "inflight" for points submitted but not yet answered (the steady-state
+// engine appends one at submission; the later eval record supersedes it).
 // Records without a "kind" are legacy version-1 eval records, so old
 // journals replay unchanged. Unknown kinds within a readable version are
 // *skipped tolerantly* (forward compatibility: a newer dovado may add
@@ -67,6 +69,13 @@ struct JournalRecord {
 [[nodiscard]] std::optional<JournalRecord> journal_record_from_json(
     const std::string& line);
 
+/// Serialize an inflight marker to one JSONL line (no trailing newline).
+[[nodiscard]] std::string inflight_record_to_json(const DesignPoint& point);
+
+/// Parse an inflight-marker JSONL line. std::nullopt on malformed input.
+[[nodiscard]] std::optional<DesignPoint> inflight_record_from_json(
+    const std::string& line);
+
 /// Serialize a health event to one JSONL line (no trailing newline).
 [[nodiscard]] std::string health_event_to_json(const HealthEvent& event);
 
@@ -79,6 +88,11 @@ class SessionJournal {
   struct Replay {
     std::vector<JournalRecord> records;    ///< longest intact prefix
     std::vector<HealthEvent> health_events;  ///< breaker transitions, in order
+    /// Points marked inflight with no eval record anywhere in the file —
+    /// submitted-but-unanswered work the crashed campaign paid nothing for
+    /// yet; a resumed steady-state run re-submits these exactly once.
+    /// Deduplicated, in first-marked order.
+    std::vector<DesignPoint> inflight;
     int version = 1;            ///< header version (1 = headerless legacy file)
     std::size_t skipped_records = 0;  ///< unknown-kind lines tolerated
     bool torn_tail = false;  ///< a truncated/garbled final line was dropped
@@ -104,6 +118,10 @@ class SessionJournal {
 
   /// Append one health event (breaker transition), fsync'd. Thread-safe.
   bool append_event(const HealthEvent& event);
+
+  /// Append one inflight marker (point submitted, answer pending), fsync'd.
+  /// Thread-safe. The eval record appended at completion supersedes it.
+  bool append_inflight(const DesignPoint& point);
 
   [[nodiscard]] const std::string& path() const { return path_; }
 

@@ -11,6 +11,55 @@ namespace {
 /// Genome-level duplicate detection set.
 using GenomeSet = std::set<Genome>;
 
+/// Apply the configured mutation operator to one genome.
+void mutate_genome(const Problem& problem, const Nsga2Config& config, Genome& g,
+                   util::Rng& rng) {
+  switch (config.mutation) {
+    case MutationKind::kGaussianProbability:
+      gaussian_mutation(problem, g, config.mutation_gaussian_mean,
+                        config.mutation_gaussian_sigma, config.mutation_step_fraction, rng);
+      break;
+    case MutationKind::kPolynomial: {
+      const double prob =
+          config.mutation_polynomial_prob > 0.0
+              ? config.mutation_polynomial_prob
+              : 1.0 / static_cast<double>(std::max<std::size_t>(1, problem.n_vars()));
+      polynomial_mutation(problem, g, config.mutation_polynomial_eta, prob, rng);
+      break;
+    }
+  }
+}
+
+/// Initial candidate genomes: seeded genomes first (repaired, deduplicated),
+/// then integer random sampling with duplicate elimination. A space smaller
+/// than the population cannot fill it with uniques, so sampling gives up
+/// after 200 consecutive duplicates or once the whole volume is seen.
+/// `seen` accumulates every genome produced.
+std::vector<Genome> sample_initial(Problem& problem, const Nsga2Config& config,
+                                   util::Rng& rng, GenomeSet& seen) {
+  std::vector<Genome> initial;
+  initial.reserve(config.population_size);
+  for (Genome g : config.initial_genomes) {
+    if (initial.size() >= config.population_size) break;
+    g.resize(problem.n_vars(), 0);
+    problem.repair(g);
+    if (config.eliminate_duplicates && !seen.insert(g).second) continue;
+    initial.push_back(std::move(g));
+  }
+  const std::int64_t volume = problem.volume();
+  int stale = 0;
+  while (initial.size() < config.population_size) {
+    Genome g = random_genome(problem, rng);
+    if (config.eliminate_duplicates && !seen.insert(g).second) {
+      if (++stale > 200 || static_cast<std::int64_t>(seen.size()) >= volume) break;
+      continue;
+    }
+    stale = 0;
+    initial.push_back(std::move(g));
+  }
+  return initial;
+}
+
 }  // namespace
 
 std::vector<Individual> pareto_subset(const std::vector<Individual>& population) {
@@ -29,11 +78,11 @@ std::vector<Individual> pareto_subset(const std::vector<Individual>& population)
 
 void Nsga2::evaluate_all(Problem& problem, std::vector<Individual>& individuals,
                          std::size_t& evaluations) {
-  for (const auto& ind : individuals) {
-    if (!ind.evaluated) ++evaluations;
-  }
   if (config_.batch_evaluate) {
-    config_.batch_evaluate(problem, individuals);
+    // Count what the engine says it actually evaluated, not what we handed
+    // it: deadline-cut and fast-failed points receive penalty objectives
+    // without consuming an evaluation and must not inflate the tally.
+    evaluations += config_.batch_evaluate(problem, individuals);
     for (auto& ind : individuals) ind.evaluated = true;
     return;
   }
@@ -41,11 +90,12 @@ void Nsga2::evaluate_all(Problem& problem, std::vector<Individual>& individuals,
     if (!ind.evaluated) {
       ind.objectives = problem.evaluate(ind.genome);
       ind.evaluated = true;
+      ++evaluations;
     }
   }
 }
 
-void Nsga2::assign_rank_crowding(std::vector<Individual>& population) const {
+void assign_rank_crowding(std::vector<Individual>& population) {
   std::vector<Objectives> objs;
   objs.reserve(population.size());
   for (const auto& ind : population) objs.push_back(ind.objectives);
@@ -71,23 +121,7 @@ std::vector<Individual> Nsga2::make_offspring(const Problem& problem,
   std::vector<Individual> offspring;
   offspring.reserve(config_.population_size);
 
-  auto mutate = [&](Genome& g) {
-    switch (config_.mutation) {
-      case MutationKind::kGaussianProbability:
-        gaussian_mutation(problem, g, config_.mutation_gaussian_mean,
-                          config_.mutation_gaussian_sigma, config_.mutation_step_fraction,
-                          rng);
-        break;
-      case MutationKind::kPolynomial: {
-        const double prob = config_.mutation_polynomial_prob > 0.0
-                                ? config_.mutation_polynomial_prob
-                                : 1.0 / static_cast<double>(std::max<std::size_t>(
-                                            1, problem.n_vars()));
-        polynomial_mutation(problem, g, config_.mutation_polynomial_eta, prob, rng);
-        break;
-      }
-    }
-  };
+  auto mutate = [&](Genome& g) { mutate_genome(problem, config_, g, rng); };
 
   while (offspring.size() < config_.population_size) {
     const std::size_t before = offspring.size();
@@ -202,33 +236,10 @@ Nsga2Result Nsga2::run(Problem& problem) {
   Nsga2Result result;
   util::Rng rng(config_.seed);
 
-  // Seeded genomes first (repaired + deduplicated), then integer random
-  // sampling with duplicate elimination fills the rest.
+  GenomeSet seen;
   std::vector<Individual> population;
   population.reserve(config_.population_size);
-  GenomeSet seen;
-  for (Genome g : config_.initial_genomes) {
-    if (population.size() >= config_.population_size) break;
-    g.resize(problem.n_vars(), 0);
-    problem.repair(g);
-    if (config_.eliminate_duplicates && !seen.insert(g).second) continue;
-    Individual ind;
-    ind.genome = std::move(g);
-    population.push_back(std::move(ind));
-  }
-  const std::int64_t volume = problem.volume();
-  int stale = 0;
-  while (population.size() < config_.population_size) {
-    Genome g = random_genome(problem, rng);
-    if (config_.eliminate_duplicates && !seen.insert(g).second) {
-      // A space smaller than the population cannot fill it with uniques.
-      if (++stale > 200 ||
-          static_cast<std::int64_t>(seen.size()) >= volume) {
-        break;
-      }
-      continue;
-    }
-    stale = 0;
+  for (Genome& g : sample_initial(problem, config_, rng, seen)) {
     Individual ind;
     ind.genome = std::move(g);
     population.push_back(std::move(ind));
@@ -263,6 +274,109 @@ Nsga2Result Nsga2::run(Problem& problem) {
   result.pareto_front = pareto_subset(population);
   result.population = std::move(population);
   return result;
+}
+
+SteadyStateNsga2::SteadyStateNsga2(Nsga2Config config, Problem& problem)
+    : config_(std::move(config)), problem_(problem), rng_(config_.seed) {
+  initial_ = sample_initial(problem_, config_, rng_, seen_);
+  population_.reserve(config_.population_size + 1);
+}
+
+Genome SteadyStateNsga2::make_one_offspring() {
+  // Mating needs parents; until at least two individuals have been told
+  // back (e.g. while the initial candidates are still inflight), fall back
+  // to random immigrants so ask() never blocks on completions.
+  if (population_.size() < 2) {
+    for (int attempt = 0; attempt < std::max(1, config_.duplicate_retries); ++attempt) {
+      Genome g = random_genome(problem_, rng_);
+      if (!config_.eliminate_duplicates || seen_.count(g) == 0) return g;
+    }
+    return random_genome(problem_, rng_);
+  }
+
+  const std::size_t n = population_.size();
+  Genome child_a;
+  Genome child_b;
+  for (int attempt = 0; attempt < std::max(1, config_.duplicate_retries); ++attempt) {
+    const std::size_t p1 = tournament(population_, rng_.index(n), rng_.index(n), rng_);
+    const std::size_t p2 = tournament(population_, rng_.index(n), rng_.index(n), rng_);
+    sbx_integer(problem_, population_[p1].genome, population_[p2].genome,
+                config_.crossover_eta, config_.crossover_prob_var, rng_, child_a, child_b);
+    mutate_genome(problem_, config_, child_a, rng_);
+    mutate_genome(problem_, config_, child_b, rng_);
+    if (!config_.eliminate_duplicates) return child_a;
+    const bool a_fresh = seen_.count(child_a) == 0;
+    const bool b_fresh = seen_.count(child_b) == 0;
+    if (a_fresh && b_fresh) {
+      // Queue the sibling instead of discarding half of every mating.
+      pending_.push_back(child_b);
+      return child_a;
+    }
+    if (a_fresh) return child_a;
+    if (b_fresh) return child_b;
+  }
+  // Mating keeps producing known genomes: random immigrant, and if even
+  // those are exhausted (tiny space) accept the duplicate child to
+  // guarantee forward progress, mirroring the generational engine.
+  for (int attempt = 0; attempt < std::max(1, config_.duplicate_retries); ++attempt) {
+    Genome g = random_genome(problem_, rng_);
+    if (seen_.count(g) == 0) return g;
+  }
+  return child_a;
+}
+
+Genome SteadyStateNsga2::ask() {
+  // Initial candidates are pre-inserted into seen_ at sampling time, so a
+  // separate reserved_ check keeps replayed points from being re-asked.
+  while (initial_next_ < initial_.size()) {
+    Genome g = initial_[initial_next_++];
+    if (reserved_.count(g) != 0) continue;
+    return g;
+  }
+  while (!pending_.empty()) {
+    Genome g = std::move(pending_.front());
+    pending_.pop_front();
+    // A queued sibling may have been asked or reserved since it was mated.
+    if ((!config_.eliminate_duplicates || seen_.count(g) == 0) &&
+        reserved_.count(g) == 0) {
+      seen_.insert(g);
+      return g;
+    }
+  }
+  Genome g = make_one_offspring();
+  seen_.insert(g);
+  return g;
+}
+
+void SteadyStateNsga2::reserve(const Genome& genome) {
+  seen_.insert(genome);
+  reserved_.insert(genome);
+}
+
+void SteadyStateNsga2::tell(const Genome& genome, const Objectives& objectives) {
+  ++told_;
+  Individual ind;
+  ind.genome = genome;
+  ind.objectives = objectives;
+  ind.evaluated = true;
+  population_.push_back(std::move(ind));
+
+  if (population_.size() > config_.population_size) {
+    // (mu+1) survival: drop the single worst member — last non-dominated
+    // front, minimum crowding (first such index for determinism).
+    std::vector<Objectives> objs;
+    objs.reserve(population_.size());
+    for (const auto& member : population_) objs.push_back(member.objectives);
+    const auto fronts = fast_non_dominated_sort(objs);
+    const auto& last = fronts.back();
+    const auto crowding = crowding_distance(objs, last);
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < last.size(); ++i) {
+      if (crowding[i] < crowding[worst]) worst = i;
+    }
+    population_.erase(population_.begin() + static_cast<std::ptrdiff_t>(last[worst]));
+  }
+  assign_rank_crowding(population_);
 }
 
 }  // namespace dovado::opt

@@ -7,8 +7,10 @@
 // elimination, Gaussian-probability mutation.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <optional>
+#include <set>
 
 #include "src/opt/nds.hpp"
 #include "src/opt/operators.hpp"
@@ -58,9 +60,13 @@ struct Nsga2Config {
   std::function<bool()> should_stop;
 
   /// Optional batch evaluator: evaluate all unevaluated individuals in the
-  /// span (e.g. in parallel, or through the approximation control model).
+  /// span (e.g. in parallel, or through the approximation control model) and
+  /// return how many of them actually received a genuine score from some
+  /// evaluation source. Individuals the engine only penalty-scored without
+  /// consuming an evaluation (deadline cuts, unhedged fast-fails) must not
+  /// be counted — Nsga2Result::evaluations sums exactly these return values.
   /// Defaults to sequentially calling Problem::evaluate.
-  std::function<void(Problem&, std::vector<Individual>&)> batch_evaluate;
+  std::function<std::size_t(Problem&, std::vector<Individual>&)> batch_evaluate;
 
   /// Optional per-generation observer (generation index, population after
   /// survival).
@@ -85,7 +91,6 @@ class Nsga2 {
  private:
   void evaluate_all(Problem& problem, std::vector<Individual>& individuals,
                     std::size_t& evaluations);
-  void assign_rank_crowding(std::vector<Individual>& population) const;
   [[nodiscard]] std::vector<Individual> make_offspring(
       const Problem& problem, const std::vector<Individual>& population, util::Rng& rng) const;
 
@@ -100,5 +105,71 @@ class Nsga2 {
 
 /// Extract the duplicate-free rank-0 front of an evaluated population.
 [[nodiscard]] std::vector<Individual> pareto_subset(const std::vector<Individual>& population);
+
+/// Recompute rank and crowding distance for every member of `population`
+/// via one fast non-dominated sort (shared by the generational and the
+/// steady-state engines).
+void assign_rank_crowding(std::vector<Individual>& population);
+
+/// Steady-state (mu+1) NSGA-II as an ask/tell searcher.
+///
+/// The generational `Nsga2` evaluates offspring in lambda-sized barriers —
+/// one slow point stalls the whole batch. This class inverts control: the
+/// caller pulls candidate genomes with ask() (as many as it wants inflight),
+/// evaluates them at its own pace, and pushes results back with tell().
+/// Survival is per-completion: each tell() inserts the individual and, once
+/// the population exceeds `population_size`, drops the single worst member
+/// (last non-dominated front, minimum crowding). With a deterministic
+/// completion order the whole trajectory is deterministic for a fixed seed.
+///
+/// Reuses Nsga2Config: population_size, seed, operator knobs, duplicate
+/// elimination and initial_genomes behave as in the generational engine;
+/// max_generations / batch_evaluate / on_generation / controlled_elitism_r
+/// are ignored (budgeting and observation belong to the caller, and the
+/// controlled-elitism schedule is a whole-population survival rule that has
+/// no (mu+1) analogue).
+class SteadyStateNsga2 {
+ public:
+  /// Builds the initial candidate list (seeded genomes repaired and
+  /// deduplicated, then random sampling) exactly as Nsga2::run does.
+  SteadyStateNsga2(Nsga2Config config, Problem& problem);
+
+  /// Next genome to evaluate: initial candidates first, then mated
+  /// offspring (tournament + SBX + mutation with duplicate retries, random
+  /// immigrants when mating keeps producing known genomes). Never blocks;
+  /// always returns a genome, accepting a duplicate only when the space is
+  /// exhausted.
+  [[nodiscard]] Genome ask();
+
+  /// Report an evaluated genome. Inserts it into the population and applies
+  /// (mu+1) survival; rank/crowding are reassigned on every call.
+  void tell(const Genome& genome, const Objectives& objectives);
+
+  /// Register a genome as already handed out (e.g. an inflight point
+  /// replayed from a journal on resume) so ask() will not produce it again.
+  void reserve(const Genome& genome);
+
+  /// Current population, ranked (size grows to population_size, then stays).
+  [[nodiscard]] const std::vector<Individual>& population() const noexcept {
+    return population_;
+  }
+
+  /// Number of tell() calls so far.
+  [[nodiscard]] std::size_t told() const noexcept { return told_; }
+
+ private:
+  [[nodiscard]] Genome make_one_offspring();
+
+  Nsga2Config config_;
+  Problem& problem_;
+  util::Rng rng_;
+  std::vector<Genome> initial_;    ///< handed out before any mating
+  std::size_t initial_next_ = 0;
+  std::deque<Genome> pending_;     ///< second child of each mating, queued
+  std::set<Genome> seen_;          ///< genomes handed out (duplicate filter)
+  std::set<Genome> reserved_;      ///< replayed points ask() must skip
+  std::vector<Individual> population_;
+  std::size_t told_ = 0;
+};
 
 }  // namespace dovado::opt

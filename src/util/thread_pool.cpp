@@ -1,9 +1,19 @@
 #include "src/util/thread_pool.hpp"
 
-#include <atomic>
 #include <exception>
+#include <string>
+
+#include "src/util/logging.hpp"
 
 namespace dovado::util {
+
+namespace {
+
+/// The pool whose worker_loop is running on this thread (null on any thread
+/// that is not a pool worker). Lets parallel_for detect reentrant dispatch.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   workers_.reserve(workers);
@@ -21,7 +31,10 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
+bool ThreadPool::inside_pool_task() const noexcept { return t_current_pool == this; }
+
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -38,12 +51,39 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (end <= begin) return;
-  if (workers_.empty() || end - begin == 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+  // Inline paths: no workers, a single iteration, or a *reentrant* call from
+  // inside one of this pool's own tasks. In the reentrant case the submitted
+  // helper tasks would queue behind the enqueuing task (which is occupying a
+  // worker while it waits for them) and, once stale helpers finally run, the
+  // pool would be oversubscribed — so the calling worker runs the loop
+  // itself. Exceptions still follow the first-thrown/suppressed-count rule.
+  const bool reentrant = inside_pool_task();
+  if (reentrant) reentrant_inline_.fetch_add(1, std::memory_order_relaxed);
+  if (workers_.empty() || end - begin == 1 || reentrant) {
+    std::exception_ptr first_error;
+    std::size_t suppressed = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error) {
+          first_error = std::current_exception();
+        } else {
+          ++suppressed;
+        }
+      }
+    }
+    if (suppressed > 0) {
+      suppressed_exceptions_.fetch_add(suppressed, std::memory_order_relaxed);
+      Log::warn("parallel_for: " + std::to_string(suppressed) +
+                " additional iteration exception(s) suppressed after the first");
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
   std::atomic<std::size_t> next{begin};
   std::exception_ptr first_error;
+  std::size_t suppressed = 0;
   std::mutex error_mutex;
   auto body = [&] {
     while (true) {
@@ -53,7 +93,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
         fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (!first_error) {
+          first_error = std::current_exception();
+        } else {
+          // Not silently discarded: counted and logged below, so callers
+          // can tell a one-point failure from a batch-wide one.
+          ++suppressed;
+        }
       }
     }
   };
@@ -62,6 +108,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   for (std::size_t w = 0; w < workers_.size(); ++w) futures.push_back(submit(body));
   body();  // the caller participates too
   for (auto& f : futures) f.get();
+  if (suppressed > 0) {
+    suppressed_exceptions_.fetch_add(suppressed, std::memory_order_relaxed);
+    Log::warn("parallel_for: " + std::to_string(suppressed) +
+              " additional iteration exception(s) suppressed after the first");
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -7,6 +7,7 @@
 // core CI machines and for deterministic debugging).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -31,6 +32,10 @@ class ThreadPool {
   /// Number of worker threads (0 => inline mode).
   [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers (i.e. the
+  /// call site is inside a task submitted to this pool).
+  [[nodiscard]] bool inside_pool_task() const noexcept;
+
   /// Submit a task; the returned future carries its result or exception.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
@@ -53,7 +58,17 @@ class ThreadPool {
   /// Iterations are distributed one-at-a-time (tool calls dominate cost, so
   /// chunking would only hurt load balance). The caller participates as an
   /// extra lane, so up to worker_count() + 1 iterations run concurrently.
-  /// Exceptions from iterations are rethrown (the first one encountered).
+  ///
+  /// Reentrancy: calling this from *inside* a pool task would queue the
+  /// helper tasks behind the very task that is waiting on them and
+  /// oversubscribe the pool once they finally run, so a reentrant call is
+  /// detected and degrades to inline execution in the calling worker
+  /// (counted in reentrant_inline_calls()).
+  ///
+  /// Exceptions from iterations are rethrown (the first one encountered);
+  /// later exceptions in the same dispatch are counted in
+  /// suppressed_exceptions() and logged, so a multi-point failure is not
+  /// silently collapsed into a single-point one.
   /// The range form lets callers dispatch a batch in slices (e.g. to check
   /// a deadline between slices) without rebasing their indices.
   void parallel_for(std::size_t begin, std::size_t end,
@@ -64,6 +79,18 @@ class ThreadPool {
     parallel_for(0, n, fn);
   }
 
+  /// parallel_for calls that were detected as reentrant (issued from inside
+  /// a pool task) and ran inline instead of fanning out.
+  [[nodiscard]] std::size_t reentrant_inline_calls() const noexcept {
+    return reentrant_inline_.load(std::memory_order_relaxed);
+  }
+
+  /// Iteration exceptions swallowed after the first rethrown one, summed
+  /// over all parallel_for dispatches.
+  [[nodiscard]] std::size_t suppressed_exceptions() const noexcept {
+    return suppressed_exceptions_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop();
 
@@ -72,6 +99,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::atomic<std::size_t> reentrant_inline_{0};
+  std::atomic<std::size_t> suppressed_exceptions_{0};
 };
 
 /// A sensible default worker count: hardware concurrency minus one (leave a

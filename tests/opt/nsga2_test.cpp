@@ -147,16 +147,126 @@ TEST(Nsga2, BatchEvaluatorUsed) {
   Nsga2Config config = small_config();
   config.max_generations = 5;
   std::size_t batches = 0;
-  config.batch_evaluate = [&](Problem& p, std::vector<Individual>& inds) {
+  std::size_t reported = 0;
+  config.batch_evaluate = [&](Problem& p, std::vector<Individual>& inds) -> std::size_t {
     ++batches;
+    std::size_t completed = 0;
     for (auto& ind : inds) {
-      if (!ind.evaluated) ind.objectives = p.evaluate(ind.genome);
+      if (!ind.evaluated) {
+        ind.objectives = p.evaluate(ind.genome);
+        ++completed;
+      }
     }
+    reported += completed;
+    return completed;
   };
   Nsga2 solver(config);
   const auto result = solver.run(problem);
   EXPECT_GE(batches, 6u);  // initial population + one per generation
   EXPECT_FALSE(result.pareto_front.empty());
+  // The accounting must sum exactly what the evaluator reported back.
+  EXPECT_EQ(result.evaluations, reported);
+}
+
+TEST(Nsga2, EvaluationsCountOnlyCompletedRuns) {
+  // A batch evaluator that penalty-scores some points without consuming an
+  // evaluation (deadline cuts, fast-fails) must not have them counted.
+  ConvexProblem problem(32, 32);
+  Nsga2Config config = small_config();
+  config.max_generations = 3;
+  std::size_t genuine = 0;
+  config.batch_evaluate = [&](Problem& p, std::vector<Individual>& inds) -> std::size_t {
+    std::size_t completed = 0;
+    std::size_t i = 0;
+    for (auto& ind : inds) {
+      if (ind.evaluated) continue;
+      if (i++ % 3 == 0) {
+        ind.objectives.assign(2, 1e18);  // penalty score, no run consumed
+      } else {
+        ind.objectives = p.evaluate(ind.genome);
+        ++completed;
+      }
+    }
+    genuine += completed;
+    return completed;
+  };
+  Nsga2 solver(config);
+  const auto result = solver.run(problem);
+  EXPECT_EQ(result.evaluations, genuine);
+  // Sanity: penalty-scored points existed, so the naive pre-count would
+  // have been strictly larger.
+  EXPECT_GT(genuine, 0u);
+}
+
+TEST(SteadyStateNsga2, AskTellConvergesOnTinySpace) {
+  ConvexProblem problem(8, 8);
+  const auto truth = exhaustive_search(problem);
+  ConvexProblem ss_problem(8, 8);
+  Nsga2Config config = small_config(13);
+  config.population_size = 16;
+  SteadyStateNsga2 searcher(config, ss_problem);
+  for (int i = 0; i < 480; ++i) {
+    const Genome g = searcher.ask();
+    searcher.tell(g, ss_problem.evaluate(g));
+  }
+  std::vector<Objectives> truth_objs;
+  for (const auto& ind : truth.pareto_front) truth_objs.push_back(ind.objectives);
+  std::vector<Objectives> found_objs;
+  for (const auto& ind : pareto_subset(searcher.population())) {
+    found_objs.push_back(ind.objectives);
+  }
+  EXPECT_LT(igd(found_objs, truth_objs), 0.02);
+}
+
+TEST(SteadyStateNsga2, DeterministicForFixedSeedAndOrder) {
+  auto trajectory = [] {
+    ConvexProblem problem(64, 64);
+    Nsga2Config config = small_config(23);
+    SteadyStateNsga2 searcher(config, problem);
+    std::vector<Genome> asked;
+    for (int i = 0; i < 120; ++i) {
+      Genome g = searcher.ask();
+      searcher.tell(g, problem.evaluate(g));
+      asked.push_back(std::move(g));
+    }
+    return asked;
+  };
+  EXPECT_EQ(trajectory(), trajectory());
+}
+
+TEST(SteadyStateNsga2, PopulationBoundedAndUnique) {
+  ConvexProblem problem(64, 64);
+  Nsga2Config config = small_config(7);
+  SteadyStateNsga2 searcher(config, problem);
+  std::set<Genome> handed_out;
+  for (int i = 0; i < 200; ++i) {
+    const Genome g = searcher.ask();
+    EXPECT_TRUE(handed_out.insert(g).second) << "duplicate genome asked at step " << i;
+    searcher.tell(g, problem.evaluate(g));
+    EXPECT_LE(searcher.population().size(), config.population_size);
+  }
+  EXPECT_EQ(searcher.told(), 200u);
+}
+
+TEST(SteadyStateNsga2, ReserveSuppressesReplayedGenomes) {
+  ConvexProblem problem(64, 64);
+  Nsga2Config config = small_config(7);
+
+  // Discover what the searcher would hand out first, then reserve it in a
+  // fresh searcher: it must never be asked again.
+  Genome first;
+  {
+    ConvexProblem p(64, 64);
+    SteadyStateNsga2 probe(config, p);
+    first = probe.ask();
+  }
+  SteadyStateNsga2 searcher(config, problem);
+  searcher.reserve(first);
+  for (int i = 0; i < 100; ++i) {
+    const Genome g = searcher.ask();
+    EXPECT_NE(g, first) << "reserved genome re-asked at step " << i;
+    searcher.tell(g, problem.evaluate(g));
+  }
 }
 
 TEST(Nsga2, TinySearchSpaceFindsTrueFront) {

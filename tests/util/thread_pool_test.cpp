@@ -79,6 +79,55 @@ TEST(ThreadPool, ParallelForRethrowsFirstError) {
       std::logic_error);
 }
 
+TEST(ThreadPool, ReentrantParallelForRunsInlineInWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  auto fut = pool.submit([&] {
+    EXPECT_TRUE(pool.inside_pool_task());
+    // From inside a pool task, fanning out would queue behind this very task;
+    // the call must degrade to inline execution and still cover every index.
+    pool.parallel_for(10, [&](std::size_t) { hits.fetch_add(1); });
+  });
+  fut.get();
+  EXPECT_EQ(hits.load(), 10);
+  EXPECT_EQ(pool.reentrant_inline_calls(), 1u);
+  EXPECT_FALSE(pool.inside_pool_task());
+}
+
+TEST(ThreadPool, NestedPoolsAreNotReentrant) {
+  ThreadPool outer(1);
+  ThreadPool inner(1);
+  auto fut = outer.submit([&] {
+    EXPECT_TRUE(outer.inside_pool_task());
+    EXPECT_FALSE(inner.inside_pool_task());
+    std::atomic<int> hits{0};
+    inner.parallel_for(4, [&](std::size_t) { hits.fetch_add(1); });
+    return hits.load();
+  });
+  EXPECT_EQ(fut.get(), 4);
+  EXPECT_EQ(inner.reentrant_inline_calls(), 0u);
+}
+
+TEST(ThreadPool, SuppressedExceptionsCountedInline) {
+  ThreadPool pool(0);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 2 || i == 5 || i == 7) {
+                                     throw std::runtime_error("x");
+                                   }
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(pool.suppressed_exceptions(), 2u);
+}
+
+TEST(ThreadPool, SuppressedExceptionsCountedThreaded) {
+  ThreadPool pool(3);
+  // Every iteration throws; exactly one is rethrown, the rest are counted.
+  EXPECT_THROW(pool.parallel_for(20, [](std::size_t) { throw std::logic_error("boom"); }),
+               std::logic_error);
+  EXPECT_EQ(pool.suppressed_exceptions(), 19u);
+}
+
 TEST(ThreadPool, ManyTasksComplete) {
   ThreadPool pool(4);
   std::atomic<long> sum{0};
