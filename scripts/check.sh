@@ -28,6 +28,16 @@ echo "== bench gate: steady-state fleet utilization (BENCH_utilization.json) =="
 # steady hypervolume >= batch at the shared tool-second budget.
 build/bench/micro_steady_state_utilization
 
+echo "== bench gate: evaluation-store warm start (BENCH_warmstart.json) =="
+# Exits non-zero when the bar is missed: warm hypervolume >= cold at the
+# shared budget, store-lookup overhead on a store-miss campaign < 1%.
+build/bench/micro_warmstart
+
+echo "== store crash suite: SIGKILL drills + corruption corpus =="
+# Also part of the full ctest run above; repeated as its own leg so a
+# durability regression fails loudly with the store suite's own output.
+ctest --preset default -j "$jobs" --timeout 600 -R '^test_store$'
+
 if [[ "$fast" == "1" ]]; then
   echo "== --fast: skipping sanitizer presets =="
   exit 0
@@ -35,10 +45,10 @@ fi
 
 echo "== tsan: fault-injected concurrency suite =="
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target test_core test_util
+cmake --build --preset tsan -j "$jobs" --target test_core test_util test_store
 ctest --preset tsan-parallel -j "$jobs" --timeout 600
 
-echo "== asan: full suite =="
+echo "== asan: full suite (incl. store crash drills over raw-fd I/O) =="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs"
 ctest --preset asan -j "$jobs" --timeout 600

@@ -16,6 +16,8 @@
 #include "src/hdl/frontend.hpp"
 #include "src/fpga/board.hpp"
 #include "src/perf/roofline.hpp"
+#include "src/store/store.hpp"
+#include "src/util/json.hpp"
 #include "src/util/strings.hpp"
 
 namespace dovado::cli {
@@ -176,6 +178,9 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
     config.breaker.seed = options.seed;
     config.journal_path = options.journal_path;
     config.resume_from_journal = !options.resume_path.empty();
+    config.store_path = options.store_path;
+    config.campaign_id = options.campaign_id;
+    config.store_warm_start = options.store_warm_start;
     config.preflight = options.preflight;
     if (!apply_fault_plan(options, config, err)) return 1;
     if (!options.resume_path.empty()) {
@@ -241,10 +246,24 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
         << result.stats.quarantined << " quarantined, "
         << result.stats.approx_fallbacks << " approx fallbacks, "
         << result.stats.journal_replays << " journal replays";
+    if (result.stats.journal_skipped_records > 0) {
+      out << ", " << result.stats.journal_skipped_records
+          << " journal records skipped";
+    }
     if (result.stats.faults_injected > 0) {
       out << ", " << result.stats.faults_injected << " faults injected";
     }
     out << "\n";
+    if (!options.store_path.empty()) {
+      out << "store: " << result.stats.store_hits << " hits, "
+          << result.stats.store_appends << " appends, "
+          << result.stats.store_seeded_points << " seeded points";
+      if (result.stats.store_quarantined_records > 0) {
+        out << ", " << result.stats.store_quarantined_records
+            << " quarantined records";
+      }
+      out << "\n";
+    }
     if (result.stats.breaker_trips > 0 || result.stats.breaker_fast_fails > 0 ||
         result.stats.degraded_evals > 0) {
       out << "availability: " << result.stats.breaker_trips << " breaker trips / "
@@ -371,6 +390,154 @@ int run_lint(const Options& options, std::ostream& out, std::ostream& err) {
   return report.exit_code();
 }
 
+int run_db(const Options& options, std::ostream& out, std::ostream& err) {
+  using store::EvalStore;
+  using store::StoreRecord;
+
+  // Record filter shared by query/export: --tier and --backend narrow the
+  // live set; no flags means everything.
+  auto matches = [&](const StoreRecord& rec) {
+    if (!options.db_tier.empty() && rec.tier != options.db_tier) return false;
+    if (!options.db_backend.empty() && rec.backend != options.db_backend) return false;
+    return true;
+  };
+
+  if (options.db_action == "compact") {
+    auto opened = EvalStore::open_writer(options.store_path);
+    if (!opened.store) {
+      err << opened.error << "\n";
+      return 1;
+    }
+    const store::StoreStats before = opened.store->stats();
+    std::string error;
+    if (!opened.store->compact(error)) {
+      err << error << "\n";
+      return 1;
+    }
+    const store::StoreStats after = opened.store->stats();
+    out << "compacted " << options.store_path << ": " << before.records
+        << " records (" << before.file_bytes << " bytes) -> " << after.records
+        << " live records (" << after.file_bytes << " bytes)\n";
+    if (before.quarantined > 0 || before.torn_tail) {
+      out << "dropped " << before.quarantined << " quarantined region(s)"
+          << (before.torn_tail ? " and a torn tail" : "") << "\n";
+    }
+    return 0;
+  }
+
+  // stats/query/export are read-only: a snapshot works even while a live
+  // campaign holds the writer lock.
+  auto opened = EvalStore::open_reader(options.store_path);
+  if (!opened.store) {
+    err << opened.error << "\n";
+    return 1;
+  }
+  const EvalStore& db = *opened.store;
+  const store::StoreStats stats = db.stats();
+
+  if (options.db_action == "stats") {
+    out << options.store_path << ": " << stats.records << " records, "
+        << stats.live << " live (latest per design/backend/tier), "
+        << stats.file_bytes << " bytes\n";
+    if (stats.quarantined > 0 || stats.torn_tail) {
+      out << "integrity: " << stats.quarantined << " quarantined corrupt region(s)"
+          << (stats.torn_tail ? ", torn tail dropped" : "")
+          << " (run 'dovado db compact' to rewrite clean)\n";
+    }
+    std::map<std::string, std::size_t> by_bucket;
+    std::size_t failures = 0;
+    double tool_seconds = 0.0;
+    for (const auto& rec : db.live_records()) {
+      ++by_bucket[rec.backend + "/" + rec.tier];
+      if (!rec.ok) ++failures;
+      tool_seconds += rec.tool_seconds;
+    }
+    for (const auto& [bucket, count] : by_bucket) {
+      out << "  " << bucket << ": " << count << " live\n";
+    }
+    out << "banked tool time: " << util::format("%.0f", tool_seconds)
+        << " simulated seconds (" << failures << " recorded failures)\n";
+    return 0;
+  }
+
+  std::vector<StoreRecord> selected;
+  for (const auto& rec : db.live_records()) {
+    if (matches(rec)) selected.push_back(rec);
+  }
+
+  if (options.db_action == "query") {
+    std::vector<core::ExploredPoint> points;
+    for (const auto& rec : selected) {
+      core::ExploredPoint p;
+      p.params = rec.params;
+      p.metrics.values = rec.metrics;
+      p.failed = !rec.ok;
+      p.approximate = rec.approximate;
+      points.push_back(std::move(p));
+    }
+    out << selected.size() << " live record(s)";
+    if (!options.db_tier.empty()) out << ", tier " << options.db_tier;
+    if (!options.db_backend.empty()) out << ", backend " << options.db_backend;
+    out << ":\n";
+    out << core::format_table(points);
+    return 0;
+  }
+
+  // export: the full record set as JSON (machine-readable) or CSV.
+  util::JsonArray records;
+  for (const auto& rec : selected) {
+    util::JsonObject obj;
+    util::JsonObject params;
+    for (const auto& [name, value] : rec.params) {
+      params[name] = util::Json(static_cast<std::int64_t>(value));
+    }
+    obj["params"] = util::Json(std::move(params));
+    obj["backend"] = util::Json(rec.backend);
+    obj["tier"] = util::Json(rec.tier);
+    if (!rec.campaign.empty()) obj["campaign"] = util::Json(rec.campaign);
+    util::JsonObject metrics;
+    for (const auto& [name, value] : rec.metrics) metrics[name] = util::Json(value);
+    obj["metrics"] = util::Json(std::move(metrics));
+    obj["ok"] = util::Json(rec.ok);
+    if (rec.failure != "none") obj["failure"] = util::Json(rec.failure);
+    if (rec.approximate) obj["approximate"] = util::Json(true);
+    if (rec.quarantined) obj["quarantined"] = util::Json(true);
+    obj["tool_seconds"] = util::Json(rec.tool_seconds);
+    obj["timestamp"] = util::Json(static_cast<std::int64_t>(rec.timestamp));
+    records.push_back(util::Json(std::move(obj)));
+  }
+  util::JsonObject root;
+  root["store"] = util::Json(options.store_path);
+  root["records"] = util::Json(std::move(records));
+  const std::string json = util::Json(std::move(root)).dump(2) + "\n";
+
+  if (!options.csv_path.empty()) {
+    std::vector<core::ExploredPoint> points;
+    for (const auto& rec : selected) {
+      core::ExploredPoint p;
+      p.params = rec.params;
+      p.metrics.values = rec.metrics;
+      p.failed = !rec.ok;
+      points.push_back(std::move(p));
+    }
+    std::ofstream csv(options.csv_path);
+    if (!csv) {
+      err << "cannot write " << options.csv_path << "\n";
+      return 1;
+    }
+    core::write_csv(csv, points);
+    out << selected.size() << " record(s) written to " << options.csv_path << "\n";
+    return 0;
+  }
+  if (!options.json_path.empty()) {
+    if (!write_file(options.json_path, json, err)) return 1;
+    out << selected.size() << " record(s) written to " << options.json_path << "\n";
+    return 0;
+  }
+  out << json;
+  return 0;
+}
+
 int run(const Options& options, std::ostream& out, std::ostream& err) {
   switch (options.command) {
     case Command::kHelp:
@@ -388,6 +555,8 @@ int run(const Options& options, std::ostream& out, std::ostream& err) {
       return run_roofline(options, out, err);
     case Command::kLint:
       return run_lint(options, out, err);
+    case Command::kDb:
+      return run_db(options, out, err);
   }
   return 1;
 }

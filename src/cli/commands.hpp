@@ -24,4 +24,7 @@ namespace dovado::cli {
 /// Static analysis. Exit code: 0 clean, 1 warnings only, 2 errors.
 [[nodiscard]] int run_lint(const Options& options, std::ostream& out, std::ostream& err);
 
+/// Evaluation-store maintenance: db stats|query|compact|export.
+[[nodiscard]] int run_db(const Options& options, std::ostream& out, std::ostream& err);
+
 }  // namespace dovado::cli

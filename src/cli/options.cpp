@@ -1,5 +1,7 @@
 #include "src/cli/options.hpp"
 
+#include <cstdlib>
+
 #include "src/util/strings.hpp"
 
 namespace dovado::cli {
@@ -133,6 +135,8 @@ commands:
   roofline   render a roofline chart for a device
   lint       static pre-flight analysis of RTL, generated TCL and the
              design space (exit 0 = clean, 1 = warnings, 2 = errors)
+  db         inspect or maintain a cross-campaign evaluation store:
+             db stats|query|compact|export --store FILE
   help       show this text
 
 project options (parse/evaluate/explore):
@@ -195,6 +199,23 @@ robustness options (explore):
                           flap_up=10,flap_down=15 (flapping backend)
                           (also read from DOVADO_FAULT_PLAN)
 
+evaluation store options (explore):
+  --store FILE            durable cross-campaign evaluation store (also read
+                          from DOVADO_STORE): exact prior answers are served
+                          for free, every paid-for evaluation is appended,
+                          and the search warm-starts from the stored front
+  --no-store              run without a store (overrides DOVADO_STORE)
+  --campaign ID           label recorded on this run's appended evaluations
+  --no-warm-start         keep the store for hits/appends but do not seed
+                          the initial population from it
+
+db options (db stats|query|compact|export --store FILE):
+  --store FILE            the store file to operate on (or DOVADO_STORE)
+  --tier hifi|screen      query/export: only records of one fidelity tier
+  --backend NAME          query/export: only records of one backend
+  --json FILE             export: write records as JSON (default: stdout)
+  --csv FILE              export: write records as CSV
+
 availability options (explore):
   --no-breaker            disable the per-backend circuit breaker
   --breaker-window N      rolling window of final outcomes per backend
@@ -249,6 +270,7 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
   else if (command == "sensitivity") opt.command = Command::kSensitivity;
   else if (command == "roofline") opt.command = Command::kRoofline;
   else if (command == "lint") opt.command = Command::kLint;
+  else if (command == "db") opt.command = Command::kDb;
   else {
     outcome.error = "unknown command '" + command + "'";
     return outcome;
@@ -262,7 +284,24 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
     return true;
   };
 
-  for (std::size_t i = 1; i < args.size(); ++i) {
+  // db takes a positional action before its flags: dovado db stats --store F
+  std::size_t first_flag = 1;
+  if (opt.command == Command::kDb) {
+    if (args.size() < 2 || args[1].rfind("--", 0) == 0) {
+      outcome.error = "db requires an action: stats, query, compact or export";
+      return outcome;
+    }
+    opt.db_action = args[1];
+    if (opt.db_action != "stats" && opt.db_action != "query" &&
+        opt.db_action != "compact" && opt.db_action != "export") {
+      outcome.error = "unknown db action '" + opt.db_action +
+                      "' (expected stats, query, compact or export)";
+      return outcome;
+    }
+    first_flag = 2;
+  }
+
+  for (std::size_t i = first_flag; i < args.size(); ++i) {
     const std::string& a = args[i];
     std::string error;
     if (a == "--source") {
@@ -296,6 +335,9 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
     } else if (a == "--backend") {
       if (!need_value(i, a)) return outcome;
       opt.backend = args[++i];
+      // For db the default backend must not act as a filter; only an
+      // explicit --backend narrows query/export.
+      if (opt.command == Command::kDb) opt.db_backend = opt.backend;
     } else if (a == "--screen-ratio") {
       if (!need_value(i, a)) return outcome;
       if (!util::parse_double(args[++i], opt.screen_ratio) || opt.screen_ratio <= 0.0 ||
@@ -420,6 +462,23 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
     } else if (a == "--journal") {
       if (!need_value(i, a)) return outcome;
       opt.journal_path = args[++i];
+    } else if (a == "--store") {
+      if (!need_value(i, a)) return outcome;
+      opt.store_path = args[++i];
+    } else if (a == "--no-store") {
+      opt.use_store = false;
+    } else if (a == "--campaign") {
+      if (!need_value(i, a)) return outcome;
+      opt.campaign_id = args[++i];
+    } else if (a == "--no-warm-start") {
+      opt.store_warm_start = false;
+    } else if (a == "--tier") {
+      if (!need_value(i, a)) return outcome;
+      opt.db_tier = args[++i];
+      if (opt.db_tier != "hifi" && opt.db_tier != "screen") {
+        outcome.error = "--tier must be hifi or screen";
+        return outcome;
+      }
     } else if (a == "--lint-format") {
       if (!need_value(i, a)) return outcome;
       opt.lint_format = args[++i];
@@ -494,7 +553,8 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
           "--attempt-timeout", "--journal", "--no-breaker", "--breaker-window",
           "--breaker-threshold", "--probe-budget", "--save-session", "--csv",
           "--json", "--clock", "--kernel", "--lint-format", "--lint-rules",
-          "--no-preflight"};
+          "--no-preflight", "--store", "--no-store", "--campaign",
+          "--no-warm-start", "--tier"};
       outcome.error = "unknown option '" + a + "'";
       const std::string suggestion = util::closest_match(a, kKnownFlags);
       if (!suggestion.empty()) outcome.error += " (did you mean '" + suggestion + "'?)";
@@ -539,6 +599,23 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
         "--screen-ratio or use --backend vivado-sim";
     return outcome;
   }
+  if (opt.command == Command::kDb) {
+    if (opt.store_path.empty()) {
+      const char* env = std::getenv("DOVADO_STORE");
+      if (env != nullptr && *env != '\0') opt.store_path = env;
+    }
+    if (opt.store_path.empty()) {
+      outcome.error = "db requires --store FILE (or the DOVADO_STORE env var)";
+      return outcome;
+    }
+  } else if (opt.command == Command::kExplore && opt.use_store &&
+             opt.store_path.empty()) {
+    // Like DOVADO_FAULT_PLAN: an env var supplies the site-wide default
+    // store; --no-store opts a single run out of it.
+    const char* env = std::getenv("DOVADO_STORE");
+    if (env != nullptr && *env != '\0') opt.store_path = env;
+  }
+  if (!opt.use_store) opt.store_path.clear();
   if (opt.breaker_threshold > opt.breaker_window) {
     outcome.error = "--breaker-threshold (" + std::to_string(opt.breaker_threshold) +
                     ") cannot exceed --breaker-window (" +

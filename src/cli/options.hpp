@@ -17,7 +17,7 @@
 
 namespace dovado::cli {
 
-enum class Command { kHelp, kParse, kEvaluate, kExplore, kSensitivity, kRoofline, kLint };
+enum class Command { kHelp, kParse, kEvaluate, kExplore, kSensitivity, kRoofline, kLint, kDb };
 
 /// One --kernel spec for the roofline command.
 struct KernelSpec {
@@ -86,6 +86,17 @@ struct Options {
   std::size_t breaker_window = 12;    ///< --breaker-window N
   std::size_t breaker_threshold = 6;  ///< --breaker-threshold N
   std::size_t probe_budget = 3;       ///< --probe-budget N
+
+  // Cross-campaign evaluation store (explore/db).
+  std::string store_path;    ///< --store FILE (or DOVADO_STORE env)
+  bool use_store = true;     ///< --no-store clears it (also ignores the env var)
+  std::string campaign_id;   ///< --campaign ID recorded on appended evaluations
+  bool store_warm_start = true;  ///< --no-warm-start clears it
+
+  // db: store maintenance subcommand ("stats", "query", "compact", "export").
+  std::string db_action;
+  std::string db_tier;     ///< --tier hifi|screen filter for query/export
+  std::string db_backend;  ///< --backend reused as a filter for query/export
 
   // sensitivity.
   std::size_t samples_per_param = 7;  ///< --samples

@@ -51,6 +51,9 @@ EvaluationBroker::EvaluationBroker(ProjectConfig project, BrokerConfig config)
       util::Log::warn("journal '" + config_.journal_path +
                       "' had a torn final record (crash mid-write); dropped");
     }
+    // Captured now because replay_journal() clears the pending replay;
+    // surfaced through BrokerStats -> DseStats -> CLI/JSON.
+    journal_skipped_records_ = pending_replay_.skipped_records;
   }
 }
 
@@ -169,6 +172,31 @@ std::optional<EvalResult> EvaluationBroker::cached(const DesignPoint& point) con
 }
 
 EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe) {
+  // Cross-campaign store gate: an uncached point that a prior campaign
+  // already paid for at this (backend, tier) is answered from the store —
+  // zero tool seconds, no lane time, no journal append (the store itself
+  // is the durable record). Only exact answers qualify: approximate/
+  // degraded records and transient failures are never served.
+  if (config_.store && !cache_->contains(point)) {
+    auto stored = config_.store->lookup(point, backend_info_.name, config_.store_tier);
+    if (stored && store::servable_as_exact(*stored)) {
+      EvalResult hit;
+      hit.ok = stored->ok;
+      hit.metrics.values = stored->metrics;
+      if (!stored->ok) {
+        hit.error = "failed in a previous campaign (evaluation store)";
+        hit.failure = FailureClass::kDeterministic;
+      }
+      hit.quarantined = stored->quarantined;
+      // Seed the cache so repeats inside this campaign are plain cache
+      // hits; the store flag marks only the first, charged-free answer.
+      cache_->store(point, hit);
+      hit.store_hit = true;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++store_hits_;
+      return hit;
+    }
+  }
   // Circuit-breaker gate: only *uncached* points consult the breaker — a
   // memoized answer costs nothing and says nothing new about health.
   BreakerAdmission admission = BreakerAdmission::kAllow;
@@ -227,6 +255,27 @@ EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe)
     if (!journal_->append(rec)) {
       util::Log::warn("journal append failed for '" + journal_->path() +
                       "'; crash recovery will miss this point");
+    }
+  }
+  // Persist every fresh answer — successes and failures alike, each under
+  // this broker's fidelity tier — so future campaigns never repay for it.
+  if (config_.store && fresh && config_.store->writable()) {
+    store::StoreRecord rec;
+    rec.params = point;
+    rec.backend = backend_info_.name;
+    rec.tier = config_.store_tier;
+    rec.campaign = config_.campaign_id;
+    rec.metrics = result.metrics.values;
+    rec.ok = result.ok;
+    rec.failure = failure_class_name(result.failure);
+    rec.quarantined = result.quarantined;
+    rec.tool_seconds = result.tool_seconds;
+    std::string store_error;
+    if (config_.store->append(std::move(rec), &store_error)) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++store_appends_;
+    } else {
+      util::Log::warn(store_error + "; future campaigns will repay for this point");
     }
   }
   // Cache hits and single-flight joins carry zero tool seconds, so charging
@@ -296,6 +345,9 @@ BrokerStats EvaluationBroker::stats() const {
     snapshot.last_batch_tool_seconds = last_batch_tool_seconds_;
     snapshot.max_batch_tool_seconds = max_batch_tool_seconds_;
     snapshot.journal_replays = journal_replays_;
+    snapshot.journal_skipped_records = journal_skipped_records_;
+    snapshot.store_hits = store_hits_;
+    snapshot.store_appends = store_appends_;
     snapshot.virtual_lanes = lane_free_.size();
     snapshot.busy_tool_seconds = lane_busy_seconds_;
     snapshot.virtual_makespan_seconds =

@@ -24,6 +24,7 @@
 #include "src/core/supervisor.hpp"
 #include "src/edatool/backend.hpp"
 #include "src/edatool/faults.hpp"
+#include "src/store/store.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace dovado::core {
@@ -70,6 +71,21 @@ struct BrokerConfig {
   /// cache (see replay_journal()). When false an existing file is
   /// discarded and written fresh.
   bool resume_from_journal = false;
+
+  /// Cross-campaign evaluation store (see src/store/), shared between
+  /// brokers and campaigns. Null = disabled. Uncached points are looked up
+  /// under (design hash, backend, store_tier) before dispatch — an exact
+  /// hit skips the tool and is charged zero tool seconds — and every fresh
+  /// answer is appended back.
+  std::shared_ptr<store::EvalStore> store;
+
+  /// Fidelity tier this broker's answers are stored under. The tier is
+  /// part of the store key, so a screen-tier estimate can never be served
+  /// to a high-fidelity broker.
+  std::string store_tier = store::EvalStore::kTierHifi;
+
+  /// Campaign id stamped on appended store records (provenance only).
+  std::string campaign_id;
 };
 
 /// Counters owned by one broker; DseStats merges them per fidelity.
@@ -82,6 +98,13 @@ struct BrokerStats {
   double last_batch_tool_seconds = 0.0;
   double max_batch_tool_seconds = 0.0;
   std::size_t journal_replays = 0;
+  /// Journal records of unknown kind skipped tolerantly during replay
+  /// (written by a newer dovado; see core/journal.hpp).
+  std::size_t journal_skipped_records = 0;
+
+  // Cross-campaign store counters (see src/store/).
+  std::size_t store_hits = 0;     ///< answers served from the store, zero tool seconds
+  std::size_t store_appends = 0;  ///< fresh answers persisted to the store
 
   // Virtual lane clock (utilization accounting; see EvaluationBroker).
   std::size_t virtual_lanes = 0;
@@ -258,6 +281,9 @@ class EvaluationBroker {
   double max_batch_tool_seconds_ = 0.0;
   bool deadline_hit_ = false;
   std::size_t journal_replays_ = 0;
+  std::size_t journal_skipped_records_ = 0;  ///< captured at open, before replay clears it
+  std::size_t store_hits_ = 0;
+  std::size_t store_appends_ = 0;
 };
 
 }  // namespace dovado::core

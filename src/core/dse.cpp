@@ -68,6 +68,34 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
   }
   if (!config_.backend.empty()) project_.backend = config_.backend;
 
+  // Cross-campaign evaluation store: opened before the brokers so every
+  // tier shares one handle. Single-writer: when another live campaign
+  // holds the lock this run degrades to a read-only snapshot (store hits
+  // still work; its own evaluations are simply not persisted) — readers
+  // always proceed.
+  if (!config_.store_path.empty()) {
+    auto opened = store::EvalStore::open_writer(config_.store_path);
+    if (!opened.store && opened.lock_busy) {
+      util::Log::warn(opened.error);
+      opened = store::EvalStore::open_reader(config_.store_path);
+    }
+    if (!opened.store) throw std::runtime_error(opened.error);
+    store_ = std::move(opened.store);
+    const store::StoreStats store_stats = store_->stats();
+    if (store_stats.torn_tail) {
+      util::Log::warn("evaluation store '" + config_.store_path +
+                      "' had a torn final record (crash mid-append); dropped");
+    }
+    if (store_stats.quarantined > 0) {
+      util::Log::warn("evaluation store '" + config_.store_path + "': quarantined " +
+                      std::to_string(store_stats.quarantined) + " corrupt region(s)");
+    }
+    stats_.store_quarantined_records = store_stats.quarantined;
+    util::Log::info("evaluation store '" + config_.store_path + "': " +
+                    std::to_string(store_stats.live) + " known evaluations" +
+                    (store_->writable() ? "" : " (read-only)"));
+  }
+
   // The high-fidelity broker: cache, evaluator pool, supervisor, fault
   // injector, journal and deadline accounting (see core/broker.hpp).
   BrokerConfig broker_config;
@@ -79,6 +107,9 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
   broker_config.deadline_tool_seconds = config_.deadline_tool_seconds;
   broker_config.journal_path = config_.journal_path;
   broker_config.resume_from_journal = config_.resume_from_journal;
+  broker_config.store = store_;
+  broker_config.store_tier = store::EvalStore::kTierHifi;
+  broker_config.campaign_id = config_.campaign_id;
   broker_ = std::make_unique<EvaluationBroker>(project_, broker_config);
 
   // Validate metric names against what the backend actually reports, with
@@ -136,6 +167,11 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
     screen_config.workers = config_.workers;
     screen_config.supervise = config_.supervise;
     screen_config.derived_metrics = config_.derived_metrics;
+    // Screen answers are persisted too — under the "screen" tier, so they
+    // can only ever be served back to a screen-tier broker.
+    screen_config.store = store_;
+    screen_config.store_tier = store::EvalStore::kTierScreen;
+    screen_config.campaign_id = config_.campaign_id;
     screen_broker_ = std::make_unique<EvaluationBroker>(screen_project, screen_config);
   }
 
@@ -216,6 +252,11 @@ EvaluationBroker* DseEngine::hedge_broker() {
     hedge_config.workers = config_.workers;
     hedge_config.supervise = config_.supervise;
     hedge_config.derived_metrics = config_.derived_metrics;
+    // Hedged (degraded) evaluations land in the store under the "screen"
+    // tier: honest answers for the analytic backend, never hi-fi ones.
+    hedge_config.store = store_;
+    hedge_config.store_tier = store::EvalStore::kTierScreen;
+    hedge_config.campaign_id = config_.campaign_id;
     owned_hedge_broker_ = std::make_unique<EvaluationBroker>(hedge_project, hedge_config);
   }
   return owned_hedge_broker_.get();
@@ -256,7 +297,7 @@ void DseEngine::run_probe_queue() {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       if (r.cache_hit) ++stats_.cache_hits;
       else if (r.joined) ++stats_.single_flight_joins;
-      else ++stats_.tool_runs;
+      else if (!r.store_hit) ++stats_.tool_runs;  // store hits counted by the broker
       if (!r.ok) ++stats_.failures;
     }
     if (!r.ok) continue;  // breaker handles the re-trip; the point is not recorded
@@ -327,6 +368,9 @@ DseStats DseEngine::stats() const {
   snapshot.quarantined = hifi.quarantined;
   snapshot.backoff_tool_seconds = hifi.backoff_tool_seconds;
   snapshot.journal_replays = hifi.journal_replays;
+  snapshot.journal_skipped_records = hifi.journal_skipped_records;
+  snapshot.store_hits = hifi.store_hits;
+  snapshot.store_appends = hifi.store_appends;
   snapshot.faults_injected = hifi.faults_injected;
   snapshot.tool_seconds_utilization = hifi.utilization;
   snapshot.busy_tool_seconds = hifi.busy_tool_seconds;
@@ -338,6 +382,8 @@ DseStats DseEngine::stats() const {
     snapshot.screen_runs = lofi.fresh_runs;
     snapshot.screen_tool_seconds = lofi.tool_seconds;
     snapshot.backend_runs[screen_broker_->backend_info().name] += lofi.fresh_runs;
+    snapshot.store_hits += lofi.store_hits;
+    snapshot.store_appends += lofi.store_appends;
   }
   {
     // The lazily-built hedge broker (only exists once a breaker opened
@@ -346,6 +392,8 @@ DseStats DseEngine::stats() const {
     if (owned_hedge_broker_) {
       const BrokerStats hedge = owned_hedge_broker_->stats();
       snapshot.backend_runs[owned_hedge_broker_->backend_info().name] += hedge.fresh_runs;
+      snapshot.store_hits += hedge.store_hits;
+      snapshot.store_appends += hedge.store_appends;
     }
   }
   if (health_) {
@@ -719,7 +767,7 @@ std::size_t DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals)
       std::lock_guard<std::mutex> lock(stats_mutex_);
       if (r.cache_hit) ++stats_.cache_hits;
       else if (r.joined) ++stats_.single_flight_joins;
-      else ++stats_.tool_runs;
+      else if (!r.store_hit) ++stats_.tool_runs;  // store hits counted by the broker
     }
 
     if (!r.ok) {
@@ -917,7 +965,7 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       if (r.cache_hit) ++stats_.cache_hits;
       else if (r.joined) ++stats_.single_flight_joins;
-      else ++stats_.tool_runs;
+      else if (!r.store_hit) ++stats_.tool_runs;  // store hits counted by the broker
     }
     if (!r.ok) {
       {
@@ -1160,6 +1208,44 @@ DseResult DseEngine::run() {
       ga.initial_genomes.push_back(genomes[i]);
     }
   }
+  if (store_ && config_.store_warm_start && ga.initial_genomes.empty()) {
+    // No explicit warm-start file: seed from the cross-campaign store
+    // instead. Only exact hi-fi answers for *this* backend count — screen
+    // estimates and approximate scores never steer the initial population.
+    std::vector<opt::Genome> genomes;
+    std::vector<opt::Objectives> objs;
+    for (const auto& rec : store_->live_records()) {
+      if (rec.tier != store::EvalStore::kTierHifi) continue;
+      if (rec.backend != broker_->backend_info().name) continue;
+      if (!rec.ok || rec.approximate) continue;
+      bool complete = true;
+      for (const auto& objective : config_.objectives) {
+        if (rec.metrics.find(objective.metric) == rec.metrics.end()) {
+          complete = false;
+          break;
+        }
+      }
+      if (!complete) continue;
+      auto genome = config_.space.encode(rec.params);
+      if (!genome) continue;  // store spans campaigns; spaces may differ
+      EvalMetrics metrics;
+      metrics.values = rec.metrics;
+      genomes.push_back(std::move(*genome));
+      objs.push_back(to_objectives(metrics));
+    }
+    for (std::size_t i : opt::non_dominated_indices(objs)) {
+      ga.initial_genomes.push_back(genomes[i]);
+    }
+    if (!ga.initial_genomes.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.store_seeded_points = ga.initial_genomes.size();
+      }
+      util::Log::info("seeded initial population with " +
+                      std::to_string(ga.initial_genomes.size()) +
+                      " non-dominated point(s) from the evaluation store");
+    }
+  }
   if (config_.steady_state) {
     run_steady_state(problem, ga);
   } else {
@@ -1238,7 +1324,7 @@ DseResult DseEngine::run() {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           if (results[i].cache_hit) ++stats_.cache_hits;
           else if (results[i].joined) ++stats_.single_flight_joins;
-          else ++stats_.tool_runs;
+          else if (!results[i].store_hit) ++stats_.tool_runs;
         }
         if (!results[i].ok) {
           {

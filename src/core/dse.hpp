@@ -141,6 +141,23 @@ struct DseConfig {
   /// journal file is discarded and written fresh.
   bool resume_from_journal = false;
 
+  /// Durable cross-campaign evaluation store (see src/store/ and DESIGN.md
+  /// "Evaluation store & warm start"). Empty = disabled. The engine opens
+  /// it as the single writer (falling back to a read-only snapshot, with a
+  /// warning, when another live campaign holds the writer lock), consults
+  /// it before every dispatch, seeds the initial population from prior
+  /// fronts, and appends every completed evaluation.
+  std::string store_path;
+
+  /// Campaign id stamped on store records appended by this run
+  /// (provenance; empty is fine).
+  std::string campaign_id;
+
+  /// Seed the NSGA-II / steady-state initial population from the store's
+  /// prior non-dominated front (points that encode into the current space
+  /// with all objective metrics present). Disable for A/B cold starts.
+  bool store_warm_start = true;
+
   /// Graceful degradation: when a point exhausts its retries (quarantine)
   /// and the approximation model is on with at least this many dataset
   /// samples, score the point with an NWM estimate flagged
@@ -201,8 +218,16 @@ struct DseStats {
   std::size_t quarantined = 0;             ///< points that exhausted their retries
   std::size_t approx_fallbacks = 0;        ///< quarantined points scored by the NWM
   std::size_t journal_replays = 0;         ///< points recovered from the journal
+  std::size_t journal_skipped_records = 0; ///< unknown-kind journal records skipped on replay
   std::size_t faults_injected = 0;         ///< injected tool faults (fault plans only)
   double backoff_tool_seconds = 0.0;       ///< simulated seconds spent backing off
+
+  // Cross-campaign evaluation store counters (see src/store/ and DESIGN.md
+  // "Evaluation store & warm start").
+  std::size_t store_hits = 0;        ///< dispatches answered from the store (zero tool seconds)
+  std::size_t store_appends = 0;     ///< fresh answers persisted to the store
+  std::size_t store_seeded_points = 0;       ///< initial-population members from prior fronts
+  std::size_t store_quarantined_records = 0; ///< corrupt store records skipped at open
 
   // Steady-state engine counters (see DESIGN.md "Steady-state engine").
   std::size_t steady_completions = 0;  ///< completions processed by the steady loop
@@ -297,6 +322,9 @@ class DseEngine {
     return health_.get();
   }
 
+  /// The cross-campaign evaluation store; null when store_path is empty.
+  [[nodiscard]] const store::EvalStore* eval_store() const { return store_.get(); }
+
   /// Cumulative simulated high-fidelity tool seconds across all workers.
   [[nodiscard]] double tool_seconds() const { return broker_->tool_seconds(); }
 
@@ -355,6 +383,7 @@ class DseEngine {
 
   ProjectConfig project_;
   DseConfig config_;
+  std::shared_ptr<store::EvalStore> store_;  ///< null = no store configured
   std::unique_ptr<EvaluationBroker> broker_;         ///< high fidelity
   std::unique_ptr<EvaluationBroker> screen_broker_;  ///< null = no screening
   std::shared_ptr<BackendHealthManager> health_;     ///< null = breaker disabled

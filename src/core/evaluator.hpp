@@ -57,6 +57,10 @@ struct EvalResult {
   double tool_seconds = 0.0;  ///< simulated tool runtime of this evaluation
   bool cache_hit = false;
   bool joined = false;  ///< shared another thread's in-flight run (single-flight)
+  /// Served from the cross-campaign evaluation store (see src/store/):
+  /// a prior campaign already paid for this exact (point, backend, tier),
+  /// so the answer is charged zero tool seconds.
+  bool store_hit = false;
   /// The circuit breaker rejected the run in O(1) without touching the
   /// backend (see core/health/breaker.hpp). Never cached or journaled —
   /// it says nothing about the design point, only about backend health.

@@ -120,6 +120,11 @@ std::string to_json(const DseResult& result, int indent) {
   stats["quarantined"] = util::Json(result.stats.quarantined);
   stats["approx_fallbacks"] = util::Json(result.stats.approx_fallbacks);
   stats["journal_replays"] = util::Json(result.stats.journal_replays);
+  stats["journal_skipped_records"] = util::Json(result.stats.journal_skipped_records);
+  stats["store_hits"] = util::Json(result.stats.store_hits);
+  stats["store_appends"] = util::Json(result.stats.store_appends);
+  stats["store_seeded_points"] = util::Json(result.stats.store_seeded_points);
+  stats["store_quarantined_records"] = util::Json(result.stats.store_quarantined_records);
   stats["faults_injected"] = util::Json(result.stats.faults_injected);
   stats["backoff_tool_seconds"] = util::Json(result.stats.backoff_tool_seconds);
   stats["breaker_trips"] = util::Json(result.stats.breaker_trips);

@@ -1,0 +1,316 @@
+#include "src/store/store.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+namespace dovado::store {
+
+namespace {
+
+/// EINTR-safe full write (the journal's durability discipline).
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// fsync the directory containing `path`, making a rename/create durable.
+bool sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+std::string read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+bool servable_as_exact(const StoreRecord& record) {
+  if (record.approximate) return false;
+  if (record.ok) return true;
+  // A deterministic failure is a property of the point (e.g. over-
+  // utilization) and will reproduce; transient/timeout failures were about
+  // backend health on the day they happened.
+  return record.failure == "deterministic";
+}
+
+EvalStore::OpenResult EvalStore::open_writer(const std::string& path,
+                                             const StoreOptions& options) {
+  OpenResult result;
+  auto store = std::unique_ptr<EvalStore>(new EvalStore());
+  store->path_ = path;
+  store->options_ = options;
+  if (store->options_.fsync_interval == 0) store->options_.fsync_interval = 1;
+
+  // Single-writer lock. The lockfile is created without O_EXCL: mere
+  // existence does not mean a live writer (a kill -9 leaves the file
+  // behind) — liveness is the flock, which the kernel releases when the
+  // holder dies, so takeover of a stale lock is automatic. The pid inside
+  // is diagnostic only.
+  const std::string lock_path = path + ".lock";
+  store->lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (store->lock_fd_ < 0) {
+    result.error = "cannot open store lockfile '" + lock_path +
+                   "': " + std::strerror(errno);
+    return result;
+  }
+  if (::flock(store->lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    if (errno == EWOULDBLOCK || errno == EAGAIN) {
+      result.lock_busy = true;
+      result.error = "store '" + path + "' already has a writer (lockfile '" +
+                     lock_path + "' is held); open it read-only instead";
+    } else {
+      result.error = "cannot lock store '" + path + "': " + std::strerror(errno);
+    }
+    return result;
+  }
+  {
+    const std::string pid = std::to_string(::getpid()) + "\n";
+    (void)::ftruncate(store->lock_fd_, 0);
+    (void)::lseek(store->lock_fd_, 0, SEEK_SET);
+    (void)write_all(store->lock_fd_, pid.data(), pid.size());
+  }
+
+  // A crash during a previous compact() may have left a temp file behind;
+  // it was never renamed, so it holds nothing the store does not.
+  (void)::unlink((path + ".compact").c_str());
+
+  const std::string data = read_whole_file(path);
+  const ScanStats scan = scan_store(data, [&](StoreRecord&& record) {
+    store->index_[key_of(record)] = std::move(record);
+    ++store->records_;
+  });
+  store->quarantined_ = scan.quarantined;
+  store->torn_tail_ = scan.torn_tail;
+
+  if (!scan.header_ok && !data.empty()) {
+    // Damaged or partial header: rewrite the whole file from the recovered
+    // records (atomic temp + rename), which also drops any quarantined
+    // regions. An empty/missing file just gets a fresh header below.
+    std::string error;
+    std::lock_guard<std::mutex> lock(store->mutex_);
+    if (!store->rewrite_locked(error)) {
+      result.error = error;
+      return result;
+    }
+    result.store = std::move(store);
+    return result;
+  }
+
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    result.error = "cannot open store '" + path + "': " + std::strerror(errno);
+    return result;
+  }
+  store->fd_ = fd;
+  // Drop a torn tail so appended records extend the intact prefix.
+  if (::ftruncate(fd, static_cast<off_t>(scan.keep_bytes)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    result.error = "cannot recover store '" + path + "': " + std::strerror(errno);
+    return result;
+  }
+  store->file_bytes_ = scan.keep_bytes;
+  if (scan.keep_bytes == 0) {
+    if (!write_all(fd, kStoreMagic, sizeof(kStoreMagic)) || ::fsync(fd) != 0) {
+      result.error = "cannot write store header to '" + path +
+                     "': " + std::strerror(errno);
+      return result;
+    }
+    store->file_bytes_ = sizeof(kStoreMagic);
+  }
+  result.store = std::move(store);
+  return result;
+}
+
+EvalStore::OpenResult EvalStore::open_reader(const std::string& path) {
+  OpenResult result;
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    result.error = "evaluation store '" + path + "': " + std::strerror(errno);
+    return result;
+  }
+  auto store = std::unique_ptr<EvalStore>(new EvalStore());
+  store->path_ = path;
+  const std::string data = read_whole_file(path);
+  const ScanStats scan = scan_store(data, [&](StoreRecord&& record) {
+    store->index_[key_of(record)] = std::move(record);
+    ++store->records_;
+  });
+  store->quarantined_ = scan.quarantined;
+  store->torn_tail_ = scan.torn_tail;
+  store->file_bytes_ = data.size();
+  result.store = std::move(store);
+  return result;
+}
+
+EvalStore::~EvalStore() {
+  if (fd_ >= 0) {
+    std::string error;
+    std::lock_guard<std::mutex> lock(mutex_);
+    (void)sync_locked(error);
+    ::close(fd_);
+  }
+  // The lockfile stays on disk: unlinking it would race a concurrent
+  // open_writer() that already holds an fd to the old inode. Closing the
+  // fd releases the flock, which is the actual lock.
+  if (lock_fd_ >= 0) ::close(lock_fd_);
+}
+
+bool EvalStore::sync_locked(std::string& error) {
+  if (unsynced_appends_ == 0) return true;
+  if (::fsync(fd_) != 0) {
+    error = "store fsync failed for '" + path_ + "': " + std::strerror(errno);
+    return false;
+  }
+  unsynced_appends_ = 0;
+  return true;
+}
+
+bool EvalStore::append(StoreRecord record, std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    if (error) *error = "store '" + path_ + "' is open read-only";
+    return false;
+  }
+  if (record.timestamp == 0) record.timestamp = static_cast<std::int64_t>(::time(nullptr));
+  const std::string framed = frame_payload(encode_payload(record));
+  if (!write_all(fd_, framed.data(), framed.size())) {
+    if (error) *error = "store append failed for '" + path_ + "': " + std::strerror(errno);
+    return false;
+  }
+  file_bytes_ += framed.size();
+  ++records_;
+  ++appended_;
+  ++unsynced_appends_;
+  index_[key_of(record)] = std::move(record);
+  if (unsynced_appends_ >= options_.fsync_interval) {
+    std::string sync_error;
+    if (!sync_locked(sync_error)) {
+      if (error) *error = sync_error;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool EvalStore::flush(std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return true;  // nothing buffered on a reader
+  std::string sync_error;
+  if (!sync_locked(sync_error)) {
+    if (error) *error = sync_error;
+    return false;
+  }
+  return true;
+}
+
+std::optional<StoreRecord> EvalStore::lookup(const core::DesignPoint& point,
+                                             const std::string& backend,
+                                             const std::string& tier) const {
+  return lookup(StoreKey{design_key(point), backend, tier});
+}
+
+std::optional<StoreRecord> EvalStore::lookup(const StoreKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<StoreRecord> EvalStore::live_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StoreRecord> records;
+  records.reserve(index_.size());
+  for (const auto& [key, record] : index_) records.push_back(record);
+  return records;
+}
+
+bool EvalStore::rewrite_locked(std::string& error) {
+  const std::string tmp_path = path_ + ".compact";
+  const int tmp_fd = ::open(tmp_path.c_str(),
+                            O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) {
+    error = "cannot create '" + tmp_path + "': " + std::strerror(errno);
+    return false;
+  }
+  std::string image(kStoreMagic, sizeof(kStoreMagic));
+  for (const auto& [key, record] : index_) {
+    image += frame_payload(encode_payload(record));
+  }
+  if (!write_all(tmp_fd, image.data(), image.size()) || ::fsync(tmp_fd) != 0) {
+    error = "cannot write '" + tmp_path + "': " + std::strerror(errno);
+    ::close(tmp_fd);
+    (void)::unlink(tmp_path.c_str());
+    return false;
+  }
+  // The atomic cut-over: a reader opening concurrently sees the whole old
+  // file or the whole new one. The directory fsync makes the rename itself
+  // durable.
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    error = "cannot rename '" + tmp_path + "' over '" + path_ +
+            "': " + std::strerror(errno);
+    ::close(tmp_fd);
+    (void)::unlink(tmp_path.c_str());
+    return false;
+  }
+  (void)sync_parent_dir(path_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = tmp_fd;  // already positioned at end of the new file
+  records_ = index_.size();
+  quarantined_ = 0;
+  torn_tail_ = false;
+  unsynced_appends_ = 0;
+  file_bytes_ = image.size();
+  return true;
+}
+
+bool EvalStore::compact(std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    error = "store '" + path_ + "' is open read-only";
+    return false;
+  }
+  if (!rewrite_locked(error)) return false;
+  ++compactions_;
+  return true;
+}
+
+StoreStats EvalStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoreStats stats;
+  stats.records = records_;
+  stats.live = index_.size();
+  stats.quarantined = quarantined_;
+  stats.torn_tail = torn_tail_;
+  stats.appended = appended_;
+  stats.compactions = compactions_;
+  stats.file_bytes = file_bytes_;
+  return stats;
+}
+
+}  // namespace dovado::store

@@ -1,0 +1,147 @@
+// Durable cross-campaign evaluation store (DESIGN.md "Evaluation store &
+// warm start").
+//
+// A log-structured, append-only file of framed, checksummed evaluation
+// records (see store/format.hpp) keyed by the content-addressed design
+// hash plus (backend, fidelity tier). Campaigns share it across processes
+// and days: the broker consults it before dispatch (an exact hit costs
+// zero tool seconds), the engine seeds its initial population from prior
+// fronts, and every completed evaluation is appended.
+//
+// Concurrency contract — single writer, many readers:
+//   * One writer per store file, enforced by an flock'd lockfile next to
+//     the store. A second writer is cleanly refused (OpenResult::lock_busy)
+//     while readers keep working. The kernel drops the flock when the owner
+//     dies — even `kill -9` — so a stale lockfile never needs manual
+//     removal (stale-lock takeover is automatic).
+//   * Readers snapshot the file at open and never modify it; they tolerate
+//     torn tails and quarantine corrupt regions without aborting.
+//   * compact() rewrites the live (latest per key) records to a temp file
+//     and atomically renames it over the store, so a concurrent reader sees
+//     the old file or the new one, never a hybrid.
+//
+// Crash consistency: appends are framed + CRC32C-checksummed and fsync'd
+// (batched via StoreOptions::fsync_interval); a SIGKILL at any byte offset
+// during append or compact loses at most the records not yet fsync'd,
+// never a previously-acknowledged one, and the next open recovers without
+// manual repair (torn tails truncated, corrupt regions quarantined).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/store/format.hpp"
+
+namespace dovado::store {
+
+struct StoreOptions {
+  /// fsync after every Nth append (1 = every append is durable before
+  /// append() returns; larger values batch the syncs — an unflushed tail
+  /// is the only thing a crash may lose).
+  std::size_t fsync_interval = 1;
+};
+
+/// Counter snapshot of one store handle.
+struct StoreStats {
+  std::size_t records = 0;      ///< intact records at open + appends since
+  std::size_t live = 0;         ///< distinct (hash, backend, tier) keys
+  std::size_t quarantined = 0;  ///< corrupt regions skipped at open
+  bool torn_tail = false;       ///< open() truncated a torn final record
+  std::size_t appended = 0;     ///< records appended by this handle
+  std::size_t compactions = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+class EvalStore {
+ public:
+  /// Fidelity-tier names used by the engine's brokers.
+  static constexpr const char* kTierHifi = "hifi";
+  static constexpr const char* kTierScreen = "screen";
+
+  struct OpenResult {
+    std::unique_ptr<EvalStore> store;  ///< null on failure
+    std::string error;
+    /// The single-writer lock is held by another live process; the caller
+    /// may fall back to open_reader() (readers always proceed).
+    bool lock_busy = false;
+  };
+
+  /// Open for appending: acquires the writer lock, replays the file into
+  /// the in-memory index, truncates a torn tail and repairs a damaged
+  /// header (rewriting recovered records atomically). Never aborts on
+  /// corrupt records — they are quarantined and counted.
+  [[nodiscard]] static OpenResult open_writer(const std::string& path,
+                                              const StoreOptions& options = {});
+
+  /// Open a read-only snapshot: no lock, no repair, no file mutation.
+  /// append()/compact() on a reader fail cleanly.
+  [[nodiscard]] static OpenResult open_reader(const std::string& path);
+
+  ~EvalStore();
+  EvalStore(const EvalStore&) = delete;
+  EvalStore& operator=(const EvalStore&) = delete;
+
+  [[nodiscard]] bool writable() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Append one record (writer only; thread-safe). A zero timestamp is
+  /// stamped with the current time. Returns false (with `error`) when the
+  /// handle is read-only or the write/fsync fails.
+  bool append(StoreRecord record, std::string* error = nullptr);
+
+  /// Force any batched appends to disk (no-op at fsync_interval == 1).
+  bool flush(std::string* error = nullptr);
+
+  /// Latest record for (design point, backend, tier), if any. The tier is
+  /// part of the key: a screen-tier estimate is invisible to hifi lookups.
+  [[nodiscard]] std::optional<StoreRecord> lookup(const core::DesignPoint& point,
+                                                  const std::string& backend,
+                                                  const std::string& tier) const;
+  [[nodiscard]] std::optional<StoreRecord> lookup(const StoreKey& key) const;
+
+  /// Snapshot of the live (latest per key) records, in key order.
+  [[nodiscard]] std::vector<StoreRecord> live_records() const;
+
+  /// Rewrite the live records to `path + ".compact"`, fsync, and atomically
+  /// rename over the store (writer only). Readers opened before or after
+  /// see a complete file either way.
+  bool compact(std::string& error);
+
+  [[nodiscard]] StoreStats stats() const;
+
+ private:
+  EvalStore() = default;
+
+  /// Write header + every live record to a temp file and rename it over
+  /// the store; replaces fd_. Caller holds mutex_.
+  bool rewrite_locked(std::string& error);
+  bool sync_locked(std::string& error);
+
+  std::string path_;
+  int fd_ = -1;       ///< append fd; -1 for read-only handles
+  int lock_fd_ = -1;  ///< flock'd lockfile; -1 for read-only handles
+  StoreOptions options_;
+
+  mutable std::mutex mutex_;  ///< guards everything below
+  std::map<StoreKey, StoreRecord> index_;  ///< latest record per key
+  std::size_t records_ = 0;
+  std::size_t quarantined_ = 0;
+  bool torn_tail_ = false;
+  std::size_t appended_ = 0;
+  std::size_t compactions_ = 0;
+  std::uint64_t file_bytes_ = 0;
+  std::size_t unsynced_appends_ = 0;
+};
+
+/// Whether a stored record may stand in for a fresh evaluation at the same
+/// (backend, tier): exact successes and deterministic failures qualify;
+/// approximate/degraded answers and transient or timeout failures (which
+/// said something about the backend that day, not about the point) do not.
+[[nodiscard]] bool servable_as_exact(const StoreRecord& record);
+
+}  // namespace dovado::store

@@ -217,5 +217,64 @@ TEST(CliRoofline, UnknownPartFails) {
   EXPECT_NE(r.code, 0);
 }
 
+TEST(CliStore, ExploreBanksEvaluationsAndDbInspectsThem) {
+  const std::string source = rtl("cv32e40p_fifo.sv");
+  const std::string store = ::testing::TempDir() + "/cli_store.dvstor";
+  std::remove(store.c_str());
+  std::remove((store + ".lock").c_str());
+
+  const auto first = run_cli({"explore", "--source", source.c_str(), "--top",
+                              "cv32e40p_fifo", "--part", "xc7k70t", "--param",
+                              "DEPTH=8:80", "--objective", "lut:min", "--objective",
+                              "fmax_mhz:max", "--pop", "6", "--gens", "2", "--backend",
+                              "analytic", "--store", store.c_str(), "--campaign",
+                              "one"});
+  EXPECT_EQ(first.code, 0) << first.err;
+  EXPECT_TRUE(util::contains(first.out, "store:"));
+  EXPECT_TRUE(util::contains(first.out, "0 hits"));
+
+  const auto second = run_cli({"explore", "--source", source.c_str(), "--top",
+                               "cv32e40p_fifo", "--part", "xc7k70t", "--param",
+                               "DEPTH=8:80", "--objective", "lut:min", "--objective",
+                               "fmax_mhz:max", "--pop", "6", "--gens", "2", "--backend",
+                               "analytic", "--store", store.c_str(), "--campaign",
+                               "two"});
+  EXPECT_EQ(second.code, 0) << second.err;
+  EXPECT_FALSE(util::contains(second.out, "store: 0 hits"));
+
+  const auto stats = run_cli({"db", "stats", "--store", store.c_str()});
+  EXPECT_EQ(stats.code, 0) << stats.err;
+  EXPECT_TRUE(util::contains(stats.out, "live"));
+  EXPECT_TRUE(util::contains(stats.out, "analytic/hifi"));
+
+  const auto query = run_cli({"db", "query", "--store", store.c_str(), "--tier", "hifi"});
+  EXPECT_EQ(query.code, 0) << query.err;
+  EXPECT_TRUE(util::contains(query.out, "DEPTH"));
+
+  const auto exported = run_cli({"db", "export", "--store", store.c_str()});
+  EXPECT_EQ(exported.code, 0) << exported.err;
+  util::Json parsed;
+  ASSERT_TRUE(util::Json::parse(exported.out, parsed));
+  EXPECT_FALSE(parsed.as_object().at("records").as_array().empty());
+
+  const auto compacted = run_cli({"db", "compact", "--store", store.c_str()});
+  EXPECT_EQ(compacted.code, 0) << compacted.err;
+  EXPECT_TRUE(util::contains(compacted.out, "compacted"));
+
+  std::remove(store.c_str());
+  std::remove((store + ".lock").c_str());
+}
+
+TEST(CliStore, DbOnAMissingStoreFails) {
+  const std::string store = ::testing::TempDir() + "/cli_store_missing.dvstor";
+  std::remove(store.c_str());
+  const auto parsed = parse_args({"db", "stats", "--store", store});
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_NE(run(parsed.options, out, err), 0);
+  EXPECT_FALSE(err.str().empty());
+}
+
 }  // namespace
 }  // namespace dovado::cli

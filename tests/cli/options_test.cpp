@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace dovado::cli {
 namespace {
 
@@ -263,9 +265,71 @@ TEST(RooflineCommand, RequiresPart) {
 TEST(Usage, MentionsAllCommands) {
   const std::string text = usage();
   for (const char* word : {"parse", "evaluate", "explore", "sensitivity", "roofline", "--param",
-                           "--objective", "--approximate"}) {
+                           "--objective", "--approximate", "db", "--store", "--no-store",
+                           "--campaign"}) {
     EXPECT_NE(text.find(word), std::string::npos) << word;
   }
+}
+
+TEST(ParseArgs, ExploreStoreFlags) {
+  const auto r = parse({"explore", "--source", "a.vhd", "--top", "t", "--part", "p",
+                        "--param", "D=1:4", "--objective", "lut:min", "--store",
+                        "evals.dvstor", "--campaign", "nightly-12", "--no-warm-start"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.store_path, "evals.dvstor");
+  EXPECT_EQ(r.options.campaign_id, "nightly-12");
+  EXPECT_FALSE(r.options.store_warm_start);
+}
+
+TEST(ParseArgs, NoStoreClearsAnExplicitPathAndTheEnvDefault) {
+  const auto r = parse({"explore", "--source", "a.vhd", "--top", "t", "--part", "p",
+                        "--param", "D=1:4", "--objective", "lut:min", "--store",
+                        "evals.dvstor", "--no-store"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.options.store_path.empty());
+
+  // DOVADO_STORE supplies the site-wide default; --no-store overrides it.
+  ASSERT_EQ(setenv("DOVADO_STORE", "/tmp/site.dvstor", 1), 0);
+  const auto from_env = parse({"explore", "--source", "a.vhd", "--top", "t", "--part",
+                               "p", "--param", "D=1:4", "--objective", "lut:min"});
+  ASSERT_TRUE(from_env.ok) << from_env.error;
+  EXPECT_EQ(from_env.options.store_path, "/tmp/site.dvstor");
+  const auto opted_out = parse({"explore", "--source", "a.vhd", "--top", "t", "--part",
+                                "p", "--param", "D=1:4", "--objective", "lut:min",
+                                "--no-store"});
+  ASSERT_TRUE(opted_out.ok) << opted_out.error;
+  EXPECT_TRUE(opted_out.options.store_path.empty());
+  unsetenv("DOVADO_STORE");
+}
+
+TEST(ParseArgs, DbCommandForms) {
+  const auto r = parse({"db", "stats", "--store", "evals.dvstor"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.command, Command::kDb);
+  EXPECT_EQ(r.options.db_action, "stats");
+  EXPECT_EQ(r.options.store_path, "evals.dvstor");
+
+  const auto query = parse({"db", "query", "--store", "evals.dvstor", "--tier", "hifi",
+                            "--backend", "analytic"});
+  ASSERT_TRUE(query.ok) << query.error;
+  EXPECT_EQ(query.options.db_tier, "hifi");
+  EXPECT_EQ(query.options.db_backend, "analytic");
+
+  // The action is mandatory and validated; so is the store path.
+  EXPECT_FALSE(parse({"db"}).ok);
+  EXPECT_FALSE(parse({"db", "--store", "evals.dvstor"}).ok);
+  EXPECT_FALSE(parse({"db", "vacuum", "--store", "evals.dvstor"}).ok);
+  unsetenv("DOVADO_STORE");
+  EXPECT_FALSE(parse({"db", "stats"}).ok);
+  EXPECT_FALSE(parse({"db", "query", "--store", "s", "--tier", "bogus"}).ok);
+}
+
+TEST(ParseArgs, DbDefaultBackendIsNotAFilter) {
+  // `--backend` has a default for evaluate/explore; db must only filter
+  // when the user actually passed it.
+  const auto r = parse({"db", "export", "--store", "evals.dvstor"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.options.db_backend.empty());
 }
 
 }  // namespace

@@ -1,0 +1,224 @@
+// Engine/broker integration of the cross-campaign evaluation store:
+// exact hits are served for free, warm starts seed from prior fronts, and
+// fidelity tiers never cross (DESIGN.md "Evaluation store & warm start").
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/core/broker.hpp"
+#include "src/core/dse.hpp"
+#include "src/store/store.hpp"
+
+namespace dovado::core {
+namespace {
+
+ProjectConfig fifo_project() {
+  ProjectConfig config;
+  config.sources.push_back(
+      {std::string(DOVADO_RTL_DIR) + "/cv32e40p_fifo.sv",
+       hdl::HdlLanguage::kSystemVerilog, "work", false});
+  config.top_module = "cv32e40p_fifo";
+  config.part = "xc7k70t";
+  config.target_period_ns = 1.0;
+  return config;
+}
+
+DseConfig fifo_dse(std::size_t gens = 3) {
+  DseConfig config;
+  config.space.params.push_back({"DEPTH", ParamDomain::range(8, 200)});
+  config.objectives = {{"lut", false}, {"fmax_mhz", true}};
+  config.ga.population_size = 8;
+  config.ga.max_generations = gens;
+  config.ga.seed = 11;
+  return config;
+}
+
+std::string temp_store(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+  return path;
+}
+
+TEST(DseStore, SecondCampaignRepaysNothingItAlreadyBanked) {
+  const std::string path = temp_store("dse_store_repay.dvstor");
+
+  DseConfig config = fifo_dse();
+  config.store_path = path;
+  config.campaign_id = "first";
+  DseEngine first(fifo_project(), config);
+  const DseResult original = first.run();
+  ASSERT_GT(original.stats.tool_runs, 0u);
+  // Every fresh tool answer was banked.
+  EXPECT_EQ(original.stats.store_appends, original.stats.tool_runs);
+  EXPECT_EQ(original.stats.store_hits, 0u);
+  EXPECT_GT(original.stats.simulated_tool_seconds, 0.0);
+
+  // Same seed, warm start off => identical GA trajectory: every point the
+  // first campaign paid for is now an exact store hit, charged zero.
+  config.campaign_id = "second";
+  config.store_warm_start = false;
+  DseEngine second(fifo_project(), config);
+  const DseResult repaid = second.run();
+  EXPECT_EQ(repaid.stats.tool_runs, 0u);
+  EXPECT_EQ(repaid.stats.store_hits, original.stats.tool_runs);
+  EXPECT_EQ(repaid.stats.simulated_tool_seconds, 0.0);
+  EXPECT_EQ(repaid.explored.size(), original.explored.size());
+}
+
+TEST(DseStore, WarmStartSeedsTheInitialPopulationFromTheStoredFront) {
+  const std::string path = temp_store("dse_store_warm.dvstor");
+
+  DseConfig config = fifo_dse();
+  config.store_path = path;
+  DseEngine donor(fifo_project(), config);
+  const DseResult donated = donor.run();
+  ASSERT_FALSE(donated.pareto.empty());
+
+  DseEngine warmed(fifo_project(), config);
+  const DseResult result = warmed.run();
+  EXPECT_GT(result.stats.store_seeded_points, 0u);
+  EXPECT_LE(result.stats.store_seeded_points, donated.explored.size());
+  ASSERT_FALSE(result.pareto.empty());
+
+  // An explicit --no-warm-start run keeps hits/appends but seeds nothing.
+  config.store_warm_start = false;
+  DseEngine cold(fifo_project(), config);
+  EXPECT_EQ(cold.run().stats.store_seeded_points, 0u);
+}
+
+// Satellite regression at the broker level: an analytic screen-tier answer
+// sitting in the store for the exact same design point and backend must
+// never be served as a high-fidelity hit.
+TEST(DseStore, ScreenTierRecordsAreNeverServedAsHifiHits) {
+  const std::string path = temp_store("dse_store_tier.dvstor");
+  const DesignPoint point = {{"DEPTH", 64}};
+
+  {
+    auto opened = store::EvalStore::open_writer(path);
+    ASSERT_NE(opened.store, nullptr) << opened.error;
+    store::StoreRecord decoy;
+    decoy.params = point;
+    decoy.backend = "vivado-sim";  // same backend name, wrong tier
+    decoy.tier = store::EvalStore::kTierScreen;
+    decoy.metrics = {{"lut", 1.0}, {"fmax_mhz", 99999.0}};  // absurd estimate
+    decoy.ok = true;
+    ASSERT_TRUE(opened.store->append(decoy));
+  }
+
+  auto shared = store::EvalStore::open_writer(path);
+  ASSERT_NE(shared.store, nullptr) << shared.error;
+  std::shared_ptr<store::EvalStore> handle = std::move(shared.store);
+
+  BrokerConfig config;
+  config.store = handle;
+  config.store_tier = store::EvalStore::kTierHifi;
+  EvaluationBroker broker(fifo_project(), config);
+
+  const EvalResult result = broker.tool_evaluate(point);
+  ASSERT_TRUE(result.ok) << result.error;
+  // The decoy was not served: this was a paid-for fresh run whose answer
+  // does not echo the absurd screen estimate.
+  EXPECT_FALSE(result.store_hit);
+  EXPECT_NE(result.metrics.get("lut"), 1.0);
+  EXPECT_LT(result.metrics.get("fmax_mhz"), 99999.0);
+  EXPECT_EQ(broker.stats().store_hits, 0u);
+
+  // Control: the fresh run was appended under the hifi tier, so a second
+  // broker at the same tier gets it as an exact hit.
+  auto reader = store::EvalStore::open_reader(path);
+  ASSERT_NE(reader.store, nullptr) << reader.error;
+  const auto hifi =
+      reader.store->lookup(point, "vivado-sim", store::EvalStore::kTierHifi);
+  ASSERT_TRUE(hifi.has_value());
+  EXPECT_DOUBLE_EQ(hifi->metrics.at("lut"), result.metrics.get("lut"));
+}
+
+TEST(DseStore, StoreHitsAreServedWithZeroToolSecondsByTheBroker) {
+  const std::string path = temp_store("dse_store_free.dvstor");
+  const DesignPoint point = {{"DEPTH", 32}};
+
+  ProjectConfig project = fifo_project();
+  double paid_lut = 0.0;
+  {
+    auto opened = store::EvalStore::open_writer(path);
+    ASSERT_NE(opened.store, nullptr) << opened.error;
+    BrokerConfig config;
+    config.store = std::shared_ptr<store::EvalStore>(std::move(opened.store));
+    EvaluationBroker payer(project, config);
+    const EvalResult paid = payer.tool_evaluate(point);
+    ASSERT_TRUE(paid.ok);
+    ASSERT_GT(payer.tool_seconds(), 0.0);
+    paid_lut = paid.metrics.get("lut");
+  }
+
+  auto reopened = store::EvalStore::open_writer(path);
+  ASSERT_NE(reopened.store, nullptr) << reopened.error;
+  BrokerConfig config;
+  config.store = std::shared_ptr<store::EvalStore>(std::move(reopened.store));
+  EvaluationBroker server(project, config);
+  const EvalResult hit = server.tool_evaluate(point);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_TRUE(hit.store_hit);
+  EXPECT_DOUBLE_EQ(hit.metrics.get("lut"), paid_lut);
+  EXPECT_EQ(server.tool_seconds(), 0.0);  // the whole point: charged nothing
+  EXPECT_EQ(server.stats().store_hits, 1u);
+
+  // The hit seeded the cache: asking again is a plain cache hit, not a
+  // second store hit.
+  const EvalResult again = server.tool_evaluate(point);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(server.stats().store_hits, 1u);
+}
+
+TEST(DseStore, JournalSkippedRecordsSurfaceInStats) {
+  const std::string journal = ::testing::TempDir() + "/dse_store_skip.jsonl";
+  std::remove(journal.c_str());
+  {
+    // A journal from a future dovado with two record kinds this build has
+    // never heard of. Replay must skip them (not abort) and say how many.
+    std::ofstream out(journal);
+    out << "{\"kind\":\"header\",\"version\":2}\n";
+    out << "{\"kind\":\"hologram\",\"data\":1}\n";
+    out << "{\"kind\":\"telemetry\",\"data\":2}\n";
+  }
+
+  DseConfig config = fifo_dse(0);
+  config.journal_path = journal;
+  config.resume_from_journal = true;
+  DseEngine engine(fifo_project(), config);
+  const DseResult result = engine.run();
+  EXPECT_EQ(result.stats.journal_skipped_records, 2u);
+  EXPECT_EQ(result.stats.journal_replays, 0u);
+  std::remove(journal.c_str());
+}
+
+TEST(DseStore, LockBusyStoreDegradesToReadOnlyInsteadOfFailing) {
+  const std::string path = temp_store("dse_store_busy.dvstor");
+
+  // A live campaign holds the writer lock...
+  auto holder = store::EvalStore::open_writer(path);
+  ASSERT_NE(holder.store, nullptr) << holder.error;
+  store::StoreRecord banked;
+  banked.params = {{"DEPTH", 16}};
+  banked.backend = "vivado-sim";
+  banked.tier = store::EvalStore::kTierHifi;
+  banked.metrics = {{"lut", 123.0},   {"lut_logic", 123.0}, {"lut_mem", 0.0},
+                    {"ff", 10.0},     {"bram", 0.0},        {"dsp", 0.0},
+                    {"fmax_mhz", 500.0}, {"wns_ns", 0.0},   {"delay_ns", 2.0}};
+  banked.ok = true;
+  ASSERT_TRUE(holder.store->append(banked));
+
+  // ...and a second campaign on the same store still runs: it degrades to
+  // a read-only snapshot (hits work, its appends are skipped).
+  DseConfig config = fifo_dse(1);
+  config.store_path = path;
+  DseEngine engine(fifo_project(), config);
+  const DseResult result = engine.run();
+  EXPECT_GT(result.stats.tool_runs, 0u);
+  EXPECT_EQ(result.stats.store_appends, 0u);
+}
+
+}  // namespace
+}  // namespace dovado::core
