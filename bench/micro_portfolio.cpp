@@ -1,0 +1,211 @@
+// Portfolio ablation: the bandit-selected searcher portfolio vs each single
+// searcher at the same simulated tool-second budget, across all four rtl/
+// designs (see DESIGN.md "Optimizer portfolio & algorithm selection").
+//
+// For each design a steady-state NSGA-II campaign defines the shared budget;
+// every optimizer then runs inline (workers = 0, fully deterministic) with
+// submission stopped at that budget, and fronts are scored by dominated
+// hypervolume against a shared per-design reference point. Prints a JSON
+// summary; the committed artifact bench/portfolio.json is this program's
+// output and the trajectory entry is appended to BENCH_portfolio.json per PR.
+//
+// Acceptance bar (exit code 1 when missed): on every design the portfolio's
+// hypervolume is >= the best single member's. The portfolio dedups across
+// members and shifts asks toward whichever searcher is currently earning, so
+// at worst it should track the winner instead of splitting the budget evenly.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/dse.hpp"
+#include "src/opt/indicators.hpp"
+
+namespace {
+
+using namespace dovado;
+
+struct Design {
+  std::string name;
+  core::ProjectConfig project;
+  core::DseConfig dse;
+};
+
+core::DseConfig ga_base(std::uint64_t seed) {
+  core::DseConfig config;
+  config.ga.population_size = 12;
+  config.ga.max_generations = 11;
+  config.ga.seed = seed;
+  config.workers = 0;  // inline: the virtual schedule replays exactly
+  config.steady_state = true;
+  config.use_approximation = false;
+  return config;
+}
+
+std::vector<Design> designs() {
+  std::vector<Design> all;
+  {
+    Design d;
+    d.name = "fifo";
+    d.project.sources.push_back({std::string(DOVADO_RTL_DIR) + "/cv32e40p_fifo.sv",
+                                 hdl::HdlLanguage::kSystemVerilog, "work", false});
+    d.project.top_module = "cv32e40p_fifo";
+    d.project.part = "xc7k70tfbv676-1";
+    d.project.target_period_ns = 1.0;
+    d.dse = ga_base(7);
+    d.dse.space.params.push_back({"DEPTH", core::ParamDomain::range(8, 200)});
+    d.dse.objectives = {{"lut", false}, {"fmax_mhz", true}};
+    all.push_back(std::move(d));
+  }
+  {
+    Design d;
+    d.name = "corundum";
+    d.project.sources.push_back({std::string(DOVADO_RTL_DIR) + "/corundum_cq_manager.v",
+                                 hdl::HdlLanguage::kVerilog, "work", false});
+    d.project.top_module = "cpl_queue_manager";
+    d.project.part = "xc7k70tfbv676-1";
+    d.project.target_period_ns = 1.0;
+    d.dse = ga_base(4);
+    d.dse.space.params.push_back({"OP_TABLE_SIZE", core::ParamDomain::range(8, 35)});
+    d.dse.space.params.push_back({"QUEUE_INDEX_WIDTH", core::ParamDomain::range(4, 7)});
+    d.dse.space.params.push_back({"PIPELINE", core::ParamDomain::range(2, 5)});
+    d.dse.objectives = {{"lut", false}, {"ff", false}, {"bram", false}, {"fmax_mhz", true}};
+    all.push_back(std::move(d));
+  }
+  {
+    Design d;
+    d.name = "neorv32";
+    d.project.sources.push_back({std::string(DOVADO_RTL_DIR) + "/neorv32_top.vhd",
+                                 hdl::HdlLanguage::kVhdl, "work", false});
+    d.project.top_module = "neorv32_top";
+    d.project.part = "xc7k70tfbv676-1";
+    d.project.target_period_ns = 1.0;
+    d.dse = ga_base(32);
+    d.dse.space.params.push_back(
+        {"MEM_INT_IMEM_SIZE", core::ParamDomain::power_of_two(11, 15)});
+    d.dse.space.params.push_back(
+        {"MEM_INT_DMEM_SIZE", core::ParamDomain::power_of_two(11, 15)});
+    d.dse.objectives = {{"bram", false}, {"lut", false}, {"ff", false}, {"fmax_mhz", true}};
+    all.push_back(std::move(d));
+  }
+  {
+    Design d;
+    d.name = "tirex";
+    d.project.sources.push_back({std::string(DOVADO_RTL_DIR) + "/tirex_top.vhd",
+                                 hdl::HdlLanguage::kVhdl, "work", false});
+    d.project.top_module = "tirex_top";
+    d.project.part = "xc7k70tfbv676-1";
+    d.project.target_period_ns = 1.0;
+    d.dse = ga_base(12);
+    d.dse.space.params.push_back({"NCLUSTER", core::ParamDomain::power_of_two(0, 2)});
+    d.dse.space.params.push_back({"STACK_SIZE", core::ParamDomain::power_of_two(0, 8)});
+    d.dse.space.params.push_back({"INSTR_MEM_SIZE", core::ParamDomain::power_of_two(3, 4)});
+    d.dse.space.params.push_back({"DATA_MEM_SIZE", core::ParamDomain::power_of_two(3, 4)});
+    d.dse.objectives = {{"lut", false}, {"bram", false}, {"fmax_mhz", true}};
+    all.push_back(std::move(d));
+  }
+  return all;
+}
+
+/// Minimized objective vectors of a front, per the design's objective list.
+std::vector<opt::Objectives> front_objectives(const Design& design,
+                                              const core::DseResult& result) {
+  std::vector<opt::Objectives> objs;
+  for (const auto& p : result.pareto) {
+    opt::Objectives o;
+    for (const auto& [metric, maximize] : design.dse.objectives) {
+      const double v = p.metrics.get(metric);
+      o.push_back(maximize ? -v : v);
+    }
+    objs.push_back(std::move(o));
+  }
+  return objs;
+}
+
+struct Run {
+  std::string optimizer;
+  double hypervolume = 0.0;
+  std::size_t evaluations = 0;
+  double tool_seconds = 0.0;
+  std::vector<opt::Objectives> front;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> optimizers = {"nsga2", "random", "local",
+                                               "surrogate", "portfolio"};
+  bool all_ok = true;
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"micro_portfolio\",\n");
+  std::printf("  \"bar\": \"portfolio_hv >= best single member per design at equal tool-second budget\",\n");
+  std::printf("  \"designs\": [\n");
+
+  const auto all = designs();
+  for (std::size_t di = 0; di < all.size(); ++di) {
+    const Design& design = all[di];
+
+    // The NSGA-II campaign's full spend defines the shared budget.
+    core::DseConfig probe = design.dse;
+    core::DseEngine probe_engine(design.project, probe);
+    const double budget_seconds = probe_engine.run().stats.simulated_tool_seconds;
+
+    std::vector<Run> runs;
+    for (const auto& name : optimizers) {
+      core::DseConfig config = design.dse;
+      config.optimizer = name;
+      config.steady_state_evaluations = 100000;  // the deadline is the cap
+      config.deadline_tool_seconds = budget_seconds;
+      core::DseEngine engine(design.project, config);
+      const core::DseResult result = engine.run();
+      Run run;
+      run.optimizer = name;
+      run.evaluations = result.stats.ga_evaluations;
+      run.tool_seconds = result.stats.simulated_tool_seconds;
+      run.front = front_objectives(design, result);
+      runs.push_back(std::move(run));
+    }
+
+    // Shared reference point: worst coordinate over every front, plus 1.
+    opt::Objectives reference(design.dse.objectives.size(), 0.0);
+    for (const auto& run : runs) {
+      for (const auto& o : run.front) {
+        for (std::size_t k = 0; k < o.size(); ++k) {
+          reference[k] = std::max(reference[k], o[k] + 1.0);
+        }
+      }
+    }
+    double best_single = 0.0;
+    double portfolio_hv = 0.0;
+    for (auto& run : runs) {
+      run.hypervolume = opt::hypervolume(run.front, reference);
+      if (run.optimizer == "portfolio") {
+        portfolio_hv = run.hypervolume;
+      } else {
+        best_single = std::max(best_single, run.hypervolume);
+      }
+    }
+    const bool ok = portfolio_hv >= best_single * (1.0 - 1e-9);
+    all_ok = all_ok && ok;
+
+    std::printf("    {\"design\": \"%s\", \"budget_tool_seconds\": %.0f,\n",
+                design.name.c_str(), budget_seconds);
+    std::printf("     \"optimizers\": {");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      std::printf("%s\"%s\": {\"hypervolume\": %.1f, \"evaluations\": %zu, "
+                  "\"tool_seconds\": %.0f}",
+                  i == 0 ? "" : ", ", runs[i].optimizer.c_str(),
+                  runs[i].hypervolume, runs[i].evaluations, runs[i].tool_seconds);
+    }
+    std::printf("},\n");
+    std::printf("     \"best_single\": %.1f, \"portfolio\": %.1f, \"ok\": %s}%s\n",
+                best_single, portfolio_hv, ok ? "true" : "false",
+                di + 1 < all.size() ? "," : "");
+  }
+
+  std::printf("  ],\n");
+  std::printf("  \"within_budget\": %s\n", all_ok ? "true" : "false");
+  std::printf("}\n");
+  return all_ok ? 0 : 1;
+}

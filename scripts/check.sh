@@ -33,6 +33,11 @@ echo "== bench gate: evaluation-store warm start (BENCH_warmstart.json) =="
 # shared budget, store-lookup overhead on a store-miss campaign < 1%.
 build/bench/micro_warmstart
 
+echo "== bench gate: optimizer portfolio ablation (BENCH_portfolio.json) =="
+# Exits non-zero when the bar is missed: on every rtl/ design the bandit
+# portfolio's hypervolume >= the best single searcher at the shared budget.
+build/bench/micro_portfolio
+
 echo "== store crash suite: SIGKILL drills + corruption corpus =="
 # Also part of the full ctest run above; repeated as its own leg so a
 # durability regression fails loudly with the store suite's own output.

@@ -165,6 +165,8 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
     config.screen_keep_ratio = options.screen_ratio;
     config.steady_state = options.steady_state;
     config.max_inflight = options.max_inflight;
+    config.optimizer = options.optimizer;
+    config.portfolio_members = options.portfolio_members;
     if (options.deadline_hours > 0.0) {
       config.deadline_tool_seconds = options.deadline_hours * 3600.0;
     }
@@ -233,6 +235,16 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
           << util::format("%.1f%%", result.stats.tool_seconds_utilization * 100.0)
           << " lane utilization over " << result.stats.virtual_lanes
           << " lanes\n";
+      if (!result.stats.optimizer_name.empty()) {
+        out << "optimizer: " << result.stats.optimizer_name << "\n";
+        for (const auto& member : result.stats.optimizer_members) {
+          out << "  " << member.name << ": " << member.asks << " asks, "
+              << member.tells << " tells, "
+              << util::format("%.4f", member.hv_gain) << " hv gain, "
+              << util::format("%.0f", member.cost_seconds) << " tool seconds, "
+              << util::format("%.2f", member.weight) << " weight\n";
+        }
+      }
     }
     out << "parallel dispatch: " << result.stats.batches << " batches, "
         << result.stats.lease_waits << " lease waits, "

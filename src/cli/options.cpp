@@ -1,7 +1,9 @@
 #include "src/cli/options.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
+#include "src/opt/optimizer.hpp"
 #include "src/util/strings.hpp"
 
 namespace dovado::cli {
@@ -180,6 +182,13 @@ explore options:
                           completion
   --max-inflight N        steady-state only: evaluations in flight at once
                           (default 0 = one per evaluator lane)
+  --optimizer NAME        steady-state searcher: nsga2 (default), random,
+                          local, surrogate, exhaustive, or portfolio (a
+                          UCB bandit routing each ask to whichever member
+                          is earning the most hypervolume per tool second)
+  --portfolio-members L   comma-separated members of --optimizer portfolio,
+                          e.g. nsga2,random,local (default: nsga2, random,
+                          local, surrogate)
   --resume FILE           warm-start from a saved session (tool results are
                           not re-paid for); a missing file starts fresh, a
                           corrupt file is a hard error
@@ -423,6 +432,17 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
       opt.workers = static_cast<std::size_t>(v);
     } else if (a == "--steady-state") {
       opt.steady_state = true;
+    } else if (a == "--optimizer") {
+      if (!need_value(i, a)) return outcome;
+      opt.optimizer = args[++i];
+    } else if (a == "--portfolio-members") {
+      if (!need_value(i, a)) return outcome;
+      opt.portfolio_members = util::split(args[++i], ',');
+      if (opt.portfolio_members.empty()) {
+        outcome.error = "--portfolio-members expects a comma-separated list of "
+                        "optimizer names";
+        return outcome;
+      }
     } else if (a == "--max-inflight") {
       if (!need_value(i, a)) return outcome;
       std::int64_t v = 0;
@@ -548,7 +568,8 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
           "--place-directive", "--route-directive", "--no-impl", "--incremental",
           "--backend", "--screen-ratio", "--set", "--param", "--objective", "--pop",
           "--gens", "--seed", "--approximate", "--pretrain", "--deadline-hours",
-          "--workers", "--steady-state", "--max-inflight", "--samples",
+          "--workers", "--steady-state", "--max-inflight", "--optimizer",
+          "--portfolio-members", "--samples",
           "--resume", "--fault-plan", "--max-retries",
           "--attempt-timeout", "--journal", "--no-breaker", "--breaker-window",
           "--breaker-threshold", "--probe-budget", "--save-session", "--csv",
@@ -591,6 +612,43 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
   if (opt.command == Command::kExplore && opt.objectives.empty()) {
     outcome.error = "explore requires at least one --objective";
     return outcome;
+  }
+  // Optimizer selection is validated at parse time (mirroring the backend
+  // registry's did-you-mean at engine construction): a typo'd searcher name
+  // must not survive to the first tool run.
+  {
+    const std::vector<std::string> known_optimizers = opt::OptimizerRegistry::names();
+    auto check_optimizer = [&](const std::string& name, const char* flag) {
+      if (std::find(known_optimizers.begin(), known_optimizers.end(), name) !=
+          known_optimizers.end()) {
+        return true;
+      }
+      outcome.error = std::string(flag) + ": unknown optimizer '" + name + "'";
+      const std::string suggestion = util::closest_match(name, known_optimizers);
+      if (!suggestion.empty()) outcome.error += " (did you mean '" + suggestion + "'?)";
+      outcome.error += "; known optimizers: " + util::join(known_optimizers, ", ");
+      return false;
+    };
+    if (!check_optimizer(opt.optimizer, "--optimizer")) return outcome;
+    for (const auto& member : opt.portfolio_members) {
+      if (!check_optimizer(member, "--portfolio-members")) return outcome;
+      if (member == "portfolio") {
+        outcome.error = "--portfolio-members cannot nest another portfolio";
+        return outcome;
+      }
+    }
+    if (!opt.portfolio_members.empty() && opt.optimizer != "portfolio") {
+      outcome.error = "--portfolio-members requires --optimizer portfolio (got '" +
+                      opt.optimizer + "')";
+      return outcome;
+    }
+    if (opt.command == Command::kExplore && opt.optimizer != "nsga2" &&
+        !opt.steady_state) {
+      outcome.error = "--optimizer " + opt.optimizer +
+                      " requires --steady-state (the generational engine is "
+                      "NSGA-II-specific)";
+      return outcome;
+    }
   }
   if (opt.backend == "analytic" && opt.screen_ratio < 1.0) {
     outcome.error =

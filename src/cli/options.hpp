@@ -66,6 +66,10 @@ struct Options {
   double screen_ratio = 1.0;         ///< --screen-ratio (1.0 = no screening)
   bool steady_state = false;         ///< --steady-state
   std::size_t max_inflight = 0;      ///< --max-inflight (0 = one per lane)
+  std::string optimizer = "nsga2";   ///< --optimizer NAME (steady-state searcher)
+  /// --portfolio-members a,b,c: member searchers of --optimizer portfolio
+  /// (empty = the default set).
+  std::vector<std::string> portfolio_members;
 
   // Output options.
   std::string csv_path;   ///< --csv FILE

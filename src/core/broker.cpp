@@ -112,9 +112,10 @@ void EvaluationBroker::async(std::function<void()> fn) {
   (void)pool_->submit(std::move(guarded));
 }
 
-void EvaluationBroker::journal_inflight(const DesignPoint& point) {
+void EvaluationBroker::journal_inflight(const DesignPoint& point,
+                                        const std::string& optimizer) {
   if (!journal_) return;
-  if (!journal_->append_inflight(point)) {
+  if (!journal_->append_inflight(point, optimizer)) {
     util::Log::warn("journal append failed for inflight marker on '" + journal_->path() +
                     "'; a resumed run will not re-submit this point");
   }

@@ -203,13 +203,15 @@ class EvaluationBroker {
 
   /// Append an inflight marker for `point` to the journal (no-op without a
   /// journal). Called by the steady-state engine at submission; the eval
-  /// record appended when the answer lands supersedes it.
-  void journal_inflight(const DesignPoint& point);
+  /// record appended when the answer lands supersedes it. A non-empty
+  /// `optimizer` attributes the point to the searcher that asked for it.
+  void journal_inflight(const DesignPoint& point, const std::string& optimizer = "");
 
   /// Inflight points recovered by replay_journal() — submitted by a
   /// crashed campaign but never answered (empty before replay, and for
-  /// journals without inflight markers).
-  [[nodiscard]] const std::vector<DesignPoint>& replayed_inflight() const {
+  /// journals without inflight markers). Each mark carries the optimizer
+  /// attribution recorded at submission (empty for pre-v3 journals).
+  [[nodiscard]] const std::vector<InflightMark>& replayed_inflight() const {
     return replayed_inflight_;
   }
 
@@ -262,7 +264,7 @@ class EvaluationBroker {
   SessionJournal::Replay pending_replay_;    ///< held until replay_journal()
   std::shared_ptr<BackendHealthManager> health_;  ///< null = no breakers
   std::vector<HealthEvent> replayed_health_events_;
-  std::vector<DesignPoint> replayed_inflight_;
+  std::vector<InflightMark> replayed_inflight_;
   edatool::BackendInfo backend_info_;
   std::vector<std::string> metric_names_;
 

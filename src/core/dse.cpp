@@ -12,6 +12,7 @@
 #include "src/analysis/render.hpp"
 
 #include "src/opt/nds.hpp"
+#include "src/opt/optimizer.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/strings.hpp"
 
@@ -65,6 +66,32 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
   }
   if (!(config_.screen_keep_ratio > 0.0) || config_.screen_keep_ratio > 1.0) {
     throw std::runtime_error("screen_keep_ratio must be in (0, 1]");
+  }
+  // Optimizer selection fails loudly at construction, mirroring the
+  // backend/objective-metric validation below (did-you-mean included).
+  opt::OptimizerRegistry::ensure_known(config_.optimizer);
+  if (config_.optimizer != "nsga2" && !config_.steady_state) {
+    throw std::runtime_error("optimizer '" + config_.optimizer +
+                             "' requires the steady-state engine (--steady-state); the "
+                             "generational path is NSGA-II-specific");
+  }
+  if (!config_.portfolio_members.empty() && config_.optimizer != "portfolio") {
+    throw std::runtime_error(
+        "portfolio_members is only valid with optimizer \"portfolio\" (got '" +
+        config_.optimizer + "')");
+  }
+  {
+    std::set<std::string> member_names;
+    for (const auto& member : config_.portfolio_members) {
+      opt::OptimizerRegistry::ensure_known(member);
+      if (member == "portfolio") {
+        throw std::runtime_error("portfolio members cannot nest another portfolio");
+      }
+      if (!member_names.insert(member).second) {
+        throw std::runtime_error("duplicate portfolio member '" + member +
+                                 "' (resume attribution is by member name)");
+      }
+    }
   }
   if (!config_.backend.empty()) project_.backend = config_.backend;
 
@@ -882,7 +909,30 @@ void DseEngine::run_preflight() {
 }
 
 void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
-  opt::SteadyStateNsga2 searcher(ga, problem);
+  // The engine drives the searcher through the ask/tell Optimizer interface
+  // only — which concrete algorithm runs (nsga2, random, local, surrogate,
+  // exhaustive, or the bandit portfolio) is resolved by name through the
+  // registry, so new searchers plug in without touching this loop.
+  opt::OptimizerContext opt_ctx;
+  opt_ctx.problem = &problem;
+  opt_ctx.ga = ga;
+  opt_ctx.portfolio_members = config_.portfolio_members;
+  opt_ctx.surrogate = [this](const opt::Genome& genome) -> std::optional<opt::Objectives> {
+    // NWM estimates back the surrogate-guided sampler; without enough
+    // samples the model has nothing to say and the sampler degrades to
+    // random search.
+    if (!control_ || control_->dataset().size() < 2) return std::nullopt;
+    const DesignPoint point = config_.space.decode(genome);
+    const model::Values est = control_->estimate(to_model_point(point));
+    EvalMetrics metrics;
+    for (std::size_t k = 0; k < config_.objectives.size(); ++k) {
+      metrics.values[config_.objectives[k].metric] = est[k];
+    }
+    return to_objectives(metrics);
+  };
+  const std::unique_ptr<opt::Optimizer> searcher_ptr =
+      opt::OptimizerRegistry::create(config_.optimizer, opt_ctx);
+  opt::Optimizer& searcher = *searcher_ptr;
 
   // Equal-budget semantics vs the generational engine: pop * (gens + 1)
   // completions is exactly what max_generations full batches plus the
@@ -958,7 +1008,9 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.failures;
       }
-      searcher.tell(c.genome, objectives);
+      // Hedged answers cost no hi-fi tool seconds; the bandit should not
+      // bill the asking member for a fast-fail it did not cause.
+      searcher.tell(c.genome, objectives, 0.0);
       return;
     }
     {
@@ -989,7 +1041,7 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
         objectives.assign(config_.objectives.size(), kFailurePenalty);
         record(c.point, r.metrics, false, true);
       }
-      searcher.tell(c.genome, objectives);
+      searcher.tell(c.genome, objectives, r.tool_seconds);
       return;
     }
     objectives = to_objectives(r.metrics);
@@ -1002,7 +1054,10 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
       }
       control_->add_sample(to_model_point(c.point), values);
     }
-    searcher.tell(c.genome, objectives);
+    // Fresh runs bill their tool seconds to the member that asked; cache
+    // and store hits were already paid for.
+    searcher.tell(c.genome, objectives,
+                  r.cache_hit || r.joined || r.store_hit ? 0.0 : r.tool_seconds);
   };
 
   // Submit one genome. Returns true when the point went to the broker
@@ -1082,8 +1137,10 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
 
     // Forwarded to the high-fidelity broker. The inflight marker makes the
     // submission crash-safe: a campaign that dies here re-submits the
-    // point exactly once on resume (the eval record supersedes it).
-    if (!hifi_cached) broker_->journal_inflight(point);
+    // point exactly once on resume (the eval record supersedes it), and the
+    // optimizer attribution routes the replayed answer back to the member
+    // that asked for the point.
+    if (!hifi_cached) broker_->journal_inflight(point, searcher.attributed_to(genome));
     auto slot = std::make_shared<Inflight>();
     slot->seq = seq++;
     slot->genome = std::move(genome);
@@ -1103,11 +1160,13 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
 
   // Resume: inflight points journaled by a crashed campaign are submitted
   // first, exactly once (reserve() keeps ask() from regenerating them).
+  // reserve_for restores the recorded attribution so the eventual tell()
+  // lands on the portfolio member that originally asked.
   std::deque<opt::Genome> replay;
-  for (const DesignPoint& point : broker_->replayed_inflight()) {
-    auto genome = config_.space.encode(point);
+  for (const InflightMark& mark : broker_->replayed_inflight()) {
+    auto genome = config_.space.encode(mark.params);
     if (!genome) continue;  // the space changed; the point is unreachable now
-    searcher.reserve(*genome);
+    searcher.reserve_for(*genome, mark.optimizer);
     replay.push_back(std::move(*genome));
   }
   {
@@ -1181,6 +1240,8 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.generations =
         ga.population_size != 0 ? completed / ga.population_size : 0;
+    stats_.optimizer_name = config_.optimizer;
+    stats_.optimizer_members = searcher.member_stats();
   }
 }
 

@@ -38,6 +38,7 @@
 #include "src/model/control.hpp"
 #include "src/opt/baselines.hpp"
 #include "src/opt/nsga2.hpp"
+#include "src/opt/optimizer_base.hpp"
 
 namespace dovado::core {
 
@@ -100,6 +101,21 @@ struct DseConfig {
   /// broker, and survival, sticky screening, hedging and probe scheduling
   /// all happen per completion. The batch path stays available for A/B.
   bool steady_state = false;
+
+  /// Searcher driving the steady-state engine, resolved through
+  /// opt::OptimizerRegistry (see DESIGN.md "Optimizer portfolio & algorithm
+  /// selection"): "nsga2" (default), "random", "local", "surrogate",
+  /// "exhaustive", or "portfolio" (a UCB bandit over several members).
+  /// Anything other than "nsga2" requires steady_state — the generational
+  /// path is NSGA-II-specific. Unknown names throw at construction with a
+  /// did-you-mean suggestion.
+  std::string optimizer = "nsga2";
+
+  /// Member searchers of the "portfolio" optimizer, in bandit order. Empty
+  /// = the default set (nsga2, random, local, surrogate). Only valid with
+  /// optimizer == "portfolio"; members must be distinct non-portfolio
+  /// registry names.
+  std::vector<std::string> portfolio_members;
 
   /// Bound on concurrently submitted (inflight) evaluations in steady-state
   /// mode. 0 = one per virtual evaluator lane.
@@ -240,6 +256,14 @@ struct DseStats {
   double busy_tool_seconds = 0.0;        ///< lane-occupying run seconds
   double virtual_makespan_seconds = 0.0; ///< when the last virtual lane goes idle
   std::size_t virtual_lanes = 0;
+
+  // Optimizer attribution (see DESIGN.md "Optimizer portfolio & algorithm
+  // selection"). Empty/default outside steady-state runs.
+  std::string optimizer_name;  ///< registry name of the searcher that ran
+  /// Per-member ask/tell/hypervolume-gain accounting; one entry for single
+  /// searchers, one per member (with bandit selection weights) for the
+  /// portfolio.
+  std::vector<opt::MemberStats> optimizer_members;
 
   // Availability counters (see DESIGN.md "Availability & degradation
   // ladder").

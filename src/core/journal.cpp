@@ -94,28 +94,33 @@ std::optional<JournalRecord> journal_record_from_json(const std::string& line) {
   return record;
 }
 
-std::string inflight_record_to_json(const DesignPoint& point) {
+std::string inflight_record_to_json(const DesignPoint& point,
+                                    const std::string& optimizer) {
   util::JsonObject obj;
   obj["kind"] = util::Json(std::string("inflight"));
   util::JsonObject params;
   for (const auto& [name, value] : point) params[name] = util::Json(value);
   obj["params"] = util::Json(std::move(params));
+  if (!optimizer.empty()) obj["optimizer"] = util::Json(optimizer);
   return util::Json(std::move(obj)).dump();
 }
 
-std::optional<DesignPoint> inflight_record_from_json(const std::string& line) {
+std::optional<InflightMark> inflight_record_from_json(const std::string& line) {
   util::Json parsed;
   if (!util::Json::parse(line, parsed) || !parsed.is_object()) return std::nullopt;
   const auto& obj = parsed.as_object();
   auto params_it = obj.find("params");
   if (params_it == obj.end() || !params_it->second.is_object()) return std::nullopt;
-  DesignPoint point;
+  InflightMark mark;
   for (const auto& [name, value] : params_it->second.as_object()) {
     if (!value.is_number()) return std::nullopt;
-    point[name] = static_cast<std::int64_t>(value.as_number());
+    mark.params[name] = static_cast<std::int64_t>(value.as_number());
   }
-  if (point.empty()) return std::nullopt;
-  return point;
+  if (mark.params.empty()) return std::nullopt;
+  if (auto it = obj.find("optimizer"); it != obj.end() && it->second.is_string()) {
+    mark.optimizer = it->second.as_string();
+  }
+  return mark;
 }
 
 std::string health_event_to_json(const HealthEvent& event) {
@@ -159,7 +164,7 @@ std::optional<HealthEvent> health_event_from_json(const std::string& line) {
 std::unique_ptr<SessionJournal> SessionJournal::open(const std::string& path,
                                                      Replay* replay, std::string& error) {
   std::size_t keep_bytes = 0;
-  std::vector<DesignPoint> inflight_marks;
+  std::vector<InflightMark> inflight_marks;
   if (replay != nullptr) {
     *replay = Replay{};
     std::ifstream in(path, std::ios::binary);
@@ -207,8 +212,8 @@ std::unique_ptr<SessionJournal> SessionJournal::open(const std::string& path,
               parsed_ok = true;
             }
           } else if (kind == "inflight") {
-            if (auto point = inflight_record_from_json(line)) {
-              inflight_marks.push_back(std::move(*point));
+            if (auto mark = inflight_record_from_json(line)) {
+              inflight_marks.push_back(std::move(*mark));
               parsed_ok = true;
             }
           } else if (kind == "eval" || kind.empty()) {
@@ -243,9 +248,10 @@ std::unique_ptr<SessionJournal> SessionJournal::open(const std::string& path,
     for (auto& mark : inflight_marks) {
       const bool superseded =
           std::any_of(replay->records.begin(), replay->records.end(),
-                      [&](const JournalRecord& rec) { return rec.params == mark; });
-      const bool duplicate = std::find(replay->inflight.begin(), replay->inflight.end(),
-                                       mark) != replay->inflight.end();
+                      [&](const JournalRecord& rec) { return rec.params == mark.params; });
+      const bool duplicate =
+          std::any_of(replay->inflight.begin(), replay->inflight.end(),
+                      [&](const InflightMark& m) { return m.params == mark.params; });
       if (!superseded && !duplicate) replay->inflight.push_back(std::move(mark));
     }
   }
@@ -306,8 +312,9 @@ bool SessionJournal::append_event(const HealthEvent& event) {
   return append_line(health_event_to_json(event) + "\n");
 }
 
-bool SessionJournal::append_inflight(const DesignPoint& point) {
-  return append_line(inflight_record_to_json(point) + "\n");
+bool SessionJournal::append_inflight(const DesignPoint& point,
+                                     const std::string& optimizer) {
+  return append_line(inflight_record_to_json(point, optimizer) + "\n");
 }
 
 }  // namespace dovado::core

@@ -7,12 +7,17 @@
 // journal, fsync'd per record: after a crash, every acknowledged evaluation
 // is on disk.
 //
-// Format (version 2): the first line is a header record
-//   {"kind":"header","version":2}
+// Format (version 3): the first line is a header record
+//   {"kind":"header","version":3}
 // and every following line is a kind-tagged record — "eval" for tool
 // answers, "health" for breaker transitions (core/health/events.hpp), and
 // "inflight" for points submitted but not yet answered (the steady-state
 // engine appends one at submission; the later eval record supersedes it).
+// Since version 3 an inflight record may carry an "optimizer" field naming
+// the searcher that asked for the point (portfolio members attribute their
+// proposals), so --resume can route the replayed answer back to the member
+// that originally asked. The field is optional: records without it (all
+// version-2 journals) replay with an empty attribution.
 // Records without a "kind" are legacy version-1 eval records, so old
 // journals replay unchanged. Unknown kinds within a readable version are
 // *skipped tolerantly* (forward compatibility: a newer dovado may add
@@ -47,7 +52,7 @@
 namespace dovado::core {
 
 /// The journal format this build writes (and the newest it reads).
-inline constexpr int kJournalVersion = 2;
+inline constexpr int kJournalVersion = 3;
 
 /// One journaled evaluation: the design point plus the (final, possibly
 /// supervised) tool outcome.
@@ -69,11 +74,22 @@ struct JournalRecord {
 [[nodiscard]] std::optional<JournalRecord> journal_record_from_json(
     const std::string& line);
 
-/// Serialize an inflight marker to one JSONL line (no trailing newline).
-[[nodiscard]] std::string inflight_record_to_json(const DesignPoint& point);
+/// One inflight marker: a submitted-but-unanswered design point, plus the
+/// name of the optimizer (portfolio member) that asked for it — empty when
+/// unattributed (single-optimizer runs, pre-version-3 journals).
+struct InflightMark {
+  DesignPoint params;
+  std::string optimizer;
+};
 
-/// Parse an inflight-marker JSONL line. std::nullopt on malformed input.
-[[nodiscard]] std::optional<DesignPoint> inflight_record_from_json(
+/// Serialize an inflight marker to one JSONL line (no trailing newline).
+/// A non-empty `optimizer` is recorded as the attribution field.
+[[nodiscard]] std::string inflight_record_to_json(const DesignPoint& point,
+                                                  const std::string& optimizer = "");
+
+/// Parse an inflight-marker JSONL line. std::nullopt on malformed input; a
+/// missing "optimizer" field parses as an empty attribution.
+[[nodiscard]] std::optional<InflightMark> inflight_record_from_json(
     const std::string& line);
 
 /// Serialize a health event to one JSONL line (no trailing newline).
@@ -90,9 +106,10 @@ class SessionJournal {
     std::vector<HealthEvent> health_events;  ///< breaker transitions, in order
     /// Points marked inflight with no eval record anywhere in the file —
     /// submitted-but-unanswered work the crashed campaign paid nothing for
-    /// yet; a resumed steady-state run re-submits these exactly once.
-    /// Deduplicated, in first-marked order.
-    std::vector<DesignPoint> inflight;
+    /// yet; a resumed steady-state run re-submits these exactly once,
+    /// routing each to the optimizer named in its attribution.
+    /// Deduplicated by params, in first-marked order.
+    std::vector<InflightMark> inflight;
     int version = 1;            ///< header version (1 = headerless legacy file)
     std::size_t skipped_records = 0;  ///< unknown-kind lines tolerated
     bool torn_tail = false;  ///< a truncated/garbled final line was dropped
@@ -120,8 +137,9 @@ class SessionJournal {
   bool append_event(const HealthEvent& event);
 
   /// Append one inflight marker (point submitted, answer pending), fsync'd.
-  /// Thread-safe. The eval record appended at completion supersedes it.
-  bool append_inflight(const DesignPoint& point);
+  /// Thread-safe. The eval record appended at completion supersedes it. A
+  /// non-empty `optimizer` attributes the point to the searcher that asked.
+  bool append_inflight(const DesignPoint& point, const std::string& optimizer = "");
 
   [[nodiscard]] const std::string& path() const { return path_; }
 

@@ -133,6 +133,21 @@ std::string to_json(const DseResult& result, int indent) {
   stats["probe_runs"] = util::Json(result.stats.probe_runs);
   stats["degraded_evals"] = util::Json(result.stats.degraded_evals);
   stats["reverified_points"] = util::Json(result.stats.reverified_points);
+  if (!result.stats.optimizer_name.empty()) {
+    stats["optimizer"] = util::Json(result.stats.optimizer_name);
+    util::JsonArray members;
+    for (const auto& member : result.stats.optimizer_members) {
+      util::JsonObject m;
+      m["name"] = util::Json(member.name);
+      m["asks"] = util::Json(member.asks);
+      m["tells"] = util::Json(member.tells);
+      m["hv_gain"] = util::Json(member.hv_gain);
+      m["cost_seconds"] = util::Json(member.cost_seconds);
+      m["weight"] = util::Json(member.weight);
+      members.push_back(util::Json(std::move(m)));
+    }
+    stats["optimizer_members"] = util::Json(std::move(members));
+  }
 
   root["pareto"] = util::Json(std::move(pareto));
   root["explored"] = util::Json(std::move(explored));

@@ -3,29 +3,26 @@
 #include <set>
 
 #include "src/opt/nds.hpp"
-#include "src/opt/nsga2.hpp"
-#include "src/opt/operators.hpp"
+#include "src/opt/optimizer.hpp"
 
 namespace dovado::opt {
 
-BaselineResult random_search(Problem& problem, std::size_t budget, std::uint64_t seed) {
+namespace {
+
+/// Shared driver: pull genomes from an ask/tell searcher until the budget
+/// is spent or the searcher starts repeating itself (every adapter accepts
+/// a duplicate only once its space is effectively exhausted).
+BaselineResult drive(Problem& problem, Optimizer& searcher, std::size_t budget) {
   BaselineResult result;
-  util::Rng rng(seed);
-  std::set<Genome> seen;
-  const std::int64_t volume = problem.volume();
-  int stale = 0;
-  while (result.evaluated.size() < budget &&
-         static_cast<std::int64_t>(seen.size()) < volume) {
-    Genome g = random_genome(problem, rng);
-    if (!seen.insert(g).second) {
-      if (++stale > 1000) break;  // space almost exhausted
-      continue;
-    }
-    stale = 0;
+  std::set<Genome> evaluated;
+  while (result.evaluated.size() < budget) {
+    Genome g = searcher.ask();
+    if (!evaluated.insert(g).second) break;  // space exhausted
     Individual ind;
-    ind.genome = std::move(g);
+    ind.genome = g;
     ind.objectives = problem.evaluate(ind.genome);
     ind.evaluated = true;
+    searcher.tell(g, ind.objectives);
     ++result.evaluations;
     result.evaluated.push_back(std::move(ind));
   }
@@ -33,35 +30,23 @@ BaselineResult random_search(Problem& problem, std::size_t budget, std::uint64_t
   return result;
 }
 
+}  // namespace
+
+BaselineResult random_search(Problem& problem, std::size_t budget, std::uint64_t seed) {
+  OptimizerContext ctx;
+  ctx.problem = &problem;
+  ctx.ga.seed = seed;
+  RandomSearchOptimizer searcher(ctx);
+  return drive(problem, searcher, budget);
+}
+
 BaselineResult exhaustive_search(Problem& problem, std::int64_t max_points) {
-  BaselineResult result;
   const std::int64_t volume = problem.volume();
-  if (volume <= 0 || volume > max_points) return result;
-
-  const std::size_t n = problem.n_vars();
-  Genome g(n, 0);
-  bool done = false;
-  while (!done) {
-    Individual ind;
-    ind.genome = g;
-    ind.objectives = problem.evaluate(g);
-    ind.evaluated = true;
-    ++result.evaluations;
-    result.evaluated.push_back(std::move(ind));
-
-    // Odometer increment over the mixed-radix index space.
-    done = true;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (++g[i] < problem.cardinality(i)) {
-        done = false;
-        break;
-      }
-      g[i] = 0;
-    }
-    if (n == 0) break;
-  }
-  result.pareto_front = pareto_subset(result.evaluated);
-  return result;
+  if (volume <= 0 || volume > max_points) return {};
+  OptimizerContext ctx;
+  ctx.problem = &problem;
+  ExhaustiveOptimizer searcher(ctx);
+  return drive(problem, searcher, static_cast<std::size_t>(volume));
 }
 
 }  // namespace dovado::opt

@@ -5,6 +5,10 @@
 // baselines share the Problem interface so the micro benches can compare
 // front quality at equal tool-call budgets, and exhaustive search provides
 // ground-truth Pareto fronts for small spaces in tests.
+//
+// Both are thin synchronous drivers over the ask/tell adapters in
+// opt/optimizer.hpp ("random" / "exhaustive" in the registry); the
+// steady-state engine runs the same searchers asynchronously.
 #pragma once
 
 #include "src/opt/problem.hpp"

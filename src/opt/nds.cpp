@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 
 namespace dovado::opt {
 
@@ -85,6 +86,36 @@ std::vector<std::size_t> non_dominated_indices(const std::vector<Objectives>& ob
     if (!dominated) result.push_back(p);
   }
   return result;
+}
+
+std::vector<Individual> pareto_subset(const std::vector<Individual>& population) {
+  std::vector<Objectives> objs;
+  objs.reserve(population.size());
+  for (const auto& ind : population) objs.push_back(ind.objectives);
+  const auto indices = non_dominated_indices(objs);
+
+  std::vector<Individual> front;
+  std::set<Genome> seen;
+  for (std::size_t i : indices) {
+    if (seen.insert(population[i].genome).second) front.push_back(population[i]);
+  }
+  return front;
+}
+
+bool insert_nondominated(std::vector<Individual>& front, Individual candidate) {
+  for (const auto& member : front) {
+    if (dominates(member.objectives, candidate.objectives) ||
+        member.genome == candidate.genome) {
+      return false;
+    }
+  }
+  front.erase(std::remove_if(front.begin(), front.end(),
+                             [&](const Individual& member) {
+                               return dominates(candidate.objectives, member.objectives);
+                             }),
+              front.end());
+  front.push_back(std::move(candidate));
+  return true;
 }
 
 }  // namespace dovado::opt

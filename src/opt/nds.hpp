@@ -25,4 +25,16 @@ namespace dovado::opt {
 [[nodiscard]] std::vector<std::size_t> non_dominated_indices(
     const std::vector<Objectives>& objectives);
 
+/// Extract the duplicate-free (by genome) rank-0 front of an evaluated
+/// population. Shared by the NSGA-II engines, the baselines and the
+/// archive-based optimizers.
+[[nodiscard]] std::vector<Individual> pareto_subset(const std::vector<Individual>& population);
+
+/// Incrementally maintain a non-dominated set: inserts `candidate` unless a
+/// member dominates it (or an identical genome is already present),
+/// evicting every member it dominates. Returns true when the candidate
+/// entered the front. O(front) per call — the per-tell companion to the
+/// batch pareto_subset().
+bool insert_nondominated(std::vector<Individual>& front, Individual candidate);
+
 }  // namespace dovado::opt

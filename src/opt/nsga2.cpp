@@ -62,20 +62,6 @@ std::vector<Genome> sample_initial(Problem& problem, const Nsga2Config& config,
 
 }  // namespace
 
-std::vector<Individual> pareto_subset(const std::vector<Individual>& population) {
-  std::vector<Objectives> objs;
-  objs.reserve(population.size());
-  for (const auto& ind : population) objs.push_back(ind.objectives);
-  const auto indices = non_dominated_indices(objs);
-
-  std::vector<Individual> front;
-  GenomeSet seen;
-  for (std::size_t i : indices) {
-    if (seen.insert(population[i].genome).second) front.push_back(population[i]);
-  }
-  return front;
-}
-
 void Nsga2::evaluate_all(Problem& problem, std::vector<Individual>& individuals,
                          std::size_t& evaluations) {
   if (config_.batch_evaluate) {
@@ -282,6 +268,13 @@ SteadyStateNsga2::SteadyStateNsga2(Nsga2Config config, Problem& problem)
   population_.reserve(config_.population_size + 1);
 }
 
+const OptimizerInfo& SteadyStateNsga2::info() const {
+  static const OptimizerInfo kInfo{/*name=*/"nsga2", /*elitist=*/true,
+                                   /*uses_seeds=*/true, /*uses_surrogate=*/false,
+                                   /*composite=*/false};
+  return kInfo;
+}
+
 Genome SteadyStateNsga2::make_one_offspring() {
   // Mating needs parents; until at least two individuals have been told
   // back (e.g. while the initial candidates are still inflight), fall back
@@ -353,7 +346,8 @@ void SteadyStateNsga2::reserve(const Genome& genome) {
   reserved_.insert(genome);
 }
 
-void SteadyStateNsga2::tell(const Genome& genome, const Objectives& objectives) {
+void SteadyStateNsga2::tell(const Genome& genome, const Objectives& objectives,
+                            double /*cost_seconds*/) {
   ++told_;
   Individual ind;
   ind.genome = genome;

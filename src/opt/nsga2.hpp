@@ -14,6 +14,7 @@
 
 #include "src/opt/nds.hpp"
 #include "src/opt/operators.hpp"
+#include "src/opt/optimizer_base.hpp"
 #include "src/opt/problem.hpp"
 
 namespace dovado::opt {
@@ -103,9 +104,6 @@ class Nsga2 {
   Nsga2Config config_;
 };
 
-/// Extract the duplicate-free rank-0 front of an evaluated population.
-[[nodiscard]] std::vector<Individual> pareto_subset(const std::vector<Individual>& population);
-
 /// Recompute rank and crowding distance for every member of `population`
 /// via one fast non-dominated sort (shared by the generational and the
 /// steady-state engines).
@@ -128,26 +126,37 @@ void assign_rank_crowding(std::vector<Individual>& population);
 /// are ignored (budgeting and observation belong to the caller, and the
 /// controlled-elitism schedule is a whole-population survival rule that has
 /// no (mu+1) analogue).
-class SteadyStateNsga2 {
+///
+/// Registered as "nsga2" in opt::OptimizerRegistry (see opt/optimizer.hpp).
+class SteadyStateNsga2 final : public Optimizer {
  public:
   /// Builds the initial candidate list (seeded genomes repaired and
   /// deduplicated, then random sampling) exactly as Nsga2::run does.
   SteadyStateNsga2(Nsga2Config config, Problem& problem);
+
+  [[nodiscard]] const OptimizerInfo& info() const override;
 
   /// Next genome to evaluate: initial candidates first, then mated
   /// offspring (tournament + SBX + mutation with duplicate retries, random
   /// immigrants when mating keeps producing known genomes). Never blocks;
   /// always returns a genome, accepting a duplicate only when the space is
   /// exhausted.
-  [[nodiscard]] Genome ask();
+  [[nodiscard]] Genome ask() override;
 
   /// Report an evaluated genome. Inserts it into the population and applies
-  /// (mu+1) survival; rank/crowding are reassigned on every call.
-  void tell(const Genome& genome, const Objectives& objectives);
+  /// (mu+1) survival; rank/crowding are reassigned on every call. The
+  /// cost is bookkeeping the GA itself does not use.
+  void tell(const Genome& genome, const Objectives& objectives,
+            double cost_seconds = 0.0) override;
 
   /// Register a genome as already handed out (e.g. an inflight point
   /// replayed from a journal on resume) so ask() will not produce it again.
-  void reserve(const Genome& genome);
+  void reserve(const Genome& genome) override;
+
+  /// Duplicate-free rank-0 subset of the current population.
+  [[nodiscard]] std::vector<Individual> front() const override {
+    return pareto_subset(population_);
+  }
 
   /// Current population, ranked (size grows to population_size, then stays).
   [[nodiscard]] const std::vector<Individual>& population() const noexcept {
@@ -155,7 +164,7 @@ class SteadyStateNsga2 {
   }
 
   /// Number of tell() calls so far.
-  [[nodiscard]] std::size_t told() const noexcept { return told_; }
+  [[nodiscard]] std::size_t told() const noexcept override { return told_; }
 
  private:
   [[nodiscard]] Genome make_one_offspring();

@@ -151,6 +151,74 @@ TEST(ParseArgs, BreakerThresholdCannotExceedWindow) {
   EXPECT_NE(r.error.find("never trip"), std::string::npos) << r.error;
 }
 
+TEST(ParseArgs, OptimizerFlagParsesAndValidates) {
+  const auto r = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                        "--param", "D=1:4", "--objective", "lut:min",
+                        "--steady-state", "--optimizer", "portfolio",
+                        "--portfolio-members", "random,local"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.optimizer, "portfolio");
+  EXPECT_EQ(r.options.portfolio_members,
+            (std::vector<std::string>{"random", "local"}));
+
+  // Default stays the generational-compatible NSGA-II.
+  const auto plain = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                            "--param", "D=1:4", "--objective", "lut:min"});
+  ASSERT_TRUE(plain.ok) << plain.error;
+  EXPECT_EQ(plain.options.optimizer, "nsga2");
+  EXPECT_TRUE(plain.options.portfolio_members.empty());
+}
+
+TEST(ParseArgs, UnknownOptimizerSuggestsClosestName) {
+  const auto r = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                        "--param", "D=1:4", "--objective", "lut:min",
+                        "--steady-state", "--optimizer", "nsga3"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--optimizer"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("did you mean 'nsga2'"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("known optimizers"), std::string::npos) << r.error;
+}
+
+TEST(ParseArgs, PortfolioMembersValidatedLikeOptimizer) {
+  const auto typo = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                           "--param", "D=1:4", "--objective", "lut:min",
+                           "--steady-state", "--optimizer", "portfolio",
+                           "--portfolio-members", "random,locl"});
+  EXPECT_FALSE(typo.ok);
+  EXPECT_NE(typo.error.find("--portfolio-members"), std::string::npos) << typo.error;
+  EXPECT_NE(typo.error.find("did you mean 'local'"), std::string::npos) << typo.error;
+
+  const auto nested = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                             "--param", "D=1:4", "--objective", "lut:min",
+                             "--steady-state", "--optimizer", "portfolio",
+                             "--portfolio-members", "random,portfolio"});
+  EXPECT_FALSE(nested.ok);
+  EXPECT_NE(nested.error.find("nest"), std::string::npos) << nested.error;
+}
+
+TEST(ParseArgs, PortfolioMembersRequirePortfolioOptimizer) {
+  const auto r = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                        "--param", "D=1:4", "--objective", "lut:min",
+                        "--steady-state", "--optimizer", "random",
+                        "--portfolio-members", "random,local"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--portfolio-members"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("portfolio"), std::string::npos) << r.error;
+}
+
+TEST(ParseArgs, NonNsga2OptimizerRequiresSteadyState) {
+  const auto r = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                        "--param", "D=1:4", "--objective", "lut:min",
+                        "--optimizer", "random"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--steady-state"), std::string::npos) << r.error;
+
+  // nsga2 works on both engines, so no --steady-state needed.
+  EXPECT_TRUE(parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                     "--param", "D=1:4", "--objective", "lut:min",
+                     "--optimizer", "nsga2"}).ok);
+}
+
 TEST(ParseArgs, ScreeningOnTheAnalyticBackendIsRejected) {
   // --backend analytic already evaluates on the screening tier; screening
   // against itself saves nothing and the combination is almost certainly a

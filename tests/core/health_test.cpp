@@ -312,12 +312,13 @@ TEST(JournalV2, FreshJournalStartsWithAVersionHeader) {
   journal.reset();
 
   const std::string text = read_file(path);
-  EXPECT_EQ(text.substr(0, text.find('\n')), "{\"kind\":\"header\",\"version\":2}");
+  EXPECT_EQ(text.substr(0, text.find('\n')),
+            "{\"kind\":\"header\",\"version\":" + std::to_string(kJournalVersion) + "}");
 
   SessionJournal::Replay replay;
   journal = SessionJournal::open(path, &replay, error);
   ASSERT_NE(journal, nullptr) << error;
-  EXPECT_EQ(replay.version, 2);
+  EXPECT_EQ(replay.version, kJournalVersion);
   EXPECT_TRUE(replay.records.empty());
   EXPECT_FALSE(replay.torn_tail);
 }
@@ -363,7 +364,7 @@ TEST(JournalV2, AppendedEventsAndRecordsReplayInOrder) {
   SessionJournal::Replay replay;
   journal = SessionJournal::open(path, &replay, error);
   ASSERT_NE(journal, nullptr) << error;
-  EXPECT_EQ(replay.version, 2);
+  EXPECT_EQ(replay.version, kJournalVersion);
   ASSERT_EQ(replay.records.size(), 1u);
   EXPECT_EQ(replay.records[0].params.at("DEPTH"), 16);
   ASSERT_EQ(replay.health_events.size(), 2u);
@@ -374,16 +375,17 @@ TEST(JournalV2, AppendedEventsAndRecordsReplayInOrder) {
 
 TEST(JournalV2, FutureVersionIsAHardError) {
   const std::string path = temp_journal("dovado_health_future.jsonl");
+  const int future = kJournalVersion + 1;
   {
     std::ofstream out(path, std::ios::binary);
-    out << "{\"kind\": \"header\", \"version\": 3}\n";
+    out << "{\"kind\": \"header\", \"version\": " << future << "}\n";
   }
   std::string error;
   SessionJournal::Replay replay;
   auto journal = SessionJournal::open(path, &replay, error);
   EXPECT_EQ(journal, nullptr);
   EXPECT_NE(error.find("newer dovado"), std::string::npos) << error;
-  EXPECT_NE(error.find("version 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("version " + std::to_string(future)), std::string::npos) << error;
 }
 
 TEST(JournalV2, UnknownRecordKindsAreSkippedTolerantly) {

@@ -219,9 +219,26 @@ TEST(SteadyStateJournal, InflightMarkerRoundTrip) {
   const DesignPoint point{{"DEPTH", 64}, {"WIDTH", 8}};
   const auto parsed = inflight_record_from_json(inflight_record_to_json(point));
   ASSERT_TRUE(parsed.has_value());
-  EXPECT_EQ(*parsed, point);
+  EXPECT_EQ(parsed->params, point);
+  EXPECT_TRUE(parsed->optimizer.empty());
   EXPECT_FALSE(inflight_record_from_json("xx{ not a record").has_value());
   EXPECT_FALSE(inflight_record_from_json("").has_value());
+}
+
+TEST(SteadyStateJournal, InflightMarkerCarriesOptimizerAttribution) {
+  // Version 3: the searcher that asked for the point is recorded so resume
+  // can route the replayed tell back to the right portfolio member.
+  const DesignPoint point{{"DEPTH", 32}};
+  const std::string line = inflight_record_to_json(point, "local");
+  EXPECT_NE(line.find("\"optimizer\""), std::string::npos);
+  const auto parsed = inflight_record_from_json(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->params, point);
+  EXPECT_EQ(parsed->optimizer, "local");
+  // A v2-style marker without the field parses with an empty attribution.
+  const auto legacy = inflight_record_from_json(inflight_record_to_json(point));
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_TRUE(legacy->optimizer.empty());
 }
 
 TEST(SteadyStateJournal, ResumeReplaysUnansweredInflightExactlyOnce) {
@@ -297,6 +314,113 @@ TEST(SteadyStateJournal, AnsweredSubmissionsLeaveNoReplayableInflight) {
   EXPECT_EQ(replayed.stats.tool_runs, 0u);
   EXPECT_EQ(replayed.stats.journal_replays, original.stats.tool_runs);
   expect_same_front(original, replayed);
+  std::remove(path.c_str());
+}
+
+TEST(SteadyState, AlternativeOptimizersRunAndReportStats) {
+  // Every registered searcher drives the same engine loop through the
+  // ask/tell seam; each must complete the budget and stamp its name and
+  // per-member counters into the stats.
+  for (const char* name : {"random", "local", "surrogate", "portfolio"}) {
+    DseConfig config = steady_dse(0);
+    config.optimizer = name;
+    DseEngine engine(fifo_project(), config);
+    const DseResult result = engine.run();
+
+    const std::size_t budget =
+        config.ga.population_size * (config.ga.max_generations + 1);
+    EXPECT_EQ(result.stats.steady_completions, budget) << name;
+    EXPECT_FALSE(result.pareto.empty()) << name;
+    EXPECT_EQ(result.stats.optimizer_name, name);
+    ASSERT_FALSE(result.stats.optimizer_members.empty()) << name;
+    std::size_t tells = 0;
+    for (const auto& m : result.stats.optimizer_members) tells += m.tells;
+    EXPECT_EQ(tells, budget) << name;
+  }
+}
+
+TEST(SteadyState, NonNsga2OptimizerRequiresSteadyStateEngine) {
+  DseConfig config = steady_dse(0);
+  config.optimizer = "random";
+  config.steady_state = false;
+  EXPECT_THROW((DseEngine{fifo_project(), config}), std::runtime_error);
+  config.optimizer = "nsga3";
+  config.steady_state = true;
+  EXPECT_THROW((DseEngine{fifo_project(), config}), std::runtime_error);
+  config.optimizer = "random";
+  config.portfolio_members = {"random", "local"};
+  EXPECT_THROW((DseEngine{fifo_project(), config}), std::runtime_error);
+}
+
+TEST(SteadyState, PortfolioDeterministicForFixedSeedInline) {
+  // The bandit is deterministic given the ask/tell history, and inline mode
+  // fixes that history: same-seed portfolio campaigns are bitwise-identical
+  // down to the per-member counters.
+  auto run_once = [] {
+    DseConfig config = steady_dse(0);
+    config.optimizer = "portfolio";
+    DseEngine engine(fifo_project(), config);
+    return engine.run();
+  };
+  const DseResult a = run_once();
+  const DseResult b = run_once();
+
+  expect_same_front(a, b);
+  ASSERT_EQ(a.explored.size(), b.explored.size());
+  for (std::size_t i = 0; i < a.explored.size(); ++i) {
+    EXPECT_EQ(a.explored[i].params, b.explored[i].params);
+  }
+  ASSERT_EQ(a.stats.optimizer_members.size(), b.stats.optimizer_members.size());
+  EXPECT_EQ(a.stats.optimizer_members.size(), 4u);  // default member set
+  for (std::size_t i = 0; i < a.stats.optimizer_members.size(); ++i) {
+    EXPECT_EQ(a.stats.optimizer_members[i].name, b.stats.optimizer_members[i].name);
+    EXPECT_EQ(a.stats.optimizer_members[i].asks, b.stats.optimizer_members[i].asks);
+    EXPECT_EQ(a.stats.optimizer_members[i].tells, b.stats.optimizer_members[i].tells);
+    EXPECT_DOUBLE_EQ(a.stats.optimizer_members[i].hv_gain,
+                     b.stats.optimizer_members[i].hv_gain);
+  }
+}
+
+TEST(SteadyStateJournal, ResumeRoutesReplayedTellToAttributedMember) {
+  // A crashed portfolio campaign left an inflight marker attributed to the
+  // "random" member. On resume with a budget of exactly one completion,
+  // only the replayed point runs — and its tell must land on "random".
+  const std::string path = testing::TempDir() + "/dovado_journal_attrib.jsonl";
+  std::remove(path.c_str());
+
+  DseConfig config = steady_dse(0);
+  config.journal_path = path;
+  DseEngine first(fifo_project(), config);
+  const DseResult original = first.run();
+
+  DesignPoint pending;
+  for (std::int64_t depth = 8; depth <= 200; ++depth) {
+    const DesignPoint candidate{{"DEPTH", depth}};
+    const bool explored =
+        std::any_of(original.explored.begin(), original.explored.end(),
+                    [&](const ExploredPoint& p) { return p.params == candidate; });
+    if (!explored) {
+      pending = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(pending.empty());
+  {
+    std::ofstream out(path, std::ios::app);
+    out << inflight_record_to_json(pending, "random") << "\n";
+  }
+
+  config.resume_from_journal = true;
+  config.optimizer = "portfolio";
+  config.steady_state_evaluations = 1;  // replayed point only, no fresh asks
+  DseEngine resumed(fifo_project(), config);
+  const DseResult replayed = resumed.run();
+
+  EXPECT_EQ(replayed.stats.inflight_replayed, 1u);
+  ASSERT_EQ(replayed.stats.optimizer_members.size(), 4u);
+  for (const auto& m : replayed.stats.optimizer_members) {
+    EXPECT_EQ(m.tells, m.name == "random" ? 1u : 0u) << m.name;
+  }
   std::remove(path.c_str());
 }
 

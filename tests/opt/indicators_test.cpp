@@ -51,6 +51,39 @@ TEST(Hypervolume, ThreeDimensionalUnion) {
   EXPECT_DOUBLE_EQ(hypervolume({{0, 0, 1}, {1, 1, 0}}, {2, 2, 2}), 5.0);
 }
 
+// Degenerate inputs (the portfolio's credit assignment calls hypervolume on
+// incremental fronts, so the edges must be exact, not just "roughly zero").
+TEST(HypervolumeDegenerate, EmptyFrontIsExactlyZero) {
+  EXPECT_DOUBLE_EQ(hypervolume({}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({}, {0, 0}), 0.0);
+}
+
+TEST(HypervolumeDegenerate, SinglePointEqualToReferenceIsZero) {
+  // Strict dominance required: a point *at* the reference bounds no volume.
+  EXPECT_DOUBLE_EQ(hypervolume({{3, 3}}, {3, 3}), 0.0);
+}
+
+TEST(HypervolumeDegenerate, PointOnOneReferenceBoundaryIsZero) {
+  // Equal on any single axis already kills the whole box.
+  EXPECT_DOUBLE_EQ(hypervolume({{3, 0}}, {3, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({{0, 3}}, {3, 3}), 0.0);
+}
+
+TEST(HypervolumeDegenerate, BoundaryPointDoesNotPerturbInteriorVolume) {
+  const double interior = hypervolume({{1, 1}}, {3, 3});
+  EXPECT_DOUBLE_EQ(hypervolume({{1, 1}, {3, 0}}, {3, 3}), interior);
+}
+
+TEST(HypervolumeDegenerate, ManyDuplicatedPointsCountOnce) {
+  const std::vector<Objectives> dup(5, Objectives{1, 2});
+  EXPECT_DOUBLE_EQ(hypervolume(dup, {3, 3}), hypervolume({{1, 2}}, {3, 3}));
+}
+
+TEST(HypervolumeDegenerate, NegativeCoordinatesAndOriginReference) {
+  // Nothing special about the origin; volumes are measured to the reference.
+  EXPECT_DOUBLE_EQ(hypervolume({{-2, -1}}, {0, 0}), 2.0);
+}
+
 TEST(Hypervolume, MonotoneInPoints) {
   const std::vector<Objectives> small = {{2, 2}};
   const std::vector<Objectives> bigger = {{2, 2}, {1, 2.5}};

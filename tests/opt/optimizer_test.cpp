@@ -1,0 +1,319 @@
+#include "src/opt/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/opt/portfolio.hpp"
+
+namespace dovado::opt {
+namespace {
+
+/// Same convex benchmark as nsga2_test.cpp: f1 = x/N, f2 = (1-x/N)^2 + y/M,
+/// true front y = 0.
+class ConvexProblem final : public Problem {
+ public:
+  ConvexProblem(std::int64_t nx, std::int64_t ny) : nx_(nx), ny_(ny) {}
+  [[nodiscard]] std::size_t n_vars() const override { return 2; }
+  [[nodiscard]] std::size_t n_objectives() const override { return 2; }
+  [[nodiscard]] std::int64_t cardinality(std::size_t var) const override {
+    return var == 0 ? nx_ : ny_;
+  }
+  [[nodiscard]] Objectives evaluate(const Genome& g) override {
+    ++evaluations;
+    const double x = static_cast<double>(g[0]) / static_cast<double>(nx_ - 1);
+    const double y = static_cast<double>(g[1]) / static_cast<double>(ny_ - 1);
+    return {x, (1.0 - x) * (1.0 - x) + y};
+  }
+  std::atomic<std::size_t> evaluations{0};
+
+ private:
+  std::int64_t nx_;
+  std::int64_t ny_;
+};
+
+OptimizerContext context_for(Problem& problem, std::uint64_t seed = 1) {
+  OptimizerContext ctx;
+  ctx.problem = &problem;
+  ctx.ga.seed = seed;
+  return ctx;
+}
+
+/// Drive an optimizer synchronously for `budget` distinct asks.
+std::vector<Genome> drive(Problem& problem, Optimizer& searcher, std::size_t budget) {
+  std::vector<Genome> asked;
+  std::set<Genome> seen;
+  while (asked.size() < budget) {
+    Genome g = searcher.ask();
+    if (!seen.insert(g).second) break;  // space exhausted
+    searcher.tell(g, problem.evaluate(g), 1.0);
+    asked.push_back(std::move(g));
+  }
+  return asked;
+}
+
+TEST(OptimizerRegistry, NamesListsAllBuiltins) {
+  const auto names = OptimizerRegistry::names();
+  for (const char* expected :
+       {"exhaustive", "local", "nsga2", "portfolio", "random", "surrogate"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing builtin: " << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(OptimizerRegistry, UnknownNameThrowsWithDidYouMean) {
+  try {
+    OptimizerRegistry::ensure_known("nsga3");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nsga3"), std::string::npos);
+    EXPECT_NE(msg.find("did you mean 'nsga2'"), std::string::npos);
+    EXPECT_NE(msg.find("known optimizers"), std::string::npos);
+  }
+}
+
+TEST(OptimizerRegistry, CreateRequiresAProblem) {
+  OptimizerContext ctx;  // problem left null
+  EXPECT_THROW((void)OptimizerRegistry::create("random", ctx), std::runtime_error);
+}
+
+TEST(OptimizerRegistry, CreatesEveryBuiltin) {
+  ConvexProblem problem(8, 8);
+  for (const auto& name : OptimizerRegistry::names()) {
+    auto searcher = OptimizerRegistry::create(name, context_for(problem, 3));
+    ASSERT_NE(searcher, nullptr) << name;
+    EXPECT_EQ(searcher->info().name, name);
+  }
+}
+
+TEST(OptimizerAdapters, DeterministicForSameSeed) {
+  for (const char* name : {"random", "local", "surrogate", "exhaustive"}) {
+    auto run = [&](std::uint64_t seed) {
+      ConvexProblem problem(16, 16);
+      auto searcher = OptimizerRegistry::create(name, context_for(problem, seed));
+      return drive(problem, *searcher, 20);
+    };
+    EXPECT_EQ(run(11), run(11)) << name;
+  }
+}
+
+TEST(OptimizerAdapters, NoDuplicateProposalsWithinBudget) {
+  for (const char* name : {"random", "local", "surrogate"}) {
+    ConvexProblem problem(16, 16);
+    auto searcher = OptimizerRegistry::create(name, context_for(problem, 5));
+    const auto asked = drive(problem, *searcher, 40);
+    EXPECT_EQ(asked.size(), 40u) << name << " repeated a genome early";
+  }
+}
+
+TEST(OptimizerAdapters, ReserveSuppressesAGenome) {
+  ConvexProblem problem(4, 1);  // 4-point space
+  auto searcher = OptimizerRegistry::create("random", context_for(problem, 9));
+  searcher->reserve({2, 0});
+  std::set<Genome> asked;
+  for (int i = 0; i < 3; ++i) asked.insert(searcher->ask());
+  EXPECT_EQ(asked.size(), 3u);
+  EXPECT_EQ(asked.count({2, 0}), 0u);
+}
+
+TEST(OptimizerAdapters, SeedsHandedOutFirst) {
+  ConvexProblem problem(16, 16);
+  OptimizerContext ctx = context_for(problem, 2);
+  ctx.ga.initial_genomes = {{3, 4}, {5, 6}};
+  auto searcher = OptimizerRegistry::create("random", ctx);
+  EXPECT_EQ(searcher->ask(), (Genome{3, 4}));
+  EXPECT_EQ(searcher->ask(), (Genome{5, 6}));
+}
+
+TEST(ExhaustiveOptimizer, EnumeratesTheWholeSpace) {
+  ConvexProblem problem(5, 3);
+  auto searcher = OptimizerRegistry::create("exhaustive", context_for(problem));
+  std::set<Genome> asked;
+  for (int i = 0; i < 15; ++i) {
+    Genome g = searcher->ask();
+    asked.insert(g);
+    searcher->tell(g, problem.evaluate(g));
+  }
+  EXPECT_EQ(asked.size(), 15u);
+}
+
+TEST(OptimizerAdapters, FrontIsNonDominatedSubsetOfTells) {
+  ConvexProblem problem(16, 16);
+  auto searcher = OptimizerRegistry::create("local", context_for(problem, 7));
+  drive(problem, *searcher, 30);
+  const auto front = searcher->front();
+  ASSERT_FALSE(front.empty());
+  for (const auto& a : front) {
+    for (const auto& b : front) {
+      EXPECT_FALSE(dominates(a.objectives, b.objectives));
+    }
+  }
+}
+
+TEST(MakePortfolio, RejectsBadMemberLists) {
+  ConvexProblem problem(8, 8);
+  OptimizerContext ctx = context_for(problem);
+
+  ctx.portfolio_members = {"portfolio"};
+  EXPECT_THROW((void)make_portfolio(ctx), std::runtime_error);
+
+  ctx.portfolio_members = {"random", "random"};
+  EXPECT_THROW((void)make_portfolio(ctx), std::runtime_error);
+
+  ctx.portfolio_members = {"randm"};
+  try {
+    (void)make_portfolio(ctx);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'random'"), std::string::npos);
+  }
+}
+
+TEST(MakePortfolio, DefaultMembersAreTheFourSearchers) {
+  ConvexProblem problem(8, 8);
+  auto portfolio = make_portfolio(context_for(problem));
+  std::vector<std::string> names;
+  for (const auto& m : portfolio->members()) names.push_back(m->info().name);
+  EXPECT_EQ(names, (std::vector<std::string>{"nsga2", "random", "local", "surrogate"}));
+  EXPECT_TRUE(portfolio->info().composite);
+}
+
+TEST(Portfolio, ColdStartAsksEachMemberOnceInOrder) {
+  ConvexProblem problem(32, 32);
+  auto portfolio = make_portfolio(context_for(problem, 13));
+  for (std::size_t i = 0; i < portfolio->members().size(); ++i) {
+    const Genome g = portfolio->ask();
+    EXPECT_EQ(portfolio->attributed_to(g), portfolio->members()[i]->info().name);
+  }
+  for (const auto& stats : portfolio->member_stats()) {
+    EXPECT_EQ(stats.asks, 1u) << stats.name;
+  }
+}
+
+TEST(Portfolio, TellRoutesOnlyToTheAskingMember) {
+  ConvexProblem problem(32, 32);
+  auto portfolio = make_portfolio(context_for(problem, 13));
+  const Genome g = portfolio->ask();  // cold start: first member ("nsga2")
+  ASSERT_EQ(portfolio->attributed_to(g), "nsga2");
+  portfolio->tell(g, problem.evaluate(g), 2.0);
+  const auto stats = portfolio->member_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  EXPECT_EQ(stats[0].tells, 1u);
+  EXPECT_DOUBLE_EQ(stats[0].cost_seconds, 2.0);
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].tells, 0u) << stats[i].name;
+  }
+  EXPECT_EQ(portfolio->members()[0]->told(), 1u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(portfolio->members()[i]->told(), 0u);
+  }
+}
+
+TEST(Portfolio, ReserveForRoutesTheReplayedTell) {
+  ConvexProblem problem(32, 32);
+  auto portfolio = make_portfolio(context_for(problem, 13));
+  const Genome pending = {7, 7};
+  portfolio->reserve_for(pending, "random");
+  EXPECT_EQ(portfolio->attributed_to(pending), "random");
+  portfolio->tell(pending, problem.evaluate(pending), 1.5);
+  const auto stats = portfolio->member_stats();
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.tells, s.name == "random" ? 1u : 0u) << s.name;
+  }
+}
+
+TEST(Portfolio, ReserveSuppressesTheGenomeInEveryMember) {
+  ConvexProblem problem(3, 1);  // 3-point space
+  OptimizerContext ctx = context_for(problem, 4);
+  ctx.portfolio_members = {"random", "local"};
+  auto portfolio = make_portfolio(ctx);
+  portfolio->reserve({1, 0});
+  std::set<Genome> asked;
+  for (int i = 0; i < 2; ++i) asked.insert(portfolio->ask());
+  EXPECT_EQ(asked.size(), 2u);
+  EXPECT_EQ(asked.count({1, 0}), 0u);
+}
+
+TEST(Portfolio, HypervolumeGainCreditedToAskingMember) {
+  ConvexProblem problem(32, 32);
+  auto portfolio = make_portfolio(context_for(problem, 13));
+  // Two tells with mutually non-dominated objectives: the second must add
+  // front volume, so its asking member accrues positive gain.
+  const Genome a = portfolio->ask();
+  portfolio->tell(a, {1.0, 0.0}, 1.0);
+  const Genome b = portfolio->ask();
+  const std::string owner = portfolio->attributed_to(b);
+  portfolio->tell(b, {0.0, 1.0}, 1.0);
+  double owner_gain = -1.0;
+  for (const auto& s : portfolio->member_stats()) {
+    if (s.name == owner) owner_gain = s.hv_gain;
+  }
+  EXPECT_GT(owner_gain, 0.0);
+}
+
+TEST(Portfolio, FailurePenaltyObjectivesEarnNoCredit) {
+  ConvexProblem problem(32, 32);
+  auto portfolio = make_portfolio(context_for(problem, 13));
+  const Genome g = portfolio->ask();
+  const std::string owner = portfolio->attributed_to(g);
+  portfolio->tell(g, {1e18, 1e18}, 1.0);
+  for (const auto& s : portfolio->member_stats()) {
+    if (s.name == owner) {
+      EXPECT_EQ(s.tells, 1u);
+      EXPECT_DOUBLE_EQ(s.hv_gain, 0.0);
+    }
+  }
+  EXPECT_TRUE(portfolio->front().empty());
+}
+
+TEST(Portfolio, BanditShiftsAsksTowardTheEarningMember) {
+  ConvexProblem problem(64, 64);
+  OptimizerContext ctx = context_for(problem, 21);
+  ctx.portfolio_members = {"random", "local"};
+  auto portfolio = make_portfolio(ctx);
+  // "random" gets genuine improving evaluations; "local" only failures.
+  for (int i = 0; i < 40; ++i) {
+    const Genome g = portfolio->ask();
+    const bool earned = portfolio->attributed_to(g) == "random";
+    portfolio->tell(g, earned ? problem.evaluate(g) : Objectives{1e18, 1e18}, 1.0);
+  }
+  const auto stats = portfolio->member_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_GT(stats[0].asks, stats[1].asks);  // random out-asks local
+  EXPECT_GT(stats[0].weight, stats[1].weight);
+}
+
+TEST(Portfolio, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    ConvexProblem problem(32, 32);
+    auto portfolio = make_portfolio(context_for(problem, seed));
+    std::vector<Genome> asked;
+    for (int i = 0; i < 25; ++i) {
+      Genome g = portfolio->ask();
+      portfolio->tell(g, problem.evaluate(g), 1.0);
+      asked.push_back(std::move(g));
+    }
+    return asked;
+  };
+  EXPECT_EQ(run(17), run(17));
+}
+
+TEST(Portfolio, NeverRepeatsAGenomeAcrossMembers) {
+  ConvexProblem problem(16, 16);
+  auto portfolio = make_portfolio(context_for(problem, 3));
+  std::set<Genome> asked;
+  for (int i = 0; i < 60; ++i) {
+    Genome g = portfolio->ask();
+    EXPECT_TRUE(asked.insert(g).second) << "duplicate ask at i=" << i;
+    portfolio->tell(g, problem.evaluate(g), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dovado::opt
