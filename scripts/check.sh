@@ -38,6 +38,16 @@ echo "== bench gate: optimizer portfolio ablation (BENCH_portfolio.json) =="
 # portfolio's hypervolume >= the best single searcher at the shared budget.
 build/bench/micro_portfolio
 
+echo "== bench gate: multi-tenant service request-path overhead (bench/serve_overhead.json) =="
+# Exits non-zero when the bar is missed: admission + DRR scheduling +
+# dispatch bookkeeping must add < 1% to a fresh evaluation.
+build/bench/micro_serve_overhead
+
+echo "== serve suite: protocol/admission/fairness/drain + socket e2e =="
+# Also part of the full ctest run above; repeated as its own leg so a
+# service regression fails loudly with the serve suite's own output.
+ctest --preset default -j "$jobs" --timeout 600 -R '^test_serve$'
+
 echo "== store crash suite: SIGKILL drills + corruption corpus =="
 # Also part of the full ctest run above; repeated as its own leg so a
 # durability regression fails loudly with the store suite's own output.
@@ -50,7 +60,7 @@ fi
 
 echo "== tsan: fault-injected concurrency suite =="
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target test_core test_util test_store
+cmake --build --preset tsan -j "$jobs" --target test_core test_util test_store test_serve
 ctest --preset tsan-parallel -j "$jobs" --timeout 600
 
 echo "== asan: full suite (incl. store crash drills over raw-fd I/O) =="

@@ -1,9 +1,13 @@
 #include "src/cli/commands.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <ostream>
+#include <thread>
 
 #include "src/analysis/analyzer.hpp"
 #include "src/analysis/render.hpp"
@@ -16,8 +20,11 @@
 #include "src/hdl/frontend.hpp"
 #include "src/fpga/board.hpp"
 #include "src/perf/roofline.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/server.hpp"
 #include "src/store/store.hpp"
 #include "src/util/json.hpp"
+#include "src/util/logging.hpp"
 #include "src/util/strings.hpp"
 
 namespace dovado::cli {
@@ -73,6 +80,56 @@ bool apply_fault_plan(const Options& options, core::DseConfig& config, std::ostr
   }
   config.fault_plan = *plan;
   return true;
+}
+
+/// Last signal delivered while a ScopedSignalHandlers is installed
+/// (0 = none). Lock-free atomic, safe to set from the handler.
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+/// Route SIGINT/SIGTERM into g_signal for the lifetime of this object
+/// (restoring the previous handlers on destruction). No SA_RESTART: the
+/// wait loops must wake from blocking calls when a signal lands.
+class ScopedSignalHandlers {
+ public:
+  ScopedSignalHandlers() {
+    g_signal.store(0, std::memory_order_relaxed);
+    struct sigaction action = {};
+    action.sa_handler = on_signal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, &old_int_);
+    sigaction(SIGTERM, &action, &old_term_);
+  }
+  ~ScopedSignalHandlers() {
+    sigaction(SIGINT, &old_int_, nullptr);
+    sigaction(SIGTERM, &old_term_, nullptr);
+  }
+  ScopedSignalHandlers(const ScopedSignalHandlers&) = delete;
+  ScopedSignalHandlers& operator=(const ScopedSignalHandlers&) = delete;
+
+  [[nodiscard]] static int delivered() {
+    return g_signal.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] static const char* name(int sig) {
+    return sig == SIGINT ? "SIGINT" : sig == SIGTERM ? "SIGTERM" : "signal";
+  }
+
+ private:
+  struct sigaction old_int_ = {};
+  struct sigaction old_term_ = {};
+};
+
+/// Open the cross-campaign store for a daemon, degrading to read-only when
+/// another writer holds the lock (mirrors the engine's policy).
+std::shared_ptr<store::EvalStore> open_store_or_throw(const std::string& path) {
+  auto opened = store::EvalStore::open_writer(path);
+  if (!opened.store && opened.lock_busy) {
+    util::Log::warn(opened.error);
+    opened = store::EvalStore::open_reader(path);
+  }
+  if (!opened.store) throw std::runtime_error(opened.error);
+  return std::move(opened.store);
 }
 
 }  // namespace
@@ -206,6 +263,13 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
       }
     }
 
+    // Graceful shutdown: SIGINT/SIGTERM stops submitting new evaluations,
+    // drains the in-flight ones (journal and store flushed as usual), and
+    // the partial front below is printed before exiting with a distinct
+    // code. A second signal still kills the process the hard way.
+    ScopedSignalHandlers signals;
+    config.ga.should_stop = [] { return ScopedSignalHandlers::delivered() != 0; };
+
     core::DseEngine engine(project_from(options), config);
     const core::DseResult result = engine.run();
 
@@ -308,6 +372,13 @@ int run_explore(const Options& options, std::ostream& out, std::ostream& err) {
         return 1;
       }
       out << "session saved to " << options.session_path << "\n";
+    }
+    const int sig = ScopedSignalHandlers::delivered();
+    if (sig != 0) {
+      out << "interrupted by " << ScopedSignalHandlers::name(sig)
+          << ": the search stopped early; the results above are the partial "
+             "front (journal/store/session flushed)\n";
+      return kExitInterrupted;
     }
     return 0;
   } catch (const std::exception& e) {
@@ -550,6 +621,173 @@ int run_db(const Options& options, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int run_serve(const Options& options, std::ostream& out, std::ostream& err) {
+  try {
+    serve::ServeConfig config;
+    config.socket_path = options.socket_path;
+    config.project = project_from(options);
+    config.broker.workers = options.workers;
+    config.broker.supervise.max_retries = options.max_retries;
+    config.broker.supervise.attempt_timeout_tool_seconds = options.attempt_timeout;
+    config.broker.supervise.seed = options.seed;
+    {
+      std::string spec = options.fault_plan;
+      if (spec.empty()) {
+        const char* env = std::getenv("DOVADO_FAULT_PLAN");
+        if (env != nullptr) spec = env;
+      }
+      if (!spec.empty()) {
+        std::string error;
+        const auto plan = edatool::FaultPlan::parse(spec, error);
+        if (!plan) {
+          err << "invalid fault plan '" << spec << "': " << error << "\n";
+          return 1;
+        }
+        config.broker.fault_plan = *plan;
+      }
+    }
+    config.broker.journal_path = options.journal_path;
+    // A daemon restart must replay its own journal: every answer acked
+    // before the restart is served from cache afterwards.
+    config.broker.resume_from_journal = !options.journal_path.empty();
+    if (!options.store_path.empty()) {
+      config.broker.store = open_store_or_throw(options.store_path);
+    }
+    config.broker.campaign_id =
+        options.campaign_id.empty() ? "serve" : options.campaign_id;
+    config.breaker.enabled = options.breaker;
+    config.breaker.window = options.breaker_window;
+    config.breaker.failure_threshold = options.breaker_threshold;
+    config.breaker.probe_budget = options.probe_budget;
+    config.breaker.seed = options.seed;
+    config.max_inflight = options.max_inflight;
+    config.max_connections = options.max_connections;
+    config.default_deadline_tool_seconds = options.deadline_tool_seconds;
+    for (const ServeTenantSpec& spec : options.serve_tenants) {
+      serve::ServeTenantConfig tenant;
+      tenant.name = spec.name;
+      tenant.policy.weight = spec.weight;
+      tenant.policy.queue_cap = spec.queue_cap;
+      tenant.policy.request_rate = spec.request_rate;
+      tenant.policy.request_burst = spec.request_burst;
+      tenant.policy.tool_seconds_rate = spec.tool_seconds_rate;
+      tenant.policy.tool_seconds_burst = spec.tool_seconds_burst;
+      config.tenants.push_back(std::move(tenant));
+    }
+
+    serve::Server server(std::move(config));
+    std::string error;
+    if (!server.start(error)) {
+      err << "dovado serve: " << error << "\n";
+      return 1;
+    }
+    out << "dovado serve: listening on " << options.socket_path << " ("
+        << options.serve_tenants.size()
+        << " pinned tenant(s); SIGTERM drains gracefully)\n";
+    out.flush();
+
+    ScopedSignalHandlers signals;
+    while (ScopedSignalHandlers::delivered() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    const int sig = ScopedSignalHandlers::delivered();
+    out << "dovado serve: received " << ScopedSignalHandlers::name(sig)
+        << "; draining (in-flight evaluations finish, queued work is shed)\n";
+    out.flush();
+    server.drain();
+    server.wait();
+
+    const serve::ServerStats stats = server.stats();
+    out << "dovado serve: drained; " << stats.requests << " requests, "
+        << stats.shed << " shed, " << stats.campaigns_finished
+        << " campaigns finished\n";
+    for (const serve::ServerTenantStats& tenant : stats.tenants) {
+      out << "  " << tenant.name << ": weight "
+          << util::format("%.0f", tenant.queue.weight) << ", "
+          << tenant.completed << " ok / " << tenant.failed << " failed, shed "
+          << tenant.admission.shed_request_rate << " rate / "
+          << tenant.admission.shed_tool_quota << " quota / "
+          << tenant.queue.shed_queue_full << " queue, "
+          << util::format("%.1f", tenant.admission.tool_seconds_charged)
+          << " tool seconds\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+int run_client(const Options& options, std::ostream& out, std::ostream& err) {
+  serve::Client client;
+  std::string error;
+  if (!client.connect(options.socket_path, error)) {
+    err << "dovado client: " << error << "\n";
+    return 2;
+  }
+  if (options.assignments.empty()) {
+    if (!client.ping(error)) {
+      err << "dovado client: " << error << "\n";
+      return 2;
+    }
+    out << "pong\n";
+    return 0;
+  }
+  serve::Response response;
+  if (!client.eval(options.tenant, options.assignments,
+                   options.deadline_tool_seconds, response, error)) {
+    err << "dovado client: " << error << "\n";
+    return 2;
+  }
+  switch (response.status) {
+    case serve::ResponseStatus::kOk: {
+      for (const auto& [name, value] : response.metrics) {
+        out << name << " = " << util::format("%g", value) << "\n";
+      }
+      out << "tool seconds: " << util::format("%.1f", response.tool_seconds);
+      if (response.cache_hit) out << " (cache hit)";
+      if (response.store_hit) out << " (store hit)";
+      out << "\n";
+      return 0;
+    }
+    case serve::ResponseStatus::kFailed:
+      err << "evaluation failed: " << response.error << "\n";
+      return 1;
+    case serve::ResponseStatus::kShed:
+      err << "shed (" << response.reason << "); retry after "
+          << response.retry_after_ms << " ms\n";
+      return 4;
+    case serve::ResponseStatus::kDraining:
+      err << "daemon is draining; resubmit after it restarts\n";
+      return 4;
+    case serve::ResponseStatus::kError:
+      err << "request rejected: " << response.error << "\n";
+      return 2;
+  }
+  return 2;
+}
+
+int run_top(const Options& options, std::ostream& out, std::ostream& err) {
+  serve::Client client;
+  std::string error;
+  if (!client.connect(options.socket_path, error)) {
+    err << "dovado top: " << error << "\n";
+    return 2;
+  }
+  std::string stats_json;
+  if (!client.stats(stats_json, error)) {
+    err << "dovado top: " << error << "\n";
+    return 2;
+  }
+  util::Json parsed;
+  if (util::Json::parse(stats_json, parsed)) {
+    out << parsed.dump(2) << "\n";
+  } else {
+    out << stats_json << "\n";
+  }
+  return 0;
+}
+
 int run(const Options& options, std::ostream& out, std::ostream& err) {
   switch (options.command) {
     case Command::kHelp:
@@ -569,6 +807,12 @@ int run(const Options& options, std::ostream& out, std::ostream& err) {
       return run_lint(options, out, err);
     case Command::kDb:
       return run_db(options, out, err);
+    case Command::kServe:
+      return run_serve(options, out, err);
+    case Command::kClient:
+      return run_client(options, out, err);
+    case Command::kTop:
+      return run_top(options, out, err);
   }
   return 1;
 }

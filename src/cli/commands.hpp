@@ -27,4 +27,23 @@ namespace dovado::cli {
 /// Evaluation-store maintenance: db stats|query|compact|export.
 [[nodiscard]] int run_db(const Options& options, std::ostream& out, std::ostream& err);
 
+/// The multi-tenant evaluation daemon (blocks until SIGTERM/SIGINT drains it).
+[[nodiscard]] int run_serve(const Options& options, std::ostream& out,
+                            std::ostream& err);
+
+/// One-shot client: ping or a single evaluation against a running daemon.
+/// Exit codes: 0 ok, 1 failed evaluation, 2 protocol/connection error,
+/// 4 shed or draining (retry later).
+[[nodiscard]] int run_client(const Options& options, std::ostream& out,
+                             std::ostream& err);
+
+/// Per-tenant scheduling statistics of a running daemon.
+[[nodiscard]] int run_top(const Options& options, std::ostream& out,
+                          std::ostream& err);
+
+/// Exit code of `dovado explore` when a SIGINT/SIGTERM stopped the search
+/// early: the partial front was printed and outputs were written, but the
+/// budget was not exhausted.
+inline constexpr int kExitInterrupted = 3;
+
 }  // namespace dovado::cli

@@ -12,5 +12,8 @@ int main(int argc, char** argv) {
     std::cerr << "dovado: " << outcome.error << "\n\n" << dovado::cli::usage();
     return 2;
   }
+  for (const std::string& warning : outcome.warnings) {
+    std::cerr << "dovado: warning: " << warning << "\n";
+  }
   return dovado::cli::run(outcome.options, std::cout, std::cerr);
 }

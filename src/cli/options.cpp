@@ -17,6 +17,40 @@ bool parse_i64(const std::string& s, std::int64_t& out) {
   return true;
 }
 
+/// Find (or create) the serve-tenant spec a --tenant/--quota/--request-rate
+/// flag is talking about, so the three flags compose in any order.
+ServeTenantSpec& tenant_spec_for(Options& opt, const std::string& name) {
+  for (auto& spec : opt.serve_tenants) {
+    if (spec.name == name) return spec;
+  }
+  opt.serve_tenants.push_back(ServeTenantSpec{});
+  opt.serve_tenants.back().name = name;
+  return opt.serve_tenants.back();
+}
+
+/// Parse "name:a[:b]" into (name, a, optional b); used by the serve tenant
+/// flags. Returns false with `error` set on a malformed spec.
+bool parse_tenant_numbers(const std::string& flag, const std::string& spec,
+                          std::string& name, double& first, double& second,
+                          bool& has_second, std::string& error) {
+  const auto parts = util::split(spec, ':');
+  if (parts.size() < 2 || parts.size() > 3 || parts[0].empty()) {
+    error = flag + " expects NAME:NUMBER[:NUMBER]: " + spec;
+    return false;
+  }
+  name = parts[0];
+  if (!util::parse_double(parts[1], first)) {
+    error = flag + ": invalid number in '" + spec + "'";
+    return false;
+  }
+  has_second = parts.size() == 3;
+  if (has_second && !util::parse_double(parts[2], second)) {
+    error = flag + ": invalid number in '" + spec + "'";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::optional<core::ParamSpec> parse_param_spec(const std::string& spec,
@@ -139,6 +173,11 @@ commands:
              design space (exit 0 = clean, 1 = warnings, 2 = errors)
   db         inspect or maintain a cross-campaign evaluation store:
              db stats|query|compact|export --store FILE
+  serve      long-running multi-tenant evaluation daemon on a Unix socket
+             (shared broker/cache/store, per-tenant admission control,
+             weighted fair-share scheduling, graceful drain on SIGTERM)
+  client     submit one evaluation (or a ping) to a running daemon
+  top        print a running daemon's per-tenant scheduling statistics
   help       show this text
 
 project options (parse/evaluate/explore):
@@ -247,6 +286,35 @@ output options:
   --csv FILE              write explored points as CSV
   --json FILE             write the full result as JSON
 
+serve options (plus the project/robustness/store/availability options):
+  --socket PATH           Unix-domain socket to listen on (required)
+  --tenant N:W[:Q]        register tenant N with fair-share weight W and
+                          queue depth Q (repeatable; default weight 1,
+                          queue 64; unknown tenants get the defaults)
+  --request-rate N:R[:B]  admit at most R requests/second from tenant N
+                          (token bucket of depth B; default B = max(1, R));
+                          over-limit requests are shed with retry_after_ms
+  --quota N:R[:B]         tool-second quota for tenant N: R tool-seconds of
+                          budget accrue per second up to burst B (post-paid;
+                          an exhausted tenant sheds until the refill covers
+                          its debt)
+  --max-connections N     concurrent client connections (default 64)
+  --deadline S            default per-request tool-second deadline when the
+                          request names none (0 = unbounded)
+  --workers N             evaluator threads of the shared broker
+  --max-inflight N        evaluations in flight at once (default: one per
+                          virtual lane)
+
+client options:
+  --socket PATH           the daemon's socket (required)
+  --tenant NAME           tenant to bill the request to (default "default")
+  --set NAME=VALUE        design-point assignment (repeatable; with no --set
+                          the client just pings the daemon)
+  --deadline S            per-request tool-second deadline (0 = unbounded)
+
+top options:
+  --socket PATH           the daemon's socket (required)
+
 sensitivity options:
   --param NAME=...        parameters to sweep (same domain syntax as explore)
   --set NAME=VALUE        base-point override (default: domain centers)
@@ -280,6 +348,9 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
   else if (command == "roofline") opt.command = Command::kRoofline;
   else if (command == "lint") opt.command = Command::kLint;
   else if (command == "db") opt.command = Command::kDb;
+  else if (command == "serve") opt.command = Command::kServe;
+  else if (command == "client") opt.command = Command::kClient;
+  else if (command == "top") opt.command = Command::kTop;
   else {
     outcome.error = "unknown command '" + command + "'";
     return outcome;
@@ -446,11 +517,101 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
     } else if (a == "--max-inflight") {
       if (!need_value(i, a)) return outcome;
       std::int64_t v = 0;
-      if (!parse_i64(args[++i], v) || v < 0) {
-        outcome.error = "invalid --max-inflight";
+      // 0 is not "default" here: the flag's whole point is to bound
+      // concurrency, and a zero bound would deadlock the submit loop. Omit
+      // the flag entirely for the one-per-lane default.
+      if (!parse_i64(args[++i], v) || v <= 0) {
+        outcome.error =
+            "invalid --max-inflight: must be a positive integer (omit the "
+            "flag to default to one evaluation per virtual lane)";
         return outcome;
       }
       opt.max_inflight = static_cast<std::size_t>(v);
+    } else if (a == "--socket") {
+      if (!need_value(i, a)) return outcome;
+      opt.socket_path = args[++i];
+    } else if (a == "--tenant") {
+      if (!need_value(i, a)) return outcome;
+      const std::string& spec = args[++i];
+      if (opt.command == Command::kServe) {
+        std::string name;
+        double weight = 1.0;
+        double queue = 0.0;
+        bool has_queue = false;
+        if (!parse_tenant_numbers("--tenant", spec, name, weight, queue,
+                                  has_queue, error)) {
+          outcome.error = error;
+          return outcome;
+        }
+        if (weight <= 0.0) {
+          outcome.error = "--tenant weight must be positive: " + spec;
+          return outcome;
+        }
+        if (has_queue && queue < 1.0) {
+          outcome.error = "--tenant queue depth must be >= 1: " + spec;
+          return outcome;
+        }
+        ServeTenantSpec& tenant = tenant_spec_for(opt, name);
+        tenant.weight = weight;
+        if (has_queue) tenant.queue_cap = static_cast<std::size_t>(queue);
+      } else {
+        if (spec.empty()) {
+          outcome.error = "--tenant expects a name";
+          return outcome;
+        }
+        opt.tenant = spec;
+      }
+    } else if (a == "--request-rate") {
+      if (!need_value(i, a)) return outcome;
+      std::string name;
+      double rate = 0.0;
+      double burst = 0.0;
+      bool has_burst = false;
+      if (!parse_tenant_numbers("--request-rate", args[++i], name, rate, burst,
+                                has_burst, error)) {
+        outcome.error = error;
+        return outcome;
+      }
+      if (rate < 0.0 || (has_burst && burst <= 0.0)) {
+        outcome.error = "--request-rate needs rate >= 0 and burst > 0: " + args[i];
+        return outcome;
+      }
+      ServeTenantSpec& tenant = tenant_spec_for(opt, name);
+      tenant.request_rate = rate;
+      if (has_burst) tenant.request_burst = burst;
+    } else if (a == "--quota") {
+      if (!need_value(i, a)) return outcome;
+      std::string name;
+      double rate = 0.0;
+      double burst = 0.0;
+      bool has_burst = false;
+      if (!parse_tenant_numbers("--quota", args[++i], name, rate, burst,
+                                has_burst, error)) {
+        outcome.error = error;
+        return outcome;
+      }
+      if (rate < 0.0 || (has_burst && burst <= 0.0)) {
+        outcome.error = "--quota needs rate >= 0 and burst > 0: " + args[i];
+        return outcome;
+      }
+      ServeTenantSpec& tenant = tenant_spec_for(opt, name);
+      tenant.tool_seconds_rate = rate;
+      if (has_burst) tenant.tool_seconds_burst = burst;
+    } else if (a == "--max-connections") {
+      if (!need_value(i, a)) return outcome;
+      std::int64_t v = 0;
+      if (!parse_i64(args[++i], v) || v <= 0) {
+        outcome.error = "invalid --max-connections (must be a positive integer)";
+        return outcome;
+      }
+      opt.max_connections = static_cast<std::size_t>(v);
+    } else if (a == "--deadline") {
+      if (!need_value(i, a)) return outcome;
+      if (!util::parse_double(args[++i], opt.deadline_tool_seconds) ||
+          opt.deadline_tool_seconds < 0.0) {
+        outcome.error = "invalid --deadline (tool seconds, >= 0)";
+        return outcome;
+      }
     } else if (a == "--samples") {
       if (!need_value(i, a)) return outcome;
       std::int64_t v = 0;
@@ -575,7 +736,8 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
           "--breaker-threshold", "--probe-budget", "--save-session", "--csv",
           "--json", "--clock", "--kernel", "--lint-format", "--lint-rules",
           "--no-preflight", "--store", "--no-store", "--campaign",
-          "--no-warm-start", "--tier"};
+          "--no-warm-start", "--tier", "--socket", "--tenant", "--quota",
+          "--request-rate", "--max-connections", "--deadline"};
       outcome.error = "unknown option '" + a + "'";
       const std::string suggestion = util::closest_match(a, kKnownFlags);
       if (!suggestion.empty()) outcome.error += " (did you mean '" + suggestion + "'?)";
@@ -584,9 +746,21 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
   }
 
   // Per-command requirement checks.
+  if (opt.command == Command::kServe) {
+    if (opt.socket_path.empty()) {
+      outcome.error = "serve requires --socket PATH (the Unix socket to listen on)";
+      return outcome;
+    }
+  }
+  if (opt.command == Command::kClient || opt.command == Command::kTop) {
+    if (opt.socket_path.empty()) {
+      outcome.error = "this command requires --socket PATH (the daemon's socket)";
+      return outcome;
+    }
+  }
   if (opt.command == Command::kParse || opt.command == Command::kEvaluate ||
       opt.command == Command::kExplore || opt.command == Command::kSensitivity ||
-      opt.command == Command::kLint) {
+      opt.command == Command::kLint || opt.command == Command::kServe) {
     if (opt.sources.empty()) {
       outcome.error = "at least one --source is required";
       return outcome;
@@ -597,10 +771,28 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
     }
   }
   if (opt.command == Command::kEvaluate || opt.command == Command::kExplore ||
-      opt.command == Command::kSensitivity || opt.command == Command::kRoofline) {
+      opt.command == Command::kSensitivity || opt.command == Command::kRoofline ||
+      opt.command == Command::kServe) {
     if (opt.part.empty()) {
       outcome.error = "--part is required";
       return outcome;
+    }
+  }
+  if (opt.max_inflight != 0) {
+    if (opt.command == Command::kExplore && !opt.steady_state) {
+      outcome.error =
+          "--max-inflight bounds the steady-state submit loop; it requires "
+          "--steady-state (the generational engine evaluates in batches)";
+      return outcome;
+    }
+    // One virtual lane per worker (one lane total when inline): a bound
+    // above that only deepens the queue without adding concurrency.
+    const std::size_t lanes = std::max<std::size_t>(1, opt.workers);
+    if (opt.max_inflight > lanes) {
+      outcome.warnings.push_back(util::format(
+          "--max-inflight %zu exceeds the %zu virtual lane(s) (one per "
+          "worker); the extra in-flight slots only queue behind busy lanes",
+          opt.max_inflight, lanes));
     }
   }
   if (opt.command == Command::kExplore || opt.command == Command::kSensitivity) {

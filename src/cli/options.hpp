@@ -17,7 +17,32 @@
 
 namespace dovado::cli {
 
-enum class Command { kHelp, kParse, kEvaluate, kExplore, kSensitivity, kRoofline, kLint, kDb };
+enum class Command {
+  kHelp,
+  kParse,
+  kEvaluate,
+  kExplore,
+  kSensitivity,
+  kRoofline,
+  kLint,
+  kDb,
+  kServe,
+  kClient,
+  kTop,
+};
+
+/// One tenant of `dovado serve`, assembled from --tenant (name, fair-share
+/// weight, queue depth) plus the optional --request-rate and --quota limits
+/// naming the same tenant. Zero rates mean unlimited.
+struct ServeTenantSpec {
+  std::string name;
+  double weight = 1.0;
+  std::size_t queue_cap = 64;
+  double request_rate = 0.0;
+  double request_burst = 0.0;
+  double tool_seconds_rate = 0.0;
+  double tool_seconds_burst = 0.0;
+};
 
 /// One --kernel spec for the roofline command.
 struct KernelSpec {
@@ -102,6 +127,13 @@ struct Options {
   std::string db_tier;     ///< --tier hifi|screen filter for query/export
   std::string db_backend;  ///< --backend reused as a filter for query/export
 
+  // serve / client / top.
+  std::string socket_path;              ///< --socket PATH
+  std::vector<ServeTenantSpec> serve_tenants;  ///< serve: --tenant/--quota/--request-rate
+  std::string tenant = "default";       ///< client: --tenant NAME
+  double deadline_tool_seconds = 0.0;   ///< client/serve: --deadline SECONDS
+  std::size_t max_connections = 64;     ///< serve: --max-connections N
+
   // sensitivity.
   std::size_t samples_per_param = 7;  ///< --samples
 
@@ -114,6 +146,9 @@ struct Options {
 struct ParseOutcome {
   bool ok = false;
   std::string error;
+  /// Non-fatal diagnostics (e.g. --max-inflight above the lane count);
+  /// printed to stderr by the entry point.
+  std::vector<std::string> warnings;
   Options options;
 };
 

@@ -172,7 +172,8 @@ std::optional<EvalResult> EvaluationBroker::cached(const DesignPoint& point) con
   return cache_->lookup(point);
 }
 
-EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe) {
+EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe,
+                                           double deadline_tool_seconds) {
   // Cross-campaign store gate: an uncached point that a prior campaign
   // already paid for at this (backend, tier) is answered from the store —
   // zero tool seconds, no lane time, no journal append (the store itself
@@ -220,7 +221,7 @@ EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe)
   EvalResult result;
   {
     const EvaluatorPool::Lease lease = evaluators_.acquire();
-    result = lease->evaluate(point);
+    result = lease->evaluate(point, deadline_tool_seconds);
   }
   if (result.ok) {
     for (const auto& derived : config_.derived_metrics) {
@@ -232,8 +233,12 @@ EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe)
   // backend's health right now. A probe slot that resolved without
   // touching the backend is returned to the budget.
   const bool fresh = !result.cache_hit && !result.joined;
+  // A deadline-truncated answer says "this requester's budget ran out" —
+  // nothing about the backend's health or the design point — so it neither
+  // feeds the breaker window nor becomes a durable record below.
+  const bool truncated = result.deadline_truncated;
   if (health_) {
-    if (fresh) {
+    if (fresh && !truncated) {
       health_->on_outcome(backend_info_.name, admission == BreakerAdmission::kProbe,
                           result);
     } else if (admission == BreakerAdmission::kProbe) {
@@ -243,7 +248,7 @@ EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe)
   // Journal every *fresh* tool answer (cache hits and joins were paid for —
   // and journaled — by their leader) so a crashed campaign can resume
   // without repaying for it.
-  if (journal_ && fresh) {
+  if (journal_ && fresh && !truncated) {
     JournalRecord rec;
     rec.params = point;
     rec.metrics = result.metrics;
@@ -260,7 +265,7 @@ EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe)
   }
   // Persist every fresh answer — successes and failures alike, each under
   // this broker's fidelity tier — so future campaigns never repay for it.
-  if (config_.store && fresh && config_.store->writable()) {
+  if (config_.store && fresh && !truncated && config_.store->writable()) {
     store::StoreRecord rec;
     rec.params = point;
     rec.backend = backend_info_.name;

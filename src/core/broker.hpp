@@ -145,7 +145,15 @@ class EvaluationBroker {
   /// `fast_failed=true` (zero tool seconds; never cached or journaled).
   /// `probe=true` requests admission through the breaker's probe budget
   /// instead of regular traffic (the engine's recovery probe queue).
-  [[nodiscard]] EvalResult tool_evaluate(const DesignPoint& point, bool probe = false);
+  ///
+  /// `deadline_tool_seconds` > 0 bounds this request's total simulated
+  /// tool seconds; the cap is propagated into the supervisor's retry loop
+  /// (see EvaluationSupervisor::supervise). A deadline-truncated answer is
+  /// charged (the time was really spent) but never journaled, stored, or
+  /// fed to the breaker — it reflects the requester's budget, not the
+  /// point or the backend.
+  [[nodiscard]] EvalResult tool_evaluate(const DesignPoint& point, bool probe = false,
+                                         double deadline_tool_seconds = 0.0);
 
   /// Attach the per-backend circuit breakers (see core/health/). Must be
   /// called before evaluations start; null detaches.

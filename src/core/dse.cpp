@@ -67,6 +67,14 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
   if (!(config_.screen_keep_ratio > 0.0) || config_.screen_keep_ratio > 1.0) {
     throw std::runtime_error("screen_keep_ratio must be in (0, 1]");
   }
+  // Mirrors the CLI's parse-time check: a max_inflight bound only governs
+  // the steady-state submit loop, so setting it on the generational engine
+  // would be silently ignored — fail loudly instead.
+  if (config_.max_inflight != 0 && !config_.steady_state) {
+    throw std::runtime_error(
+        "max_inflight bounds the steady-state submit loop; enable "
+        "steady_state or leave max_inflight at 0");
+  }
   // Optimizer selection fails loudly at construction, mirroring the
   // backend/objective-metric validation below (did-you-mean included).
   opt::OptimizerRegistry::ensure_known(config_.optimizer);
@@ -138,6 +146,13 @@ DseEngine::DseEngine(ProjectConfig project, DseConfig config)
   broker_config.store_tier = store::EvalStore::kTierHifi;
   broker_config.campaign_id = config_.campaign_id;
   broker_ = std::make_unique<EvaluationBroker>(project_, broker_config);
+  if (config_.max_inflight > broker_->virtual_lane_count()) {
+    util::Log::warn("max_inflight " + std::to_string(config_.max_inflight) +
+                    " exceeds the " +
+                    std::to_string(broker_->virtual_lane_count()) +
+                    " virtual lane(s); the extra in-flight slots only queue "
+                    "behind busy lanes");
+  }
 
   // Validate metric names against what the backend actually reports, with
   // a did-you-mean suggestion — a typo'd objective must fail loudly at

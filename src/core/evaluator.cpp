@@ -120,7 +120,8 @@ PointEvaluator::PointEvaluator(ProjectConfig config, std::shared_ptr<EvaluationC
   backend_ = edatool::BackendRegistry::create(config_.backend);
 }
 
-EvalResult PointEvaluator::evaluate(const DesignPoint& point) {
+EvalResult PointEvaluator::evaluate(const DesignPoint& point,
+                                    double deadline_tool_seconds) {
   const EvaluationCache::Claim claim = cache_->claim(point);
   if (claim.kind != EvaluationCache::ClaimKind::kLeader) return claim.result;
 
@@ -130,12 +131,21 @@ EvalResult PointEvaluator::evaluate(const DesignPoint& point) {
   // retry-exhausted quarantine failure) is published: memoized and handed
   // to single-flight joiners alike. Re-claiming a quarantined point is a
   // cache hit on its failure, never another tool run.
+  //
+  // The exception is a deadline-truncated run: that outcome belongs to the
+  // *requester's* budget, not the point, so the claim is abandoned instead
+  // (joiners wake and re-claim; the next leader gets a fresh run).
   try {
     const EvalResult result =
         supervisor_ ? supervisor_->supervise(
-                          point, [&](int attempt) { return run_pipeline(point, attempt); })
+                          point, [&](int attempt) { return run_pipeline(point, attempt); },
+                          deadline_tool_seconds)
                     : run_pipeline(point, 0);
-    cache_->publish(point, result);
+    if (result.deadline_truncated) {
+      cache_->abandon(point);
+    } else {
+      cache_->publish(point, result);
+    }
     return result;
   } catch (...) {
     cache_->abandon(point);

@@ -80,6 +80,12 @@ struct EvalResult {
   int attempts = 1;           ///< tool attempts performed (1 + retries)
   bool quarantined = false;   ///< exhausted retries; point is quarantined
   double backoff_seconds = 0.0;  ///< simulated backoff charged across retries
+  /// A *per-request* tool-seconds deadline (see supervise()'s
+  /// deadline_tool_seconds) cut supervision short. The answer reflects the
+  /// requester's budget, not the design point, so it is never published to
+  /// the shared cache, journaled, stored, or quarantined — another caller
+  /// with a roomier deadline may still get a real answer.
+  bool deadline_truncated = false;
 };
 
 /// Project-level configuration shared by all evaluations.
@@ -167,7 +173,14 @@ class PointEvaluator {
   /// Evaluate one design point end to end. When a supervisor is attached,
   /// the single-flight leader runs under its retry/quarantine policy and
   /// the final (possibly retried) outcome is what gets published.
-  [[nodiscard]] EvalResult evaluate(const DesignPoint& point);
+  ///
+  /// `deadline_tool_seconds` > 0 bounds the *total* simulated tool seconds
+  /// this request may consume across attempts and backoff (the serve
+  /// daemon's per-request deadline). A deadline-truncated failure is
+  /// abandoned, not published: the cache keeps no answer for the point and
+  /// a later caller may evaluate it afresh.
+  [[nodiscard]] EvalResult evaluate(const DesignPoint& point,
+                                    double deadline_tool_seconds = 0.0);
 
   /// Attach a shared retry/quarantine policy (nullptr = single attempt).
   void set_supervisor(std::shared_ptr<EvaluationSupervisor> supervisor) {

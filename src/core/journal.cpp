@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/fs.hpp"
 #include "src/util/json.hpp"
 
 namespace dovado::core {
@@ -280,6 +281,11 @@ std::unique_ptr<SessionJournal> SessionJournal::open(const std::string& path,
       return nullptr;
     }
   }
+  // append_line fsyncs every frame, but the *directory entry* for a newly
+  // created journal is not durable until the parent directory is synced —
+  // a machine crash right after campaign start could otherwise lose the
+  // whole file, not just the tail.
+  (void)util::fsync_parent_dir(path);
   return journal;
 }
 

@@ -35,28 +35,47 @@ FailureClass EvaluationSupervisor::classify_error(const std::string& error) {
 }
 
 EvalResult EvaluationSupervisor::supervise(
-    const DesignPoint& point, const std::function<EvalResult(int)>& run_attempt) {
+    const DesignPoint& point, const std::function<EvalResult(int)>& run_attempt,
+    double deadline_tool_seconds) {
   const std::uint64_t key = edatool::fault_point_key(point);
   const int max_attempts = 1 + std::max(0, config_.max_retries);
-  const double budget = config_.attempt_timeout_tool_seconds;
+  const double deadline = std::max(0.0, deadline_tool_seconds);
 
   double spent_seconds = 0.0;   // failed attempts + backoff so far
   double backoff_total = 0.0;
   EvalResult last;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // The effective per-attempt budget is the configured timeout capped at
+    // whatever the per-request deadline has left; the cheaper cap decides
+    // whether an overrun is a hung-tool kill or a deadline cut.
+    const double remaining = deadline > 0.0 ? deadline - spent_seconds : 0.0;
+    double budget = config_.attempt_timeout_tool_seconds;
+    bool deadline_caps = false;
+    if (deadline > 0.0 && (budget <= 0.0 || remaining < budget)) {
+      budget = remaining;
+      deadline_caps = true;
+    }
+
     EvalResult r = run_attempt(attempt);
     r.attempts = attempt + 1;
 
     if (budget > 0.0 && r.tool_seconds > budget) {
       // A hung attempt: the supervisor kills it at the budget, so only the
       // budget is charged, and whatever the tool produced is untrusted.
-      r.error = util::format(
-          "attempt %d killed: tool ran %.1fs against a %.1fs per-attempt budget",
-          attempt + 1, r.tool_seconds, budget);
+      r.error = deadline_caps
+                    ? util::format(
+                          "attempt %d killed: tool ran %.1fs against the request's "
+                          "%.1fs remaining deadline",
+                          attempt + 1, r.tool_seconds, budget)
+                    : util::format(
+                          "attempt %d killed: tool ran %.1fs against a %.1fs "
+                          "per-attempt budget",
+                          attempt + 1, r.tool_seconds, budget);
       r.ok = false;
       r.metrics = {};
       r.tool_seconds = budget;
       r.failure = FailureClass::kTimeout;
+      r.deadline_truncated = deadline_caps;
     } else if (r.ok) {
       r.failure = FailureClass::kNone;
     } else {
@@ -89,6 +108,27 @@ EvalResult EvaluationSupervisor::supervise(
       last.tool_seconds = spent_seconds;
       last.backoff_seconds = backoff_total;
       return last;
+    }
+
+    // Per-request deadline: stop once the budget is spent, or when the
+    // mandatory backoff before the next retry would blow it. The charge is
+    // capped at the deadline and the point is *not* quarantined — another
+    // request with a roomier budget may still succeed.
+    if (deadline > 0.0) {
+      const double pause =
+          attempt + 1 < max_attempts ? backoff_seconds(key, attempt) : 0.0;
+      if (r.deadline_truncated || spent_seconds + pause >= deadline) {
+        last.tool_seconds = std::min(spent_seconds, deadline);
+        last.backoff_seconds = backoff_total;
+        last.failure = FailureClass::kTimeout;
+        last.deadline_truncated = true;
+        if (!r.deadline_truncated) {
+          last.error = util::format(
+              "request deadline of %.1f tool seconds exhausted after %d attempt(s)",
+              deadline, attempt + 1);
+        }
+        return last;
+      }
     }
 
     if (attempt + 1 < max_attempts) {

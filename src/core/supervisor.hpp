@@ -68,8 +68,17 @@ class EvaluationSupervisor {
   /// *total* simulated seconds across all attempts plus backoff, the
   /// attempt count, the failure class of the last attempt, and
   /// quarantined=true when retries were exhausted.
+  ///
+  /// `deadline_tool_seconds` > 0 is a *per-request* total budget across
+  /// attempts and backoff (0 = unbounded): the effective per-attempt
+  /// timeout never exceeds the remaining budget, and retrying stops once
+  /// the budget is spent. A deadline-cut outcome is returned with
+  /// deadline_truncated=true, classified kTimeout, charged at most the
+  /// deadline — and never quarantined, because the cut reflects the
+  /// requester's budget rather than the design point.
   [[nodiscard]] EvalResult supervise(const DesignPoint& point,
-                                     const std::function<EvalResult(int)>& run_attempt);
+                                     const std::function<EvalResult(int)>& run_attempt,
+                                     double deadline_tool_seconds = 0.0);
 
   [[nodiscard]] SupervisorStats stats() const;
   [[nodiscard]] bool is_quarantined(const DesignPoint& point) const;

@@ -1,0 +1,79 @@
+#include "src/serve/client.hpp"
+
+#include <utility>
+
+#include "src/util/strings.hpp"
+
+namespace dovado::serve {
+
+bool Client::connect(const std::string& socket_path, std::string& error) {
+  sock_ = util::connect_unix(socket_path, error);
+  return sock_.valid();
+}
+
+bool Client::request(Request request, Response& response, std::string& error,
+                     int timeout_ms) {
+  if (!sock_.valid()) {
+    error = "client is not connected";
+    return false;
+  }
+  if (request.id.empty()) {
+    request.id = util::format("q%llu",
+                              static_cast<unsigned long long>(next_id_++));
+  }
+  if (!sock_.write_line(serialize_request(request), timeout_ms)) {
+    error = "failed to send request (daemon gone?)";
+    return false;
+  }
+  std::string line;
+  for (;;) {
+    bool timed_out = false;
+    if (!sock_.read_line(line, timeout_ms, &timed_out)) {
+      error = timed_out ? "timed out waiting for the daemon's response"
+                        : "connection closed before the response arrived";
+      return false;
+    }
+    if (!parse_response(line, response, error)) return false;
+    // Error replies to malformed frames carry no id; everything else must
+    // echo ours. Stale ids (from an abandoned earlier request) are skipped.
+    if (response.id == request.id || response.id.empty()) return true;
+  }
+}
+
+bool Client::ping(std::string& error, int timeout_ms) {
+  Request request;
+  request.op = RequestOp::kPing;
+  Response response;
+  if (!this->request(std::move(request), response, error, timeout_ms)) return false;
+  if (response.status != ResponseStatus::kOk) {
+    error = "ping answered with status " + response_status_name(response.status);
+    return false;
+  }
+  return true;
+}
+
+bool Client::eval(const std::string& tenant, const core::DesignPoint& point,
+                  double deadline_tool_seconds, Response& response,
+                  std::string& error, int timeout_ms) {
+  Request request;
+  request.op = RequestOp::kEval;
+  request.tenant = tenant;
+  request.point = point;
+  request.deadline_tool_seconds = deadline_tool_seconds;
+  return this->request(std::move(request), response, error, timeout_ms);
+}
+
+bool Client::stats(std::string& stats_json, std::string& error, int timeout_ms) {
+  Request request;
+  request.op = RequestOp::kStats;
+  Response response;
+  if (!this->request(std::move(request), response, error, timeout_ms)) return false;
+  if (response.status != ResponseStatus::kOk) {
+    error = "stats answered with status " + response_status_name(response.status);
+    return false;
+  }
+  stats_json = std::move(response.stats_json);
+  return true;
+}
+
+}  // namespace dovado::serve

@@ -1,0 +1,49 @@
+// Thin synchronous client for the `dovado serve` daemon.
+//
+// One connection, one outstanding request at a time: request() frames the
+// request, then reads frames until the response carrying the request's id
+// arrives (responses to other ids — possible after reconnect races — are
+// discarded). Used by `dovado client`, `dovado top`, the serve tests and
+// the request-path bench; heavier clients can speak the wire protocol
+// (protocol.hpp) directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/serve/protocol.hpp"
+#include "src/util/socket.hpp"
+
+namespace dovado::serve {
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Connect to a daemon's Unix-domain socket.
+  [[nodiscard]] bool connect(const std::string& socket_path, std::string& error);
+
+  [[nodiscard]] bool connected() const { return sock_.valid(); }
+  void close() { sock_.close(); }
+
+  /// Send one request and block for its response. A request without an id
+  /// gets an auto-assigned one. `timeout_ms` bounds each socket wait
+  /// (-1 = no timeout); campaigns should pass a generous value, their
+  /// response only arrives when the budget is spent.
+  [[nodiscard]] bool request(Request request, Response& response,
+                             std::string& error, int timeout_ms = -1);
+
+  /// Convenience wrappers over request().
+  [[nodiscard]] bool ping(std::string& error, int timeout_ms = 5000);
+  [[nodiscard]] bool eval(const std::string& tenant, const core::DesignPoint& point,
+                          double deadline_tool_seconds, Response& response,
+                          std::string& error, int timeout_ms = -1);
+  [[nodiscard]] bool stats(std::string& stats_json, std::string& error,
+                           int timeout_ms = 5000);
+
+ private:
+  util::LineSocket sock_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace dovado::serve

@@ -1,0 +1,413 @@
+#include "src/serve/protocol.hpp"
+
+#include <cmath>
+
+#include "src/util/json.hpp"
+
+namespace dovado::serve {
+namespace {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonObject;
+
+const Json* find(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+bool get_string(const JsonObject& obj, const std::string& key, std::string& out) {
+  const Json* v = find(obj, key);
+  if (v == nullptr || !v->is_string()) return false;
+  out = v->as_string();
+  return true;
+}
+
+bool get_number(const JsonObject& obj, const std::string& key, double& out) {
+  const Json* v = find(obj, key);
+  if (v == nullptr || !v->is_number()) return false;
+  out = v->as_number();
+  return true;
+}
+
+std::int64_t to_int(double d) { return static_cast<std::int64_t>(std::llround(d)); }
+
+Json point_to_json(const core::DesignPoint& point) {
+  JsonObject obj;
+  for (const auto& [name, value] : point) obj[name] = Json(value);
+  return Json(std::move(obj));
+}
+
+bool point_from_json(const Json& json, core::DesignPoint& out, std::string& error) {
+  if (!json.is_object()) {
+    error = "'point' must be an object of parameter -> integer value";
+    return false;
+  }
+  out.clear();
+  for (const auto& [name, value] : json.as_object()) {
+    if (!value.is_number()) {
+      error = "parameter '" + name + "' must be a number";
+      return false;
+    }
+    out[name] = to_int(value.as_number());
+  }
+  return true;
+}
+
+Json domain_to_json(const core::ParamSpec& spec) {
+  JsonObject obj;
+  obj["name"] = Json(spec.name);
+  if (spec.domain.kind() == core::ParamDomain::Kind::kRange) {
+    obj["kind"] = Json("range");
+    obj["lo"] = Json(spec.domain.range_lo());
+    obj["hi"] = Json(spec.domain.range_hi());
+    obj["step"] = Json(spec.domain.range_step());
+  } else {
+    // Value lists and power-of-two domains both travel as their explicit
+    // value list (the powers are the values).
+    obj["kind"] = Json("values");
+    JsonArray values;
+    for (std::int64_t i = 0; i < spec.domain.size(); ++i) {
+      values.emplace_back(spec.domain.value_at(i));
+    }
+    obj["values"] = Json(std::move(values));
+  }
+  return Json(std::move(obj));
+}
+
+bool domain_from_json(const Json& json, core::ParamSpec& out, std::string& error) {
+  if (!json.is_object()) {
+    error = "each 'space' entry must be an object";
+    return false;
+  }
+  const JsonObject& obj = json.as_object();
+  if (!get_string(obj, "name", out.name) || out.name.empty()) {
+    error = "space entry is missing a 'name'";
+    return false;
+  }
+  std::string kind;
+  (void)get_string(obj, "kind", kind);
+  if (kind == "range" || kind.empty()) {
+    double lo = 0.0;
+    double hi = 0.0;
+    double step = 1.0;
+    if (!get_number(obj, "lo", lo) || !get_number(obj, "hi", hi)) {
+      error = "range parameter '" + out.name + "' needs numeric 'lo' and 'hi'";
+      return false;
+    }
+    (void)get_number(obj, "step", step);
+    if (to_int(step) <= 0 || to_int(hi) < to_int(lo)) {
+      error = "range parameter '" + out.name + "' has an empty or invalid range";
+      return false;
+    }
+    out.domain = core::ParamDomain::range(to_int(lo), to_int(hi), to_int(step));
+    return true;
+  }
+  if (kind == "values") {
+    const Json* values = find(obj, "values");
+    if (values == nullptr || !values->is_array() || values->as_array().empty()) {
+      error = "values parameter '" + out.name + "' needs a non-empty 'values' array";
+      return false;
+    }
+    std::vector<std::int64_t> list;
+    for (const Json& v : values->as_array()) {
+      if (!v.is_number()) {
+        error = "values of parameter '" + out.name + "' must be numbers";
+        return false;
+      }
+      list.push_back(to_int(v.as_number()));
+    }
+    out.domain = core::ParamDomain::values(std::move(list));
+    return true;
+  }
+  error = "unknown domain kind '" + kind + "' for parameter '" + out.name +
+          "' (expected 'range' or 'values')";
+  return false;
+}
+
+Json metrics_to_json(const std::map<std::string, double>& metrics) {
+  JsonObject obj;
+  for (const auto& [name, value] : metrics) obj[name] = Json(value);
+  return Json(std::move(obj));
+}
+
+bool metrics_from_json(const Json& json, std::map<std::string, double>& out) {
+  if (!json.is_object()) return false;
+  out.clear();
+  for (const auto& [name, value] : json.as_object()) {
+    if (!value.is_number()) return false;
+    out[name] = value.as_number();
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string request_op_name(RequestOp op) {
+  switch (op) {
+    case RequestOp::kEval: return "eval";
+    case RequestOp::kCampaign: return "campaign";
+    case RequestOp::kStats: return "stats";
+    case RequestOp::kPing: return "ping";
+  }
+  return "ping";
+}
+
+std::string response_status_name(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kFailed: return "failed";
+    case ResponseStatus::kShed: return "shed";
+    case ResponseStatus::kDraining: return "draining";
+    case ResponseStatus::kError: return "error";
+  }
+  return "error";
+}
+
+std::string serialize_request(const Request& request) {
+  JsonObject obj;
+  obj["op"] = Json(request_op_name(request.op));
+  if (!request.tenant.empty()) obj["tenant"] = Json(request.tenant);
+  if (!request.id.empty()) obj["id"] = Json(request.id);
+  if (request.op == RequestOp::kEval) {
+    obj["point"] = point_to_json(request.point);
+    if (request.deadline_tool_seconds > 0.0) {
+      obj["deadline_tool_seconds"] = Json(request.deadline_tool_seconds);
+    }
+  } else if (request.op == RequestOp::kCampaign) {
+    JsonArray space;
+    for (const auto& spec : request.campaign.space.params) {
+      space.push_back(domain_to_json(spec));
+    }
+    obj["space"] = Json(std::move(space));
+    JsonArray objectives;
+    for (const auto& objective : request.campaign.objectives) {
+      JsonObject o;
+      o["metric"] = Json(objective.metric);
+      if (objective.maximize) o["maximize"] = Json(true);
+      objectives.push_back(Json(std::move(o)));
+    }
+    obj["objectives"] = Json(std::move(objectives));
+    obj["budget"] = Json(request.campaign.budget);
+    obj["optimizer"] = Json(request.campaign.optimizer);
+    obj["population"] = Json(request.campaign.population);
+    obj["seed"] = Json(static_cast<double>(request.campaign.seed));
+  }
+  return Json(std::move(obj)).dump();
+}
+
+bool parse_request(const std::string& line, Request& out, std::string& error) {
+  Json json;
+  if (!Json::parse(line, json) || !json.is_object()) {
+    error = "malformed request frame (not a JSON object)";
+    return false;
+  }
+  const JsonObject& obj = json.as_object();
+  std::string op;
+  if (!get_string(obj, "op", op)) {
+    error = "request is missing 'op'";
+    return false;
+  }
+  out = Request{};
+  (void)get_string(obj, "tenant", out.tenant);
+  (void)get_string(obj, "id", out.id);
+  if (op == "ping") {
+    out.op = RequestOp::kPing;
+    return true;
+  }
+  if (op == "stats") {
+    out.op = RequestOp::kStats;
+    return true;
+  }
+  if (op == "eval") {
+    out.op = RequestOp::kEval;
+    const Json* point = find(obj, "point");
+    if (point == nullptr) {
+      error = "eval request is missing 'point'";
+      return false;
+    }
+    if (!point_from_json(*point, out.point, error)) return false;
+    if (out.point.empty()) {
+      error = "eval request has an empty 'point'";
+      return false;
+    }
+    (void)get_number(obj, "deadline_tool_seconds", out.deadline_tool_seconds);
+    if (out.deadline_tool_seconds < 0.0) {
+      error = "'deadline_tool_seconds' must be >= 0";
+      return false;
+    }
+    return true;
+  }
+  if (op == "campaign") {
+    out.op = RequestOp::kCampaign;
+    const Json* space = find(obj, "space");
+    if (space == nullptr || !space->is_array() || space->as_array().empty()) {
+      error = "campaign request needs a non-empty 'space' array";
+      return false;
+    }
+    for (const Json& entry : space->as_array()) {
+      // ParamDomain has no default constructor; start from a placeholder
+      // domain that domain_from_json() always overwrites.
+      core::ParamSpec spec{std::string(), core::ParamDomain::boolean()};
+      if (!domain_from_json(entry, spec, error)) return false;
+      out.campaign.space.params.push_back(std::move(spec));
+    }
+    const Json* objectives = find(obj, "objectives");
+    if (objectives == nullptr || !objectives->is_array() ||
+        objectives->as_array().empty()) {
+      error = "campaign request needs a non-empty 'objectives' array";
+      return false;
+    }
+    for (const Json& entry : objectives->as_array()) {
+      if (!entry.is_object()) {
+        error = "each objective must be an object with a 'metric'";
+        return false;
+      }
+      core::Objective objective;
+      if (!get_string(entry.as_object(), "metric", objective.metric) ||
+          objective.metric.empty()) {
+        error = "each objective needs a non-empty 'metric'";
+        return false;
+      }
+      const Json* maximize = find(entry.as_object(), "maximize");
+      objective.maximize = maximize != nullptr && maximize->is_bool() &&
+                           maximize->as_bool();
+      out.campaign.objectives.push_back(std::move(objective));
+    }
+    double budget = 0.0;
+    if (!get_number(obj, "budget", budget) || to_int(budget) <= 0) {
+      error = "campaign request needs a positive 'budget'";
+      return false;
+    }
+    out.campaign.budget = static_cast<std::size_t>(to_int(budget));
+    (void)get_string(obj, "optimizer", out.campaign.optimizer);
+    double population = static_cast<double>(out.campaign.population);
+    (void)get_number(obj, "population", population);
+    if (to_int(population) <= 0) {
+      error = "'population' must be positive";
+      return false;
+    }
+    out.campaign.population = static_cast<std::size_t>(to_int(population));
+    double seed = static_cast<double>(out.campaign.seed);
+    (void)get_number(obj, "seed", seed);
+    out.campaign.seed = static_cast<std::uint64_t>(to_int(seed));
+    return true;
+  }
+  error = "unknown op '" + op + "' (expected eval, campaign, stats, or ping)";
+  return false;
+}
+
+std::string serialize_response(const Response& response) {
+  JsonObject obj;
+  obj["status"] = Json(response_status_name(response.status));
+  if (!response.id.empty()) obj["id"] = Json(response.id);
+  switch (response.status) {
+    case ResponseStatus::kOk:
+      if (!response.metrics.empty()) obj["metrics"] = metrics_to_json(response.metrics);
+      if (response.tool_seconds > 0.0) obj["tool_seconds"] = Json(response.tool_seconds);
+      if (response.cache_hit) obj["cache_hit"] = Json(true);
+      if (response.store_hit) obj["store_hit"] = Json(true);
+      if (response.attempts > 0) obj["attempts"] = Json(response.attempts);
+      if (!response.front.empty() || response.evaluations > 0) {
+        JsonArray front;
+        for (const auto& entry : response.front) {
+          JsonObject e;
+          e["point"] = point_to_json(entry.point);
+          e["objectives"] = metrics_to_json(entry.objectives);
+          front.push_back(Json(std::move(e)));
+        }
+        obj["front"] = Json(std::move(front));
+        obj["evaluations"] = Json(response.evaluations);
+      }
+      if (!response.stats_json.empty()) {
+        Json stats;
+        if (Json::parse(response.stats_json, stats)) obj["stats"] = std::move(stats);
+      }
+      break;
+    case ResponseStatus::kFailed:
+      obj["error"] = Json(response.error);
+      if (response.tool_seconds > 0.0) obj["tool_seconds"] = Json(response.tool_seconds);
+      if (response.attempts > 0) obj["attempts"] = Json(response.attempts);
+      break;
+    case ResponseStatus::kShed:
+      obj["retry_after_ms"] = Json(static_cast<double>(response.retry_after_ms));
+      obj["reason"] = Json(response.reason);
+      break;
+    case ResponseStatus::kDraining:
+      break;
+    case ResponseStatus::kError:
+      obj["message"] = Json(response.error);
+      break;
+  }
+  return Json(std::move(obj)).dump();
+}
+
+bool parse_response(const std::string& line, Response& out, std::string& error) {
+  Json json;
+  if (!Json::parse(line, json) || !json.is_object()) {
+    error = "malformed response frame (not a JSON object)";
+    return false;
+  }
+  const JsonObject& obj = json.as_object();
+  std::string status;
+  if (!get_string(obj, "status", status)) {
+    error = "response is missing 'status'";
+    return false;
+  }
+  out = Response{};
+  (void)get_string(obj, "id", out.id);
+  if (status == "ok") {
+    out.status = ResponseStatus::kOk;
+  } else if (status == "failed") {
+    out.status = ResponseStatus::kFailed;
+  } else if (status == "shed") {
+    out.status = ResponseStatus::kShed;
+  } else if (status == "draining") {
+    out.status = ResponseStatus::kDraining;
+  } else if (status == "error") {
+    out.status = ResponseStatus::kError;
+  } else {
+    error = "unknown response status '" + status + "'";
+    return false;
+  }
+  if (const Json* metrics = find(obj, "metrics")) {
+    if (!metrics_from_json(*metrics, out.metrics)) {
+      error = "'metrics' must be an object of metric -> number";
+      return false;
+    }
+  }
+  (void)get_number(obj, "tool_seconds", out.tool_seconds);
+  if (const Json* v = find(obj, "cache_hit")) out.cache_hit = v->is_bool() && v->as_bool();
+  if (const Json* v = find(obj, "store_hit")) out.store_hit = v->is_bool() && v->as_bool();
+  double attempts = 0.0;
+  if (get_number(obj, "attempts", attempts)) out.attempts = static_cast<int>(attempts);
+  (void)get_string(obj, "error", out.error);
+  if (out.status == ResponseStatus::kError) (void)get_string(obj, "message", out.error);
+  double retry_after = 0.0;
+  if (get_number(obj, "retry_after_ms", retry_after)) {
+    out.retry_after_ms = to_int(retry_after);
+  }
+  (void)get_string(obj, "reason", out.reason);
+  if (const Json* front = find(obj, "front"); front != nullptr && front->is_array()) {
+    for (const Json& entry : front->as_array()) {
+      if (!entry.is_object()) continue;
+      FrontEntry fe;
+      if (const Json* point = find(entry.as_object(), "point")) {
+        std::string point_error;
+        if (!point_from_json(*point, fe.point, point_error)) continue;
+      }
+      if (const Json* objectives = find(entry.as_object(), "objectives")) {
+        (void)metrics_from_json(*objectives, fe.objectives);
+      }
+      out.front.push_back(std::move(fe));
+    }
+    double evaluations = 0.0;
+    if (get_number(obj, "evaluations", evaluations)) {
+      out.evaluations = static_cast<std::size_t>(to_int(evaluations));
+    }
+  }
+  if (const Json* stats = find(obj, "stats")) out.stats_json = stats->dump();
+  return true;
+}
+
+}  // namespace dovado::serve

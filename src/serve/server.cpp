@@ -1,0 +1,764 @@
+#include "src/serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "src/opt/optimizer.hpp"
+#include "src/util/json.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/strings.hpp"
+
+namespace dovado::serve {
+
+namespace {
+
+/// Mirrors the engine's failure sentinel (core/dse.cpp): a failed
+/// evaluation is told back as "worst possible" on every objective so the
+/// searcher routes around it instead of stalling.
+constexpr double kFailurePenalty = 1e18;
+
+/// Shed reply for a breaker fast-fail: the breaker's cooldown is measured
+/// in *rejected attempts*, not wall time, so a fixed short retry hint keeps
+/// probes flowing without hammering the daemon.
+constexpr std::int64_t kBackendRetryMs = 500;
+
+double steady_now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The opt::Problem a campaign searches over. Pure ask/tell: the dispatch
+/// loop evaluates genomes through the shared broker and tells the results
+/// back, so the synchronous evaluate() path must never run.
+class SpaceProblem final : public opt::Problem {
+ public:
+  SpaceProblem(const core::DesignSpace& space, std::size_t n_objectives)
+      : space_(space), n_objectives_(n_objectives) {}
+
+  [[nodiscard]] std::size_t n_vars() const override { return space_.params.size(); }
+  [[nodiscard]] std::size_t n_objectives() const override { return n_objectives_; }
+  [[nodiscard]] std::int64_t cardinality(std::size_t var) const override {
+    return static_cast<std::int64_t>(space_.params[var].domain.size());
+  }
+  [[nodiscard]] opt::Objectives evaluate(const opt::Genome&) override {
+    return opt::Objectives(n_objectives_, kFailurePenalty);
+  }
+
+ private:
+  const core::DesignSpace& space_;  ///< owned by the enclosing CampaignState
+  std::size_t n_objectives_;
+};
+
+}  // namespace
+
+bool Server::Connection::send(const Response& response) {
+  std::lock_guard<std::mutex> lock(write_mu);
+  if (!open.load()) return false;
+  if (!sock.write_line(serialize_response(response), 5000)) {
+    open.store(false);
+    return false;
+  }
+  return true;
+}
+
+Server::Server(ServeConfig config)
+    : config_(std::move(config)),
+      clock_(config_.clock ? config_.clock : steady_now_seconds),
+      admission_(config_.default_policy) {
+  broker_ = std::make_unique<core::EvaluationBroker>(config_.project, config_.broker);
+  if (config_.breaker.enabled) {
+    health_ = std::make_shared<core::BackendHealthManager>(config_.breaker);
+    health_->set_event_sink([this](const core::HealthEvent& event) {
+      broker_->append_health_event(event);
+    });
+    broker_->set_health_manager(health_);
+  }
+  if (config_.broker.resume_from_journal && !config_.broker.journal_path.empty()) {
+    // Seed the cache from a previous daemon's journal so a restart serves
+    // already-paid-for answers at zero tool cost.
+    (void)broker_->replay_journal();
+  }
+  max_inflight_ = config_.max_inflight != 0 ? config_.max_inflight
+                                            : broker_->virtual_lane_count();
+  max_inflight_ = std::max<std::size_t>(1, max_inflight_);
+  scheduler_.set_defaults(config_.default_policy.weight,
+                          config_.default_policy.queue_cap);
+  const double t0 = now();
+  for (const auto& tenant : config_.tenants) {
+    admission_.set_policy(tenant.name, tenant.policy, t0);
+    scheduler_.set_tenant(tenant.name, tenant.policy.weight,
+                          tenant.policy.queue_cap);
+  }
+}
+
+Server::~Server() {
+  if (started_.load()) {
+    drain();
+    wait();
+  }
+}
+
+bool Server::start(std::string& error) {
+  if (started_.load()) {
+    error = "server already started";
+    return false;
+  }
+  if (config_.socket_path.empty()) {
+    error = "no socket path configured";
+    return false;
+  }
+  if (!listener_.listen(config_.socket_path, error)) return false;
+  started_.store(true);
+  dispatch_thread_ = std::thread(&Server::dispatch_loop, this);
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+  return true;
+}
+
+void Server::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drain_requested_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Server::wait() {
+  if (!started_.load()) return;
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<ConnWorker> workers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    workers.swap(conn_workers_);
+  }
+  for (auto& worker : workers) {
+    if (worker.thread.joinable()) worker.thread.join();
+  }
+}
+
+bool Server::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drain_requested_ || draining_;
+}
+
+// ---------------------------------------------------------------------------
+// Socket threads
+// ---------------------------------------------------------------------------
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    util::LineSocket sock = listener_.accept(100);
+    if (!sock.valid()) {
+      // Timeout or transient accept error; re-check stopping_ and retry.
+      reap_connections();
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(sock);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    std::size_t open = 0;
+    for (const auto& worker : conn_workers_) {
+      if (worker.conn->open.load()) ++open;
+    }
+    if (open >= config_.max_connections) {
+      Response refusal;
+      refusal.status = ResponseStatus::kShed;
+      refusal.reason = "connection_limit";
+      refusal.retry_after_ms = 1000;
+      (void)conn->send(refusal);
+      continue;  // conn closes when the shared_ptr dies
+    }
+    conn_workers_.push_back(
+        ConnWorker{std::thread(&Server::connection_loop, this, conn), conn});
+  }
+  listener_.close();
+}
+
+void Server::reap_connections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conn_workers_.begin(); it != conn_workers_.end();) {
+    if (!it->conn->open.load() && it->thread.joinable()) {
+      it->thread.join();
+      it = conn_workers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::connection_loop(ConnPtr conn) {
+  std::string line;
+  while (!stopping_.load()) {
+    bool timed_out = false;
+    if (!conn->sock.read_line(line, 100, &timed_out)) {
+      if (timed_out) continue;
+      break;  // peer closed or socket error
+    }
+    if (line.empty()) continue;
+    Request request;
+    std::string parse_error;
+    if (!parse_request(line, request, parse_error)) {
+      Response malformed;
+      malformed.status = ResponseStatus::kError;
+      malformed.error = parse_error;
+      if (!conn->send(malformed)) break;
+      continue;
+    }
+    bool respond = false;
+    Response response = handle_request(request, conn, respond);
+    if (respond && !conn->send(response)) break;
+  }
+  // Mark closed but leave the fd to the Connection's destructor: queued
+  // jobs may still hold the ConnPtr, and closing here would let the kernel
+  // reuse the fd number under a concurrent dispatcher write.
+  conn->open.store(false);
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------------
+
+Response Server::handle_request(const Request& request, const ConnPtr& conn,
+                                bool& respond) {
+  respond = true;
+  Response response;
+  response.id = request.id;
+  switch (request.op) {
+    case RequestOp::kPing: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++requests_;
+      response.status = ResponseStatus::kOk;
+      return response;
+    }
+    case RequestOp::kStats: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++requests_;
+      }
+      response.status = ResponseStatus::kOk;
+      response.stats_json = stats_json();
+      return response;
+    }
+    case RequestOp::kEval:
+    case RequestOp::kCampaign:
+      break;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  ++requests_;
+  response = admit_and_enqueue_locked(request, conn, respond);
+  if (!respond) cv_.notify_all();
+  return response;
+}
+
+Response Server::admit_and_enqueue_locked(const Request& request,
+                                          const ConnPtr& conn, bool& respond) {
+  respond = true;
+  Response response;
+  response.id = request.id;
+  if (request.tenant.empty()) {
+    response.status = ResponseStatus::kError;
+    response.error = "request is missing a tenant";
+    return response;
+  }
+  if (drain_requested_ || draining_) {
+    response.status = ResponseStatus::kDraining;
+    response.reason = "draining";
+    return response;
+  }
+  const AdmissionDecision decision = admission_.admit(request.tenant, now());
+  if (!decision.admitted) {
+    ++shed_;
+    response.status = ResponseStatus::kShed;
+    response.reason = decision.reason;
+    response.retry_after_ms = decision.retry_after_ms;
+    return response;
+  }
+
+  if (request.op == RequestOp::kEval) {
+    Job job;
+    job.tenant = request.tenant;
+    job.id = request.id;
+    job.point = request.point;
+    job.deadline_tool_seconds = request.deadline_tool_seconds > 0.0
+                                    ? request.deadline_tool_seconds
+                                    : config_.default_deadline_tool_seconds;
+    job.conn = conn;
+    if (!scheduler_.push(request.tenant, std::move(job))) {
+      ++shed_;
+      response.status = ResponseStatus::kShed;
+      response.reason = "queue_full";
+      // Rough service-time hint: the backlog ahead of this request at the
+      // tenant's expected per-job cost. Clamped so clients neither spin nor
+      // give up on a briefly saturated daemon.
+      const auto queue_stats = scheduler_.stats();
+      const auto it = queue_stats.find(request.tenant);
+      double eta = 1.0;
+      if (it != queue_stats.end()) {
+        eta = static_cast<double>(it->second.queued) *
+              std::max(1e-3, it->second.expected_cost) /
+              std::max<std::size_t>(1, max_inflight_);
+      }
+      response.retry_after_ms = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(eta * 1000.0), 50, 10000);
+      return response;
+    }
+    respond = false;
+    return response;
+  }
+
+  // Campaign submission.
+  const CampaignSpec& spec = request.campaign;
+  if (spec.space.params.empty()) {
+    response.status = ResponseStatus::kError;
+    response.error = "campaign has an empty design space";
+    return response;
+  }
+  if (spec.objectives.empty()) {
+    response.status = ResponseStatus::kError;
+    response.error = "campaign names no objectives";
+    return response;
+  }
+  if (spec.budget == 0) {
+    response.status = ResponseStatus::kError;
+    response.error = "campaign budget must be positive";
+    return response;
+  }
+  std::vector<std::string> known = broker_->metric_names();
+  for (const auto& derived : config_.broker.derived_metrics) {
+    known.push_back(derived.name);
+  }
+  for (const auto& objective : spec.objectives) {
+    if (std::find(known.begin(), known.end(), objective.metric) == known.end()) {
+      response.status = ResponseStatus::kError;
+      response.error = util::format("unknown objective metric '%s'",
+                                    objective.metric.c_str());
+      const std::string hint = util::closest_match(objective.metric, known);
+      if (!hint.empty()) {
+        response.error += util::format(" (did you mean '%s'?)", hint.c_str());
+      }
+      return response;
+    }
+  }
+
+  auto campaign = std::make_shared<CampaignState>();
+  campaign->tenant = request.tenant;
+  campaign->id = request.id;
+  campaign->spec = spec;
+  campaign->conn = conn;
+  campaign->problem = std::make_unique<SpaceProblem>(campaign->spec.space,
+                                                     spec.objectives.size());
+  opt::OptimizerContext ctx;
+  ctx.problem = campaign->problem.get();
+  ctx.ga.population_size = std::max<std::size_t>(2, spec.population);
+  ctx.ga.seed = spec.seed;
+  try {
+    campaign->optimizer = opt::OptimizerRegistry::create(spec.optimizer, ctx);
+  } catch (const std::exception& e) {
+    response.status = ResponseStatus::kError;
+    response.error = e.what();
+    return response;
+  }
+  campaigns_.push_back(campaign);
+  refill_campaign_locked(campaign);
+  respond = false;
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void Server::dispatch_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return drain_requested_ || !completions_.empty() ||
+             (!draining_ && inflight_ < max_inflight_ && !scheduler_.empty());
+    });
+    if (drain_requested_ && !draining_) {
+      draining_ = true;
+      util::Log::info(util::format(
+          "serve: draining -- admissions stopped, %zu queued shed, "
+          "%zu evaluations finishing",
+          scheduler_.queued(), inflight_));
+      shed_queue_locked(lock);
+    }
+    while (!completions_.empty()) {
+      Completion completion = std::move(completions_.front());
+      completions_.pop_front();
+      finalize_locked(lock, std::move(completion));
+    }
+    if (draining_) {
+      if (inflight_ == 0 && completions_.empty()) break;
+      continue;
+    }
+    pump_locked(lock);
+  }
+  dispatch_done_ = true;
+  lock.unlock();
+  if (config_.broker.store) {
+    std::string flush_error;
+    if (!config_.broker.store->flush(&flush_error)) {
+      util::Log::warn("serve: store flush during drain failed: " + flush_error);
+    }
+  }
+  stopping_.store(true);
+  cv_.notify_all();
+}
+
+void Server::pump_locked(std::unique_lock<std::mutex>& lock) {
+  // A campaign whose asks could not be queued earlier (queue momentarily
+  // full) retries here, so its asks compete in this scheduling round.
+  for (const auto& campaign : campaigns_) {
+    if (!campaign->finished && campaign->inflight == 0) {
+      refill_campaign_locked(campaign);
+    }
+  }
+  if (draining_) return;
+  std::vector<Job> batch;
+  while (inflight_ < max_inflight_) {
+    auto next = scheduler_.pop();
+    if (!next) break;
+    ++inflight_;
+    batch.push_back(std::move(next->second));
+  }
+  if (batch.empty()) return;
+  // Submit outside the lock: with workers == 0 the broker evaluates
+  // *inline* on this thread, and the evaluation must not hold up readers.
+  // The inline case calls run_job directly — going through async() would
+  // run it on this thread anyway, after paying for a future and two
+  // std::function wrappers per job.
+  const bool inline_eval = config_.broker.workers == 0;
+  lock.unlock();
+  for (Job& job : batch) {
+    if (inline_eval) {
+      run_job(std::move(job));
+    } else {
+      broker_->async([this, job = std::move(job)]() mutable { run_job(std::move(job)); });
+    }
+  }
+  lock.lock();
+}
+
+void Server::run_job(Job job) {
+  core::EvalResult result =
+      broker_->tool_evaluate(job.point, false, job.deadline_tool_seconds);
+  std::lock_guard<std::mutex> inner(mu_);
+  completions_.push_back(Completion{std::move(job), std::move(result)});
+  cv_.notify_all();
+}
+
+void Server::finalize_locked(std::unique_lock<std::mutex>& lock,
+                             Completion completion) {
+  Job& job = completion.job;
+  core::EvalResult& result = completion.result;
+  --inflight_;
+  const double charged = result.tool_seconds;
+  admission_.charge_tool_seconds(job.tenant, charged, now());
+  scheduler_.charge(job.tenant, charged);
+
+  if (job.campaign) {
+    const std::shared_ptr<CampaignState> campaign = job.campaign;
+    if (campaign->inflight > 0) --campaign->inflight;
+    campaign->tool_seconds += charged;
+    if (campaign->finished) return;
+    opt::Objectives objectives;
+    if (result.ok) {
+      objectives.reserve(campaign->spec.objectives.size());
+      for (const auto& objective : campaign->spec.objectives) {
+        const double value = result.metrics.get(objective.metric);
+        objectives.push_back(objective.maximize ? -value : value);
+      }
+    } else {
+      // Failures (including breaker fast-fails and deadline cuts) are told
+      // as the worst value on every objective; the searcher routes around
+      // the point instead of re-asking it.
+      objectives.assign(campaign->spec.objectives.size(), kFailurePenalty);
+    }
+    const bool free_answer =
+        result.cache_hit || result.joined || result.store_hit || result.fast_failed;
+    campaign->optimizer->tell(job.genome, objectives,
+                              free_answer ? 0.0 : result.tool_seconds);
+    ++campaign->completed;
+    if (campaign->completed >= campaign->spec.budget ||
+        (draining_ && campaign->inflight == 0)) {
+      finish_campaign_locked(lock, campaign);
+    } else if (!draining_) {
+      refill_campaign_locked(campaign);
+    }
+    return;
+  }
+
+  // Single eval: translate the broker result into a wire response.
+  Response response;
+  response.id = job.id;
+  if (result.fast_failed) {
+    ++shed_;
+    response.status = ResponseStatus::kShed;
+    response.reason = "backend_unavailable";
+    response.retry_after_ms = kBackendRetryMs;
+  } else if (result.ok) {
+    ++completed_by_tenant_[job.tenant];
+    response.status = ResponseStatus::kOk;
+    response.metrics = std::move(result.metrics.values);
+    response.tool_seconds = result.tool_seconds;
+    response.cache_hit = result.cache_hit || result.joined;
+    response.store_hit = result.store_hit;
+    response.attempts = result.attempts;
+  } else {
+    ++failed_by_tenant_[job.tenant];
+    response.status = ResponseStatus::kFailed;
+    response.error = result.error;
+    response.tool_seconds = result.tool_seconds;
+    response.attempts = result.attempts;
+    if (result.deadline_truncated) response.reason = "deadline";
+  }
+  deliver_locked(lock, job.conn, job.id, std::move(response));
+}
+
+void Server::refill_campaign_locked(const std::shared_ptr<CampaignState>& campaign) {
+  if (campaign->finished || draining_) return;
+  const std::size_t window =
+      std::max<std::size_t>(1, std::min(campaign->spec.population, max_inflight_));
+  while (campaign->asked < campaign->spec.budget && campaign->inflight < window) {
+    opt::Genome genome = campaign->optimizer->ask();
+    campaign->problem->repair(genome);
+    Job job;
+    job.tenant = campaign->tenant;
+    job.id = campaign->id;
+    job.point = campaign->spec.space.decode(genome);
+    job.deadline_tool_seconds = config_.default_deadline_tool_seconds;
+    job.conn = campaign->conn;
+    job.campaign = campaign;
+    job.genome = std::move(genome);
+    if (!scheduler_.push(campaign->tenant, std::move(job))) {
+      // Queue full right now; pump_locked() retries once it drains. The
+      // un-queued ask stays in the optimizer's seen-set, which only means
+      // the next ask proposes a different genome.
+      break;
+    }
+    ++campaign->asked;
+    ++campaign->inflight;
+  }
+}
+
+void Server::finish_campaign_locked(std::unique_lock<std::mutex>& lock,
+                                    const std::shared_ptr<CampaignState>& campaign) {
+  if (campaign->finished) return;
+  campaign->finished = true;
+  ++campaigns_finished_;
+  ++completed_by_tenant_[campaign->tenant];
+  campaigns_.erase(std::remove(campaigns_.begin(), campaigns_.end(), campaign),
+                   campaigns_.end());
+  Response response = make_campaign_response(*campaign);
+  deliver_locked(lock, campaign->conn, campaign->id, std::move(response));
+}
+
+Response Server::make_campaign_response(const CampaignState& campaign) const {
+  Response response;
+  response.status = ResponseStatus::kOk;
+  response.id = campaign.id;
+  response.evaluations = campaign.completed;
+  response.tool_seconds = campaign.tool_seconds;
+  for (const opt::Individual& member : campaign.optimizer->front()) {
+    FrontEntry entry;
+    entry.point = campaign.spec.space.decode(member.genome);
+    bool all_failed = true;
+    for (std::size_t k = 0; k < campaign.spec.objectives.size() &&
+                            k < member.objectives.size();
+         ++k) {
+      const core::Objective& objective = campaign.spec.objectives[k];
+      const double raw = member.objectives[k];
+      if (raw < kFailurePenalty) all_failed = false;
+      entry.objectives[objective.metric] = objective.maximize ? -raw : raw;
+    }
+    if (all_failed) continue;  // an all-penalty member carries no information
+    response.front.push_back(std::move(entry));
+  }
+  return response;
+}
+
+void Server::shed_queue_locked(std::unique_lock<std::mutex>& lock) {
+  std::vector<std::pair<std::string, Job>> drained = scheduler_.drain_all();
+  std::vector<std::shared_ptr<CampaignState>> touched;
+  std::vector<std::pair<ConnPtr, Response>> replies;
+  for (auto& [tenant, job] : drained) {
+    // Whatever the scheduler handed out was matched by an inflight
+    // expectation; reconcile it at zero cost so stats stay balanced.
+    scheduler_.charge(tenant, 0.0);
+    if (job.campaign) {
+      if (job.campaign->inflight > 0) --job.campaign->inflight;
+      touched.push_back(job.campaign);
+      continue;
+    }
+    Response response;
+    response.id = job.id;
+    response.status = ResponseStatus::kDraining;
+    response.reason = "draining";
+    if (job.conn) {
+      replies.emplace_back(job.conn, std::move(response));
+    } else {
+      local_results_[job.id] = std::move(response);
+    }
+  }
+  // Campaigns whose whole pipeline was queued finish right now with the
+  // partial front; ones with running evaluations finish in finalize.
+  for (const auto& campaign : touched) {
+    if (!campaign->finished && campaign->inflight == 0) {
+      finish_campaign_locked(lock, campaign);
+    }
+  }
+  if (replies.empty()) return;
+  lock.unlock();
+  for (auto& [conn, response] : replies) (void)conn->send(response);
+  lock.lock();
+}
+
+void Server::deliver_locked(std::unique_lock<std::mutex>& lock,
+                            const ConnPtr& conn, const std::string& id,
+                            Response response) {
+  if (!conn) {
+    local_results_[id] = std::move(response);
+    cv_.notify_all();
+    return;
+  }
+  lock.unlock();
+  (void)conn->send(response);
+  lock.lock();
+}
+
+// ---------------------------------------------------------------------------
+// In-process mode
+// ---------------------------------------------------------------------------
+
+Response Server::execute(const Request& request) {
+  bool respond = false;
+  Response response = handle_request(request, nullptr, respond);
+  if (respond) return response;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto it = local_results_.find(request.id);
+    if (it != local_results_.end()) {
+      Response done = std::move(it->second);
+      local_results_.erase(it);
+      return done;
+    }
+    if (completions_.empty() && scheduler_.empty() && inflight_ == 0 &&
+        campaigns_.empty()) {
+      Response lost;
+      lost.status = ResponseStatus::kError;
+      lost.id = request.id;
+      lost.error = "request produced no result";
+      return lost;
+    }
+    pump_locked(lock);
+    if (completions_.empty() && inflight_ > 0) {
+      cv_.wait(lock, [&] { return !completions_.empty(); });
+    }
+    while (!completions_.empty()) {
+      Completion completion = std::move(completions_.front());
+      completions_.pop_front();
+      finalize_locked(lock, std::move(completion));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto admission = admission_.stats();
+    const auto queues = scheduler_.stats();
+    std::vector<std::string> names;
+    for (const auto& [name, ignored] : admission) names.push_back(name);
+    for (const auto& [name, ignored] : queues) {
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+    std::sort(names.begin(), names.end());
+    for (const auto& name : names) {
+      ServerTenantStats tenant;
+      tenant.name = name;
+      const auto admission_it = admission.find(name);
+      if (admission_it != admission.end()) tenant.admission = admission_it->second;
+      const auto queue_it = queues.find(name);
+      if (queue_it != queues.end()) tenant.queue = queue_it->second;
+      const auto completed_it = completed_by_tenant_.find(name);
+      if (completed_it != completed_by_tenant_.end()) {
+        tenant.completed = completed_it->second;
+      }
+      const auto failed_it = failed_by_tenant_.find(name);
+      if (failed_it != failed_by_tenant_.end()) tenant.failed = failed_it->second;
+      out.tenants.push_back(std::move(tenant));
+    }
+    out.inflight = inflight_;
+    out.queued = scheduler_.queued();
+    out.requests = requests_;
+    out.shed = shed_;
+    out.campaigns_active = campaigns_.size();
+    out.campaigns_finished = campaigns_finished_;
+    out.draining = drain_requested_ || draining_;
+  }
+  out.broker = broker_->stats();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& worker : conn_workers_) {
+      if (worker.conn->open.load()) ++out.connections;
+    }
+  }
+  return out;
+}
+
+std::string Server::stats_json() const {
+  const ServerStats snapshot = stats();
+  util::JsonObject root;
+  root["inflight"] = snapshot.inflight;
+  root["queued"] = snapshot.queued;
+  root["connections"] = snapshot.connections;
+  root["requests"] = snapshot.requests;
+  root["shed"] = snapshot.shed;
+  root["campaigns_active"] = snapshot.campaigns_active;
+  root["campaigns_finished"] = snapshot.campaigns_finished;
+  root["draining"] = snapshot.draining;
+
+  util::JsonObject broker;
+  broker["fresh_runs"] = snapshot.broker.fresh_runs;
+  broker["tool_seconds"] = snapshot.broker.tool_seconds;
+  broker["store_hits"] = snapshot.broker.store_hits;
+  broker["store_appends"] = snapshot.broker.store_appends;
+  broker["virtual_lanes"] = snapshot.broker.virtual_lanes;
+  broker["busy_tool_seconds"] = snapshot.broker.busy_tool_seconds;
+  root["broker"] = std::move(broker);
+
+  util::JsonArray tenants;
+  for (const auto& tenant : snapshot.tenants) {
+    util::JsonObject entry;
+    entry["name"] = tenant.name;
+    entry["weight"] = tenant.queue.weight;
+    entry["queued"] = tenant.queue.queued;
+    entry["dispatched"] = tenant.queue.dispatched;
+    entry["completed"] = tenant.completed;
+    entry["failed"] = tenant.failed;
+    entry["admitted"] = tenant.admission.admitted;
+    entry["shed_request_rate"] = tenant.admission.shed_request_rate;
+    entry["shed_tool_quota"] = tenant.admission.shed_tool_quota;
+    entry["shed_queue_full"] = tenant.queue.shed_queue_full;
+    entry["tool_seconds"] = tenant.admission.tool_seconds_charged;
+    entry["expected_cost"] = tenant.queue.expected_cost;
+    entry["deficit"] = tenant.queue.deficit;
+    tenants.push_back(std::move(entry));
+  }
+  root["tenants"] = std::move(tenants);
+  return util::Json(std::move(root)).dump();
+}
+
+}  // namespace dovado::serve

@@ -1,0 +1,272 @@
+// The `dovado serve` daemon: a multi-tenant evaluation service over one
+// shared EvaluationBroker.
+//
+// Many clients connect over a Unix-domain socket (newline-delimited JSON,
+// see protocol.hpp) and submit single-point evaluations or whole campaign
+// searches. Every request passes, in order:
+//
+//   1. admission  — per-tenant request-rate token bucket + post-paid
+//                   tool-second quota (admission.hpp). Over-limit requests
+//                   are answered `shed` + retry_after_ms by the reader
+//                   thread itself; they never allocate queue space.
+//   2. scheduling — weighted deficit round-robin over bounded per-tenant
+//                   queues (scheduler.hpp). A full queue sheds too:
+//                   backpressure is an explicit reply, never an unbounded
+//                   buffer.
+//   3. dispatch   — a single control thread (mirroring the steady-state
+//                   engine's submit/complete loop) keeps up to max_inflight
+//                   evaluations on the shared broker, which carries the
+//                   cache, single-flight, supervisor retries, breakers,
+//                   journal and cross-campaign store for *all* tenants.
+//
+// Durability contract: a response with status ok/failed is only written
+// after the broker has journaled (fsync) and store-appended the fresh
+// answer, so an acked evaluation survives any crash after the ack.
+// Graceful drain (SIGTERM path): stop admitting, shed the queued backlog
+// with `draining` replies, let in-flight evaluations finish (journaled as
+// usual), flush the store, then exit — zero acked evaluations lost.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/broker.hpp"
+#include "src/core/health/breaker.hpp"
+#include "src/opt/optimizer.hpp"
+#include "src/serve/admission.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/scheduler.hpp"
+#include "src/util/socket.hpp"
+
+namespace dovado::serve {
+
+/// A named tenant with a pinned policy (unknown tenants get the default).
+struct ServeTenantConfig {
+  std::string name;
+  TenantPolicy policy;
+};
+
+struct ServeConfig {
+  std::string socket_path;
+  core::ProjectConfig project;
+  /// Broker knobs: workers, fault plan, supervisor, journal, store, tiers.
+  core::BrokerConfig broker;
+  /// Circuit breakers on the shared backend (enabled by default).
+  core::BreakerConfig breaker;
+  TenantPolicy default_policy;
+  std::vector<ServeTenantConfig> tenants;
+  /// Evaluations in flight on the broker at once; 0 = one per virtual lane.
+  std::size_t max_inflight = 0;
+  std::size_t max_connections = 64;
+  /// Per-request tool-second deadline applied when a request names none;
+  /// 0 = unbounded. Propagated into the supervisor's retry loop.
+  double default_deadline_tool_seconds = 0.0;
+  /// Injected clock in seconds (monotonic origin); null = steady_clock.
+  /// Admission buckets refill on this clock, so tests drive virtual time.
+  std::function<double()> clock;
+};
+
+struct ServerTenantStats {
+  std::string name;
+  TenantAdmissionStats admission;
+  TenantQueueStats queue;
+  std::size_t completed = 0;  ///< ok responses sent
+  std::size_t failed = 0;     ///< failed responses sent
+};
+
+struct ServerStats {
+  std::vector<ServerTenantStats> tenants;
+  core::BrokerStats broker;
+  std::size_t inflight = 0;
+  std::size_t queued = 0;
+  std::size_t connections = 0;
+  std::size_t requests = 0;            ///< frames parsed into requests
+  std::size_t shed = 0;                ///< shed replies sent (all reasons)
+  std::size_t campaigns_active = 0;
+  std::size_t campaigns_finished = 0;
+  bool draining = false;
+};
+
+class Server {
+ public:
+  /// Builds the shared broker (throws like EvaluationBroker on bad
+  /// project/backend/journal) and the admission/scheduling state. No
+  /// threads or sockets yet — start() does that; execute() works without
+  /// ever calling start() (in-process mode for tests and the bench).
+  explicit Server(ServeConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket and spawn the accept + dispatch threads.
+  [[nodiscard]] bool start(std::string& error);
+
+  /// Begin graceful drain (idempotent): stop admitting, shed the queued
+  /// backlog, finish in-flight work, flush the store, stop the threads.
+  /// Returns immediately; wait() blocks until the drain completes. NOT
+  /// async-signal-safe — call from a normal thread, not a signal handler.
+  void drain();
+
+  /// Block until a started server has fully drained and stopped.
+  void wait();
+
+  [[nodiscard]] bool draining() const;
+  [[nodiscard]] ServerStats stats() const;
+  /// The stats snapshot as a JSON document (the `stats` op payload).
+  [[nodiscard]] std::string stats_json() const;
+
+  /// Synchronous in-process request path: admission -> scheduler ->
+  /// broker, all on the caller's thread (the broker still fans evaluations
+  /// out when configured with workers). Only valid when start() was never
+  /// called — it drives the same code the dispatch thread runs, so the two
+  /// must not race.
+  [[nodiscard]] Response execute(const Request& request);
+
+  [[nodiscard]] core::EvaluationBroker& broker() { return *broker_; }
+
+ private:
+  struct Connection {
+    util::LineSocket sock;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+
+    /// Serialize + frame + send; false (and marks closed) when the peer
+    /// is gone.
+    bool send(const Response& response);
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  struct CampaignState;
+
+  /// One schedulable unit: either a client's single eval or one ask of a
+  /// server-side campaign loop.
+  struct Job {
+    std::string tenant;
+    std::string id;                       ///< request id (campaign: its id)
+    core::DesignPoint point;
+    double deadline_tool_seconds = 0.0;
+    ConnPtr conn;                         ///< null in execute() mode
+    std::shared_ptr<CampaignState> campaign;  ///< null for single evals
+    opt::Genome genome;                   ///< campaign asks only
+  };
+
+  struct Completion {
+    Job job;
+    core::EvalResult result;
+  };
+
+  struct CampaignState {
+    std::string tenant;
+    std::string id;
+    CampaignSpec spec;
+    ConnPtr conn;
+    std::unique_ptr<opt::Problem> problem;
+    std::unique_ptr<opt::Optimizer> optimizer;
+    std::size_t asked = 0;      ///< genomes scheduled so far
+    std::size_t completed = 0;  ///< tells so far
+    std::size_t inflight = 0;   ///< queued + running asks
+    double tool_seconds = 0.0;
+    bool finished = false;
+  };
+
+  void accept_loop();
+  void connection_loop(ConnPtr conn);
+  void dispatch_loop();
+
+  /// Handle one parsed request from a reader thread (or execute()).
+  /// Immediate answers (ping/stats/shed/draining/error) are returned with
+  /// `respond=true`; admitted work is queued and answered later by the
+  /// dispatcher.
+  Response handle_request(const Request& request, const ConnPtr& conn, bool& respond);
+
+  /// Admission + enqueue for one eval/campaign request. Caller holds mu_.
+  Response admit_and_enqueue_locked(const Request& request, const ConnPtr& conn,
+                                    bool& respond);
+
+  /// Launch up to max_inflight queued jobs onto the broker. Caller holds
+  /// `lock`; may release and re-acquire it around broker submission.
+  void pump_locked(std::unique_lock<std::mutex>& lock);
+
+  /// Evaluate one dispatched job and park the result in completions_.
+  /// Runs with mu_ NOT held (worker thread, or the dispatcher inline when
+  /// the broker has no workers).
+  void run_job(Job job);
+
+  /// Apply one finished evaluation: charges, campaign tell/refill, the
+  /// client response. Caller holds `lock`; releases it to write.
+  void finalize_locked(std::unique_lock<std::mutex>& lock, Completion completion);
+
+  /// Push more asks of `campaign` into the scheduler (up to its window).
+  /// Caller holds mu_.
+  void refill_campaign_locked(const std::shared_ptr<CampaignState>& campaign);
+
+  /// Finish a campaign: build the front response. Caller holds `lock`;
+  /// releases it to write.
+  void finish_campaign_locked(std::unique_lock<std::mutex>& lock,
+                              const std::shared_ptr<CampaignState>& campaign);
+
+  /// Shed every queued job with a draining/shed reply. Caller holds `lock`.
+  void shed_queue_locked(std::unique_lock<std::mutex>& lock);
+
+  Response make_campaign_response(const CampaignState& campaign) const;
+
+  /// Hand a response to its connection (releasing `lock` around the socket
+  /// write) or, in execute() mode, park it in local_results_.
+  void deliver_locked(std::unique_lock<std::mutex>& lock, const ConnPtr& conn,
+                      const std::string& id, Response response);
+
+  /// Join reader threads whose connection has closed (called from the
+  /// accept loop so a long-lived daemon does not accumulate dead threads).
+  void reap_connections();
+
+  [[nodiscard]] double now() const { return clock_(); }
+
+  ServeConfig config_;
+  std::function<double()> clock_;
+  std::unique_ptr<core::EvaluationBroker> broker_;
+  std::shared_ptr<core::BackendHealthManager> health_;
+  std::size_t max_inflight_ = 1;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  AdmissionController admission_;
+  DrrScheduler<Job> scheduler_;
+  std::deque<Completion> completions_;
+  std::vector<std::shared_ptr<CampaignState>> campaigns_;  ///< active only
+  std::map<std::string, Response> local_results_;  ///< execute() responses by id
+  std::size_t inflight_ = 0;
+  std::size_t requests_ = 0;
+  std::size_t shed_ = 0;
+  std::size_t campaigns_finished_ = 0;
+  std::map<std::string, std::size_t> completed_by_tenant_;
+  std::map<std::string, std::size_t> failed_by_tenant_;
+  bool drain_requested_ = false;
+  bool draining_ = false;
+  bool dispatch_done_ = false;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  util::UnixListener listener_;
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+
+  struct ConnWorker {
+    std::thread thread;
+    ConnPtr conn;
+  };
+  mutable std::mutex conns_mu_;
+  std::vector<ConnWorker> conn_workers_;
+  std::size_t connections_ = 0;  ///< currently open (guarded by conns_mu_)
+};
+
+}  // namespace dovado::serve

@@ -11,34 +11,14 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/fs.hpp"
+
 namespace dovado::store {
 
+using util::fsync_parent_dir;
+using util::write_all;
+
 namespace {
-
-/// EINTR-safe full write (the journal's durability discipline).
-bool write_all(int fd, const char* data, std::size_t size) {
-  std::size_t written = 0;
-  while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// fsync the directory containing `path`, making a rename/create durable.
-bool sync_parent_dir(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) return false;
-  const bool ok = ::fsync(fd) == 0;
-  ::close(fd);
-  return ok;
-}
 
 std::string read_whole_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -95,6 +75,11 @@ EvalStore::OpenResult EvalStore::open_writer(const std::string& path,
     (void)::lseek(store->lock_fd_, 0, SEEK_SET);
     (void)write_all(store->lock_fd_, pid.data(), pid.size());
   }
+  // The lockfile's directory entry must survive a machine crash: stale-lock
+  // takeover relies on flock liveness, but a lost entry would let a second
+  // writer create a *different* lockfile inode and both would hold "the"
+  // lock. (The fd's data is diagnostic; the entry is correctness.)
+  (void)fsync_parent_dir(lock_path);
 
   // A crash during a previous compact() may have left a temp file behind;
   // it was never renamed, so it holds nothing the store does not.
@@ -142,6 +127,10 @@ EvalStore::OpenResult EvalStore::open_writer(const std::string& path,
       return result;
     }
     store->file_bytes_ = sizeof(kStoreMagic);
+    // Frames are fsync'd as they are appended, but a brand-new store file
+    // whose directory entry was never synced can vanish wholesale in a
+    // machine crash right after campaign start.
+    (void)fsync_parent_dir(path);
   }
   result.store = std::move(store);
   return result;
@@ -278,7 +267,7 @@ bool EvalStore::rewrite_locked(std::string& error) {
     (void)::unlink(tmp_path.c_str());
     return false;
   }
-  (void)sync_parent_dir(path_);
+  (void)fsync_parent_dir(path_);
   if (fd_ >= 0) ::close(fd_);
   fd_ = tmp_fd;  // already positioned at end of the new file
   records_ = index_.size();

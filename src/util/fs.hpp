@@ -1,0 +1,25 @@
+// Small raw-fd filesystem helpers shared by the durability-sensitive
+// subsystems (journal, evaluation store).
+//
+// POSIX makes a freshly created file durable only once BOTH the file data
+// and the directory entry are fsync'd; fsyncing the fd alone leaves a
+// window where a machine crash loses the whole file (the inode exists but
+// no directory references it). Every creator of a crash-safety file must
+// therefore follow up with fsync_parent_dir().
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dovado::util {
+
+/// fsync the directory containing `path`, making a create/rename of that
+/// entry durable. Returns false (with errno set) when the directory cannot
+/// be opened or synced; callers treat that as a warning, not a hard error —
+/// the file still exists, it is just not crash-durable yet.
+[[nodiscard]] bool fsync_parent_dir(const std::string& path);
+
+/// EINTR-safe full write of `size` bytes to `fd`.
+[[nodiscard]] bool write_all(int fd, const char* data, std::size_t size);
+
+}  // namespace dovado::util

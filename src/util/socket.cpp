@@ -1,0 +1,172 @@
+#include "src/util/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dovado::util {
+namespace {
+
+/// poll() one fd for `events`, retrying EINTR. Returns true when ready.
+bool wait_ready(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+bool fill_addr(const std::string& path, sockaddr_un& addr, std::string& error) {
+  if (path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path '" + path + "' exceeds the " +
+            std::to_string(sizeof(addr.sun_path) - 1) + "-byte sockaddr_un limit";
+    return false;
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+LineSocket::LineSocket(LineSocket&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+LineSocket& LineSocket::operator=(LineSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void LineSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool LineSocket::write_line(const std::string& line, int timeout_ms) {
+  if (fd_ < 0) return false;
+  std::string frame = line;
+  frame.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    if (!wait_ready(fd_, POLLOUT, timeout_ms)) return false;
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineSocket::read_line(std::string& line, int timeout_ms, bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  if (fd_ < 0) return false;
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    if (!wait_ready(fd_, POLLIN, timeout_ms)) {
+      if (timed_out != nullptr) *timed_out = true;
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return false;  // EOF mid-frame: the partial tail is dropped
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool UnixListener::listen(const std::string& path, std::string& error, int backlog) {
+  close();
+  sockaddr_un addr;
+  if (!fill_addr(path, addr, error)) return false;
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    error = std::string("cannot create socket: ") + std::strerror(errno);
+    return false;
+  }
+  // A stale socket file from a crashed daemon would make bind fail with
+  // EADDRINUSE even though nobody is listening; remove it first. A *live*
+  // daemon still owns the listening fd, so its clients are unaffected —
+  // but they can no longer be reached at this path, which is the standard
+  // last-writer-wins Unix-socket behavior.
+  (void)::unlink(path.c_str());
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error = "cannot bind '" + path + "': " + std::strerror(errno);
+    close();
+    return false;
+  }
+  if (::listen(fd_, backlog) != 0) {
+    error = "cannot listen on '" + path + "': " + std::strerror(errno);
+    close();
+    return false;
+  }
+  path_ = path;
+  return true;
+}
+
+LineSocket UnixListener::accept(int timeout_ms) {
+  if (fd_ < 0) return LineSocket();
+  if (!wait_ready(fd_, POLLIN, timeout_ms)) return LineSocket();
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) return LineSocket(conn);
+    if (errno != EINTR) return LineSocket();
+  }
+}
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (!path_.empty()) (void)::unlink(path_.c_str());
+  }
+  path_.clear();
+}
+
+LineSocket connect_unix(const std::string& path, std::string& error) {
+  sockaddr_un addr;
+  if (!fill_addr(path, addr, error)) return LineSocket();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    error = std::string("cannot create socket: ") + std::strerror(errno);
+    return LineSocket();
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error = "cannot connect to '" + path + "': " + std::strerror(errno);
+    ::close(fd);
+    return LineSocket();
+  }
+  return LineSocket(fd);
+}
+
+}  // namespace dovado::util

@@ -1,0 +1,81 @@
+// Unix-domain stream sockets with newline-delimited framing.
+//
+// The serve daemon's wire layer: a listener bound to a filesystem path and
+// a connection wrapper that reads/writes one '\n'-terminated frame at a
+// time (the protocol layer puts one JSON document per frame). Everything is
+// blocking-with-timeout via poll(); EINTR is retried; SIGPIPE is avoided
+// with MSG_NOSIGNAL so a client vanishing mid-reply surfaces as a write
+// error, not a process kill.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dovado::util {
+
+/// A connected stream socket framed as '\n'-terminated lines. Owns the fd.
+/// One reader and one writer thread may use the same connection
+/// concurrently (reads and writes are independently buffered/locked by the
+/// callers); two concurrent writers must serialize externally.
+class LineSocket {
+ public:
+  LineSocket() = default;
+  explicit LineSocket(int fd) : fd_(fd) {}
+  ~LineSocket() { close(); }
+
+  LineSocket(LineSocket&& other) noexcept;
+  LineSocket& operator=(LineSocket&& other) noexcept;
+  LineSocket(const LineSocket&) = delete;
+  LineSocket& operator=(const LineSocket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+  /// Send `line` plus a trailing '\n' (EINTR-safe, whole-frame). Returns
+  /// false when the peer is gone or the write times out.
+  [[nodiscard]] bool write_line(const std::string& line, int timeout_ms = -1);
+
+  /// Read the next '\n'-terminated frame into `line` (terminator stripped).
+  /// Returns false on EOF, error, or timeout; `timed_out` (when non-null)
+  /// distinguishes a timeout from a closed peer. timeout_ms < 0 blocks.
+  [[nodiscard]] bool read_line(std::string& line, int timeout_ms = -1,
+                               bool* timed_out = nullptr);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned frame
+};
+
+/// A listening Unix-domain socket bound to a filesystem path. Unlinks the
+/// path on close so a clean shutdown leaves no stale socket file; a stale
+/// file from a crashed daemon is unlinked at bind time.
+class UnixListener {
+ public:
+  UnixListener() = default;
+  ~UnixListener() { close(); }
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Bind and listen on `path`. Returns false with `error` filled on
+  /// failure (path too long for sockaddr_un, bind/listen errno).
+  [[nodiscard]] bool listen(const std::string& path, std::string& error,
+                            int backlog = 64);
+
+  /// Accept one connection, waiting up to `timeout_ms` (< 0 blocks).
+  /// Returns an invalid socket on timeout or error.
+  [[nodiscard]] LineSocket accept(int timeout_ms);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connect to a Unix-domain listener at `path`. Returns an invalid socket
+/// with `error` filled on failure.
+[[nodiscard]] LineSocket connect_unix(const std::string& path, std::string& error);
+
+}  // namespace dovado::util

@@ -400,5 +400,83 @@ TEST(ParseArgs, DbDefaultBackendIsNotAFilter) {
   EXPECT_TRUE(r.options.db_backend.empty());
 }
 
+TEST(ParseArgs, MaxInflightRejectsZeroAndNegatives) {
+  for (const char* value : {"0", "-3", "banana"}) {
+    const auto r = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                          "--param", "D=1:4", "--objective", "lut:min",
+                          "--steady-state", "--max-inflight", value});
+    EXPECT_FALSE(r.ok) << value;
+    EXPECT_NE(r.error.find("--max-inflight"), std::string::npos) << r.error;
+  }
+}
+
+TEST(ParseArgs, MaxInflightRequiresSteadyState) {
+  const auto r = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                        "--param", "D=1:4", "--objective", "lut:min",
+                        "--max-inflight", "4"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--steady-state"), std::string::npos) << r.error;
+}
+
+TEST(ParseArgs, MaxInflightBeyondTheLanesWarnsButParses) {
+  const auto r = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                        "--param", "D=1:4", "--objective", "lut:min",
+                        "--steady-state", "--workers", "2", "--max-inflight", "16"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.max_inflight, 16u);
+  ASSERT_FALSE(r.warnings.empty());
+  EXPECT_NE(r.warnings[0].find("--max-inflight"), std::string::npos);
+
+  // A sane value warns about nothing.
+  const auto quiet = parse({"explore", "--source", "a.sv", "--top", "m", "--part", "p",
+                            "--param", "D=1:4", "--objective", "lut:min",
+                            "--steady-state", "--workers", "4", "--max-inflight", "4"});
+  ASSERT_TRUE(quiet.ok) << quiet.error;
+  EXPECT_TRUE(quiet.warnings.empty());
+}
+
+TEST(ParseArgs, ServeCommandParsesTenantsAndPolicies) {
+  const auto r = parse({"serve", "--socket", "/tmp/d.sock", "--source", "a.sv",
+                        "--top", "m", "--part", "p",
+                        "--tenant", "alice:10:128", "--tenant", "bob:1",
+                        "--request-rate", "alice:5:10", "--quota", "bob:2:600",
+                        "--max-connections", "32"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.command, Command::kServe);
+  EXPECT_EQ(r.options.socket_path, "/tmp/d.sock");
+  ASSERT_EQ(r.options.serve_tenants.size(), 2u);
+  EXPECT_EQ(r.options.serve_tenants[0].name, "alice");
+  EXPECT_DOUBLE_EQ(r.options.serve_tenants[0].weight, 10.0);
+  EXPECT_EQ(r.options.serve_tenants[0].queue_cap, 128u);
+  EXPECT_DOUBLE_EQ(r.options.serve_tenants[0].request_rate, 5.0);
+  EXPECT_DOUBLE_EQ(r.options.serve_tenants[0].request_burst, 10.0);
+  EXPECT_EQ(r.options.serve_tenants[1].name, "bob");
+  EXPECT_DOUBLE_EQ(r.options.serve_tenants[1].tool_seconds_rate, 2.0);
+  EXPECT_DOUBLE_EQ(r.options.serve_tenants[1].tool_seconds_burst, 600.0);
+  EXPECT_EQ(r.options.max_connections, 32u);
+}
+
+TEST(ParseArgs, ServeRequiresSocketAndProject) {
+  EXPECT_FALSE(parse({"serve", "--source", "a.sv", "--top", "m", "--part", "p"}).ok);
+  EXPECT_FALSE(parse({"serve", "--socket", "/tmp/d.sock"}).ok);
+  // Bad tenant specs are parse errors, not silent defaults.
+  EXPECT_FALSE(parse({"serve", "--socket", "/tmp/d.sock", "--source", "a.sv",
+                      "--top", "m", "--part", "p", "--tenant", "alice:-1"}).ok);
+  EXPECT_FALSE(parse({"serve", "--socket", "/tmp/d.sock", "--source", "a.sv",
+                      "--top", "m", "--part", "p", "--quota", "alice:2:0"}).ok);
+}
+
+TEST(ParseArgs, ClientAndTopNeedASocket) {
+  EXPECT_FALSE(parse({"client"}).ok);
+  EXPECT_FALSE(parse({"top"}).ok);
+  const auto r = parse({"client", "--socket", "/tmp/d.sock", "--tenant", "alice",
+                        "--set", "DEPTH=32", "--deadline", "120"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.command, Command::kClient);
+  EXPECT_EQ(r.options.tenant, "alice");
+  EXPECT_DOUBLE_EQ(r.options.deadline_tool_seconds, 120.0);
+  EXPECT_TRUE(parse({"top", "--socket", "/tmp/d.sock"}).ok);
+}
+
 }  // namespace
 }  // namespace dovado::cli

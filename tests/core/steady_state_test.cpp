@@ -458,5 +458,19 @@ TEST(SteadyState, DeadlineStopsSubmissionAndClosesCleanly) {
   EXPECT_GE(result.stats.steady_completions, 1u);
 }
 
+TEST(SteadyState, MaxInflightWithoutSteadyStateIsRejectedAtConstruction) {
+  // max_inflight only bounds the steady-state submit loop; silently
+  // ignoring it on the generational engine hid misconfigurations. The CLI
+  // rejects the combination at parse time and the engine mirrors it here
+  // for programmatic callers.
+  DseConfig config = steady_dse(0);
+  config.steady_state = false;
+  config.max_inflight = 4;
+  EXPECT_THROW(DseEngine(fifo_project(), config), std::runtime_error);
+
+  config.steady_state = true;
+  EXPECT_NO_THROW(DseEngine(fifo_project(), config));
+}
+
 }  // namespace
 }  // namespace dovado::core
