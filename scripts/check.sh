@@ -23,6 +23,14 @@ ctest --preset default -j "$jobs" --timeout 600
 echo "== lint: clang-tidy (skipped when not installed) =="
 scripts/lint.sh build
 
+echo "== static concurrency contracts: clang -Wthread-safety (skipped when not installed) =="
+scripts/thread_safety.sh
+
+echo "== bench gate: sync wrapper overhead (bench/sync_overhead.json) =="
+# Exits non-zero when the bar is missed: util::Mutex/MutexLock must add
+# < 1% over raw std::mutex on the uncontended path in release builds.
+build/bench/micro_sync_overhead
+
 echo "== bench gate: steady-state fleet utilization (BENCH_utilization.json) =="
 # Exits non-zero when the bar is missed: steady > 90%, batch < 70%,
 # steady hypervolume >= batch at the shared tool-second budget.
@@ -58,9 +66,14 @@ if [[ "$fast" == "1" ]]; then
   exit 0
 fi
 
+echo "== deadlock: runtime lock-order detector suite (DOVADO_DEADLOCK_DEBUG) =="
+cmake --preset deadlock
+cmake --build --preset deadlock -j "$jobs"
+ctest --preset deadlock -j "$jobs" --timeout 600
+
 echo "== tsan: fault-injected concurrency suite =="
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target test_core test_util test_store test_serve
+cmake --build --preset tsan -j "$jobs" --target test_core test_util test_store test_serve test_opt test_analysis
 ctest --preset tsan-parallel -j "$jobs" --timeout 600
 
 echo "== asan: full suite (incl. store crash drills over raw-fd I/O) =="

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Clang thread-safety analysis over every library source (profile: the
+# DOVADO_* annotation macros in src/util/sync.hpp, which only expand under
+# clang). A violation — reading a DOVADO_GUARDED_BY field without its
+# mutex, calling a DOVADO_REQUIRES method unlocked — is a hard error.
+#
+# Usage: scripts/thread_safety.sh
+#
+# The script degrades gracefully: on machines without clang (the baked-in
+# toolchain is GCC-only) it prints a notice and exits 0 so scripts/check.sh
+# can always include the leg. CI installs clang and runs the real thing.
+#
+# -Wno-everything first: the codebase is built and warning-hardened with
+# GCC; this leg checks exactly one thing, so only the thread-safety group
+# is re-enabled (and promoted to an error by -Werror).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+clangxx="${CLANGXX:-clang++}"
+if ! command -v "$clangxx" >/dev/null 2>&1; then
+  echo "thread_safety.sh: clang++ not installed; skipping (CI runs it)"
+  exit 0
+fi
+
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+
+status=0
+for source in "${sources[@]}"; do
+  if ! "$clangxx" -std=c++20 -fsyntax-only -I. \
+      -Wno-everything -Wthread-safety -Werror "$source"; then
+    status=1
+    echo "thread_safety.sh: FAILED $source"
+  fi
+done
+
+if [[ "$status" != "0" ]]; then
+  echo "thread_safety.sh: thread-safety violations found"
+  exit 1
+fi
+echo "thread_safety.sh: ${#sources[@]} sources clean under -Wthread-safety"

@@ -70,7 +70,7 @@ void EvaluationBroker::append_health_event(const HealthEvent& event) {
 }
 
 std::size_t EvaluationBroker::virtual_lane_count() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   return lane_free_.size();
 }
 
@@ -87,13 +87,13 @@ double EvaluationBroker::lane_submit_locked(double seconds) {
 }
 
 void EvaluationBroker::lane_barrier() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   const double makespan = *std::max_element(lane_free_.begin(), lane_free_.end());
   for (double& t : lane_free_) t = makespan;
 }
 
 double EvaluationBroker::virtual_makespan() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   return *std::max_element(lane_free_.begin(), lane_free_.end());
 }
 
@@ -153,7 +153,7 @@ std::vector<JournalRecord> EvaluationBroker::replay_journal() {
     result.quarantined = rec.quarantined;
     cache_->store(rec.params, result);
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++journal_replays_;
     }
     seeded.push_back(rec);
@@ -194,7 +194,7 @@ EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe,
       // hits; the store flag marks only the first, charged-free answer.
       cache_->store(point, hit);
       hit.store_hit = true;
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++store_hits_;
       return hit;
     }
@@ -278,7 +278,7 @@ EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe,
     rec.tool_seconds = result.tool_seconds;
     std::string store_error;
     if (config_.store->append(std::move(rec), &store_error)) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++store_appends_;
     } else {
       util::Log::warn(store_error + "; future campaigns will repay for this point");
@@ -286,7 +286,7 @@ EvalResult EvaluationBroker::tool_evaluate(const DesignPoint& point, bool probe,
   }
   // Cache hits and single-flight joins carry zero tool seconds, so charging
   // unconditionally counts every simulated second exactly once.
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   tool_seconds_accum_ += result.tool_seconds;
   // Stamp (or clear — cached answers carry their leader's stale stamp) the
   // virtual lane clock: only fresh lane-occupying runs advance it.
@@ -314,7 +314,7 @@ std::size_t EvaluationBroker::run_deadline_chunked(
     pool_->parallel_for(dispatched, end, fn);
     dispatched = end;
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   ++batches_;
   last_batch_tool_seconds_ = tool_seconds_accum_ - start_seconds;
   max_batch_tool_seconds_ = std::max(max_batch_tool_seconds_, last_batch_tool_seconds_);
@@ -327,7 +327,7 @@ void EvaluationBroker::parallel_for(std::size_t n,
 }
 
 double EvaluationBroker::tool_seconds() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   return tool_seconds_accum_;
 }
 
@@ -336,14 +336,14 @@ bool EvaluationBroker::deadline_exceeded() const {
 }
 
 void EvaluationBroker::mark_deadline_hit() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   deadline_hit_ = true;
 }
 
 BrokerStats EvaluationBroker::stats() const {
   BrokerStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     snapshot.fresh_runs = fresh_runs_;
     snapshot.tool_seconds = tool_seconds_accum_;
     snapshot.deadline_hit = deadline_hit_;

@@ -277,23 +277,25 @@ class EvaluationBroker {
   std::vector<std::string> metric_names_;
 
   /// Earliest-free run: schedule `seconds` of work onto the earliest-free
-  /// virtual lane; returns the virtual finish time. Caller holds
-  /// stats_mutex_.
-  double lane_submit_locked(double seconds);
+  /// virtual lane; returns the virtual finish time.
+  double lane_submit_locked(double seconds) DOVADO_REQUIRES(stats_mutex_);
 
-  mutable std::mutex stats_mutex_;  ///< guards the mutable counters below
-  std::vector<double> lane_free_;   ///< virtual time each lane frees up
-  double lane_busy_seconds_ = 0.0;
-  double tool_seconds_accum_ = 0.0;
-  std::size_t fresh_runs_ = 0;
-  std::size_t batches_ = 0;
-  double last_batch_tool_seconds_ = 0.0;
-  double max_batch_tool_seconds_ = 0.0;
-  bool deadline_hit_ = false;
-  std::size_t journal_replays_ = 0;
-  std::size_t journal_skipped_records_ = 0;  ///< captured at open, before replay clears it
-  std::size_t store_hits_ = 0;
-  std::size_t store_appends_ = 0;
+  /// Guards the mutable counters below. Leaf lock: nothing else is ever
+  /// acquired while it is held.
+  mutable util::Mutex stats_mutex_{"EvaluationBroker.stats"};
+  std::vector<double> lane_free_ DOVADO_GUARDED_BY(stats_mutex_);
+  double lane_busy_seconds_ DOVADO_GUARDED_BY(stats_mutex_) = 0.0;
+  double tool_seconds_accum_ DOVADO_GUARDED_BY(stats_mutex_) = 0.0;
+  std::size_t fresh_runs_ DOVADO_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t batches_ DOVADO_GUARDED_BY(stats_mutex_) = 0;
+  double last_batch_tool_seconds_ DOVADO_GUARDED_BY(stats_mutex_) = 0.0;
+  double max_batch_tool_seconds_ DOVADO_GUARDED_BY(stats_mutex_) = 0.0;
+  bool deadline_hit_ DOVADO_GUARDED_BY(stats_mutex_) = false;
+  std::size_t journal_replays_ DOVADO_GUARDED_BY(stats_mutex_) = 0;
+  /// Captured at open, before replay clears it.
+  std::size_t journal_skipped_records_ DOVADO_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t store_hits_ DOVADO_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t store_appends_ DOVADO_GUARDED_BY(stats_mutex_) = 0;
 };
 
 }  // namespace dovado::core

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -286,7 +285,7 @@ EvaluationBroker* DseEngine::hedge_broker() {
   // With screening enabled the low-fidelity broker already exists and its
   // cache likely holds the hedged points (screen_batch saw them first).
   if (screen_broker_) return screen_broker_.get();
-  std::lock_guard<std::mutex> lock(hedge_mutex_);
+  util::MutexLock lock(hedge_mutex_);
   if (!owned_hedge_broker_) {
     ProjectConfig hedge_project = project_;
     hedge_project.backend = config_.screen_backend;
@@ -306,7 +305,7 @@ EvaluationBroker* DseEngine::hedge_broker() {
 
 void DseEngine::enqueue_probe(const DesignPoint& point) {
   if (!health_) return;
-  std::lock_guard<std::mutex> lock(probe_mutex_);
+  util::MutexLock lock(probe_mutex_);
   // Bounded and deduplicated: a handful of representative fast-failed
   // points is enough to diagnose recovery; queueing every one would turn
   // the queue into a shadow of the whole search.
@@ -322,7 +321,7 @@ void DseEngine::run_probe_queue() {
   while (health_->probe_wanted(backend)) {
     DesignPoint point;
     {
-      std::lock_guard<std::mutex> lock(probe_mutex_);
+      util::MutexLock lock(probe_mutex_);
       if (probe_queue_.empty()) return;
       point = probe_queue_.front();
       probe_queue_.pop_front();
@@ -331,12 +330,12 @@ void DseEngine::run_probe_queue() {
     if (r.fast_failed) {
       // The cooldown is still counting (or the budget is spent); keep the
       // point for the next batch's probe round.
-      std::lock_guard<std::mutex> lock(probe_mutex_);
+      util::MutexLock lock(probe_mutex_);
       probe_queue_.push_front(std::move(point));
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       if (r.cache_hit) ++stats_.cache_hits;
       else if (r.joined) ++stats_.single_flight_joins;
       else if (!r.store_hit) ++stats_.tool_runs;  // store hits counted by the broker
@@ -393,7 +392,7 @@ void DseEngine::absorb_replayed(const std::vector<JournalRecord>& records) {
 DseStats DseEngine::stats() const {
   DseStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     snapshot = stats_;
   }
   const BrokerStats hifi = broker_->stats();
@@ -430,7 +429,7 @@ DseStats DseEngine::stats() const {
   {
     // The lazily-built hedge broker (only exists once a breaker opened
     // without screening enabled).
-    std::lock_guard<std::mutex> lock(hedge_mutex_);
+    util::MutexLock lock(hedge_mutex_);
     if (owned_hedge_broker_) {
       const BrokerStats hedge = owned_hedge_broker_->stats();
       snapshot.backend_runs[owned_hedge_broker_->backend_info().name] += hedge.fresh_runs;
@@ -469,7 +468,7 @@ model::Point DseEngine::to_model_point(const DesignPoint& point) const {
 
 void DseEngine::record(const DesignPoint& point, const EvalMetrics& metrics, bool estimated,
                        bool failed, bool approximate) {
-  std::lock_guard<std::mutex> lock(record_mutex_);
+  util::MutexLock lock(record_mutex_);
   auto it = explored_index_.find(point);
   if (it != explored_index_.end()) {
     // A tool-backed answer supersedes an earlier estimate for the same point.
@@ -531,12 +530,12 @@ void DseEngine::pretrain() {
     // run nor a statement about the point.
     if (results[i].fast_failed) continue;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.pretrain_runs;
     }
     if (!results[i].ok) {
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         ++stats_.failures;
       }
       record(points[i], results[i].metrics, false, true);
@@ -649,7 +648,7 @@ std::size_t DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals)
     auto& ind = individuals[i];
     if (ind.evaluated) continue;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.ga_evaluations;
     }
     DesignPoint point = config_.space.decode(ind.genome);
@@ -666,7 +665,7 @@ std::size_t DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals)
         ind.evaluated = true;
         ++scored;
         {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          util::MutexLock lock(stats_mutex_);
           ++stats_.estimates;
         }
         record(point, metrics, true, false);
@@ -745,11 +744,11 @@ std::size_t DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals)
         {
           // Sticky screen-outs re-settle on every later batch that
           // resamples the point; only the first settle counts.
-          std::lock_guard<std::mutex> lock(record_mutex_);
+          util::MutexLock lock(record_mutex_);
           first_settle = explored_index_.find(point) == explored_index_.end();
         }
         if (first_settle) {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          util::MutexLock lock(stats_mutex_);
           ++stats_.screened_out;
         }
       }
@@ -764,7 +763,7 @@ std::size_t DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals)
       // explored set — it was never actually evaluated.
       ind.objectives.assign(config_.objectives.size(), kFailurePenalty);
       ind.evaluated = true;
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.deadline_skips;
       continue;
     }
@@ -781,7 +780,7 @@ std::size_t DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals)
         ++scored;
         if (!leader_done[ui]) {
           leader_done[ui] = true;
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          util::MutexLock lock(stats_mutex_);
           ++stats_.degraded_evals;
         }
         record(point, hedge_it->second.metrics, /*estimated=*/true, /*failed=*/false,
@@ -792,7 +791,7 @@ std::size_t DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals)
         ind.objectives.assign(config_.objectives.size(), kFailurePenalty);
         ind.evaluated = true;
         leader_done[ui] = true;
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         ++stats_.failures;
       }
       continue;
@@ -806,7 +805,7 @@ std::size_t DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals)
     leader_done[ui] = true;
     ++scored;  // every remaining branch scores from a consumed evaluation
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       if (r.cache_hit) ++stats_.cache_hits;
       else if (r.joined) ++stats_.single_flight_joins;
       else if (!r.store_hit) ++stats_.tool_runs;  // store hits counted by the broker
@@ -814,7 +813,7 @@ std::size_t DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals)
 
     if (!r.ok) {
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         ++stats_.failures;
       }
       // Graceful degradation: a quarantined point (the tool kept failing,
@@ -831,7 +830,7 @@ std::size_t DseEngine::batch_evaluate(std::vector<opt::Individual>& individuals)
         ind.objectives = to_objectives(metrics);
         ind.evaluated = true;
         {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          util::MutexLock lock(stats_mutex_);
           ++stats_.approx_fallbacks;
         }
         record(point, metrics, false, false, /*approximate=*/true);
@@ -884,7 +883,7 @@ std::vector<ExploredPoint> DseEngine::evaluate_set(const std::vector<DesignPoint
       // Cut by the mid-batch deadline: reported as failed, not recorded.
       ep.failed = true;
       out.push_back(std::move(ep));
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.deadline_skips;
       continue;
     }
@@ -912,7 +911,7 @@ void DseEngine::run_preflight() {
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     stats_.preflight_ms = elapsed_ms;
   }
   if (report.count(analysis::Severity::kError) > 0) {
@@ -978,9 +977,9 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
     DesignPoint point;
     EvalResult result;
   };
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<std::shared_ptr<Inflight>> ready;
+  util::Mutex mu("DseEngine.steady");
+  util::CondVar cv;
+  std::vector<std::shared_ptr<Inflight>> ready;  // guarded by mu (local: not annotatable)
 
   // Per-completion sticky screening. The batch engine ranks a whole
   // offspring batch and forwards its best keep_ratio fraction; with no
@@ -1013,14 +1012,14 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
       if (hedge.ok) {
         objectives = to_objectives(hedge.metrics);
         {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          util::MutexLock lock(stats_mutex_);
           ++stats_.degraded_evals;
         }
         record(c.point, hedge.metrics, /*estimated=*/true, /*failed=*/false,
                /*approximate=*/true);
       } else {
         objectives.assign(config_.objectives.size(), kFailurePenalty);
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         ++stats_.failures;
       }
       // Hedged answers cost no hi-fi tool seconds; the bandit should not
@@ -1029,14 +1028,14 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       if (r.cache_hit) ++stats_.cache_hits;
       else if (r.joined) ++stats_.single_flight_joins;
       else if (!r.store_hit) ++stats_.tool_runs;  // store hits counted by the broker
     }
     if (!r.ok) {
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         ++stats_.failures;
       }
       if (r.quarantined && control_ && config_.approx_fallback_min_samples > 0 &&
@@ -1048,7 +1047,7 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
         }
         objectives = to_objectives(metrics);
         {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          util::MutexLock lock(stats_mutex_);
           ++stats_.approx_fallbacks;
         }
         record(c.point, metrics, false, false, /*approximate=*/true);
@@ -1082,7 +1081,7 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
   // committed to high fidelity by the crashed campaign.
   auto submit_one = [&](opt::Genome genome, bool direct) -> bool {
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.ga_evaluations;
     }
     DesignPoint point = config_.space.decode(genome);
@@ -1096,7 +1095,7 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
           metrics.values[config_.objectives[k].metric] = est[k];
         }
         {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          util::MutexLock lock(stats_mutex_);
           ++stats_.estimates;
         }
         record(point, metrics, true, false);
@@ -1137,11 +1136,11 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
       if (settle) {
         bool first_settle;
         {
-          std::lock_guard<std::mutex> lock(record_mutex_);
+          util::MutexLock lock(record_mutex_);
           first_settle = explored_index_.find(point) == explored_index_.end();
         }
         if (first_settle) {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          util::MutexLock lock(stats_mutex_);
           ++stats_.screened_out;
         }
         record(point, screen.metrics, true, false);
@@ -1166,7 +1165,7 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
       // Notify while holding the lock: the control loop cannot pop this
       // completion (and then return, destroying mu/cv) until this task has
       // released the mutex — by which point it no longer touches either.
-      std::lock_guard<std::mutex> lock(mu);
+      util::MutexLock lock(mu);
       ready.push_back(slot);
       cv.notify_one();
     });
@@ -1185,7 +1184,7 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
     replay.push_back(std::move(*genome));
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     stats_.inflight_replayed += replay.size();
   }
 
@@ -1211,7 +1210,7 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
       ++submitted;
       if (!submit_one(std::move(genome), direct)) {
         ++completed;
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         ++stats_.steady_completions;
       }
     }
@@ -1221,8 +1220,8 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
     }
     std::shared_ptr<Inflight> next;
     {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return !ready.empty(); });
+      util::MutexLock lock(mu);
+      while (ready.empty()) cv.wait(mu);
       // Pop the earliest virtual finish (sequence number breaks ties and
       // orders zero-cost answers). Inline mode resolves every submission
       // at submit time, so this pop order exactly replays the virtual
@@ -1243,7 +1242,7 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
     resolve(*next);
     ++completed;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.steady_completions;
     }
     // Per-completion probe scheduling: breaker recovery is tested
@@ -1252,7 +1251,7 @@ void DseEngine::run_steady_state(opt::Problem& problem, opt::Nsga2Config ga) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     stats_.generations =
         ga.population_size != 0 ? completed / ga.population_size : 0;
     stats_.optimizer_name = config_.optimizer;
@@ -1314,7 +1313,7 @@ DseResult DseEngine::run() {
     }
     if (!ga.initial_genomes.empty()) {
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         stats_.store_seeded_points = ga.initial_genomes.size();
       }
       util::Log::info("seeded initial population with " +
@@ -1340,7 +1339,7 @@ DseResult DseEngine::run() {
     opt::Nsga2 solver(ga);
     const opt::Nsga2Result ga_result = solver.run(problem);
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       stats_.generations = ga_result.generations_run;
     }
   }
@@ -1397,14 +1396,14 @@ DseResult DseEngine::run() {
         }
         ++converted;
         {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          util::MutexLock lock(stats_mutex_);
           if (results[i].cache_hit) ++stats_.cache_hits;
           else if (results[i].joined) ++stats_.single_flight_joins;
           else if (!results[i].store_hit) ++stats_.tool_runs;
         }
         if (!results[i].ok) {
           {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            util::MutexLock lock(stats_mutex_);
             ++stats_.failures;
           }
           record(to_verify[i], results[i].metrics, false, true);
@@ -1414,7 +1413,7 @@ DseResult DseEngine::run() {
         // but estimated entries must be overwritten even when equal).
         bool was_approximate = false;
         {
-          std::lock_guard<std::mutex> lock(record_mutex_);
+          util::MutexLock lock(record_mutex_);
           auto it = explored_index_.find(to_verify[i]);
           if (it != explored_index_.end()) {
             was_approximate = explored_[it->second].approximate;
@@ -1425,7 +1424,7 @@ DseResult DseEngine::run() {
           }
         }
         if (was_approximate) {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          util::MutexLock lock(stats_mutex_);
           ++stats_.reverified_points;
         }
       }

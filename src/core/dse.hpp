@@ -39,6 +39,7 @@
 #include "src/opt/baselines.hpp"
 #include "src/opt/nsga2.hpp"
 #include "src/opt/optimizer_base.hpp"
+#include "src/util/sync.hpp"
 
 namespace dovado::core {
 
@@ -413,19 +414,23 @@ class DseEngine {
   std::shared_ptr<BackendHealthManager> health_;     ///< null = breaker disabled
   std::unique_ptr<model::ControlModel> control_;
 
-  mutable std::mutex hedge_mutex_;  ///< guards lazy owned_hedge_broker_ creation
-  std::unique_ptr<EvaluationBroker> owned_hedge_broker_;
+  // Engine locks are independent leaves: no code path holds two of them at
+  // once (see DESIGN.md "Concurrency contracts" for the repo-wide ordering).
+  mutable util::Mutex hedge_mutex_{"DseEngine.hedge"};
+  std::unique_ptr<EvaluationBroker> owned_hedge_broker_
+      DOVADO_GUARDED_BY(hedge_mutex_);  ///< lazily created on first hedge
 
-  std::mutex probe_mutex_;  ///< guards the probe queue + dedup set
-  std::deque<DesignPoint> probe_queue_;
-  std::set<DesignPoint> probe_seen_;
+  util::Mutex probe_mutex_{"DseEngine.probe"};
+  std::deque<DesignPoint> probe_queue_ DOVADO_GUARDED_BY(probe_mutex_);
+  std::set<DesignPoint> probe_seen_ DOVADO_GUARDED_BY(probe_mutex_);
 
-  std::mutex record_mutex_;  ///< guards explored_index_ + explored_
-  std::map<DesignPoint, std::size_t> explored_index_;
-  std::vector<ExploredPoint> explored_;
+  util::Mutex record_mutex_{"DseEngine.record"};
+  std::map<DesignPoint, std::size_t> explored_index_
+      DOVADO_GUARDED_BY(record_mutex_);
+  std::vector<ExploredPoint> explored_ DOVADO_GUARDED_BY(record_mutex_);
 
-  mutable std::mutex stats_mutex_;  ///< guards stats_ (engine-local counters)
-  DseStats stats_;
+  mutable util::Mutex stats_mutex_{"DseEngine.stats"};
+  DseStats stats_ DOVADO_GUARDED_BY(stats_mutex_);  ///< engine-local counters
 };
 
 }  // namespace dovado::core

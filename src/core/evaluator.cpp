@@ -23,7 +23,7 @@ const char* failure_class_name(FailureClass cls) {
 }
 
 std::optional<EvalResult> EvaluationCache::lookup(const DesignPoint& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = entries_.find(point);
   if (it == entries_.end()) return std::nullopt;
   EvalResult hit = it->second;
@@ -33,12 +33,12 @@ std::optional<EvalResult> EvaluationCache::lookup(const DesignPoint& point) cons
 }
 
 bool EvaluationCache::contains(const DesignPoint& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return entries_.find(point) != entries_.end();
 }
 
 EvaluationCache::Claim EvaluationCache::claim(const DesignPoint& point) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (;;) {
     if (auto it = entries_.find(point); it != entries_.end()) {
       Claim hit{ClaimKind::kHit, it->second};
@@ -52,7 +52,7 @@ EvaluationCache::Claim EvaluationCache::claim(const DesignPoint& point) {
       return Claim{ClaimKind::kLeader, {}};
     }
     std::shared_ptr<InFlight> flight = fit->second;
-    flight->done.wait(lock, [&] { return flight->published || flight->abandoned; });
+    while (!flight->published && !flight->abandoned) flight->done.wait(mutex_);
     if (flight->published) {
       Claim joined{ClaimKind::kJoined, flight->result};
       joined.result.joined = true;
@@ -64,7 +64,7 @@ EvaluationCache::Claim EvaluationCache::claim(const DesignPoint& point) {
 }
 
 void EvaluationCache::publish(const DesignPoint& point, const EvalResult& result) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   entries_[point] = result;
   auto it = in_flight_.find(point);
   if (it == in_flight_.end()) return;
@@ -75,7 +75,7 @@ void EvaluationCache::publish(const DesignPoint& point, const EvalResult& result
 }
 
 void EvaluationCache::abandon(const DesignPoint& point) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = in_flight_.find(point);
   if (it == in_flight_.end()) return;
   it->second->abandoned = true;
@@ -84,12 +84,12 @@ void EvaluationCache::abandon(const DesignPoint& point) {
 }
 
 void EvaluationCache::store(const DesignPoint& point, const EvalResult& result) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   entries_[point] = result;
 }
 
 std::size_t EvaluationCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return entries_.size();
 }
 
@@ -270,7 +270,7 @@ EvaluatorPool::Lease::~Lease() {
 }
 
 void EvaluatorPool::add(std::unique_ptr<PointEvaluator> evaluator) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (owned_.empty()) {
     module_snapshot_ = std::make_unique<hdl::Module>(evaluator->module());
     free_parameters_snapshot_ = evaluator->free_parameters();
@@ -281,11 +281,11 @@ void EvaluatorPool::add(std::unique_ptr<PointEvaluator> evaluator) {
 }
 
 EvaluatorPool::Lease EvaluatorPool::acquire() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (owned_.empty()) throw std::logic_error("EvaluatorPool::acquire on an empty pool");
   if (idle_.empty()) {
     ++lease_waits_;
-    available_.wait(lock, [this] { return !idle_.empty(); });
+    while (idle_.empty()) available_.wait(mutex_);
   }
   PointEvaluator* evaluator = idle_.back();
   idle_.pop_back();
@@ -294,19 +294,19 @@ EvaluatorPool::Lease EvaluatorPool::acquire() {
 
 void EvaluatorPool::release(PointEvaluator* evaluator) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     idle_.push_back(evaluator);
   }
   available_.notify_one();
 }
 
 std::size_t EvaluatorPool::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return owned_.size();
 }
 
 std::size_t EvaluatorPool::lease_waits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return lease_waits_;
 }
 

@@ -9,16 +9,15 @@
 // runs for already-seen points).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/param_domain.hpp"
+#include "src/util/sync.hpp"
 #include "src/edatool/backend.hpp"
 #include "src/hdl/ast.hpp"
 #include "src/tcl/frames.hpp"
@@ -146,18 +145,21 @@ class EvaluationCache {
 
  private:
   /// One in-flight evaluation. Joiners wait on `done` under the cache
-  /// mutex; the shared_ptr keeps the entry alive after the leader erases
-  /// it from the in-flight map.
+  /// mutex (which also guards the published/abandoned/result fields — a
+  /// nested struct cannot name the outer mutex in an annotation); the
+  /// shared_ptr keeps the entry alive after the leader erases it from the
+  /// in-flight map.
   struct InFlight {
-    std::condition_variable done;
+    util::CondVar done;
     bool published = false;
     bool abandoned = false;
     EvalResult result;
   };
 
-  mutable std::mutex mutex_;
-  std::map<DesignPoint, EvalResult> entries_;
-  std::map<DesignPoint, std::shared_ptr<InFlight>> in_flight_;
+  mutable util::Mutex mutex_{"EvaluationCache"};
+  std::map<DesignPoint, EvalResult> entries_ DOVADO_GUARDED_BY(mutex_);
+  std::map<DesignPoint, std::shared_ptr<InFlight>> in_flight_
+      DOVADO_GUARDED_BY(mutex_);
 };
 
 class EvaluationSupervisor;
@@ -283,11 +285,11 @@ class EvaluatorPool {
  private:
   void release(PointEvaluator* evaluator);
 
-  mutable std::mutex mutex_;
-  std::condition_variable available_;
-  std::vector<std::unique_ptr<PointEvaluator>> owned_;
-  std::vector<PointEvaluator*> idle_;
-  std::size_t lease_waits_ = 0;
+  mutable util::Mutex mutex_{"EvaluatorPool"};
+  util::CondVar available_;
+  std::vector<std::unique_ptr<PointEvaluator>> owned_ DOVADO_GUARDED_BY(mutex_);
+  std::vector<PointEvaluator*> idle_ DOVADO_GUARDED_BY(mutex_);
+  std::size_t lease_waits_ DOVADO_GUARDED_BY(mutex_) = 0;
 
   /// Interface snapshot captured at first add(); immutable afterwards, so
   /// reads need no lock once an evaluator exists.

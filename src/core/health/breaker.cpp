@@ -96,7 +96,7 @@ void CircuitBreaker::close_locked() {
 }
 
 BreakerAdmission CircuitBreaker::admit() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!config_.enabled || state_ == BreakerState::kClosed) return BreakerAdmission::kAllow;
   // Open *and* half-open fast-fail regular traffic: recovery goes through
   // the probe queue only, so hedged search progress never blocks on the
@@ -107,7 +107,7 @@ BreakerAdmission CircuitBreaker::admit() {
 }
 
 BreakerAdmission CircuitBreaker::admit_probe() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!config_.enabled || state_ == BreakerState::kClosed) return BreakerAdmission::kAllow;
   if (state_ == BreakerState::kOpen) {
     if (fast_fails_since_open_ < cooldown_target_) {
@@ -127,14 +127,14 @@ BreakerAdmission CircuitBreaker::admit_probe() {
 }
 
 void CircuitBreaker::cancel_probe() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (state_ != BreakerState::kHalfOpen) return;
   if (probes_issued_ > 0) --probes_issued_;
   if (probe_runs_ > 0) --probe_runs_;
 }
 
 bool CircuitBreaker::probe_wanted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!config_.enabled) return false;
   if (state_ == BreakerState::kOpen) return true;
   if (state_ == BreakerState::kHalfOpen) return probes_issued_ < config_.probe_budget;
@@ -142,7 +142,7 @@ bool CircuitBreaker::probe_wanted() const {
 }
 
 void CircuitBreaker::on_success(bool probe) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!config_.enabled) return;
   if (probe && state_ == BreakerState::kHalfOpen) {
     ++probe_successes_;
@@ -155,7 +155,7 @@ void CircuitBreaker::on_success(bool probe) {
 }
 
 void CircuitBreaker::on_failure(bool probe, const std::string& cause) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!config_.enabled) return;
   if (state_ != BreakerState::kClosed) {
     if (probe) trip_locked("probe failed: " + cause);
@@ -168,7 +168,7 @@ void CircuitBreaker::on_failure(bool probe, const std::string& cause) {
 }
 
 void CircuitBreaker::restore(const HealthEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   switch (event.kind) {
     case HealthEventKind::kTrip:
       ++trips_;
@@ -201,12 +201,12 @@ void CircuitBreaker::restore(const HealthEvent& event) {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return state_;
 }
 
 CircuitBreaker::Stats CircuitBreaker::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   Stats s;
   s.state = state_;
   s.trips = trips_;

@@ -22,10 +22,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 
 #include "src/core/health/events.hpp"
+#include "src/util/sync.hpp"
 
 namespace dovado::core {
 
@@ -119,30 +119,32 @@ class CircuitBreaker {
   [[nodiscard]] const std::string& backend() const { return backend_; }
 
  private:
-  void trip_locked(const std::string& cause);
-  void close_locked();
-  void to_half_open_locked();
-  void push_outcome_locked(bool failed);
-  void emit_locked(HealthEventKind kind, const std::string& cause);
-  [[nodiscard]] std::size_t jittered_cooldown_locked() const;
+  void trip_locked(const std::string& cause) DOVADO_REQUIRES(mutex_);
+  void close_locked() DOVADO_REQUIRES(mutex_);
+  void to_half_open_locked() DOVADO_REQUIRES(mutex_);
+  void push_outcome_locked(bool failed) DOVADO_REQUIRES(mutex_);
+  void emit_locked(HealthEventKind kind, const std::string& cause)
+      DOVADO_REQUIRES(mutex_);
+  [[nodiscard]] std::size_t jittered_cooldown_locked() const
+      DOVADO_REQUIRES(mutex_);
 
   const std::string backend_;
   const BreakerConfig config_;
   const EventSink sink_;
 
-  mutable std::mutex mutex_;
-  BreakerState state_ = BreakerState::kClosed;
-  std::deque<bool> window_;        ///< true = failure
-  std::size_t window_failures_ = 0;
-  std::size_t trips_ = 0;
-  std::size_t recoveries_ = 0;
-  std::size_t fast_fails_ = 0;
-  std::size_t probe_runs_ = 0;
-  std::size_t fast_fails_since_open_ = 0;
-  std::size_t cooldown_target_ = 0;
-  std::size_t probes_issued_ = 0;
-  std::size_t probe_successes_ = 0;
-  std::string last_cause_;
+  mutable util::Mutex mutex_{"CircuitBreaker"};
+  BreakerState state_ DOVADO_GUARDED_BY(mutex_) = BreakerState::kClosed;
+  std::deque<bool> window_ DOVADO_GUARDED_BY(mutex_);  ///< true = failure
+  std::size_t window_failures_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::size_t trips_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::size_t recoveries_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::size_t fast_fails_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::size_t probe_runs_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::size_t fast_fails_since_open_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::size_t cooldown_target_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::size_t probes_issued_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::size_t probe_successes_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::string last_cause_ DOVADO_GUARDED_BY(mutex_);
 };
 
 }  // namespace dovado::core

@@ -6,12 +6,12 @@ BackendHealthManager::BackendHealthManager(BreakerConfig config)
     : config_(std::move(config)) {}
 
 void BackendHealthManager::set_event_sink(CircuitBreaker::EventSink sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   sink_ = std::move(sink);
 }
 
 CircuitBreaker& BackendHealthManager::breaker(const std::string& backend) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = breakers_.find(backend);
   if (it == breakers_.end()) {
     it = breakers_
@@ -61,14 +61,14 @@ void BackendHealthManager::restore(const std::vector<HealthEvent>& events) {
 }
 
 BreakerState BackendHealthManager::state(const std::string& backend) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = breakers_.find(backend);
   // A backend with no breaker yet has seen no failures: closed.
   return it == breakers_.end() ? BreakerState::kClosed : it->second->state();
 }
 
 HealthStats BackendHealthManager::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   HealthStats total;
   for (const auto& [name, b] : breakers_) {
     const CircuitBreaker::Stats s = b->stats();

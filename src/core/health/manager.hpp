@@ -12,9 +12,10 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/sync.hpp"
 
 #include "src/core/evaluator.hpp"
 #include "src/core/health/breaker.hpp"
@@ -67,9 +68,13 @@ class BackendHealthManager {
 
   const BreakerConfig config_;
 
-  mutable std::mutex mutex_;  ///< guards the breaker map (not the breakers)
-  CircuitBreaker::EventSink sink_;
-  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+  /// Guards the breaker map (not the breakers: each has its own mutex,
+  /// ordered after this one — breaker() acquires the map lock, releases
+  /// it, and only then does the caller enter the breaker).
+  mutable util::Mutex mutex_{"BackendHealthManager"};
+  CircuitBreaker::EventSink sink_ DOVADO_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_
+      DOVADO_GUARDED_BY(mutex_);
 };
 
 }  // namespace dovado::core

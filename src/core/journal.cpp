@@ -294,7 +294,7 @@ SessionJournal::~SessionJournal() {
 }
 
 bool SessionJournal::append_line(const std::string& line) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (fd_ < 0) return false;
   std::size_t written = 0;
   while (written < line.size()) {

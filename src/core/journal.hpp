@@ -40,7 +40,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,6 +47,7 @@
 #include "src/core/evaluator.hpp"
 #include "src/core/health/events.hpp"
 #include "src/core/param_domain.hpp"
+#include "src/util/sync.hpp"
 
 namespace dovado::core {
 
@@ -146,10 +146,10 @@ class SessionJournal {
  private:
   SessionJournal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
 
-  bool append_line(const std::string& line);
+  bool append_line(const std::string& line) DOVADO_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  int fd_;
+  util::Mutex mutex_{"SessionJournal"};
+  int fd_ DOVADO_GUARDED_BY(mutex_);
   std::string path_;
 };
 

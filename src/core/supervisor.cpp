@@ -89,7 +89,7 @@ EvalResult EvaluationSupervisor::supervise(
     }
 
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (r.failure == FailureClass::kTimeout) {
         ++stats_.timeouts;
       } else if (r.failure == FailureClass::kTransient) {
@@ -135,7 +135,7 @@ EvalResult EvaluationSupervisor::supervise(
       const double pause = backoff_seconds(key, attempt);
       spent_seconds += pause;
       backoff_total += pause;
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       ++stats_.retries;
       stats_.backoff_tool_seconds += pause;
     }
@@ -147,7 +147,7 @@ EvalResult EvaluationSupervisor::supervise(
   last.backoff_seconds = backoff_total;
   last.quarantined = true;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (quarantine_.insert(point).second) ++stats_.quarantined_points;
   }
   return last;
@@ -170,17 +170,17 @@ double EvaluationSupervisor::backoff_seconds(std::uint64_t point_key, int attemp
 }
 
 SupervisorStats EvaluationSupervisor::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
 }
 
 bool EvaluationSupervisor::is_quarantined(const DesignPoint& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return quarantine_.count(point) > 0;
 }
 
 std::size_t EvaluationSupervisor::quarantine_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return quarantine_.size();
 }
 

@@ -21,11 +21,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <set>
 
 #include "src/core/evaluator.hpp"
 #include "src/core/param_domain.hpp"
+#include "src/util/sync.hpp"
 
 namespace dovado::core {
 
@@ -89,9 +89,9 @@ class EvaluationSupervisor {
   [[nodiscard]] double backoff_seconds(std::uint64_t point_key, int attempt) const;
 
   SupervisorConfig config_;
-  mutable std::mutex mutex_;
-  std::set<DesignPoint> quarantine_;
-  SupervisorStats stats_;
+  mutable util::Mutex mutex_{"EvaluationSupervisor"};
+  std::set<DesignPoint> quarantine_ DOVADO_GUARDED_BY(mutex_);
+  SupervisorStats stats_ DOVADO_GUARDED_BY(mutex_);
 };
 
 }  // namespace dovado::core

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "src/edatool/analytic_backend.hpp"
 #include "src/edatool/vivado_sim_backend.hpp"
 #include "src/util/strings.hpp"
+#include "src/util/sync.hpp"
 
 namespace dovado::edatool {
 
@@ -46,8 +46,8 @@ std::map<std::string, BackendRegistry::Factory>& registry() {
   return instance;
 }
 
-std::mutex& registry_mutex() {
-  static std::mutex m;
+util::Mutex& registry_mutex() {
+  static util::Mutex m{"BackendRegistry"};
   return m;
 }
 
@@ -68,7 +68,7 @@ void ensure_builtins_locked() {
 }  // namespace
 
 void BackendRegistry::register_backend(const std::string& name, Factory factory) {
-  std::lock_guard<std::mutex> lock(registry_mutex());
+  util::MutexLock lock(registry_mutex());
   ensure_builtins_locked();
   registry()[name] = std::move(factory);
 }
@@ -77,7 +77,7 @@ std::unique_ptr<EdaBackend> BackendRegistry::create(const std::string& name) {
   Factory factory;
   std::vector<std::string> known;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex());
+    util::MutexLock lock(registry_mutex());
     ensure_builtins_locked();
     auto it = registry().find(name);
     if (it != registry().end()) {
@@ -99,7 +99,7 @@ std::unique_ptr<EdaBackend> BackendRegistry::create(const std::string& name) {
 }
 
 std::vector<std::string> BackendRegistry::names() {
-  std::lock_guard<std::mutex> lock(registry_mutex());
+  util::MutexLock lock(registry_mutex());
   ensure_builtins_locked();
   std::vector<std::string> out;
   out.reserve(registry().size());

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 
 #include "src/util/strings.hpp"
+#include "src/util/sync.hpp"
 
 namespace dovado::netlist {
 
@@ -40,21 +40,21 @@ std::map<std::string, Generator>& registry() {
   return instance;
 }
 
-std::mutex& registry_mutex() {
-  static std::mutex m;
+util::Mutex& registry_mutex() {
+  static util::Mutex m{"GeneratorRegistry"};
   return m;
 }
 
 }  // namespace
 
 void GeneratorRegistry::register_generator(const std::string& module_name, Generator gen) {
-  std::lock_guard<std::mutex> lock(registry_mutex());
+  util::MutexLock lock(registry_mutex());
   registry()[util::to_lower(module_name)] = std::move(gen);
 }
 
 std::optional<Generator> GeneratorRegistry::find(const std::string& module_name) {
   register_builtin_generators();
-  std::lock_guard<std::mutex> lock(registry_mutex());
+  util::MutexLock lock(registry_mutex());
   auto it = registry().find(util::to_lower(module_name));
   if (it == registry().end()) return std::nullopt;
   return it->second;
@@ -62,7 +62,7 @@ std::optional<Generator> GeneratorRegistry::find(const std::string& module_name)
 
 std::vector<std::string> GeneratorRegistry::registered() {
   register_builtin_generators();
-  std::lock_guard<std::mutex> lock(registry_mutex());
+  util::MutexLock lock(registry_mutex());
   std::vector<std::string> names;
   names.reserve(registry().size());
   for (const auto& [name, gen] : registry()) names.push_back(name);

@@ -4,13 +4,13 @@
 #include <cmath>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "src/opt/nds.hpp"
 #include "src/opt/operators.hpp"
 #include "src/opt/portfolio.hpp"
 #include "src/util/strings.hpp"
+#include "src/util/sync.hpp"
 
 namespace dovado::opt {
 
@@ -247,8 +247,8 @@ std::map<std::string, OptimizerRegistry::Factory>& registry() {
   return instance;
 }
 
-std::mutex& registry_mutex() {
-  static std::mutex m;
+util::Mutex& registry_mutex() {
+  static util::Mutex m{"OptimizerRegistry"};
   return m;
 }
 
@@ -291,7 +291,7 @@ void ensure_builtins_locked() {
 }  // namespace
 
 void OptimizerRegistry::register_optimizer(const std::string& name, Factory factory) {
-  std::lock_guard<std::mutex> lock(registry_mutex());
+  util::MutexLock lock(registry_mutex());
   ensure_builtins_locked();
   registry()[name] = std::move(factory);
 }
@@ -301,7 +301,7 @@ std::unique_ptr<Optimizer> OptimizerRegistry::create(const std::string& name,
   Factory factory;
   std::vector<std::string> known;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex());
+    util::MutexLock lock(registry_mutex());
     ensure_builtins_locked();
     auto it = registry().find(name);
     if (it != registry().end()) {
@@ -329,7 +329,7 @@ void OptimizerRegistry::ensure_known(const std::string& name) {
 }
 
 std::vector<std::string> OptimizerRegistry::names() {
-  std::lock_guard<std::mutex> lock(registry_mutex());
+  util::MutexLock lock(registry_mutex());
   ensure_builtins_locked();
   std::vector<std::string> out;
   out.reserve(registry().size());

@@ -55,7 +55,7 @@ class SpaceProblem final : public opt::Problem {
 }  // namespace
 
 bool Server::Connection::send(const Response& response) {
-  std::lock_guard<std::mutex> lock(write_mu);
+  util::MutexLock lock(write_mu);
   if (!open.load()) return false;
   if (!sock.write_line(serialize_response(response), 5000)) {
     open.store(false);
@@ -119,7 +119,7 @@ bool Server::start(std::string& error) {
 
 void Server::drain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     drain_requested_ = true;
   }
   cv_.notify_all();
@@ -131,7 +131,7 @@ void Server::wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<ConnWorker> workers;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     workers.swap(conn_workers_);
   }
   for (auto& worker : workers) {
@@ -140,7 +140,7 @@ void Server::wait() {
 }
 
 bool Server::draining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return drain_requested_ || draining_;
 }
 
@@ -158,7 +158,7 @@ void Server::accept_loop() {
     }
     auto conn = std::make_shared<Connection>();
     conn->sock = std::move(sock);
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     std::size_t open = 0;
     for (const auto& worker : conn_workers_) {
       if (worker.conn->open.load()) ++open;
@@ -178,7 +178,7 @@ void Server::accept_loop() {
 }
 
 void Server::reap_connections() {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  util::MutexLock lock(conns_mu_);
   for (auto it = conn_workers_.begin(); it != conn_workers_.end();) {
     if (!it->conn->open.load() && it->thread.joinable()) {
       it->thread.join();
@@ -211,10 +211,15 @@ void Server::connection_loop(ConnPtr conn) {
     Response response = handle_request(request, conn, respond);
     if (respond && !conn->send(response)) break;
   }
-  // Mark closed but leave the fd to the Connection's destructor: queued
-  // jobs may still hold the ConnPtr, and closing here would let the kernel
-  // reuse the fd number under a concurrent dispatcher write.
+  // Mark closed and shut the socket down, but leave the fd to the
+  // Connection's destructor: queued jobs may still hold the ConnPtr, and
+  // closing here would let the kernel reuse the fd number under a
+  // concurrent dispatcher write. The shutdown wakes a peer that raced a
+  // frame against drain and is blocked waiting for a response nobody will
+  // ever write — it sees EOF now instead of hanging until Server::wait()
+  // destroys the connection.
   conn->open.store(false);
+  conn->sock.shutdown();
 }
 
 // ---------------------------------------------------------------------------
@@ -228,14 +233,14 @@ Response Server::handle_request(const Request& request, const ConnPtr& conn,
   response.id = request.id;
   switch (request.op) {
     case RequestOp::kPing: {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       ++requests_;
       response.status = ResponseStatus::kOk;
       return response;
     }
     case RequestOp::kStats: {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         ++requests_;
       }
       response.status = ResponseStatus::kOk;
@@ -246,7 +251,7 @@ Response Server::handle_request(const Request& request, const ConnPtr& conn,
     case RequestOp::kCampaign:
       break;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++requests_;
   response = admit_and_enqueue_locked(request, conn, respond);
   if (!respond) cv_.notify_all();
@@ -372,30 +377,30 @@ Response Server::admit_and_enqueue_locked(const Request& request,
 // ---------------------------------------------------------------------------
 
 void Server::dispatch_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] {
-      return drain_requested_ || !completions_.empty() ||
-             (!draining_ && inflight_ < max_inflight_ && !scheduler_.empty());
-    });
+    while (!(drain_requested_ || !completions_.empty() ||
+             (!draining_ && inflight_ < max_inflight_ && !scheduler_.empty()))) {
+      cv_.wait(mu_);
+    }
     if (drain_requested_ && !draining_) {
       draining_ = true;
       util::Log::info(util::format(
           "serve: draining -- admissions stopped, %zu queued shed, "
           "%zu evaluations finishing",
           scheduler_.queued(), inflight_));
-      shed_queue_locked(lock);
+      shed_queue_locked();
     }
     while (!completions_.empty()) {
       Completion completion = std::move(completions_.front());
       completions_.pop_front();
-      finalize_locked(lock, std::move(completion));
+      finalize_locked(std::move(completion));
     }
     if (draining_) {
       if (inflight_ == 0 && completions_.empty()) break;
       continue;
     }
-    pump_locked(lock);
+    pump_locked();
   }
   dispatch_done_ = true;
   lock.unlock();
@@ -409,7 +414,7 @@ void Server::dispatch_loop() {
   cv_.notify_all();
 }
 
-void Server::pump_locked(std::unique_lock<std::mutex>& lock) {
+void Server::pump_locked() {
   // A campaign whose asks could not be queued earlier (queue momentarily
   // full) retries here, so its asks compete in this scheduling round.
   for (const auto& campaign : campaigns_) {
@@ -432,7 +437,7 @@ void Server::pump_locked(std::unique_lock<std::mutex>& lock) {
   // run it on this thread anyway, after paying for a future and two
   // std::function wrappers per job.
   const bool inline_eval = config_.broker.workers == 0;
-  lock.unlock();
+  mu_.unlock();
   for (Job& job : batch) {
     if (inline_eval) {
       run_job(std::move(job));
@@ -440,19 +445,18 @@ void Server::pump_locked(std::unique_lock<std::mutex>& lock) {
       broker_->async([this, job = std::move(job)]() mutable { run_job(std::move(job)); });
     }
   }
-  lock.lock();
+  mu_.lock();
 }
 
 void Server::run_job(Job job) {
   core::EvalResult result =
       broker_->tool_evaluate(job.point, false, job.deadline_tool_seconds);
-  std::lock_guard<std::mutex> inner(mu_);
+  util::MutexLock inner(mu_);
   completions_.push_back(Completion{std::move(job), std::move(result)});
   cv_.notify_all();
 }
 
-void Server::finalize_locked(std::unique_lock<std::mutex>& lock,
-                             Completion completion) {
+void Server::finalize_locked(Completion completion) {
   Job& job = completion.job;
   core::EvalResult& result = completion.result;
   --inflight_;
@@ -485,7 +489,7 @@ void Server::finalize_locked(std::unique_lock<std::mutex>& lock,
     ++campaign->completed;
     if (campaign->completed >= campaign->spec.budget ||
         (draining_ && campaign->inflight == 0)) {
-      finish_campaign_locked(lock, campaign);
+      finish_campaign_locked(campaign);
     } else if (!draining_) {
       refill_campaign_locked(campaign);
     }
@@ -516,7 +520,7 @@ void Server::finalize_locked(std::unique_lock<std::mutex>& lock,
     response.attempts = result.attempts;
     if (result.deadline_truncated) response.reason = "deadline";
   }
-  deliver_locked(lock, job.conn, job.id, std::move(response));
+  deliver_locked(job.conn, job.id, std::move(response));
 }
 
 void Server::refill_campaign_locked(const std::shared_ptr<CampaignState>& campaign) {
@@ -545,8 +549,8 @@ void Server::refill_campaign_locked(const std::shared_ptr<CampaignState>& campai
   }
 }
 
-void Server::finish_campaign_locked(std::unique_lock<std::mutex>& lock,
-                                    const std::shared_ptr<CampaignState>& campaign) {
+void Server::finish_campaign_locked(
+    const std::shared_ptr<CampaignState>& campaign) {
   if (campaign->finished) return;
   campaign->finished = true;
   ++campaigns_finished_;
@@ -554,7 +558,7 @@ void Server::finish_campaign_locked(std::unique_lock<std::mutex>& lock,
   campaigns_.erase(std::remove(campaigns_.begin(), campaigns_.end(), campaign),
                    campaigns_.end());
   Response response = make_campaign_response(*campaign);
-  deliver_locked(lock, campaign->conn, campaign->id, std::move(response));
+  deliver_locked(campaign->conn, campaign->id, std::move(response));
 }
 
 Response Server::make_campaign_response(const CampaignState& campaign) const {
@@ -581,7 +585,7 @@ Response Server::make_campaign_response(const CampaignState& campaign) const {
   return response;
 }
 
-void Server::shed_queue_locked(std::unique_lock<std::mutex>& lock) {
+void Server::shed_queue_locked() {
   std::vector<std::pair<std::string, Job>> drained = scheduler_.drain_all();
   std::vector<std::shared_ptr<CampaignState>> touched;
   std::vector<std::pair<ConnPtr, Response>> replies;
@@ -608,26 +612,25 @@ void Server::shed_queue_locked(std::unique_lock<std::mutex>& lock) {
   // partial front; ones with running evaluations finish in finalize.
   for (const auto& campaign : touched) {
     if (!campaign->finished && campaign->inflight == 0) {
-      finish_campaign_locked(lock, campaign);
+      finish_campaign_locked(campaign);
     }
   }
   if (replies.empty()) return;
-  lock.unlock();
+  mu_.unlock();
   for (auto& [conn, response] : replies) (void)conn->send(response);
-  lock.lock();
+  mu_.lock();
 }
 
-void Server::deliver_locked(std::unique_lock<std::mutex>& lock,
-                            const ConnPtr& conn, const std::string& id,
+void Server::deliver_locked(const ConnPtr& conn, const std::string& id,
                             Response response) {
   if (!conn) {
     local_results_[id] = std::move(response);
     cv_.notify_all();
     return;
   }
-  lock.unlock();
+  mu_.unlock();
   (void)conn->send(response);
-  lock.lock();
+  mu_.lock();
 }
 
 // ---------------------------------------------------------------------------
@@ -639,7 +642,7 @@ Response Server::execute(const Request& request) {
   Response response = handle_request(request, nullptr, respond);
   if (respond) return response;
 
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (;;) {
     const auto it = local_results_.find(request.id);
     if (it != local_results_.end()) {
@@ -655,14 +658,14 @@ Response Server::execute(const Request& request) {
       lost.error = "request produced no result";
       return lost;
     }
-    pump_locked(lock);
+    pump_locked();
     if (completions_.empty() && inflight_ > 0) {
-      cv_.wait(lock, [&] { return !completions_.empty(); });
+      while (completions_.empty()) cv_.wait(mu_);
     }
     while (!completions_.empty()) {
       Completion completion = std::move(completions_.front());
       completions_.pop_front();
-      finalize_locked(lock, std::move(completion));
+      finalize_locked(std::move(completion));
     }
   }
 }
@@ -674,7 +677,7 @@ Response Server::execute(const Request& request) {
 ServerStats Server::stats() const {
   ServerStats out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const auto admission = admission_.stats();
     const auto queues = scheduler_.stats();
     std::vector<std::string> names;
@@ -710,7 +713,7 @@ ServerStats Server::stats() const {
   }
   out.broker = broker_->stats();
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     for (const auto& worker : conn_workers_) {
       if (worker.conn->open.load()) ++out.connections;
     }

@@ -28,13 +28,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +44,7 @@
 #include "src/serve/protocol.hpp"
 #include "src/serve/scheduler.hpp"
 #include "src/util/socket.hpp"
+#include "src/util/sync.hpp"
 
 namespace dovado::serve {
 
@@ -137,7 +136,9 @@ class Server {
  private:
   struct Connection {
     util::LineSocket sock;
-    std::mutex write_mu;
+    /// Leaf lock: serializes whole response frames onto the socket. Never
+    /// held together with mu_ — every delivery path releases mu_ first.
+    util::Mutex write_mu{"serve.Connection.write"};
     std::atomic<bool> open{true};
 
     /// Serialize + frame + send; false (and marks closed) when the peer
@@ -191,11 +192,11 @@ class Server {
 
   /// Admission + enqueue for one eval/campaign request. Caller holds mu_.
   Response admit_and_enqueue_locked(const Request& request, const ConnPtr& conn,
-                                    bool& respond);
+                                    bool& respond) DOVADO_REQUIRES(mu_);
 
   /// Launch up to max_inflight queued jobs onto the broker. Caller holds
-  /// `lock`; may release and re-acquire it around broker submission.
-  void pump_locked(std::unique_lock<std::mutex>& lock);
+  /// mu_; may release and re-acquire it around broker submission.
+  void pump_locked() DOVADO_REQUIRES(mu_);
 
   /// Evaluate one dispatched job and park the result in completions_.
   /// Runs with mu_ NOT held (worker thread, or the dispatcher inline when
@@ -203,27 +204,28 @@ class Server {
   void run_job(Job job);
 
   /// Apply one finished evaluation: charges, campaign tell/refill, the
-  /// client response. Caller holds `lock`; releases it to write.
-  void finalize_locked(std::unique_lock<std::mutex>& lock, Completion completion);
+  /// client response. Caller holds mu_; releases it to write.
+  void finalize_locked(Completion completion) DOVADO_REQUIRES(mu_);
 
   /// Push more asks of `campaign` into the scheduler (up to its window).
   /// Caller holds mu_.
-  void refill_campaign_locked(const std::shared_ptr<CampaignState>& campaign);
+  void refill_campaign_locked(const std::shared_ptr<CampaignState>& campaign)
+      DOVADO_REQUIRES(mu_);
 
-  /// Finish a campaign: build the front response. Caller holds `lock`;
+  /// Finish a campaign: build the front response. Caller holds mu_;
   /// releases it to write.
-  void finish_campaign_locked(std::unique_lock<std::mutex>& lock,
-                              const std::shared_ptr<CampaignState>& campaign);
+  void finish_campaign_locked(const std::shared_ptr<CampaignState>& campaign)
+      DOVADO_REQUIRES(mu_);
 
-  /// Shed every queued job with a draining/shed reply. Caller holds `lock`.
-  void shed_queue_locked(std::unique_lock<std::mutex>& lock);
+  /// Shed every queued job with a draining/shed reply. Caller holds mu_.
+  void shed_queue_locked() DOVADO_REQUIRES(mu_);
 
   Response make_campaign_response(const CampaignState& campaign) const;
 
-  /// Hand a response to its connection (releasing `lock` around the socket
+  /// Hand a response to its connection (releasing mu_ around the socket
   /// write) or, in execute() mode, park it in local_results_.
-  void deliver_locked(std::unique_lock<std::mutex>& lock, const ConnPtr& conn,
-                      const std::string& id, Response response);
+  void deliver_locked(const ConnPtr& conn, const std::string& id,
+                      Response response) DOVADO_REQUIRES(mu_);
 
   /// Join reader threads whose connection has closed (called from the
   /// accept loop so a long-lived daemon does not accumulate dead threads).
@@ -237,22 +239,28 @@ class Server {
   std::shared_ptr<core::BackendHealthManager> health_;
   std::size_t max_inflight_ = 1;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  AdmissionController admission_;
-  DrrScheduler<Job> scheduler_;
-  std::deque<Completion> completions_;
-  std::vector<std::shared_ptr<CampaignState>> campaigns_;  ///< active only
-  std::map<std::string, Response> local_results_;  ///< execute() responses by id
-  std::size_t inflight_ = 0;
-  std::size_t requests_ = 0;
-  std::size_t shed_ = 0;
-  std::size_t campaigns_finished_ = 0;
-  std::map<std::string, std::size_t> completed_by_tenant_;
-  std::map<std::string, std::size_t> failed_by_tenant_;
-  bool drain_requested_ = false;
-  bool draining_ = false;
-  bool dispatch_done_ = false;
+  /// The server lock: admission, scheduling and campaign state. Ordered
+  /// before every broker/store lock (dispatch holds mu_ while touching the
+  /// scheduler, but releases it before broker submission) and never held
+  /// across a socket write (deliver_locked drops it first).
+  mutable util::Mutex mu_{"serve.Server"};
+  util::CondVar cv_;
+  AdmissionController admission_ DOVADO_GUARDED_BY(mu_);
+  DrrScheduler<Job> scheduler_ DOVADO_GUARDED_BY(mu_);
+  std::deque<Completion> completions_ DOVADO_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<CampaignState>> campaigns_
+      DOVADO_GUARDED_BY(mu_);  ///< active only
+  std::map<std::string, Response> local_results_
+      DOVADO_GUARDED_BY(mu_);  ///< execute() responses by id
+  std::size_t inflight_ DOVADO_GUARDED_BY(mu_) = 0;
+  std::size_t requests_ DOVADO_GUARDED_BY(mu_) = 0;
+  std::size_t shed_ DOVADO_GUARDED_BY(mu_) = 0;
+  std::size_t campaigns_finished_ DOVADO_GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::size_t> completed_by_tenant_ DOVADO_GUARDED_BY(mu_);
+  std::map<std::string, std::size_t> failed_by_tenant_ DOVADO_GUARDED_BY(mu_);
+  bool drain_requested_ DOVADO_GUARDED_BY(mu_) = false;
+  bool draining_ DOVADO_GUARDED_BY(mu_) = false;
+  bool dispatch_done_ DOVADO_GUARDED_BY(mu_) = false;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
@@ -264,9 +272,11 @@ class Server {
     std::thread thread;
     ConnPtr conn;
   };
-  mutable std::mutex conns_mu_;
-  std::vector<ConnWorker> conn_workers_;
-  std::size_t connections_ = 0;  ///< currently open (guarded by conns_mu_)
+  /// Guards only the worker-thread roster; independent of mu_ (no code
+  /// path holds both).
+  mutable util::Mutex conns_mu_{"serve.Server.conns"};
+  std::vector<ConnWorker> conn_workers_ DOVADO_GUARDED_BY(conns_mu_);
+  std::size_t connections_ DOVADO_GUARDED_BY(conns_mu_) = 0;  ///< currently open
 };
 
 }  // namespace dovado::serve

@@ -86,7 +86,11 @@ EvalStore::OpenResult EvalStore::open_writer(const std::string& path,
   (void)::unlink((path + ".compact").c_str());
 
   const std::string data = read_whole_file(path);
+  // The handle is not published yet, but the fields are lock-guarded and
+  // the analysis (rightly) has no notion of "pre-publication".
+  util::MutexLock lock(store->mutex_);
   const ScanStats scan = scan_store(data, [&](StoreRecord&& record) {
+    store->mutex_.assert_held();
     store->index_[key_of(record)] = std::move(record);
     ++store->records_;
   });
@@ -98,7 +102,6 @@ EvalStore::OpenResult EvalStore::open_writer(const std::string& path,
     // records (atomic temp + rename), which also drops any quarantined
     // regions. An empty/missing file just gets a fresh header below.
     std::string error;
-    std::lock_guard<std::mutex> lock(store->mutex_);
     if (!store->rewrite_locked(error)) {
       result.error = error;
       return result;
@@ -146,7 +149,9 @@ EvalStore::OpenResult EvalStore::open_reader(const std::string& path) {
   auto store = std::unique_ptr<EvalStore>(new EvalStore());
   store->path_ = path;
   const std::string data = read_whole_file(path);
+  util::MutexLock lock(store->mutex_);
   const ScanStats scan = scan_store(data, [&](StoreRecord&& record) {
+    store->mutex_.assert_held();
     store->index_[key_of(record)] = std::move(record);
     ++store->records_;
   });
@@ -158,11 +163,13 @@ EvalStore::OpenResult EvalStore::open_reader(const std::string& path) {
 }
 
 EvalStore::~EvalStore() {
-  if (fd_ >= 0) {
-    std::string error;
-    std::lock_guard<std::mutex> lock(mutex_);
-    (void)sync_locked(error);
-    ::close(fd_);
+  {
+    util::MutexLock lock(mutex_);
+    if (fd_ >= 0) {
+      std::string error;
+      (void)sync_locked(error);
+      ::close(fd_);
+    }
   }
   // The lockfile stays on disk: unlinking it would race a concurrent
   // open_writer() that already holds an fd to the old inode. Closing the
@@ -181,7 +188,7 @@ bool EvalStore::sync_locked(std::string& error) {
 }
 
 bool EvalStore::append(StoreRecord record, std::string* error) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (fd_ < 0) {
     if (error) *error = "store '" + path_ + "' is open read-only";
     return false;
@@ -208,7 +215,7 @@ bool EvalStore::append(StoreRecord record, std::string* error) {
 }
 
 bool EvalStore::flush(std::string* error) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (fd_ < 0) return true;  // nothing buffered on a reader
   std::string sync_error;
   if (!sync_locked(sync_error)) {
@@ -225,14 +232,14 @@ std::optional<StoreRecord> EvalStore::lookup(const core::DesignPoint& point,
 }
 
 std::optional<StoreRecord> EvalStore::lookup(const StoreKey& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<StoreRecord> EvalStore::live_records() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<StoreRecord> records;
   records.reserve(index_.size());
   for (const auto& [key, record] : index_) records.push_back(record);
@@ -279,7 +286,7 @@ bool EvalStore::rewrite_locked(std::string& error) {
 }
 
 bool EvalStore::compact(std::string& error) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (fd_ < 0) {
     error = "store '" + path_ + "' is open read-only";
     return false;
@@ -290,7 +297,7 @@ bool EvalStore::compact(std::string& error) {
 }
 
 StoreStats EvalStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   StoreStats stats;
   stats.records = records_;
   stats.live = index_.size();

@@ -30,12 +30,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/store/format.hpp"
+#include "src/util/sync.hpp"
 
 namespace dovado::store {
 
@@ -86,7 +86,12 @@ class EvalStore {
   EvalStore(const EvalStore&) = delete;
   EvalStore& operator=(const EvalStore&) = delete;
 
-  [[nodiscard]] bool writable() const { return fd_ >= 0; }
+  /// Thread-safe: compact() swaps the append fd under mutex_, so the read
+  /// must synchronize with it (an unlocked read here was a data race).
+  [[nodiscard]] bool writable() const {
+    util::MutexLock lock(mutex_);
+    return fd_ >= 0;
+  }
   [[nodiscard]] const std::string& path() const { return path_; }
 
   /// Append one record (writer only; thread-safe). A zero timestamp is
@@ -118,24 +123,24 @@ class EvalStore {
   EvalStore() = default;
 
   /// Write header + every live record to a temp file and rename it over
-  /// the store; replaces fd_. Caller holds mutex_.
-  bool rewrite_locked(std::string& error);
-  bool sync_locked(std::string& error);
+  /// the store; replaces fd_.
+  bool rewrite_locked(std::string& error) DOVADO_REQUIRES(mutex_);
+  bool sync_locked(std::string& error) DOVADO_REQUIRES(mutex_);
 
   std::string path_;
-  int fd_ = -1;       ///< append fd; -1 for read-only handles
   int lock_fd_ = -1;  ///< flock'd lockfile; -1 for read-only handles
   StoreOptions options_;
 
-  mutable std::mutex mutex_;  ///< guards everything below
-  std::map<StoreKey, StoreRecord> index_;  ///< latest record per key
-  std::size_t records_ = 0;
-  std::size_t quarantined_ = 0;
-  bool torn_tail_ = false;
-  std::size_t appended_ = 0;
-  std::size_t compactions_ = 0;
-  std::uint64_t file_bytes_ = 0;
-  std::size_t unsynced_appends_ = 0;
+  mutable util::Mutex mutex_{"EvalStore"};  ///< guards everything below
+  int fd_ DOVADO_GUARDED_BY(mutex_) = -1;  ///< append fd; -1 when read-only
+  std::map<StoreKey, StoreRecord> index_ DOVADO_GUARDED_BY(mutex_);
+  std::size_t records_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::size_t quarantined_ DOVADO_GUARDED_BY(mutex_) = 0;
+  bool torn_tail_ DOVADO_GUARDED_BY(mutex_) = false;
+  std::size_t appended_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::size_t compactions_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t file_bytes_ DOVADO_GUARDED_BY(mutex_) = 0;
+  std::size_t unsynced_appends_ DOVADO_GUARDED_BY(mutex_) = 0;
 };
 
 /// Whether a stored record may stand in for a fresh evaluation at the same

@@ -4,22 +4,22 @@
 
 namespace dovado::util {
 
-std::mutex Log::mutex_;
+SharedMutex Log::mutex_("Log");
 LogLevel Log::level_ = LogLevel::kWarn;
 
 void Log::set_level(LogLevel level) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   level_ = level;
 }
 
 LogLevel Log::level() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  SharedLock lock(mutex_);
   return level_;
 }
 
 void Log::write(LogLevel level, std::string_view msg) {
   static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   if (level < level_ || level == LogLevel::kOff) return;
   std::fprintf(stderr, "[dovado %s] %.*s\n", kNames[static_cast<int>(level)],
                static_cast<int>(msg.size()), msg.data());

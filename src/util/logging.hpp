@@ -5,10 +5,11 @@
 // levels beyond building the message string lazily at the call site.
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "src/util/sync.hpp"
 
 namespace dovado::util {
 
@@ -31,8 +32,11 @@ class Log {
   static void error(std::string_view msg) { write(LogLevel::kError, msg); }
 
  private:
-  static std::mutex mutex_;
-  static LogLevel level_;
+  /// Reader/writer split: level() is on every suppressed-log fast path and
+  /// takes the shared side; set_level() and write() (which also serializes
+  /// the stderr output) take it exclusively.
+  static SharedMutex mutex_;
+  static LogLevel level_ DOVADO_GUARDED_BY(mutex_);
 };
 
 /// Stream-style helper: LOGSTREAM(kInfo) << "x=" << x;  Message is emitted on

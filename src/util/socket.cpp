@@ -62,6 +62,10 @@ void LineSocket::close() {
   buffer_.clear();
 }
 
+void LineSocket::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 bool LineSocket::write_line(const std::string& line, int timeout_ms) {
   if (fd_ < 0) return false;
   std::string frame = line;

@@ -32,6 +32,12 @@ class LineSocket {
   [[nodiscard]] int fd() const { return fd_; }
   void close();
 
+  /// Shut down both directions without releasing the fd. The peer sees EOF
+  /// immediately, but the fd number stays reserved, so other threads still
+  /// holding a reference cannot collide with a kernel fd reuse the way a
+  /// close() would let them.
+  void shutdown();
+
   /// Send `line` plus a trailing '\n' (EINTR-safe, whole-frame). Returns
   /// false when the peer is gone or the write times out.
   [[nodiscard]] bool write_line(const std::string& line, int timeout_ms = -1);

@@ -1,0 +1,262 @@
+// Runtime lock-order detector behind dovado::util::Mutex / CondVar.
+//
+// Model: a global directed graph over live Mutex instances where an edge
+// A -> B means "some thread blocked on B while holding A". Edges are
+// inserted (with the observing thread's id, for the report) the first
+// time that order is seen; insertion runs a DFS from the lock being
+// acquired back towards the held lock, so the first acquisition that
+// would close a cycle is caught at the moment the inverted order first
+// occurs — no actual deadlock, and no second run, required. Per-thread
+// held-lock stacks live in a thread_local; the graph itself is protected
+// by a raw std::mutex (deliberately untracked — the detector must not
+// recurse into itself) and is a leaked singleton so locks destroyed
+// during static teardown can still check out cleanly.
+//
+// This file is always compiled; with DOVADO_DEADLOCK_DEBUG undefined the
+// hooks are simply never called and the linker keeps one cold copy.
+
+#include "src/util/sync.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace dovado::util {
+namespace sync_detail {
+
+namespace {
+
+struct EdgeInfo {
+  std::string thread_id;  ///< thread that first observed this order
+};
+
+struct Detector {
+  std::mutex mu;  // raw on purpose: the detector must not track itself
+  std::unordered_map<const void*, std::string> names;
+  // adjacency[a] holds every b with a recorded a-acquired-before-b edge.
+  std::unordered_map<const void*, std::map<const void*, EdgeInfo>> adjacency;
+  DeadlockHandler handler;  // empty => default print-and-abort
+  // Cycles already reported (keyed by the closing edge), so a survivable
+  // test handler sees each distinct inversion exactly once.
+  std::set<std::pair<const void*, const void*>> reported;
+};
+
+Detector& detector() {
+  static Detector* d = new Detector();  // leaked: outlives static dtors
+  return *d;
+}
+
+thread_local std::vector<const void*> t_held;
+
+std::string thread_id_string() {
+  std::ostringstream out;
+  out << std::this_thread::get_id();
+  return out.str();
+}
+
+std::string lock_name_locked(const Detector& d, const void* lock) {
+  const auto it = d.names.find(lock);
+  return it != d.names.end() ? it->second : "<destroyed>";
+}
+
+/// DFS for a path `from` -> ... -> `to` in the acquired-before graph.
+/// Fills `path` with the nodes along it (inclusive) when found.
+bool find_path_locked(const Detector& d, const void* from, const void* to,
+                      std::set<const void*>& visited,
+                      std::vector<const void*>& path) {
+  if (!visited.insert(from).second) return false;
+  path.push_back(from);
+  if (from == to) return true;
+  const auto it = d.adjacency.find(from);
+  if (it != d.adjacency.end()) {
+    for (const auto& [next, info] : it->second) {
+      (void)info;
+      if (find_path_locked(d, next, to, visited, path)) return true;
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+void dispatch(Detector& d, std::unique_lock<std::mutex> lock,
+              DeadlockReport report) {
+  DeadlockHandler handler = d.handler;
+  lock.unlock();  // a test handler may destroy/reset locks; don't hold mu
+  if (handler) {
+    handler(report);
+    return;
+  }
+  std::fprintf(stderr, "%s", report.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+DeadlockHandler set_deadlock_handler(DeadlockHandler handler) {
+  Detector& d = detector();
+  std::lock_guard<std::mutex> lock(d.mu);
+  DeadlockHandler previous = std::move(d.handler);
+  d.handler = std::move(handler);
+  return previous;
+}
+
+void reset_for_testing() {
+  Detector& d = detector();
+  std::lock_guard<std::mutex> lock(d.mu);
+  d.names.clear();
+  d.adjacency.clear();
+  d.reported.clear();
+}
+
+void on_create(const void* lock, const char* name) {
+  Detector& d = detector();
+  std::lock_guard<std::mutex> guard(d.mu);
+  d.names[lock] = name;
+}
+
+void on_destroy(const void* lock) {
+  Detector& d = detector();
+  std::lock_guard<std::mutex> guard(d.mu);
+  d.names.erase(lock);
+  d.adjacency.erase(lock);
+  for (auto& [node, edges] : d.adjacency) {
+    (void)node;
+    edges.erase(lock);
+  }
+}
+
+void on_lock_attempt(const void* lock) {
+  if (std::find(t_held.begin(), t_held.end(), lock) != t_held.end()) {
+    Detector& d = detector();
+    std::unique_lock<std::mutex> guard(d.mu);
+    const std::string name = lock_name_locked(d, lock);
+    DeadlockReport report;
+    report.kind = DeadlockReport::Kind::kRecursiveLock;
+    report.cycle = {name, name};
+    report.message = "dovado deadlock detector: recursive acquisition of \"" +
+                     name + "\" on thread " + thread_id_string() + "\n";
+    dispatch(d, std::move(guard), std::move(report));
+    return;
+  }
+  if (t_held.empty()) return;  // nothing held => no new ordering constraint
+
+  Detector& d = detector();
+  std::unique_lock<std::mutex> guard(d.mu);
+  const std::string tid = thread_id_string();
+  for (const void* held : t_held) {
+    auto& edges = d.adjacency[held];
+    if (edges.find(lock) != edges.end()) continue;  // order already known
+
+    // Inserting held -> lock closes a cycle iff lock already reaches held.
+    std::set<const void*> visited;
+    std::vector<const void*> path;
+    if (find_path_locked(d, lock, held, visited, path)) {
+      const auto key = std::make_pair(held, lock);
+      if (!d.reported.insert(key).second) continue;  // this cycle: told once
+
+      DeadlockReport report;
+      report.kind = DeadlockReport::Kind::kLockOrderInversion;
+      // path = lock -> ... -> held; closing edge held -> lock completes it.
+      for (const void* node : path) {
+        report.cycle.push_back(lock_name_locked(d, node));
+      }
+      report.cycle.push_back(lock_name_locked(d, lock));
+
+      std::ostringstream msg;
+      msg << "dovado deadlock detector: lock-order inversion\n";
+      msg << "  new order (thread " << tid << "): \""
+          << lock_name_locked(d, held) << "\" acquired before \""
+          << lock_name_locked(d, lock) << "\"\n";
+      msg << "  conflicting recorded order:\n";
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto a = d.adjacency.find(path[i]);
+        std::string first_tid = "?";
+        if (a != d.adjacency.end()) {
+          const auto e = a->second.find(path[i + 1]);
+          if (e != a->second.end()) first_tid = e->second.thread_id;
+        }
+        msg << "    \"" << lock_name_locked(d, path[i])
+            << "\" acquired before \"" << lock_name_locked(d, path[i + 1])
+            << "\" (first seen on thread " << first_tid << ")\n";
+      }
+      msg << "  cycle:";
+      for (const auto& name : report.cycle) msg << " " << name;
+      msg << "\n";
+      report.message = msg.str();
+      dispatch(d, std::move(guard), std::move(report));
+      return;  // guard was released by dispatch; stop scanning
+    }
+    edges.emplace(lock, EdgeInfo{tid});
+  }
+}
+
+void on_locked(const void* lock) { t_held.push_back(lock); }
+
+void on_unlocked(const void* lock) {
+  // Erase the most recent entry: unlock order may legitimately differ from
+  // lock order (hand-over-hand), so this is not a strict stack pop.
+  const auto it = std::find(t_held.rbegin(), t_held.rend(), lock);
+  if (it != t_held.rend()) t_held.erase(std::next(it).base());
+}
+
+bool held_by_this_thread(const void* lock) {
+  return std::find(t_held.begin(), t_held.end(), lock) != t_held.end();
+}
+
+void on_cv_wait_begin(const void* lock) {
+  bool other_held = false;
+  for (const void* held : t_held) {
+    if (held != lock) {
+      other_held = true;
+      break;
+    }
+  }
+  if (other_held) {
+    Detector& d = detector();
+    std::unique_lock<std::mutex> guard(d.mu);
+    DeadlockReport report;
+    report.kind = DeadlockReport::Kind::kCvWaitWhileLocked;
+    std::ostringstream msg;
+    msg << "dovado deadlock detector: CondVar::wait on \""
+        << lock_name_locked(d, lock) << "\" (thread " << thread_id_string()
+        << ") while still holding:";
+    for (const void* held : t_held) {
+      if (held == lock) continue;
+      report.cycle.push_back(lock_name_locked(d, held));
+      msg << " \"" << lock_name_locked(d, held) << "\"";
+    }
+    msg << "\n  a waiting thread pins those locks for an unbounded time\n";
+    report.message = msg.str();
+    dispatch(d, std::move(guard), std::move(report));
+  }
+  // The native wait releases the mutex; mirror that in the held stack so
+  // locks taken by *other* code on this thread while we sleep (impossible)
+  // or by the predicate re-check path stay consistent.
+  on_unlocked(lock);
+}
+
+void on_cv_wait_end(const void* lock) { on_locked(lock); }
+
+}  // namespace sync_detail
+
+void Mutex::assert_held() const {
+#ifdef DOVADO_DEADLOCK_DEBUG
+  if (!sync_detail::held_by_this_thread(this)) {
+    std::fprintf(stderr,
+                 "dovado deadlock detector: assert_held(\"%s\") failed on "
+                 "a thread that does not hold it\n",
+                 name_);
+    std::fflush(stderr);
+    std::abort();
+  }
+#endif
+}
+
+}  // namespace dovado::util

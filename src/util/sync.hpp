@@ -1,0 +1,402 @@
+// Concurrency contracts: annotated lock wrappers + an opt-in runtime
+// lock-order detector.
+//
+// Two independent layers share this header:
+//
+//  1. Static contracts. `Mutex`, `SharedMutex`, `MutexLock`, `SharedLock`
+//     and `CondVar` mirror their std counterparts but carry Clang
+//     thread-safety-analysis attributes, so a clang build with
+//     `-Wthread-safety -Werror` proves at compile time which lock guards
+//     which field (`DOVADO_GUARDED_BY`) and which methods demand a lock
+//     already held (`DOVADO_REQUIRES`). Under any other compiler every
+//     macro expands to nothing and the wrappers are plain std::mutex /
+//     std::condition_variable with zero overhead (the micro_sync_overhead
+//     bench gate enforces < 1% vs raw std::mutex in release builds).
+//
+//  2. Runtime lock-order detection. When the build defines
+//     DOVADO_DEADLOCK_DEBUG (the `deadlock` CMake preset; defaulted on in
+//     Debug builds), every Mutex acquisition feeds a per-thread held-lock
+//     stack into a global acquired-before graph. The first acquisition
+//     that would close a cycle — i.e. the first A->B order observed after
+//     a B->A order, however many threads apart — is reported with both
+//     acquisition orders, the lock names and the thread ids, then aborts
+//     (tests install a handler via set_deadlock_handler to observe the
+//     report instead). CondVar::wait additionally flags waiting while any
+//     *other* tracked lock is held, the classic lost-wakeup/deadlock
+//     recipe. The detector never needs a real deadlock to fire: a benign
+//     interleaving of inverted acquisitions is enough, which is exactly
+//     what makes it usable in CI.
+//
+// The detector must be enabled for the whole build (the CMake option adds
+// a global compile definition); defining DOVADO_DEADLOCK_DEBUG for a
+// subset of translation units would violate the ODR on the inline lock
+// bodies below.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety-analysis attribute macros.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define DOVADO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DOVADO_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a lockable capability (the thing GUARDED_BY names).
+#define DOVADO_CAPABILITY(x) DOVADO_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define DOVADO_SCOPED_CAPABILITY DOVADO_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be read/written while holding the named capability.
+#define DOVADO_GUARDED_BY(x) DOVADO_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field: the *pointee* is guarded by the named capability.
+#define DOVADO_PT_GUARDED_BY(x) DOVADO_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the capability exclusively held by the caller.
+#define DOVADO_REQUIRES(...) \
+  DOVADO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function requires the capability held at least shared by the caller.
+#define DOVADO_REQUIRES_SHARED(...) \
+  DOVADO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability (exclusive) and does not release it.
+#define DOVADO_ACQUIRE(...) \
+  DOVADO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DOVADO_ACQUIRE_SHARED(...) \
+  DOVADO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/// Function releases a capability the caller held.
+#define DOVADO_RELEASE(...) \
+  DOVADO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DOVADO_RELEASE_SHARED(...) \
+  DOVADO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Function attempts acquisition; first argument is the success value.
+#define DOVADO_TRY_ACQUIRE(...) \
+  DOVADO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must be called with the capabilities NOT held (deadlock guard).
+#define DOVADO_EXCLUDES(...) DOVADO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Asserts (does not acquire) that the capability is held — the sanctioned
+/// way to teach the analysis about lambdas it cannot see into.
+#define DOVADO_ASSERT_CAPABILITY(x) \
+  DOVADO_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the named capability.
+#define DOVADO_RETURN_CAPABILITY(x) DOVADO_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch. Per the concurrency-contract policy (DESIGN.md) its only
+/// sanctioned uses are the CondVar wait internals below, where the wait
+/// demonstrably releases and re-acquires the mutex in ways the analysis
+/// cannot model.
+#define DOVADO_NO_THREAD_SAFETY_ANALYSIS \
+  DOVADO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dovado::util {
+
+namespace sync_detail {
+
+// Detector hooks. Always compiled (sync.cpp), called from the inline lock
+// bodies only when DOVADO_DEADLOCK_DEBUG is defined, so release builds
+// carry no trace of them on the hot path.
+
+/// What the detector found. `cycle` lists the lock names along the closed
+/// acquired-before cycle, ending with the lock that closed it (so an
+/// A->B / B->A inversion reports {"A", "B", "A"}).
+struct DeadlockReport {
+  enum class Kind {
+    kLockOrderInversion,  ///< new acquisition closes an acquired-before cycle
+    kCvWaitWhileLocked,   ///< CondVar::wait while holding another tracked lock
+    kRecursiveLock,       ///< same Mutex locked twice on one thread
+  };
+  Kind kind = Kind::kLockOrderInversion;
+  std::vector<std::string> cycle;
+  std::string message;  ///< full human-readable report (orders + thread ids)
+};
+
+using DeadlockHandler = std::function<void(const DeadlockReport&)>;
+
+/// Replace the report handler (default: print to stderr and abort).
+/// Returns the previous handler. Tests install a recorder; passing nullptr
+/// restores the default. Reports fire at most once per distinct cycle.
+DeadlockHandler set_deadlock_handler(DeadlockHandler handler);
+
+/// Forget every registered lock, edge and report (test isolation — stack
+/// addresses recycle between test cases).
+void reset_for_testing();
+
+void on_create(const void* lock, const char* name);
+void on_destroy(const void* lock);
+/// Edge insertion + cycle check; called BEFORE blocking on the native
+/// mutex so a would-be deadlock is reported instead of hung.
+void on_lock_attempt(const void* lock);
+/// Push onto this thread's held stack (after the native lock succeeded).
+void on_locked(const void* lock);
+void on_unlocked(const void* lock);
+/// True when this thread's held stack contains `lock`.
+bool held_by_this_thread(const void* lock);
+/// CondVar misuse check + held-stack pop around the native wait.
+void on_cv_wait_begin(const void* lock);
+void on_cv_wait_end(const void* lock);
+
+}  // namespace sync_detail
+
+/// std::mutex with a thread-safety capability, a name for detector
+/// reports, and (under DOVADO_DEADLOCK_DEBUG) lock-order tracking. The
+/// layout is identical in both modes; only the inline bodies differ, and
+/// the build system defines the macro globally.
+class DOVADO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() : Mutex("mutex") {}
+  /// `name` must outlive the Mutex (string literals in practice); it is
+  /// what detector reports and the DESIGN.md hierarchy refer to.
+  explicit Mutex(const char* name) : name_(name) {
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_create(this, name_);
+#endif
+  }
+  ~Mutex() {
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_destroy(this);
+#endif
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DOVADO_ACQUIRE() {
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_lock_attempt(this);
+#endif
+    mu_.lock();
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_locked(this);
+#endif
+  }
+
+  void unlock() DOVADO_RELEASE() {
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_unlocked(this);
+#endif
+    mu_.unlock();
+  }
+
+  /// try_lock never blocks, so it inserts no acquired-before edge; a later
+  /// blocking acquisition made while this lock is held still does.
+  bool try_lock() DOVADO_TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+#ifdef DOVADO_DEADLOCK_DEBUG
+    if (ok) sync_detail::on_locked(this);
+#endif
+    return ok;
+  }
+
+  /// Tell the analysis (and, in deadlock-debug builds, verify) that this
+  /// thread holds the mutex. Use inside lambdas that run under the lock —
+  /// the analysis cannot see through the call boundary.
+  void assert_held() const DOVADO_ASSERT_CAPABILITY(this);
+
+  [[nodiscard]] const char* name() const { return name_; }
+  /// The underlying std::mutex, for CondVar's adopt/release dance only.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+};
+
+/// std::shared_mutex with a capability. Shared (reader) holds participate
+/// in lock-order tracking exactly like exclusive ones: a reader blocking
+/// on a writer deadlocks the same way.
+class DOVADO_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() : SharedMutex("shared_mutex") {}
+  explicit SharedMutex(const char* name) : name_(name) {
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_create(this, name_);
+#endif
+  }
+  ~SharedMutex() {
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_destroy(this);
+#endif
+  }
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() DOVADO_ACQUIRE() {
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_lock_attempt(this);
+#endif
+    mu_.lock();
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_locked(this);
+#endif
+  }
+
+  void unlock() DOVADO_RELEASE() {
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_unlocked(this);
+#endif
+    mu_.unlock();
+  }
+
+  void lock_shared() DOVADO_ACQUIRE_SHARED() {
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_lock_attempt(this);
+#endif
+    mu_.lock_shared();
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_locked(this);
+#endif
+  }
+
+  void unlock_shared() DOVADO_RELEASE_SHARED() {
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_unlocked(this);
+#endif
+    mu_.unlock_shared();
+  }
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const char* name_;
+};
+
+/// RAII exclusive lock (std::lock_guard/unique_lock replacement that the
+/// analysis understands). lock()/unlock() allow the dropped-lock window
+/// pattern; the destructor releases only if currently held.
+class DOVADO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DOVADO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DOVADO_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() DOVADO_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void lock() DOVADO_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class DOVADO_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) DOVADO_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedLock() DOVADO_RELEASE() { mu_.unlock_shared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class DOVADO_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) DOVADO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~WriterLock() DOVADO_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to Mutex. wait() demands the mutex held (the
+/// analysis enforces it at every call site) and models the wait as
+/// hold-across: the capability is still held when wait returns, which is
+/// exactly the std::condition_variable contract. The internals adopt and
+/// release the native handle in ways the analysis cannot follow — the one
+/// sanctioned NO_THREAD_SAFETY_ANALYSIS site in the codebase.
+///
+/// Under DOVADO_DEADLOCK_DEBUG, wait() additionally reports waiting while
+/// holding any *other* tracked lock: the blocked thread would keep that
+/// lock pinned for an unbounded time, which is either a deadlock or a
+/// latency bug, and was exactly the shape of the PR 6 cv lifetime race.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) DOVADO_REQUIRES(mu) {
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_cv_wait_begin(&mu);
+#endif
+    wait_native(mu);
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_cv_wait_end(&mu);
+#endif
+  }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) DOVADO_REQUIRES(mu) {
+    while (!pred()) wait(mu);
+  }
+
+  /// Timed wait; true when the predicate held on exit (std semantics).
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout,
+                Pred pred) DOVADO_REQUIRES(mu) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+      if (wait_until_native(mu, deadline) == std::cv_status::timeout) {
+        return pred();
+      }
+    }
+    return true;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  /// The native wait releases mu and re-acquires it before returning; the
+  /// analysis sees a REQUIRES function that preserves the capability,
+  /// which is the correct summary of that round trip.
+  void wait_native(Mutex& mu) DOVADO_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  std::cv_status wait_until_native(
+      Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      DOVADO_NO_THREAD_SAFETY_ANALYSIS {
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_cv_wait_begin(&mu);
+#endif
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+#ifdef DOVADO_DEADLOCK_DEBUG
+    sync_detail::on_cv_wait_end(&mu);
+#endif
+    return status;
+  }
+
+  std::condition_variable cv_;
+};
+
+}  // namespace dovado::util

@@ -24,7 +24,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -38,8 +38,8 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -84,7 +84,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   std::atomic<std::size_t> next{begin};
   std::exception_ptr first_error;
   std::size_t suppressed = 0;
-  std::mutex error_mutex;
+  Mutex error_mutex("ThreadPool.parallel_for.error");
   auto body = [&] {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -92,7 +92,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) {
           first_error = std::current_exception();
         } else {

@@ -8,14 +8,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/util/sync.hpp"
 
 namespace dovado::util {
 
@@ -47,7 +47,7 @@ class ThreadPool {
       return fut;
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -95,10 +95,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_{"ThreadPool"};
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ DOVADO_GUARDED_BY(mutex_);
+  bool stopping_ DOVADO_GUARDED_BY(mutex_) = false;
   std::atomic<std::size_t> reentrant_inline_{0};
   std::atomic<std::size_t> suppressed_exceptions_{0};
 };

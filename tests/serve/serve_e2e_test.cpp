@@ -271,6 +271,45 @@ TEST(ServeE2e, DrainRefusesNewConnectionsWork) {
   server.wait();
 }
 
+// Regression: a frame that lands after the connection worker has observed
+// the stop flag used to sit unanswered on a still-open fd until
+// Server::wait() destroyed the connection — a client blocking on the
+// response (the default infinite timeout) hung forever if it called wait()
+// only after eval() returned. The worker now shuts the socket down on
+// exit, so the late client sees EOF promptly instead of a silent stall.
+TEST(ServeE2e, LateFrameAfterDrainSeesEofNotSilence) {
+  const std::string socket_path = temp_path("e2e_late_frame.sock");
+  Server server(socket_config(socket_path));
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(socket_path, error)) << error;
+  server.drain();
+
+  // Keep poking until the connection worker has exited. Every attempt must
+  // resolve within its bounded timeout: either the worker is still polling
+  // (answers `draining`) or it is gone and the shutdown surfaces as a send
+  // failure / EOF. A timeout means the old hang is back.
+  bool refused_with_eof = false;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    Response response;
+    std::string attempt_error;
+    if (client.eval("alice", {{"DEPTH", 48}}, 0.0, response, attempt_error,
+                    /*timeout_ms=*/500)) {
+      EXPECT_EQ(response.status, ResponseStatus::kDraining);
+      continue;
+    }
+    ASSERT_EQ(attempt_error.find("timed out"), std::string::npos)
+        << "late frame hung instead of being refused: " << attempt_error;
+    refused_with_eof = true;
+    break;
+  }
+  EXPECT_TRUE(refused_with_eof);
+
+  server.wait();
+}
+
 // Satellite: concurrent store access under service load. The daemon holds
 // the store's writer lock and appends fresh answers while reader processes
 // (`dovado db stats`) snapshot it concurrently; `db compact` must refuse

@@ -1,0 +1,77 @@
+// Regression for a guarding defect found by the thread-safety sweep:
+// EvalStore::writable() read fd_ *without* the store mutex while
+// compact() (rewrite_locked) swaps the append fd under it — a data race
+// the tsan preset catches on this test. writable() now takes the lock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "src/store/store.hpp"
+
+namespace dovado::store {
+namespace {
+
+std::string temp_store(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+  std::remove((path + ".compact").c_str());
+  return path;
+}
+
+StoreRecord make_record(std::int64_t depth) {
+  StoreRecord rec;
+  rec.params = {{"DEPTH", depth}, {"WIDTH", 32}};
+  rec.backend = "vivado-sim";
+  rec.tier = EvalStore::kTierHifi;
+  rec.campaign = "race";
+  rec.metrics = {{"lut", 100.0 + static_cast<double>(depth)}};
+  rec.ok = true;
+  rec.tool_seconds = 1.0;
+  rec.timestamp = 1700000000 + depth;
+  return rec;
+}
+
+TEST(EvalStoreConcurrency, WritableVsCompactIsRaceFree) {
+  const std::string path = temp_store("store_writable_race.dvstor");
+  auto opened = EvalStore::open_writer(path);
+  ASSERT_NE(opened.store, nullptr) << opened.error;
+  EvalStore& store = *opened.store;
+
+  // Dead records so every compaction has something to rewrite (and thus a
+  // real fd swap), plus appends racing alongside.
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(store.append(make_record(i % 2)));
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> writable_flapped{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      if (!store.writable()) writable_flapped.store(true);
+      (void)store.lookup({{"DEPTH", 0}, {"WIDTH", 32}}, "vivado-sim",
+                         EvalStore::kTierHifi);
+    }
+  });
+  std::thread appender([&] {
+    for (int i = 0; !stop.load() && i < 200; ++i) {
+      (void)store.append(make_record(i % 4));
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    std::string error;
+    ASSERT_TRUE(store.compact(error)) << error;
+  }
+  stop.store(true);
+  reader.join();
+  appender.join();
+
+  // The writer handle must stay writable across every fd swap.
+  EXPECT_FALSE(writable_flapped.load());
+  EXPECT_TRUE(store.writable());
+  EXPECT_GE(store.stats().compactions, 50u);
+}
+
+}  // namespace
+}  // namespace dovado::store

@@ -1,0 +1,275 @@
+// Runtime lock-order detector tests. These only bite when the build
+// defines DOVADO_DEADLOCK_DEBUG (the `deadlock` preset; Debug default) —
+// in release builds every test skips, documenting that the hooks compile
+// away.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/sync.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace dovado::util {
+namespace {
+
+#ifndef DOVADO_DEADLOCK_DEBUG
+
+TEST(DeadlockDetector, DisabledInThisBuild) {
+  GTEST_SKIP() << "DOVADO_DEADLOCK_DEBUG is off; detector hooks compile away";
+}
+
+#else
+
+using sync_detail::DeadlockReport;
+
+/// Installs a recording handler for the test's lifetime and restores the
+/// previous one (print-and-abort) afterwards. The recorder lock is a raw
+/// std::mutex on purpose: a tracked Mutex inside the handler would feed
+/// the detector re-entrantly.
+class DeadlockDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sync_detail::reset_for_testing();
+    previous_ = sync_detail::set_deadlock_handler(
+        [this](const DeadlockReport& report) {
+          std::lock_guard<std::mutex> lock(reports_mu_);
+          reports_.push_back(report);
+        });
+  }
+
+  void TearDown() override {
+    sync_detail::set_deadlock_handler(std::move(previous_));
+    sync_detail::reset_for_testing();
+  }
+
+  std::vector<DeadlockReport> reports() {
+    std::lock_guard<std::mutex> lock(reports_mu_);
+    return reports_;
+  }
+
+ private:
+  std::mutex reports_mu_;
+  std::vector<DeadlockReport> reports_;
+  sync_detail::DeadlockHandler previous_;
+};
+
+TEST_F(DeadlockDetectorTest, SeededInversionReportsExactCycle) {
+  Mutex a("A");
+  Mutex b("B");
+
+  // Thread 1 records the order A -> B ...
+  std::thread first([&] {
+    MutexLock la(a);
+    MutexLock lb(b);
+  });
+  first.join();
+
+  // ... and the inverted order B -> A fires on this thread at the moment
+  // `a` is *attempted* — no actual deadlock needed.
+  {
+    MutexLock lb(b);
+    MutexLock la(a);
+  }
+
+  const auto seen = reports();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].kind, DeadlockReport::Kind::kLockOrderInversion);
+  EXPECT_EQ(seen[0].cycle, (std::vector<std::string>{"A", "B", "A"}));
+  // The report names both orders and the observing threads.
+  EXPECT_NE(seen[0].message.find("\"B\" acquired before \"A\""),
+            std::string::npos);
+  EXPECT_NE(seen[0].message.find("\"A\" acquired before \"B\""),
+            std::string::npos);
+  EXPECT_NE(seen[0].message.find("thread "), std::string::npos);
+}
+
+TEST_F(DeadlockDetectorTest, TransitiveInversionReportsFullChain) {
+  Mutex a("A");
+  Mutex b("B");
+  Mutex c("C");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  {
+    MutexLock lb(b);
+    MutexLock lc(c);
+  }
+  {
+    MutexLock lc(c);
+    MutexLock la(a);  // closes A -> B -> C -> A
+  }
+  const auto seen = reports();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].kind, DeadlockReport::Kind::kLockOrderInversion);
+  EXPECT_EQ(seen[0].cycle, (std::vector<std::string>{"A", "B", "C", "A"}));
+}
+
+TEST_F(DeadlockDetectorTest, EachDistinctCycleReportsOnce) {
+  Mutex a("A");
+  Mutex b("B");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  for (int i = 0; i < 3; ++i) {
+    MutexLock lb(b);
+    MutexLock la(a);
+  }
+  EXPECT_EQ(reports().size(), 1u);
+}
+
+TEST_F(DeadlockDetectorTest, CvWaitWhileHoldingAnotherLockReports) {
+  Mutex outer("OuterLock");
+  Mutex wait_lock("WaitLock");
+  CondVar cv;
+  {
+    MutexLock lo(outer);
+    MutexLock lw(wait_lock);
+    // Never notified; the 1ms timeout just bounds the test. The report
+    // fires on entry, before the native wait.
+    (void)cv.wait_for(wait_lock, std::chrono::milliseconds(1),
+                      [] { return false; });
+  }
+  const auto seen = reports();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].kind, DeadlockReport::Kind::kCvWaitWhileLocked);
+  EXPECT_EQ(seen[0].cycle, (std::vector<std::string>{"OuterLock"}));
+  EXPECT_NE(seen[0].message.find("\"WaitLock\""), std::string::npos);
+  EXPECT_NE(seen[0].message.find("\"OuterLock\""), std::string::npos);
+}
+
+TEST_F(DeadlockDetectorTest, CvWaitWithOnlyItsOwnLockIsClean) {
+  Mutex mu("LoneWait");
+  CondVar cv;
+  {
+    MutexLock lock(mu);
+    (void)cv.wait_for(mu, std::chrono::milliseconds(1), [] { return false; });
+  }
+  EXPECT_TRUE(reports().empty());
+}
+
+TEST_F(DeadlockDetectorTest, ConsistentOrderAcrossThreadsIsClean) {
+  Mutex a("A");
+  Mutex b("B");
+  std::vector<std::thread> threads;
+  long counter = 0;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        MutexLock la(a);
+        MutexLock lb(b);
+        ++counter;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter, 2000);
+  EXPECT_TRUE(reports().empty());
+}
+
+TEST_F(DeadlockDetectorTest, TryLockInsertsNoOrderingEdge) {
+  Mutex a("A");
+  Mutex b("B");
+  {
+    // try_lock cannot block, so holding A while try-locking B must NOT
+    // record A -> B ...
+    MutexLock la(a);
+    ASSERT_TRUE(b.try_lock());
+    b.unlock();
+  }
+  {
+    // ... and the later blocking order B -> A is therefore not a cycle.
+    MutexLock lb(b);
+    MutexLock la(a);
+  }
+  EXPECT_TRUE(reports().empty());
+}
+
+TEST_F(DeadlockDetectorTest, HandOverHandForwardChainIsClean) {
+  Mutex a("A");
+  Mutex b("B");
+  Mutex c("C");
+  // Forward hand-over-hand traversal: lock A, lock B, release A (unlock
+  // order differs from lock order), lock C while holding only B. The held
+  // stack must track the shape without false reports — only A -> B and
+  // B -> C are recorded, no cycle.
+  a.lock();
+  b.lock();
+  a.unlock();
+  c.lock();
+  c.unlock();
+  b.unlock();
+  EXPECT_TRUE(reports().empty());
+}
+
+TEST_F(DeadlockDetectorTest, ReacquiringAfterHandOverHandIsAnInversion) {
+  Mutex a("A");
+  Mutex b("B");
+  // A -> B, release A, then re-acquire A while still holding B: that is a
+  // genuine B -> A inversion (another thread running the same sequence
+  // can hold A and block on B), and the detector must say so.
+  a.lock();
+  b.lock();
+  a.unlock();
+  a.lock();
+  a.unlock();
+  b.unlock();
+  const auto seen = reports();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].kind, DeadlockReport::Kind::kLockOrderInversion);
+  EXPECT_EQ(seen[0].cycle, (std::vector<std::string>{"A", "B", "A"}));
+}
+
+// The production workload shape: a ThreadPool fanning work over shared
+// state with a consistent lock order must produce zero reports (the
+// detector's false-positive budget is zero — it aborts CI otherwise).
+TEST_F(DeadlockDetectorTest, ThreadPoolStressZeroFalsePositives) {
+  Mutex stats("stress.stats");
+  Mutex records("stress.records");
+  long total = 0;
+  std::vector<long> log;
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    futures.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([&, i] {
+        {
+          MutexLock lock(records);
+          log.push_back(i);
+        }
+        {
+          MutexLock lock(stats);
+          ++total;
+        }
+        {
+          // Nested in a consistent records -> stats order.
+          MutexLock lr(records);
+          MutexLock ls(stats);
+          const long snapshot = total + static_cast<long>(log.size());
+          (void)snapshot;
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  EXPECT_EQ(total, 64);
+  EXPECT_TRUE(reports().empty());
+}
+
+TEST_F(DeadlockDetectorTest, AssertHeldPassesUnderLock) {
+  Mutex mu("asserted");
+  MutexLock lock(mu);
+  mu.assert_held();  // aborts (does not report) when violated
+}
+
+#endif  // DOVADO_DEADLOCK_DEBUG
+
+}  // namespace
+}  // namespace dovado::util
